@@ -1,0 +1,501 @@
+(* Benchmark harness: regenerates every table of the paper's
+   experimental evaluation (Sec. 6) plus the in-text Pick experiment,
+   and a bechamel micro-benchmark group.
+
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe table1      # one experiment
+     TIX_BENCH_ARTICLES=500 dune exec bench/main.exe   # smaller corpus
+
+   The corpus is synthetic (the INEX IEEE collection is not
+   redistributable) with query terms planted at the exact
+   frequencies the paper's experiments select; Table 5 frequencies
+   are scaled by 1/10 to fit the default corpus. Absolute times are
+   not comparable to the paper's 2003 disk-resident setup; the
+   shapes (who wins, how methods scale) are what EXPERIMENTS.md
+   tracks. *)
+
+let articles =
+  match Sys.getenv_opt "TIX_BENCH_ARTICLES" with
+  | Some s -> int_of_string s
+  | None -> 2500
+
+let runs =
+  match Sys.getenv_opt "TIX_BENCH_RUNS" with
+  | Some s -> max 3 (int_of_string s)
+  | None -> 5
+
+(* ------------------------------------------------------------------ *)
+(* Workload definition *)
+
+let tj_freqs = [ 20; 100; 200; 300; 500; 1000; 2000; 3000; 5500; 7000; 10000 ]
+let t3_freqs = [ 20; 200; 1000; 3000; 7000 ]
+let t4_term_count = 7
+let t4_freq = 1500
+
+(* Table 5 rows from the paper: term1 freq, term2 freq, result size.
+   Terms are shared across queries through the frequency pool, as in
+   the paper. *)
+let table5_rows =
+  [
+    (121076, 44930, 27991);
+    (121076, 79677, 462);
+    (107269, 146477, 1219);
+    (107269, 79677, 1212);
+    (98405, 146477, 877);
+    (121076, 146477, 1189);
+    (90482, 68801, 116);
+    (121076, 45988, 34);
+    (121076, 107269, 320);
+    (98405, 28044, 455);
+    (146477, 68801, 1372);
+    (121076, 68801, 249);
+    (98405, 107269, 17);
+  ]
+
+let t5_scale = 10
+let qa f = Printf.sprintf "qa%d" f
+let qb f = Printf.sprintf "qb%d" f
+let t4_term i = Printf.sprintf "qf%d" i
+let pool_term f = Printf.sprintf "pool%d" f
+
+let corpus_config () =
+  (* table 1-3 pairs *)
+  let tj_plants = List.concat_map (fun f -> [ (qa f, f); (qb f, f) ]) tj_freqs in
+  (* table 4 terms *)
+  let t4_plants = List.init t4_term_count (fun i -> (t4_term i, t4_freq)) in
+  (* table 5: adjacency plants per ordered pair, plus singles topping
+     each pooled term up to its scaled frequency *)
+  let phrase_plants =
+    List.map
+      (fun (f1, f2, size) ->
+        (pool_term f1, pool_term f2, max 1 (size / t5_scale)))
+      table5_rows
+  in
+  let adj_of term =
+    List.fold_left
+      (fun acc (t1, t2, r) ->
+        acc + (if t1 = term then r else 0) + if t2 = term then r else 0)
+      0 phrase_plants
+  in
+  let pool_freqs =
+    List.sort_uniq compare
+      (List.concat_map (fun (f1, f2, _) -> [ f1; f2 ]) table5_rows)
+  in
+  let pool_plants =
+    List.map
+      (fun f ->
+        let term = pool_term f in
+        let target = f / t5_scale in
+        (term, max 0 (target - adj_of term)))
+      pool_freqs
+  in
+  {
+    Workload.Corpus.default with
+    articles;
+    seed = 20030609;
+    planted_terms = tj_plants @ t4_plants @ pool_plants;
+    planted_phrases = phrase_plants;
+  }
+
+let build_db () =
+  let cfg = corpus_config () in
+  let t0 = Unix.gettimeofday () in
+  let options = { Store.Db.default_options with keep_trees = false } in
+  let db = Store.Db.load ~options (Workload.Corpus.generate cfg) in
+  Printf.printf "corpus: %s (built in %.1fs)\n%!"
+    (Format.asprintf "%a" Store.Db.pp_stats (Store.Db.stats db))
+    (Unix.gettimeofday () -. t0);
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Timing methodology: as in Sec. 6, each experiment runs five times,
+   the lowest and highest readings are dropped and the rest
+   averaged. Runs start with a cold buffer pool. *)
+
+let trimmed_mean samples =
+  let sorted = List.sort compare samples in
+  let trimmed =
+    match sorted with
+    | _ :: rest when List.length rest >= 2 ->
+      List.filteri (fun i _ -> i < List.length rest - 1) rest
+    | l -> l
+  in
+  List.fold_left ( +. ) 0. trimmed /. float_of_int (max 1 (List.length trimmed))
+
+let time_once pager f =
+  Store.Pager.clear_pool pager;
+  Store.Pager.reset_stats pager;
+  let t0 = Unix.gettimeofday () in
+  let _ = f () in
+  Unix.gettimeofday () -. t0
+
+let measure pager f =
+  trimmed_mean (List.init runs (fun _ -> time_once pager f))
+
+let count_emitted run =
+  let n = ref 0 in
+  let _ = run ~emit:(fun _ -> incr n) () in
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Table printing *)
+
+let print_header title columns =
+  Printf.printf "\n== %s ==\n%!" title;
+  Printf.printf "%-12s" "freq";
+  List.iter (fun c -> Printf.printf "%12s" c) columns;
+  print_newline ()
+
+let print_row label cells =
+  Printf.printf "%-12s" label;
+  List.iter (fun v -> Printf.printf "%12.4f" v) cells;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1-4: TermJoin and the baselines *)
+
+let term_methods ~mode ~enhanced ctx terms =
+  let tj_run variant ~emit () =
+    Access.Term_join.run ~variant ~mode ctx ~terms ~emit ()
+  in
+  let base =
+    [
+      ("Comp1", fun ~emit () -> Access.Composite.comp1 ~mode ctx ~terms ~emit ());
+      ("Comp2", fun ~emit () -> Access.Composite.comp2 ~mode ctx ~terms ~emit ());
+      ("GenMeet", fun ~emit () -> Access.Gen_meet.run ~mode ctx ~terms ~emit ());
+      ("TermJoin", tj_run Access.Term_join.Plain);
+    ]
+  in
+  if enhanced then base @ [ ("Enhanced", tj_run Access.Term_join.Enhanced) ]
+  else base
+
+let run_term_table ~title ~mode ~enhanced ctx rows =
+  let pager = Store.Element_store.pager ctx.Access.Ctx.elements in
+  print_header title (List.map fst (term_methods ~mode ~enhanced ctx [ "x" ]));
+  List.iter
+    (fun (label, terms) ->
+      let methods = term_methods ~mode ~enhanced ctx terms in
+      let cells =
+        List.map (fun (_, run) -> measure pager (fun () -> count_emitted run)) methods
+      in
+      print_row label cells)
+    rows
+
+let table1 ctx =
+  run_term_table
+    ~title:
+      "Table 1: two terms, increasing term frequency, simple scoring (seconds)"
+    ~mode:Access.Counter_scoring.Simple ~enhanced:false ctx
+    (List.map (fun f -> (string_of_int f, [ qa f; qb f ])) tj_freqs)
+
+let table2 ctx =
+  run_term_table
+    ~title:
+      "Table 2: two terms, increasing term frequency, complex scoring (seconds)"
+    ~mode:Access.Counter_scoring.Complex ~enhanced:true ctx
+    (List.map (fun f -> (string_of_int f, [ qa f; qb f ])) tj_freqs)
+
+let table3 ctx =
+  run_term_table
+    ~title:
+      "Table 3: term1 fixed at 1000, term2 increasing, complex scoring (seconds)"
+    ~mode:Access.Counter_scoring.Complex ~enhanced:true ctx
+    (List.map (fun f -> (string_of_int f, [ qa 1000; qb f ])) t3_freqs)
+
+let table4 ctx =
+  run_term_table
+    ~title:
+      "Table 4: increasing number of query terms, terms at freq 1500, complex \
+       scoring (seconds)"
+    ~mode:Access.Counter_scoring.Complex ~enhanced:true ctx
+    (List.map
+       (fun k -> (string_of_int k, List.init k t4_term))
+       [ 2; 3; 4; 5; 6; 7 ])
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: PhraseFinder vs Comp3 *)
+
+let table5 ctx =
+  let pager = Store.Element_store.pager ctx.Access.Ctx.elements in
+  Printf.printf
+    "\n== Table 5: PhraseFinder vs composite of access methods (13 two-term \
+     phrases; paper frequencies / %d) ==\n%!"
+    t5_scale;
+  Printf.printf "%5s %10s %10s %10s %12s %12s\n" "query" "term1" "term2"
+    "result" "Comp3" "PhraseFinder";
+  List.iteri
+    (fun i (f1, f2, _) ->
+      let phrase = [ pool_term f1; pool_term f2 ] in
+      let result_size = List.length (Access.Phrase_finder.to_list ctx ~phrase) in
+      let comp3 =
+        measure pager (fun () ->
+            count_emitted (fun ~emit () ->
+                Access.Composite.comp3 ctx ~phrase ~emit ()))
+      in
+      let pf =
+        measure pager (fun () ->
+            count_emitted (fun ~emit () ->
+                Access.Phrase_finder.run ctx ~phrase ~emit ()))
+      in
+      Printf.printf "%5d %10d %10d %10d %12.4f %12.4f\n%!" (i + 1)
+        (f1 / t5_scale) (f2 / t5_scale) result_size comp3 pf)
+    table5_rows
+
+(* ------------------------------------------------------------------ *)
+(* Pick: 200 to 55,000 input nodes (Sec. 6, in-text) *)
+
+let synthetic_scored_tree n =
+  (* a deterministic tree with pseudo-random scores and exactly [n]
+     nodes; fanouts are dealt breadth-first so the shape stays
+     shallow and wide like a document *)
+  let state = Random.State.make [| n; 17 |] in
+  let counts = Array.make n 0 in
+  let remaining = ref (n - 1) and frontier = ref 0 in
+  while !remaining > 0 do
+    let fanout = min !remaining (2 + Random.State.int state 7) in
+    counts.(!frontier) <- fanout;
+    remaining := !remaining - fanout;
+    incr frontier
+  done;
+  (* node i's children are the consecutive BFS ids starting at
+     first_child.(i) *)
+  let first_child = Array.make (n + 1) 1 in
+  for i = 0 to n - 1 do
+    first_child.(i + 1) <- first_child.(i) + counts.(i)
+  done;
+  let nodes = Array.make n (Core.Stree.make "n" []) in
+  for i = n - 1 downto 0 do
+    let children =
+      List.init counts.(i) (fun k ->
+          Core.Stree.Node nodes.(first_child.(i) + k))
+    in
+    nodes.(i) <-
+      Core.Stree.make ~score:(Random.State.float state 2.) "n" children
+  done;
+  nodes.(0)
+
+let pick_bench () =
+  Printf.printf
+    "\n== Pick: parent/child redundancy elimination, increasing input size \
+     (seconds) ==\n%!";
+  Printf.printf "%10s %12s %12s\n" "nodes" "Pick" "returned";
+  let crit = Core.Op_pick.pick_foo ~threshold:1.0 () in
+  List.iter
+    (fun n ->
+      let tree = synthetic_scored_tree n in
+      let actual = Core.Stree.size tree in
+      let returned = ref 0 in
+      let samples =
+        List.init runs (fun _ ->
+            returned := 0;
+            let t0 = Unix.gettimeofday () in
+            let _ =
+              Access.Pick_stack.run crit
+                ~candidates:(fun _ -> true)
+                ~emit:(fun _ -> incr returned)
+                tree
+            in
+            Unix.gettimeofday () -. t0)
+      in
+      Printf.printf "%10d %12.4f %12d\n%!" actual (trimmed_mean samples)
+        !returned)
+    [ 200; 500; 1000; 2000; 5000; 10000; 20000; 55000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: sensitivity of the storage design choices. The paper's
+   cost differences hinge on what each method reads through the
+   buffer pool; these sweeps show how the pool and page sizes move
+   the scan-bound (Comp2) and random-access-bound (plain TermJoin,
+   complex scoring) methods. *)
+
+let ablation () =
+  let articles = min articles 800 in
+  let build ~pool_pages ~page_size =
+    let cfg = { (corpus_config ()) with Workload.Corpus.articles } in
+    let options =
+      { Store.Db.default_options with keep_trees = false; pool_pages; page_size }
+    in
+    Access.Ctx.of_db (Store.Db.load ~options (Workload.Corpus.generate cfg))
+  in
+  let measure_pair ctx =
+    let pager = Store.Element_store.pager ctx.Access.Ctx.elements in
+    let terms = [ qa 3000; qb 3000 ] in
+    let comp2 =
+      measure pager (fun () ->
+          count_emitted (fun ~emit () ->
+              Access.Composite.comp2 ~mode:Access.Counter_scoring.Complex ctx
+                ~terms ~emit ()))
+    in
+    let tj =
+      measure pager (fun () ->
+          count_emitted (fun ~emit () ->
+              Access.Term_join.run ~mode:Access.Counter_scoring.Complex ctx
+                ~terms ~emit ()))
+    in
+    (comp2, tj)
+  in
+  Printf.printf
+    "\n== Ablation: buffer-pool frames (%d articles; Comp2 vs plain TermJoin, \
+     complex, freq 3000; seconds) ==\n%!"
+    articles;
+  Printf.printf "%12s %12s %12s\n" "pool pages" "Comp2" "TermJoin";
+  List.iter
+    (fun pool_pages ->
+      let ctx = build ~pool_pages ~page_size:Store.Pager.default_page_size in
+      let comp2, tj = measure_pair ctx in
+      Printf.printf "%12d %12.4f %12.4f\n%!" pool_pages comp2 tj)
+    [ 64; 512; 4096 ];
+  Printf.printf
+    "\n== Ablation: page size (%d articles; same workload; seconds) ==\n%!"
+    articles;
+  Printf.printf "%12s %12s %12s\n" "page bytes" "Comp2" "TermJoin";
+  List.iter
+    (fun page_size ->
+      let ctx = build ~pool_pages:1024 ~page_size in
+      let comp2, tj = measure_pair ctx in
+      Printf.printf "%12d %12.4f %12.4f\n%!" page_size comp2 tj)
+    [ 2048; 8192; 32768 ];
+  (* holistic chain join vs a sequence of binary structural
+     semi-joins, on //article//section//p *)
+  let ctx = build ~pool_pages:1024 ~page_size:Store.Pager.default_page_size in
+  let pager = Store.Element_store.pager ctx.Access.Ctx.elements in
+  let chain =
+    let open Core.Pattern in
+    make
+      (pnode ~pred:(Tag "article") 1
+         [
+           pnode ~axis:Descendant ~pred:(Tag "section") 2
+             [ pnode ~axis:Descendant ~pred:(Tag "p") 3 [] ];
+         ])
+      []
+  in
+  Printf.printf
+    "\n== Ablation: chain join strategy (//article//section//p, %d articles; \
+     seconds) ==\n%!"
+    articles;
+  Printf.printf "%24s %12s\n" "strategy" "time";
+  let t_binary =
+    measure pager (fun () ->
+        List.length (Access.Pattern_exec.matches ctx chain ~var:3))
+  in
+  Printf.printf "%24s %12.4f\n%!" "binary semi-joins" t_binary;
+  let t_holistic =
+    measure pager (fun () ->
+        List.length (Access.Path_stack.matches ctx chain ~var:3))
+  in
+  Printf.printf "%24s %12.4f\n%!" "holistic PathStack" t_holistic;
+  let t_twig =
+    measure pager (fun () ->
+        List.length (Access.Twig_stack.matches ctx chain ~var:3))
+  in
+  Printf.printf "%24s %12.4f\n%!" "holistic TwigStack" t_twig;
+  (* a branching twig: //article[//section-title][//p] *)
+  let twig =
+    let open Core.Pattern in
+    make
+      (pnode ~pred:(Tag "article") 1
+         [
+           pnode ~axis:Descendant ~pred:(Tag "section-title") 2 [];
+           pnode ~axis:Descendant ~pred:(Tag "p") 3 [];
+         ])
+      []
+  in
+  Printf.printf
+    "\n== Ablation: twig join strategy (//article[//section-title][//p]; \
+     seconds) ==\n%!";
+  Printf.printf "%24s %12s\n" "strategy" "time";
+  let t_binary =
+    measure pager (fun () ->
+        List.length (Access.Pattern_exec.matches ctx twig ~var:1))
+  in
+  Printf.printf "%24s %12.4f\n%!" "binary semi-joins" t_binary;
+  let t_twig =
+    measure pager (fun () ->
+        List.length (Access.Twig_stack.matches ctx twig ~var:1))
+  in
+  Printf.printf "%24s %12.4f\n%!" "holistic TwigStack" t_twig
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment *)
+
+let micro ctx =
+  let open Bechamel in
+  let terms = [ qa 1000; qb 1000 ] in
+  let complex = Access.Counter_scoring.Complex in
+  let quiet f () = count_emitted f in
+  let pick_tree = synthetic_scored_tree 5000 in
+  let crit = Core.Op_pick.pick_foo ~threshold:1.0 () in
+  let tests =
+    Test.make_grouped ~name:"tix"
+      [
+        Test.make ~name:"table1/termjoin-simple"
+          (Staged.stage
+             (quiet (fun ~emit () -> Access.Term_join.run ctx ~terms ~emit ())));
+        Test.make ~name:"table2/termjoin-complex"
+          (Staged.stage
+             (quiet (fun ~emit () ->
+                  Access.Term_join.run ~mode:complex ctx ~terms ~emit ())));
+        Test.make ~name:"table2/enhanced-complex"
+          (Staged.stage
+             (quiet (fun ~emit () ->
+                  Access.Term_join.run ~variant:Access.Term_join.Enhanced
+                    ~mode:complex ctx ~terms ~emit ())));
+        Test.make ~name:"table2/genmeet-complex"
+          (Staged.stage
+             (quiet (fun ~emit () ->
+                  Access.Gen_meet.run ~mode:complex ctx ~terms ~emit ())));
+        Test.make ~name:"table4/termjoin-4terms"
+          (Staged.stage
+             (quiet (fun ~emit () ->
+                  Access.Term_join.run ~mode:complex ctx
+                    ~terms:(List.init 4 t4_term) ~emit ())));
+        Test.make ~name:"table5/phrasefinder"
+          (Staged.stage
+             (quiet (fun ~emit () ->
+                  Access.Phrase_finder.run ctx
+                    ~phrase:[ pool_term 121076; pool_term 44930 ]
+                    ~emit ())));
+        Test.make ~name:"pick/5000-nodes"
+          (Staged.stage (fun () ->
+               Access.Pick_stack.run crit
+                 ~candidates:(fun _ -> true)
+                 ~emit:ignore pick_tree));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "\n== Bechamel micro-benchmarks (ns per run) ==\n%!";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> (name, est) :: acc
+        | Some _ | None -> (name, nan) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "%-36s %14.0f\n" name est)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if which = "pick" then pick_bench ()
+  else begin
+    let db = build_db () in
+    let ctx = Access.Ctx.of_db db in
+    let run name f = if which = "all" || which = name then f () in
+    run "table1" (fun () -> table1 ctx);
+    run "table2" (fun () -> table2 ctx);
+    run "table3" (fun () -> table3 ctx);
+    run "table4" (fun () -> table4 ctx);
+    run "table5" (fun () -> table5 ctx);
+    if which = "all" then pick_bench ();
+    run "ablation" (fun () -> ablation ());
+    run "micro" (fun () -> micro ctx)
+  end

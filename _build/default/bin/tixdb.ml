@@ -1,0 +1,347 @@
+(* tixdb: command-line front end to the TIX structured-text database.
+
+   Subcommands:
+     query   load XML documents and evaluate an extended-XQuery query
+     search  score elements for query terms with a chosen access method
+     phrase  find a phrase with PhraseFinder or Comp3
+     stats   load documents and print database statistics
+     gen     write a synthetic INEX-like corpus to a directory
+     demo    run the paper's Query 1 against the built-in Figure 1 data
+*)
+
+open Cmdliner
+
+let () =
+  (* logging: TIX_LOG=debug|info enables tracing on stderr *)
+  Logs.set_reporter (Logs_fmt.reporter ());
+  match Sys.getenv_opt "TIX_LOG" with
+  | Some "debug" -> Logs.set_level (Some Logs.Debug)
+  | Some "info" -> Logs.set_level (Some Logs.Info)
+  | Some _ | None -> Logs.set_level (Some Logs.Warning)
+
+let load_files paths =
+  (* a single .tix argument is a saved database image *)
+  match paths with
+  | [ path ] when Filename.check_suffix path ".tix" -> begin
+    match Store.Db.open_file path with
+    | db -> db
+    | exception Failure msg ->
+      Format.eprintf "%s: %s@." path msg;
+      exit 1
+  end
+  | paths ->
+    let docs =
+      List.map
+        (fun path ->
+          match Xmlkit.Parser.parse_file path with
+          | Ok root -> (Filename.basename path, root)
+          | Error e ->
+            Format.eprintf "%s: parse error: %a@." path Xmlkit.Parser.pp_error e;
+            exit 1)
+        paths
+    in
+    Store.Db.of_documents docs
+
+let paths_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "XML documents to load, or a single saved database image \
+           (*.tix).")
+
+(* ------------------------------------------------------------------ *)
+(* query *)
+
+let query_cmd =
+  let run paths query_string engine =
+    let db = load_files paths in
+    if engine then begin
+      (* try the compiled path; report the plan and identifiers *)
+      match Query.Parser.parse query_string with
+      | Error e ->
+        Format.eprintf "parse error: %a@." Query.Parser.pp_error e;
+        exit 1
+      | Ok q -> begin
+        match Query.Compile.compile q with
+        | Error reason ->
+          Format.eprintf "not compilable (%s); rerun without --engine@." reason;
+          exit 1
+        | Ok plan ->
+          Format.printf "%s@.@." (Query.Compile.explain plan);
+          let nodes = Query.Compile.execute db plan in
+          List.iter
+            (fun (n : Access.Scored_node.t) ->
+              let tag =
+                Option.value ~default:"?"
+                  (Store.Db.tag_of db ~doc:n.doc ~start:n.start)
+              in
+              Format.printf "%-14s doc=%d start=%d score=%.3f@." tag n.doc
+                n.start n.score)
+            nodes;
+          Format.printf "(%d results)@." (List.length nodes)
+      end
+    end
+    else begin
+      let evaluator = Query.Eval.create db in
+      match Query.Eval.run_string evaluator query_string with
+      | Ok results ->
+        List.iter
+          (fun r -> print_string (Xmlkit.Printer.to_string ~indent:2 r))
+          results;
+        Format.printf "(%d results)@." (List.length results)
+      | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 1
+    end
+  in
+  let query_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"QUERY"
+          ~doc:"Extended-XQuery text (Score/Pick/Threshold clauses).")
+  in
+  let engine_arg =
+    Arg.(
+      value & flag
+      & info [ "engine" ]
+          ~doc:
+            "Compile onto the store-level access methods (structural joins + \
+             TermJoin + stack Pick) instead of interpreting.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an extended-XQuery query")
+    Term.(const run $ paths_arg $ query_arg $ engine_arg)
+
+(* ------------------------------------------------------------------ *)
+(* search *)
+
+let method_conv =
+  Arg.enum
+    [
+      ("termjoin", `Termjoin);
+      ("enhanced", `Enhanced);
+      ("genmeet", `Genmeet);
+      ("comp1", `Comp1);
+      ("comp2", `Comp2);
+    ]
+
+let search_cmd =
+  let run paths terms method_ complex top =
+    let db = load_files paths in
+    let ctx = Access.Ctx.of_db db in
+    let terms = String.split_on_char ',' terms |> List.map String.trim in
+    let mode =
+      if complex then Access.Counter_scoring.Complex
+      else Access.Counter_scoring.Simple
+    in
+    let started = Unix.gettimeofday () in
+    let results =
+      match method_ with
+      | `Termjoin -> Access.Term_join.to_list ~mode ctx ~terms
+      | `Enhanced ->
+        Access.Term_join.to_list ~variant:Access.Term_join.Enhanced ~mode ctx
+          ~terms
+      | `Genmeet -> Access.Gen_meet.to_list ~mode ctx ~terms
+      | `Comp1 -> Access.Composite.comp1_list ~mode ctx ~terms
+      | `Comp2 -> Access.Composite.comp2_list ~mode ctx ~terms
+    in
+    let elapsed = Unix.gettimeofday () -. started in
+    let ranked = List.sort Access.Scored_node.compare_score_desc results in
+    List.iteri
+      (fun i (n : Access.Scored_node.t) ->
+        if i < top then begin
+          let tag =
+            Option.value ~default:"?" (Store.Db.tag_of db ~doc:n.doc ~start:n.start)
+          in
+          Format.printf "%2d. %-14s doc=%d start=%d score=%.3f@." (i + 1) tag
+            n.doc n.start n.score;
+          let snippet = Access.Snippet.of_node ~width:16 ctx ~terms n in
+          if snippet <> "" then Format.printf "     %s@." snippet
+        end)
+      ranked;
+    Format.printf "(%d scored elements in %.1f ms)@." (List.length results)
+      (elapsed *. 1000.)
+  in
+  let terms_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "t"; "terms" ] ~docv:"TERMS" ~doc:"Comma-separated query terms.")
+  in
+  let method_arg =
+    Arg.(
+      value & opt method_conv `Termjoin
+      & info [ "m"; "method" ] ~docv:"METHOD"
+          ~doc:"Access method: termjoin, enhanced, genmeet, comp1 or comp2.")
+  in
+  let complex_arg =
+    Arg.(
+      value & flag
+      & info [ "complex" ] ~doc:"Use the complex scoring function (Sec. 6.1).")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "k"; "top" ] ~docv:"K" ~doc:"Rows to print.")
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Score elements for query terms")
+    Term.(const run $ paths_arg $ terms_arg $ method_arg $ complex_arg $ top_arg)
+
+(* ------------------------------------------------------------------ *)
+(* phrase *)
+
+let phrase_cmd =
+  let run paths phrase use_comp3 =
+    let db = load_files paths in
+    let ctx = Access.Ctx.of_db db in
+    let phrase = Ir.Phrase.parse phrase in
+    let started = Unix.gettimeofday () in
+    let results =
+      if use_comp3 then Access.Composite.comp3_list ctx ~phrase
+      else Access.Phrase_finder.to_list ctx ~phrase
+    in
+    let elapsed = Unix.gettimeofday () -. started in
+    List.iter
+      (fun (n : Access.Scored_node.t) ->
+        let tag =
+          Option.value ~default:"?" (Store.Db.tag_of db ~doc:n.doc ~start:n.start)
+        in
+        Format.printf "%-14s doc=%d start=%d occurrences=%.0f@." tag n.doc
+          n.start n.score)
+      results;
+    Format.printf "(%d elements in %.1f ms)@." (List.length results)
+      (elapsed *. 1000.)
+  in
+  let phrase_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "phrase" ] ~docv:"PHRASE" ~doc:"The phrase to find.")
+  in
+  let comp3_arg =
+    Arg.(
+      value & flag
+      & info [ "comp3" ] ~doc:"Use the composite baseline instead of PhraseFinder.")
+  in
+  Cmd.v
+    (Cmd.info "phrase" ~doc:"Find a phrase with PhraseFinder")
+    Term.(const run $ paths_arg $ phrase_arg $ comp3_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let run paths top =
+    let db = load_files paths in
+    Format.printf "%a@." Store.Db.pp_stats (Store.Db.stats db);
+    let terms = Ir.Inverted_index.terms_by_freq (Store.Db.index db) in
+    Format.printf "@.top %d terms by collection frequency:@." top;
+    List.iteri
+      (fun i (term, freq) ->
+        if i < top then Format.printf "  %-20s %d@." term freq)
+      terms
+  in
+  let top_arg =
+    Arg.(value & opt int 20 & info [ "k"; "top" ] ~docv:"K" ~doc:"Terms to print.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print database statistics")
+    Term.(const run $ paths_arg $ top_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen_cmd =
+  let run articles seed out =
+    let cfg = { Workload.Corpus.default with articles; seed } in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    Seq.iter
+      (fun (name, root) ->
+        let oc = open_out (Filename.concat out name) in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Xmlkit.Printer.to_channel oc root))
+      (Workload.Corpus.generate cfg);
+    Format.printf "wrote %d articles to %s/@." articles out
+  in
+  let articles_arg =
+    Arg.(value & opt int 100 & info [ "n"; "articles" ] ~docv:"N" ~doc:"Articles.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic INEX-like corpus")
+    Term.(const run $ articles_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* build *)
+
+let build_cmd =
+  let run paths out =
+    let db = load_files paths in
+    Store.Db.save db out;
+    let size = (Unix.stat out).Unix.st_size in
+    Format.printf "wrote %s (%d bytes): %a@." out size Store.Db.pp_stats
+      (Store.Db.stats db)
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output database image (*.tix).")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a persistent database image from XML files")
+    Term.(const run $ paths_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* demo *)
+
+let demo_cmd =
+  let run () =
+    let db = Store.Db.of_documents Workload.Paper_db.documents in
+    let evaluator = Query.Eval.create db in
+    let q =
+      {|
+      for $a in document("articles.xml")//article/descendant-or-self::*
+      score $a using ScoreFoo($a, {"search engine"},
+                              {"internet", "information retrieval"})
+      pick $a using PickFoo()
+      return <result><score>{$a/@score}</score>{$a}</result>
+      sortby(score)
+      threshold $a/@score > 0 stop after 5
+      |}
+    in
+    match Query.Eval.run_string evaluator q with
+    | Ok results ->
+      List.iter
+        (fun r -> print_string (Xmlkit.Printer.to_string ~indent:2 r))
+        results
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's Query 1 on the Figure 1 database")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "tixdb" ~version:"1.0.0"
+      ~doc:"Querying structured text in an XML database (TIX)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            query_cmd; search_cmd; phrase_cmd; stats_cmd; gen_cmd; build_cmd;
+            demo_cmd;
+          ]))

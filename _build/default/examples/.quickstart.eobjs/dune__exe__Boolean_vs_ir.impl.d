@@ -1,0 +1,1 @@
+examples/boolean_vs_ir.ml: Format List Query Store String Workload Xmlkit

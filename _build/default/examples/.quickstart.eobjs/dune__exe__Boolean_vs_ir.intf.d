@@ -1,0 +1,1 @@
+examples/boolean_vs_ir.mli:

@@ -1,0 +1,1 @@
+examples/granularity.ml: Access Core Format Hashtbl List Option Store Workload

@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Format List Query Store String Workload Xmlkit

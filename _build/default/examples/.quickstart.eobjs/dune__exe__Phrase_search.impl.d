@@ -1,0 +1,1 @@
+examples/phrase_search.ml: Access Format List Store String Unix Workload

@@ -1,0 +1,1 @@
+examples/phrase_search.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Query Store String Workload Xmlkit

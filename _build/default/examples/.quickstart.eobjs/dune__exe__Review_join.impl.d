@@ -1,0 +1,1 @@
+examples/review_join.ml: Format List Option Query Store String Workload Xmlkit

@@ -1,0 +1,1 @@
+examples/review_join.mli:

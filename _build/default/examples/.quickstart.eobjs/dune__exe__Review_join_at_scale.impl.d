@@ -1,0 +1,1 @@
+examples/review_join_at_scale.ml: Access Array Format List Seq Store Workload

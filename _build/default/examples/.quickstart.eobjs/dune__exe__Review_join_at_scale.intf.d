@@ -1,0 +1,1 @@
+examples/review_join_at_scale.mli:

@@ -1,0 +1,1 @@
+examples/structured_at_scale.ml: Access Core Format List Option Store Unix Workload

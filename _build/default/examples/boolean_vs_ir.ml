@@ -1,0 +1,80 @@
+(* The paper's motivating example (Sec. 2): why boolean retrieval
+   fails on structured text, and what the TIX extensions do instead.
+
+   Query 1 asks for document components about "search engine",
+   preferring ones also mentioning "internet" and "information
+   retrieval". We run three formulations at paragraph granularity
+   over the Figure 1 database:
+
+   - boolean AND: loses the relevant paragraph #a18 (it never
+     mentions the secondary terms);
+   - boolean OR: floods the user with components relevant only to the
+     secondary terms;
+   - scored (ScoreFoo + ranking): finds the right components in the
+     right order.
+
+     dune exec examples/boolean_vs_ir.exe
+*)
+
+let header title = Format.printf "@.=== %s ===@." title
+
+let show results =
+  if results = [] then Format.printf "(no results)@.";
+  List.iteri
+    (fun i (r : Xmlkit.Tree.element) ->
+      let text = Xmlkit.Tree.all_text r in
+      let text =
+        if String.length text > 70 then String.sub text 0 70 ^ "..." else text
+      in
+      Format.printf "%d. %s@." (i + 1) text)
+    results
+
+let run evaluator q =
+  match Query.Eval.run_string evaluator q with
+  | Ok results -> show results
+  | Error msg -> Format.printf "error: %s@." msg
+
+let () =
+  let db = Store.Db.of_documents Workload.Paper_db.documents in
+  let evaluator = Query.Eval.create db in
+
+  header "Boolean AND over paragraphs: primary AND both secondary terms";
+  run evaluator
+    {|
+    for $p in document("articles.xml")//p
+    where count({"search engine"}, $p) > 0
+      and count({"internet"}, $p) > 0
+      and count({"information retrieval"}, $p) > 0
+    return <hit>{$p}</hit>
+    |};
+  Format.printf
+    "-> empty: the AND formulation loses even the obviously relevant@.\
+    \   paragraph #a18 (\"Here are some IR based search engines\").@.";
+
+  header "Boolean OR over all components";
+  run evaluator
+    {|
+    for $p in document("articles.xml")//article/descendant-or-self::*
+    where count({"search engine"}, $p) > 0
+      or count({"internet"}, $p) > 0
+      or count({"information retrieval"}, $p) > 0
+    return <hit>{$p}</hit>
+    |};
+  Format.printf
+    "-> floods: every containing ancestor and components relevant only@.\
+    \   to the secondary terms (like the section-title #a15) qualify,@.\
+    \   with no ordering to distinguish the good answers.@.";
+
+  header "Scored retrieval with ranking (TIX)";
+  run evaluator
+    {|
+    for $p in document("articles.xml")//p
+    score $p using ScoreFoo($p, {"search engine"},
+                            {"internet", "information retrieval"})
+    return <hit><score>{$p/@score}</score>{$p}</hit>
+    sortby(score)
+    threshold $p/@score > 0
+    |};
+  Format.printf
+    "-> the paragraphs mentioning the primary phrase rank first,@.\
+    \   weighted by the secondary terms; nothing relevant is lost.@."

@@ -1,0 +1,58 @@
+(* Quickstart: load the paper's example database (Fig. 1), run the
+   paper's Query 1 through the extended-XQuery front end, and print
+   the ranked result elements.
+
+     dune exec examples/quickstart.exe
+*)
+
+let query1 =
+  {|
+  for $a in document("articles.xml")//article/descendant-or-self::*
+  score $a using ScoreFoo($a, {"search engine"},
+                          {"internet", "information retrieval"})
+  return <result><score>{$a/@score}</score>{$a}</result>
+  sortby(score)
+  threshold $a/@score > 0 stop after 5
+  |}
+
+let () =
+  (* 1. load documents into the database: element store, parent
+     index and positional inverted index are built in one pass *)
+  let db = Store.Db.of_documents Workload.Paper_db.documents in
+  Format.printf "loaded: %a@.@." Store.Db.pp_stats (Store.Db.stats db);
+
+  (* 2. evaluate an IR-style query *)
+  let evaluator = Query.Eval.create db in
+  match Query.Eval.run_string evaluator query1 with
+  | Error msg -> Format.printf "query failed: %s@." msg
+  | Ok results ->
+    Format.printf
+      "Query 1: components about \"search engine\" (top %d):@.@."
+      (List.length results);
+    List.iteri
+      (fun rank result ->
+        let score =
+          match Xmlkit.Traverse.find_first "score" result with
+          | Some s -> String.trim (Xmlkit.Tree.all_text s)
+          | None -> "?"
+        in
+        let payload =
+          List.find_map
+            (fun n ->
+              match n with
+              | Xmlkit.Tree.Element e when e.Xmlkit.Tree.tag <> "score" ->
+                Some e
+              | Xmlkit.Tree.Element _ | Xmlkit.Tree.Text _
+              | Xmlkit.Tree.Comment _ | Xmlkit.Tree.Pi _ ->
+                None)
+            result.Xmlkit.Tree.children
+        in
+        match payload with
+        | Some e ->
+          Format.printf "%d. [%s] <%s>  %s@." (rank + 1) score
+            e.Xmlkit.Tree.tag
+            (let text = Xmlkit.Tree.all_text e in
+             if String.length text > 60 then String.sub text 0 60 ^ "..."
+             else text)
+        | None -> Format.printf "%d. [%s] (empty)@." (rank + 1) score)
+      results

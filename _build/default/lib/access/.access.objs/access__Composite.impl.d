@@ -1,0 +1,1 @@
+lib/access/composite.ml: Array Counter_scoring Ctx Hashtbl Ir List Option Scored_node Store String

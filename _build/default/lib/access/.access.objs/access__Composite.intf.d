@@ -1,0 +1,1 @@
+lib/access/composite.mli: Counter_scoring Ctx Scored_node

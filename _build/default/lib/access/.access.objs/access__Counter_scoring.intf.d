@@ -1,0 +1,1 @@
+lib/access/counter_scoring.mli:

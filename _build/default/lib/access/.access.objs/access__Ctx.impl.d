@@ -1,0 +1,1 @@
+lib/access/ctx.ml: Ir Option Store

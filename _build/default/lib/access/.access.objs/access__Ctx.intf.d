@@ -1,0 +1,1 @@
+lib/access/ctx.mli: Ir Store

@@ -1,0 +1,1 @@
+lib/access/gen_meet.ml: Array Counter_scoring Ctx Hashtbl Ir List Scored_node

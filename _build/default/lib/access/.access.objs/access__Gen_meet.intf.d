@@ -1,0 +1,1 @@
+lib/access/gen_meet.mli: Counter_scoring Ctx Scored_node

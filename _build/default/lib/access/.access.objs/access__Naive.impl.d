@@ -1,0 +1,1 @@
+lib/access/naive.ml: Array Counter_scoring Ctx Hashtbl Ir List Option Scored_node Store

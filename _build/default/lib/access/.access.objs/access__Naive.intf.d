@@ -1,0 +1,1 @@
+lib/access/naive.mli: Counter_scoring Ctx Scored_node

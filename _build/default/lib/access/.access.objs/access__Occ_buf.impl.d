@@ -1,0 +1,1 @@
+lib/access/occ_buf.ml: Counter_scoring

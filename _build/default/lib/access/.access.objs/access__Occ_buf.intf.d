@@ -1,0 +1,1 @@
+lib/access/occ_buf.mli: Counter_scoring

@@ -1,0 +1,1 @@
+lib/access/path_stack.ml: Array Core List Option Pattern_exec Store

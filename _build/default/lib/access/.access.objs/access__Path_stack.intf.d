@@ -1,0 +1,1 @@
+lib/access/path_stack.mli: Core Ctx Store

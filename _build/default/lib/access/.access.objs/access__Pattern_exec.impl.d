@@ -1,0 +1,1 @@
+lib/access/pattern_exec.ml: Array Core Ctx Hashtbl Ir List Phrase_finder Scored_node Store String Structural_join Term_join

@@ -1,0 +1,1 @@
+lib/access/pattern_exec.mli: Core Counter_scoring Ctx Scored_node Store

@@ -1,0 +1,1 @@
+lib/access/phrase_finder.ml: Ctx Ir List Scored_node Store

@@ -1,0 +1,1 @@
+lib/access/phrase_finder.mli: Ctx Scored_node

@@ -1,0 +1,1 @@
+lib/access/pick_stack.mli: Core

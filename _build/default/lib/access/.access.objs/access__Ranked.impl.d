@@ -1,0 +1,1 @@
+lib/access/ranked.ml: List Scored_node Store Top_k

@@ -1,0 +1,1 @@
+lib/access/ranked.mli: Scored_node Store

@@ -1,0 +1,1 @@
+lib/access/score_merge.ml: Ctx Ir List Option Scored_node Store

@@ -1,0 +1,1 @@
+lib/access/score_merge.mli: Ctx Scored_node

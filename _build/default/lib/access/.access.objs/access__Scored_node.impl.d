@@ -1,0 +1,1 @@
+lib/access/scored_node.ml: Format

@@ -1,0 +1,1 @@
+lib/access/scored_node.mli: Format

@@ -1,0 +1,1 @@
+lib/access/snippet.ml: Array Buffer Ctx Ir List Scored_node Store String

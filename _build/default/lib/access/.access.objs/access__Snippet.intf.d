@@ -1,0 +1,1 @@
+lib/access/snippet.mli: Ctx Scored_node

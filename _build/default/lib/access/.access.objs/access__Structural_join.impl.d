@@ -1,0 +1,1 @@
+lib/access/structural_join.ml: Array List Scored_node

@@ -1,0 +1,1 @@
+lib/access/structural_join.mli: Scored_node

@@ -1,0 +1,1 @@
+lib/access/term_join.ml: Array Counter_scoring Ctx Ir List Occ_buf Queue Scored_node Store

@@ -1,0 +1,1 @@
+lib/access/term_join.mli: Counter_scoring Ctx Scored_node

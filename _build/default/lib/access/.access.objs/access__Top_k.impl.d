@@ -1,0 +1,1 @@
+lib/access/top_k.ml: Array List

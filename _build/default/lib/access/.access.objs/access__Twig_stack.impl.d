@@ -1,0 +1,1 @@
+lib/access/twig_stack.ml: Array Core List Pattern_exec Store

@@ -1,0 +1,1 @@
+lib/access/twig_stack.mli: Core Ctx Store

@@ -1,0 +1,427 @@
+(* Intermediate tuples of the generic-operator pipelines. A group is
+   the result of "group by node id" for one or several terms. *)
+type group = {
+  g_doc : int;
+  g_start : int;
+  g_counts : int array;  (* per query term *)
+  mutable g_positions : int list array;  (* per term, descending; only complex *)
+  mutable g_meta : Store.Parent_index.entry option;
+}
+
+let new_group ~k ~doc ~start ?meta () =
+  {
+    g_doc = doc;
+    g_start = start;
+    g_counts = Array.make k 0;
+    g_positions = [||];
+    g_meta = meta;
+  }
+
+let ensure_positions ~k g =
+  if Array.length g.g_positions = 0 then g.g_positions <- Array.make k []
+
+let group_key g = (g.g_doc, g.g_start)
+
+(* n-way merge union of per-term group lists, each sorted by node id;
+   the union combines counters, as the grouping/union expression of
+   Sec. 5.1.1 requires. *)
+let merge_union ~k lists =
+  let rec merge lists =
+    let best =
+      List.fold_left
+        (fun best l ->
+          match l, best with
+          | [], _ -> best
+          | g :: _, None -> Some (group_key g)
+          | g :: _, Some bk -> if group_key g < bk then Some (group_key g) else best)
+        None lists
+    in
+    match best with
+    | None -> []
+    | Some key ->
+      let combined = new_group ~k ~doc:(fst key) ~start:(snd key) () in
+      let rests =
+        List.map
+          (fun l ->
+            match l with
+            | g :: rest when group_key g = key ->
+              Array.iteri
+                (fun i c -> combined.g_counts.(i) <- combined.g_counts.(i) + c)
+                g.g_counts;
+              if Array.length g.g_positions > 0 then begin
+                ensure_positions ~k combined;
+                Array.iteri
+                  (fun i ps ->
+                    if ps <> [] then
+                      combined.g_positions.(i) <- combined.g_positions.(i) @ ps)
+                  g.g_positions
+              end;
+              if combined.g_meta = None then combined.g_meta <- g.g_meta;
+              rest
+            | l -> l)
+          lists
+      in
+      combined :: merge rests
+  in
+  merge lists
+
+(* Score the combined groups and emit. Meta (end key, level, tag,
+   parent, child count) is resolved per node when the pipeline did not
+   carry it. *)
+let finalize ?(mode = Counter_scoring.Simple) ~weights ~nav ctx groups ~emit =
+  let complex = mode = Counter_scoring.Complex in
+  let meta_of g =
+    match g.g_meta with
+    | Some m -> Some m
+    | None ->
+      let m = Ctx.node_entry ctx ~nav ~doc:g.g_doc ~start:g.g_start in
+      g.g_meta <- m;
+      m
+  in
+  (* Non-zero-scored children: bump the parent of every result node. *)
+  let nonzero : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  if complex then
+    List.iter
+      (fun g ->
+        match meta_of g with
+        | Some m when m.Store.Parent_index.parent >= 0 ->
+          let key = (g.g_doc, m.Store.Parent_index.parent) in
+          Hashtbl.replace nonzero key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt nonzero key))
+        | Some _ | None -> ())
+      groups;
+  let emitted = ref 0 in
+  List.iter
+    (fun g ->
+      match meta_of g with
+      | None -> ()
+      | Some m ->
+        let score =
+          match mode with
+          | Counter_scoring.Simple ->
+            Counter_scoring.simple ~weights ~counts:g.g_counts
+          | Counter_scoring.Complex ->
+            let occs =
+              (* per-term position lists are descending: reverse-merge
+                 into one ascending tagged list *)
+              let tagged = ref [] in
+              Array.iteri
+                (fun term ps ->
+                  List.iter
+                    (fun pos -> tagged := { Counter_scoring.term; pos } :: !tagged)
+                    ps)
+                g.g_positions;
+              List.sort
+                (fun (a : Counter_scoring.occ) b -> compare a.pos b.pos)
+                !tagged
+            in
+            let child_count =
+              match Ctx.node_entry ctx ~nav:Ctx.Data_access ~doc:g.g_doc
+                      ~start:g.g_start
+              with
+              | Some e -> e.Store.Parent_index.child_count
+              | None -> m.Store.Parent_index.child_count
+            in
+            Counter_scoring.complex ~weights ~counts:g.g_counts ~occs
+              ~nonzero_children:
+                (Option.value ~default:0
+                   (Hashtbl.find_opt nonzero (g.g_doc, g.g_start)))
+              ~child_count
+        in
+        emit
+          {
+            Scored_node.doc = g.g_doc;
+            start = g.g_start;
+            end_ = m.Store.Parent_index.end_;
+            level = m.Store.Parent_index.level;
+            tag = m.Store.Parent_index.tag;
+            score;
+          };
+        incr emitted)
+    groups;
+  !emitted
+
+(* ------------------------------------------------------------------ *)
+(* Comp1: index scan -> ancestor expansion -> sort -> group -> union  *)
+
+let comp1_term_groups ~k ~complex ctx term_index term =
+  (* materialize (doc, ancestor-start, pos) tuples *)
+  let tuples = ref [] and n = ref 0 in
+  (match Ir.Inverted_index.lookup ctx.Ctx.index term with
+  | None -> ()
+  | Some postings ->
+    Ir.Postings.iter
+      (fun (occ : Ir.Postings.occ) ->
+        let rec up start =
+          if start >= 0 then begin
+            match Store.Parent_index.find ctx.Ctx.parents ~doc:occ.doc ~start with
+            | None -> ()
+            | Some e ->
+              tuples := (occ.doc, start, occ.pos) :: !tuples;
+              incr n;
+              up e.Store.Parent_index.parent
+          end
+        in
+        up occ.node)
+      postings);
+  let arr = Array.of_list !tuples in
+  Array.sort compare arr;
+  (* group consecutive equal (doc, start) *)
+  let groups = ref [] in
+  let flush current = match current with None -> () | Some g -> groups := g :: !groups in
+  let current = ref None in
+  Array.iter
+    (fun (doc, start, pos) ->
+      let same =
+        match !current with
+        | Some g -> g.g_doc = doc && g.g_start = start
+        | None -> false
+      in
+      if not same then begin
+        flush !current;
+        current := Some (new_group ~k ~doc ~start ())
+      end;
+      match !current with
+      | Some g ->
+        g.g_counts.(term_index) <- g.g_counts.(term_index) + 1;
+        if complex then begin
+          ensure_positions ~k g;
+          g.g_positions.(term_index) <- pos :: g.g_positions.(term_index)
+        end
+      | None -> assert false)
+    arr;
+  flush !current;
+  List.rev !groups
+
+let comp1 ?(mode = Counter_scoring.Simple) ?weights ctx ~terms ~emit () =
+  let k = List.length terms in
+  let weights =
+    match weights with Some w -> w | None -> Counter_scoring.default_weights k
+  in
+  let complex = mode = Counter_scoring.Complex in
+  let per_term =
+    List.mapi (fun i t -> comp1_term_groups ~k ~complex ctx i t) terms
+  in
+  let combined = merge_union ~k per_term in
+  finalize ~mode ~weights ~nav:Ctx.Parent_index ctx combined ~emit
+
+(* ------------------------------------------------------------------ *)
+(* Comp2: per-term structural join against a full element-table scan  *)
+
+type sj_entry = {
+  s_doc : int;
+  s_start : int;
+  meta : Store.Parent_index.entry;
+  mutable s_count : int;
+  mutable s_positions : int list;  (* descending *)
+}
+
+let comp2_term_groups ~k ~complex ctx term_index term =
+  let groups = ref [] in
+  let stack : sj_entry list ref = ref [] in
+  let cursor = Ir.Inverted_index.cursor ctx.Ctx.index term in
+  let cur = ref (match cursor with Some c -> Ir.Postings.next c | None -> None) in
+  let advance () =
+    cur := (match cursor with Some c -> Ir.Postings.next c | None -> None)
+  in
+  let close entry =
+    if entry.s_count > 0 then begin
+      let g =
+        new_group ~k ~doc:entry.s_doc ~start:entry.s_start
+          ~meta:entry.meta ()
+      in
+      g.g_counts.(term_index) <- entry.s_count;
+      if complex then begin
+        ensure_positions ~k g;
+        g.g_positions.(term_index) <- entry.s_positions
+      end;
+      groups := g :: !groups
+    end
+  in
+  let pop () =
+    match !stack with
+    | [] -> ()
+    | top :: rest ->
+      stack := rest;
+      (match rest with
+      | parent :: _ when parent.s_doc = top.s_doc ->
+        parent.s_count <- parent.s_count + top.s_count;
+        if complex then
+          parent.s_positions <- top.s_positions @ parent.s_positions
+      | _ :: _ | [] -> ());
+      close top
+  in
+  let pop_before ~doc ~key =
+    let rec go () =
+      match !stack with
+      | top :: _
+        when top.s_doc < doc
+             || (top.s_doc = doc && top.meta.Store.Parent_index.end_ < key) ->
+        pop ();
+        go ()
+      | _ :: _ | [] -> ()
+    in
+    go ()
+  in
+  (* consume occurrences that happen before the given element event *)
+  let rec consume_until ~doc ~key =
+    match !cur with
+    | Some occ when occ.Ir.Postings.doc < doc
+                    || (occ.Ir.Postings.doc = doc && occ.Ir.Postings.pos < key)
+      ->
+      pop_before ~doc:occ.Ir.Postings.doc ~key:occ.Ir.Postings.pos;
+      (match !stack with
+      | top :: _ ->
+        top.s_count <- top.s_count + 1;
+        if complex then top.s_positions <- occ.Ir.Postings.pos :: top.s_positions
+      | [] -> ());
+      advance ();
+      consume_until ~doc ~key
+    | Some _ | None -> ()
+  in
+  Store.Element_store.scan ctx.Ctx.elements (fun r ->
+      consume_until ~doc:r.Store.Element_rec.doc ~key:r.Store.Element_rec.start;
+      pop_before ~doc:r.Store.Element_rec.doc ~key:r.Store.Element_rec.start;
+      stack :=
+        {
+          s_doc = r.Store.Element_rec.doc;
+          s_start = r.Store.Element_rec.start;
+          meta =
+            {
+              Store.Parent_index.parent = r.Store.Element_rec.parent;
+              child_count = r.Store.Element_rec.child_count;
+              level = r.Store.Element_rec.level;
+              end_ = r.Store.Element_rec.end_;
+              tag = r.Store.Element_rec.tag;
+            };
+          s_count = 0;
+          s_positions = [];
+        }
+        :: !stack);
+  consume_until ~doc:max_int ~key:max_int;
+  while !stack <> [] do
+    pop ()
+  done;
+  (* pops emit in postorder: re-sort by node id (the generic sort
+     operator) *)
+  List.sort
+    (fun a b -> compare (group_key a) (group_key b))
+    !groups
+
+let comp2 ?(mode = Counter_scoring.Simple) ?weights ctx ~terms ~emit () =
+  let k = List.length terms in
+  let weights =
+    match weights with Some w -> w | None -> Counter_scoring.default_weights k
+  in
+  let complex = mode = Counter_scoring.Complex in
+  let per_term =
+    List.mapi (fun i t -> comp2_term_groups ~k ~complex ctx i t) terms
+  in
+  let combined = merge_union ~k per_term in
+  finalize ~mode ~weights ~nav:Ctx.Parent_index ctx combined ~emit
+
+let collect_list run =
+  let acc = ref [] in
+  let _ = run ~emit:(fun n -> acc := n :: !acc) () in
+  List.sort Scored_node.compare_pos !acc
+
+let comp1_list ?mode ?weights ctx ~terms =
+  collect_list (fun ~emit () -> comp1 ?mode ?weights ctx ~terms ~emit ())
+
+let comp2_list ?mode ?weights ctx ~terms =
+  collect_list (fun ~emit () -> comp2 ?mode ?weights ctx ~terms ~emit ())
+
+(* ------------------------------------------------------------------ *)
+(* Comp3: per-term index access -> intersect on owning node ->
+   offset filter -> data-page verification                            *)
+
+let comp3 ctx ~phrase ~emit () =
+  match phrase with
+  | [] -> 0
+  | first :: rest ->
+    let k = 1 + List.length rest in
+    (* index access: per-term tables (doc, node) -> position set *)
+    let table_of term =
+      let tbl : (int * int, (int, unit) Hashtbl.t) Hashtbl.t =
+        Hashtbl.create 1024
+      in
+      (match Ir.Inverted_index.lookup ctx.Ctx.index term with
+      | None -> ()
+      | Some postings ->
+        Ir.Postings.iter
+          (fun (occ : Ir.Postings.occ) ->
+            let key = (occ.doc, occ.node) in
+            let set =
+              match Hashtbl.find_opt tbl key with
+              | Some s -> s
+              | None ->
+                let s = Hashtbl.create 4 in
+                Hashtbl.replace tbl key s;
+                s
+            in
+            Hashtbl.replace set occ.pos ())
+          postings);
+      tbl
+    in
+    let tables = Array.of_list (List.map table_of (first :: rest)) in
+    (* intersection on the owning node *)
+    let candidates =
+      Hashtbl.fold
+        (fun key _ acc ->
+          let everywhere =
+            Array.for_all (fun tbl -> Hashtbl.mem tbl key) tables
+          in
+          if everywhere then key :: acc else acc)
+        tables.(0) []
+    in
+    let emitted = ref 0 in
+    List.iter
+      (fun ((doc, node) as key) ->
+        (* offset filter: count positions p with p+i in term i's set *)
+        let count = ref 0 in
+        Hashtbl.iter
+          (fun p () ->
+            let ok = ref true in
+            for i = 1 to k - 1 do
+              match Hashtbl.find_opt tables.(i) key with
+              | Some set -> if not (Hashtbl.mem set (p + i)) then ok := false
+              | None -> ok := false
+            done;
+            if !ok then incr count)
+          (Hashtbl.find tables.(0) key);
+        if !count > 0 then begin
+          (* final verification: fetch the text from the data pages and
+             confirm the terms really occur there *)
+          let normalize t =
+            let t = String.lowercase_ascii t in
+            if Ir.Inverted_index.stemmed ctx.Ctx.index then Ir.Stemmer.stem t
+            else t
+          in
+          let verified =
+            match Store.Element_store.get_text ctx.Ctx.elements ~doc ~start:node with
+            | None -> false
+            | Some text ->
+              let toks = List.map normalize (Ir.Tokenizer.terms text) in
+              List.for_all (fun t -> List.mem (normalize t) toks) phrase
+          in
+          if verified then begin
+            match Ctx.node_entry ctx ~nav:Ctx.Parent_index ~doc ~start:node with
+            | None -> ()
+            | Some m ->
+              emit
+                {
+                  Scored_node.doc;
+                  start = node;
+                  end_ = m.Store.Parent_index.end_;
+                  level = m.Store.Parent_index.level;
+                  tag = m.Store.Parent_index.tag;
+                  score = float_of_int !count;
+                };
+              incr emitted
+          end
+        end)
+      candidates;
+    !emitted
+
+let comp3_list ctx ~phrase =
+  collect_list (fun ~emit () -> comp3 ctx ~phrase ~emit ())

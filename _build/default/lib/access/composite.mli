@@ -1,0 +1,65 @@
+(** Composite-of-standard-operators baselines (Sec. 6.1, 6.2).
+
+    These implement the same functionality as TermJoin and
+    PhraseFinder out of the generic operators a database engine
+    already has — index scan, ancestor expansion, sort, group, n-way
+    merge union, structural join against the element table, filter —
+    and serve as the paper's Comp1 / Comp2 / Comp3 baselines.
+
+    Comp1 evaluates the operator expression of Sec. 5.1.1 directly:
+    per term, expand every occurrence to all its ancestors
+    (materializing tuples), sort and group by node id, then union the
+    per-term groups.
+
+    Comp2 pushes structural joins down: per term, a full sequential
+    scan of the element table is structurally joined with the term's
+    postings; grouping is implicit, the per-term results are then
+    merged. Its cost is dominated by the scans, nearly independent of
+    term frequency.
+
+    Comp3 is the phrase baseline: per-term index access, intersection
+    on owning text node, then an offset-adjacency filter and a final
+    data-page verification of the candidate nodes. *)
+
+val comp1 :
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  emit:(Scored_node.t -> unit) ->
+  unit ->
+  int
+
+val comp2 :
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  emit:(Scored_node.t -> unit) ->
+  unit ->
+  int
+
+val comp1_list :
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  Scored_node.t list
+
+val comp2_list :
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  Scored_node.t list
+
+val comp3 :
+  Ctx.t ->
+  phrase:string list ->
+  emit:(Scored_node.t -> unit) ->
+  unit ->
+  int
+(** Emits one scored node per text-owning element containing the
+    phrase; the score is the phrase occurrence count. *)
+
+val comp3_list : Ctx.t -> phrase:string list -> Scored_node.t list

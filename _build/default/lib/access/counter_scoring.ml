@@ -1,0 +1,34 @@
+type mode = Simple | Complex
+type occ = { term : int; pos : int }
+
+let default_weights n = Array.make n 1.
+
+let simple ~weights ~counts =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i c -> acc := !acc +. (weights.(i) *. float_of_int c))
+    counts;
+  !acc
+
+let proximity occs =
+  (* adjacent pairs of different terms in position order *)
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      let acc =
+        if a.term <> b.term then
+          acc +. (1. /. (1. +. float_of_int (b.pos - a.pos)))
+        else acc
+      in
+      go acc rest
+    | [ _ ] | [] -> acc
+  in
+  go 0. occs
+
+let complex ~weights ~counts ~occs ~nonzero_children ~child_count =
+  let base = simple ~weights ~counts in
+  let bonus = proximity occs in
+  let ratio =
+    if child_count <= 0 then 1.
+    else float_of_int nonzero_children /. float_of_int child_count
+  in
+  (base +. bonus) *. ratio

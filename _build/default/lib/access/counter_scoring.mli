@@ -1,0 +1,34 @@
+(** The two scoring functions of the experimental evaluation
+    (Sec. 6.1), computed from per-node term counters.
+
+    {e Simple}: a weighted sum of the occurrences of each query term
+    under the node.
+
+    {e Complex}: additionally examines the term distribution — pairs
+    of nearby occurrences of {e different} terms earn a proximity
+    bonus decaying with their key distance (same-text-node distances
+    are word-offset differences; the interval key space makes
+    cross-node distances larger automatically, the "multiples of
+    node-to-node distance" effect) — and the whole score is
+    multiplied by the ratio of non-zero-scored children to total
+    children. *)
+
+type mode = Simple | Complex
+
+type occ = { term : int; pos : int }
+(** One buffered occurrence: query-term index and word position. *)
+
+val simple : weights:float array -> counts:int array -> float
+
+val complex :
+  weights:float array ->
+  counts:int array ->
+  occs:occ list ->
+  nonzero_children:int ->
+  child_count:int ->
+  float
+(** [occs] must be sorted by position. A childless node's ratio
+    is 1. *)
+
+val default_weights : int -> float array
+(** All-ones weight vector for [n] terms. *)

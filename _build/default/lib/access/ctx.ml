@@ -1,0 +1,38 @@
+type t = {
+  elements : Store.Element_store.t;
+  parents : Store.Parent_index.t;
+  tags : Store.Tag_index.t;
+  index : Ir.Inverted_index.t;
+  catalog : Store.Catalog.t;
+}
+
+let of_db db =
+  {
+    elements = Store.Db.elements db;
+    parents = Store.Db.parents db;
+    tags = Store.Db.tags db;
+    index = Store.Db.index db;
+    catalog = Store.Db.catalog db;
+  }
+
+type nav = Data_access | Parent_index
+
+let node_entry t ~nav ~doc ~start =
+  match nav with
+  | Parent_index -> Store.Parent_index.find t.parents ~doc ~start
+  | Data_access ->
+    Option.map
+      (fun (r : Store.Element_rec.t) ->
+        {
+          Store.Parent_index.parent = r.parent;
+          child_count = r.child_count;
+          level = r.level;
+          end_ = r.end_;
+          tag = r.tag;
+        })
+      (Store.Element_store.get t.elements ~doc ~start)
+
+let child_count t ~nav ~doc ~start =
+  match node_entry t ~nav ~doc ~start with
+  | Some e -> e.Store.Parent_index.child_count
+  | None -> 0

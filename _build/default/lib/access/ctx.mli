@@ -1,0 +1,25 @@
+(** Evaluation context shared by all access methods: the element
+    table, the parent index and the inverted index of one database. *)
+
+type t = {
+  elements : Store.Element_store.t;
+  parents : Store.Parent_index.t;
+  tags : Store.Tag_index.t;
+  index : Ir.Inverted_index.t;
+  catalog : Store.Catalog.t;
+}
+
+val of_db : Store.Db.t -> t
+
+type nav =
+  | Data_access
+      (** resolve node facts from data pages (buffer-pool reads):
+          what the plain algorithms do *)
+  | Parent_index  (** resolve from the in-memory parent index *)
+
+val node_entry : t -> nav:nav -> doc:int -> start:int -> Store.Parent_index.entry option
+(** The node's parent, child count, level, end key and tag, resolved
+    through the chosen navigation mode. *)
+
+val child_count : t -> nav:nav -> doc:int -> start:int -> int
+(** 0 when the node is unknown. *)

@@ -1,0 +1,112 @@
+type acc = {
+  end_ : int;
+  level : int;
+  tag : int;
+  parent : int;
+  child_count : int;
+  counts : int array;
+  mutable occs : Counter_scoring.occ list;  (* reverse position order *)
+  mutable nonzero_children : int;
+}
+
+let run ?(mode = Counter_scoring.Simple) ?weights ctx ~terms ~emit () =
+  let k = List.length terms in
+  let weights =
+    match weights with Some w -> w | None -> Counter_scoring.default_weights k
+  in
+  let complex = mode = Counter_scoring.Complex in
+  (* Meet is not integrated with the engine's parent index: when the
+     complex scorer needs child counts, the walk resolves node facts
+     from the data pages, like the composite baselines do. *)
+  let nav = if complex then Ctx.Data_access else Ctx.Parent_index in
+  let table : (int * int, acc) Hashtbl.t = Hashtbl.create 1024 in
+  let group ~doc ~start term pos =
+    (* one upward walk, counting the term at every ancestor *)
+    let rec up start =
+      if start < 0 then ()
+      else begin
+        match Hashtbl.find_opt table (doc, start) with
+        | Some acc ->
+          acc.counts.(term) <- acc.counts.(term) + 1;
+          if complex then acc.occs <- { Counter_scoring.term; pos } :: acc.occs;
+          up acc.parent
+        | None -> begin
+          match Ctx.node_entry ctx ~nav ~doc ~start with
+          | None -> ()
+          | Some e ->
+            let acc =
+              {
+                end_ = e.end_;
+                level = e.level;
+                tag = e.tag;
+                parent = e.parent;
+                child_count = e.child_count;
+                counts = Array.make k 0;
+                occs = [];
+                nonzero_children = 0;
+              }
+            in
+            acc.counts.(term) <- acc.counts.(term) + 1;
+            if complex then acc.occs <- [ { Counter_scoring.term; pos } ];
+            Hashtbl.replace table (doc, start) acc;
+            up e.parent
+        end
+      end
+    in
+    up start
+  in
+  List.iteri
+    (fun term t ->
+      match Ir.Inverted_index.lookup ctx.Ctx.index t with
+      | None -> ()
+      | Some postings ->
+        Ir.Postings.iter
+          (fun (occ : Ir.Postings.occ) ->
+            group ~doc:occ.doc ~start:occ.node term occ.pos)
+          postings)
+    terms;
+  (* Non-zero-scored children: a grouped node contributes one to its
+     grouped parent. *)
+  if complex then
+    Hashtbl.iter
+      (fun (doc, _) acc ->
+        if acc.parent >= 0 then begin
+          match Hashtbl.find_opt table (doc, acc.parent) with
+          | Some parent -> parent.nonzero_children <- parent.nonzero_children + 1
+          | None -> ()
+        end)
+      table;
+  let emitted = ref 0 in
+  Hashtbl.iter
+    (fun (doc, start) acc ->
+      let score =
+        match mode with
+        | Counter_scoring.Simple ->
+          Counter_scoring.simple ~weights ~counts:acc.counts
+        | Counter_scoring.Complex ->
+          let occs =
+            List.sort
+              (fun (a : Counter_scoring.occ) b -> compare a.pos b.pos)
+              acc.occs
+          in
+          Counter_scoring.complex ~weights ~counts:acc.counts ~occs
+            ~nonzero_children:acc.nonzero_children
+            ~child_count:acc.child_count
+      in
+      emit
+        {
+          Scored_node.doc;
+          start;
+          end_ = acc.end_;
+          level = acc.level;
+          tag = acc.tag;
+          score;
+        };
+      incr emitted)
+    table;
+  !emitted
+
+let to_list ?mode ?weights ctx ~terms =
+  let acc = ref [] in
+  let _ = run ?mode ?weights ctx ~terms ~emit:(fun n -> acc := n :: !acc) () in
+  List.sort Scored_node.compare_pos !acc

@@ -1,0 +1,28 @@
+(** Generalized Meet (Sec. 6.1).
+
+    An adaptation of Schmidt et al.'s [meet] operator: for every
+    occurrence of every query term, recursively walk the ancestor
+    chain upward, grouping term counts per node id in a hash table;
+    scores are computed per grouped node at the end. Unlike TermJoin
+    there is no stack reuse — every occurrence pays a full
+    ancestor-chain walk and per-node hashing — and output requires a
+    final pass over the table. Emits all common ancestors, including
+    nodes containing only a subset of the terms (with correspondingly
+    lower scores), exactly like TermJoin. *)
+
+val run :
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  emit:(Scored_node.t -> unit) ->
+  unit ->
+  int
+
+val to_list :
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  Scored_node.t list
+(** Results in document order. *)

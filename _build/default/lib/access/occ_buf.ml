@@ -1,0 +1,20 @@
+type t =
+  | Empty
+  | Leaf of Counter_scoring.occ
+  | Cat of t * t
+
+let empty = Empty
+let singleton occ = Leaf occ
+
+let append a b =
+  match a, b with Empty, b -> b | a, Empty -> a | a, b -> Cat (a, b)
+
+let flatten t =
+  let rec go acc = function
+    | Empty -> acc
+    | Leaf occ -> occ :: acc
+    | Cat (a, b) -> go (go acc b) a
+  in
+  go [] t
+
+let is_empty = function Empty -> true | Leaf _ | Cat _ -> false

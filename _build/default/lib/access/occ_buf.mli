@@ -1,0 +1,13 @@
+(** Catenable occurrence buffers: the "buffer and list" kept per
+    stack entry for complex scoring (Fig. 11, the [if (!s)]
+    sections). Appending a child's buffer to its parent's is O(1);
+    flattening yields occurrences in position order provided appends
+    happened in document order. *)
+
+type t
+
+val empty : t
+val singleton : Counter_scoring.occ -> t
+val append : t -> t -> t
+val flatten : t -> Counter_scoring.occ list
+val is_empty : t -> bool

@@ -1,0 +1,161 @@
+type item = Store.Tag_index.item
+
+let chain_of (pat : Core.Pattern.t) =
+  let rec go (p : Core.Pattern.pnode) =
+    match p.children with
+    | [] -> Some [ p ]
+    | [ (c : Core.Pattern.pnode) ] when c.axis = Core.Pattern.Descendant ->
+      Option.map (fun rest -> p :: rest) (go c)
+    | _ -> None
+  in
+  go pat.root
+
+let supported pat = chain_of pat <> None
+
+(* One stack per chain level. Entries carry a pointer to the top of
+   the parent-level stack at push time; every entry at or below that
+   index is an ancestor of this one. [watermark] is the highest index
+   known to participate in a full root-to-leaf solution. *)
+type level = {
+  stream : item array;
+  mutable cursor : int;
+  mutable stack : (item * int) array;  (* (node, parent stack index) *)
+  mutable size : int;
+  mutable watermark : int;
+  mutable results : item list;  (* matched nodes, collected at pop *)
+}
+
+let make_level stream =
+  {
+    stream;
+    cursor = 0;
+    stack = Array.make 16 ({ Store.Tag_index.doc = 0; start = 0; end_ = 0; level = 0 }, -1);
+    size = 0;
+    watermark = -1;
+    results = [];
+  }
+
+let head l = if l.cursor < Array.length l.stream then Some l.stream.(l.cursor) else None
+
+let push l entry =
+  if l.size >= Array.length l.stack then begin
+    let fresh = Array.make (2 * Array.length l.stack) l.stack.(0) in
+    Array.blit l.stack 0 fresh 0 l.size;
+    l.stack <- fresh
+  end;
+  l.stack.(l.size) <- entry;
+  l.size <- l.size + 1
+
+(* Pop the top entry; if it is at or below the watermark it belongs to
+   a solution: record it and propagate the mark to its ancestors in
+   the parent level. *)
+let pop (levels : level array) j =
+  let l = levels.(j) in
+  let idx = l.size - 1 in
+  let node, ptr = l.stack.(idx) in
+  l.size <- idx;
+  if idx <= l.watermark then begin
+    l.results <- node :: l.results;
+    l.watermark <- idx - 1;
+    if j > 0 then
+      levels.(j - 1).watermark <- max levels.(j - 1).watermark ptr
+  end
+
+let key (i : item) = (i.doc, i.start)
+
+let matches ctx (pat : Core.Pattern.t) ~var =
+  let chain =
+    match chain_of pat with
+    | Some c -> c
+    | None -> invalid_arg "Path_stack.matches: not a descendant-axis chain"
+  in
+  let levels =
+    Array.of_list
+      (List.map
+         (fun (p : Core.Pattern.pnode) ->
+           make_level (Array.of_list (Pattern_exec.candidates ctx p.pred)))
+         chain)
+  in
+  let k = Array.length levels in
+  let leaf = k - 1 in
+  (* Clean every stack of entries that end before the given key.
+     Leaf levels first: a child's pop propagates its solution mark to
+     the parent level before the parent itself pops. *)
+  let clean (doc, start) =
+    for j = k - 1 downto 0 do
+      let l = levels.(j) in
+      let continue = ref true in
+      while !continue && l.size > 0 do
+        let top, _ = l.stack.(l.size - 1) in
+        if top.doc < doc || (top.doc = doc && top.end_ < start) then
+          pop levels j
+        else continue := false
+      done
+    done
+  in
+  let exhausted = ref false in
+  while not !exhausted do
+    (* the level whose next candidate comes first in document order *)
+    let qmin = ref (-1) in
+    for j = k - 1 downto 0 do
+      match head levels.(j) with
+      | Some it -> begin
+        match !qmin with
+        | -1 -> qmin := j
+        | q -> begin
+          match head levels.(q) with
+          | Some best -> if key it < key best then qmin := j
+          | None -> qmin := j
+        end
+      end
+      | None -> ()
+    done;
+    match !qmin with
+    | -1 -> exhausted := true
+    | q ->
+      let next = Option.get (head levels.(q)) in
+      clean (key next);
+      (* pointer to the deepest PROPER ancestor candidate: the same
+         element can be a candidate at two levels, and it must not
+         serve as its own ancestor *)
+      let ptr =
+        if q = 0 then -1
+        else begin
+          let l = levels.(q - 1) in
+          let i = l.size - 1 in
+          if i >= 0 && (fst l.stack.(i)).Store.Tag_index.start = next.Store.Tag_index.start
+          then i - 1
+          else i
+        end
+      in
+      let parent_open = q = 0 || ptr >= 0 in
+      if parent_open then begin
+        if q = leaf then begin
+          (* a full solution exists: the leaf matches, and so does
+             every open ancestor chain entry *)
+          levels.(q).results <- next :: levels.(q).results;
+          if q > 0 then
+            levels.(q - 1).watermark <- max levels.(q - 1).watermark ptr
+        end
+        else push levels.(q) (next, ptr)
+      end;
+      levels.(q).cursor <- levels.(q).cursor + 1
+  done;
+  (* drain: pop everything so pending marks resolve *)
+  for j = k - 1 downto 0 do
+    while levels.(j).size > 0 do
+      pop levels j
+    done
+  done;
+  (* map the requested variable to its chain level *)
+  let rec level_of i = function
+    | [] -> None
+    | (p : Core.Pattern.pnode) :: rest ->
+      if p.var = var then Some i else level_of (i + 1) rest
+  in
+  match level_of 0 chain with
+  | None -> []
+  | Some j ->
+    (* entries can be recorded once per stack episode; nodes are
+       pushed at most once, so keys are unique *)
+    List.sort (fun a b -> compare (key a) (key b)) levels.(j).results

@@ -1,0 +1,24 @@
+(** The PathStack holistic path join (Bruno, Koudas & Srivastava,
+    SIGMOD 2002 — reference [6] of the paper).
+
+    Where {!Pattern_exec} evaluates a pattern with a sequence of
+    binary structural semi-joins (materializing an intermediate
+    candidate list per step), PathStack evaluates a whole
+    descendant-axis {e chain} — [//a//b//c] — in a single merge pass
+    over the per-level candidate streams, with one stack per level
+    linked by parent pointers. No intermediate join result is ever
+    materialized, which is the "holistic" advantage.
+
+    Scope: root-to-leaf chains whose non-root edges are all the
+    [Descendant] axis (the classic PathStack setting). Use
+    {!supported} to test applicability and fall back to
+    {!Pattern_exec} otherwise. *)
+
+val supported : Core.Pattern.t -> bool
+(** The pattern is a chain and every non-root edge is [Descendant]. *)
+
+val matches : Ctx.t -> Core.Pattern.t -> var:int -> Store.Tag_index.item list
+(** Elements the variable binds to in some chain embedding, in
+    document order; agrees exactly with [Pattern_exec.matches] on
+    supported patterns (property-tested). Raises [Invalid_argument]
+    when the pattern is not {!supported}. *)

@@ -1,0 +1,218 @@
+type item = Store.Tag_index.item
+
+let item_key (i : item) = (i.doc, i.start)
+
+let to_sj (i : item) =
+  {
+    Structural_join.doc = i.doc;
+    start = i.start;
+    end_ = i.end_;
+    level = i.level;
+  }
+
+(* Owners of phrase occurrences, as items. *)
+let phrase_owner_items ctx phrase =
+  List.filter_map
+    (fun (n : Scored_node.t) ->
+      Some
+        {
+          Store.Tag_index.doc = n.doc;
+          start = n.start;
+          end_ = n.end_;
+          level = n.level;
+        })
+    (Phrase_finder.to_list ctx ~phrase)
+
+(* Elements whose direct text equals [s]: look up the first term of
+   [s] in the index, then verify each owner against the stored text
+   (a data-page access, like any value predicate). *)
+let content_eq_items ctx s =
+  match Ir.Tokenizer.terms s with
+  | [] -> []
+  | first :: _ ->
+    let seen = Hashtbl.create 64 in
+    let hits = ref [] in
+    (match Ir.Inverted_index.lookup ctx.Ctx.index first with
+    | None -> ()
+    | Some postings ->
+      Ir.Postings.iter
+        (fun (occ : Ir.Postings.occ) ->
+          let key = (occ.doc, occ.node) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            match
+              Store.Element_store.get_text ctx.Ctx.elements ~doc:occ.doc
+                ~start:occ.node
+            with
+            | Some text when String.trim text = s -> begin
+              match
+                Ctx.node_entry ctx ~nav:Ctx.Parent_index ~doc:occ.doc
+                  ~start:occ.node
+              with
+              | Some e ->
+                hits :=
+                  {
+                    Store.Tag_index.doc = occ.doc;
+                    start = occ.node;
+                    end_ = e.Store.Parent_index.end_;
+                    level = e.level;
+                  }
+                  :: !hits
+              | None -> ()
+            end
+            | Some _ | None -> ()
+          end)
+        postings);
+    List.sort
+      (fun (a : item) b -> compare (item_key a) (item_key b))
+      !hits
+
+(* document-ordered intersection of two item lists *)
+let intersect a b =
+  let rec go a b acc =
+    match a, b with
+    | [], _ | _, [] -> List.rev acc
+    | (x : item) :: a', (y : item) :: b' ->
+      let c = compare (item_key x) (item_key y) in
+      if c = 0 then go a' b' (x :: acc)
+      else if c < 0 then go a' b acc
+      else go a b' acc
+  in
+  go a b []
+
+(* ancestors (or ancestor-or-self) of [descendants] among [candidates] *)
+let semi_join_ancestors ?(or_self = false) ~axis candidates descendants =
+  let anc = Array.of_list (List.map to_sj candidates) in
+  let desc = Array.of_list (List.map to_sj descendants) in
+  let matched = Hashtbl.create 64 in
+  let _ =
+    Structural_join.join ~axis ~ancestors:anc ~descendants:desc
+      ~emit:(fun a _ -> Hashtbl.replace matched (a.doc, a.start) ())
+      ()
+  in
+  if or_self then
+    List.iter
+      (fun (d : Structural_join.item) ->
+        Hashtbl.replace matched (d.doc, d.start) ())
+      (Array.to_list desc);
+  List.filter (fun c -> Hashtbl.mem matched (item_key c)) candidates
+
+(* descendants (or self) of [ancestors] among [candidates] *)
+let semi_join_descendants ?(or_self = false) ~axis ancestors candidates =
+  let anc = Array.of_list (List.map to_sj ancestors) in
+  let desc = Array.of_list (List.map to_sj candidates) in
+  let matched = Hashtbl.create 64 in
+  let _ =
+    Structural_join.join ~axis ~ancestors:anc ~descendants:desc
+      ~emit:(fun _ d -> Hashtbl.replace matched (d.doc, d.start) ())
+      ()
+  in
+  if or_self then begin
+    let anc_keys = Hashtbl.create 64 in
+    List.iter
+      (fun (a : item) -> Hashtbl.replace anc_keys (item_key a) ())
+      ancestors;
+    List.iter
+      (fun (c : item) ->
+        if Hashtbl.mem anc_keys (item_key c) then
+          Hashtbl.replace matched (item_key c) ())
+      candidates
+  end;
+  List.filter (fun c -> Hashtbl.mem matched (item_key c)) candidates
+
+let sj_axis = function
+  | Core.Pattern.Child -> `Parent_child
+  | Core.Pattern.Descendant | Core.Pattern.Self_or_descendant ->
+    `Ancestor_descendant
+
+let or_self = function
+  | Core.Pattern.Self_or_descendant -> true
+  | Core.Pattern.Child | Core.Pattern.Descendant -> false
+
+(* candidates satisfying the local predicate of a pattern variable *)
+let rec pred_candidates ctx (pred : Core.Pattern.pred) : item list =
+  match pred with
+  | Core.Pattern.True -> Array.to_list (Store.Tag_index.all ctx.Ctx.tags)
+  | Core.Pattern.Tag tag -> begin
+    match Store.Catalog.tag_id ctx.Ctx.catalog tag with
+    | Some id -> Array.to_list (Store.Tag_index.nodes ctx.Ctx.tags ~tag:id)
+    | None -> []
+  end
+  | Core.Pattern.Content_eq s -> content_eq_items ctx s
+  | Core.Pattern.Content_has phrase ->
+    (* nodes whose subtree contains the phrase: owners of phrase
+       occurrences, plus all their ancestors — computed as a
+       semi-join of all elements against the owners *)
+    let owners = phrase_owner_items ctx (Ir.Phrase.parse phrase) in
+    let everything = Array.to_list (Store.Tag_index.all ctx.Ctx.tags) in
+    semi_join_ancestors ~or_self:true ~axis:`Ancestor_descendant everything
+      owners
+  | Core.Pattern.And (a, b) ->
+    intersect (pred_candidates ctx a) (pred_candidates ctx b)
+  | Core.Pattern.Attr _ | Core.Pattern.Or _ | Core.Pattern.Not _ ->
+    invalid_arg
+      "Pattern_exec: only True/Tag/Content_eq/Content_has/And predicates are \
+       index-evaluable"
+
+let candidates = pred_candidates
+
+let matches ctx (pat : Core.Pattern.t) ~var =
+  (* bottom-up: restrict each variable's candidates by its children's
+     satisfiability *)
+  let bottom : (int, item list) Hashtbl.t = Hashtbl.create 8 in
+  let rec bottom_up (p : Core.Pattern.pnode) : item list =
+    let own = pred_candidates ctx p.pred in
+    let own =
+      List.fold_left
+        (fun acc (c : Core.Pattern.pnode) ->
+          let c_items = bottom_up c in
+          semi_join_ancestors ~or_self:(or_self c.axis) ~axis:(sj_axis c.axis)
+            acc c_items)
+        own p.children
+    in
+    Hashtbl.replace bottom p.var own;
+    own
+  in
+  let root_items = bottom_up pat.root in
+  (* top-down: keep placements reachable from satisfied ancestors *)
+  let result = ref [] in
+  let rec top_down (p : Core.Pattern.pnode) allowed =
+    if p.var = var then result := allowed;
+    List.iter
+      (fun (c : Core.Pattern.pnode) ->
+        let c_bottom = Hashtbl.find bottom c.var in
+        let c_allowed =
+          semi_join_descendants ~or_self:(or_self c.axis)
+            ~axis:(sj_axis c.axis) allowed c_bottom
+        in
+        top_down c c_allowed)
+      p.children
+  in
+  top_down pat.root root_items;
+  !result
+
+let scored_matches ?mode ?weights ctx (pat : Core.Pattern.t) ~struct_var ~terms
+    =
+  let anchors = matches ctx pat ~var:struct_var in
+  let scored = Term_join.to_list ?mode ?weights ctx ~terms in
+  (* keep scored nodes that are the anchor or lie inside one *)
+  let as_items =
+    List.map
+      (fun (n : Scored_node.t) ->
+        {
+          Store.Tag_index.doc = n.doc;
+          start = n.start;
+          end_ = n.end_;
+          level = n.level;
+        })
+      scored
+  in
+  let kept =
+    semi_join_descendants ~or_self:true ~axis:`Ancestor_descendant anchors
+      as_items
+  in
+  let kept_keys = Hashtbl.create 64 in
+  List.iter (fun (i : item) -> Hashtbl.replace kept_keys (item_key i) ()) kept;
+  List.filter
+    (fun (n : Scored_node.t) -> Hashtbl.mem kept_keys (n.doc, n.start))
+    scored

@@ -1,0 +1,42 @@
+(** Store-level evaluation of (scored) pattern trees.
+
+    "The core of XML query processing is generally believed to be the
+    containment join" (Sec. 1): this module evaluates the structural
+    and value part of a {!Core.Pattern.t} directly against the
+    database using the tag index and stack-based structural joins —
+    no in-memory trees — and is how a query plan pushes predicates
+    like [article/author/sname = "Doe"] down into the engine.
+
+    Candidate sets per pattern variable come from the tag index (tag
+    predicates), from the inverted index plus a data-page
+    verification (content predicates), or from the whole element list
+    (unconstrained variables). Bottom-up semi-joins prune candidates
+    whose pattern children cannot be satisfied; a top-down pass then
+    restricts each variable to placements reachable from a satisfied
+    root, matching the semantics of [Core.Matcher.matches_of_var]. *)
+
+val candidates : Ctx.t -> Core.Pattern.pred -> Store.Tag_index.item list
+(** Elements satisfying a local predicate, in document order, straight
+    from the indexes (tag index / inverted index + verification).
+    Raises [Invalid_argument] on non-index-evaluable predicates. *)
+
+val matches : Ctx.t -> Core.Pattern.t -> var:int -> Store.Tag_index.item list
+(** Elements the variable can bind to in some embedding, in document
+    order. Supported predicates: [True], [Tag], [Content_eq]
+    (against the element's direct text), [Content_has] (a phrase
+    anywhere in the subtree) and conjunctions thereof; other
+    predicate forms raise [Invalid_argument]. *)
+
+val scored_matches :
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  Core.Pattern.t ->
+  struct_var:int ->
+  terms:string list ->
+  Scored_node.t list
+(** The access-method pipeline of the paper's Query 2: evaluate the
+    structural pattern, score elements with TermJoin, and keep the
+    scored elements lying inside (or equal to) a match of
+    [struct_var] — the ad* relationship between the structural
+    anchor and the scored component. Document order. *)

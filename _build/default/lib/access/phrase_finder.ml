@@ -1,0 +1,94 @@
+let run ctx ~phrase ~emit () =
+  match phrase with
+  | [] -> 0
+  | first :: rest ->
+    let lead =
+      match Ir.Inverted_index.cursor ctx.Ctx.index first with
+      | Some c -> c
+      | None -> Ir.Postings.cursor (Ir.Postings.of_list [])
+    in
+    let followers =
+      List.map
+        (fun term ->
+          let cur =
+            match Ir.Inverted_index.cursor ctx.Ctx.index term with
+            | Some c -> c
+            | None -> Ir.Postings.cursor (Ir.Postings.of_list [])
+          in
+          (cur, ref (Ir.Postings.next cur)))
+        rest
+    in
+    (* count per owning element; the lead cursor is in document
+       order, so per-element counts complete before the next element
+       appears *)
+    let emitted = ref 0 in
+    let current : (int * int) option ref = ref None in
+    let count = ref 0 in
+    let flush () =
+      match !current with
+      | Some (doc, node) when !count > 0 ->
+        (match Ctx.node_entry ctx ~nav:Ctx.Parent_index ~doc ~start:node with
+        | Some m ->
+          emit
+            {
+              Scored_node.doc;
+              start = node;
+              end_ = m.Store.Parent_index.end_;
+              level = m.Store.Parent_index.level;
+              tag = m.Store.Parent_index.tag;
+              score = float_of_int !count;
+            };
+          incr emitted
+        | None -> ())
+      | Some _ | None -> ()
+    in
+    let rec lead_loop () =
+      match Ir.Postings.next lead with
+      | None -> ()
+      | Some occ ->
+        (match !current with
+        | Some (doc, node)
+          when doc = occ.Ir.Postings.doc && node = occ.Ir.Postings.node ->
+          ()
+        | Some _ | None ->
+          flush ();
+          current := Some (occ.Ir.Postings.doc, occ.Ir.Postings.node);
+          count := 0);
+        let hit = ref true in
+        List.iteri
+          (fun i (cur, head) ->
+            let want_pos = occ.Ir.Postings.pos + i + 1 in
+            let rec advance () =
+              match !head with
+              | Some (h : Ir.Postings.occ)
+                when h.doc < occ.Ir.Postings.doc
+                     || (h.doc = occ.Ir.Postings.doc && h.pos < want_pos) ->
+                head := Ir.Postings.next cur;
+                advance ()
+              | Some _ | None -> ()
+            in
+            advance ();
+            match !head with
+            | Some h when h.doc = occ.Ir.Postings.doc && h.pos = want_pos -> ()
+            | Some _ | None -> hit := false)
+          followers;
+        if !hit then incr count;
+        lead_loop ()
+    in
+    lead_loop ();
+    flush ();
+    !emitted
+
+let to_list ctx ~phrase =
+  let acc = ref [] in
+  let _ = run ctx ~phrase ~emit:(fun n -> acc := n :: !acc) () in
+  List.sort Scored_node.compare_pos !acc
+
+let total_occurrences ctx ~phrase =
+  let total = ref 0 in
+  let _ =
+    run ctx ~phrase
+      ~emit:(fun n -> total := !total + int_of_float n.Scored_node.score)
+      ()
+  in
+  !total

@@ -1,0 +1,27 @@
+(** The PhraseFinder access method (Sec. 5.1.2).
+
+    A single merge pass over the positional posting lists of the
+    phrase's terms verifies adjacency {e during} the intersection:
+    for every occurrence [p] of the first term, each following
+    cursor advances monotonically to position [p + i]; an exact hit
+    on every cursor is one phrase occurrence. No posting is read
+    twice and no candidate set is materialized, in contrast to Comp3.
+
+    Word positions live in the same key space as element intervals,
+    so positions in different text nodes are never adjacent — the
+    paper's same-text-node requirement holds by construction. *)
+
+val run :
+  Ctx.t ->
+  phrase:string list ->
+  emit:(Scored_node.t -> unit) ->
+  unit ->
+  int
+(** Emits one node per owning element that contains the phrase, with
+    the phrase occurrence count as score; returns the number of
+    emitted nodes. *)
+
+val to_list : Ctx.t -> phrase:string list -> Scored_node.t list
+
+val total_occurrences : Ctx.t -> phrase:string list -> int
+(** Sum of phrase occurrence counts over all elements. *)

@@ -1,0 +1,95 @@
+(* A closed subtree either already produced its output (an ancestor
+   was determined not worth returning, unblocking it), or is pending
+   on its ancestors' decisions. [Pending] is only built for eligible
+   nodes: candidates worth returning. *)
+type block =
+  | Resolved
+  | Pending of pending
+
+and pending = { p_node : Core.Stree.t; p_children : block list }
+
+type frame = {
+  f_node : Core.Stree.t;
+  mutable f_remaining : Core.Stree.t list;
+  mutable f_blocks : block list;  (* reverse order *)
+}
+
+let run (crit : Core.Op_pick.criterion) ~candidates ~emit root =
+  let emitted = ref 0 in
+  let eligible n = candidates n && crit.worth n in
+  let pendings_of blocks =
+    List.filter_map (function Resolved -> None | Pending p -> Some p) blocks
+  in
+  (* Resolve the children of a node whose own returnedness is
+     [self_returned]; every pending child is eligible, so it is
+     returned exactly when the parent is not. *)
+  let rec resolve_children self_returned blocks =
+    let pendings = pendings_of blocks in
+    let returned_nodes =
+      if self_returned then []
+      else List.map (fun p -> p.p_node) pendings
+    in
+    let chosen = crit.sibling_filter returned_nodes in
+    List.iter
+      (fun p ->
+        let ret = not self_returned in
+        if ret && List.exists (fun m -> m == p.p_node) chosen then begin
+          emit p.p_node;
+          incr emitted
+        end;
+        resolve_children ret p.p_children)
+      pendings
+  in
+  let stack =
+    ref
+      [
+        {
+          f_node = root;
+          f_remaining = Core.Stree.child_nodes root;
+          f_blocks = [];
+        };
+      ]
+  in
+  let root_block = ref Resolved in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | top :: rest -> begin
+      match top.f_remaining with
+      | c :: more ->
+        top.f_remaining <- more;
+        stack :=
+          { f_node = c; f_remaining = Core.Stree.child_nodes c; f_blocks = [] }
+          :: top :: rest
+      | [] ->
+        stack := rest;
+        let blocks = List.rev top.f_blocks in
+        let block =
+          if eligible top.f_node then
+            Pending { p_node = top.f_node; p_children = blocks }
+          else begin
+            (* not worth returning: the subtree's decisions no longer
+               depend on anything above — emit now (unblocking) *)
+            resolve_children false blocks;
+            Resolved
+          end
+        in
+        (match rest with
+        | parent :: _ -> parent.f_blocks <- block :: parent.f_blocks
+        | [] -> root_block := block)
+    end
+  done;
+  (match !root_block with
+  | Pending p ->
+    (* the root has no parent and no siblings: returned outright *)
+    emit p.p_node;
+    incr emitted;
+    resolve_children true p.p_children
+  | Resolved -> ());
+  !emitted
+
+let returned crit ~candidates root =
+  let acc = ref [] in
+  let _ = run crit ~candidates ~emit:(fun n -> acc := n :: !acc) root in
+  List.rev !acc

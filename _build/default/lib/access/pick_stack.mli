@@ -1,0 +1,27 @@
+(** The stack-based Pick algorithm (Fig. 12).
+
+    A single pass over a scored data tree decides, for every
+    candidate data IR-node, whether it is worth returning and not
+    made redundant by a returned parent. Because a node's own worth
+    depends only on its children's (already known) scores but its
+    {e returnedness} also depends on its ancestors', output blocks
+    until an ancestor is determined not worth returning — at which
+    point its whole subtree's decisions resolve and are emitted
+    (the blocking behaviour the paper describes). The result set is
+    identical to the reference implementation [Core.Op_pick.returned];
+    property tests enforce this. *)
+
+val run :
+  Core.Op_pick.criterion ->
+  candidates:(Core.Stree.t -> bool) ->
+  emit:(Core.Stree.t -> unit) ->
+  Core.Stree.t ->
+  int
+(** Returns the number of emitted nodes. *)
+
+val returned :
+  Core.Op_pick.criterion ->
+  candidates:(Core.Stree.t -> bool) ->
+  Core.Stree.t ->
+  Core.Stree.t list
+(** Collected results in emission order. *)

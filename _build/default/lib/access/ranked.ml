@@ -1,0 +1,23 @@
+type emitter = emit:(Scored_node.t -> unit) -> unit -> int
+
+let top_k k run =
+  let acc = Top_k.create k in
+  let _ = run ~emit:(fun n -> Top_k.add acc ~score:n.Scored_node.score n) () in
+  List.map snd (Top_k.to_sorted_list acc)
+
+let above v run =
+  let acc = ref [] in
+  let _ =
+    run ~emit:(fun n -> if n.Scored_node.score > v then acc := n :: !acc) ()
+  in
+  List.sort Scored_node.compare_pos !acc
+
+let histogram ?buckets run =
+  let scores = ref [] in
+  let _ = run ~emit:(fun n -> scores := n.Scored_node.score :: !scores) () in
+  Store.Histogram.of_values ?buckets !scores
+
+let top_fraction ~q run =
+  let h = histogram run in
+  let cut = Store.Histogram.quantile h q in
+  above cut run

@@ -1,0 +1,26 @@
+(** Score-utilizing access methods (Sec. 5.3): thresholding composed
+    directly with a score-emitting access method.
+
+    The V-threshold is a score selection applied on the fly; the
+    K-threshold uses a bounded {!Top_k} accumulator, so neither
+    materializes or sorts the full result. A score {!histogram}
+    supports choosing thresholds from the score distribution instead
+    of asking the user for an absolute value. *)
+
+type emitter = emit:(Scored_node.t -> unit) -> unit -> int
+(** The shape shared by TermJoin, Generalized Meet, PhraseFinder and
+    the composites. *)
+
+val top_k : int -> emitter -> Scored_node.t list
+(** The K best-scored nodes, best first. *)
+
+val above : float -> emitter -> Scored_node.t list
+(** Nodes scoring strictly above the threshold, in document order. *)
+
+val histogram : ?buckets:int -> emitter -> Store.Histogram.t
+(** Score distribution of everything the method emits. *)
+
+val top_fraction : q:float -> emitter -> Scored_node.t list
+(** Run the method twice: once to build the histogram, once to keep
+    nodes above the [q]-quantile score (e.g. [~q:0.9] keeps roughly
+    the best decile). Document order. *)

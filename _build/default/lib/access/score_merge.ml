@@ -1,0 +1,49 @@
+type combiner = w1:float -> s1:float -> w2:float -> s2:float -> float
+
+let weighted_sum ~w1 ~s1 ~w2 ~s2 = (w1 *. s1) +. (w2 *. s2)
+
+let both_boost factor ~w1 ~s1 ~w2 ~s2 =
+  let base = weighted_sum ~w1 ~s1 ~w2 ~s2 in
+  if s1 <> 0. && s2 <> 0. then base *. factor else base
+
+let value_join ?(w1 = 1.) ?(w2 = 1.) ?(combine = weighted_sum) ~condition
+    left right =
+  List.concat_map
+    (fun (a : Scored_node.t) ->
+      List.filter_map
+        (fun (b : Scored_node.t) ->
+          if condition a b then
+            Some (a, b, combine ~w1 ~s1:a.score ~w2 ~s2:b.score)
+          else None)
+        right)
+    left
+
+let similarity_condition ctx ~min_sim (a : Scored_node.t) (b : Scored_node.t) =
+  let text (n : Scored_node.t) =
+    Option.value ~default:""
+      (Store.Element_store.get_text ctx.Ctx.elements ~doc:n.doc ~start:n.start)
+  in
+  float_of_int (Ir.Similarity.count_same (text a) (text b)) >= min_sim
+
+let set_union ?(w1 = 1.) ?(w2 = 1.) ?(combine = weighted_sum) left right =
+  (* merge two document-ordered lists; absent sides contribute a zero
+     score *)
+  let left = List.sort Scored_node.compare_pos left in
+  let right = List.sort Scored_node.compare_pos right in
+  let rescore (n : Scored_node.t) score = { n with score } in
+  let rec merge l r acc =
+    match l, r with
+    | [], [] -> List.rev acc
+    | (a : Scored_node.t) :: l', [] ->
+      merge l' [] (rescore a (combine ~w1 ~s1:a.score ~w2 ~s2:0.) :: acc)
+    | [], (b : Scored_node.t) :: r' ->
+      merge [] r' (rescore b (combine ~w1 ~s1:0. ~w2 ~s2:b.score) :: acc)
+    | a :: l', b :: r' ->
+      let c = Scored_node.compare_pos a b in
+      if c = 0 then
+        merge l' r' (rescore a (combine ~w1 ~s1:a.score ~w2 ~s2:b.score) :: acc)
+      else if c < 0 then
+        merge l' r (rescore a (combine ~w1 ~s1:a.score ~w2 ~s2:0.) :: acc)
+      else merge l r' (rescore b (combine ~w1 ~s1:0. ~w2 ~s2:b.score) :: acc)
+  in
+  merge left right []

@@ -1,0 +1,52 @@
+(** Score-modifying access methods (Sec. 5.2).
+
+    Standard operators extended to use and modify scores:
+
+    {e Scored value join} (Example 5.1) — merge two sets of scored
+    witness trees on a join condition; each output's score is
+    [f (w1, s_a, w2, s_b)], by default the weighted sum of the two
+    input scores. An IR-style condition is a similarity predicate on
+    the nodes' content.
+
+    {e Scored set union} (Example 5.2) — a witness belongs to the
+    output when it belongs to at least one input; scores combine with
+    the weighted sum, where the missing side contributes zero, and a
+    combiner may boost witnesses present in both inputs. *)
+
+type combiner = w1:float -> s1:float -> w2:float -> s2:float -> float
+
+val weighted_sum : combiner
+(** [w1 *. s1 +. w2 *. s2]. *)
+
+val both_boost : float -> combiner
+(** Like {!weighted_sum} but multiplied by the given factor when both
+    scores are non-zero — "give more weight to an x that belongs to
+    both A and B" (Example 5.2). *)
+
+val value_join :
+  ?w1:float ->
+  ?w2:float ->
+  ?combine:combiner ->
+  condition:(Scored_node.t -> Scored_node.t -> bool) ->
+  Scored_node.t list ->
+  Scored_node.t list ->
+  (Scored_node.t * Scored_node.t * float) list
+(** All pairs satisfying the condition, with their combined score.
+    Weights default to 1. *)
+
+val similarity_condition :
+  Ctx.t -> min_sim:float -> Scored_node.t -> Scored_node.t -> bool
+(** An IR value-join condition: the two nodes' stored direct text
+    reaches the given [count_same] similarity (a data-page access per
+    evaluation, like any value predicate). *)
+
+val set_union :
+  ?w1:float ->
+  ?w2:float ->
+  ?combine:combiner ->
+  Scored_node.t list ->
+  Scored_node.t list ->
+  Scored_node.t list
+(** Union keyed on node identity [(doc, start)]; both inputs must be
+    duplicate-free on that key. Result is in document order with
+    combined scores. *)

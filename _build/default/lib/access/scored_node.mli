@@ -1,0 +1,20 @@
+(** Scored element identifiers: what score-generating access methods
+    emit. *)
+
+type t = {
+  doc : int;
+  start : int;
+  end_ : int;
+  level : int;
+  tag : int;
+  score : float;
+}
+
+val compare_pos : t -> t -> int
+(** Document order: by [(doc, start)]. *)
+
+val compare_score_desc : t -> t -> int
+(** Best score first; ties in document order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

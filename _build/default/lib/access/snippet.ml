@@ -1,0 +1,46 @@
+let of_text ?(width = 24) ~terms text =
+  let stems = List.map Ir.Stemmer.stem (List.map String.lowercase_ascii terms) in
+  let tokens = Array.of_list (Ir.Tokenizer.tokens text) in
+  let n = Array.length tokens in
+  if n = 0 then ""
+  else begin
+    let is_match i =
+      List.mem (Ir.Stemmer.stem tokens.(i).Ir.Token.term) stems
+    in
+    let matches = Array.init n is_match in
+    (* best window: most matches, earliest on ties *)
+    let width = min width n in
+    let count = ref 0 in
+    for i = 0 to width - 1 do
+      if matches.(i) then incr count
+    done;
+    let best_start = ref 0 and best_count = ref !count in
+    for start = 1 to n - width do
+      if matches.(start - 1) then decr count;
+      if matches.(start + width - 1) then incr count;
+      if !count > !best_count then begin
+        best_count := !count;
+        best_start := start
+      end
+    done;
+    let buf = Buffer.create 128 in
+    if !best_start > 0 then Buffer.add_string buf "... ";
+    for i = !best_start to !best_start + width - 1 do
+      if i > !best_start then Buffer.add_char buf ' ';
+      if matches.(i) then begin
+        Buffer.add_char buf '[';
+        Buffer.add_string buf tokens.(i).Ir.Token.term;
+        Buffer.add_char buf ']'
+      end
+      else Buffer.add_string buf tokens.(i).Ir.Token.term
+    done;
+    if !best_start + width < n then Buffer.add_string buf " ...";
+    Buffer.contents buf
+  end
+
+let of_node ?width ctx ~terms (n : Scored_node.t) =
+  let texts =
+    Store.Element_store.subtree_texts ctx.Ctx.elements ~doc:n.doc
+      ~start:n.start ~end_:n.end_
+  in
+  of_text ?width ~terms (String.concat " " texts)

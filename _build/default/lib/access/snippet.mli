@@ -1,0 +1,17 @@
+(** Result presentation: keyword-in-context snippets.
+
+    Given a scored element and the query terms, reconstruct the
+    element's text from the stored pages and extract the window with
+    the densest term coverage, highlighting matches — what a search
+    front end shows under each ranked hit. *)
+
+val of_text : ?width:int -> terms:string list -> string -> string
+(** [of_text ~terms text] is a window of at most [width] tokens
+    (default 24) around the best cluster of (stemmed) term matches,
+    with matches wrapped in square brackets and ellipses marking
+    truncation. The empty string when [text] has no tokens. *)
+
+val of_node :
+  ?width:int -> Ctx.t -> terms:string list -> Scored_node.t -> string
+(** Snippet for an element, reading its subtree text from the element
+    store. *)

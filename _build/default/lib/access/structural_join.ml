@@ -1,0 +1,57 @@
+type item = { doc : int; start : int; end_ : int; level : int }
+
+let item_of_scored (n : Scored_node.t) =
+  { doc = n.doc; start = n.start; end_ = n.end_; level = n.level }
+
+let join ?(axis = `Ancestor_descendant) ~ancestors ~descendants ~emit () =
+  let emitted = ref 0 in
+  let stack = ref [] in
+  let na = Array.length ancestors and nd = Array.length descendants in
+  let ai = ref 0 and di = ref 0 in
+  let key i = (i.doc, i.start) in
+  let pop_before (doc, k) =
+    let rec go () =
+      match !stack with
+      | top :: rest when top.doc < doc || (top.doc = doc && top.end_ < k) ->
+        stack := rest;
+        go ()
+      | _ :: _ | [] -> ()
+    in
+    go ()
+  in
+  while !ai < na || !di < nd do
+    let take_ancestor =
+      !ai < na
+      && (!di >= nd || key ancestors.(!ai) <= key descendants.(!di))
+    in
+    if take_ancestor then begin
+      let a = ancestors.(!ai) in
+      incr ai;
+      pop_before (a.doc, a.start);
+      stack := a :: !stack
+    end
+    else begin
+      let d = descendants.(!di) in
+      incr di;
+      pop_before (d.doc, d.start);
+      List.iter
+        (fun a ->
+          let ok =
+            a.doc = d.doc && a.start < d.start && d.end_ <= a.end_
+            && (axis = `Ancestor_descendant || a.level = d.level - 1)
+          in
+          if ok then begin
+            emit a d;
+            incr emitted
+          end)
+        !stack
+    end
+  done;
+  !emitted
+
+let pairs ?axis ~ancestors ~descendants () =
+  let acc = ref [] in
+  let _ =
+    join ?axis ~ancestors ~descendants ~emit:(fun a d -> acc := (a, d) :: !acc) ()
+  in
+  List.rev !acc

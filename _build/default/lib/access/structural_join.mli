@@ -1,0 +1,30 @@
+(** The stack-based structural (containment) join — the XML query
+    processing primitive the TermJoin family generalizes
+    (Al-Khalifa et al., ICDE 2001).
+
+    Joins two document-ordered node lists on the ancestor-descendant
+    (or parent-child) relationship in one merge pass. *)
+
+type item = { doc : int; start : int; end_ : int; level : int }
+
+val item_of_scored : Scored_node.t -> item
+
+val join :
+  ?axis:[ `Ancestor_descendant | `Parent_child ] ->
+  ancestors:item array ->
+  descendants:item array ->
+  emit:(item -> item -> unit) ->
+  unit ->
+  int
+(** [join ~ancestors ~descendants ~emit] calls [emit a d] for every
+    pair with [a] containing [d]; both inputs must be sorted by
+    [(doc, start)]. Returns the number of emitted pairs. The
+    ancestor list must be laminar (elements of one document nest or
+    are disjoint), which holds for XML element sets. *)
+
+val pairs :
+  ?axis:[ `Ancestor_descendant | `Parent_child ] ->
+  ancestors:item array ->
+  descendants:item array ->
+  unit ->
+  (item * item) list

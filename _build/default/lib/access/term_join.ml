@@ -1,0 +1,214 @@
+type variant = Plain | Enhanced
+
+type entry = {
+  doc : int;
+  start : int;
+  end_ : int;
+  level : int;
+  tag : int;
+  counts : int array;
+  mutable occs : Occ_buf.t;
+  mutable nonzero_children : int;
+  child_count : int;  (* -1 when not fetched (simple scoring) *)
+}
+
+(* Merged view over the per-term posting cursors. *)
+type head = {
+  term : int;
+  mutable cur : Ir.Postings.occ option;
+  pcursor : Ir.Postings.cursor option;
+}
+
+type cursor = {
+  ctx : Ctx.t;
+  variant : variant;
+  mode : Counter_scoring.mode;
+  weights : float array;
+  complex : bool;
+  heads : head array;
+  mutable stack : entry list;
+  pending : Scored_node.t Queue.t;
+      (* one input occurrence can pop several ancestors; emissions
+         wait here until pulled *)
+  mutable drained : bool;
+}
+
+let make_heads ctx terms =
+  List.mapi
+    (fun term t ->
+      match Ir.Inverted_index.cursor ctx.Ctx.index t with
+      | Some pcursor ->
+        { term; cur = Ir.Postings.next pcursor; pcursor = Some pcursor }
+      | None -> { term; cur = None; pcursor = None })
+    terms
+  |> Array.of_list
+
+let min_head heads =
+  let best = ref None in
+  Array.iter
+    (fun h ->
+      match h.cur with
+      | None -> ()
+      | Some occ -> begin
+        match !best with
+        | Some (_, b) when Ir.Postings.compare_occ b occ <= 0 -> ()
+        | Some _ | None -> best := Some (h, occ)
+      end)
+    heads;
+  !best
+
+let advance h =
+  match h.pcursor with
+  | Some c -> h.cur <- Ir.Postings.next c
+  | None -> h.cur <- None
+
+let cursor ?(variant = Plain) ?(mode = Counter_scoring.Simple) ?weights ctx
+    ~terms =
+  let k = List.length terms in
+  let weights =
+    match weights with Some w -> w | None -> Counter_scoring.default_weights k
+  in
+  {
+    ctx;
+    variant;
+    mode;
+    weights;
+    complex = mode = Counter_scoring.Complex;
+    heads = make_heads ctx terms;
+    stack = [];
+    pending = Queue.create ();
+    drained = false;
+  }
+
+(* Node identity always comes from the parent index (it is how
+   ancestor chains are derived); the plain variant pays an extra data
+   access for the child count the complex scorer needs. *)
+let entry_of c ~doc ~start (e : Store.Parent_index.entry) =
+  let child_count =
+    if not c.complex then -1
+    else begin
+      match c.variant with
+      | Enhanced -> e.child_count
+      | Plain -> Ctx.child_count c.ctx ~nav:Ctx.Data_access ~doc ~start
+    end
+  in
+  {
+    doc;
+    start;
+    end_ = e.end_;
+    level = e.level;
+    tag = e.tag;
+    counts = Array.make (Array.length c.heads) 0;
+    occs = Occ_buf.empty;
+    nonzero_children = 0;
+    child_count;
+  }
+
+let score_of c entry =
+  match c.mode with
+  | Counter_scoring.Simple ->
+    Counter_scoring.simple ~weights:c.weights ~counts:entry.counts
+  | Counter_scoring.Complex ->
+    Counter_scoring.complex ~weights:c.weights ~counts:entry.counts
+      ~occs:(Occ_buf.flatten entry.occs)
+      ~nonzero_children:entry.nonzero_children ~child_count:entry.child_count
+
+let pop c =
+  match c.stack with
+  | [] -> ()
+  | popped :: rest ->
+    c.stack <- rest;
+    (match rest with
+    | top :: _ when top.doc = popped.doc ->
+      Array.iteri
+        (fun i n -> top.counts.(i) <- top.counts.(i) + n)
+        popped.counts;
+      top.nonzero_children <- top.nonzero_children + 1;
+      if c.complex then top.occs <- Occ_buf.append top.occs popped.occs
+    | _ :: _ | [] -> ());
+    Queue.add
+      {
+        Scored_node.doc = popped.doc;
+        start = popped.start;
+        end_ = popped.end_;
+        level = popped.level;
+        tag = popped.tag;
+        score = score_of c popped;
+      }
+      c.pending
+
+let rec pop_non_ancestors c (occ : Ir.Postings.occ) =
+  match c.stack with
+  | top :: _ when top.doc < occ.doc || (top.doc = occ.doc && top.end_ < occ.pos)
+    ->
+    pop c;
+    pop_non_ancestors c occ
+  | _ :: _ | [] -> ()
+
+let push_chain c (occ : Ir.Postings.occ) =
+  (* collect the ancestors of the occurrence's owner element that are
+     not yet on stack, nearest first *)
+  let top_start =
+    match c.stack with
+    | top :: _ when top.doc = occ.doc -> top.start
+    | _ :: _ | [] -> -1
+  in
+  let rec collect acc start =
+    if start < 0 || start = top_start then acc
+    else begin
+      match Store.Parent_index.find c.ctx.Ctx.parents ~doc:occ.doc ~start with
+      | None -> acc (* unknown node: corrupt index; stop defensively *)
+      | Some e -> collect (entry_of c ~doc:occ.doc ~start e :: acc) e.parent
+    end
+  in
+  (* the collected chain is root-most first: push in that order *)
+  List.iter (fun e -> c.stack <- e :: c.stack) (collect [] occ.node)
+
+(* Consume input occurrences until something lands in [pending] (or
+   the join is finished). *)
+let rec refill c =
+  if Queue.is_empty c.pending && not c.drained then begin
+    match min_head c.heads with
+    | Some (h, occ) ->
+      pop_non_ancestors c occ;
+      push_chain c occ;
+      (match c.stack with
+      | top :: _ ->
+        top.counts.(h.term) <- top.counts.(h.term) + 1;
+        if c.complex then
+          top.occs <-
+            Occ_buf.append top.occs
+              (Occ_buf.singleton { Counter_scoring.term = h.term; pos = occ.pos })
+      | [] -> () (* occurrence with no known owner element *));
+      advance h;
+      refill c
+    | None ->
+      while c.stack <> [] do
+        pop c
+      done;
+      c.drained <- true
+  end
+
+let next c =
+  refill c;
+  Queue.take_opt c.pending
+
+let run ?variant ?mode ?weights ctx ~terms ~emit () =
+  let c = cursor ?variant ?mode ?weights ctx ~terms in
+  let rec drive n =
+    match next c with
+    | Some node ->
+      emit node;
+      drive (n + 1)
+    | None -> n
+  in
+  drive 0
+
+let to_list ?variant ?mode ?weights ctx ~terms =
+  let acc = ref [] in
+  let _ =
+    run ?variant ?mode ?weights ctx ~terms
+      ~emit:(fun n -> acc := n :: !acc)
+      ()
+  in
+  List.sort Scored_node.compare_pos !acc

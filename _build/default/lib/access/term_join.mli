@@ -1,0 +1,59 @@
+(** The TermJoin access method (Fig. 11).
+
+    A single merge pass over the per-term posting lists, ordered by
+    position, maintains a stack of exactly the open ancestors of the
+    current occurrence. Term counters (and, for complex scoring,
+    occurrence buffers) accumulate on the stack; when an element is
+    popped its subtree is complete, its score is computed and it is
+    emitted. Every ancestor element of any query-term occurrence is
+    emitted exactly once.
+
+    The {e plain} variant resolves each pushed node's child count
+    with a data-page access; the {e enhanced} variant reads it from
+    the parent index (Sec. 6.1 "Enhanced TermJoin"). Child counts are
+    only needed by the complex scoring function, so the variants
+    coincide under simple scoring.
+
+    The method is exposed both as a demand-driven {e cursor} — the
+    iterator shape of a pipelined query engine, holding only the
+    ancestor stack and the posting cursors — and as the push-style
+    {!run} built on top of it. *)
+
+type variant = Plain | Enhanced
+
+type cursor
+
+val cursor :
+  ?variant:variant ->
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  cursor
+(** [weights] defaults to all ones. *)
+
+val next : cursor -> Scored_node.t option
+(** The next scored ancestor, in stack-pop (document postorder)
+    order; [None] once every posting list is consumed and the stack
+    drained. *)
+
+val run :
+  ?variant:variant ->
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  emit:(Scored_node.t -> unit) ->
+  unit ->
+  int
+(** Drive a cursor to completion, calling [emit] for every scored
+    ancestor; returns the number of emitted nodes. *)
+
+val to_list :
+  ?variant:variant ->
+  ?mode:Counter_scoring.mode ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  Scored_node.t list
+(** Convenience wrapper; results in document order. *)

@@ -1,0 +1,162 @@
+type item = Store.Tag_index.item
+
+let key (i : item) = (i.doc, i.start)
+let end_key (i : item) = (i.doc, i.end_)
+
+let supported (pat : Core.Pattern.t) =
+  let rec ok_children (p : Core.Pattern.pnode) =
+    List.for_all
+      (fun (c : Core.Pattern.pnode) ->
+        c.axis = Core.Pattern.Descendant && ok_children c)
+      p.children
+  in
+  ok_children pat.root
+
+(* Per-variable state: candidate stream, stack, matched set. *)
+type node_state = {
+  var : int;
+  parent : int;  (* index into the state array, -1 for the root *)
+  children : int list;
+  stream : item array;
+  mutable cursor : int;
+  mutable stack : (item * int) array;
+  mutable size : int;
+  mutable matched : item list;
+}
+
+let head st =
+  if st.cursor < Array.length st.stream then Some st.stream.(st.cursor)
+  else None
+
+let push_entry st entry =
+  if st.size >= Array.length st.stack then begin
+    let fresh = Array.make (max 16 (2 * Array.length st.stack)) entry in
+    Array.blit st.stack 0 fresh 0 st.size;
+    st.stack <- fresh
+  end;
+  st.stack.(st.size) <- entry;
+  st.size <- st.size + 1
+
+let matches ctx (pat : Core.Pattern.t) ~var =
+  if not (supported pat) then
+    invalid_arg "Twig_stack.matches: not a descendant-axis twig";
+  (* flatten the pattern into a state array, preorder *)
+  let states = ref [] in
+  let count = ref 0 in
+  let rec flatten parent (p : Core.Pattern.pnode) =
+    let me = !count in
+    incr count;
+    let children = List.map (flatten me) p.children in
+    states :=
+      ( me,
+        {
+          var = p.var;
+          parent;
+          children;
+          stream = Array.of_list (Pattern_exec.candidates ctx p.pred);
+          cursor = 0;
+          stack = [||];
+          size = 0;
+          matched = [];
+        } )
+      :: !states;
+    me
+  in
+  let root = flatten (-1) pat.root in
+  let nodes = Array.make !count (snd (List.hd !states)) in
+  List.iter (fun (i, st) -> nodes.(i) <- st) !states;
+  (* a node's current key, with exhausted streams at infinity (the
+     sentinel of the original algorithm) *)
+  let infinity_key = (max_int, max_int) in
+  let key_of q =
+    match head nodes.(q) with Some h -> key h | None -> infinity_key
+  in
+  (* work remains while some leaf stream still has candidates *)
+  let leaves_pending () =
+    Array.exists (fun st -> st.children = [] && head st <> None) nodes
+  in
+  (* getNext (Bruno et al., Fig. 7): the next pattern node whose head
+     should be processed; when it returns q with a live head, that
+     head has a descendant extension for q's whole subtwig *)
+  let rec get_next q =
+    let st = nodes.(q) in
+    match st.children with
+    | [] -> q
+    | children ->
+      let rec resolve = function
+        | [] -> None
+        | c :: rest ->
+          let n = get_next c in
+          (* a headless return means that whole subtree is exhausted:
+             no further pushes can come from it, so it is resolved *)
+          if n <> c && key_of n <> infinity_key then Some n
+          else resolve rest
+      in
+      (match resolve children with
+      | Some deeper -> deeper
+      | None ->
+        let nmin =
+          List.fold_left
+            (fun best c -> if key_of c < key_of best then c else best)
+            (List.hd children) (List.tl children)
+        in
+        let nmax =
+          List.fold_left
+            (fun best c -> if key_of c > key_of best then c else best)
+            (List.hd children) (List.tl children)
+        in
+        (* skip q-heads that cannot contain every child head; an
+           exhausted child (infinite key) drains q entirely *)
+        let continue = ref true in
+        while !continue do
+          match head st with
+          | Some h when end_key h < key_of nmax -> st.cursor <- st.cursor + 1
+          | Some _ | None -> continue := false
+        done;
+        if key_of q < key_of nmin then q else nmin)
+  in
+  let clean_stack q (doc, start) =
+    let st = nodes.(q) in
+    let continue = ref true in
+    while !continue && st.size > 0 do
+      let top, _ = st.stack.(st.size - 1) in
+      if top.doc < doc || (top.doc = doc && top.end_ < start) then
+        st.size <- st.size - 1
+      else continue := false
+    done
+  in
+  let proper_ptr q (h : item) =
+    let parent = nodes.(q).parent in
+    if parent < 0 then -1
+    else begin
+      let ps = nodes.(parent) in
+      let i = ps.size - 1 in
+      if i >= 0 && (fst ps.stack.(i)).start = h.start && (fst ps.stack.(i)).doc = h.doc
+      then i - 1
+      else i
+    end
+  in
+  while leaves_pending () do
+    let q = get_next root in
+    let st = nodes.(q) in
+    match head st with
+    | None -> () (* every leaf head is infinite; loop condition ends *)
+    | Some h ->
+      if st.parent >= 0 then clean_stack st.parent (key h);
+      let ptr = proper_ptr q h in
+      if st.parent < 0 || ptr >= 0 then begin
+        clean_stack q (key h);
+        (* TwigStack's guarantee: this element participates in a
+           complete solution, so it is a match for its variable *)
+        st.matched <- h :: st.matched;
+        if st.children <> [] then push_entry st (h, ptr)
+      end;
+      st.cursor <- st.cursor + 1
+  done;
+  let target =
+    Array.to_list nodes |> List.find_opt (fun st -> st.var = var)
+  in
+  match target with
+  | None -> []
+  | Some st ->
+    List.sort (fun a b -> compare (key a) (key b)) st.matched

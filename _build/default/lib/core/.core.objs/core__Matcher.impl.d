@@ -1,0 +1,1 @@
+lib/core/matcher.ml: Hashtbl List Option Pattern Stree

@@ -1,0 +1,1 @@
+lib/core/matcher.mli: Pattern Stree

@@ -1,0 +1,1 @@
+lib/core/op_group.mli: Stree

@@ -1,0 +1,1 @@
+lib/core/op_join.ml: List Op_select Stree

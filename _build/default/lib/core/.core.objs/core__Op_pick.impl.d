@@ -1,0 +1,1 @@
+lib/core/op_pick.ml: List Op_project Pattern Stree

@@ -1,0 +1,1 @@
+lib/core/op_project.ml: Hashtbl List Matcher Pattern Stree

@@ -1,0 +1,1 @@
+lib/core/op_select.ml: List Matcher Option Pattern Stree

@@ -1,0 +1,1 @@
+lib/core/op_select.mli: Matcher Pattern Stree

@@ -1,0 +1,1 @@
+lib/core/op_threshold.ml: List Matcher Pattern Stree

@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Format Ir List Stree String

@@ -1,0 +1,1 @@
+lib/core/scorers.ml: Ir List Pattern Stree

@@ -1,0 +1,1 @@
+lib/core/scorers.mli: Pattern

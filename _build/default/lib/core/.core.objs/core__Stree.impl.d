@@ -1,0 +1,1 @@
+lib/core/stree.ml: Array Buffer Format List Option Printf Xmlkit

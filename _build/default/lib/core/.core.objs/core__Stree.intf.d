@@ -1,0 +1,1 @@
+lib/core/stree.mli: Format Xmlkit

@@ -1,0 +1,65 @@
+type plan =
+  | Scan of Collection.t
+  | Select of Pattern.t * plan
+  | Project of {
+      pattern : Pattern.t;
+      pl : int list;
+      drop_zero : bool;
+      input : plan;
+    }
+  | Product of plan * plan
+  | Join of Pattern.t * plan * plan
+  | Threshold of Pattern.t * Op_threshold.tc list * plan
+  | Pick of {
+      pattern : Pattern.t;
+      var : int;
+      criterion : Op_pick.criterion;
+      input : plan;
+    }
+  | Sort of plan
+  | Limit of int * plan
+
+let rec run = function
+  | Scan c -> c
+  | Select (pat, input) -> Op_select.select pat (run input)
+  | Project { pattern; pl; drop_zero; input } ->
+    Op_project.project ~drop_zero pattern ~pl (run input)
+  | Product (a, b) -> Op_join.product (run a) (run b)
+  | Join (pat, a, b) -> Op_join.join pat (run a) (run b)
+  | Threshold (pat, tcs, input) -> Op_threshold.threshold pat tcs (run input)
+  | Pick { pattern; var; criterion; input } ->
+    Op_pick.apply pattern ~var criterion (run input)
+  | Sort input -> Collection.sort_by_score (run input)
+  | Limit (k, input) -> List.filteri (fun i _ -> i < k) (run input)
+
+let rec pp_plan ppf = function
+  | Scan c -> Format.fprintf ppf "Scan(%d trees)" (Collection.size c)
+  | Select (_, input) -> Format.fprintf ppf "@[<v 2>Select@,%a@]" pp_plan input
+  | Project { pl; input; _ } ->
+    Format.fprintf ppf "@[<v 2>Project PL={%a}@,%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         (fun ppf v -> Format.fprintf ppf "$%d" v))
+      pl pp_plan input
+  | Product (a, b) ->
+    Format.fprintf ppf "@[<v 2>Product@,%a@,%a@]" pp_plan a pp_plan b
+  | Join (_, a, b) ->
+    Format.fprintf ppf "@[<v 2>Join@,%a@,%a@]" pp_plan a pp_plan b
+  | Threshold (_, tcs, input) ->
+    let pp_tc ppf (tc : Op_threshold.tc) =
+      match tc.condition with
+      | Op_threshold.Min_score v -> Format.fprintf ppf "$%d>%g" tc.var v
+      | Op_threshold.Top_rank k -> Format.fprintf ppf "$%d:top-%d" tc.var k
+    in
+    Format.fprintf ppf "@[<v 2>Threshold %a@,%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_tc)
+      tcs pp_plan input
+  | Pick { var; input; _ } ->
+    Format.fprintf ppf "@[<v 2>Pick on $%d@,%a@]" var pp_plan input
+  | Sort input -> Format.fprintf ppf "@[<v 2>Sort by score@,%a@]" pp_plan input
+  | Limit (k, input) ->
+    Format.fprintf ppf "@[<v 2>Limit %d@,%a@]" k pp_plan input
+
+let explain plan = Format.asprintf "%a" pp_plan plan

@@ -1,0 +1,21 @@
+(** Composable TIX plans.
+
+    A plan is a tree of algebra operators over base collections; it
+    documents a query the way the paper's Example 3.1 does (project,
+    then pick, then select, then threshold) and can be printed with
+    {!explain}. *)
+
+type plan =
+  | Scan of Collection.t
+  | Select of Pattern.t * plan
+  | Project of { pattern : Pattern.t; pl : int list; drop_zero : bool; input : plan }
+  | Product of plan * plan
+  | Join of Pattern.t * plan * plan
+  | Threshold of Pattern.t * Op_threshold.tc list * plan
+  | Pick of { pattern : Pattern.t; var : int; criterion : Op_pick.criterion; input : plan }
+  | Sort of plan
+  | Limit of int * plan
+
+val run : plan -> Collection.t
+val explain : plan -> string
+val pp_plan : Format.formatter -> plan -> unit

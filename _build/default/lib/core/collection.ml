@@ -1,0 +1,22 @@
+type t = Stree.t list
+
+let of_elements els = List.map (fun e -> Stree.of_element e) els
+let singleton t = [ t ]
+let size = List.length
+
+let sort_by_score trees =
+  List.stable_sort
+    (fun a b -> compare (Stree.score b) (Stree.score a))
+    trees
+
+let best trees =
+  match sort_by_score trees with [] -> None | t :: _ -> Some t
+
+let scores trees = List.map Stree.score trees
+
+let pp ppf trees =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i t -> Format.fprintf ppf "%d: %a@," i Stree.pp t)
+    trees;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,18 @@
+(** Collections of scored trees: the carrier of the TIX algebra. *)
+
+type t = Stree.t list
+
+val of_elements : Xmlkit.Tree.element list -> t
+val singleton : Stree.t -> t
+val size : t -> int
+
+val sort_by_score : t -> t
+(** Highest score first; stable. *)
+
+val best : t -> Stree.t option
+(** Highest-scoring tree. *)
+
+val scores : t -> float list
+(** Root scores in collection order (null scores as 0). *)
+
+val pp : Format.formatter -> t -> unit

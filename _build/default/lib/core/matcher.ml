@@ -1,0 +1,88 @@
+type binding = (int * Stree.t) list
+
+let axis_candidates axis (node : Stree.t) =
+  match axis with
+  | Pattern.Child -> Stree.child_nodes node
+  | Pattern.Descendant ->
+    List.concat_map Stree.self_or_descendants (Stree.child_nodes node)
+  | Pattern.Self_or_descendant -> Stree.self_or_descendants node
+
+(* All embeddings of pattern node [p] rooted at data node [n]
+   (which is already known to be a candidate for [p]). *)
+let rec embed_at (p : Pattern.pnode) (n : Stree.t) : binding list =
+  if not (Pattern.holds p.pred n) then []
+  else begin
+    let per_child =
+      List.map
+        (fun (c : Pattern.pnode) ->
+          List.concat_map (embed_at c) (axis_candidates c.axis n))
+        p.children
+    in
+    if List.exists (fun l -> l = []) per_child then []
+    else begin
+      let combine acc child_bindings =
+        List.concat_map
+          (fun prefix -> List.map (fun b -> prefix @ b) child_bindings)
+          acc
+      in
+      let tails = List.fold_left combine [ [] ] per_child in
+      List.map (fun tail -> (p.var, n) :: tail) tails
+    end
+  end
+
+let embeddings (pat : Pattern.t) (tree : Stree.t) =
+  List.concat_map (embed_at pat.root) (Stree.self_or_descendants tree)
+
+(* Semi-join filtering: [n] supports [p] when the predicate holds and
+   every pattern child has a supporting candidate below [n]. *)
+let rec supports (p : Pattern.pnode) (n : Stree.t) =
+  Pattern.holds p.pred n
+  && List.for_all
+       (fun (c : Pattern.pnode) ->
+         List.exists (supports c) (axis_candidates c.axis n))
+       p.children
+
+let matches_of_var (pat : Pattern.t) var (tree : Stree.t) =
+  (* Nodes bound to [var] in some embedding: walk every way the
+     pattern path from the root to [var] can be placed, with
+     semi-join support checks for the off-path subtrees. *)
+  let rec path_to (p : Pattern.pnode) =
+    if p.var = var then Some [ p ]
+    else
+      List.find_map
+        (fun c -> Option.map (fun rest -> p :: rest) (path_to c))
+        p.children
+  in
+  match path_to pat.root with
+  | None -> []
+  | Some path ->
+    let rec walk (path : Pattern.pnode list) candidates =
+      match path with
+      | [] -> []
+      | [ last ] -> List.filter (supports last) candidates
+      | p :: (next :: _ as rest) ->
+        let here = List.filter (supports p) candidates in
+        let below =
+          List.concat_map (axis_candidates next.Pattern.axis) here
+        in
+        walk rest below
+    in
+    let initial = Stree.self_or_descendants tree in
+    let found = walk path initial in
+    (* dedup by id, preserving document order *)
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun (n : Stree.t) ->
+        let key =
+          match n.id with
+          | Stree.Stored { doc; start } -> (doc, start, 0)
+          | Stree.Synthetic k -> (-1, k, 1)
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      found
+
+let lookup (b : binding) var = List.assoc_opt var b

@@ -1,0 +1,18 @@
+(** Pattern-tree matching against scored data trees.
+
+    An embedding maps every pattern variable to a data node such that
+    the axes and predicates hold. The pattern root may bind to the
+    data tree's root or to any of its descendants. *)
+
+type binding = (int * Stree.t) list
+(** Variable to data-node assignment, in pattern preorder. *)
+
+val embeddings : Pattern.t -> Stree.t -> binding list
+(** All embeddings, in document order of the root match. *)
+
+val matches_of_var : Pattern.t -> int -> Stree.t -> Stree.t list
+(** Distinct data nodes (by id) that the variable binds to in some
+    embedding; computed by semi-join pruning without enumerating
+    embeddings. *)
+
+val lookup : binding -> int -> Stree.t option

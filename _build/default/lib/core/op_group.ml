@@ -1,0 +1,38 @@
+let group_tag = "tix_group"
+
+let group_by ~basis ?order trees =
+  let table : (string, Stree.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let keys_in_order = ref [] in
+  List.iter
+    (fun tree ->
+      let key = basis tree in
+      match Hashtbl.find_opt table key with
+      | Some members -> members := tree :: !members
+      | None ->
+        Hashtbl.replace table key (ref [ tree ]);
+        keys_in_order := key :: !keys_in_order)
+    trees;
+  List.rev_map
+    (fun key ->
+      let members = List.rev !(Hashtbl.find table key) in
+      let members =
+        match order with
+        | Some cmp -> List.stable_sort cmp members
+        | None -> members
+      in
+      Stree.make ~attrs:[ ("key", key) ] group_tag
+        (List.map (fun m -> Stree.Node m) members))
+    !keys_in_order
+
+let empty_basis _ = ""
+
+let by_score_desc a b = compare (Stree.score b) (Stree.score a)
+
+let leftmost k (group : Stree.t) =
+  List.filteri (fun i _ -> i < k) (Stree.child_nodes group)
+
+let top_k_via_grouping k trees =
+  match group_by ~basis:empty_basis ~order:by_score_desc trees with
+  | [] -> []
+  | [ group ] -> leftmost k group
+  | _ :: _ -> assert false (* the empty basis yields a single group *)

@@ -1,0 +1,35 @@
+(** Grouping and ordering, inherited from TAX.
+
+    Sec. 3.3.1 defines K-based thresholding in terms of existing
+    operators: "a grouping on the data IR-nodes using an empty
+    grouping basis with the ordering function based on the score; a
+    projection is then applied to retain the leftmost K subtrees".
+    This module provides that grouping operator and the derived
+    top-K, which the tests check against {!Op_threshold}. *)
+
+val group_tag : string
+(** Tag of constructed group roots ([tix_group]). *)
+
+val group_by :
+  basis:(Stree.t -> string) ->
+  ?order:(Stree.t -> Stree.t -> int) ->
+  Stree.t list ->
+  Stree.t list
+(** Partition the collection by the grouping basis; each output tree
+    is a [tix_group] root (with a [key] attribute) whose subtrees are
+    the group's members, ordered by [order] (default: document
+    order of arrival). Groups appear in order of first member. *)
+
+val empty_basis : Stree.t -> string
+(** The empty grouping basis: everything in one group. *)
+
+val by_score_desc : Stree.t -> Stree.t -> int
+(** Ordering function on scores, best first. *)
+
+val leftmost : int -> Stree.t -> Stree.t list
+(** Projection retaining the leftmost K subtrees of a group tree. *)
+
+val top_k_via_grouping : int -> Stree.t list -> Stree.t list
+(** The paper's encoding of the K-threshold: group with the empty
+    basis, order by score, retain the leftmost K. Equals
+    [Op_threshold.top_k_by_score] up to tie order. *)

@@ -1,0 +1,11 @@
+let prod_root_tag = "tix_prod_root"
+
+let product c1 c2 =
+  List.concat_map
+    (fun a ->
+      List.map
+        (fun b -> Stree.make prod_root_tag [ Stree.Node a; Stree.Node b ])
+        c2)
+    c1
+
+let join pat c1 c2 = Op_select.select pat (product c1 c2)

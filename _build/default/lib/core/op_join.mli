@@ -1,0 +1,13 @@
+(** Scored join (Sec. 3.2.3): a selection over the product of two
+    collections. Every pair of input trees is combined under a fresh
+    [tix_prod_root]; join conditions in the selection pattern can be
+    scored ([Pattern.Similarity] rules). *)
+
+val product : Stree.t list -> Stree.t list -> Stree.t list
+(** The scored product: each output root has tag [tix_prod_root], a
+    fresh synthetic id and a null score. *)
+
+val join : Pattern.t -> Stree.t list -> Stree.t list -> Stree.t list
+(** [join pat c1 c2 = Op_select.select pat (product c1 c2)]. *)
+
+val prod_root_tag : string

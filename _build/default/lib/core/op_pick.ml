@@ -1,0 +1,112 @@
+type criterion = {
+  worth : Stree.t -> bool;
+  sibling_filter : Stree.t list -> Stree.t list;
+}
+
+let criterion ?(sibling_filter = fun l -> l) worth = { worth; sibling_filter }
+
+let pick_foo ?(threshold = 0.8) ?(fraction = 0.5) () =
+  let worth (n : Stree.t) =
+    match Stree.child_nodes n with
+    | [] -> Stree.score n >= threshold
+    | children ->
+      let total = List.length children in
+      let relevant =
+        List.length
+          (List.filter (fun c -> Stree.score c >= threshold) children)
+      in
+      float_of_int relevant /. float_of_int total > fraction
+  in
+  criterion worth
+
+let worth_by_histogram ~quantile ~scores ?fraction () =
+  (* Build a histogram once; its quantile becomes the PickFoo
+     threshold, sparing the user from guessing an absolute score. *)
+  let sorted = List.sort compare scores in
+  let n = List.length sorted in
+  let threshold =
+    if n = 0 then 0.
+    else begin
+      let idx =
+        min (n - 1) (int_of_float (quantile *. float_of_int n))
+      in
+      List.nth sorted idx
+    end
+  in
+  pick_foo ~threshold ?fraction ()
+
+let returned crit ~candidates tree =
+  let acc = ref [] in
+  let rec walk parent_returned (n : Stree.t) =
+    let is_returned =
+      candidates n && crit.worth n && not parent_returned
+    in
+    if is_returned then acc := n :: !acc;
+    List.iter (walk is_returned) (Stree.child_nodes n)
+  in
+  walk false tree;
+  let in_order = List.rev !acc in
+  let is_in l n = List.exists (fun m -> m == n) l in
+  (* Horizontal redundancy: the sibling filter runs over the returned
+     nodes that share a parent; the root has no siblings. *)
+  let surviving = ref (if is_in in_order tree then [ tree ] else []) in
+  let rec regroup (n : Stree.t) =
+    let children = Stree.child_nodes n in
+    let returned_children = List.filter (is_in in_order) children in
+    let chosen = crit.sibling_filter returned_children in
+    List.iter
+      (fun c -> if is_in chosen c then surviving := c :: !surviving)
+      returned_children;
+    List.iter regroup children
+  in
+  regroup tree;
+  List.filter (is_in !surviving) in_order
+
+let apply (pat : Pattern.t) ~var crit trees =
+  (* The input trees are operator outputs (projections, witnesses):
+     their data IR-nodes carry scores, but the original pattern need
+     not structurally embed anymore (projection elides nodes). A
+     candidate is therefore a scored node satisfying the variable's
+     predicate. *)
+  let pred =
+    match Pattern.find_var pat var with
+    | Some p -> p.pred
+    | None -> Pattern.Not Pattern.True
+  in
+  let apply_tree tree =
+    let is_candidate (n : Stree.t) =
+      n.score <> None && Pattern.holds pred n
+    in
+    let keep = returned crit ~candidates:is_candidate tree in
+    let is_returned n = List.exists (fun m -> m == n) keep in
+    let rec rebuild (n : Stree.t) : Stree.child list =
+      let drop = is_candidate n && not (is_returned n) in
+      let children =
+        List.concat_map
+          (fun c ->
+            match c with
+            | Stree.Content s -> if drop then [] else [ Stree.Content s ]
+            | Stree.Node m -> rebuild m)
+          n.children
+      in
+      if drop then children
+      else [ Stree.Node { n with children } ]
+    in
+    let root =
+      (* the root survives structurally; its candidacy, when dropped,
+         only clears its score *)
+      let drop_root = is_candidate tree && not (is_returned tree) in
+      let children =
+        List.concat_map
+          (fun c ->
+            match c with
+            | Stree.Content s -> [ Stree.Content s ]
+            | Stree.Node m -> rebuild m)
+          tree.children
+      in
+      let score = if drop_root then None else tree.score in
+      { tree with children; score }
+    in
+    Op_project.rescore_secondary pat ~pl:[] root
+  in
+  List.map apply_tree trees

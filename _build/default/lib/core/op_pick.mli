@@ -1,0 +1,47 @@
+(** The Pick operator (Sec. 3.3.2): granularity selection.
+
+    Among the data IR-nodes matching one pattern variable, Pick
+    returns the nodes worth presenting to the user and eliminates
+    vertical (ancestor/descendant) and horizontal (sibling)
+    redundancy. This module is the reference (specification)
+    implementation; [Access.Pick_stack] implements the paper's
+    stack-based streaming algorithm (Fig. 12) and is tested against
+    this one. *)
+
+type criterion = {
+  worth : Stree.t -> bool;
+      (** the DetWorth function: is this node worth returning, based
+          on its own score and its children's scores *)
+  sibling_filter : Stree.t list -> Stree.t list;
+      (** horizontal redundancy elimination over returned siblings
+          (e.g. keep only the first); defaults to the identity *)
+}
+
+val criterion :
+  ?sibling_filter:(Stree.t list -> Stree.t list) ->
+  (Stree.t -> bool) ->
+  criterion
+
+val pick_foo : ?threshold:float -> ?fraction:float -> unit -> criterion
+(** The paper's PickFoo (Fig. 9): a node with children is worth
+    returning when more than [fraction] (default 0.5) of its children
+    have score at least [threshold] (default 0.8); a leaf is worth
+    returning when its own score reaches the threshold. *)
+
+val worth_by_histogram :
+  quantile:float -> scores:float list -> ?fraction:float -> unit -> criterion
+(** Sec. 5.3: derive the relevance threshold from the distribution of
+    scores (a histogram quantile) instead of asking the user for an
+    absolute value. *)
+
+val returned : criterion -> candidates:(Stree.t -> bool) -> Stree.t -> Stree.t list
+(** The returned set: a candidate is returned iff it is worth
+    returning and its (immediate) parent is not returned —
+    parent/child redundancy elimination. Document order. *)
+
+val apply : Pattern.t -> var:int -> criterion -> Stree.t list -> Stree.t list
+(** Apply Pick to each tree of a collection: candidates are the
+    matches of [var]; candidates that are not returned are elided
+    (children promoted; the tree root is kept but its score is
+    cleared when its candidacy is dropped), then secondary scores are
+    refreshed via {!Op_project.rescore_secondary}. *)

@@ -1,0 +1,136 @@
+let id_key (n : Stree.t) =
+  match n.id with
+  | Stree.Stored { doc; start } -> (doc, start, 0)
+  | Stree.Synthetic k -> (-1, k, 1)
+
+(* Is [d] the node [a] itself or one of its descendants? Matches come
+   from the same tree, so physical identity is reliable. *)
+let in_subtree (a : Stree.t) (d : Stree.t) =
+  List.exists (fun n -> n == d) (Stree.self_or_descendants a)
+
+let project ?(drop_zero = true) (pat : Pattern.t) ~pl trees =
+  let project_tree tree =
+    let matches_of var = Matcher.matches_of_var pat var tree in
+    let scores : (int * int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    let kept : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let assign node s =
+      let key = id_key node in
+      match Hashtbl.find_opt scores key with
+      | Some prev when prev >= s -> ()
+      | Some _ | None -> Hashtbl.replace scores key s
+    in
+    (* First pass: primary scores. *)
+    let primary_scored = ref [] in
+    List.iter
+      (fun var ->
+        match Pattern.rule_for pat var with
+        | Some { expr = Pattern.Node_score scorer; _ } ->
+          List.iter
+            (fun node ->
+              let s = scorer.eval node in
+              (* a zero-score match is removed as an IR-node: it gets
+                 neither kept nor scored (it may still be retained as
+                 the match of another variable, unscored, like the
+                 sname in Fig. 6) *)
+              if (not drop_zero) || s > 0. then begin
+                assign node s;
+                Hashtbl.replace kept (id_key node) ();
+                primary_scored := (var, node, s) :: !primary_scored
+              end)
+            (matches_of var)
+        | Some _ | None ->
+          List.iter
+            (fun node -> Hashtbl.replace kept (id_key node) ())
+            (matches_of var))
+      pl;
+    let any_match = Hashtbl.length kept > 0 in
+    (* Second pass: secondary scores; the best score achievable from
+       the retained primary matches inside the secondary node's
+       subtree. *)
+    let rec eval_secondary node (expr : Pattern.score_expr) =
+      match expr with
+      | Pattern.Best_of v ->
+        List.fold_left
+          (fun acc (var, m, s) ->
+            if var = v && in_subtree node m then max acc s else acc)
+          0. !primary_scored
+      | Pattern.Const c -> c
+      | Pattern.Combine { inputs; eval; _ } ->
+        eval (List.map (eval_secondary node) inputs)
+      | Pattern.Node_score scorer -> scorer.eval node
+      | Pattern.Similarity _ -> 0.
+    in
+    List.iter
+      (fun (rule : Pattern.rule) ->
+        match rule.expr with
+        | Pattern.Node_score _ -> ()
+        | expr ->
+          List.iter
+            (fun node ->
+              if Hashtbl.mem kept (id_key node) || List.mem rule.target pl
+              then begin
+                let s = eval_secondary node expr in
+                assign node s;
+                if List.mem rule.target pl then
+                  Hashtbl.replace kept (id_key node) ()
+              end)
+            (matches_of rule.target))
+      pat.rules;
+    if not any_match then []
+    else begin
+      let rec rebuild (n : Stree.t) : Stree.child list =
+        let is_kept = Hashtbl.mem kept (id_key n) in
+        let children =
+          List.concat_map
+            (fun c ->
+              match c with
+              | Stree.Content s ->
+                if is_kept then [ Stree.Content s ] else []
+              | Stree.Node m -> rebuild m)
+            n.children
+        in
+        if is_kept then
+          [ Stree.Node { n with score = Hashtbl.find_opt scores (id_key n); children } ]
+        else children
+      in
+      List.filter_map
+        (fun c ->
+          match c with Stree.Node n -> Some n | Stree.Content _ -> None)
+        (rebuild tree)
+    end
+  in
+  List.concat_map project_tree trees
+
+let rescore_secondary (pat : Pattern.t) ~pl:_ tree =
+  let pred_of var =
+    match Pattern.find_var pat var with
+    | Some p -> p.pred
+    | None -> Pattern.Not Pattern.True
+  in
+  let rec rescore (rule : Pattern.rule) (n : Stree.t) : Stree.t =
+    let children =
+      List.map
+        (fun c ->
+          match c with
+          | Stree.Node m -> Stree.Node (rescore rule m)
+          | Stree.Content _ -> c)
+        n.children
+    in
+    let n = { n with children } in
+    match rule.expr with
+    | Pattern.Best_of v when Pattern.holds (pred_of rule.target) n ->
+      let best =
+        List.fold_left
+          (fun acc (d : Stree.t) ->
+            match d.score with
+            | Some s when Pattern.holds (pred_of v) d -> max acc s
+            | Some _ | None -> acc)
+          0.
+          (Stree.self_or_descendants n)
+      in
+      { n with score = Some best }
+    | Pattern.Best_of _ | Pattern.Node_score _ | Pattern.Similarity _
+    | Pattern.Combine _ | Pattern.Const _ ->
+      n
+  in
+  List.fold_left (fun tree rule -> rescore rule tree) tree pat.rules

@@ -1,0 +1,19 @@
+(** Scored projection (Sec. 3.2.2).
+
+    One output tree per input tree: nodes that match no projection-
+    list variable are elided (their children are promoted), matched
+    nodes keep their relative hierarchy. Data nodes matching primary
+    IR variables are scored with the variable's scoring function;
+    nodes matching secondary variables get the best score achievable
+    among the retained matches of the variable their rule refers to. *)
+
+val project :
+  ?drop_zero:bool -> Pattern.t -> pl:int list -> Stree.t list -> Stree.t list
+(** [drop_zero] (default true) removes primary-match nodes whose
+    score is 0, as in the paper's Fig. 6. Input trees in which the
+    pattern does not embed produce no output. *)
+
+val rescore_secondary : Pattern.t -> pl:int list -> Stree.t -> Stree.t
+(** Recompute secondary (Best_of) scores from the scores currently in
+    the tree — used after a Pick prunes some matches, which changes
+    the best achievable score dynamically (Sec. 3.2.2/3.3.2). *)

@@ -1,0 +1,54 @@
+(* Evaluate a scoring expression under one embedding. [score_of] is
+   used to resolve [Best_of]: within a single embedding a variable
+   binds to exactly one node, so "best" is that node's own score. *)
+let rec eval_expr (pat : Pattern.t) (b : Matcher.binding)
+    (expr : Pattern.score_expr) : float =
+  match expr with
+  | Pattern.Node_score _ -> invalid_arg "eval_expr: Node_score out of context"
+  | Pattern.Best_of v -> begin
+    match var_score pat b v with
+    | Some s -> s
+    | None -> 0.
+  end
+  | Pattern.Similarity { left; right; sim; _ } -> begin
+    match Matcher.lookup b left, Matcher.lookup b right with
+    | Some l, Some r -> sim (Stree.all_text l) (Stree.all_text r)
+    | (Some _ | None), _ -> 0.
+  end
+  | Pattern.Combine { inputs; eval; _ } ->
+    eval (List.map (eval_expr pat b) inputs)
+  | Pattern.Const c -> c
+
+and var_score (pat : Pattern.t) (b : Matcher.binding) var : float option =
+  match Pattern.rule_for pat var with
+  | None -> None
+  | Some { expr = Pattern.Node_score scorer; _ } ->
+    Option.map scorer.eval (Matcher.lookup b var)
+  | Some { expr; _ } -> Some (eval_expr pat b expr)
+
+let score_of_binding = var_score
+
+(* Build the witness tree for one embedding. *)
+let rec witness (pat : Pattern.t) (b : Matcher.binding) (p : Pattern.pnode) :
+    Stree.t option =
+  match Matcher.lookup b p.var with
+  | None -> None
+  | Some node ->
+    let score = var_score pat b p.var in
+    let score = match score with Some _ -> score | None -> node.score in
+    if p.children = [] then Some { node with score }
+    else begin
+      let children =
+        List.filter_map (fun c -> witness pat b c) p.children
+        |> List.map (fun n -> Stree.Node n)
+      in
+      Some { node with score; children }
+    end
+
+let select (pat : Pattern.t) (trees : Stree.t list) =
+  List.concat_map
+    (fun tree ->
+      List.filter_map
+        (fun b -> witness pat b pat.root)
+        (Matcher.embeddings pat tree))
+    trees

@@ -1,0 +1,14 @@
+(** Scored selection (Sec. 3.2.1).
+
+    For every input tree and every embedding of the scored pattern
+    tree, output one witness tree shaped like the pattern: each
+    pattern variable contributes the data node it binds to (leaf
+    variables keep their whole subtree), and IR-nodes carry scores
+    computed by the pattern's scoring rules. *)
+
+val select : Pattern.t -> Stree.t list -> Stree.t list
+
+val score_of_binding : Pattern.t -> Matcher.binding -> int -> float option
+(** Score that the pattern's rules assign to the given variable
+    under one embedding; [None] when the variable has no rule.
+    Exposed for the Threshold operator and for tests. *)

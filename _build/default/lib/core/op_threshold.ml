@@ -1,0 +1,49 @@
+type condition = Min_score of float | Top_rank of int
+type tc = { var : int; condition : condition }
+
+let match_scores pat var tree =
+  List.filter_map
+    (fun (n : Stree.t) -> n.score)
+    (Matcher.matches_of_var pat var tree)
+
+let satisfies_min pat var v tree =
+  List.exists (fun s -> s > v) (match_scores pat var tree)
+
+(* K-based thresholding needs the global ranking of matches across the
+   collection (Sec. 5.3): compute the K-th best score and fall back to
+   a min-score test at that cut, breaking ties by keeping them (the
+   paper's definition is rank-based on scores). *)
+let kth_best_score pat var k trees =
+  let all = List.concat_map (match_scores pat var) trees in
+  let sorted = List.sort (fun a b -> compare b a) all in
+  let rec nth i = function
+    | [] -> None
+    | s :: rest -> if i = k then Some s else nth (i + 1) rest
+  in
+  nth 1 sorted
+
+let threshold (pat : Pattern.t) (tcs : tc list) trees =
+  let keep_for tc =
+    match tc.condition with
+    | Min_score v -> fun tree -> satisfies_min pat tc.var v tree
+    | Top_rank k -> begin
+      match kth_best_score pat tc.var k trees with
+      | None -> fun _ -> true (* fewer than K matches: keep everything *)
+      | Some cut ->
+        fun tree -> List.exists (fun s -> s >= cut) (match_scores pat tc.var tree)
+    end
+  in
+  let preds = List.map keep_for tcs in
+  List.filter (fun tree -> List.for_all (fun p -> p tree) preds) trees
+
+let top_k_by_score k trees =
+  let indexed = List.mapi (fun i t -> (i, t)) trees in
+  let sorted =
+    List.sort
+      (fun (i, a) (j, b) ->
+        match compare (Stree.score b) (Stree.score a) with
+        | 0 -> compare i j
+        | c -> c)
+      indexed
+  in
+  List.filteri (fun rank _ -> rank < k) (List.map snd sorted)

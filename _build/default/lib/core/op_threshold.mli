@@ -1,0 +1,22 @@
+(** The Threshold operator (Sec. 3.3.1).
+
+    Filters a collection of scored trees by conditions on the data
+    IR-nodes matching given pattern variables: a real threshold [V]
+    keeps trees in which some match scores above [V]; an integer
+    threshold [K] keeps trees containing one of the [K] best-scoring
+    matches across the whole input collection. *)
+
+type condition =
+  | Min_score of float  (** strictly above the given value *)
+  | Top_rank of int  (** rank at most K over the whole collection *)
+
+type tc = { var : int; condition : condition }
+
+val threshold : Pattern.t -> tc list -> Stree.t list -> Stree.t list
+(** Trees must satisfy every condition to be retained; document
+    order is preserved. *)
+
+val top_k_by_score : int -> Stree.t list -> Stree.t list
+(** Convenience: the K highest-scoring trees of a collection,
+    best first (ties keep input order). Corresponds to thresholding
+    on the collection roots. *)

@@ -1,0 +1,120 @@
+type axis = Child | Descendant | Self_or_descendant
+
+type pred =
+  | True
+  | Tag of string
+  | Content_eq of string
+  | Content_has of string
+  | Attr of string * string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type scorer = { scorer_name : string; eval : Stree.t -> float }
+
+type score_expr =
+  | Node_score of scorer
+  | Best_of of int
+  | Similarity of {
+      left : int;
+      right : int;
+      sim_name : string;
+      sim : string -> string -> float;
+    }
+  | Combine of {
+      comb_name : string;
+      inputs : score_expr list;
+      eval : float list -> float;
+    }
+  | Const of float
+
+type rule = { target : int; expr : score_expr }
+type pnode = { var : int; axis : axis; pred : pred; children : pnode list }
+type t = { root : pnode; rules : rule list }
+
+let pnode ?(axis = Child) ?(pred = True) var children =
+  { var; axis; pred; children }
+
+let make root rules = { root; rules }
+
+let rec vars_of_pnode acc p =
+  List.fold_left vars_of_pnode (p.var :: acc) p.children
+
+let vars t = List.rev (vars_of_pnode [] t.root)
+
+let find_var t var =
+  let rec go p =
+    if p.var = var then Some p else List.find_map go p.children
+  in
+  go t.root
+
+let rule_for t var = List.find_opt (fun r -> r.target = var) t.rules
+
+let is_primary t var =
+  match rule_for t var with
+  | Some { expr = Node_score _; _ } -> true
+  | Some _ | None -> false
+
+let is_ir_node t var =
+  match rule_for t var with
+  | Some _ -> true
+  | None ->
+    (match find_var t var with
+    | None -> false
+    | Some p ->
+      let rec has_primary p =
+        is_primary t p.var || List.exists has_primary p.children
+      in
+      List.exists has_primary p.children)
+
+let rec holds pred (node : Stree.t) =
+  match pred with
+  | True -> true
+  | Tag tag -> node.tag = tag
+  | Content_eq s -> String.trim (Stree.all_text node) = s
+  | Content_has phrase ->
+    Ir.Phrase.contains ~terms:(Ir.Phrase.parse phrase) (Stree.all_text node)
+  | Attr (name, value) -> List.assoc_opt name node.attrs = Some value
+  | And (a, b) -> holds a node && holds b node
+  | Or (a, b) -> holds a node || holds b node
+  | Not a -> not (holds a node)
+
+let pp_axis ppf = function
+  | Child -> Format.pp_print_string ppf "pc"
+  | Descendant -> Format.pp_print_string ppf "ad"
+  | Self_or_descendant -> Format.pp_print_string ppf "ad*"
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Tag tag -> Format.fprintf ppf "tag=%s" tag
+  | Content_eq s -> Format.fprintf ppf "content=%S" s
+  | Content_has s -> Format.fprintf ppf "contains(%S)" s
+  | Attr (k, v) -> Format.fprintf ppf "@%s=%S" k v
+  | And (a, b) -> Format.fprintf ppf "(%a & %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp_pred a pp_pred b
+  | Not a -> Format.fprintf ppf "!(%a)" pp_pred a
+
+let rec pp_expr ppf = function
+  | Node_score s -> Format.fprintf ppf "%s($self)" s.scorer_name
+  | Best_of v -> Format.fprintf ppf "best($%d)" v
+  | Similarity { left; right; sim_name; _ } ->
+    Format.fprintf ppf "%s($%d, $%d)" sim_name left right
+  | Combine { comb_name; inputs; _ } ->
+    Format.fprintf ppf "%s(%a)" comb_name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_expr)
+      inputs
+  | Const c -> Format.fprintf ppf "%g" c
+
+let pp ppf t =
+  let rec pp_pnode ppf p =
+    Format.fprintf ppf "@[<v 2>$%d[%a]{%a}" p.var pp_axis p.axis pp_pred p.pred;
+    List.iter (fun c -> Format.fprintf ppf "@,%a" pp_pnode c) p.children;
+    Format.fprintf ppf "@]"
+  in
+  Format.fprintf ppf "@[<v>T: %a@,S:" pp_pnode t.root;
+  List.iter
+    (fun r -> Format.fprintf ppf "@,  $%d.score = %a" r.target pp_expr r.expr)
+    t.rules;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,81 @@
+(** Scored pattern trees (Definition 2).
+
+    A scored pattern tree is a triple [(T, F, S)]: a tree [T] of
+    integer-labeled variables with pc / ad / ad* edges, a boolean
+    formula [F] of node predicates, and a set [S] of scoring rules
+    defining how matched IR-nodes are scored. Here the per-variable
+    predicates and the scoring rules are attached directly to the
+    variables, which is the conjunctive fragment the paper's example
+    queries use. *)
+
+type axis =
+  | Child  (** pc *)
+  | Descendant  (** ad *)
+  | Self_or_descendant  (** ad* *)
+
+type pred =
+  | True
+  | Tag of string
+  | Content_eq of string  (** whole-subtree text equals, after trimming *)
+  | Content_has of string  (** contains the given phrase (stemmed) *)
+  | Attr of string * string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type scorer = {
+  scorer_name : string;
+  eval : Stree.t -> float;  (** applied to a matched data node *)
+}
+
+type score_expr =
+  | Node_score of scorer
+      (** a primary IR-node: score the matched node itself *)
+  | Best_of of int
+      (** a secondary IR-node: the highest score among the data
+          IR-nodes matching the given variable (Sec. 3.2.2) *)
+  | Similarity of {
+      left : int;
+      right : int;
+      sim_name : string;
+      sim : string -> string -> float;
+    }  (** an IR-style join condition on two matched nodes' content *)
+  | Combine of {
+      comb_name : string;
+      inputs : score_expr list;
+      eval : float list -> float;
+    }
+  | Const of float
+
+type rule = { target : int; expr : score_expr }
+
+type pnode = { var : int; axis : axis; pred : pred; children : pnode list }
+
+type t = { root : pnode; rules : rule list }
+
+val pnode : ?axis:axis -> ?pred:pred -> int -> pnode list -> pnode
+(** [axis] defaults to [Child] (ignored on the pattern root);
+    [pred] defaults to [True]. *)
+
+val make : pnode -> rule list -> t
+
+val vars : t -> int list
+(** All variables, in preorder. *)
+
+val find_var : t -> int -> pnode option
+
+val rule_for : t -> int -> rule option
+(** The scoring rule targeting the given variable, if any. *)
+
+val is_primary : t -> int -> bool
+(** The variable carries a [Node_score] rule. *)
+
+val is_ir_node : t -> int -> bool
+(** The variable carries any scoring rule, or has a primary IR-node
+    in its pattern subtree (which makes it a secondary IR-node,
+    Sec. 3.1). *)
+
+val holds : pred -> Stree.t -> bool
+(** Predicate evaluation against a data node. *)
+
+val pp : Format.formatter -> t -> unit

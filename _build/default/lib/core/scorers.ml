@@ -1,0 +1,49 @@
+let score_foo ?(primary_weight = 0.8) ?(secondary_weight = 0.6) ~primary
+    ~secondary () =
+  let parse = List.map (fun p -> Ir.Phrase.parse p) in
+  let primary = parse primary and secondary = parse secondary in
+  let eval node =
+    let text = Stree.all_text node in
+    let count terms = float_of_int (Ir.Phrase.count ~terms text) in
+    let sum weight phrases =
+      List.fold_left (fun acc terms -> acc +. (weight *. count terms)) 0. phrases
+    in
+    sum primary_weight primary +. sum secondary_weight secondary
+  in
+  { Pattern.scorer_name = "ScoreFoo"; eval }
+
+let tfidf ~doc_count ~doc_freq ~terms () =
+  let eval node =
+    let text = Stree.all_text node in
+    let element_size = Ir.Tokenizer.count text in
+    List.fold_left
+      (fun acc term ->
+        let count = Ir.Phrase.count ~terms:[ term ] text in
+        acc
+        +. Ir.Tfidf.normalized_weight ~doc_count ~doc_freq:(doc_freq term)
+             ~count ~element_size)
+      0. terms
+  in
+  { Pattern.scorer_name = "tfidf"; eval }
+
+let bm25 ~doc_count ~doc_freq ~avg_size ~terms () =
+  let eval node =
+    let text = Stree.all_text node in
+    let element_size = Ir.Tokenizer.count text in
+    List.fold_left
+      (fun acc term ->
+        let count = Ir.Phrase.count ~terms:[ term ] text in
+        acc
+        +. Ir.Bm25.score ~doc_count ~doc_freq:(doc_freq term) ~count
+             ~element_size ~avg_size ())
+      0. terms
+  in
+  { Pattern.scorer_name = "bm25"; eval }
+
+let score_sim a b = float_of_int (Ir.Similarity.count_same a b)
+let cosine_sim = Ir.Similarity.cosine
+
+let score_bar inputs =
+  match inputs with
+  | [ join_score; score ] -> if score > 0. then join_score +. score else 0.
+  | _ -> invalid_arg "score_bar: expects [joinScore; score]"

@@ -1,0 +1,44 @@
+(** The paper's user-defined scoring functions (Fig. 9) and the more
+    realistic tf·idf alternative it mentions. *)
+
+val score_foo :
+  ?primary_weight:float ->
+  ?secondary_weight:float ->
+  primary:string list ->
+  secondary:string list ->
+  unit ->
+  Pattern.scorer
+(** ScoreFoo: weighted sum of phrase-occurrence counts over the
+    node's whole text ([alltext()]); primary phrases default to
+    weight 0.8, secondary to 0.6. Phrases are given as strings
+    ("information retrieval") and matched stemmed. *)
+
+val tfidf :
+  doc_count:int ->
+  doc_freq:(string -> int) ->
+  terms:string list ->
+  unit ->
+  Pattern.scorer
+(** Sum of element-size-normalized tf·idf weights of the query
+    terms, the "more representative of what an IR system would do"
+    scoring of Sec. 3.1. *)
+
+val bm25 :
+  doc_count:int ->
+  doc_freq:(string -> int) ->
+  avg_size:float ->
+  terms:string list ->
+  unit ->
+  Pattern.scorer
+(** Sum of Okapi BM25 contributions of the query terms over the
+    node's text; [avg_size] is the collection's average element size
+    in tokens. *)
+
+val score_sim : string -> string -> float
+(** ScoreSim: number of terms common to both texts. *)
+
+val cosine_sim : string -> string -> float
+
+val score_bar : float list -> float
+(** ScoreBar: [simScore + irScore] when the IR score is positive,
+    0 otherwise. Expects exactly two inputs (joinScore, score). *)

@@ -1,0 +1,139 @@
+type id =
+  | Stored of { doc : int; start : int }
+  | Synthetic of int
+
+type t = {
+  tag : string;
+  attrs : (string * string) list;
+  score : float option;
+  id : id;
+  children : child list;
+}
+
+and child = Node of t | Content of string
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  Synthetic !counter
+
+let make ?(attrs = []) ?score ?id tag children =
+  let id = match id with Some id -> id | None -> fresh_id () in
+  { tag; attrs; score; id; children }
+
+let score t = Option.value ~default:0. t.score
+let with_score t s = { t with score = Some s }
+
+let child_nodes t =
+  List.filter_map (function Node n -> Some n | Content _ -> None) t.children
+
+let rec of_element ?id_of (e : Xmlkit.Tree.element) =
+  let id = match id_of with Some f -> f e | None -> fresh_id () in
+  let children =
+    List.filter_map
+      (fun n ->
+        match n with
+        | Xmlkit.Tree.Element c -> Some (Node (of_element ?id_of c))
+        | Xmlkit.Tree.Text s -> Some (Content s)
+        | Xmlkit.Tree.Comment _ | Xmlkit.Tree.Pi _ -> None)
+      e.children
+  in
+  {
+    tag = e.tag;
+    attrs = List.map (fun (a : Xmlkit.Tree.attr) -> (a.name, a.value)) e.attrs;
+    score = None;
+    id;
+    children;
+  }
+
+let of_numbered (num : Xmlkit.Numbering.t) ~doc =
+  (* Walk the tree in the same preorder as the numbering pass did, so
+     preorder ranks align with info indices. *)
+  let next = ref 0 in
+  let rec go (e : Xmlkit.Tree.element) =
+    let index = !next in
+    incr next;
+    let info = num.infos.(index) in
+    let children =
+      List.filter_map
+        (fun n ->
+          match n with
+          | Xmlkit.Tree.Element c -> Some (Node (go c))
+          | Xmlkit.Tree.Text s -> Some (Content s)
+          | Xmlkit.Tree.Comment _ | Xmlkit.Tree.Pi _ -> None)
+        e.children
+    in
+    {
+      tag = e.tag;
+      attrs = List.map (fun (a : Xmlkit.Tree.attr) -> (a.name, a.value)) e.attrs;
+      score = None;
+      id = Stored { doc; start = info.start };
+      children;
+    }
+  in
+  go num.elements.(0)
+
+let rec to_element ?score_attr t : Xmlkit.Tree.element =
+  let attrs =
+    match score_attr, t.score with
+    | Some name, Some s -> (name, Printf.sprintf "%g" s) :: t.attrs
+    | Some _, None | None, _ -> t.attrs
+  in
+  Xmlkit.Tree.elem ~attrs t.tag
+    (List.map
+       (fun c ->
+         match c with
+         | Node n -> Xmlkit.Tree.Element (to_element ?score_attr n)
+         | Content s -> Xmlkit.Tree.Text s)
+       t.children)
+
+let all_text t =
+  let buf = Buffer.create 64 in
+  let rec go t =
+    List.iter
+      (fun c ->
+        match c with
+        | Content s ->
+          if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf s
+        | Node n -> go n)
+      t.children
+  in
+  go t;
+  Buffer.contents buf
+
+let self_or_descendants t =
+  let rec go acc t = List.fold_left go (t :: acc) (child_nodes t) in
+  List.rev (go [] t)
+
+let find pred t = List.find_opt pred (self_or_descendants t)
+
+let equal_id a b =
+  match a, b with
+  | Stored x, Stored y -> x.doc = y.doc && x.start = y.start
+  | Synthetic x, Synthetic y -> x = y
+  | (Stored _ | Synthetic _), _ -> false
+
+let find_by_id t id = find (fun n -> equal_id n.id id) t
+
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 (child_nodes t)
+
+let pp_id ppf = function
+  | Stored { doc; start } -> Format.fprintf ppf "#%d.%d" doc start
+  | Synthetic n -> Format.fprintf ppf "#s%d" n
+
+let rec pp ppf t =
+  Format.fprintf ppf "@[<hv 2><%s" t.tag;
+  (match t.score with
+  | Some s -> Format.fprintf ppf "[%g]" s
+  | None -> ());
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) t.attrs;
+  Format.fprintf ppf ">";
+  List.iter
+    (fun c ->
+      match c with
+      | Node n -> Format.fprintf ppf "@,%a" pp n
+      | Content s -> Format.fprintf ppf "%s" s)
+    t.children;
+  Format.fprintf ppf "</%s>@]" t.tag

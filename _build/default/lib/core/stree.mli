@@ -1,0 +1,64 @@
+(** Scored data trees (Definition 1).
+
+    A scored data tree is a rooted ordered tree whose nodes carry a
+    tag, attributes and a real-valued score; the score of a tree is
+    the score of its root. A score of [None] is the null score of an
+    unmatched node. *)
+
+type id =
+  | Stored of { doc : int; start : int }
+      (** identity of a node coming from the database *)
+  | Synthetic of int  (** constructed nodes, e.g. [tix_prod_root] *)
+
+type t = {
+  tag : string;
+  attrs : (string * string) list;
+  score : float option;
+  id : id;
+  children : child list;
+}
+
+and child = Node of t | Content of string
+
+val fresh_id : unit -> id
+(** A new synthetic id (process-wide counter). *)
+
+val make : ?attrs:(string * string) list -> ?score:float -> ?id:id -> string -> child list -> t
+
+val score : t -> float
+(** The root's score, 0 when null. *)
+
+val with_score : t -> float -> t
+val child_nodes : t -> t list
+
+val of_element : ?id_of:(Xmlkit.Tree.element -> id) -> Xmlkit.Tree.element -> t
+(** Convert an unscored XML tree; every score is null. [id_of]
+    assigns identities (default: fresh synthetic ids). *)
+
+val of_numbered : Xmlkit.Numbering.t -> doc:int -> t
+(** Convert a numbered document so each node's id is
+    [Stored {doc; start}]. *)
+
+val to_element : ?score_attr:string -> t -> Xmlkit.Tree.element
+(** Back to plain XML. When [score_attr] is given, non-null scores
+    are emitted as that attribute. *)
+
+val all_text : t -> string
+(** Concatenated descendant text, space separated (the [alltext()]
+    of Fig. 9). *)
+
+val self_or_descendants : t -> t list
+(** Document-order list: the node then its descendants. *)
+
+val find : (t -> bool) -> t -> t option
+val find_by_id : t -> id -> t option
+
+val size : t -> int
+(** Number of element nodes in the subtree. *)
+
+val equal_id : id -> id -> bool
+val pp_id : Format.formatter -> id -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render as XML with scores in square brackets, as in the paper's
+    figures. *)

@@ -1,0 +1,1 @@
+lib/ir/bm25.ml:

@@ -1,0 +1,1 @@
+lib/ir/codec.ml: Buffer Bytes Char

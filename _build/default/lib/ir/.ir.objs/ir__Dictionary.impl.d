@@ -1,0 +1,1 @@
+lib/ir/dictionary.ml: Array Hashtbl

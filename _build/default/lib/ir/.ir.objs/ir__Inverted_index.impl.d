@@ -1,0 +1,1 @@
+lib/ir/inverted_index.ml: Array Buffer Bytes Codec Dictionary List Option Postings Stemmer String Token Tokenizer

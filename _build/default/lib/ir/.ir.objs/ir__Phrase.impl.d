@@ -1,0 +1,1 @@
+lib/ir/phrase.ml: Array List Stemmer Token Tokenizer

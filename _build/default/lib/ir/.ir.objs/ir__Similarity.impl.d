@@ -1,0 +1,1 @@
+lib/ir/similarity.ml: Hashtbl Option Token Tokenizer

@@ -1,0 +1,1 @@
+lib/ir/stemmer.ml: Bytes String

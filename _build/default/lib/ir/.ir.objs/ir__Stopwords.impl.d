@@ -1,0 +1,1 @@
+lib/ir/stopwords.ml: Hashtbl List

@@ -1,0 +1,14 @@
+let idf ~doc_count ~doc_freq =
+  let n = float_of_int doc_count and df = float_of_int doc_freq in
+  log (1. +. ((n -. df +. 0.5) /. (df +. 0.5)))
+
+let score ?(k1 = 1.2) ?(b = 0.75) ~doc_count ~doc_freq ~count ~element_size
+    ~avg_size () =
+  if count <= 0 then 0.
+  else begin
+    let tf = float_of_int count in
+    let len = float_of_int (max 1 element_size) in
+    let avg = if avg_size <= 0. then len else avg_size in
+    let norm = k1 *. (1. -. b +. (b *. len /. avg)) in
+    idf ~doc_count ~doc_freq *. (tf *. (k1 +. 1.) /. (tf +. norm))
+  end

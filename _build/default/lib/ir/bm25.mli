@@ -1,0 +1,25 @@
+(** Okapi BM25 term weighting.
+
+    The paper leaves the scoring function pluggable ("we would expect
+    the scoring function to be quite complex ... a tf*idf computation,
+    taking into consideration the element size"); BM25 is the
+    standard such function, with saturating term frequency and
+    element-length normalization. *)
+
+val idf : doc_count:int -> doc_freq:int -> float
+(** The BM25 idf: [log (1 + (N - df + 0.5) / (df + 0.5))]; always
+    non-negative. *)
+
+val score :
+  ?k1:float ->
+  ?b:float ->
+  doc_count:int ->
+  doc_freq:int ->
+  count:int ->
+  element_size:int ->
+  avg_size:float ->
+  unit ->
+  float
+(** One term's contribution for an element containing it [count]
+    times with [element_size] tokens, given the collection's
+    [avg_size]. Defaults: [k1 = 1.2], [b = 0.75]. *)

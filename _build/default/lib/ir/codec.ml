@@ -1,0 +1,30 @@
+let add_varint buf v =
+  assert (v >= 0);
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7F)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let add_zigzag buf v =
+  let encoded = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1 in
+  add_varint buf encoded
+
+let read_varint b off =
+  let rec go off shift acc =
+    let byte = Char.code (Bytes.get b off) in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 <> 0 then go (off + 1) (shift + 7) acc
+    else (acc, off + 1)
+  in
+  go off 0 0
+
+let read_zigzag b off =
+  let encoded, next = read_varint b off in
+  let v = if encoded land 1 = 0 then encoded lsr 1 else -((encoded + 1) lsr 1) in
+  (v, next)
+
+let varint_size v =
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go v 1

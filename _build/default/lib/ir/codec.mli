@@ -1,0 +1,16 @@
+(** Byte-level integer codecs used by the compressed posting lists
+    and the slotted storage pages. *)
+
+val add_varint : Buffer.t -> int -> unit
+(** LEB128 encoding of a non-negative integer. *)
+
+val add_zigzag : Buffer.t -> int -> unit
+(** Zigzag-then-varint encoding of a signed integer. *)
+
+val read_varint : Bytes.t -> int -> int * int
+(** [read_varint b off] is [(value, next_off)]. *)
+
+val read_zigzag : Bytes.t -> int -> int * int
+
+val varint_size : int -> int
+(** Encoded size in bytes of a non-negative integer. *)

@@ -1,0 +1,33 @@
+type term_id = int
+
+type t = {
+  ids : (string, term_id) Hashtbl.t;
+  mutable terms : string array;
+  mutable count : int;
+}
+
+let create () = { ids = Hashtbl.create 4096; terms = Array.make 16 ""; count = 0 }
+
+let grow t =
+  let capacity = Array.length t.terms in
+  if t.count >= capacity then begin
+    let fresh = Array.make (capacity * 2) "" in
+    Array.blit t.terms 0 fresh 0 capacity;
+    t.terms <- fresh
+  end
+
+let intern t term =
+  match Hashtbl.find_opt t.ids term with
+  | Some id -> id
+  | None ->
+    let id = t.count in
+    grow t;
+    t.terms.(id) <- term;
+    t.count <- t.count + 1;
+    Hashtbl.replace t.ids term id;
+    id
+
+let find t term = Hashtbl.find_opt t.ids term
+let term t id = t.terms.(id)
+let size t = t.count
+let iter f t = Hashtbl.iter f t.ids

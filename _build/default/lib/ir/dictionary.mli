@@ -1,0 +1,19 @@
+(** The term dictionary: maps terms to dense integer ids and keeps
+    per-term collection statistics. *)
+
+type term_id = int
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> term_id
+(** [intern d term] returns the id of [term], allocating one if the
+    term is new. *)
+
+val find : t -> string -> term_id option
+val term : t -> term_id -> string
+val size : t -> int
+(** Number of distinct terms. *)
+
+val iter : (string -> term_id -> unit) -> t -> unit

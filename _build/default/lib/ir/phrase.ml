@@ -1,0 +1,43 @@
+let parse s = Tokenizer.terms s
+
+(* KMP failure function over the term sequence. *)
+let failure_table pattern =
+  let k = Array.length pattern in
+  let fail = Array.make k 0 in
+  let cand = ref 0 in
+  for i = 1 to k - 1 do
+    while !cand > 0 && pattern.(i) <> pattern.(!cand) do
+      cand := fail.(!cand - 1)
+    done;
+    if pattern.(i) = pattern.(!cand) then incr cand;
+    fail.(i) <- !cand
+  done;
+  fail
+
+let count ?(stem = true) ~terms text =
+  match terms with
+  | [] -> 0
+  | terms ->
+    let normalize t = if stem then Stemmer.stem t else t in
+    let pattern = Array.of_list (List.map normalize terms) in
+    let k = Array.length pattern in
+    let fail = failure_table pattern in
+    (* Token positions from the tokenizer are consecutive within one
+       text, so phrase adjacency is sequence adjacency here; KMP over
+       the token stream counts (possibly overlapping) matches. *)
+    let matches, _ =
+      Tokenizer.fold
+        (fun ~acc:(matches, state) (tok : Token.t) ->
+          let w = normalize tok.term in
+          let state = ref state in
+          while !state > 0 && pattern.(!state) <> w do
+            state := fail.(!state - 1)
+          done;
+          if pattern.(!state) = w then incr state;
+          if !state = k then (matches + 1, fail.(k - 1))
+          else (matches, !state))
+        (0, 0) text
+    in
+    matches
+
+let contains ?stem ~terms text = count ?stem ~terms text > 0

@@ -1,0 +1,16 @@
+(** Phrase handling: a phrase is an ordered list of terms that must
+    occur at consecutive word positions. *)
+
+val parse : string -> string list
+(** Tokenize a phrase specification such as ["information retrieval"]
+    into its terms. *)
+
+val count : ?stem:bool -> terms:string list -> string -> int
+(** [count ~terms text] is the number of occurrences of the phrase in
+    [text]. With [~stem:true] (the default) both the phrase terms and
+    the text tokens are Porter-stemmed first, so "search engines"
+    matches the phrase "search engine" — the behaviour assumed by the
+    paper's worked example (Fig. 5 scores). An empty phrase has no
+    occurrences. *)
+
+val contains : ?stem:bool -> terms:string list -> string -> bool

@@ -1,0 +1,99 @@
+type occ = { doc : int; node : int; pos : int }
+
+let compare_occ a b =
+  match compare a.doc b.doc with 0 -> compare a.pos b.pos | c -> c
+
+type builder = {
+  buf : Buffer.t;
+  mutable count : int;
+  mutable last_doc : int;
+  mutable last_node : int;
+  mutable last_pos : int;
+}
+
+let builder () =
+  { buf = Buffer.create 64; count = 0; last_doc = 0; last_node = 0;
+    last_pos = 0 }
+
+let add b occ =
+  if occ.doc < b.last_doc
+     || (occ.doc = b.last_doc && b.count > 0 && occ.pos < b.last_pos)
+  then invalid_arg "Postings.add: occurrences out of order";
+  if occ.doc <> b.last_doc then begin
+    Codec.add_varint b.buf (occ.doc - b.last_doc);
+    b.last_node <- 0;
+    b.last_pos <- 0
+  end
+  else Codec.add_varint b.buf 0;
+  Codec.add_zigzag b.buf (occ.node - b.last_node);
+  Codec.add_varint b.buf (occ.pos - b.last_pos);
+  b.last_doc <- occ.doc;
+  b.last_node <- occ.node;
+  b.last_pos <- occ.pos;
+  b.count <- b.count + 1
+
+type t = { data : Bytes.t; count : int }
+
+let freeze b = { data = Buffer.to_bytes b.buf; count = b.count }
+let length t = t.count
+let byte_size t = Bytes.length t.data
+
+type cursor = {
+  list : t;
+  mutable off : int;
+  mutable seen : int;
+  mutable doc : int;
+  mutable node : int;
+  mutable pos : int;
+}
+
+let cursor list = { list; off = 0; seen = 0; doc = 0; node = 0; pos = 0 }
+
+let next c =
+  if c.seen >= c.list.count then None
+  else begin
+    let doc_delta, off = Codec.read_varint c.list.data c.off in
+    if doc_delta <> 0 then begin
+      c.doc <- c.doc + doc_delta;
+      c.node <- 0;
+      c.pos <- 0
+    end;
+    let node_delta, off = Codec.read_zigzag c.list.data off in
+    let pos_delta, off = Codec.read_varint c.list.data off in
+    c.node <- c.node + node_delta;
+    c.pos <- c.pos + pos_delta;
+    c.off <- off;
+    c.seen <- c.seen + 1;
+    Some { doc = c.doc; node = c.node; pos = c.pos }
+  end
+
+let reset c =
+  c.off <- 0;
+  c.seen <- 0;
+  c.doc <- 0;
+  c.node <- 0;
+  c.pos <- 0
+
+let iter f t =
+  let c = cursor t in
+  let rec go () =
+    match next c with
+    | Some occ ->
+      f occ;
+      go ()
+    | None -> ()
+  in
+  go ()
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun occ -> acc := occ :: !acc) t;
+  List.rev !acc
+
+let of_list occs =
+  let b = builder () in
+  List.iter (add b) occs;
+  freeze b
+
+let serialize t = Bytes.to_string t.data
+let deserialize ~count data = { data = Bytes.of_string data; count }

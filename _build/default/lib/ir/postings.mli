@@ -1,0 +1,51 @@
+(** Positional posting lists.
+
+    An occurrence records where a term appears: in which document, in
+    which element ([node] is the start key of the element that
+    directly owns the text), and at which word position. Occurrences
+    are kept sorted by [(doc, pos)], which is document order, and are
+    stored varint-delta compressed — decoding is real per-occurrence
+    work, mirroring the index-scan cost of a disk-resident system. *)
+
+type occ = { doc : int; node : int; pos : int }
+
+val compare_occ : occ -> occ -> int
+(** Order by [(doc, pos)]. *)
+
+type builder
+
+val builder : unit -> builder
+
+val add : builder -> occ -> unit
+(** Occurrences must be appended in [(doc, pos)] order; out-of-order
+    appends raise [Invalid_argument]. *)
+
+type t
+(** A frozen, compressed posting list. *)
+
+val freeze : builder -> t
+val length : t -> int
+(** Number of occurrences (the term's collection frequency). *)
+
+val byte_size : t -> int
+
+type cursor
+
+val cursor : t -> cursor
+
+val next : cursor -> occ option
+(** Decode and return the next occurrence, or [None] at the end. *)
+
+val reset : cursor -> unit
+
+val iter : (occ -> unit) -> t -> unit
+val to_list : t -> occ list
+val of_list : occ list -> t
+(** Builds from a list that must already be sorted by [(doc, pos)]. *)
+
+(** {1 Serialization} *)
+
+val serialize : t -> string
+(** The raw compressed bytes (count is carried separately). *)
+
+val deserialize : count:int -> string -> t

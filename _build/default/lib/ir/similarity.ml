@@ -1,0 +1,45 @@
+let term_counts s =
+  let counts = Hashtbl.create 32 in
+  Tokenizer.fold
+    (fun ~acc:() (tok : Token.t) ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts tok.term) in
+      Hashtbl.replace counts tok.term (c + 1))
+    () s;
+  counts
+
+let count_same a b =
+  let ca = term_counts a and cb = term_counts b in
+  Hashtbl.fold (fun term _ acc -> if Hashtbl.mem cb term then acc + 1 else acc)
+    ca 0
+
+let cosine a b =
+  let ca = term_counts a and cb = term_counts b in
+  let norm counts =
+    sqrt
+      (Hashtbl.fold
+         (fun _ c acc -> acc +. (float_of_int c *. float_of_int c))
+         counts 0.)
+  in
+  let na = norm ca and nb = norm cb in
+  if na = 0. || nb = 0. then 0.
+  else begin
+    let dot =
+      Hashtbl.fold
+        (fun term c acc ->
+          match Hashtbl.find_opt cb term with
+          | Some c' -> acc +. (float_of_int c *. float_of_int c')
+          | None -> acc)
+        ca 0.
+    in
+    dot /. (na *. nb)
+  end
+
+let jaccard a b =
+  let ca = term_counts a and cb = term_counts b in
+  let inter =
+    Hashtbl.fold
+      (fun term _ acc -> if Hashtbl.mem cb term then acc + 1 else acc)
+      ca 0
+  in
+  let union = Hashtbl.length ca + Hashtbl.length cb - inter in
+  if union = 0 then 0. else float_of_int inter /. float_of_int union

@@ -1,0 +1,14 @@
+(** Text-to-text similarity used by scored join conditions.
+
+    [count_same] is the ScoreSim function of Fig. 9; [cosine] is the
+    vector-space refinement the paper mentions as the realistic
+    alternative. *)
+
+val count_same : string -> string -> int
+(** Number of distinct terms occurring in both texts. *)
+
+val cosine : string -> string -> float
+(** Cosine of the term-count vectors of the two texts; in [0, 1]. *)
+
+val jaccard : string -> string -> float
+(** Term-set Jaccard coefficient; in [0, 1]. *)

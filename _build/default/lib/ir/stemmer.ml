@@ -1,0 +1,194 @@
+(* A faithful translation of Porter's reference implementation
+   (https://tartarus.org/martin/PorterStemmer/). The word being
+   stemmed lives in [b.(0..k)]; [j] marks the end of the stem during
+   suffix tests. *)
+
+type state = { mutable b : Bytes.t; mutable k : int; mutable j : int }
+
+let rec is_consonant st i =
+  match Bytes.get st.b i with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (is_consonant st (i - 1))
+  | _ -> true
+
+(* Number of vowel-to-consonant transitions in [0..j]: the m() measure
+   of the algorithm. *)
+let measure st =
+  let j = st.j in
+  let rec skip pred i = if i <= j && pred i then skip pred (i + 1) else i in
+  let cons i = is_consonant st i in
+  let vowel i = not (is_consonant st i) in
+  let i = skip cons 0 in
+  if i > j then 0
+  else begin
+    let rec count n i =
+      let i = skip vowel i in
+      if i > j then n
+      else begin
+        let n = n + 1 in
+        let i = skip cons i in
+        if i > j then n else count n i
+      end
+    in
+    count 0 i
+  end
+
+let vowel_in_stem st =
+  let rec go i = i <= st.j && (not (is_consonant st i) || go (i + 1)) in
+  go 0
+
+let double_consonant st i =
+  i >= 1
+  && Bytes.get st.b i = Bytes.get st.b (i - 1)
+  && is_consonant st i
+
+(* cvc(i) is true when i-2..i is consonant-vowel-consonant and the
+   second consonant is not w, x or y; restores an e at the end of a
+   short word, e.g. cav(e), lov(e). *)
+let cvc st i =
+  if i < 2 || not (is_consonant st i) || is_consonant st (i - 1)
+     || not (is_consonant st (i - 2))
+  then false
+  else
+    match Bytes.get st.b i with 'w' | 'x' | 'y' -> false | _ -> true
+
+let ends st s =
+  let l = String.length s in
+  if l > st.k + 1 then false
+  else if Bytes.sub_string st.b (st.k - l + 1) l <> s then false
+  else begin
+    st.j <- st.k - l;
+    true
+  end
+
+let set_to st s =
+  let l = String.length s in
+  Bytes.blit_string s 0 st.b (st.j + 1) l;
+  st.k <- st.j + l
+
+let replace_if_measure st s = if measure st > 0 then set_to st s
+
+(* step1ab: plurals and -ed / -ing *)
+let step1ab st =
+  if Bytes.get st.b st.k = 's' then begin
+    if ends st "sses" then st.k <- st.k - 2
+    else if ends st "ies" then set_to st "i"
+    else if Bytes.get st.b (st.k - 1) <> 's' then st.k <- st.k - 1
+  end;
+  if ends st "eed" then begin
+    if measure st > 0 then st.k <- st.k - 1
+  end
+  else if (ends st "ed" || ends st "ing") && vowel_in_stem st then begin
+    st.k <- st.j;
+    if ends st "at" then set_to st "ate"
+    else if ends st "bl" then set_to st "ble"
+    else if ends st "iz" then set_to st "ize"
+    else if double_consonant st st.k then begin
+      st.k <- st.k - 1;
+      match Bytes.get st.b st.k with
+      | 'l' | 's' | 'z' -> st.k <- st.k + 1
+      | _ -> ()
+    end
+    else if measure st = 1 && cvc st st.k then set_to st "e"
+  end
+
+(* step1c: -y to -i when there is another vowel in the stem *)
+let step1c st =
+  if ends st "y" && vowel_in_stem st then Bytes.set st.b st.k 'i'
+
+let step2 st =
+  if st.k < 1 then ()
+  else
+    match Bytes.get st.b (st.k - 1) with
+    | 'a' ->
+      if ends st "ational" then replace_if_measure st "ate"
+      else if ends st "tional" then replace_if_measure st "tion"
+    | 'c' ->
+      if ends st "enci" then replace_if_measure st "ence"
+      else if ends st "anci" then replace_if_measure st "ance"
+    | 'e' -> if ends st "izer" then replace_if_measure st "ize"
+    | 'l' ->
+      if ends st "bli" then replace_if_measure st "ble"
+      else if ends st "alli" then replace_if_measure st "al"
+      else if ends st "entli" then replace_if_measure st "ent"
+      else if ends st "eli" then replace_if_measure st "e"
+      else if ends st "ousli" then replace_if_measure st "ous"
+    | 'o' ->
+      if ends st "ization" then replace_if_measure st "ize"
+      else if ends st "ation" then replace_if_measure st "ate"
+      else if ends st "ator" then replace_if_measure st "ate"
+    | 's' ->
+      if ends st "alism" then replace_if_measure st "al"
+      else if ends st "iveness" then replace_if_measure st "ive"
+      else if ends st "fulness" then replace_if_measure st "ful"
+      else if ends st "ousness" then replace_if_measure st "ous"
+    | 't' ->
+      if ends st "aliti" then replace_if_measure st "al"
+      else if ends st "iviti" then replace_if_measure st "ive"
+      else if ends st "biliti" then replace_if_measure st "ble"
+    | 'g' -> if ends st "logi" then replace_if_measure st "log"
+    | _ -> ()
+
+let step3 st =
+  match Bytes.get st.b st.k with
+  | 'e' ->
+    if ends st "icate" then replace_if_measure st "ic"
+    else if ends st "ative" then replace_if_measure st ""
+    else if ends st "alize" then replace_if_measure st "al"
+  | 'i' -> if ends st "iciti" then replace_if_measure st "ic"
+  | 'l' ->
+    if ends st "ical" then replace_if_measure st "ic"
+    else if ends st "ful" then replace_if_measure st ""
+  | 's' -> if ends st "ness" then replace_if_measure st ""
+  | _ -> ()
+
+let step4 st =
+  if st.k < 1 then ()
+  else begin
+    let matched =
+      match Bytes.get st.b (st.k - 1) with
+      | 'a' -> ends st "al"
+      | 'c' -> ends st "ance" || ends st "ence"
+      | 'e' -> ends st "er"
+      | 'i' -> ends st "ic"
+      | 'l' -> ends st "able" || ends st "ible"
+      | 'n' ->
+        ends st "ant" || ends st "ement" || ends st "ment" || ends st "ent"
+      | 'o' ->
+        (ends st "ion"
+        && st.j >= 0
+        &&
+        match Bytes.get st.b st.j with 's' | 't' -> true | _ -> false)
+        || ends st "ou"
+      | 's' -> ends st "ism"
+      | 't' -> ends st "ate" || ends st "iti"
+      | 'u' -> ends st "ous"
+      | 'v' -> ends st "ive"
+      | 'z' -> ends st "ize"
+      | _ -> false
+    in
+    if matched && measure st > 1 then st.k <- st.j
+  end
+
+let step5 st =
+  st.j <- st.k;
+  if Bytes.get st.b st.k = 'e' then begin
+    let a = measure st in
+    if a > 1 || (a = 1 && not (cvc st (st.k - 1))) then st.k <- st.k - 1
+  end;
+  if Bytes.get st.b st.k = 'l' && double_consonant st st.k && measure st > 1
+  then st.k <- st.k - 1
+
+let stem w =
+  let n = String.length w in
+  if n <= 2 then w
+  else begin
+    let st = { b = Bytes.of_string w; k = n - 1; j = 0 } in
+    step1ab st;
+    step1c st;
+    step2 st;
+    step3 st;
+    step4 st;
+    step5 st;
+    Bytes.sub_string st.b 0 (st.k + 1)
+  end

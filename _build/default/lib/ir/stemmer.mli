@@ -1,0 +1,11 @@
+(** The Porter stemming algorithm (Porter, 1980).
+
+    Used to conflate morphological variants when the query front end
+    matches query terms against indexed terms. The index can be built
+    stemmed or unstemmed; the paper's experiments use raw term
+    frequencies, which corresponds to the unstemmed configuration. *)
+
+val stem : string -> string
+(** [stem w] expects [w] lower-cased ASCII; returns the Porter stem.
+    Words of length 1 or 2 are returned unchanged, per the
+    algorithm. *)

@@ -1,0 +1,11 @@
+(** A standard English stopword list.
+
+    Stopword removal is optional throughout the system (the paper's
+    experiments select terms by frequency, which requires indexing
+    everything), but the query front end uses it when building
+    term-preference queries from free text. *)
+
+val is_stopword : string -> bool
+(** [is_stopword w] expects [w] lower-cased. *)
+
+val all : string list

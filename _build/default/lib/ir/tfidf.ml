@@ -1,0 +1,13 @@
+let idf ~doc_count ~doc_freq =
+  log (float_of_int (doc_count + 1) /. float_of_int (doc_freq + 1)) +. 1.
+
+let tf ~count = if count <= 0 then 0. else 1. +. log (float_of_int count)
+
+let weight ~doc_count ~doc_freq ~count =
+  tf ~count *. idf ~doc_count ~doc_freq
+
+let normalized_weight ~doc_count ~doc_freq ~count ~element_size =
+  if element_size <= 0 then 0.
+  else
+    weight ~doc_count ~doc_freq ~count
+    /. sqrt (float_of_int element_size)

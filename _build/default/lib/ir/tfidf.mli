@@ -1,0 +1,21 @@
+(** tf·idf weighting (Salton & McGill), the scoring basis the paper
+    suggests for index-generated scores (Sec. 5.1). *)
+
+val idf : doc_count:int -> doc_freq:int -> float
+(** [idf ~doc_count ~doc_freq] is [log ((N + 1) / (df + 1)) + 1], a
+    smoothed inverse document frequency that is strictly positive and
+    defined for unseen terms. *)
+
+val tf : count:int -> float
+(** Logarithmically damped term frequency: [1 + log count] for
+    [count > 0], [0.] otherwise. *)
+
+val weight : doc_count:int -> doc_freq:int -> count:int -> float
+(** [tf * idf]. *)
+
+val normalized_weight :
+  doc_count:int -> doc_freq:int -> count:int -> element_size:int -> float
+(** tf·idf damped by element size (word count), so that a match in a
+    small paragraph outscores the same match diluted in a whole
+    article — the element-size-aware computation mentioned in
+    Sec. 3.1. *)

@@ -1,0 +1,4 @@
+type t = { term : string; pos : int }
+
+let pp ppf t = Format.fprintf ppf "%s@%d" t.term t.pos
+let equal a b = a.term = b.term && a.pos = b.pos

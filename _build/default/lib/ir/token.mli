@@ -1,0 +1,9 @@
+(** Tokens produced by the {!Tokenizer}. *)
+
+type t = {
+  term : string;  (** lower-cased surface form *)
+  pos : int;  (** word position, counted from the tokenizer's origin *)
+}
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,41 @@
+let is_word_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | _ -> false
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let fold ?(start_pos = 0) f init s =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let rec scan i pos acc =
+    if i >= n then acc
+    else if is_word_char s.[i] then begin
+      Buffer.clear buf;
+      let j = ref i in
+      while !j < n && is_word_char s.[!j] do
+        Buffer.add_char buf (lower s.[!j]);
+        incr j
+      done;
+      let acc = f ~acc { Token.term = Buffer.contents buf; pos } in
+      scan !j (pos + 1) acc
+    end
+    else scan (i + 1) pos acc
+  in
+  scan 0 start_pos init
+
+let tokens ?start_pos s =
+  List.rev (fold ?start_pos (fun ~acc t -> t :: acc) [] s)
+
+let count s =
+  let n = String.length s in
+  let total = ref 0 and in_word = ref false in
+  for i = 0 to n - 1 do
+    if is_word_char s.[i] then begin
+      if not !in_word then incr total;
+      in_word := true
+    end
+    else in_word := false
+  done;
+  !total
+
+let terms s = List.rev (fold (fun ~acc t -> t.Token.term :: acc) [] s)

@@ -1,0 +1,21 @@
+(** Word tokenizer with positional output.
+
+    A token is a maximal run of ASCII letters and digits, lower-cased.
+    Word positions number tokens consecutively from a caller-supplied
+    origin, so positions are comparable across the text nodes of one
+    document — the basis for phrase matching in {e PhraseFinder} and
+    for the term-distance component of the complex scoring function
+    (Sec. 6.1). *)
+
+val fold : ?start_pos:int -> (acc:'a -> Token.t -> 'a) -> 'a -> string -> 'a
+(** [fold f init s] folds [f] over the tokens of [s] in order. *)
+
+val tokens : ?start_pos:int -> string -> Token.t list
+(** All tokens of [s] in order. *)
+
+val count : string -> int
+(** Number of tokens in [s]; [count s = List.length (tokens s)] but
+    without allocation. *)
+
+val terms : string -> string list
+(** Just the lower-cased terms, in order. *)

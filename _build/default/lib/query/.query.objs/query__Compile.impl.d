@@ -1,0 +1,1 @@
+lib/query/compile.ml: Access Array Ast Core Format Functions Glob Hashtbl Ir List Logs Parser Printf Result Store String

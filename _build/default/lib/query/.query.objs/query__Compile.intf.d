@@ -1,0 +1,1 @@
+lib/query/compile.mli: Access Ast Core Functions Store

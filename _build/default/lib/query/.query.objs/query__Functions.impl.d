@@ -1,0 +1,1 @@
+lib/query/functions.ml: Core Hashtbl Ir List Printf Store String

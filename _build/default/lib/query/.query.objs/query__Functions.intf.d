@@ -1,0 +1,1 @@
+lib/query/functions.mli: Core Store

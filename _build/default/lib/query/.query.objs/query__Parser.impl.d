@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Format Lexer List Printf String

@@ -1,0 +1,140 @@
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type axis_step =
+  | Child of string
+  | Descendant of string
+  | Self_or_descendant
+  | Text
+  | Attribute of string
+
+type expr =
+  | Document of string
+  | Var of string
+  | Path of expr * step list
+  | String_lit of string
+  | Number_lit of float
+  | String_set of string list
+  | Call of string * expr list
+  | Cmp of cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+
+and step = { step_axis : axis_step; predicates : pred list }
+
+and pred = Pred_cmp of cmp * expr * expr | Pred_exists of expr
+
+type constructor = Elem_cons of string * (string * expr) list * content list
+
+and content = Const_text of string | Embedded of expr | Nested of constructor
+
+type clause =
+  | For of string * expr
+  | Let of string * expr
+  | Where of expr
+  | Score of string * string * expr list
+  | Pick of string * string * expr list
+
+type threshold = {
+  t_expr : expr;
+  t_cmp : cmp;
+  t_value : float;
+  stop_after : int option;
+}
+
+type t = {
+  clauses : clause list;
+  returns : constructor;
+  sortby : string option;
+  thresh : threshold option;
+}
+
+let cmp_symbol = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_expr ppf = function
+  | Document d -> Format.fprintf ppf "document(%S)" d
+  | Var v -> Format.fprintf ppf "$%s" v
+  | Path (base, steps) ->
+    pp_expr ppf base;
+    List.iter (pp_step ppf) steps
+  | String_lit s -> Format.fprintf ppf "%S" s
+  | Number_lit n -> Format.fprintf ppf "%g" n
+  | String_set ss ->
+    Format.fprintf ppf "{%s}" (String.concat ", " (List.map (Printf.sprintf "%S") ss))
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_expr)
+      args
+  | Cmp (c, a, b) ->
+    Format.fprintf ppf "%a %s %a" pp_expr a (cmp_symbol c) pp_expr b
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_expr a pp_expr b
+
+and pp_step ppf step =
+  (match step.step_axis with
+  | Child n -> Format.fprintf ppf "/%s" n
+  | Descendant n -> Format.fprintf ppf "//%s" n
+  | Self_or_descendant -> Format.fprintf ppf "/descendant-or-self::*"
+  | Text -> Format.fprintf ppf "/text()"
+  | Attribute n -> Format.fprintf ppf "/@%s" n);
+  List.iter
+    (fun p ->
+      match p with
+      | Pred_cmp (c, a, b) ->
+        Format.fprintf ppf "[%a %s %a]" pp_expr a (cmp_symbol c) pp_expr b
+      | Pred_exists e -> Format.fprintf ppf "[%a]" pp_expr e)
+    step.predicates
+
+let pp_clause ppf = function
+  | For (v, e) -> Format.fprintf ppf "for $%s in %a" v pp_expr e
+  | Let (v, e) -> Format.fprintf ppf "let $%s := %a" v pp_expr e
+  | Where e -> Format.fprintf ppf "where %a" pp_expr e
+  | Score (v, f, args) ->
+    Format.fprintf ppf "score $%s using %s(%a)" v f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_expr)
+      args
+  | Pick (v, f, args) ->
+    Format.fprintf ppf "pick $%s using %s(%a)" v f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_expr)
+      args
+
+let rec pp_constructor ppf (Elem_cons (name, attrs, children)) =
+  Format.fprintf ppf "<%s" name;
+  List.iter (fun (k, e) -> Format.fprintf ppf " %s={%a}" k pp_expr e) attrs;
+  Format.fprintf ppf ">";
+  List.iter
+    (fun c ->
+      match c with
+      | Const_text s -> Format.pp_print_string ppf s
+      | Embedded e -> Format.fprintf ppf "{%a}" pp_expr e
+      | Nested c -> pp_constructor ppf c)
+    children;
+  Format.fprintf ppf "</%s>" name
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun c -> Format.fprintf ppf "%a@," pp_clause c) t.clauses;
+  Format.fprintf ppf "return %a" pp_constructor t.returns;
+  (match t.sortby with
+  | Some f -> Format.fprintf ppf "@,sortby(%s)" f
+  | None -> ());
+  (match t.thresh with
+  | Some th ->
+    Format.fprintf ppf "@,threshold %a %s %g" pp_expr th.t_expr
+      (cmp_symbol th.t_cmp) th.t_value;
+    (match th.stop_after with
+    | Some k -> Format.fprintf ppf " stop after %d" k
+    | None -> ())
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,67 @@
+(** Abstract syntax of the extended XQuery dialect (Sec. 4).
+
+    The dialect is the FLWR core of the paper's Fig. 10 plus the
+    three IR extensions: [Score ... using], [Pick ... using] and
+    [Threshold ... stop after k], with [Sortby] for ranking. *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type axis_step =
+  | Child of string  (** /name *)
+  | Descendant of string  (** //name *)
+  | Self_or_descendant  (** /descendant-or-self::* *)
+  | Text  (** /text() *)
+  | Attribute of string  (** /@name *)
+
+type expr =
+  | Document of string  (** document("name"), name may contain [*] *)
+  | Var of string
+  | Path of expr * step list
+  | String_lit of string
+  | Number_lit of float
+  | String_set of string list  (** {"a", "b"} *)
+  | Call of string * expr list
+  | Cmp of cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+
+and step = { step_axis : axis_step; predicates : pred list }
+
+and pred =
+  | Pred_cmp of cmp * expr * expr
+      (** relative paths inside are rooted at the candidate node *)
+  | Pred_exists of expr
+
+type constructor =
+  | Elem_cons of string * (string * expr) list * content list
+      (** name, attributes, children *)
+
+and content =
+  | Const_text of string
+  | Embedded of expr  (** { expr } *)
+  | Nested of constructor
+
+type clause =
+  | For of string * expr
+  | Let of string * expr
+  | Where of expr
+  | Score of string * string * expr list
+      (** variable, scoring function name, extra args *)
+  | Pick of string * string * expr list
+
+type threshold = {
+  t_expr : expr;
+  t_cmp : cmp;
+  t_value : float;
+  stop_after : int option;
+}
+
+type t = {
+  clauses : clause list;
+  returns : constructor;
+  sortby : string option;
+  thresh : threshold option;
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> t -> unit

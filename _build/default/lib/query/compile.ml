@@ -1,0 +1,346 @@
+let src = Logs.Src.create "tix.query" ~doc:"TIX query compiler"
+
+module Log = (val Logs.src_log src)
+
+type plan = {
+  document : string;
+  structure : Core.Pattern.t;
+  self_or_descendant : bool;
+  terms : string list;
+  weights : float array;
+  pick : (Functions.fctx -> Core.Op_pick.criterion) option;
+  min_score : float option;
+  limit : int option;
+}
+
+let ( let* ) = Result.bind
+
+let unsupported fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* [author/sname = "lit"] chains become nested pc pattern nodes with a
+   Content_eq on the last one. *)
+let pattern_of_predicate ~next_var (pred : Ast.pred) =
+  match pred with
+  | Ast.Pred_cmp (Ast.Eq, Ast.Path (Ast.Var ".", steps), Ast.String_lit lit)
+    ->
+    let rec build steps =
+      match steps with
+      | [] -> unsupported "empty predicate path"
+      | [ { Ast.step_axis; predicates = [] } ] -> begin
+        match step_axis with
+        | Ast.Child name ->
+          let var = !next_var in
+          incr next_var;
+          Ok
+            (Core.Pattern.pnode
+               ~pred:(Core.Pattern.And (Core.Pattern.Tag name, Core.Pattern.Content_eq lit))
+               var [])
+        | Ast.Text -> unsupported "trailing text() in predicate"
+        | Ast.Descendant _ | Ast.Self_or_descendant | Ast.Attribute _ ->
+          unsupported "unsupported predicate step"
+      end
+      | { Ast.step_axis = Ast.Child name; predicates = [] } :: rest ->
+        let var = !next_var in
+        incr next_var;
+        let* child = build rest in
+        Ok (Core.Pattern.pnode ~pred:(Core.Pattern.Tag name) var [ child ])
+      | { Ast.step_axis = Ast.Text; predicates = [] } :: rest ->
+        (* ignore a final text() step: Content_eq compares text *)
+        if rest = [] then unsupported "text() must terminate the path"
+        else unsupported "text() in the middle of a predicate path"
+      | _ -> unsupported "nested predicates are not compilable"
+    in
+    build steps
+  | Ast.Pred_cmp _ -> unsupported "only = predicates against literals compile"
+  | Ast.Pred_exists _ -> unsupported "existence predicates do not compile yet"
+
+(* a source of the form document("D")//tag[preds], optionally
+   followed by a descendant-or-self step *)
+let parse_source expr =
+  match expr with
+  | Ast.Path (Ast.Document document, steps) -> begin
+    match steps with
+    | [ { Ast.step_axis = Ast.Descendant tag; predicates } ] ->
+      Ok (document, tag, predicates, false)
+    | [
+     { Ast.step_axis = Ast.Descendant tag; predicates };
+     { Ast.step_axis = Ast.Self_or_descendant; predicates = [] };
+    ] ->
+      Ok (document, tag, predicates, true)
+    | _ -> unsupported "only document(...)//tag[...](/descendant-or-self::*) compiles"
+  end
+  | _ -> unsupported "the for clause must range over a document path"
+
+let single_word_phrases set =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> begin
+      match Ir.Phrase.parse p with
+      | [ term ] -> go (term :: acc) rest
+      | _ -> unsupported "phrase %S needs PhraseFinder; not compiled" p
+    end
+  in
+  go [] set
+
+let const_value = function
+  | Ast.Number_lit f -> Some (Functions.Num f)
+  | Ast.String_lit s -> Some (Functions.Str s)
+  | Ast.String_set ss -> Some (Functions.Str_list ss)
+  | _ -> None
+
+let compile ?functions (q : Ast.t) =
+  let fns = match functions with Some f -> f | None -> Functions.builtins () in
+  (* clause shape: one for, one score, optional pick *)
+  let* var, source, score_clause, pick_clause =
+    match q.clauses with
+    | [ Ast.For (v, src); Ast.Score (sv, f, args) ] when v = sv ->
+      Ok (v, src, (f, args), None)
+    | [ Ast.For (v, src); Ast.Score (sv, f, args); Ast.Pick (pv, pf, pargs) ]
+      when v = sv && v = pv ->
+      Ok (v, src, (f, args), Some (pf, pargs))
+    | _ -> unsupported "clause shape is not for/score[/pick] over one variable"
+  in
+  let* document, tag, predicates, self_or_descendant = parse_source source in
+  (* structural pattern: var 1 is the anchor; predicate chains get
+     fresh variables *)
+  let next_var = ref 2 in
+  let* children =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* child = pattern_of_predicate ~next_var p in
+        Ok (child :: acc))
+      (Ok []) predicates
+  in
+  let structure =
+    Core.Pattern.make
+      (Core.Pattern.pnode ~pred:(Core.Pattern.Tag tag) 1 (List.rev children))
+      []
+  in
+  (* scoring: ScoreFoo with single-word phrases *)
+  let* terms, weights =
+    match score_clause with
+    | f, [ Ast.Var v'; Ast.String_set primary; Ast.String_set secondary ]
+      when String.lowercase_ascii f = "scorefoo" && v' = var ->
+      let* p = single_word_phrases primary in
+      let* s = single_word_phrases secondary in
+      let weights =
+        Array.of_list (List.map (fun _ -> 0.8) p @ List.map (fun _ -> 0.6) s)
+      in
+      Ok (p @ s, weights)
+    | f, _ -> unsupported "scoring function %s(...) is not compilable" f
+  in
+  (* pick criterion from constant arguments *)
+  let* pick =
+    match pick_clause with
+    | None -> Ok None
+    | Some (pf, pargs) -> begin
+      match Functions.pick fns pf with
+      | None -> unsupported "unknown pick function %s" pf
+      | Some mk ->
+        let consts =
+          List.filter_map
+            (fun a ->
+              match a with Ast.Var v' when v' = var -> None | a -> const_value a)
+            pargs
+        in
+        if
+          List.length consts
+          <> List.length
+               (List.filter
+                  (function Ast.Var v' when v' = var -> false | _ -> true)
+                  pargs)
+        then unsupported "pick arguments must be literals"
+        else Ok (Some (fun fctx -> mk fctx consts))
+    end
+  in
+  (* ranking and threshold *)
+  let* () =
+    match q.sortby with
+    | Some "score" | None -> Ok ()
+    | Some other -> unsupported "sortby(%s) is not compilable" other
+  in
+  let* min_score, limit =
+    match q.thresh with
+    | None -> Ok (None, None)
+    | Some { Ast.t_expr; t_cmp = Ast.Gt; t_value; stop_after } -> begin
+      match t_expr with
+      | Ast.Path (Ast.Var v', [ { Ast.step_axis = Ast.Attribute "score"; _ } ])
+        when v' = var ->
+        Ok (Some t_value, stop_after)
+      | _ -> unsupported "threshold must test $%s/@score" var
+    end
+    | Some _ -> unsupported "only strict > thresholds compile"
+  in
+  (* TermJoin emits only elements containing at least one query term;
+     an unthresholded query without Pick also returns zero-scored
+     bindings, which the engine path cannot produce. Such queries are
+     not IR-style; leave them to the interpreter. *)
+  let* () =
+    if pick <> None || (match min_score with Some v -> v >= 0. | None -> false)
+    then Ok ()
+    else
+      unsupported
+        "a non-negative score threshold or a pick clause is required for the \
+         engine path"
+  in
+  Ok
+    {
+      document;
+      structure;
+      self_or_descendant;
+      terms;
+      weights;
+      pick;
+      min_score;
+      limit;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+(* Build the candidate forest of one document from its scored nodes
+   (sorted in document order): intervals are laminar, so a stack pass
+   reconstructs the hierarchy that projection would produce. *)
+let forest_of_scored nodes =
+  let finished = ref [] in
+  (* stack of (node, children-so-far in reverse) *)
+  let stack : (Access.Scored_node.t * Core.Stree.t list ref) list ref =
+    ref []
+  in
+  let close ((n : Access.Scored_node.t), children) =
+    let tree =
+      Core.Stree.make ~score:n.score
+        ~id:(Core.Stree.Stored { doc = n.doc; start = n.start })
+        "node"
+        (List.rev_map (fun c -> Core.Stree.Node c) !children)
+    in
+    match !stack with
+    | (_, parent_children) :: _ -> parent_children := tree :: !parent_children
+    | [] -> finished := tree :: !finished
+  in
+  let rec pop_before (n : Access.Scored_node.t) =
+    match !stack with
+    | (((top : Access.Scored_node.t), _) as entry) :: rest
+      when top.doc < n.doc || (top.doc = n.doc && top.end_ < n.start) ->
+      stack := rest;
+      close entry;
+      pop_before n
+    | _ :: _ | [] -> ()
+  in
+  List.iter
+    (fun (n : Access.Scored_node.t) ->
+      pop_before n;
+      stack := (n, ref []) :: !stack)
+    nodes;
+  (* drain *)
+  let rec drain () =
+    match !stack with
+    | entry :: rest ->
+      stack := rest;
+      close entry;
+      drain ()
+    | [] -> ()
+  in
+  drain ();
+  List.rev !finished
+
+let execute db (p : plan) =
+  Log.debug (fun m -> m "executing engine plan: terms=%s, pick=%b"
+      (String.concat "," p.terms) (p.pick <> None));
+  let ctx = Access.Ctx.of_db db in
+  (* restrict to the documents matching the glob *)
+  let doc_ok =
+    let catalog = Store.Db.catalog db in
+    let matches = Hashtbl.create 8 in
+    for doc = 0 to Store.Catalog.document_count catalog - 1 do
+      if Glob.matches p.document (Store.Catalog.document_name catalog doc)
+      then Hashtbl.replace matches doc ()
+    done;
+    fun doc -> Hashtbl.mem matches doc
+  in
+  let scored =
+    Access.Pattern_exec.scored_matches ctx p.structure ~struct_var:1
+      ~terms:p.terms ~weights:p.weights
+  in
+  let scored = List.filter (fun (n : Access.Scored_node.t) -> doc_ok n.doc) scored in
+  let scored =
+    if p.self_or_descendant then scored
+    else begin
+      (* the scored variable is the anchor itself *)
+      let anchors = Access.Pattern_exec.matches ctx p.structure ~var:1 in
+      let keys = Hashtbl.create 64 in
+      List.iter
+        (fun (i : Store.Tag_index.item) -> Hashtbl.replace keys (i.doc, i.start) ())
+        anchors;
+      List.filter
+        (fun (n : Access.Scored_node.t) -> Hashtbl.mem keys (n.doc, n.start))
+        scored
+    end
+  in
+  let scored = List.filter (fun (n : Access.Scored_node.t) -> n.score > 0.) scored in
+  let scored =
+    match p.pick with
+    | None -> scored
+    | Some mk_crit ->
+      let crit = mk_crit { Functions.db } in
+      (* group by document (input is in document order), build the
+         candidate forest and run the streaming Pick *)
+      let returned = Hashtbl.create 256 in
+      let flush nodes =
+        List.iter
+          (fun root ->
+            List.iter
+              (fun (t : Core.Stree.t) ->
+                match t.id with
+                | Core.Stree.Stored { doc; start } ->
+                  Hashtbl.replace returned (doc, start) ()
+                | Core.Stree.Synthetic _ -> ())
+              (Access.Pick_stack.returned crit ~candidates:(fun _ -> true) root))
+          (forest_of_scored (List.rev nodes))
+      in
+      let rec group current current_doc = function
+        | [] -> flush current
+        | (n : Access.Scored_node.t) :: rest ->
+          if n.doc = current_doc || current = [] then
+            group (n :: current) n.doc rest
+          else begin
+            flush current;
+            group [ n ] n.doc rest
+          end
+      in
+      group [] (-1) scored;
+      List.filter
+        (fun (n : Access.Scored_node.t) -> Hashtbl.mem returned (n.doc, n.start))
+        scored
+  in
+  let scored =
+    match p.min_score with
+    | Some v -> List.filter (fun (n : Access.Scored_node.t) -> n.score > v) scored
+    | None -> scored
+  in
+  let ranked = List.sort Access.Scored_node.compare_score_desc scored in
+  match p.limit with
+  | Some k -> List.filteri (fun i _ -> i < k) ranked
+  | None -> ranked
+
+let run_string ?functions db src =
+  match Parser.parse src with
+  | Error e -> Error (Format.asprintf "parse error: %a" Parser.pp_error e)
+  | Ok q ->
+    let* plan = compile ?functions q in
+    Ok (execute db plan)
+
+let explain (p : plan) =
+  Format.asprintf
+    "@[<v>engine plan:@,  document glob: %s@,  structure:@,    %a@,  scored \
+     var: %s@,  terms: %s (weights %s)@,  pick: %s@,  threshold: %s@,  limit: \
+     %s@]"
+    p.document Core.Pattern.pp p.structure
+    (if p.self_or_descendant then "descendant-or-self of anchor" else "anchor")
+    (String.concat ", " p.terms)
+    (String.concat ", "
+       (Array.to_list (Array.map (Printf.sprintf "%g") p.weights)))
+    (match p.pick with Some _ -> "stack-based Pick" | None -> "none")
+    (match p.min_score with Some v -> Printf.sprintf "> %g" v | None -> "none")
+    (match p.limit with Some k -> string_of_int k | None -> "none")

@@ -1,0 +1,57 @@
+(** Compilation of extended-XQuery queries onto the engine's access
+    methods.
+
+    The interpreter ({!Eval}) navigates retained in-memory trees; for
+    the query shape of the paper's Queries 1 and 2 —
+
+    {v
+    for $x in document("D")//tag[p1/p2 = "lit"].../descendant-or-self::*
+    score $x using ScoreFoo($x, {primary...}, {secondary...})
+    pick $x using PickFoo(...)
+    return ...
+    sortby(score)
+    threshold $x/@score > V stop after K
+    v}
+
+    — this module instead produces a physical plan over the store:
+    the structural predicate runs as stack-based structural joins
+    ({!Access.Pattern_exec}), scoring runs as a TermJoin, Pick runs
+    as the streaming stack algorithm over the candidate forest, and
+    the threshold as a scan filter plus bounded top-K. No document
+    trees are materialized, so compiled queries also work on
+    databases loaded without [keep_trees].
+
+    Queries outside the recognized shape (multi-word phrases in
+    ScoreFoo, joins, arbitrary [where] clauses …) are rejected with a
+    reason, and the caller falls back to the interpreter. *)
+
+type plan = {
+  document : string;  (** glob over loaded document names *)
+  structure : Core.Pattern.t;  (** structural anchor pattern, var 1 *)
+  self_or_descendant : bool;
+      (** the scored variable ranges over the anchor's subtree (the
+          ad-or-self axis) rather than the anchor itself *)
+  terms : string list;
+  weights : float array;
+  pick : (Functions.fctx -> Core.Op_pick.criterion) option;
+      (** criterion factory, resolved against the database at
+          execution time *)
+  min_score : float option;  (** strict lower bound on scores *)
+  limit : int option;
+}
+
+val compile : ?functions:Functions.t -> Ast.t -> (plan, string) result
+(** [Error reason] when the query is outside the compilable shape. *)
+
+val execute : Store.Db.t -> plan -> Access.Scored_node.t list
+(** Evaluate the plan; results ranked best-first (ties in document
+    order). *)
+
+val run_string :
+  ?functions:Functions.t ->
+  Store.Db.t ->
+  string ->
+  (Access.Scored_node.t list, string) result
+(** Parse, compile and execute. *)
+
+val explain : plan -> string

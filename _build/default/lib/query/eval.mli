@@ -1,0 +1,25 @@
+(** Pipelined evaluator for the extended XQuery dialect.
+
+    Evaluation streams binding tuples (environments) through the
+    clause pipeline in the iterator style of a database engine; only
+    the blocking operators — Pick (which needs the whole candidate
+    set, Sec. 5.3), Sortby and rank thresholds — materialize.
+
+    The database must have been loaded with [keep_trees] so result
+    subtrees can be materialized. *)
+
+type t
+
+exception Error of string
+
+val create : ?functions:Functions.t -> Store.Db.t -> t
+(** [functions] defaults to {!Functions.builtins}. *)
+
+val functions : t -> Functions.t
+
+val run : t -> Ast.t -> Xmlkit.Tree.element list
+(** Evaluate a parsed query; results in ranked order when the query
+    has a [Sortby]. Raises {!Error}. *)
+
+val run_string : t -> string -> (Xmlkit.Tree.element list, string) result
+(** Parse and evaluate. *)

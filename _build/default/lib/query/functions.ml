@@ -1,0 +1,195 @@
+type value =
+  | Nodes of Core.Stree.t list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Str_list of string list
+
+type fctx = { db : Store.Db.t }
+type scoring_fn = fctx -> value list -> float
+type pick_fn = fctx -> value list -> Core.Op_pick.criterion
+type general_fn = fctx -> value list -> value
+
+type t = {
+  scorings : (string, scoring_fn) Hashtbl.t;
+  picks : (string, pick_fn) Hashtbl.t;
+  generals : (string, general_fn) Hashtbl.t;
+}
+
+let to_string_value = function
+  | Str s -> s
+  | Num f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+  | Nodes ns -> String.concat " " (List.map Core.Stree.all_text ns)
+  | Str_list ss -> String.concat " " ss
+
+let to_float = function
+  | Num f -> f
+  | Str s -> begin
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> invalid_arg "expected a number"
+  end
+  | Nodes [ n ] -> Core.Stree.score n
+  | Nodes _ -> invalid_arg "expected a single node"
+  | Bool b -> if b then 1. else 0.
+  | Str_list _ -> invalid_arg "expected a number"
+
+let to_bool = function
+  | Bool b -> b
+  | Num f -> f <> 0.
+  | Str s -> s <> ""
+  | Nodes ns -> ns <> []
+  | Str_list ss -> ss <> []
+
+let to_terms = function
+  | Str_list ss -> ss
+  | v -> Ir.Tokenizer.terms (to_string_value v)
+
+let single_node = function
+  | Nodes [ n ] -> n
+  | Nodes _ -> invalid_arg "expected exactly one node"
+  | Str _ | Num _ | Bool _ | Str_list _ -> invalid_arg "expected a node"
+
+(* ------------------------------------------------------------------ *)
+(* Built-ins *)
+
+(* a phrase-set argument: each list entry may be a multi-word phrase *)
+let phrases_of = function
+  | Str_list p -> p
+  | (Str _ | Num _ | Bool _ | Nodes _) as v -> [ to_string_value v ]
+
+let score_foo_fn _ctx args =
+  match args with
+  | [ node; primary; secondary ] ->
+    let scorer =
+      Core.Scorers.score_foo ~primary:(phrases_of primary)
+        ~secondary:(phrases_of secondary) ()
+    in
+    scorer.Core.Pattern.eval (single_node node)
+  | _ -> invalid_arg "ScoreFoo(node, {primary}, {secondary})"
+
+let tfidf_fn ctx args =
+  match args with
+  | [ node; terms ] ->
+    let idx = Store.Db.index ctx.db in
+    let scorer =
+      Core.Scorers.tfidf
+        ~doc_count:(Ir.Inverted_index.document_count idx)
+        ~doc_freq:(fun t -> Ir.Inverted_index.doc_freq idx t)
+        ~terms:(to_terms terms) ()
+    in
+    scorer.Core.Pattern.eval (single_node node)
+  | _ -> invalid_arg "tfidf(node, {terms})"
+
+let bm25_fn ctx args =
+  match args with
+  | [ node; terms ] ->
+    let idx = Store.Db.index ctx.db in
+    let stats = Store.Db.stats ctx.db in
+    let avg_size =
+      if stats.Store.Db.elements = 0 then 0.
+      else
+        float_of_int stats.Store.Db.occurrences
+        /. float_of_int stats.Store.Db.documents
+    in
+    let scorer =
+      Core.Scorers.bm25
+        ~doc_count:(Ir.Inverted_index.document_count idx)
+        ~doc_freq:(fun t -> Ir.Inverted_index.doc_freq idx t)
+        ~avg_size ~terms:(to_terms terms) ()
+    in
+    scorer.Core.Pattern.eval (single_node node)
+  | _ -> invalid_arg "bm25(node, {terms})"
+
+let score_sim_fn _ctx args =
+  match args with
+  | [ a; b ] -> Core.Scorers.score_sim (to_string_value a) (to_string_value b)
+  | _ -> invalid_arg "ScoreSim(a, b)"
+
+let cosine_fn _ctx args =
+  match args with
+  | [ a; b ] -> Core.Scorers.cosine_sim (to_string_value a) (to_string_value b)
+  | _ -> invalid_arg "CosineSim(a, b)"
+
+let score_bar_fn _ctx args =
+  match args with
+  | [ a; b ] -> Core.Scorers.score_bar [ to_float a; to_float b ]
+  | _ -> invalid_arg "ScoreBar(joinScore, score)"
+
+let pick_foo_fn _ctx args =
+  match args with
+  | [] -> Core.Op_pick.pick_foo ()
+  | [ threshold ] -> Core.Op_pick.pick_foo ~threshold:(to_float threshold) ()
+  | [ threshold; fraction ] ->
+    Core.Op_pick.pick_foo ~threshold:(to_float threshold)
+      ~fraction:(to_float fraction) ()
+  | _ -> invalid_arg "PickFoo(threshold?, fraction?)"
+
+let decimal_fn _ctx args =
+  match args with
+  | [ v ] -> Num (to_float v)
+  | _ -> invalid_arg "decimal(v)"
+
+let count_fn _ctx args =
+  match args with
+  | [ phrase; text ] ->
+    (* each entry of a phrase set may be a multi-word phrase *)
+    let text = to_string_value text in
+    let total =
+      List.fold_left
+        (fun acc p -> acc + Ir.Phrase.count ~terms:(Ir.Phrase.parse p) text)
+        0 (phrases_of phrase)
+    in
+    Num (float_of_int total)
+  | [ v ] -> begin
+    match v with
+    | Nodes ns -> Num (float_of_int (List.length ns))
+    | Str _ | Num _ | Bool _ | Str_list _ -> invalid_arg "count(nodes)"
+  end
+  | _ -> invalid_arg "count(phrase, text) or count(nodes)"
+
+let count_same_fn _ctx args =
+  match args with
+  | [ a; b ] ->
+    Num
+      (float_of_int
+         (Ir.Similarity.count_same (to_string_value a) (to_string_value b)))
+  | _ -> invalid_arg "count-same(a, b)"
+
+let builtins () =
+  let t =
+    {
+      scorings = Hashtbl.create 16;
+      picks = Hashtbl.create 16;
+      generals = Hashtbl.create 16;
+    }
+  in
+  let lower = String.lowercase_ascii in
+  Hashtbl.replace t.scorings (lower "ScoreFoo") score_foo_fn;
+  Hashtbl.replace t.scorings (lower "tfidf") tfidf_fn;
+  Hashtbl.replace t.scorings (lower "bm25") bm25_fn;
+  Hashtbl.replace t.picks (lower "PickFoo") pick_foo_fn;
+  Hashtbl.replace t.generals (lower "ScoreSim")
+    (fun ctx args -> Num (score_sim_fn ctx args));
+  Hashtbl.replace t.generals (lower "CosineSim")
+    (fun ctx args -> Num (cosine_fn ctx args));
+  Hashtbl.replace t.generals (lower "ScoreBar")
+    (fun ctx args -> Num (score_bar_fn ctx args));
+  Hashtbl.replace t.generals (lower "decimal") decimal_fn;
+  Hashtbl.replace t.generals (lower "count") count_fn;
+  Hashtbl.replace t.generals (lower "count-same") count_same_fn;
+  t
+
+let register_scoring t name fn =
+  Hashtbl.replace t.scorings (String.lowercase_ascii name) fn
+
+let register_pick t name fn =
+  Hashtbl.replace t.picks (String.lowercase_ascii name) fn
+
+let register_general t name fn =
+  Hashtbl.replace t.generals (String.lowercase_ascii name) fn
+
+let scoring t name = Hashtbl.find_opt t.scorings (String.lowercase_ascii name)
+let pick t name = Hashtbl.find_opt t.picks (String.lowercase_ascii name)
+let general t name = Hashtbl.find_opt t.generals (String.lowercase_ascii name)

@@ -1,0 +1,52 @@
+(** The user-function registry of the query engine.
+
+    The paper's Sec. 4 plugs user-defined scoring and picking
+    functions into the language; this registry holds the built-ins of
+    Fig. 9 (ScoreFoo, ScoreSim, ScoreBar, PickFoo) plus tf·idf, and
+    accepts user registrations. *)
+
+type value =
+  | Nodes of Core.Stree.t list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Str_list of string list
+
+type fctx = { db : Store.Db.t }
+
+type scoring_fn = fctx -> value list -> float
+(** Applied to the evaluated argument list of a [Score ... using]
+    clause (the scored variable's node is the customary first
+    argument). *)
+
+type pick_fn = fctx -> value list -> Core.Op_pick.criterion
+(** Applied to the argument list of a [Pick ... using] clause with
+    the node argument removed. *)
+
+type general_fn = fctx -> value list -> value
+(** Ordinary function calls inside expressions. *)
+
+type t
+
+val builtins : unit -> t
+(** A fresh registry with ScoreFoo, tfidf, ScoreSim, ScoreBar,
+    PickFoo, decimal, count and count-same registered. *)
+
+val register_scoring : t -> string -> scoring_fn -> unit
+val register_pick : t -> string -> pick_fn -> unit
+val register_general : t -> string -> general_fn -> unit
+
+val scoring : t -> string -> scoring_fn option
+val pick : t -> string -> pick_fn option
+val general : t -> string -> general_fn option
+
+(** {1 Coercions} *)
+
+val to_float : value -> float
+(** Numbers pass through; node values yield their score; strings are
+    parsed. Raises [Invalid_argument] otherwise. *)
+
+val to_string_value : value -> string
+val to_bool : value -> bool
+val to_terms : value -> string list
+(** A [Str_list] as is; a string split into terms. *)

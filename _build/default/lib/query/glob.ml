@@ -1,0 +1,28 @@
+let matches pattern name =
+  let parts = String.split_on_char '*' pattern in
+  match parts with
+  | [ exact ] -> exact = name
+  | first :: rest ->
+    let n = String.length name in
+    let starts_with p =
+      String.length p <= n && String.sub name 0 (String.length p) = p
+    in
+    if not (starts_with first) then false
+    else begin
+      let rec go pos = function
+        | [] -> pos = n
+        | [ last ] ->
+          let l = String.length last in
+          l <= n - pos && String.sub name (n - l) l = last
+        | part :: rest ->
+          let l = String.length part in
+          let rec find i =
+            if i + l > n then None
+            else if String.sub name i l = part then Some (i + l)
+            else find (i + 1)
+          in
+          (match find pos with Some next -> go next rest | None -> false)
+      in
+      go (String.length first) rest
+    end
+  | [] -> name = ""

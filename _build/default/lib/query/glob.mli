@@ -1,0 +1,5 @@
+(** Minimal glob matching with [*] wildcards, used to select loaded
+    documents by name in [document("review-*.xml")]. *)
+
+val matches : string -> string -> bool
+(** [matches pattern name]. *)

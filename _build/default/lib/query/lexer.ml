@@ -1,0 +1,177 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | STRING of string
+  | NUMBER of float
+  | LT
+  | GT
+  | SLASH
+  | DSLASH
+  | DOS
+  | AT
+  | COMMA
+  | ASSIGN
+  | EQ
+  | NEQ
+  | LE
+  | GE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | EOF
+
+exception Error of { pos : int; message : string }
+
+let fail pos message = raise (Error { pos; message })
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | _ -> false
+
+let is_ident_char c =
+  is_ident_start c || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (tok, pos) :: !tokens in
+  let rec go i =
+    if i >= n then emit i EOF
+    else begin
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '$' ->
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        if !j = i + 1 then fail i "expected a variable name after $";
+        emit i (VAR (String.sub src (i + 1) (!j - i - 1)));
+        go !j
+      | '"' | '\'' ->
+        let quote = src.[i] in
+        let j = ref (i + 1) in
+        while !j < n && src.[!j] <> quote do
+          incr j
+        done;
+        if !j >= n then fail i "unterminated string literal";
+        emit i (STRING (String.sub src (i + 1) (!j - i - 1)));
+        go (!j + 1)
+      | '0' .. '9' ->
+        let j = ref i in
+        while
+          !j < n && (match src.[!j] with '0' .. '9' | '.' -> true | _ -> false)
+        do
+          incr j
+        done;
+        (match float_of_string_opt (String.sub src i (!j - i)) with
+        | Some f -> emit i (NUMBER f)
+        | None -> fail i "malformed number");
+        go !j
+      | '{' ->
+        emit i LBRACE;
+        go (i + 1)
+      | '}' ->
+        emit i RBRACE;
+        go (i + 1)
+      | '(' ->
+        emit i LPAREN;
+        go (i + 1)
+      | ')' ->
+        emit i RPAREN;
+        go (i + 1)
+      | '[' ->
+        emit i LBRACKET;
+        go (i + 1)
+      | ']' ->
+        emit i RBRACKET;
+        go (i + 1)
+      | ',' ->
+        emit i COMMA;
+        go (i + 1)
+      | '@' ->
+        emit i AT;
+        go (i + 1)
+      | ':' when i + 1 < n && src.[i + 1] = '=' ->
+        emit i ASSIGN;
+        go (i + 2)
+      | '=' ->
+        emit i EQ;
+        go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+        emit i NEQ;
+        go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' ->
+        emit i LE;
+        go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' ->
+        emit i GE;
+        go (i + 2)
+      | '<' ->
+        emit i LT;
+        go (i + 1)
+      | '>' ->
+        emit i GT;
+        go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        emit i DSLASH;
+        go (i + 2)
+      | '/' ->
+        emit i SLASH;
+        go (i + 1)
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        let word = String.sub src i (!j - i) in
+        if
+          word = "descendant-or-self"
+          && !j + 2 < n
+          && src.[!j] = ':'
+          && src.[!j + 1] = ':'
+          && src.[!j + 2] = '*'
+        then begin
+          emit i DOS;
+          go (!j + 3)
+        end
+        else begin
+          emit i (IDENT word);
+          go !j
+        end
+      | '*' ->
+        emit i (IDENT "*");
+        go (i + 1)
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+    end
+  in
+  go 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "%s" s
+  | VAR v -> Format.fprintf ppf "$%s" v
+  | STRING s -> Format.fprintf ppf "%S" s
+  | NUMBER f -> Format.fprintf ppf "%g" f
+  | LT -> Format.pp_print_string ppf "<"
+  | GT -> Format.pp_print_string ppf ">"
+  | SLASH -> Format.pp_print_string ppf "/"
+  | DSLASH -> Format.pp_print_string ppf "//"
+  | DOS -> Format.pp_print_string ppf "descendant-or-self::*"
+  | AT -> Format.pp_print_string ppf "@"
+  | COMMA -> Format.pp_print_string ppf ","
+  | ASSIGN -> Format.pp_print_string ppf ":="
+  | EQ -> Format.pp_print_string ppf "="
+  | NEQ -> Format.pp_print_string ppf "!="
+  | LE -> Format.pp_print_string ppf "<="
+  | GE -> Format.pp_print_string ppf ">="
+  | LBRACE -> Format.pp_print_string ppf "{"
+  | RBRACE -> Format.pp_print_string ppf "}"
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | LBRACKET -> Format.pp_print_string ppf "["
+  | RBRACKET -> Format.pp_print_string ppf "]"
+  | EOF -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,34 @@
+(** Tokenizer for the extended XQuery dialect. *)
+
+type token =
+  | IDENT of string
+  | VAR of string  (** $name *)
+  | STRING of string
+  | NUMBER of float
+  | LT
+  | GT
+  | SLASH
+  | DSLASH
+  | DOS  (** descendant-or-self::* *)
+  | AT
+  | COMMA
+  | ASSIGN  (** := *)
+  | EQ
+  | NEQ
+  | LE
+  | GE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | EOF
+
+exception Error of { pos : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Tokens with their starting offsets; always ends with [EOF].
+    Raises {!Error}. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,393 @@
+type error = { position : int; message : string }
+
+exception Parse_error of error
+
+let pp_error ppf e =
+  Format.fprintf ppf "offset %d: %s" e.position e.message
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let fail st message =
+  let position = match st.toks with (_, p) :: _ -> p | [] -> 0 in
+  raise (Parse_error { position; message })
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let peek2 st =
+  match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st ("expected " ^ what)
+
+let keyword_is word = function
+  | Lexer.IDENT id -> String.lowercase_ascii id = word
+  | _ -> false
+
+let eat_keyword st word =
+  if keyword_is word (peek st) then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_keyword st word =
+  if not (eat_keyword st word) then fail st ("expected keyword " ^ word)
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT id ->
+    advance st;
+    id
+  | _ -> fail st ("expected " ^ what)
+
+let expect_var st =
+  match peek st with
+  | Lexer.VAR v ->
+    advance st;
+    v
+  | _ -> fail st "expected a variable"
+
+let expect_string st =
+  match peek st with
+  | Lexer.STRING s ->
+    advance st;
+    s
+  | _ -> fail st "expected a string literal"
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Ast.Eq
+  | Lexer.NEQ -> Some Ast.Neq
+  | Lexer.LT -> Some Ast.Lt
+  | Lexer.LE -> Some Ast.Le
+  | Lexer.GT -> Some Ast.Gt
+  | Lexer.GE -> Some Ast.Ge
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* expressions *)
+
+let rec parse_expr st = parse_or_expr st
+
+and parse_or_expr st =
+  let left = parse_and_expr st in
+  if keyword_is "or" (peek st) then begin
+    advance st;
+    Ast.Or (left, parse_or_expr st)
+  end
+  else left
+
+and parse_and_expr st =
+  let left = parse_cmp_expr st in
+  if keyword_is "and" (peek st) then begin
+    advance st;
+    Ast.And (left, parse_and_expr st)
+  end
+  else left
+
+and parse_cmp_expr st =
+  let left = parse_path_expr st in
+  match cmp_of_token (peek st) with
+  | Some c ->
+    advance st;
+    let right = parse_path_expr st in
+    Ast.Cmp (c, left, right)
+  | None -> left
+
+and parse_path_expr st =
+  let base = parse_primary st in
+  let steps = parse_steps st [] in
+  if steps = [] then base else Ast.Path (base, steps)
+
+and parse_steps st acc =
+  match peek st with
+  | Lexer.SLASH | Lexer.DSLASH ->
+    let deep = peek st = Lexer.DSLASH in
+    advance st;
+    let axis =
+      match peek st with
+      | Lexer.DOS ->
+        advance st;
+        Ast.Self_or_descendant
+      | Lexer.AT ->
+        advance st;
+        Ast.Attribute (expect_ident st "attribute name")
+      | Lexer.IDENT "text" when peek2 st = Lexer.LPAREN ->
+        advance st;
+        expect st Lexer.LPAREN "(";
+        expect st Lexer.RPAREN ")";
+        Ast.Text
+      | Lexer.IDENT name ->
+        advance st;
+        if deep then Ast.Descendant name else Ast.Child name
+      | _ -> fail st "expected a step after /"
+    in
+    let predicates = parse_predicates st [] in
+    parse_steps st ({ Ast.step_axis = axis; predicates } :: acc)
+  | _ -> List.rev acc
+
+and parse_predicates st acc =
+  if peek st = Lexer.LBRACKET then begin
+    advance st;
+    (* a predicate is a relative path, optionally compared *)
+    let rel =
+      (* allow leading / as in the paper's [/author/sname/...] *)
+      (match peek st with
+      | Lexer.SLASH | Lexer.DSLASH -> ()
+      | _ -> ());
+      let base = Ast.Var "." in
+      let steps =
+        match peek st with
+        | Lexer.SLASH | Lexer.DSLASH -> parse_steps st []
+        | Lexer.AT ->
+          advance st;
+          [ { Ast.step_axis = Ast.Attribute (expect_ident st "attribute name"); predicates = [] } ]
+        | Lexer.IDENT _ ->
+          (* bare relative path: inject an implicit child slash *)
+          let name = expect_ident st "name" in
+          let first = { Ast.step_axis = Ast.Child name; predicates = [] } in
+          first :: parse_steps st []
+        | _ -> fail st "expected a predicate path"
+      in
+      Ast.Path (base, steps)
+    in
+    let pred =
+      match cmp_of_token (peek st) with
+      | Some c ->
+        advance st;
+        let right = parse_primary st in
+        Ast.Pred_cmp (c, rel, right)
+      | None -> Ast.Pred_exists rel
+    in
+    expect st Lexer.RBRACKET "]";
+    parse_predicates st (pred :: acc)
+  end
+  else List.rev acc
+
+and parse_primary st =
+  match peek st with
+  | Lexer.VAR v ->
+    advance st;
+    Ast.Var v
+  | Lexer.STRING s ->
+    advance st;
+    Ast.String_lit s
+  | Lexer.NUMBER f ->
+    advance st;
+    Ast.Number_lit f
+  | Lexer.LBRACE ->
+    advance st;
+    let rec items acc =
+      match peek st with
+      | Lexer.RBRACE ->
+        advance st;
+        List.rev acc
+      | Lexer.STRING s ->
+        advance st;
+        if peek st = Lexer.COMMA then advance st;
+        items (s :: acc)
+      | _ -> fail st "expected a string inside { }"
+    in
+    Ast.String_set (items [])
+  | Lexer.IDENT "document" when peek2 st = Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let name = expect_string st in
+    expect st Lexer.RPAREN ")";
+    Ast.Document name
+  | Lexer.IDENT _ when peek2 st = Lexer.LPAREN ->
+    let f = expect_ident st "function name" in
+    expect st Lexer.LPAREN "(";
+    let rec args acc =
+      if peek st = Lexer.RPAREN then begin
+        advance st;
+        List.rev acc
+      end
+      else begin
+        let a = parse_expr st in
+        if peek st = Lexer.COMMA then advance st;
+        args (a :: acc)
+      end
+    in
+    Ast.Call (f, args [])
+  | _ -> fail st "expected an expression"
+
+(* ------------------------------------------------------------------ *)
+(* constructors *)
+
+let rec parse_constructor st =
+  expect st Lexer.LT "<";
+  let name = expect_ident st "element name" in
+  (* attributes: name = { expr } or name = "literal" *)
+  let rec attrs acc =
+    match peek st with
+    | Lexer.IDENT attr when peek2 st = Lexer.EQ ->
+      advance st;
+      advance st;
+      let value =
+        match peek st with
+        | Lexer.LBRACE ->
+          advance st;
+          let e = parse_expr st in
+          expect st Lexer.RBRACE "}";
+          e
+        | Lexer.STRING s ->
+          advance st;
+          Ast.String_lit s
+        | _ -> fail st "expected an attribute value"
+      in
+      attrs ((attr, value) :: acc)
+    | _ -> List.rev acc
+  in
+  let attributes = attrs [] in
+  expect st Lexer.GT ">";
+  let rec contents acc =
+    match peek st with
+    | Lexer.LT when peek2 st = Lexer.SLASH ->
+      advance st;
+      advance st;
+      let close = expect_ident st "closing element name" in
+      if close <> name then
+        fail st (Printf.sprintf "mismatched </%s>, expected </%s>" close name);
+      expect st Lexer.GT ">";
+      List.rev acc
+    | Lexer.LT -> contents (Ast.Nested (parse_constructor st) :: acc)
+    | Lexer.LBRACE ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RBRACE "}";
+      contents (Ast.Embedded e :: acc)
+    | Lexer.IDENT w ->
+      advance st;
+      contents (Ast.Const_text w :: acc)
+    | Lexer.STRING s ->
+      advance st;
+      contents (Ast.Const_text s :: acc)
+    | Lexer.NUMBER f ->
+      advance st;
+      contents (Ast.Const_text (Printf.sprintf "%g" f) :: acc)
+    | _ -> fail st "unexpected token in element content"
+  in
+  Ast.Elem_cons (name, attributes, contents [])
+
+(* ------------------------------------------------------------------ *)
+(* clauses *)
+
+let parse_using_call st =
+  expect_keyword st "using";
+  let f = expect_ident st "function name" in
+  expect st Lexer.LPAREN "(";
+  let rec args acc =
+    if peek st = Lexer.RPAREN then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let a = parse_expr st in
+      if peek st = Lexer.COMMA then advance st;
+      args (a :: acc)
+    end
+  in
+  (f, args [])
+
+let parse_clause st =
+  match peek st with
+  | Lexer.IDENT id -> begin
+    match String.lowercase_ascii id with
+    | "for" ->
+      advance st;
+      let v = expect_var st in
+      (* both "in" and ":=" appear in the paper's figures *)
+      if not (eat_keyword st "in") then expect st Lexer.ASSIGN "in or :=";
+      Some (Ast.For (v, parse_expr st))
+    | "let" ->
+      advance st;
+      let v = expect_var st in
+      expect st Lexer.ASSIGN ":=";
+      Some (Ast.Let (v, parse_expr st))
+    | "where" ->
+      advance st;
+      Some (Ast.Where (parse_expr st))
+    | "score" ->
+      advance st;
+      let v = expect_var st in
+      let f, args = parse_using_call st in
+      Some (Ast.Score (v, f, args))
+    | "pick" ->
+      advance st;
+      let v = expect_var st in
+      let f, args = parse_using_call st in
+      Some (Ast.Pick (v, f, args))
+    | _ -> None
+  end
+  | _ -> None
+
+let parse_query st =
+  let rec clauses acc =
+    match parse_clause st with
+    | Some c -> clauses (c :: acc)
+    | None -> List.rev acc
+  in
+  let clauses = clauses [] in
+  if clauses = [] then fail st "a query starts with for/let";
+  expect_keyword st "return";
+  let returns = parse_constructor st in
+  let sortby =
+    if eat_keyword st "sortby" then begin
+      expect st Lexer.LPAREN "(";
+      let f = expect_ident st "sort field" in
+      expect st Lexer.RPAREN ")";
+      Some f
+    end
+    else None
+  in
+  let thresh =
+    if eat_keyword st "threshold" then begin
+      let e = parse_path_expr st in
+      let c =
+        match cmp_of_token (peek st) with
+        | Some c ->
+          advance st;
+          c
+        | None -> fail st "expected a comparison in threshold"
+      in
+      let v =
+        match peek st with
+        | Lexer.NUMBER f ->
+          advance st;
+          f
+        | _ -> fail st "expected a number in threshold"
+      in
+      let stop_after =
+        if eat_keyword st "stop" then begin
+          expect_keyword st "after";
+          match peek st with
+          | Lexer.NUMBER f ->
+            advance st;
+            Some (int_of_float f)
+          | _ -> fail st "expected a count after 'stop after'"
+        end
+        else None
+      in
+      Some { Ast.t_expr = e; t_cmp = c; t_value = v; stop_after }
+    end
+    else None
+  in
+  if peek st <> Lexer.EOF then fail st "trailing tokens after query";
+  { Ast.clauses; returns; sortby; thresh }
+
+let parse src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error { pos; message } ->
+    Error { position = pos; message }
+  | toks -> begin
+    let st = { toks } in
+    match parse_query st with
+    | q -> Ok q
+    | exception Parse_error e -> Error e
+  end
+
+let parse_exn src =
+  match parse src with Ok q -> q | Error e -> raise (Parse_error e)

@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the extended XQuery dialect.
+
+    Grammar (keywords are case-insensitive):
+    {v
+    query      ::= clause+ "return" constructor sortby? threshold?
+    clause     ::= "for" Var "in" expr
+                 | "let" Var ":=" expr
+                 | "where" expr
+                 | "score" Var "using" Ident "(" expr,* ")"
+                 | "pick" Var "using" Ident "(" expr,* ")"
+    sortby     ::= "sortby" "(" Ident ")"
+    threshold  ::= "threshold" expr cmp Number ("stop" "after" Number)?
+    expr       ::= primary (cmp primary)?
+    primary    ::= ("document" "(" String ")" | Var | Ident "(" expr,* ")"
+                 | String | Number | "{" String,* "}") step*
+    step       ::= ("/" | "//") (Ident | "text()" | "@" Ident)
+                   ("[" pred "]")* | "/descendant-or-self::*"
+    pred       ::= relpath (cmp expr)?
+    v} *)
+
+type error = { position : int; message : string }
+
+exception Parse_error of error
+
+val parse : string -> (Ast.t, error) result
+val parse_exn : string -> Ast.t
+val pp_error : Format.formatter -> error -> unit

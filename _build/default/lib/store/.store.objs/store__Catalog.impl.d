@@ -1,0 +1,1 @@
+lib/store/catalog.ml: Array Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/store/db.ml: Array Buffer Bytes Catalog Element_rec Element_store Format Fun Ir List Logs Pager Parent_index Seq String Tag_index Unix Xmlkit

@@ -1,0 +1,1 @@
+lib/store/db.mli: Catalog Element_store Format Ir Parent_index Seq Tag_index Xmlkit

@@ -1,0 +1,1 @@
+lib/store/element_rec.ml: Buffer Bytes Format Ir String

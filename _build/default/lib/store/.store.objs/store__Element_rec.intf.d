@@ -1,0 +1,1 @@
+lib/store/element_rec.mli: Buffer Bytes Format

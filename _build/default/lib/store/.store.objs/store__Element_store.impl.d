@@ -1,0 +1,1 @@
+lib/store/element_store.ml: Array Buffer Bytes Element_rec Ir List Option Pager

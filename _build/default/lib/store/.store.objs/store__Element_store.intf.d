@@ -1,0 +1,1 @@
+lib/store/element_store.mli: Buffer Bytes Element_rec Pager

@@ -1,0 +1,1 @@
+lib/store/histogram.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/store/histogram.mli: Format

@@ -1,0 +1,1 @@
+lib/store/parent_index.ml: Array List

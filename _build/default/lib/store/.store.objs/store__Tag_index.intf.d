@@ -1,0 +1,1 @@
+lib/store/tag_index.mli:

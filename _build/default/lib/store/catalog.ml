@@ -1,0 +1,35 @@
+type t = {
+  mutable docs : string array;
+  mutable doc_count : int;
+  doc_ids : (string, int) Hashtbl.t;
+  tags : Ir.Dictionary.t;
+}
+
+let create () =
+  {
+    docs = Array.make 16 "";
+    doc_count = 0;
+    doc_ids = Hashtbl.create 64;
+    tags = Ir.Dictionary.create ();
+  }
+
+let add_document t name =
+  let capacity = Array.length t.docs in
+  if t.doc_count >= capacity then begin
+    let fresh = Array.make (capacity * 2) "" in
+    Array.blit t.docs 0 fresh 0 capacity;
+    t.docs <- fresh
+  end;
+  let id = t.doc_count in
+  t.docs.(id) <- name;
+  t.doc_count <- id + 1;
+  Hashtbl.replace t.doc_ids name id;
+  id
+
+let document_name t id = t.docs.(id)
+let document_id t name = Hashtbl.find_opt t.doc_ids name
+let document_count t = t.doc_count
+let intern_tag t tag = Ir.Dictionary.intern t.tags tag
+let tag_name t id = Ir.Dictionary.term t.tags id
+let tag_id t tag = Ir.Dictionary.find t.tags tag
+let tag_count t = Ir.Dictionary.size t.tags

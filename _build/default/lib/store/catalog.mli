@@ -1,0 +1,17 @@
+(** Database catalog: document names and the tag dictionary. *)
+
+type t
+
+val create : unit -> t
+
+val add_document : t -> string -> int
+(** Register a document by name; returns its dense id. *)
+
+val document_name : t -> int -> string
+val document_id : t -> string -> int option
+val document_count : t -> int
+
+val intern_tag : t -> string -> int
+val tag_name : t -> int -> string
+val tag_id : t -> string -> int option
+val tag_count : t -> int

@@ -1,0 +1,263 @@
+let src = Logs.Src.create "tix.store" ~doc:"TIX storage engine"
+
+module Log = (val Logs.src_log src)
+
+type load_options = {
+  stem : bool;
+  page_size : int;
+  pool_pages : int;
+  keep_trees : bool;
+}
+
+let default_options =
+  {
+    stem = false;
+    page_size = Pager.default_page_size;
+    pool_pages = 1024;
+    keep_trees = true;
+  }
+
+type t = {
+  catalog : Catalog.t;
+  elements : Element_store.t;
+  parents : Parent_index.t;
+  tags : Tag_index.t;
+  index : Ir.Inverted_index.t;
+  numberings : Xmlkit.Numbering.t array option;
+}
+
+type stats = {
+  documents : int;
+  elements : int;
+  distinct_terms : int;
+  occurrences : int;
+  pages : int;
+  index_bytes : int;
+}
+
+(* Number of descendant elements of each element, from the preorder
+   info array: a following element belongs to the subtree while its
+   interval is contained. *)
+let descendant_counts (infos : Xmlkit.Numbering.info array) =
+  let n = Array.length infos in
+  let counts = Array.make n 0 in
+  (* stack of indices of currently open elements *)
+  let stack = ref [] in
+  for i = 0 to n - 1 do
+    let rec close () =
+      match !stack with
+      | top :: rest when infos.(top).Xmlkit.Numbering.end_ < infos.(i).start ->
+        stack := rest;
+        close ()
+      | _ -> ()
+    in
+    close ();
+    List.iter (fun a -> counts.(a) <- counts.(a) + 1) !stack;
+    stack := i :: !stack
+  done;
+  counts
+
+let load ?(options = default_options) docs =
+  let catalog = Catalog.create () in
+  let store_builder =
+    Element_store.builder ~page_size:options.page_size
+      ~pool_pages:options.pool_pages ()
+  in
+  let parent_builder = Parent_index.builder () in
+  let tag_builder = Tag_index.builder () in
+  let index_builder = Ir.Inverted_index.builder ~stem:options.stem () in
+  let numberings = ref [] in
+  let ingest (name, root) =
+    let doc = Catalog.add_document catalog name in
+    let text ~owner:_ ~owner_start ~start_key s =
+      let next =
+        Ir.Inverted_index.index_text index_builder ~doc ~node:owner_start
+          ~start_pos:start_key s
+      in
+      next - start_key
+    in
+    let numbering = Xmlkit.Numbering.number ~text root in
+    let infos = numbering.Xmlkit.Numbering.infos in
+    let desc = descendant_counts infos in
+    Array.iteri
+      (fun i (info : Xmlkit.Numbering.info) ->
+        let parent_start =
+          if info.parent < 0 then -1 else infos.(info.parent).start
+        in
+        let tag = Catalog.intern_tag catalog info.tag in
+        let word_count = info.end_ - info.start - 1 - (2 * desc.(i)) in
+        let text_content =
+          String.concat " "
+            (Xmlkit.Tree.child_texts numbering.Xmlkit.Numbering.elements.(i))
+        in
+        Element_store.add store_builder
+          {
+            Element_rec.doc;
+            start = info.start;
+            end_ = info.end_;
+            level = info.level;
+            parent = parent_start;
+            child_count = info.child_count;
+            tag;
+            word_count;
+            text = text_content;
+          };
+        Parent_index.add parent_builder ~doc ~start:info.start
+          {
+            Parent_index.parent = parent_start;
+            child_count = info.child_count;
+            level = info.level;
+            end_ = info.end_;
+            tag;
+          };
+        Tag_index.add tag_builder ~tag
+          { Tag_index.doc; start = info.start; end_ = info.end_; level = info.level })
+      infos;
+    if options.keep_trees then numberings := numbering :: !numberings
+  in
+  let started = Unix.gettimeofday () in
+  Seq.iter ingest docs;
+  Log.info (fun m ->
+      m "loaded %d documents in %.1f ms"
+        (Catalog.document_count catalog)
+        ((Unix.gettimeofday () -. started) *. 1000.));
+  {
+    catalog;
+    elements = Element_store.freeze store_builder;
+    parents = Parent_index.freeze parent_builder;
+    tags = Tag_index.freeze tag_builder;
+    index = Ir.Inverted_index.freeze index_builder;
+    numberings =
+      (if options.keep_trees then Some (Array.of_list (List.rev !numberings))
+       else None);
+  }
+
+let of_documents ?options docs = load ?options (List.to_seq docs)
+
+let catalog (t : t) = t.catalog
+let elements (t : t) = t.elements
+let parents (t : t) = t.parents
+let tags (t : t) = t.tags
+let index (t : t) = t.index
+let document_id t name = Catalog.document_id t.catalog name
+
+let stats t =
+  let istats = Ir.Inverted_index.stats t.index in
+  {
+    documents = Catalog.document_count t.catalog;
+    elements = Element_store.element_count t.elements;
+    distinct_terms = istats.Ir.Inverted_index.distinct_terms;
+    occurrences = istats.total_occurrences;
+    pages = Pager.page_count (Element_store.pager t.elements);
+    index_bytes = istats.bytes;
+  }
+
+let numbering t ~doc =
+  match t.numberings with
+  | Some arr when doc >= 0 && doc < Array.length arr -> Some arr.(doc)
+  | Some _ | None -> None
+
+let subtree t ~doc ~start =
+  match numbering t ~doc with
+  | None -> None
+  | Some num ->
+    (match Xmlkit.Numbering.find_by_start num start with
+    | Some info -> Some num.Xmlkit.Numbering.elements.(info.index)
+    | None -> None)
+
+let tag_of t ~doc ~start =
+  match Parent_index.find t.parents ~doc ~start with
+  | Some e -> Some (Catalog.tag_name t.catalog e.Parent_index.tag)
+  | None -> None
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "documents=%d elements=%d terms=%d occurrences=%d pages=%d index_bytes=%d"
+    s.documents s.elements s.distinct_terms s.occurrences s.pages s.index_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Persistence *)
+
+let magic = "TIXDB001"
+
+let add_string buf s =
+  Ir.Codec.add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string bytes off =
+  let len, off = Ir.Codec.read_varint bytes off in
+  (Bytes.sub_string bytes off len, off + len)
+
+let save t path =
+  let buf = Buffer.create (1 lsl 20) in
+  Buffer.add_string buf magic;
+  (* catalog *)
+  Ir.Codec.add_varint buf (Catalog.document_count t.catalog);
+  for doc = 0 to Catalog.document_count t.catalog - 1 do
+    add_string buf (Catalog.document_name t.catalog doc)
+  done;
+  Ir.Codec.add_varint buf (Catalog.tag_count t.catalog);
+  for tag = 0 to Catalog.tag_count t.catalog - 1 do
+    add_string buf (Catalog.tag_name t.catalog tag)
+  done;
+  Element_store.save t.elements buf;
+  Ir.Inverted_index.save t.index buf;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let open_file ?pool_pages path =
+  let ic = open_in_bin path in
+  let bytes =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        Bytes.of_string (really_input_string ic (in_channel_length ic)))
+  in
+  if
+    Bytes.length bytes < String.length magic
+    || Bytes.sub_string bytes 0 (String.length magic) <> magic
+  then failwith "Db.open_file: not a TIX database image";
+  let off = String.length magic in
+  let catalog = Catalog.create () in
+  let ndocs, off = Ir.Codec.read_varint bytes off in
+  let off = ref off in
+  for _ = 1 to ndocs do
+    let name, o = read_string bytes !off in
+    ignore (Catalog.add_document catalog name);
+    off := o
+  done;
+  let ntags, o = Ir.Codec.read_varint bytes !off in
+  off := o;
+  for _ = 1 to ntags do
+    let name, o = read_string bytes !off in
+    ignore (Catalog.intern_tag catalog name);
+    off := o
+  done;
+  let elements, o = Element_store.load ?pool_pages bytes !off in
+  off := o;
+  let index, o = Ir.Inverted_index.load bytes !off in
+  off := o;
+  (* rebuild the in-memory indexes from the element pages *)
+  let parent_builder = Parent_index.builder () in
+  let tag_builder = Tag_index.builder () in
+  Element_store.scan elements (fun (r : Element_rec.t) ->
+      Parent_index.add parent_builder ~doc:r.doc ~start:r.start
+        {
+          Parent_index.parent = r.parent;
+          child_count = r.child_count;
+          level = r.level;
+          end_ = r.end_;
+          tag = r.tag;
+        };
+      Tag_index.add tag_builder ~tag:r.tag
+        { Tag_index.doc = r.doc; start = r.start; end_ = r.end_; level = r.level });
+  {
+    catalog;
+    elements;
+    parents = Parent_index.freeze parent_builder;
+    tags = Tag_index.freeze tag_builder;
+    index;
+    numberings = None;
+  }

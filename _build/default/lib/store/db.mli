@@ -1,0 +1,66 @@
+(** The database facade: loads XML documents into the element store,
+    the parent index and the inverted index in one pass. *)
+
+type t
+
+type load_options = {
+  stem : bool;  (** Porter-stem indexed terms (default false) *)
+  page_size : int;
+  pool_pages : int;
+  keep_trees : bool;
+      (** retain parsed trees (and their numberings) so query results
+          can be materialized as subtrees; turn off for large
+          generated corpora (default true) *)
+}
+
+val default_options : load_options
+
+type stats = {
+  documents : int;
+  elements : int;
+  distinct_terms : int;
+  occurrences : int;
+  pages : int;
+  index_bytes : int;
+}
+
+val load : ?options:load_options -> (string * Xmlkit.Tree.element) Seq.t -> t
+(** [load docs] ingests the named documents in order; ids are
+    assigned densely from 0. *)
+
+val of_documents : ?options:load_options -> (string * Xmlkit.Tree.element) list -> t
+
+val catalog : t -> Catalog.t
+val elements : t -> Element_store.t
+val parents : t -> Parent_index.t
+val tags : t -> Tag_index.t
+val index : t -> Ir.Inverted_index.t
+val stats : t -> stats
+
+val document_id : t -> string -> int option
+
+val subtree : t -> doc:int -> start:int -> Xmlkit.Tree.element option
+(** Materialize the element with the given start key from the
+    retained tree. [None] when the key is unknown or trees were not
+    kept. *)
+
+val numbering : t -> doc:int -> Xmlkit.Numbering.t option
+
+val tag_of : t -> doc:int -> start:int -> string option
+(** Tag name of the element with the given start key, resolved
+    through the parent index and the catalog (no data-page access). *)
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** [save db path] writes the database image — catalog, element
+    pages and inverted index — to one file. Retained trees are not
+    persisted. *)
+
+val open_file : ?pool_pages:int -> string -> t
+(** Load a database image written by {!save}. The parent and tag
+    indexes are rebuilt with one scan of the element pages; trees are
+    not retained (queries must use the compiled engine path or reload
+    the source documents). Raises [Failure] on a bad image. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,75 @@
+type t = {
+  doc : int;
+  start : int;
+  end_ : int;
+  level : int;
+  parent : int;
+  child_count : int;
+  tag : int;
+  word_count : int;
+  text : string;
+}
+
+let contains a b = a.doc = b.doc && a.start < b.start && b.end_ < a.end_
+let contains_key a key = a.start <= key && key <= a.end_
+
+let encode buf t =
+  Ir.Codec.add_varint buf t.start;
+  (* the end key is stored as a delta: intervals are never empty *)
+  Ir.Codec.add_varint buf (t.end_ - t.start);
+  Ir.Codec.add_varint buf t.level;
+  Ir.Codec.add_varint buf (t.parent + 1);
+  Ir.Codec.add_varint buf t.child_count;
+  Ir.Codec.add_varint buf t.tag;
+  Ir.Codec.add_varint buf t.word_count;
+  Ir.Codec.add_varint buf (String.length t.text);
+  Buffer.add_string buf t.text
+
+let decode ~doc page off =
+  let start, off = Ir.Codec.read_varint page off in
+  let span, off = Ir.Codec.read_varint page off in
+  let level, off = Ir.Codec.read_varint page off in
+  let parent1, off = Ir.Codec.read_varint page off in
+  let child_count, off = Ir.Codec.read_varint page off in
+  let tag, off = Ir.Codec.read_varint page off in
+  let word_count, off = Ir.Codec.read_varint page off in
+  let text_len, off = Ir.Codec.read_varint page off in
+  let text = Bytes.sub_string page off text_len in
+  ( {
+      doc;
+      start;
+      end_ = start + span;
+      level;
+      parent = parent1 - 1;
+      child_count;
+      tag;
+      word_count;
+      text;
+    },
+    off + text_len )
+
+let decode_meta ~doc page off =
+  let start, off = Ir.Codec.read_varint page off in
+  let span, off = Ir.Codec.read_varint page off in
+  let level, off = Ir.Codec.read_varint page off in
+  let parent1, off = Ir.Codec.read_varint page off in
+  let child_count, off = Ir.Codec.read_varint page off in
+  let tag, off = Ir.Codec.read_varint page off in
+  let word_count, off = Ir.Codec.read_varint page off in
+  let text_len, off = Ir.Codec.read_varint page off in
+  ( {
+      doc;
+      start;
+      end_ = start + span;
+      level;
+      parent = parent1 - 1;
+      child_count;
+      tag;
+      word_count;
+      text = "";
+    },
+    off + text_len )
+
+let pp ppf t =
+  Format.fprintf ppf "{doc=%d; [%d,%d]; lvl=%d; parent=%d; children=%d; tag=%d}"
+    t.doc t.start t.end_ t.level t.parent t.child_count t.tag

@@ -1,0 +1,34 @@
+(** The stored representation of one XML element. *)
+
+type t = {
+  doc : int;
+  start : int;  (** start key *)
+  end_ : int;  (** end key *)
+  level : int;  (** root is 0 *)
+  parent : int;  (** start key of the parent, [-1] for a root *)
+  child_count : int;  (** number of element children *)
+  tag : int;  (** tag id in the catalog *)
+  word_count : int;  (** tokens in the whole subtree *)
+  text : string;  (** direct text content (concatenated) *)
+}
+
+val contains : t -> t -> bool
+(** [contains a b]: [a] is a proper ancestor of [b] (same document,
+    interval containment). *)
+
+val contains_key : t -> int -> bool
+(** The element's interval covers the given key position. *)
+
+val encode : Buffer.t -> t -> unit
+(** Append the record's serialized form (without the doc id, which is
+    page-level metadata). *)
+
+val decode : doc:int -> Bytes.t -> int -> t * int
+(** [decode ~doc page off] is [(record, next_off)]. *)
+
+val decode_meta : doc:int -> Bytes.t -> int -> t * int
+(** Like {!decode} but skips over the text payload without copying
+    it; the [text] field of the result is [""]. Used by scans that
+    only need structure. *)
+
+val pp : Format.formatter -> t -> unit

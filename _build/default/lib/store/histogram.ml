@@ -1,0 +1,84 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable n : int;
+}
+
+let create ?(buckets = 64) ~lo ~hi () =
+  if buckets <= 0 then invalid_arg "Histogram.create: buckets <= 0";
+  let hi = if hi <= lo then lo +. 1. else hi in
+  { lo; hi; counts = Array.make buckets 0; n = 0 }
+
+let bucket_of t v =
+  let buckets = Array.length t.counts in
+  let raw =
+    int_of_float (float_of_int buckets *. (v -. t.lo) /. (t.hi -. t.lo))
+  in
+  max 0 (min (buckets - 1) raw)
+
+let add t v =
+  t.counts.(bucket_of t v) <- t.counts.(bucket_of t v) + 1;
+  t.n <- t.n + 1
+
+let of_values ?buckets values =
+  match values with
+  | [] -> create ?buckets ~lo:0. ~hi:1. ()
+  | v :: rest ->
+    let lo = List.fold_left min v rest and hi = List.fold_left max v rest in
+    let t = create ?buckets ~lo ~hi () in
+    List.iter (add t) values;
+    t
+
+let total t = t.n
+
+let bucket_lo t i =
+  let buckets = Array.length t.counts in
+  t.lo +. (float_of_int i *. (t.hi -. t.lo) /. float_of_int buckets)
+
+let count_above t v =
+  if v < t.lo then t.n
+  else if v >= t.hi then 0
+  else begin
+    let b = bucket_of t v in
+    (* values in bucket b may or may not exceed v: count them all
+       (upper bound) *)
+    let acc = ref 0 in
+    for i = b to Array.length t.counts - 1 do
+      acc := !acc + t.counts.(i)
+    done;
+    !acc
+  end
+
+let threshold_for_top t k =
+  if k >= t.n then t.lo
+  else begin
+    let buckets = Array.length t.counts in
+    let acc = ref 0 and cut = ref buckets in
+    (* walk buckets from the top until we have at least k values *)
+    let i = ref (buckets - 1) in
+    while !i >= 0 && !acc < k do
+      acc := !acc + t.counts.(!i);
+      cut := !i;
+      decr i
+    done;
+    bucket_lo t !cut
+  end
+
+let quantile t q =
+  let q = max 0. (min 1. q) in
+  let target = int_of_float (q *. float_of_int t.n) in
+  let acc = ref 0 and i = ref 0 in
+  let buckets = Array.length t.counts in
+  while !i < buckets - 1 && !acc + t.counts.(!i) < target do
+    acc := !acc + t.counts.(!i);
+    incr i
+  done;
+  bucket_lo t !i
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>histogram [%g, %g], %d values@," t.lo t.hi t.n;
+  Array.iteri
+    (fun i c -> if c > 0 then Format.fprintf ppf "  [%g..) %d@," (bucket_lo t i) c)
+    t.counts;
+  Format.fprintf ppf "@]"

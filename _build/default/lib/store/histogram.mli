@@ -1,0 +1,33 @@
+(** Equi-width score histograms.
+
+    Sec. 5.3: asking users for an exact relevance-score threshold is
+    unrealistic; a histogram of data IR-node scores lets thresholds
+    be specified as fractions ("top 10% of scores") and lets Pick be
+    evaluated efficiently. *)
+
+type t
+
+val create : ?buckets:int -> lo:float -> hi:float -> unit -> t
+(** [buckets] defaults to 64. Values outside [[lo, hi]] are clamped
+    into the extreme buckets. *)
+
+val of_values : ?buckets:int -> float list -> t
+(** Build with [lo]/[hi] taken from the data (empty list gives an
+    empty histogram over [[0, 1]]). *)
+
+val add : t -> float -> unit
+val total : t -> int
+val count_above : t -> float -> int
+(** Upper bound on the number of recorded values strictly greater
+    than [v] (exact at bucket boundaries). *)
+
+val threshold_for_top : t -> int -> float
+(** [threshold_for_top t k] is a score threshold [v] such that at
+    most [k] values exceed [v], as low as the bucket resolution
+    allows. Returns [lo] when [k >= total]. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [0, 1]: an approximate score at the
+    [q]-quantile. *)
+
+val pp : Format.formatter -> t -> unit

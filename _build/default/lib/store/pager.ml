@@ -1,0 +1,98 @@
+type stats = {
+  page_count : int;
+  reads : int;
+  misses : int;
+  bytes_transferred : int;
+}
+
+type frame = { page_id : int; data : Bytes.t; mutable tick : int }
+
+type t = {
+  size : int;
+  pool_pages : int;
+  mutable stable : Bytes.t array;  (* the simulated disk *)
+  mutable stable_count : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable reads : int;
+  mutable misses : int;
+  mutable bytes_transferred : int;
+}
+
+let default_page_size = 8192
+
+let create ?(pool_pages = 1024) ~page_size () =
+  {
+    size = page_size;
+    pool_pages;
+    stable = Array.make 64 Bytes.empty;
+    stable_count = 0;
+    frames = Hashtbl.create 256;
+    clock = 0;
+    reads = 0;
+    misses = 0;
+    bytes_transferred = 0;
+  }
+
+let page_size t = t.size
+
+let append_page t page =
+  let capacity = Array.length t.stable in
+  if t.stable_count >= capacity then begin
+    let fresh = Array.make (capacity * 2) Bytes.empty in
+    Array.blit t.stable 0 fresh 0 capacity;
+    t.stable <- fresh
+  end;
+  let id = t.stable_count in
+  t.stable.(id) <- page;
+  t.stable_count <- id + 1;
+  id
+
+let page_count t = t.stable_count
+
+let evict_lru t =
+  (* Linear scan over the pool; the pool is small and eviction is on
+     the miss path, which already pays a page transfer. *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ frame ->
+      match !victim with
+      | Some best when best.tick <= frame.tick -> ()
+      | Some _ | None -> victim := Some frame)
+    t.frames;
+  match !victim with
+  | Some frame -> Hashtbl.remove t.frames frame.page_id
+  | None -> ()
+
+let read_page t id =
+  if id < 0 || id >= t.stable_count then invalid_arg "Pager.read_page";
+  t.reads <- t.reads + 1;
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.frames id with
+  | Some frame ->
+    frame.tick <- t.clock;
+    frame.data
+  | None ->
+    t.misses <- t.misses + 1;
+    let src = t.stable.(id) in
+    (* The copy is the simulated disk-to-pool transfer. *)
+    let data = Bytes.copy src in
+    t.bytes_transferred <- t.bytes_transferred + Bytes.length data;
+    if Hashtbl.length t.frames >= t.pool_pages then evict_lru t;
+    Hashtbl.replace t.frames id { page_id = id; data; tick = t.clock };
+    data
+
+let stats t =
+  {
+    page_count = t.stable_count;
+    reads = t.reads;
+    misses = t.misses;
+    bytes_transferred = t.bytes_transferred;
+  }
+
+let reset_stats t =
+  t.reads <- 0;
+  t.misses <- 0;
+  t.bytes_transferred <- 0
+
+let clear_pool t = Hashtbl.reset t.frames

@@ -1,0 +1,39 @@
+(** A page store with an LRU buffer pool.
+
+    Pages model the disk-resident layout of the TIMBER-style database
+    the paper runs inside: every record access goes through
+    {!read_page}, misses pay a page transfer (a copy into a pool
+    frame) and statistics expose how much of the database each access
+    method touches. *)
+
+type t
+
+type stats = {
+  page_count : int;
+  reads : int;  (** logical page reads *)
+  misses : int;  (** reads that were not served from the pool *)
+  bytes_transferred : int;
+}
+
+val default_page_size : int
+
+val create : ?pool_pages:int -> page_size:int -> unit -> t
+(** [pool_pages] is the buffer-pool capacity in frames
+    (default 1024). *)
+
+val page_size : t -> int
+val append_page : t -> Bytes.t -> int
+(** Add a page to stable storage (build time); returns its id.
+    The page may be longer than [page_size] (oversized record). *)
+
+val page_count : t -> int
+
+val read_page : t -> int -> Bytes.t
+(** Fetch a page through the buffer pool. The returned bytes must be
+    treated as read-only. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val clear_pool : t -> unit
+(** Drop every frame: makes the next reads cold, so experiments start
+    from a known state. *)

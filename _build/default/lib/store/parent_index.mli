@@ -1,0 +1,32 @@
+(** The parent/child-count index behind {e Enhanced TermJoin}
+    (Sec. 6.1): given a node, return its parent {e along with the
+    number of children of this parent} without touching data pages. *)
+
+type entry = {
+  parent : int;  (** start key of the parent; [-1] for a root *)
+  child_count : int;
+  level : int;
+  end_ : int;
+  tag : int;
+}
+
+type t
+
+type builder
+
+val builder : unit -> builder
+
+val add : builder -> doc:int -> start:int -> entry -> unit
+(** Entries of one document must be added in start order, documents
+    in id order. *)
+
+val freeze : builder -> t
+
+val find : t -> doc:int -> start:int -> entry option
+(** Binary search over the per-document start array. *)
+
+val parent_of : t -> doc:int -> start:int -> int option
+(** Start key of the parent; [None] when [start] is unknown or a
+    root. *)
+
+val entry_count : t -> int

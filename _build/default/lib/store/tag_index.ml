@@ -1,0 +1,40 @@
+type item = { doc : int; start : int; end_ : int; level : int }
+
+type t = { by_tag : item array array; everything : item array }
+
+type builder = {
+  mutable per_tag : item list array;  (* reverse document order *)
+  mutable all_rev : item list;
+  mutable total : int;
+  mutable last : int * int;
+}
+
+let builder () =
+  { per_tag = Array.make 16 []; all_rev = []; total = 0; last = (-1, -1) }
+
+let add b ~tag item =
+  if (item.doc, item.start) <= b.last then
+    invalid_arg "Tag_index.add: items out of order";
+  b.last <- (item.doc, item.start);
+  let capacity = Array.length b.per_tag in
+  if tag >= capacity then begin
+    let fresh = Array.make (max (capacity * 2) (tag + 1)) [] in
+    Array.blit b.per_tag 0 fresh 0 capacity;
+    b.per_tag <- fresh
+  end;
+  b.per_tag.(tag) <- item :: b.per_tag.(tag);
+  b.all_rev <- item :: b.all_rev;
+  b.total <- b.total + 1
+
+let freeze b =
+  {
+    by_tag = Array.map (fun l -> Array.of_list (List.rev l)) b.per_tag;
+    everything = Array.of_list (List.rev b.all_rev);
+  }
+
+let nodes t ~tag =
+  if tag >= 0 && tag < Array.length t.by_tag then t.by_tag.(tag) else [||]
+
+let all t = t.everything
+let count t ~tag = Array.length (nodes t ~tag)
+let tag_count t = Array.length t.by_tag

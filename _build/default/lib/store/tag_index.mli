@@ -1,0 +1,34 @@
+(** Tag index: for each element tag, the document-ordered list of
+    elements carrying it.
+
+    This is the element-stream input of the structural join family
+    (Zhang et al., Al-Khalifa et al.): evaluating a path step like
+    [//article] or [//author] starts from this index instead of a
+    full table scan. *)
+
+type item = { doc : int; start : int; end_ : int; level : int }
+
+type t
+
+type builder
+
+val builder : unit -> builder
+
+val add : builder -> tag:int -> item -> unit
+(** Items must arrive in (doc, start) order across all calls (the
+    loader's document order guarantees this). *)
+
+val freeze : builder -> t
+
+val nodes : t -> tag:int -> item array
+(** All elements with the tag, in document order; [||] for unknown
+    tags. The returned array must not be mutated. *)
+
+val all : t -> item array
+(** Every element, in document order. *)
+
+val count : t -> tag:int -> int
+(** Number of elements with the tag (a catalog cardinality, useful
+    for join ordering). *)
+
+val tag_count : t -> int

@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Array List Printf Random Seq String Text_gen Xmlkit

@@ -1,0 +1,1 @@
+lib/workload/corpus.mli: Seq Xmlkit

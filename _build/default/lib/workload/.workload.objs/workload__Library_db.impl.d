@@ -1,0 +1,1 @@
+lib/workload/library_db.ml: Xmlkit

@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Array Buffer Corpus List Printf Random String

@@ -1,0 +1,1 @@
+lib/workload/text_gen.ml: Array Buffer List Random Zipf

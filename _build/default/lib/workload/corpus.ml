@@ -1,0 +1,205 @@
+type config = {
+  articles : int;
+  seed : int;
+  chapters_per_article : int;
+  sections_per_chapter : int;
+  paragraphs_per_section : int;
+  words_per_paragraph : int;
+  vocabulary : int;
+  planted_terms : (string * int) list;
+  planted_phrases : (string * string * int) list;
+}
+
+let default =
+  {
+    articles = 200;
+    seed = 42;
+    chapters_per_article = 3;
+    sections_per_chapter = 3;
+    paragraphs_per_section = 4;
+    words_per_paragraph = 30;
+    vocabulary = 5000;
+    planted_terms = [];
+    planted_phrases = [];
+  }
+
+let paragraphs_per_article cfg =
+  cfg.chapters_per_article * cfg.sections_per_chapter
+  * cfg.paragraphs_per_section
+
+let paragraph_capacity cfg = cfg.articles * paragraphs_per_article cfg
+
+let author_surnames =
+  [| "Doe"; "Smith"; "Chen"; "Garcia"; "Patel"; "Kim"; "Okafor"; "Novak";
+     "Silva"; "Mueller" |]
+
+let author_fnames =
+  [| "Jane"; "John"; "Wei"; "Ana"; "Ravi"; "Mina"; "Chinua"; "Petra";
+     "Luis"; "Greta" |]
+
+(* An insertion is a word or an adjacent word pair to splice into a
+   paragraph's word list at a random offset. *)
+type insertion = Word of string | Pair of string * string
+
+(* Distribute plants over paragraph slots. Returns an array mapping
+   global paragraph index to its insertions. *)
+let plan_insertions cfg state =
+  let capacity = paragraph_capacity cfg in
+  if capacity = 0 then [||]
+  else begin
+    let slots = Array.make capacity [] in
+    let place ins =
+      let slot = Random.State.int state capacity in
+      slots.(slot) <- ins :: slots.(slot)
+    in
+    List.iter
+      (fun (term, freq) ->
+        if freq < 0 then invalid_arg "Corpus: negative planted frequency";
+        for _ = 1 to freq do
+          place (Word term)
+        done)
+      cfg.planted_terms;
+    List.iter
+      (fun (t1, t2, freq) ->
+        if freq < 0 then invalid_arg "Corpus: negative planted frequency";
+        for _ = 1 to freq do
+          place (Pair (t1, t2))
+        done)
+      cfg.planted_phrases;
+    slots
+  end
+
+let splice_insertions state words insertions =
+  List.fold_left
+    (fun words ins ->
+      let extra =
+        match ins with Word w -> [ w ] | Pair (a, b) -> [ a; b ]
+      in
+      let n = List.length words in
+      let at = if n = 0 then 0 else Random.State.int state (n + 1) in
+      let rec go i = function
+        | [] -> extra
+        | w :: rest -> if i = at then extra @ (w :: rest) else w :: go (i + 1) rest
+      in
+      go 0 words)
+    words insertions
+
+let title_of gen state =
+  String.concat " "
+    (List.map String.capitalize_ascii
+       (Text_gen.sentence gen state ~min_words:2 ~max_words:5))
+
+(* Article metadata comes from its own random stream (seed, i, 31) so
+   it is reproducible independently of body generation order; the
+   review generator re-derives titles from it. *)
+let article_header cfg gen i =
+  let state = Random.State.make [| cfg.seed; i; 31 |] in
+  let title = title_of gen state in
+  let fname = author_fnames.(Random.State.int state (Array.length author_fnames)) in
+  let sname = author_surnames.(Random.State.int state (Array.length author_surnames)) in
+  (title, fname, sname)
+
+let generate cfg =
+  let total_plants =
+    List.fold_left (fun acc (_, f) -> acc + f) 0 cfg.planted_terms
+    + List.fold_left (fun acc (_, _, f) -> acc + f) 0 cfg.planted_phrases
+  in
+  let capacity = paragraph_capacity cfg in
+  if total_plants > 0 && capacity = 0 then
+    invalid_arg "Corpus.generate: plants but no paragraphs";
+  if capacity > 0 && total_plants > capacity * cfg.words_per_paragraph then
+    invalid_arg "Corpus.generate: planted occurrences exceed corpus capacity";
+  let gen = Text_gen.create ~vocabulary:cfg.vocabulary () in
+  (* One state for planning (so plant placement is independent of
+     article text) and a per-article state for text. *)
+  let plan_state = Random.State.make [| cfg.seed; 7919 |] in
+  let slots = plan_insertions cfg plan_state in
+  let paragraph state idx =
+    let min_words = max 5 (cfg.words_per_paragraph - 10) in
+    let max_words = cfg.words_per_paragraph + 10 in
+    let words = Text_gen.sentence gen state ~min_words ~max_words in
+    let words =
+      if idx < Array.length slots && slots.(idx) <> [] then
+        splice_insertions state words slots.(idx)
+      else words
+    in
+    Xmlkit.Tree.el "p" [ Xmlkit.Tree.text (String.concat " " words) ]
+  in
+  let article i =
+    let state = Random.State.make [| cfg.seed; i |] in
+    let para_base = i * paragraphs_per_article cfg in
+    let local_para = ref 0 in
+    let next_paragraph () =
+      let idx = para_base + !local_para in
+      incr local_para;
+      paragraph state idx
+    in
+    let title, fname, sname = article_header cfg gen i in
+    let section () =
+      Xmlkit.Tree.el "section"
+        (Xmlkit.Tree.el "section-title"
+           [ Xmlkit.Tree.text (title_of gen state) ]
+        :: List.init cfg.paragraphs_per_section (fun _ -> next_paragraph ()))
+    in
+    let chapter () =
+      Xmlkit.Tree.el "chapter"
+        (Xmlkit.Tree.el "ct" [ Xmlkit.Tree.text (title_of gen state) ]
+        :: List.init cfg.sections_per_chapter (fun _ -> section ()))
+    in
+    let root =
+      Xmlkit.Tree.elem "article"
+        (Xmlkit.Tree.el "article-title" [ Xmlkit.Tree.text title ]
+        :: Xmlkit.Tree.el "author"
+             ~attrs:[ ("id", "first") ]
+             [
+               Xmlkit.Tree.el "fname" [ Xmlkit.Tree.text fname ];
+               Xmlkit.Tree.el "sname" [ Xmlkit.Tree.text sname ];
+             ]
+        :: List.init cfg.chapters_per_article (fun _ -> chapter ()))
+    in
+    (Printf.sprintf "article-%d.xml" i, root)
+  in
+  Seq.init cfg.articles article
+
+let generate_reviews ?(per_article = 1) cfg =
+  let gen = Text_gen.create ~vocabulary:cfg.vocabulary () in
+  let review ~article_idx ~k =
+    let state = Random.State.make [| cfg.seed; article_idx; 7907 + k |] in
+    let article_title, _, _ = article_header cfg gen article_idx in
+    (* the review title shares the article title's words, sometimes
+       with an extra word or a dropped word *)
+    let words = String.split_on_char ' ' article_title in
+    let title =
+      match Random.State.int state 3 with
+      | 0 -> article_title
+      | 1 -> String.concat " " (words @ [ "Revisited" ])
+      | _ -> begin
+        match words with
+        | _ :: (_ :: _ as rest) -> String.concat " " rest
+        | short -> String.concat " " short
+      end
+    in
+    let reviewer = author_surnames.(Random.State.int state (Array.length author_surnames)) in
+    let rating = 1 + Random.State.int state 5 in
+    let comments =
+      String.concat " "
+        (Text_gen.sentence gen state ~min_words:10 ~max_words:25)
+    in
+    Xmlkit.Tree.elem "review"
+      ~attrs:[ ("id", string_of_int ((article_idx * per_article) + k)) ]
+      [
+        Xmlkit.Tree.el "title" [ Xmlkit.Tree.text title ];
+        Xmlkit.Tree.el "reviewer"
+          [
+            Xmlkit.Tree.el "sname" [ Xmlkit.Tree.text reviewer ];
+          ];
+        Xmlkit.Tree.el "comments" [ Xmlkit.Tree.text comments ];
+        Xmlkit.Tree.el "rating" [ Xmlkit.Tree.text (string_of_int rating) ];
+      ]
+  in
+  Seq.concat_map
+    (fun article_idx ->
+      Seq.init per_article (fun k ->
+          ( Printf.sprintf "review-%d.xml" ((article_idx * per_article) + k),
+            review ~article_idx ~k )))
+    (Seq.init cfg.articles (fun i -> i))

@@ -1,0 +1,50 @@
+(** Synthetic INEX-like corpus with planted term frequencies.
+
+    The paper's experiments are parameterized by exact term
+    frequencies ("a query with two terms each occurring around 20
+    times in the database"). The INEX IEEE collection is not
+    redistributable, so this generator produces a corpus of technical
+    articles with the same shape (article / front matter / chapters /
+    sections / paragraphs) and {e plants} designated terms with exact
+    total frequencies, spread uniformly over all paragraphs. Phrases
+    (ordered adjacent pairs) are planted the same way for the
+    PhraseFinder experiment. *)
+
+type config = {
+  articles : int;
+  seed : int;
+  chapters_per_article : int;
+  sections_per_chapter : int;
+  paragraphs_per_section : int;
+  words_per_paragraph : int;  (** average; actual varies around it *)
+  vocabulary : int;
+  planted_terms : (string * int) list;  (** term, exact total frequency *)
+  planted_phrases : (string * string * int) list;
+      (** first term, second term, number of adjacent occurrences;
+          contributes to each term's frequency on top of
+          [planted_terms] *)
+}
+
+val default : config
+(** 200 articles, 3 chapters x 3 sections x 4 paragraphs, ~30 words
+    per paragraph, no plants. *)
+
+val paragraph_capacity : config -> int
+(** Total number of paragraphs; plants must fit. *)
+
+val generate : config -> (string * Xmlkit.Tree.element) Seq.t
+(** The documents, one per article, named ["article-N.xml"].
+    Deterministic in [config.seed]. Raises [Invalid_argument] when a
+    plant exceeds capacity. *)
+
+val author_surnames : string array
+(** Surname pool used for [author/sname]; includes "Doe", so the
+    paper's Query 2 predicate selects a deterministic subset. *)
+
+val generate_reviews : ?per_article:int -> config -> (string * Xmlkit.Tree.element) Seq.t
+(** Review documents in the shape of the paper's [reviews.xml]
+    (Fig. 1): each article receives [per_article] (default 1)
+    reviews named ["review-N.xml"], whose [title] shares words with
+    the reviewed article's title — so title-similarity joins
+    (Query 3) find real matches — plus a [reviewer] and a numeric
+    [rating]. Deterministic in [config.seed]. *)

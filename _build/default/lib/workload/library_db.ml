@@ -1,0 +1,207 @@
+open Xmlkit.Tree
+
+let article =
+  elem "article"
+    [
+      el "article-title" [ text "Ranked Retrieval over Structured Documents" ];
+      el "author"
+        [ el "fname" [ text "Ada" ]; el "sname" [ text "Doe" ] ];
+      el "chapter"
+        [
+          el "ct" [ text "Why Ranking Matters" ];
+          el "section"
+            [
+              el "section-title" [ text "Boolean Retrieval and its Limits" ];
+              el "p"
+                [
+                  text
+                    "A boolean query engine returns every element that \
+                     satisfies a predicate and nothing else. When documents \
+                     carry long natural language passages, users rarely know \
+                     the exact vocabulary of the relevant elements, so \
+                     boolean conjunctions silently drop good answers and \
+                     boolean disjunctions bury them in noise.";
+                ];
+              el "p"
+                [
+                  text
+                    "Relevance scoring addresses the vocabulary mismatch: a \
+                     search engine assigns every candidate a score and \
+                     presents a ranking, so a paragraph about inverted \
+                     indexes can surface even when it never uses the exact \
+                     words of the query.";
+                ];
+            ];
+          el "section"
+            [
+              el "section-title" [ text "Scoring Structured Text" ];
+              el "p"
+                [
+                  text
+                    "In an XML database the unit of retrieval is not fixed: \
+                     a query about inverted index maintenance might best be \
+                     answered by a paragraph, a section, or a whole chapter. \
+                     Scores must therefore be computed for elements at every \
+                     granularity, using the text of all their descendants.";
+                ];
+            ];
+        ];
+      el "chapter"
+        [
+          el "ct" [ text "Evaluation Strategies" ];
+          el "section"
+            [
+              el "section-title" [ text "Stack Based Joins" ];
+              el "p"
+                [
+                  text
+                    "Because interval identifiers order elements by document \
+                     position, a single merge pass with a stack of open \
+                     ancestors can score every element that contains a query \
+                     term occurrence, without touching unrelated parts of \
+                     the database.";
+                ];
+            ];
+        ];
+    ]
+
+let book =
+  elem "book"
+    [
+      el "title" [ text "Foundations of Database Systems" ];
+      el "frontmatter"
+        [
+          el "isbn" [ text "978-0-000-00000-0" ];
+          el "publisher" [ text "Lorem Press" ];
+        ];
+      el "part"
+        [
+          el "part-title" [ text "Storage" ];
+          el "chapter"
+            [
+              el "heading" [ text "Pages and Buffers" ];
+              el "para"
+                [
+                  text
+                    "A database stores records in fixed size pages and keeps \
+                     a buffer pool of recently used pages in memory. Every \
+                     access method is ultimately a pattern of page reads, \
+                     which is why a full table scan and an index lookup have \
+                     such different costs.";
+                ];
+              el "para"
+                [
+                  text
+                    "An inverted index is itself a storage structure: for \
+                     every term it keeps a compressed posting list of the \
+                     positions where the term occurs, ordered so that merge \
+                     algorithms can stream through it once.";
+                ];
+            ];
+        ];
+      el "part"
+        [
+          el "part-title" [ text "Query Processing" ];
+          el "chapter"
+            [
+              el "heading" [ text "Join Algorithms" ];
+              el "para"
+                [
+                  text
+                    "Join operators dominate query cost. For hierarchical \
+                     data the containment join pairs ancestors with \
+                     descendants; holistic variants evaluate a whole path in \
+                     one coordinated pass instead of a sequence of binary \
+                     joins.";
+                ];
+            ];
+        ];
+    ]
+
+let faq =
+  elem "faq"
+    [
+      el "topic" [ text "Search Engines" ];
+      el "qa"
+        [
+          el "question" [ text "What does a search engine index contain?" ];
+          el "answer"
+            [
+              text
+                "Most search engines build an inverted index: a dictionary \
+                 of terms, each pointing to a posting list of the documents \
+                 and positions where the term appears, often with counts \
+                 used for relevance scoring.";
+            ];
+        ];
+      el "qa"
+        [
+          el "question" [ text "Why do rankings differ between engines?" ];
+          el "answer"
+            [
+              text
+                "Scoring functions weigh term frequency, document length and \
+                 rarity differently, and some engines add structural signals \
+                 such as titles, so the same query produces different \
+                 rankings.";
+            ];
+        ];
+      el "qa"
+        [
+          el "question" [ text "Can structured data be searched this way?" ];
+          el "answer"
+            [
+              text
+                "Yes: when documents are XML, relevance can be computed for \
+                 any element, and the engine must choose the right \
+                 granularity to return, for example an answer element \
+                 rather than the whole faq.";
+            ];
+        ];
+    ]
+
+let paper =
+  elem "paper"
+    [
+      el "title" [ text "A Note on Granularity in XML Retrieval" ];
+      el "abstract"
+        [
+          text
+            "We study which element of a matching document a retrieval \
+             system should return. Returning the root loses focus; \
+             returning leaves loses context. We argue the decision must \
+             compare each element's score with the scores of its children.";
+        ];
+      el "sec"
+        [
+          el "sec-title" [ text "The Redundancy Problem" ];
+          el "body"
+            [
+              text
+                "If an element is returned, returning its parent as well \
+                 tells the user nothing new. Eliminating this parent child \
+                 redundancy requires a pass over the scored tree, because \
+                 whether a node is worth returning depends on its children \
+                 and whether its parent was already chosen.";
+            ];
+        ];
+      el "sec"
+        [
+          el "sec-title" [ text "Discussion" ];
+          el "body"
+            [
+              text
+                "A histogram of scores helps users pick thresholds: instead \
+                 of an absolute score a user asks for the top decile, and \
+                 the system translates that into a cutoff.";
+            ];
+        ];
+    ]
+
+let documents =
+  [
+    ("library-article.xml", article);
+    ("library-book.xml", book);
+    ("library-faq.xml", faq);
+    ("library-paper.xml", paper);
+  ]

@@ -1,0 +1,20 @@
+(** A small hand-written digital library with {e heterogeneous}
+    schemas — the situation motivating the paper (Sec. 1:
+    "collections of XML documents are frequently heterogeneous, with
+    documents that do not share the same schema").
+
+    Four documents about information retrieval and databases, each
+    structured differently: a journal [article] (title / author /
+    chapters / sections), a [book] (front matter / parts / chapters),
+    a [faq] (flat question/answer pairs) and a conference [paper]
+    (abstract / sections). Queries using the ad* axis and relevance
+    scoring work across all of them without knowing any schema;
+    boolean path queries do not. *)
+
+val article : Xmlkit.Tree.element
+val book : Xmlkit.Tree.element
+val faq : Xmlkit.Tree.element
+val paper : Xmlkit.Tree.element
+
+val documents : (string * Xmlkit.Tree.element) list
+(** All four, ready for [Store.Db.load]. *)

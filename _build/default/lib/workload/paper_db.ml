@@ -1,0 +1,82 @@
+open Xmlkit.Tree
+
+(* Text placeholders ("...") in Figure 1 are rendered as neutral
+   filler words that contain none of the query terms. *)
+let filler = "lorem ipsum filler prose"
+
+let articles =
+  elem "article"
+    [
+      el "article-title" [ text "Internet Technologies" ];
+      el "author" ~attrs:[ ("id", "first") ]
+        [ el "fname" [ text "Jane" ]; el "sname" [ text "Doe" ] ];
+      el "chapter"
+        [
+          el "ct" [ text "Caching and Replication" ];
+          el "p" [ text filler ];
+        ];
+      el "chapter"
+        [ el "ct" [ text "Streaming Video" ]; el "p" [ text filler ] ];
+      el "chapter"
+        [
+          el "ct" [ text "Search and Retrieval" ];
+          el "section"
+            [
+              el "section-title" [ text "Search Engine Basics" ];
+              el "p" [ text filler ];
+            ];
+          el "section"
+            [
+              el "section-title" [ text "Information Retrieval Techniques" ];
+              el "p" [ text filler ];
+            ];
+          el "section"
+            [
+              el "section-title" [ text "Examples" ];
+              el "p"
+                [ text (filler ^ " Here are some IR based search engines:") ];
+              el "p"
+                [
+                  text
+                    (filler
+                   ^ " search engine NewsInEssence uses a new information \
+                      retrieval technology " ^ filler);
+                ];
+              el "p"
+                [
+                  text
+                    (filler
+                   ^ " semantic information retrieval techniques are also \
+                      being incorporated into some search engines " ^ filler);
+                ];
+            ];
+        ];
+    ]
+
+let review_1 =
+  elem "review" ~attrs:[ ("id", "1") ]
+    [
+      el "title" [ text "Internet Technologies" ];
+      el "reviewer"
+        [ el "fname" [ text "John" ]; el "sname" [ text "Doe" ] ];
+      el "comments" [ text filler ];
+      el "rating" [ text "5" ];
+    ]
+
+let review_2 =
+  elem "review" ~attrs:[ ("id", "2") ]
+    [
+      el "title" [ text "WWW Technologies" ];
+      el "reviewer" [ text "Anonymous" ];
+      el "comments" [ text filler ];
+      el "rating" [ text "3" ];
+    ]
+
+let reviews = [ review_1; review_2 ]
+
+let documents =
+  [
+    ("articles.xml", articles);
+    ("review-1.xml", review_1);
+    ("review-2.xml", review_2);
+  ]

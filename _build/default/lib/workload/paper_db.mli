@@ -1,0 +1,14 @@
+(** The example XML database of the paper's Figure 1: [articles.xml]
+    (one article on "Internet Technologies") and [reviews.xml] (two
+    reviews). Used by tests and examples to replay the paper's worked
+    queries. *)
+
+val articles : Xmlkit.Tree.element
+(** The [article] rooted at #a1. *)
+
+val reviews : Xmlkit.Tree.element list
+(** The two [review] elements, #r1 and #r8. *)
+
+val documents : (string * Xmlkit.Tree.element) list
+(** [articles.xml] plus each review as its own document, ready for
+    [Store.Db.load]. *)

@@ -1,0 +1,78 @@
+type spec = {
+  document : string;
+  tags : string list;
+  terms : string list;
+  surnames : string list;
+  seed : int;
+}
+
+let default_spec =
+  {
+    document = "article-*.xml";
+    tags = [ "article"; "chapter"; "section" ];
+    terms = [];
+    surnames = Array.to_list Corpus.author_surnames;
+    seed = 1;
+  }
+
+let pick_from state l =
+  match l with
+  | [] -> invalid_arg "Query_gen: empty pool"
+  | l -> List.nth l (Random.State.int state (List.length l))
+
+let subset state l ~min_size =
+  let chosen = List.filter (fun _ -> Random.State.bool state) l in
+  if List.length chosen >= min_size then chosen
+  else begin
+    (* ensure at least [min_size] entries *)
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+    in
+    take (max min_size 1) l
+  end
+
+let quoted_set phrases =
+  "{" ^ String.concat ", " (List.map (Printf.sprintf "%S") phrases) ^ "}"
+
+let one state spec =
+  let buf = Buffer.create 256 in
+  let tag = pick_from state spec.tags in
+  let predicate =
+    if Random.State.int state 3 = 0 && spec.surnames <> [] then
+      Printf.sprintf "[author/sname = %S]" (pick_from state spec.surnames)
+    else ""
+  in
+  let ad_star = Random.State.bool state in
+  Buffer.add_string buf
+    (Printf.sprintf "for $a in document(%S)//%s%s%s\n" spec.document tag
+       predicate
+       (if ad_star then "/descendant-or-self::*" else ""));
+  let primary = subset state spec.terms ~min_size:1 in
+  let secondary =
+    List.filter (fun t -> not (List.mem t primary)) spec.terms
+    |> fun rest -> subset state rest ~min_size:0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "score $a using ScoreFoo($a, %s, %s)\n"
+       (quoted_set primary) (quoted_set secondary));
+  if Random.State.bool state then
+    Buffer.add_string buf "pick $a using PickFoo()\n";
+  Buffer.add_string buf
+    "return <result><score>{$a/@score}</score>{$a}</result>\n";
+  Buffer.add_string buf "sortby(score)\n";
+  if Random.State.bool state then begin
+    let v = Random.State.int state 3 in
+    let stop =
+      if Random.State.bool state then
+        Printf.sprintf " stop after %d" (1 + Random.State.int state 10)
+      else ""
+    in
+    Buffer.add_string buf (Printf.sprintf "threshold $a/@score > %d%s\n" v stop)
+  end;
+  Buffer.contents buf
+
+let generate ?(count = 20) spec =
+  if spec.terms = [] then invalid_arg "Query_gen.generate: no terms";
+  let state = Random.State.make [| spec.seed; 104729 |] in
+  List.init count (fun _ -> one state spec)

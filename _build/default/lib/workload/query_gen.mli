@@ -1,0 +1,23 @@
+(** Random query workloads over a generated corpus.
+
+    Produces extended-XQuery strings in the compilable Query-1/2
+    shape, drawing tags and terms from the given pools. Used by the
+    test suite to fuzz the parser, the interpreter and the
+    interpreter-vs-compiled equivalence, and by benchmarks that need
+    many distinct queries. *)
+
+type spec = {
+  document : string;  (** document() argument, may contain [*] *)
+  tags : string list;  (** anchor tags to draw from *)
+  terms : string list;  (** single-word terms to score with *)
+  surnames : string list;  (** values for the author predicate *)
+  seed : int;
+}
+
+val default_spec : spec
+(** Targets the synthetic corpus: document "article-*.xml", anchors
+    article/chapter/section, surnames from
+    {!Corpus.author_surnames}. *)
+
+val generate : ?count:int -> spec -> string list
+(** [count] query strings (default 20), deterministic in the seed. *)

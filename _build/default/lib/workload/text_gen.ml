@@ -1,0 +1,38 @@
+type t = { words : string array; zipf : Zipf.t }
+
+let syllables =
+  [| "ba"; "ce"; "di"; "fo"; "gu"; "ha"; "je"; "ki"; "lo"; "mu"; "na"; "pe";
+     "qi"; "ro"; "su"; "ta"; "ve"; "wi"; "xo"; "zu"; "bra"; "cle"; "dri";
+     "flo"; "gru"; "sta"; "tre"; "pli"; "sno"; "kru" |]
+
+(* Deterministic pseudo-word for a rank: 2-4 syllables driven by the
+   rank's digits, unique per rank thanks to a numeric tail for
+   collisions in the syllable space. *)
+let word_of_rank rank =
+  let n = Array.length syllables in
+  let buf = Buffer.create 12 in
+  let rec go r k =
+    if k = 0 then ()
+    else begin
+      Buffer.add_string buf syllables.(r mod n);
+      go (r / n) (k - 1)
+    end
+  in
+  let k = 2 + (rank mod 3) in
+  go (rank + 1) k;
+  (* ranks that exhaust the syllable space get a disambiguating tail *)
+  Buffer.add_string buf (string_of_int (rank / (n * n * n)));
+  Buffer.contents buf
+
+let create ?(vocabulary = 5000) ?exponent () =
+  {
+    words = Array.init vocabulary word_of_rank;
+    zipf = Zipf.create ?exponent vocabulary;
+  }
+
+let word t rank = t.words.(rank)
+let sample_word t state = t.words.(Zipf.sample t.zipf state)
+
+let sentence t state ~min_words ~max_words =
+  let n = min_words + Random.State.int state (max 1 (max_words - min_words + 1)) in
+  List.init n (fun _ -> sample_word t state)

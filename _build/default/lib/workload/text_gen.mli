@@ -1,0 +1,16 @@
+(** Synthetic technical prose: a Zipfian background vocabulary of
+    pronounceable pseudo-words. *)
+
+type t
+
+val create : ?vocabulary:int -> ?exponent:float -> unit -> t
+(** [vocabulary] defaults to 5000 words. *)
+
+val word : t -> int -> string
+(** The pseudo-word at a vocabulary rank. *)
+
+val sample_word : t -> Random.State.t -> string
+
+val sentence : t -> Random.State.t -> min_words:int -> max_words:int -> string list
+(** A list of words (no punctuation; the tokenizer ignores it
+    anyway). *)

@@ -1,0 +1,29 @@
+type t = { cdf : float array }
+
+let create ?(exponent = 1.1) n =
+  if n <= 0 then invalid_arg "Zipf.create: empty support";
+  let weights =
+    Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** exponent))
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.;
+  { cdf }
+
+let sample t state =
+  let u = Random.State.float state 1. in
+  (* first rank whose cdf >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let support t = Array.length t.cdf

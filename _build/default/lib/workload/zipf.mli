@@ -1,0 +1,17 @@
+(** Zipf-distributed sampling over ranks [0, n).
+
+    Natural-language term frequencies are Zipfian; the synthetic
+    corpus draws its background vocabulary from this distribution so
+    posting-list length profiles resemble the INEX collection's. *)
+
+type t
+
+val create : ?exponent:float -> int -> t
+(** [create n] prepares a sampler over ranks [0..n-1] with
+    probability proportional to [1 / (rank+1) ** exponent]
+    (default exponent 1.1). *)
+
+val sample : t -> Random.State.t -> int
+(** Draw a rank. *)
+
+val support : t -> int

@@ -1,0 +1,1 @@
+lib/xmlkit/entity.ml: Buffer Char String

@@ -1,0 +1,1 @@
+lib/xmlkit/entity.mli:

@@ -1,0 +1,1 @@
+lib/xmlkit/numbering.ml: Array List String Tree

@@ -1,0 +1,1 @@
+lib/xmlkit/numbering.mli: Tree

@@ -1,0 +1,1 @@
+lib/xmlkit/parser.ml: Char Entity Format Fun List Printf String Tree

@@ -1,0 +1,1 @@
+lib/xmlkit/printer.ml: Buffer Entity List String Tree

@@ -1,0 +1,1 @@
+lib/xmlkit/traverse.ml: List Seq Tree

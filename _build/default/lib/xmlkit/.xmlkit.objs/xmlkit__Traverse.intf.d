@@ -1,0 +1,1 @@
+lib/xmlkit/traverse.mli: Seq Tree

@@ -1,0 +1,1 @@
+lib/xmlkit/tree.ml: Buffer Format List String

@@ -1,0 +1,94 @@
+let escape_gen ~quote s =
+  let needs_escape = function
+    | '&' | '<' | '>' -> true
+    | '"' -> quote
+    | _ -> false
+  in
+  if not (String.exists needs_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '"' when quote -> Buffer.add_string buf "&quot;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let escape_text s = escape_gen ~quote:false s
+let escape_attr s = escape_gen ~quote:true s
+
+(* Encode a Unicode code point as UTF-8 into [buf]. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let decode_ref buf name =
+  match name with
+  | "amp" -> Buffer.add_char buf '&'
+  | "lt" -> Buffer.add_char buf '<'
+  | "gt" -> Buffer.add_char buf '>'
+  | "quot" -> Buffer.add_char buf '"'
+  | "apos" -> Buffer.add_char buf '\''
+  | _ ->
+    if String.length name > 1 && name.[0] = '#' then begin
+      let cp =
+        if name.[1] = 'x' || name.[1] = 'X' then
+          int_of_string_opt ("0x" ^ String.sub name 2 (String.length name - 2))
+        else int_of_string_opt (String.sub name 1 (String.length name - 1))
+      in
+      match cp with
+      | Some cp when cp >= 0 && cp <= 0x10FFFF -> add_utf8 buf cp
+      | Some _ | None ->
+        Buffer.add_char buf '&';
+        Buffer.add_string buf name;
+        Buffer.add_char buf ';'
+    end
+    else begin
+      Buffer.add_char buf '&';
+      Buffer.add_string buf name;
+      Buffer.add_char buf ';'
+    end
+
+let decode s =
+  if not (String.contains s '&') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec loop i =
+      if i >= n then ()
+      else if s.[i] = '&' then begin
+        match String.index_from_opt s i ';' with
+        | Some j when j - i - 1 > 0 && j - i - 1 <= 10 ->
+          decode_ref buf (String.sub s (i + 1) (j - i - 1));
+          loop (j + 1)
+        | Some _ | None ->
+          Buffer.add_char buf '&';
+          loop (i + 1)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        loop (i + 1)
+      end
+    in
+    loop 0;
+    Buffer.contents buf
+  end

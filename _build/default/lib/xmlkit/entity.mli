@@ -1,0 +1,18 @@
+(** Predefined XML entities and character references.
+
+    Only the five predefined entities ([&amp;], [&lt;], [&gt;],
+    [&quot;], [&apos;]) and numeric character references are
+    supported, which matches the needs of the corpus this system
+    manages. *)
+
+val escape_text : string -> string
+(** [escape_text s] escapes [&], [<] and [>] for use in text
+    content. *)
+
+val escape_attr : string -> string
+(** [escape_attr s] escapes ampersand, angle brackets and the double
+    quote for use in a double-quoted attribute value. *)
+
+val decode : string -> string
+(** [decode s] replaces entity and character references by their
+    character values. Unknown entity references are left intact. *)

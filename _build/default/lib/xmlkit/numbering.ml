@@ -1,0 +1,132 @@
+type info = {
+  index : int;
+  start : int;
+  end_ : int;
+  level : int;
+  parent : int;
+  child_count : int;
+  tag : string;
+}
+
+type t = {
+  infos : info array;
+  elements : Tree.element array;
+  max_key : int;
+}
+
+let default_word_count s =
+  let n = String.length s in
+  let count = ref 0 and in_word = ref false in
+  for i = 0 to n - 1 do
+    let is_sep =
+      match s.[i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    in
+    if is_sep then in_word := false
+    else if not !in_word then begin
+      in_word := true;
+      incr count
+    end
+  done;
+  !count
+
+let number
+    ?(text = fun ~owner:_ ~owner_start:_ ~start_key:_ s -> default_word_count s)
+    root =
+  let size = Tree.size root in
+  let infos = Array.make size None in
+  let elements = Array.make size root in
+  let key = ref 0 in
+  let next_index = ref 0 in
+  let fresh_key () =
+    let k = !key in
+    incr key;
+    k
+  in
+  let rec go level parent (e : Tree.element) =
+    let index = !next_index in
+    incr next_index;
+    elements.(index) <- e;
+    let start = fresh_key () in
+    let child_count = ref 0 in
+    List.iter
+      (fun n ->
+        match n with
+        | Tree.Element c ->
+          incr child_count;
+          go (level + 1) index c
+        | Tree.Text s ->
+          key := !key + text ~owner:index ~owner_start:start ~start_key:!key s
+        | Tree.Comment _ | Tree.Pi _ -> ())
+      e.children;
+    let end_ = fresh_key () in
+    infos.(index) <-
+      Some
+        {
+          index;
+          start;
+          end_;
+          level;
+          parent;
+          child_count = !child_count;
+          tag = e.tag;
+        }
+  in
+  go 0 (-1) root;
+  let infos =
+    Array.map
+      (function Some i -> i | None -> assert false (* all slots filled *))
+      infos
+  in
+  { infos; elements; max_key = !key - 1 }
+
+let contains a b = a.start < b.start && b.end_ < a.end_
+
+let find_by_start t start =
+  (* infos are in preorder, hence sorted by start key *)
+  let lo = ref 0 and hi = ref (Array.length t.infos - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let info = t.infos.(mid) in
+    if info.start = start then begin
+      found := Some info;
+      lo := !hi + 1
+    end
+    else if info.start < start then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let enclosing t key =
+  if key < 0 || key > t.max_key then None
+  else begin
+    (* Find the last element with start <= key, then walk up until the
+       interval covers the key. *)
+    let lo = ref 0 and hi = ref (Array.length t.infos - 1) in
+    let candidate = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.infos.(mid).start <= key then begin
+        candidate := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    let rec up i =
+      if i < 0 then None
+      else
+        let info = t.infos.(i) in
+        if info.start <= key && key <= info.end_ then Some info
+        else up info.parent
+    in
+    up !candidate
+  end
+
+let ancestors t info =
+  let rec go acc parent =
+    if parent < 0 then List.rev acc
+    else
+      let p = t.infos.(parent) in
+      go (p :: acc) p.parent
+  in
+  go [] info.parent

@@ -1,0 +1,51 @@
+(** Interval encoding of document trees.
+
+    Every element receives a [(start, end_, level)] triple such that
+    element [a] is an ancestor of element [b] iff
+    [a.start < b.start && b.end_ < a.end_]. Word positions in text
+    content consume key values too, so a term occurrence at word
+    position [p] lies inside exactly the intervals of its ancestor
+    elements. This is the node identity scheme used by the
+    stack-based join family (Sec. 5.1 of the paper). *)
+
+type info = {
+  index : int;  (** preorder index of the element, root is 0 *)
+  start : int;  (** start key *)
+  end_ : int;  (** end key; [start < end_] *)
+  level : int;  (** depth; root is 0 *)
+  parent : int;  (** preorder index of the parent, [-1] for the root *)
+  child_count : int;  (** number of element children *)
+  tag : string;
+}
+
+type t = {
+  infos : info array;  (** indexed by preorder index *)
+  elements : Tree.element array;  (** the element at each index *)
+  max_key : int;  (** all keys are in [0, max_key] *)
+}
+
+val number :
+  ?text:(owner:int -> owner_start:int -> start_key:int -> string -> int) ->
+  Tree.element ->
+  t
+(** [number root] assigns interval keys in a single preorder pass.
+
+    [text ~owner ~owner_start ~start_key s] is called for every text
+    node; [owner] is the preorder index of the owning element,
+    [owner_start] its start key, and [start_key] the first key slot
+    available to the text. It returns the number of key slots the
+    text consumes, so word positions and element intervals share one
+    key space. The default counts whitespace-separated words. *)
+
+val contains : info -> info -> bool
+(** [contains a b] is true iff [a] is a proper ancestor of [b]. *)
+
+val find_by_start : t -> int -> info option
+(** Look up an element by its start key (binary search). *)
+
+val enclosing : t -> int -> info option
+(** [enclosing t key] is the deepest element whose interval contains
+    key position [key]. *)
+
+val ancestors : t -> info -> info list
+(** Ancestors of an element, nearest first. *)

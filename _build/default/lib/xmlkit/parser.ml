@@ -1,0 +1,231 @@
+type error = { line : int; col : int; message : string }
+
+exception Parse_error of error
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
+
+type state = { src : string; mutable pos : int; len : int }
+
+let position st =
+  (* Compute line/column lazily, only on error paths. *)
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min st.pos (st.len - 1) - 1 do
+    if st.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st message =
+  let line, col = position st in
+  raise (Parse_error { line; col; message })
+
+let peek st = if st.pos < st.len then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= st.len && String.sub st.src st.pos n = s
+
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while st.pos < st.len && is_space st.src.[st.pos] do
+    advance st
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c
+  || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | Some _ | None -> fail st "expected a name");
+  while
+    st.pos < st.len && is_name_char st.src.[st.pos]
+  do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let parse_attr_value st =
+  match peek st with
+  | Some (('"' | '\'') as quote) ->
+    advance st;
+    let start = st.pos in
+    (match String.index_from_opt st.src st.pos quote with
+    | Some j ->
+      st.pos <- j + 1;
+      Entity.decode (String.sub st.src start (j - start))
+    | None -> fail st "unterminated attribute value")
+  | Some _ | None -> fail st "expected a quoted attribute value"
+
+let parse_attrs st =
+  let rec loop acc =
+    skip_space st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = parse_name st in
+      skip_space st;
+      expect st "=";
+      skip_space st;
+      let value = parse_attr_value st in
+      loop ({ Tree.name; value } :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  loop []
+
+(* Skip until the terminator [stop]; return the skipped content. *)
+let take_until st stop ~what =
+  let n = String.length stop in
+  let rec find i =
+    if i + n > st.len then fail st (Printf.sprintf "unterminated %s" what)
+    else if String.sub st.src i n = stop then i
+    else find (i + 1)
+  in
+  let j = find st.pos in
+  let content = String.sub st.src st.pos (j - st.pos) in
+  st.pos <- j + n;
+  content
+
+let skip_doctype st =
+  (* DOCTYPE may contain an internal subset in brackets. *)
+  expect st "<!DOCTYPE";
+  let depth = ref 1 in
+  while !depth > 0 do
+    match peek st with
+    | Some '<' ->
+      incr depth;
+      advance st
+    | Some '>' ->
+      decr depth;
+      advance st
+    | Some _ -> advance st
+    | None -> fail st "unterminated DOCTYPE"
+  done
+
+let rec parse_content st tag acc =
+  if st.pos >= st.len then
+    fail st (Printf.sprintf "unterminated element <%s>" tag)
+  else if looking_at st "</" then begin
+    st.pos <- st.pos + 2;
+    let name = parse_name st in
+    skip_space st;
+    expect st ">";
+    if name <> tag then
+      fail st (Printf.sprintf "mismatched close tag </%s> for <%s>" name tag);
+    List.rev acc
+  end
+  else
+    let node = parse_node st in
+    parse_content st tag (node :: acc)
+
+and parse_node st =
+  if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    Tree.Comment (take_until st "-->" ~what:"comment")
+  end
+  else if looking_at st "<![CDATA[" then begin
+    st.pos <- st.pos + 9;
+    Tree.Text (take_until st "]]>" ~what:"CDATA section")
+  end
+  else if looking_at st "<?" then begin
+    st.pos <- st.pos + 2;
+    let target = parse_name st in
+    skip_space st;
+    let data = take_until st "?>" ~what:"processing instruction" in
+    Tree.Pi { target; data }
+  end
+  else if looking_at st "<" then Tree.Element (parse_element st)
+  else begin
+    let start = st.pos in
+    while st.pos < st.len && st.src.[st.pos] <> '<' do
+      advance st
+    done;
+    Tree.Text (Entity.decode (String.sub st.src start (st.pos - start)))
+  end
+
+and parse_element st =
+  expect st "<";
+  let tag = parse_name st in
+  let attrs = parse_attrs st in
+  skip_space st;
+  if looking_at st "/>" then begin
+    st.pos <- st.pos + 2;
+    { Tree.tag; attrs; children = [] }
+  end
+  else begin
+    expect st ">";
+    let children = parse_content st tag [] in
+    { Tree.tag; attrs; children }
+  end
+
+let skip_misc st =
+  let continue = ref true in
+  while !continue do
+    skip_space st;
+    if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      ignore (take_until st "-->" ~what:"comment")
+    end
+    else if looking_at st "<?" then begin
+      st.pos <- st.pos + 2;
+      ignore (take_until st "?>" ~what:"processing instruction")
+    end
+    else if looking_at st "<!DOCTYPE" then skip_doctype st
+    else continue := false
+  done
+
+let run f s =
+  let st = { src = s; pos = 0; len = String.length s } in
+  match f st with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let parse_document st =
+  skip_misc st;
+  if not (looking_at st "<") then fail st "expected a root element";
+  let root = parse_element st in
+  skip_misc st;
+  if st.pos < st.len then fail st "trailing content after root element";
+  root
+
+let parse_string s = run parse_document s
+
+let parse_string_exn s =
+  match parse_string s with Ok e -> e | Error e -> raise (Parse_error e)
+
+let parse_fragment s =
+  let parse_all st =
+    let rec loop acc =
+      skip_space st;
+      if st.pos >= st.len then List.rev acc
+      else
+        let node = parse_node st in
+        loop (node :: acc)
+    in
+    loop []
+  in
+  run parse_all s
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path = parse_string (read_file path)

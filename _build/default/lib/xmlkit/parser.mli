@@ -1,0 +1,29 @@
+(** A recursive-descent XML parser.
+
+    Supports elements, attributes (single or double quoted), text,
+    the five predefined entities plus numeric character references,
+    comments, processing instructions, CDATA sections, an XML
+    declaration and a (skipped) DOCTYPE. Namespaces are treated as
+    plain prefixed names. This covers the INEX-style corpora the TIX
+    system manages. *)
+
+type error = { line : int; col : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> (Tree.element, error) result
+(** [parse_string s] parses a complete XML document and returns its
+    root element. *)
+
+val parse_string_exn : string -> Tree.element
+(** Like {!parse_string} but raises {!Parse_error}. *)
+
+val parse_fragment : string -> (Tree.node list, error) result
+(** [parse_fragment s] parses a sequence of top-level nodes, e.g. a
+    file holding several documents concatenated (as [reviews.xml] in
+    the paper's Figure 1). *)
+
+val parse_file : string -> (Tree.element, error) result
+(** [parse_file path] reads and parses the file at [path]. *)

@@ -1,0 +1,99 @@
+let add_attrs buf attrs =
+  List.iter
+    (fun (a : Tree.attr) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf a.name;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (Entity.escape_attr a.value);
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_compact buf (e : Tree.element) =
+  Buffer.add_char buf '<';
+  Buffer.add_string buf e.tag;
+  add_attrs buf e.attrs;
+  if e.children = [] then Buffer.add_string buf "/>"
+  else begin
+    Buffer.add_char buf '>';
+    List.iter (add_node buf) e.children;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf e.tag;
+    Buffer.add_char buf '>'
+  end
+
+and add_node buf = function
+  | Tree.Element e -> add_compact buf e
+  | Tree.Text s -> Buffer.add_string buf (Entity.escape_text s)
+  | Tree.Comment s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Tree.Pi { target; data } ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf target;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf data;
+    Buffer.add_string buf "?>"
+
+let has_element_child (e : Tree.element) =
+  List.exists
+    (function
+      | Tree.Element _ -> true
+      | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> false)
+    e.children
+
+let rec add_pretty buf step level (e : Tree.element) =
+  let pad n = Buffer.add_string buf (String.make (n * step) ' ') in
+  pad level;
+  Buffer.add_char buf '<';
+  Buffer.add_string buf e.tag;
+  add_attrs buf e.attrs;
+  if e.children = [] then Buffer.add_string buf "/>\n"
+  else if not (has_element_child e) then begin
+    (* Leaf-ish element: keep text inline. *)
+    Buffer.add_char buf '>';
+    List.iter (add_node buf) e.children;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf e.tag;
+    Buffer.add_string buf ">\n"
+  end
+  else begin
+    Buffer.add_string buf ">\n";
+    List.iter
+      (fun n ->
+        match n with
+        | Tree.Element c -> add_pretty buf step (level + 1) c
+        | Tree.Text s ->
+          let s = String.trim s in
+          if s <> "" then begin
+            pad (level + 1);
+            Buffer.add_string buf (Entity.escape_text s);
+            Buffer.add_char buf '\n'
+          end
+        | Tree.Comment _ | Tree.Pi _ ->
+          pad (level + 1);
+          add_node buf n;
+          Buffer.add_char buf '\n')
+      e.children;
+    pad level;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf e.tag;
+    Buffer.add_string buf ">\n"
+  end
+
+let to_string ?indent e =
+  let buf = Buffer.create 1024 in
+  (match indent with
+  | None -> add_compact buf e
+  | Some step -> add_pretty buf step 0 e);
+  Buffer.contents buf
+
+let node_to_string n =
+  let buf = Buffer.create 256 in
+  add_node buf n;
+  Buffer.contents buf
+
+let to_channel oc e =
+  let buf = Buffer.create 65536 in
+  add_compact buf e;
+  Buffer.output_buffer oc buf

@@ -1,0 +1,13 @@
+(** XML serialization. *)
+
+val to_string : ?indent:int -> Tree.element -> string
+(** [to_string e] serializes [e]. With [~indent:n], elements are
+    pretty-printed with [n]-space indentation steps; text content is
+    emitted verbatim (no reformatting), so pretty printing is only
+    whitespace-safe for data-oriented documents. *)
+
+val node_to_string : Tree.node -> string
+
+val to_channel : out_channel -> Tree.element -> unit
+(** Compact serialization straight to a channel (used when writing
+    generated corpora to disk). *)

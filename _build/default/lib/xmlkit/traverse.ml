@@ -1,0 +1,38 @@
+let preorder root =
+  let rec seq stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | e :: rest ->
+      let children = Tree.child_elements e in
+      Seq.Cons (e, seq (children @ rest))
+  in
+  seq [ root ]
+
+let find_all tag root =
+  Seq.fold_left
+    (fun acc e -> if e.Tree.tag = tag then e :: acc else acc)
+    [] (preorder root)
+  |> List.rev
+
+let find_first tag root =
+  Seq.find (fun e -> e.Tree.tag = tag) (preorder root)
+
+let path steps root =
+  let step frontier tag =
+    List.concat_map
+      (fun e ->
+        List.filter (fun c -> c.Tree.tag = tag) (Tree.child_elements e))
+      frontier
+  in
+  List.fold_left step [ root ] steps
+
+let parent_map root =
+  (* Physical identity: every element value in a parsed tree is a
+     distinct heap block, so == discriminates nodes. *)
+  let pairs = ref [] in
+  Tree.iter
+    (fun e ->
+      List.iter (fun c -> pairs := (c, e) :: !pairs) (Tree.child_elements e))
+    root;
+  let table = !pairs in
+  fun e -> List.find_map (fun (c, p) -> if c == e then Some p else None) table

@@ -1,0 +1,20 @@
+(** Simple tree navigation helpers used by tests, examples and the
+    query front end. *)
+
+val preorder : Tree.element -> Tree.element Seq.t
+(** All elements of the subtree in document order, starting with the
+    root itself. *)
+
+val find_all : string -> Tree.element -> Tree.element list
+(** [find_all tag root] is every element of the subtree (including
+    the root) whose tag is [tag], in document order. *)
+
+val find_first : string -> Tree.element -> Tree.element option
+
+val path : string list -> Tree.element -> Tree.element list
+(** [path [t1; t2; ...] root] follows child steps: the [t1] children
+    of [root], then their [t2] children, and so on. *)
+
+val parent_map : Tree.element -> (Tree.element -> Tree.element option)
+(** [parent_map root] precomputes a physical-identity parent lookup
+    for every element of the tree. *)

@@ -1,0 +1,131 @@
+type attr = { name : string; value : string }
+
+type element = {
+  tag : string;
+  attrs : attr list;
+  children : node list;
+}
+
+and node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+let elem ?(attrs = []) tag children =
+  let attrs = List.map (fun (name, value) -> { name; value }) attrs in
+  { tag; attrs; children }
+
+let el ?attrs tag children = Element (elem ?attrs tag children)
+let text s = Text s
+
+let attr e name =
+  List.find_map (fun a -> if a.name = name then Some a.value else None) e.attrs
+
+let child_elements e =
+  List.filter_map
+    (function Element c -> Some c | Text _ | Comment _ | Pi _ -> None)
+    e.children
+
+let child_texts e =
+  List.filter_map
+    (function Text s -> Some s | Element _ | Comment _ | Pi _ -> None)
+    e.children
+
+let local_text e = String.concat "" (child_texts e)
+
+let all_text e =
+  let buf = Buffer.create 64 in
+  let rec go e =
+    List.iter
+      (fun n ->
+        match n with
+        | Text s ->
+          if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf s
+        | Element c -> go c
+        | Comment _ | Pi _ -> ())
+      e.children
+  in
+  go e;
+  Buffer.contents buf
+
+let rec descendants_acc acc e =
+  List.fold_left
+    (fun acc n ->
+      match n with
+      | Element c -> descendants_acc (c :: acc) c
+      | Text _ | Comment _ | Pi _ -> acc)
+    acc e.children
+
+let descendant_elements e = List.rev (descendants_acc [] e)
+let self_or_descendants e = e :: descendant_elements e
+
+let rec size e =
+  List.fold_left
+    (fun acc n ->
+      match n with
+      | Element c -> acc + size c
+      | Text _ | Comment _ | Pi _ -> acc)
+    1 e.children
+
+let rec depth e =
+  1
+  + List.fold_left
+      (fun acc n ->
+        match n with
+        | Element c -> max acc (depth c)
+        | Text _ | Comment _ | Pi _ -> acc)
+      0 e.children
+
+let rec equal a b =
+  a.tag = b.tag
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2 (fun x y -> x.name = y.name && x.value = y.value) a.attrs
+       b.attrs
+  && equal_children a.children b.children
+
+and equal_children a b =
+  (* Comments and PIs are not semantically significant. *)
+  let significant = function
+    | Element _ | Text _ -> true
+    | Comment _ | Pi _ -> false
+  in
+  let a = List.filter significant a and b = List.filter significant b in
+  List.length a = List.length b && List.for_all2 equal_node a b
+
+and equal_node a b =
+  match a, b with
+  | Element x, Element y -> equal x y
+  | Text x, Text y -> x = y
+  | Comment x, Comment y -> x = y
+  | Pi x, Pi y -> x.target = y.target && x.data = y.data
+  | (Element _ | Text _ | Comment _ | Pi _), _ -> false
+
+let fold f init e =
+  let rec go acc e =
+    let acc = f acc e in
+    List.fold_left
+      (fun acc n ->
+        match n with
+        | Element c -> go acc c
+        | Text _ | Comment _ | Pi _ -> acc)
+      acc e.children
+  in
+  go init e
+
+let iter f e = fold (fun () e -> f e) () e
+
+let rec pp ppf e =
+  Format.fprintf ppf "@[<hv 2><%s%a>" e.tag pp_attrs e.attrs;
+  List.iter (fun n -> Format.fprintf ppf "%a" pp_node n) e.children;
+  Format.fprintf ppf "</%s>@]" e.tag
+
+and pp_attrs ppf attrs =
+  List.iter (fun a -> Format.fprintf ppf " %s=%S" a.name a.value) attrs
+
+and pp_node ppf = function
+  | Element e -> pp ppf e
+  | Text s -> Format.pp_print_string ppf s
+  | Comment s -> Format.fprintf ppf "<!--%s-->" s
+  | Pi { target; data } -> Format.fprintf ppf "<?%s %s?>" target data

@@ -1,0 +1,76 @@
+(** Ordered labeled trees: the XML data model of the TIX paper.
+
+    An XML document is modeled as a rooted ordered tree whose nodes
+    are elements carrying a tag and attributes; leaves may also be
+    text, comment or processing-instruction nodes (Sec. 3 of the
+    paper). *)
+
+type attr = { name : string; value : string }
+
+type element = {
+  tag : string;
+  attrs : attr list;
+  children : node list;
+}
+
+and node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+val elem : ?attrs:(string * string) list -> string -> node list -> element
+(** [elem tag children] builds an element node. *)
+
+val el : ?attrs:(string * string) list -> string -> node list -> node
+(** Like {!elem} but wrapped as a {!node}. *)
+
+val text : string -> node
+(** [text s] builds a text node. *)
+
+val attr : element -> string -> string option
+(** [attr e name] is the value of attribute [name] on [e], if any. *)
+
+val child_elements : element -> element list
+(** Element children of [e], in document order. *)
+
+val child_texts : element -> string list
+(** Direct text children of [e], in document order. *)
+
+val local_text : element -> string
+(** Concatenation of the direct text children of [e]. *)
+
+val all_text : element -> string
+(** Concatenation of all descendant text of [e] in document order,
+    separated by single spaces: the [alltext()] function of Fig. 9. *)
+
+val descendant_elements : element -> element list
+(** All proper descendant elements of [e] in document order. *)
+
+val self_or_descendants : element -> element list
+(** [e] followed by all its descendant elements: the [ad*]
+    relationship of scored pattern trees. *)
+
+val size : element -> int
+(** Number of element nodes in the subtree rooted at [e]
+    (including [e]). *)
+
+val depth : element -> int
+(** Height of the subtree rooted at [e]; a leaf element has
+    depth 1. *)
+
+val equal : element -> element -> bool
+(** Structural equality ignoring comments and PIs. *)
+
+val equal_node : node -> node -> bool
+
+val fold : ('a -> element -> 'a) -> 'a -> element -> 'a
+(** Preorder fold over the element nodes of the subtree. *)
+
+val iter : (element -> unit) -> element -> unit
+(** Preorder iteration over the element nodes of the subtree. *)
+
+val pp : Format.formatter -> element -> unit
+(** Compact single-line rendering, for debugging and tests. *)
+
+val pp_node : Format.formatter -> node -> unit

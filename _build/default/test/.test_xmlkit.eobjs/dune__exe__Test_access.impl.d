@@ -1,0 +1,1 @@
+test/test_access.ml: Access Alcotest Array Core Lazy List Option Printf QCheck QCheck_alcotest Seq Store String Workload Xmlkit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Ir Lazy List Option QCheck QCheck_alcotest String Workload Xmlkit

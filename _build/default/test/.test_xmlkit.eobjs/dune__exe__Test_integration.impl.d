@@ -1,0 +1,1 @@
+test/test_integration.ml: Access Alcotest Array Core Filename Fun Lazy List Query Seq Store String Sys Workload Xmlkit

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Buffer Bytes Ir List Printf QCheck QCheck_alcotest String

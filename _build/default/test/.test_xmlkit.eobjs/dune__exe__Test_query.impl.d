@@ -1,0 +1,1 @@
+test/test_query.ml: Access Alcotest Format Lazy List Query Store String Workload Xmlkit

@@ -1,0 +1,1 @@
+test/test_store.ml: Access Alcotest Buffer Bytes Char Filename Fun Ir Lazy List Printf QCheck QCheck_alcotest Store String Sys Workload Xmlkit

@@ -1,0 +1,1 @@
+test/test_workload.ml: Access Alcotest Array Ir List Option Printf Random Seq Store String Workload Xmlkit

@@ -1,0 +1,1 @@
+test/test_xmlkit.ml: Alcotest Array Buffer List Option QCheck QCheck_alcotest String Xmlkit

@@ -1,0 +1,556 @@
+(* Tests for the TIX algebra: scored trees, pattern matching, the
+   operators, and the paper's worked example (Queries 1-3 over the
+   Figure 1 database, with the scores of Figures 5-8). *)
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+let float_ = Alcotest.float 1e-6
+
+let articles_tree =
+  lazy
+    (let num = Xmlkit.Numbering.number Workload.Paper_db.articles in
+     Core.Stree.of_numbered num ~doc:0)
+
+let reviews_trees =
+  lazy
+    (List.mapi
+       (fun i r ->
+         let num = Xmlkit.Numbering.number r in
+         Core.Stree.of_numbered num ~doc:(i + 1))
+       Workload.Paper_db.reviews)
+
+(* The ScoreFoo of the paper's examples *)
+let score_foo =
+  Core.Scorers.score_foo ~primary:[ "search engine" ]
+    ~secondary:[ "internet"; "information retrieval" ]
+    ()
+
+(* Query 2's scored pattern tree (Fig. 3): $1 article with an author
+   sname "Doe" and a scored ad* node $4 *)
+let query2_pattern =
+  let open Core.Pattern in
+  make
+    (pnode ~pred:(Tag "article") 1
+       [
+         pnode ~axis:Descendant ~pred:(Tag "author") 2
+           [ pnode ~pred:(And (Tag "sname", Content_eq "Doe")) 3 [] ];
+         pnode ~axis:Self_or_descendant 4 [];
+       ])
+    [
+      { target = 4; expr = Node_score score_foo };
+      { target = 1; expr = Best_of 4 };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Stree *)
+
+let test_stree_of_element () =
+  let t = Lazy.force articles_tree in
+  check string_ "root tag" "article" t.Core.Stree.tag;
+  check int_ "size" 24 (Core.Stree.size t);
+  check bool_ "unscored" true (t.Core.Stree.score = None)
+
+let test_stree_all_text () =
+  let t = Lazy.force articles_tree in
+  let text = Core.Stree.all_text t in
+  check bool_ "contains title" true
+    (Ir.Phrase.contains ~terms:[ "internet"; "technologies" ] text)
+
+let test_stree_ids () =
+  let t = Lazy.force articles_tree in
+  (* Stored ids come from interval numbering: root starts at 0 *)
+  check bool_ "root id" true
+    (Core.Stree.equal_id t.Core.Stree.id (Core.Stree.Stored { doc = 0; start = 0 }))
+
+let test_stree_roundtrip () =
+  let t = Lazy.force articles_tree in
+  let back = Core.Stree.to_element t in
+  check bool_ "roundtrip to element" true
+    (Xmlkit.Tree.equal Workload.Paper_db.articles back)
+
+let test_stree_score_attr () =
+  let t = Core.Stree.make ~score:1.5 "x" [] in
+  let e = Core.Stree.to_element ~score_attr:"score" t in
+  check (Alcotest.option string_) "score attribute" (Some "1.5")
+    (Xmlkit.Tree.attr e "score")
+
+(* ------------------------------------------------------------------ *)
+(* Pattern predicates and classification *)
+
+let test_pred_holds () =
+  let t = Lazy.force articles_tree in
+  let open Core.Pattern in
+  check bool_ "tag" true (holds (Tag "article") t);
+  check bool_ "wrong tag" false (holds (Tag "review") t);
+  check bool_ "content has" true (holds (Content_has "search engine") t);
+  check bool_ "and" true (holds (And (Tag "article", True)) t);
+  check bool_ "or" true (holds (Or (Tag "nope", Tag "article")) t);
+  check bool_ "not" false (holds (Not True) t)
+
+let test_pattern_classification () =
+  let p = query2_pattern in
+  check bool_ "$4 primary" true (Core.Pattern.is_primary p 4);
+  check bool_ "$1 not primary" false (Core.Pattern.is_primary p 1);
+  check bool_ "$1 IR (secondary)" true (Core.Pattern.is_ir_node p 1);
+  check bool_ "$4 IR" true (Core.Pattern.is_ir_node p 4);
+  check bool_ "$2 not IR" false (Core.Pattern.is_ir_node p 2);
+  check bool_ "$3 not IR" false (Core.Pattern.is_ir_node p 3)
+
+let test_pattern_vars () =
+  check (Alcotest.list int_) "vars in preorder" [ 1; 2; 3; 4 ]
+    (Core.Pattern.vars query2_pattern)
+
+(* ------------------------------------------------------------------ *)
+(* Matcher *)
+
+let test_matcher_embeddings () =
+  let t = Lazy.force articles_tree in
+  let embeddings = Core.Matcher.embeddings query2_pattern t in
+  (* $4 binds to each of the 24 elements of the article *)
+  check int_ "one embedding per $4 binding" 24 (List.length embeddings)
+
+let test_matcher_matches_of_var () =
+  let t = Lazy.force articles_tree in
+  let m4 = Core.Matcher.matches_of_var query2_pattern 4 t in
+  check int_ "$4 matches all elements" 24 (List.length m4);
+  let m3 = Core.Matcher.matches_of_var query2_pattern 3 t in
+  check int_ "$3 matches sname Doe" 1 (List.length m3);
+  let m1 = Core.Matcher.matches_of_var query2_pattern 1 t in
+  check int_ "$1 matches the article" 1 (List.length m1)
+
+let test_matcher_no_match () =
+  let t = List.hd (Lazy.force reviews_trees) in
+  check int_ "pattern does not embed in a review" 0
+    (List.length (Core.Matcher.embeddings query2_pattern t))
+
+let test_matcher_descendant_axis () =
+  let t = Lazy.force articles_tree in
+  let open Core.Pattern in
+  let pat =
+    make (pnode ~pred:(Tag "chapter") 1 [ pnode ~axis:Descendant ~pred:(Tag "p") 2 [] ]) []
+  in
+  (* chapters contain 1 + 1 + 5 paragraphs *)
+  check int_ "chapter//p embeddings" 7
+    (List.length (Core.Matcher.embeddings pat t))
+
+(* ------------------------------------------------------------------ *)
+(* Selection: Fig. 5 scores *)
+
+let test_selection_scores () =
+  let results = Core.Op_select.select query2_pattern [ Lazy.force articles_tree ] in
+  check int_ "24 witness trees" 24 (List.length results);
+  let scores = List.filter_map (fun (t : Core.Stree.t) -> t.score) results in
+  (* the top witness binds $4 to the article itself: 5.6 *)
+  check float_ "max score 5.6" 5.6 (List.fold_left max 0. scores);
+  (* Fig. 5(a): $4 = p#a18 gives 0.8 *)
+  check bool_ "0.8 witness exists" true
+    (List.exists (fun s -> abs_float (s -. 0.8) < 1e-6) scores);
+  (* Fig. 5(b): $4 = section#a16 gives 3.6 *)
+  check bool_ "3.6 witness exists" true
+    (List.exists (fun s -> abs_float (s -. 3.6) < 1e-6) scores)
+
+let test_selection_witness_shape () =
+  let results = Core.Op_select.select query2_pattern [ Lazy.force articles_tree ] in
+  let w = List.hd results in
+  check string_ "witness root is article" "article" w.Core.Stree.tag;
+  (* the witness has the author subtree and the $4 node as children *)
+  check int_ "two children" 2 (List.length (Core.Stree.child_nodes w))
+
+(* ------------------------------------------------------------------ *)
+(* Projection: Fig. 6 *)
+
+let projected =
+  lazy
+    (Core.Op_project.project query2_pattern ~pl:[ 1; 3; 4 ]
+       [ Lazy.force articles_tree ])
+
+let find_by_tag_score tree tag score =
+  Core.Stree.find
+    (fun (n : Core.Stree.t) ->
+      n.tag = tag
+      && match n.score with Some s -> abs_float (s -. score) < 1e-6 | None -> false)
+    tree
+
+let test_projection_root_score () =
+  match Lazy.force projected with
+  | [ tree ] ->
+    check string_ "root" "article" tree.Core.Stree.tag;
+    check (Alcotest.option float_) "root score 5.6 (best achievable)"
+      (Some 5.6) tree.Core.Stree.score
+  | l -> Alcotest.failf "expected one projected tree, got %d" (List.length l)
+
+let test_projection_nodes () =
+  match Lazy.force projected with
+  | [ tree ] ->
+    (* Fig. 6: chapter[5.0], section[3.6], section[0.8], p[0.8],
+       p[1.4] x2, article-title[0.6], section-title[0.8] ... *)
+    check bool_ "chapter 5.0" true (find_by_tag_score tree "chapter" 5.0 <> None);
+    check bool_ "section 3.6" true (find_by_tag_score tree "section" 3.6 <> None);
+    check bool_ "p 0.8" true (find_by_tag_score tree "p" 0.8 <> None);
+    check bool_ "p 1.4" true (find_by_tag_score tree "p" 1.4 <> None);
+    check bool_ "article-title 0.6" true
+      (find_by_tag_score tree "article-title" 0.6 <> None);
+    (* sname kept though unscored ($3 in PL) *)
+    check bool_ "sname kept" true
+      (Core.Stree.find (fun n -> n.Core.Stree.tag = "sname") tree <> None);
+    (* author ($2, not in PL) elided *)
+    check bool_ "author elided" true
+      (Core.Stree.find (fun n -> n.Core.Stree.tag = "author") tree = None);
+    (* zero-scored chapters (caching, streaming) dropped *)
+    let chapters =
+      List.filter
+        (fun (n : Core.Stree.t) -> n.tag = "chapter")
+        (Core.Stree.self_or_descendants tree)
+    in
+    check int_ "only the relevant chapter" 1 (List.length chapters)
+  | _ -> Alcotest.fail "expected one projected tree"
+
+let test_projection_no_match_drops_tree () =
+  let reviews = Lazy.force reviews_trees in
+  check int_ "no output for reviews" 0
+    (List.length (Core.Op_project.project query2_pattern ~pl:[ 1; 3; 4 ] reviews))
+
+(* ------------------------------------------------------------------ *)
+(* Pick after projection: Fig. 8 *)
+
+let test_pick_after_projection () =
+  match Lazy.force projected with
+  | [ tree ] ->
+    let crit = Core.Op_pick.pick_foo () in
+    (match Core.Op_pick.apply query2_pattern ~var:4 crit [ tree ] with
+    | [ picked ] ->
+      (* chapter kept with score 5.0; sections pruned; ps promoted *)
+      check bool_ "chapter survives" true
+        (find_by_tag_score picked "chapter" 5.0 <> None);
+      check bool_ "section 3.6 pruned" true
+        (find_by_tag_score picked "section" 3.6 = None);
+      (* root rescored to best remaining = 5.0 (Fig. 8) *)
+      check (Alcotest.option float_) "root rescored" (Some 5.0)
+        picked.Core.Stree.score;
+      (* the ps under the pruned section survive, attached to chapter *)
+      let chapter =
+        Option.get (find_by_tag_score picked "chapter" 5.0)
+      in
+      let p_children =
+        List.filter
+          (fun (n : Core.Stree.t) -> n.tag = "p")
+          (Core.Stree.child_nodes chapter)
+      in
+      check int_ "ps promoted under chapter" 3 (List.length p_children)
+    | l -> Alcotest.failf "expected one picked tree, got %d" (List.length l))
+  | _ -> Alcotest.fail "expected one projected tree"
+
+(* ------------------------------------------------------------------ *)
+(* Threshold *)
+
+let single_var_pattern =
+  (* matches any scored node: used to threshold on witness roots *)
+  Core.Pattern.make (Core.Pattern.pnode 1 []) []
+
+let test_threshold_min_score () =
+  let results = Core.Op_select.select query2_pattern [ Lazy.force articles_tree ] in
+  let thresholded =
+    Core.Op_threshold.threshold query2_pattern
+      [ { Core.Op_threshold.var = 4; condition = Core.Op_threshold.Min_score 4.0 } ]
+      results
+  in
+  (* witnesses containing a node scoring above 4: the article-level
+     one (5.6) and the chapter-level one (5.0) *)
+  check int_ "two witnesses" 2 (List.length thresholded)
+
+let test_threshold_top_k () =
+  let results = Core.Op_select.select query2_pattern [ Lazy.force articles_tree ] in
+  let top4 =
+    Core.Op_threshold.threshold query2_pattern
+      [ { Core.Op_threshold.var = 4; condition = Core.Op_threshold.Top_rank 4 } ]
+      results
+  in
+  (* witnesses carry the score on the root (Best_of) and on the $4
+     node (deduplicated when both are the same data node), so the
+     best match scores are 5.6, 5.0, 5.0, 3.6, 3.6, ...; the rank-4
+     cut is 3.6 and the article, chapter and section witnesses
+     qualify *)
+  check int_ "three trees kept" 3 (List.length top4)
+
+let test_threshold_empty_condition () =
+  let results = Core.Op_select.select query2_pattern [ Lazy.force articles_tree ] in
+  check int_ "no conditions keeps all" (List.length results)
+    (List.length (Core.Op_threshold.threshold query2_pattern [] results))
+
+let test_top_k_by_score () =
+  let trees =
+    List.map (fun s -> Core.Stree.make ~score:s "t" []) [ 1.; 3.; 2.; 5.; 4. ]
+  in
+  let top = Core.Op_threshold.top_k_by_score 2 trees in
+  check (Alcotest.list float_) "best two" [ 5.; 4. ]
+    (List.map Core.Stree.score top)
+
+(* ------------------------------------------------------------------ *)
+(* Example 3.1: the end-to-end pipeline returns chapter #a10 on top *)
+
+let test_example_3_1 () =
+  let tree = Lazy.force articles_tree in
+  let crit = Core.Op_pick.pick_foo () in
+  let plan =
+    Core.Algebra.(
+      Sort
+        (Select
+           ( single_var_pattern,
+             Pick
+               {
+                 pattern = query2_pattern;
+                 var = 4;
+                 criterion = crit;
+                 input =
+                   Project
+                     {
+                       pattern = query2_pattern;
+                       pl = [ 1; 3; 4 ];
+                       drop_zero = true;
+                       input = Scan [ tree ];
+                     };
+               } )))
+  in
+  ignore plan;
+  (* direct evaluation: project, pick, then rank the surviving scored
+     nodes; the chapter (#a10, score 5.0) must be the top element
+     below the root *)
+  let projected = Core.Op_project.project query2_pattern ~pl:[ 1; 3; 4 ] [ tree ] in
+  let picked = Core.Op_pick.apply query2_pattern ~var:4 crit projected in
+  match picked with
+  | [ result ] ->
+    let scored_below_root =
+      List.filter
+        (fun (n : Core.Stree.t) -> n.score <> None && not (n == result))
+        (Core.Stree.self_or_descendants result)
+    in
+    let best =
+      List.fold_left
+        (fun acc (n : Core.Stree.t) ->
+          match acc with
+          | Some (b : Core.Stree.t) when Core.Stree.score b >= Core.Stree.score n -> acc
+          | Some _ | None -> Some n)
+        None scored_below_root
+    in
+    (match best with
+    | Some b ->
+      check string_ "top element is the chapter" "chapter" b.Core.Stree.tag;
+      check float_ "chapter score 5.0" 5.0 (Core.Stree.score b)
+    | None -> Alcotest.fail "expected scored results")
+  | l -> Alcotest.failf "expected one result tree, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Join: Query 3 (Fig. 4 / Fig. 7) *)
+
+let query3_pattern =
+  let open Core.Pattern in
+  make
+    (pnode ~pred:(Tag "tix_prod_root") 1
+       [
+         pnode ~pred:(Tag "article") 2
+           [
+             pnode ~pred:(Tag "article-title") 3 [];
+             pnode ~axis:Descendant ~pred:(Tag "author") 4
+               [ pnode ~pred:(And (Tag "sname", Content_eq "Doe")) 5 [] ];
+             pnode ~axis:Self_or_descendant 6 [];
+           ];
+         pnode ~pred:(Tag "review") 7 [ pnode ~pred:(Tag "title") 8 [] ];
+       ])
+    [
+      { target = 6; expr = Node_score score_foo };
+      { target = 2; expr = Best_of 6 };
+      {
+        target = 1;
+        expr =
+          Combine
+            {
+              comb_name = "ScoreBar";
+              inputs =
+                [
+                  Similarity
+                    {
+                      left = 3;
+                      right = 8;
+                      sim_name = "ScoreSim";
+                      sim = Core.Scorers.score_sim;
+                    };
+                  Best_of 6;
+                ];
+              eval = Core.Scorers.score_bar;
+            };
+      };
+    ]
+
+let test_product () =
+  let prod = Core.Op_join.product [ Lazy.force articles_tree ] (Lazy.force reviews_trees) in
+  check int_ "2 pairs" 2 (List.length prod);
+  let first = List.hd prod in
+  check string_ "product root" "tix_prod_root" first.Core.Stree.tag;
+  check int_ "two children" 2 (List.length (Core.Stree.child_nodes first))
+
+let test_query3_join () =
+  let results =
+    Core.Op_join.join query3_pattern
+      [ Lazy.force articles_tree ]
+      (Lazy.force reviews_trees)
+  in
+  (* 24 $6-bindings x 2 reviews *)
+  check int_ "48 scored pairs" 48 (List.length results);
+  let scores = List.filter_map (fun (t : Core.Stree.t) -> t.score) results in
+  (* Fig. 7: the pair (p#a18 [0.8], review#r1) scores
+     ScoreSim("Internet Technologies","Internet Technologies") + 0.8
+     = 2 + 0.8 = 2.8 *)
+  check bool_ "2.8 pair exists" true
+    (List.exists (fun s -> abs_float (s -. 2.8) < 1e-6) scores);
+  (* review 2 ("WWW Technologies") shares one word: 1 + 0.8 = 1.8 *)
+  check bool_ "1.8 pair exists" true
+    (List.exists (fun s -> abs_float (s -. 1.8) < 1e-6) scores)
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+
+let test_algebra_run_and_explain () =
+  let plan =
+    Core.Algebra.(
+      Limit
+        ( 2,
+          Sort
+            (Select (query2_pattern, Scan [ Lazy.force articles_tree ])) ))
+  in
+  let out = Core.Algebra.run plan in
+  check int_ "limit applied" 2 (List.length out);
+  check float_ "best first" 5.6 (Core.Stree.score (List.hd out));
+  let text = Core.Algebra.explain plan in
+  check bool_ "explain mentions ops" true
+    (String.length text > 0
+    && String.index_opt text 'L' <> None (* Limit *))
+
+let test_collection_helpers () =
+  let trees =
+    List.map (fun s -> Core.Stree.make ~score:s "t" []) [ 2.; 1.; 3. ]
+  in
+  check (Alcotest.list float_) "scores" [ 2.; 1.; 3. ] (Core.Collection.scores trees);
+  match Core.Collection.best trees with
+  | Some b -> check float_ "best" 3. (Core.Stree.score b)
+  | None -> Alcotest.fail "expected best"
+
+(* scored selection is monotone: adding input trees only adds outputs *)
+let test_select_monotone =
+  QCheck.Test.make ~name:"selection output bounded by embeddings" ~count:50
+    QCheck.(int_range 1 3)
+    (fun n ->
+      let trees = List.init n (fun _ -> Lazy.force articles_tree) in
+      let out = Core.Op_select.select query2_pattern trees in
+      List.length out = n * 24)
+
+
+(* ------------------------------------------------------------------ *)
+(* Grouping (TAX) and the paper's K-threshold encoding *)
+
+let test_group_by () =
+  let t tag s = Core.Stree.make ~score:s tag [] in
+  let trees = [ t "a" 1.; t "b" 2.; t "a" 3.; t "c" 4. ] in
+  let groups =
+    Core.Op_group.group_by ~basis:(fun (n : Core.Stree.t) -> n.tag) trees
+  in
+  check int_ "three groups" 3 (List.length groups);
+  let first = List.hd groups in
+  check string_ "group root tag" Core.Op_group.group_tag first.Core.Stree.tag;
+  check (Alcotest.option string_) "group key" (Some "a")
+    (List.assoc_opt "key" first.Core.Stree.attrs);
+  check int_ "two members" 2 (List.length (Core.Stree.child_nodes first))
+
+let test_group_ordering () =
+  let t s = Core.Stree.make ~score:s "x" [] in
+  let groups =
+    Core.Op_group.group_by ~basis:Core.Op_group.empty_basis
+      ~order:Core.Op_group.by_score_desc
+      [ t 1.; t 5.; t 3. ]
+  in
+  match groups with
+  | [ g ] ->
+    check (Alcotest.list float_) "ordered desc" [ 5.; 3.; 1. ]
+      (List.map Core.Stree.score (Core.Stree.child_nodes g))
+  | _ -> Alcotest.fail "expected a single group"
+
+let test_top_k_via_grouping () =
+  (* the Sec. 3.3.1 claim: K-thresholding is expressible as grouping
+     with an empty basis + score ordering + leftmost-K projection *)
+  let t s = Core.Stree.make ~score:s "x" [] in
+  let trees = List.map t [ 2.; 9.; 4.; 7.; 1. ] in
+  let via_group = Core.Op_group.top_k_via_grouping 3 trees in
+  let via_threshold = Core.Op_threshold.top_k_by_score 3 trees in
+  check (Alcotest.list float_) "same top-3"
+    (List.map Core.Stree.score via_threshold)
+    (List.map Core.Stree.score via_group)
+
+let test_top_k_via_grouping_empty () =
+  check int_ "empty input" 0
+    (List.length (Core.Op_group.top_k_via_grouping 3 []))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "core"
+    [
+      ( "stree",
+        [
+          tc "of element" `Quick test_stree_of_element;
+          tc "all text" `Quick test_stree_all_text;
+          tc "stored ids" `Quick test_stree_ids;
+          tc "roundtrip" `Quick test_stree_roundtrip;
+          tc "score attr" `Quick test_stree_score_attr;
+        ] );
+      ( "pattern",
+        [
+          tc "predicates" `Quick test_pred_holds;
+          tc "IR-node classification" `Quick test_pattern_classification;
+          tc "vars" `Quick test_pattern_vars;
+        ] );
+      ( "matcher",
+        [
+          tc "embeddings" `Quick test_matcher_embeddings;
+          tc "matches of var" `Quick test_matcher_matches_of_var;
+          tc "no match" `Quick test_matcher_no_match;
+          tc "descendant axis" `Quick test_matcher_descendant_axis;
+        ] );
+      ( "selection",
+        [
+          tc "Fig. 5 scores" `Quick test_selection_scores;
+          tc "witness shape" `Quick test_selection_witness_shape;
+          QCheck_alcotest.to_alcotest test_select_monotone;
+        ] );
+      ( "projection",
+        [
+          tc "root score (Fig. 6)" `Quick test_projection_root_score;
+          tc "projected nodes" `Quick test_projection_nodes;
+          tc "non-matching dropped" `Quick test_projection_no_match_drops_tree;
+        ] );
+      ("pick", [ tc "Fig. 8" `Quick test_pick_after_projection ]);
+      ( "threshold",
+        [
+          tc "min score" `Quick test_threshold_min_score;
+          tc "top k" `Quick test_threshold_top_k;
+          tc "empty conditions" `Quick test_threshold_empty_condition;
+          tc "top_k_by_score" `Quick test_top_k_by_score;
+        ] );
+      ("example 3.1", [ tc "chapter #a10 wins" `Quick test_example_3_1 ]);
+      ( "join",
+        [
+          tc "product" `Quick test_product;
+          tc "Query 3 (Fig. 7)" `Quick test_query3_join;
+        ] );
+      ( "grouping",
+        [
+          tc "group_by" `Quick test_group_by;
+          tc "ordering" `Quick test_group_ordering;
+          tc "top-K via grouping (Sec. 3.3.1)" `Quick test_top_k_via_grouping;
+          tc "empty" `Quick test_top_k_via_grouping_empty;
+        ] );
+      ( "plans",
+        [
+          tc "run and explain" `Quick test_algebra_run_and_explain;
+          tc "collection helpers" `Quick test_collection_helpers;
+        ] );
+    ]

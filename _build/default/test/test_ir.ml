@@ -1,0 +1,449 @@
+(* Tests for the IR substrate: tokenizer, stemmer, codec, postings,
+   inverted index, phrase matching, tf-idf and similarity. *)
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+let bool_ = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer *)
+
+let test_tokenizer_basic () =
+  let toks = Ir.Tokenizer.tokens "Hello, World! 42x" in
+  check
+    (Alcotest.list (Alcotest.pair string_ int_))
+    "tokens"
+    [ ("hello", 0); ("world", 1); ("42x", 2) ]
+    (List.map (fun (t : Ir.Token.t) -> (t.term, t.pos)) toks)
+
+let test_tokenizer_start_pos () =
+  let toks = Ir.Tokenizer.tokens ~start_pos:10 "a b" in
+  check (Alcotest.list int_) "positions" [ 10; 11 ]
+    (List.map (fun (t : Ir.Token.t) -> t.pos) toks)
+
+let test_tokenizer_empty () =
+  check int_ "no tokens" 0 (List.length (Ir.Tokenizer.tokens "  ,.;  "));
+  check int_ "count" 0 (Ir.Tokenizer.count " .. ")
+
+let test_tokenizer_count_matches =
+  QCheck.Test.make ~name:"count = length tokens" ~count:500
+    QCheck.printable_string (fun s ->
+      Ir.Tokenizer.count s = List.length (Ir.Tokenizer.tokens s))
+
+(* ------------------------------------------------------------------ *)
+(* Stemmer: classic Porter test vectors *)
+
+let porter_vectors =
+  [
+    ("caresses", "caress"); ("ponies", "poni"); ("ties", "ti");
+    ("caress", "caress"); ("cats", "cat"); ("feed", "feed");
+    ("agreed", "agre"); ("plastered", "plaster"); ("bled", "bled");
+    ("motoring", "motor"); ("sing", "sing"); ("conflated", "conflat");
+    ("troubled", "troubl"); ("sized", "size"); ("hopping", "hop");
+    ("tanned", "tan"); ("falling", "fall"); ("hissing", "hiss");
+    ("fizzed", "fizz"); ("failing", "fail"); ("filing", "file");
+    ("happy", "happi"); ("sky", "sky"); ("relational", "relat");
+    ("conditional", "condit"); ("rational", "ration");
+    ("valenci", "valenc"); ("hesitanci", "hesit"); ("digitizer", "digit");
+    ("radicalli", "radic");
+    ("differentli", "differ"); ("vileli", "vile"); ("analogousli", "analog");
+    ("vietnamization", "vietnam"); ("predication", "predic");
+    ("operator", "oper"); ("feudalism", "feudal");
+    ("decisiveness", "decis"); ("hopefulness", "hope");
+    ("callousness", "callous"); ("formaliti", "formal");
+    ("sensitiviti", "sensit"); ("sensibiliti", "sensibl");
+    ("triplicate", "triplic"); ("formative", "form");
+    ("formalize", "formal"); ("electriciti", "electr");
+    ("electrical", "electr"); ("hopeful", "hope"); ("goodness", "good");
+    ("allowance", "allow"); ("inference", "infer");
+    ("airliner", "airlin"); ("gyroscopic", "gyroscop");
+    ("adjustable", "adjust"); ("defensible", "defens");
+    ("irritant", "irrit"); ("replacement", "replac");
+    ("adjustment", "adjust"); ("dependent", "depend");
+    ("adoption", "adopt");
+    ("communism", "commun"); ("activate", "activ");
+    ("angulariti", "angular"); ("homologous", "homolog");
+    ("effective", "effect"); ("bowdlerize", "bowdler");
+    ("probate", "probat"); ("rate", "rate"); ("cease", "ceas");
+    ("controll", "control"); ("roll", "roll");
+    ("engines", "engin"); ("engine", "engin");
+  ]
+
+let test_stemmer_vectors () =
+  List.iter
+    (fun (w, expected) ->
+      check string_ (Printf.sprintf "stem %s" w) expected (Ir.Stemmer.stem w))
+    porter_vectors
+
+let test_stemmer_short () =
+  check string_ "1-char" "a" (Ir.Stemmer.stem "a");
+  check string_ "2-char" "is" (Ir.Stemmer.stem "is")
+
+let test_stemmer_total =
+  QCheck.Test.make ~name:"stemmer total on ascii words" ~count:500
+    QCheck.(
+      string_gen_of_size
+        (QCheck.Gen.int_range 1 12)
+        (QCheck.Gen.char_range 'a' 'z'))
+    (fun w ->
+      let s = Ir.Stemmer.stem w in
+      String.length s > 0 && String.length s <= String.length w)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let test_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:1000
+    QCheck.(int_bound max_int)
+    (fun v ->
+      let buf = Buffer.create 10 in
+      Ir.Codec.add_varint buf v;
+      let v', off = Ir.Codec.read_varint (Buffer.to_bytes buf) 0 in
+      v = v' && off = Buffer.length buf && off = Ir.Codec.varint_size v)
+
+let test_zigzag_roundtrip =
+  QCheck.Test.make ~name:"zigzag roundtrip" ~count:1000 QCheck.int (fun v ->
+      (* keep within range so the doubled encoding fits in an int *)
+      let v = v asr 2 in
+      let buf = Buffer.create 10 in
+      Ir.Codec.add_zigzag buf v;
+      let v', _ = Ir.Codec.read_zigzag (Buffer.to_bytes buf) 0 in
+      v = v')
+
+let test_varint_sequence () =
+  let buf = Buffer.create 64 in
+  let values = [ 0; 1; 127; 128; 300; 1 lsl 20; (1 lsl 40) + 7 ] in
+  List.iter (Ir.Codec.add_varint buf) values;
+  let bytes = Buffer.to_bytes buf in
+  let rec read off acc =
+    if off >= Bytes.length bytes then List.rev acc
+    else begin
+      let v, off = Ir.Codec.read_varint bytes off in
+      read off (v :: acc)
+    end
+  in
+  check (Alcotest.list int_) "sequence" values (read 0 [])
+
+(* ------------------------------------------------------------------ *)
+(* Postings *)
+
+let occ doc node pos = { Ir.Postings.doc; node; pos }
+
+let test_postings_roundtrip () =
+  let occs =
+    [ occ 0 1 2; occ 0 1 5; occ 0 3 7; occ 1 0 1; occ 1 9 4; occ 3 2 0 ]
+  in
+  let p = Ir.Postings.of_list occs in
+  check int_ "length" 6 (Ir.Postings.length p);
+  check bool_ "roundtrip" true (Ir.Postings.to_list p = occs)
+
+let test_postings_order_check () =
+  let b = Ir.Postings.builder () in
+  Ir.Postings.add b (occ 0 1 5);
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Postings.add: occurrences out of order") (fun () ->
+      Ir.Postings.add b (occ 0 1 3))
+
+let test_postings_cursor_reset () =
+  let p = Ir.Postings.of_list [ occ 0 1 2; occ 0 1 5 ] in
+  let c = Ir.Postings.cursor p in
+  let _ = Ir.Postings.next c in
+  Ir.Postings.reset c;
+  match Ir.Postings.next c with
+  | Some o -> check int_ "first again" 2 o.Ir.Postings.pos
+  | None -> Alcotest.fail "expected an occurrence"
+
+let gen_occs =
+  let open QCheck.Gen in
+  list_size (0 -- 50) (triple (int_bound 5) (int_bound 100) (int_bound 1000))
+  |> map (fun triples ->
+         let sorted =
+           List.sort_uniq
+             (fun (d, _, p) (d', _, p') -> compare (d, p) (d', p'))
+             triples
+         in
+         List.map (fun (doc, node, pos) -> occ doc node pos) sorted)
+
+let test_postings_property =
+  QCheck.Test.make ~name:"postings roundtrip (random)" ~count:300
+    (QCheck.make gen_occs) (fun occs ->
+      Ir.Postings.to_list (Ir.Postings.of_list occs) = occs)
+
+(* ------------------------------------------------------------------ *)
+(* Inverted index *)
+
+let build_index docs =
+  let b = Ir.Inverted_index.builder () in
+  List.iteri
+    (fun doc text ->
+      ignore (Ir.Inverted_index.index_text b ~doc ~node:0 ~start_pos:0 text))
+    docs;
+  Ir.Inverted_index.freeze b
+
+let test_index_basic () =
+  let idx = build_index [ "the cat sat"; "the dog and the cat" ] in
+  check int_ "cf(the)" 3 (Ir.Inverted_index.collection_freq idx "the");
+  check int_ "df(the)" 2 (Ir.Inverted_index.doc_freq idx "the");
+  check int_ "cf(cat)" 2 (Ir.Inverted_index.collection_freq idx "cat");
+  check int_ "cf(missing)" 0 (Ir.Inverted_index.collection_freq idx "zebra");
+  check int_ "documents" 2 (Ir.Inverted_index.document_count idx)
+
+let test_index_positions () =
+  let idx = build_index [ "a b c b" ] in
+  match Ir.Inverted_index.lookup idx "b" with
+  | Some p ->
+    check (Alcotest.list int_) "positions" [ 1; 3 ]
+      (List.map (fun (o : Ir.Postings.occ) -> o.pos) (Ir.Postings.to_list p))
+  | None -> Alcotest.fail "expected postings for b"
+
+let test_index_case_insensitive () =
+  let idx = build_index [ "Hello HELLO hello" ] in
+  check int_ "case folded" 3 (Ir.Inverted_index.collection_freq idx "HeLLo")
+
+let test_index_stemmed () =
+  let b = Ir.Inverted_index.builder ~stem:true () in
+  ignore
+    (Ir.Inverted_index.index_text b ~doc:0 ~node:0 ~start_pos:0
+       "engines engine engined");
+  let idx = Ir.Inverted_index.freeze b in
+  check int_ "stems conflated" 3 (Ir.Inverted_index.collection_freq idx "engine")
+
+let test_index_terms_by_freq () =
+  let idx = build_index [ "x x x y y z" ] in
+  match Ir.Inverted_index.terms_by_freq idx with
+  | (t1, f1) :: (t2, f2) :: _ ->
+    check string_ "most frequent" "x" t1;
+    check int_ "freq" 3 f1;
+    check string_ "second" "y" t2;
+    check int_ "freq2" 2 f2
+  | _ -> Alcotest.fail "expected at least two terms"
+
+let test_index_freq_matches_naive =
+  QCheck.Test.make ~name:"collection_freq matches naive count" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 5) printable_string)
+    (fun docs ->
+      let idx = build_index docs in
+      let all_terms = List.concat_map Ir.Tokenizer.terms docs in
+      List.for_all
+        (fun t ->
+          Ir.Inverted_index.collection_freq idx t
+          = List.length (List.filter (String.equal t) all_terms))
+        all_terms)
+
+(* ------------------------------------------------------------------ *)
+(* Phrase *)
+
+let test_phrase_count () =
+  let terms = Ir.Phrase.parse "search engine" in
+  check int_ "simple" 1 (Ir.Phrase.count ~terms "a search engine here");
+  check int_ "stemmed plural" 1 (Ir.Phrase.count ~terms "many search engines");
+  check int_ "two occurrences" 2
+    (Ir.Phrase.count ~terms "search engine and search engine");
+  check int_ "interrupted" 0 (Ir.Phrase.count ~terms "search the engine");
+  check int_ "unstemmed plural" 0
+    (Ir.Phrase.count ~stem:false ~terms "search engines")
+
+let test_phrase_overlap () =
+  check int_ "overlapping" 2
+    (Ir.Phrase.count ~stem:false ~terms:[ "a"; "a" ] "a a a");
+  check int_ "self-overlap pattern" 1
+    (Ir.Phrase.count ~stem:false ~terms:[ "a"; "a"; "b" ] "a a a b")
+
+let test_phrase_empty () =
+  check int_ "empty phrase" 0 (Ir.Phrase.count ~terms:[] "anything");
+  check int_ "empty text" 0 (Ir.Phrase.count ~terms:[ "x" ] "")
+
+let test_phrase_single_term =
+  QCheck.Test.make ~name:"single-term phrase = term count" ~count:200
+    QCheck.printable_string (fun s ->
+      let terms = Ir.Tokenizer.terms s in
+      match terms with
+      | [] -> true
+      | t :: _ ->
+        Ir.Phrase.count ~stem:false ~terms:[ t ] s
+        = List.length (List.filter (String.equal t) terms))
+
+(* ------------------------------------------------------------------ *)
+(* Tfidf & Similarity *)
+
+let test_tfidf_monotonic () =
+  let w c = Ir.Tfidf.weight ~doc_count:1000 ~doc_freq:10 ~count:c in
+  check bool_ "zero count" true (w 0 = 0.);
+  check bool_ "monotone in count" true (w 2 > w 1);
+  let idf_rare = Ir.Tfidf.idf ~doc_count:1000 ~doc_freq:1 in
+  let idf_common = Ir.Tfidf.idf ~doc_count:1000 ~doc_freq:900 in
+  check bool_ "rare terms weigh more" true (idf_rare > idf_common)
+
+let test_tfidf_normalized () =
+  let big =
+    Ir.Tfidf.normalized_weight ~doc_count:100 ~doc_freq:5 ~count:2
+      ~element_size:10000
+  in
+  let small =
+    Ir.Tfidf.normalized_weight ~doc_count:100 ~doc_freq:5 ~count:2
+      ~element_size:10
+  in
+  check bool_ "small elements score higher" true (small > big)
+
+let test_count_same () =
+  check int_ "shared terms" 2
+    (Ir.Similarity.count_same "internet technologies rock"
+       "internet and web technologies");
+  check int_ "no overlap" 0 (Ir.Similarity.count_same "abc def" "ghi jkl")
+
+let test_cosine () =
+  check (Alcotest.float 1e-9) "identical" 1. (Ir.Similarity.cosine "a b c" "c b a");
+  check (Alcotest.float 1e-9) "disjoint" 0. (Ir.Similarity.cosine "a b" "c d");
+  let partial = Ir.Similarity.cosine "a b" "a c" in
+  check bool_ "partial in (0,1)" true (partial > 0. && partial < 1.)
+
+let test_jaccard () =
+  check (Alcotest.float 1e-9) "identical" 1. (Ir.Similarity.jaccard "a b" "b a");
+  check (Alcotest.float 1e-9) "empty" 0. (Ir.Similarity.jaccard "" "");
+  check (Alcotest.float 1e-9) "third" (1. /. 3.) (Ir.Similarity.jaccard "a b" "a c")
+
+let test_cosine_bounds =
+  QCheck.Test.make ~name:"cosine within [0,1]" ~count:300
+    QCheck.(pair printable_string printable_string)
+    (fun (a, b) ->
+      let c = Ir.Similarity.cosine a b in
+      c >= 0. && c <= 1.0000001)
+
+let test_stopwords () =
+  check bool_ "the" true (Ir.Stopwords.is_stopword "the");
+  check bool_ "internet" false (Ir.Stopwords.is_stopword "internet");
+  check bool_ "list non-empty" true (List.length Ir.Stopwords.all > 50)
+
+
+let test_bm25_properties () =
+  let score c =
+    Ir.Bm25.score ~doc_count:1000 ~doc_freq:10 ~count:c ~element_size:100
+      ~avg_size:100. ()
+  in
+  check bool_ "zero count" true (score 0 = 0.);
+  check bool_ "monotone" true (score 2 > score 1);
+  (* saturation: the marginal gain of extra occurrences shrinks *)
+  check bool_ "saturating" true (score 2 -. score 1 > score 10 -. score 9);
+  (* length normalization: same counts in a longer element score less *)
+  let long =
+    Ir.Bm25.score ~doc_count:1000 ~doc_freq:10 ~count:2 ~element_size:1000
+      ~avg_size:100. ()
+  in
+  check bool_ "length-normalized" true (score 2 > long);
+  (* idf: rarer terms weigh more *)
+  check bool_ "idf decreasing" true
+    (Ir.Bm25.idf ~doc_count:1000 ~doc_freq:1
+    > Ir.Bm25.idf ~doc_count:1000 ~doc_freq:500)
+
+let test_bm25_nonnegative =
+  QCheck.Test.make ~name:"bm25 non-negative" ~count:300
+    QCheck.(quad (int_range 1 10000) (int_range 0 10000) (int_range 0 50) (int_range 1 500))
+    (fun (n, df, c, size) ->
+      let df = min df n in
+      Ir.Bm25.score ~doc_count:n ~doc_freq:df ~count:c ~element_size:size
+        ~avg_size:80. ()
+      >= 0.)
+
+
+let test_index_save_load () =
+  let idx = build_index [ "alpha beta beta"; "beta gamma" ] in
+  let buf = Buffer.create 256 in
+  Ir.Inverted_index.save idx buf;
+  let loaded, off = Ir.Inverted_index.load (Buffer.to_bytes buf) 0 in
+  check int_ "consumed all" (Buffer.length buf) off;
+  List.iter
+    (fun term ->
+      check int_
+        (Printf.sprintf "cf(%s)" term)
+        (Ir.Inverted_index.collection_freq idx term)
+        (Ir.Inverted_index.collection_freq loaded term);
+      check int_
+        (Printf.sprintf "df(%s)" term)
+        (Ir.Inverted_index.doc_freq idx term)
+        (Ir.Inverted_index.doc_freq loaded term))
+    [ "alpha"; "beta"; "gamma"; "missing" ];
+  (* postings identical *)
+  let dump i term =
+    match Ir.Inverted_index.lookup i term with
+    | Some p -> Ir.Postings.to_list p
+    | None -> []
+  in
+  check bool_ "postings equal" true (dump idx "beta" = dump loaded "beta")
+
+let test_index_save_load_property =
+  QCheck.Test.make ~name:"index save/load roundtrip (random)" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 4) printable_string)
+    (fun docs ->
+      let idx = build_index docs in
+      let buf = Buffer.create 256 in
+      Ir.Inverted_index.save idx buf;
+      let loaded, _ = Ir.Inverted_index.load (Buffer.to_bytes buf) 0 in
+      let terms = List.concat_map Ir.Tokenizer.terms docs in
+      List.for_all
+        (fun t ->
+          Ir.Inverted_index.collection_freq idx t
+          = Ir.Inverted_index.collection_freq loaded t)
+        terms)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "ir"
+    [
+      ( "tokenizer",
+        [
+          tc "basic" `Quick test_tokenizer_basic;
+          tc "start pos" `Quick test_tokenizer_start_pos;
+          tc "empty" `Quick test_tokenizer_empty;
+          QCheck_alcotest.to_alcotest test_tokenizer_count_matches;
+        ] );
+      ( "stemmer",
+        [
+          tc "porter vectors" `Quick test_stemmer_vectors;
+          tc "short words" `Quick test_stemmer_short;
+          QCheck_alcotest.to_alcotest test_stemmer_total;
+        ] );
+      ( "codec",
+        [
+          tc "sequence" `Quick test_varint_sequence;
+          QCheck_alcotest.to_alcotest test_varint_roundtrip;
+          QCheck_alcotest.to_alcotest test_zigzag_roundtrip;
+        ] );
+      ( "postings",
+        [
+          tc "roundtrip" `Quick test_postings_roundtrip;
+          tc "order check" `Quick test_postings_order_check;
+          tc "cursor reset" `Quick test_postings_cursor_reset;
+          QCheck_alcotest.to_alcotest test_postings_property;
+        ] );
+      ( "inverted index",
+        [
+          tc "basic" `Quick test_index_basic;
+          tc "positions" `Quick test_index_positions;
+          tc "case insensitive" `Quick test_index_case_insensitive;
+          tc "stemmed" `Quick test_index_stemmed;
+          tc "terms by freq" `Quick test_index_terms_by_freq;
+          QCheck_alcotest.to_alcotest test_index_freq_matches_naive;
+          tc "save/load" `Quick test_index_save_load;
+          QCheck_alcotest.to_alcotest test_index_save_load_property;
+        ] );
+      ( "phrase",
+        [
+          tc "count" `Quick test_phrase_count;
+          tc "overlap" `Quick test_phrase_overlap;
+          tc "empty" `Quick test_phrase_empty;
+          QCheck_alcotest.to_alcotest test_phrase_single_term;
+        ] );
+      ( "scoring",
+        [
+          tc "tfidf monotonic" `Quick test_tfidf_monotonic;
+          tc "bm25 properties" `Quick test_bm25_properties;
+          QCheck_alcotest.to_alcotest test_bm25_nonnegative;
+          tc "tfidf normalized" `Quick test_tfidf_normalized;
+          tc "count_same" `Quick test_count_same;
+          tc "cosine" `Quick test_cosine;
+          tc "jaccard" `Quick test_jaccard;
+          tc "stopwords" `Quick test_stopwords;
+          QCheck_alcotest.to_alcotest test_cosine_bounds;
+        ] );
+    ]

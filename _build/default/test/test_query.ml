@@ -1,0 +1,772 @@
+(* Tests for the extended-XQuery front end: lexer, parser and the
+   pipelined evaluator, replaying the paper's Fig. 10 queries against
+   the Figure 1 database. *)
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let db = lazy (Store.Db.of_documents Workload.Paper_db.documents)
+let evaluator () = Query.Eval.create (Lazy.force db)
+
+let run_ok src =
+  match Query.Eval.run_string (evaluator ()) src with
+  | Ok results -> results
+  | Error msg -> Alcotest.failf "query failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Query.Lexer.tokenize "for $a in document(\"x\")//p") in
+  check int_ "token count (incl. eof)" 10 (List.length toks);
+  (match toks with
+  | Query.Lexer.IDENT "for" :: Query.Lexer.VAR "a" :: Query.Lexer.IDENT "in" :: _
+    ->
+    ()
+  | _ -> Alcotest.fail "unexpected prefix");
+  ()
+
+let test_lexer_operators () =
+  let toks = List.map fst (Query.Lexer.tokenize ":= != <= >= < > = //") in
+  check int_ "ops" 9 (List.length toks)
+
+let test_lexer_dos () =
+  match List.map fst (Query.Lexer.tokenize "descendant-or-self::*") with
+  | [ Query.Lexer.DOS; Query.Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "expected DOS token"
+
+let test_lexer_error () =
+  match Query.Lexer.tokenize "for $a in #" with
+  | exception Query.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected a lexer error"
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let parse_ok src =
+  match Query.Parser.parse src with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse error: %a" Query.Parser.pp_error e
+
+let test_parse_query1 () =
+  let q =
+    parse_ok
+      {|
+      for $a in document("articles.xml")//article/descendant-or-self::*
+      score $a using ScoreFoo($a, {"search engine"},
+                              {"internet", "information retrieval"})
+      pick $a using PickFoo()
+      return <result><score>{$a/@score}</score>{$a}</result>
+      sortby(score)
+      threshold $a/@score > 4 stop after 5
+      |}
+  in
+  check int_ "three clauses" 3 (List.length q.Query.Ast.clauses);
+  check (Alcotest.option string_) "sortby" (Some "score") q.Query.Ast.sortby;
+  (match q.Query.Ast.thresh with
+  | Some th ->
+    check (Alcotest.float 1e-9) "threshold value" 4. th.Query.Ast.t_value;
+    check (Alcotest.option int_) "stop after" (Some 5) th.Query.Ast.stop_after
+  | None -> Alcotest.fail "expected threshold")
+
+let test_parse_predicate () =
+  let q =
+    parse_ok
+      {|
+      for $a in document("articles.xml")//article[author/sname = "Doe"]
+      return <r>{$a}</r>
+      |}
+  in
+  match q.Query.Ast.clauses with
+  | [ Query.Ast.For (_, Query.Ast.Path (_, steps)) ] ->
+    let step = List.nth steps 0 in
+    check int_ "one predicate" 1 (List.length step.Query.Ast.predicates)
+  | _ -> Alcotest.fail "expected one for clause with a path"
+
+let test_parse_let_and_where () =
+  let q =
+    parse_ok
+      {|
+      for $a in document("a")//x
+      let $s := ScoreSim($a/text(), "hello world")
+      where $s > 1
+      return <r>{$s}</r>
+      |}
+  in
+  check int_ "clauses" 3 (List.length q.Query.Ast.clauses)
+
+let test_parse_errors () =
+  let fails src =
+    match Query.Parser.parse src with
+    | Ok _ -> Alcotest.failf "expected parse failure: %s" src
+    | Error _ -> ()
+  in
+  fails "";
+  fails "for $a in";
+  fails "for $a in document(\"x\")//p";
+  (* missing return *)
+  fails "for $a in document(\"x\")//p return <r>{$a}</s>";
+  (* mismatched tags *)
+  fails "return <r></r>"
+
+let test_parse_roundtrip_pp () =
+  let q =
+    parse_ok
+      {|
+      for $a in document("articles.xml")//article
+      score $a using ScoreFoo($a, {"x"}, {"y"})
+      return <r>{$a/@score}</r>
+      sortby(score)
+      |}
+  in
+  let printed = Format.asprintf "%a" Query.Ast.pp q in
+  check bool_ "prints something" true (String.length printed > 40)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation: Query 1 *)
+
+let query1 =
+  {|
+  for $a in document("articles.xml")//article/descendant-or-self::*
+  score $a using ScoreFoo($a, {"search engine"},
+                          {"internet", "information retrieval"})
+  return <result><score>{$a/@score}</score>{$a}</result>
+  sortby(score)
+  threshold $a/@score > 0 stop after 5
+  |}
+
+let score_of (e : Xmlkit.Tree.element) =
+  match Xmlkit.Traverse.find_first "score" e with
+  | Some s -> float_of_string (String.trim (Xmlkit.Tree.all_text s))
+  | None -> Alcotest.fail "result without a score"
+
+let test_query1 () =
+  let results = run_ok query1 in
+  check int_ "five results" 5 (List.length results);
+  let scores = List.map score_of results in
+  (* ranked: 5.6 (article), 5.0 (chapter), 3.6 (section), 1.4, 1.4 *)
+  check (Alcotest.list (Alcotest.float 1e-6)) "ranked scores"
+    [ 5.6; 5.0; 3.6; 1.4; 1.4 ] scores
+
+let test_query1_threshold_v () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//article/descendant-or-self::*
+      score $a using ScoreFoo($a, {"search engine"},
+                              {"internet", "information retrieval"})
+      return <result><score>{$a/@score}</score>{$a}</result>
+      sortby(score)
+      threshold $a/@score > 4
+      |}
+  in
+  check int_ "two results above 4" 2 (List.length results)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation: Query 2 (structural predicate) *)
+
+let query2 =
+  {|
+  for $a in document("articles.xml")//article[author/sname = "Doe"]/descendant-or-self::*
+  score $a using ScoreFoo($a, {"search engine"},
+                          {"internet", "information retrieval"})
+  pick $a using PickFoo()
+  return <result><score>{$a/@score}</score>{$a}</result>
+  sortby(score)
+  threshold $a/@score > 0 stop after 5
+  |}
+
+let test_query2 () =
+  let results = run_ok query2 in
+  (* after Pick, the chapter (5.0) leads; redundant ancestors/
+     descendants are eliminated *)
+  check bool_ "some results" true (results <> []);
+  let first = List.hd results in
+  check (Alcotest.float 1e-6) "top score is the chapter" 5.0 (score_of first);
+  (* the picked chapter element is embedded in the result *)
+  check bool_ "chapter embedded" true
+    (Xmlkit.Traverse.find_first "chapter" first <> None)
+
+let test_query2_no_doe () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//article[author/sname = "Smith"]/descendant-or-self::*
+      score $a using ScoreFoo($a, {"search engine"}, {})
+      return <r>{$a}</r>
+      |}
+  in
+  check int_ "no matching article" 0 (List.length results)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation: Query 3 (similarity join) *)
+
+let query3 =
+  {|
+  for $a in document("articles.xml")//article[author/sname = "Doe"]
+  for $b in document("review-*.xml")//review
+  let $sim := ScoreSim($a/article-title/text(), $b/title/text())
+  where $sim > 1
+  for $d in $a/descendant-or-self::*
+  score $d using ScoreFoo($d, {"search engine"},
+                          {"internet", "information retrieval"})
+  pick $d using PickFoo()
+  let $total := ScoreBar(decimal($sim), $d/@score)
+  return <hit><score>{$total}</score>{$d}{$b}</hit>
+  sortby(score)
+  threshold $d/@score > 0 stop after 3
+  |}
+
+let test_query3 () =
+  let results = run_ok query3 in
+  check int_ "three hits" 3 (List.length results);
+  let first = List.hd results in
+  (* chapter score 5.0 + similarity 2 ("Internet Technologies") *)
+  check (Alcotest.float 1e-6) "top combined score" 7.0 (score_of first);
+  check bool_ "review embedded" true
+    (Xmlkit.Traverse.find_first "review" first <> None)
+
+let test_query3_where_filters () =
+  (* review 2 ("WWW Technologies") has similarity 1, filtered by
+     where $sim > 1 *)
+  let results = run_ok query3 in
+  List.iter
+    (fun r ->
+      match Xmlkit.Traverse.find_first "review" r with
+      | Some review ->
+        check (Alcotest.option string_) "only review 1" (Some "1")
+          (Xmlkit.Tree.attr review "id")
+      | None -> Alcotest.fail "expected a review")
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation details *)
+
+let test_attribute_access () =
+  let results =
+    run_ok
+      {|
+      for $r in document("review-*.xml")//review[@id = "2"]
+      return <out>{$r/title/text()}</out>
+      |}
+  in
+  check int_ "one review" 1 (List.length results);
+  check string_ "title text" "WWW Technologies"
+    (Xmlkit.Tree.all_text (List.hd results))
+
+let test_rating_comparison () =
+  let results =
+    run_ok
+      {|
+      for $r in document("review-*.xml")//review
+      where $r/rating > 4
+      return <out>{$r/@id}</out>
+      |}
+  in
+  check int_ "one high rating" 1 (List.length results);
+  check string_ "review 1" "1" (Xmlkit.Tree.all_text (List.hd results))
+
+let test_bm25_scoring () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//p
+      score $a using bm25($a, {"search"})
+      return <r><score>{$a/@score}</score></r>
+      sortby(score)
+      |}
+  in
+  check int_ "all paragraphs" 7 (List.length results);
+  check bool_ "top paragraph scored" true (score_of (List.hd results) > 0.);
+  check bool_ "non-matching scored zero" true
+    (score_of (List.nth results 6) = 0.)
+
+let test_tfidf_scoring () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//p
+      score $a using tfidf($a, {"search"})
+      return <r><score>{$a/@score}</score></r>
+      sortby(score)
+      |}
+  in
+  check int_ "all paragraphs" 7 (List.length results);
+  check bool_ "top paragraph scored" true (score_of (List.hd results) > 0.)
+
+let test_unknown_function () =
+  match Query.Eval.run_string (evaluator ()) "for $a in document(\"articles.xml\")//p score $a using Nope($a) return <r>{$a}</r>" with
+  | Error msg -> check bool_ "mentions function" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_unbound_variable () =
+  match Query.Eval.run_string (evaluator ()) "for $a in document(\"articles.xml\")//p return <r>{$b}</r>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_custom_function () =
+  let ev = evaluator () in
+  Query.Functions.register_scoring (Query.Eval.functions ev) "Constant"
+    (fun _ _ -> 2.5);
+  match
+    Query.Eval.run_string ev
+      {|
+      for $a in document("articles.xml")//chapter
+      score $a using Constant($a)
+      return <r><score>{$a/@score}</score></r>
+      |}
+  with
+  | Ok results ->
+    check int_ "three chapters" 3 (List.length results);
+    List.iter (fun r -> check (Alcotest.float 1e-9) "score" 2.5 (score_of r)) results
+  | Error msg -> Alcotest.failf "query failed: %s" msg
+
+let test_document_glob () =
+  let results =
+    run_ok {|
+      for $r in document("review-*.xml")//review
+      return <r>{$r/@id}</r>
+      |}
+  in
+  check int_ "both reviews" 2 (List.length results)
+
+
+let test_and_or () =
+  let results =
+    run_ok
+      {|
+      for $p in document("articles.xml")//p
+      where count({"search engine"}, $p) > 0
+        and count({"information retrieval"}, $p) > 0
+      return <hit>{$p}</hit>
+      |}
+  in
+  (* only #a19 and #a20 contain both *)
+  check int_ "and" 2 (List.length results);
+  let results =
+    run_ok
+      {|
+      for $p in document("articles.xml")//p
+      where count({"search engine"}, $p) > 0
+        or count({"information retrieval"}, $p) > 0
+      return <hit>{$p}</hit>
+      |}
+  in
+  check int_ "or" 3 (List.length results)
+
+let test_count_phrase_set () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//article
+      let $n := count({"search engine", "information retrieval"}, $a)
+      return <n>{$n}</n>
+      |}
+  in
+  (* 4 "search engine(s)" + 3 "information retrieval" *)
+  check string_ "summed phrase counts" "7"
+    (String.trim (Xmlkit.Tree.all_text (List.hd results)))
+
+let test_or_precedence () =
+  (* and binds tighter than or: false and false or true = true *)
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//article
+      where 0 > 1 and 0 > 1 or 1 > 0
+      return <r>yes</r>
+      |}
+  in
+  check int_ "kept" 1 (List.length results)
+
+
+(* ------------------------------------------------------------------ *)
+(* Compilation to the engine path *)
+
+let compiled_scores db src =
+  match Query.Compile.run_string db src with
+  | Ok nodes -> List.map (fun (n : Access.Scored_node.t) -> n.score) nodes
+  | Error msg -> Alcotest.failf "compile failed: %s" msg
+
+let interpreted_scores src =
+  List.map score_of (run_ok src)
+
+let close_lists a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> abs_float (x -. y) < 1e-6) a b
+
+let test_compile_query1_equivalence () =
+  let src =
+    {|
+    for $a in document("articles.xml")//article/descendant-or-self::*
+    score $a using ScoreFoo($a, {"search"}, {"internet", "retrieval"})
+    return <r><score>{$a/@score}</score>{$a}</r>
+    sortby(score)
+    threshold $a/@score > 0 stop after 5
+    |}
+  in
+  let db = Lazy.force db in
+  check bool_ "compiled = interpreted" true
+    (close_lists (compiled_scores db src) (interpreted_scores src))
+
+let test_compile_query2_equivalence () =
+  let src =
+    {|
+    for $a in document("articles.xml")//article[author/sname = "Doe"]/descendant-or-self::*
+    score $a using ScoreFoo($a, {"search"}, {"internet", "retrieval"})
+    pick $a using PickFoo()
+    return <r><score>{$a/@score}</score>{$a}</r>
+    sortby(score)
+    threshold $a/@score > 0 stop after 5
+    |}
+  in
+  let db = Lazy.force db in
+  check bool_ "compiled = interpreted with pick" true
+    (close_lists (compiled_scores db src) (interpreted_scores src))
+
+let test_compile_works_without_trees () =
+  (* the compiled path never touches retained trees *)
+  let options = { Store.Db.default_options with keep_trees = false } in
+  let db = Store.Db.of_documents ~options Workload.Paper_db.documents in
+  let src =
+    {|
+    for $a in document("articles.xml")//article/descendant-or-self::*
+    score $a using ScoreFoo($a, {"search"}, {})
+    return <r>{$a}</r>
+    sortby(score)
+    threshold $a/@score > 0
+    |}
+  in
+  match Query.Compile.run_string db src with
+  | Ok nodes -> check bool_ "results" true (nodes <> [])
+  | Error msg -> Alcotest.failf "compile failed: %s" msg
+
+let test_compile_anchor_only () =
+  (* no descendant-or-self step: the anchor itself is scored *)
+  let src =
+    {|
+    for $a in document("articles.xml")//chapter
+    score $a using ScoreFoo($a, {"search"}, {})
+    return <r><score>{$a/@score}</score></r>
+    sortby(score)
+    threshold $a/@score > 0
+    |}
+  in
+  let db = Lazy.force db in
+  check bool_ "anchor-only equivalence" true
+    (close_lists (compiled_scores db src) (interpreted_scores src))
+
+let test_compile_rejects () =
+  let rejects src =
+    match Query.Parser.parse src with
+    | Error _ -> Alcotest.fail "expected the query to parse"
+    | Ok q -> begin
+      match Query.Compile.compile q with
+      | Ok _ -> Alcotest.failf "expected compile rejection: %s" src
+      | Error _ -> ()
+    end
+  in
+  (* multi-word phrase *)
+  rejects
+    {|
+    for $a in document("d")//p
+    score $a using ScoreFoo($a, {"search engine"}, {})
+    return <r>{$a}</r>
+    |};
+  (* join shape *)
+  rejects
+    {|
+    for $a in document("d")//p
+    for $b in document("e")//q
+    score $a using ScoreFoo($a, {"x"}, {})
+    return <r>{$a}</r>
+    |};
+  (* unsupported scorer *)
+  rejects
+    {|
+    for $a in document("d")//p
+    score $a using bm25($a, {"x"})
+    return <r>{$a}</r>
+    |}
+
+let test_compile_explain () =
+  let src =
+    {|
+    for $a in document("articles.xml")//article[author/sname = "Doe"]/descendant-or-self::*
+    score $a using ScoreFoo($a, {"search"}, {"internet"})
+    pick $a using PickFoo()
+    return <r>{$a}</r>
+    sortby(score)
+    threshold $a/@score > 1 stop after 3
+    |}
+  in
+  match Query.Parser.parse src with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok q -> begin
+    match Query.Compile.compile q with
+    | Ok plan ->
+      let text = Query.Compile.explain plan in
+      check bool_ "mentions terms" true
+        (String.length text > 0
+        &&
+        let has sub =
+          let rec find i =
+            i + String.length sub <= String.length text
+            && (String.sub text i (String.length sub) = sub || find (i + 1))
+          in
+          find 0
+        in
+        has "search" && has "Pick" && has "> 1")
+    | Error msg -> Alcotest.failf "compile failed: %s" msg
+  end
+
+
+(* ------------------------------------------------------------------ *)
+(* Generated-workload fuzzing *)
+
+let fuzz_corpus =
+  lazy
+    (let cfg =
+       {
+         Workload.Corpus.default with
+         articles = 8;
+         seed = 31;
+         chapters_per_article = 2;
+         sections_per_chapter = 2;
+         paragraphs_per_section = 2;
+         words_per_paragraph = 12;
+         vocabulary = 80;
+         planted_terms =
+           [ ("fuzzalpha", 30); ("fuzzbeta", 12); ("fuzzgamma", 5) ];
+       }
+     in
+     Store.Db.load (Workload.Corpus.generate cfg))
+
+let fuzz_spec =
+  {
+    Workload.Query_gen.default_spec with
+    terms = [ "fuzzalpha"; "fuzzbeta"; "fuzzgamma" ];
+  }
+
+let test_fuzz_interpreter_total () =
+  (* every generated query parses and evaluates without raising *)
+  let db = Lazy.force fuzz_corpus in
+  let evaluator = Query.Eval.create db in
+  List.iteri
+    (fun i src ->
+      match Query.Eval.run_string evaluator src with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "query %d failed: %s\n%s" i msg src)
+    (Workload.Query_gen.generate ~count:40 fuzz_spec)
+
+let test_fuzz_compiled_equivalence () =
+  (* whenever a generated query compiles, the engine path agrees with
+     the interpreter on the ranked score sequence *)
+  let db = Lazy.force fuzz_corpus in
+  let evaluator = Query.Eval.create db in
+  let compared = ref 0 in
+  List.iteri
+    (fun i src ->
+      match Query.Parser.parse src with
+      | Error e -> Alcotest.failf "query %d: parse error %a" i Query.Parser.pp_error e
+      | Ok q -> begin
+        match Query.Compile.compile q with
+        | Error _ -> ()
+        | Ok plan ->
+          incr compared;
+          let compiled =
+            List.map
+              (fun (n : Access.Scored_node.t) -> n.score)
+              (Query.Compile.execute db plan)
+          in
+          let interpreted =
+            match Query.Eval.run_string evaluator src with
+            | Ok results -> List.map score_of results
+            | Error msg -> Alcotest.failf "query %d: interpreter: %s" i msg
+          in
+          if not (close_lists compiled interpreted) then
+            Alcotest.failf "query %d diverges:\n%s\ncompiled %d, interpreted %d"
+              i src (List.length compiled) (List.length interpreted)
+      end)
+    (Workload.Query_gen.generate ~count:40 fuzz_spec);
+  check bool_ "some queries compiled" true (!compared > 10)
+
+
+(* ------------------------------------------------------------------ *)
+(* dialect corners *)
+
+let test_constructor_attributes () =
+  let results =
+    run_ok
+      {|
+      for $r in document("review-*.xml")//review
+      return <out id={$r/@id} kind="review">{$r/rating/text()}</out>
+      |}
+  in
+  check int_ "two" 2 (List.length results);
+  let first = List.hd results in
+  check (Alcotest.option string_) "copied id" (Some "1")
+    (Xmlkit.Tree.attr first "id");
+  check (Alcotest.option string_) "literal attr" (Some "review")
+    (Xmlkit.Tree.attr first "kind")
+
+let test_nested_constructors () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//article
+      return <wrap><inner><deep>{$a/article-title/text()}</deep></inner></wrap>
+      |}
+  in
+  let first = List.hd results in
+  match Xmlkit.Traverse.find_first "deep" first with
+  | Some d -> check string_ "deep text" "Internet Technologies" (Xmlkit.Tree.all_text d)
+  | None -> Alcotest.fail "expected nested structure"
+
+let test_inner_for_over_variable () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//chapter
+      for $p in $a/section/p
+      return <r>{$p}</r>
+      |}
+  in
+  (* sections' direct p children: 1 + 1 + 3 *)
+  check int_ "five paragraphs" 5 (List.length results)
+
+let test_exists_predicate () =
+  let results =
+    run_ok
+      {|
+      for $r in document("review-*.xml")//review[reviewer/sname]
+      return <r>{$r/@id}</r>
+      |}
+  in
+  (* only review 1 has a structured reviewer with an sname *)
+  check int_ "one review" 1 (List.length results);
+  check string_ "review 1" "1" (Xmlkit.Tree.all_text (List.hd results))
+
+let test_text_comparison_in_predicate () =
+  let results =
+    run_ok
+      {|
+      for $r in document("review-*.xml")//review[title/text() = "WWW Technologies"]
+      return <r>{$r/@id}</r>
+      |}
+  in
+  check int_ "one match" 1 (List.length results);
+  check string_ "review 2" "2" (Xmlkit.Tree.all_text (List.hd results))
+
+let test_wildcard_child () =
+  let results =
+    run_ok
+      {|
+      for $c in document("articles.xml")//author/*
+      return <r>{$c}</r>
+      |}
+  in
+  (* fname and sname *)
+  check int_ "two children" 2 (List.length results)
+
+let test_let_shadowing () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//article
+      let $x := 1
+      let $x := 2
+      where $x = 2
+      return <r>ok</r>
+      |}
+  in
+  check int_ "inner binding wins" 1 (List.length results)
+
+let test_missing_attribute_is_empty () =
+  let results =
+    run_ok
+      {|
+      for $a in document("articles.xml")//article
+      where $a/@nonexistent = ""
+      return <r>ok</r>
+      |}
+  in
+  check int_ "missing attr compares as empty" 1 (List.length results)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "query"
+    [
+      ( "lexer",
+        [
+          tc "tokens" `Quick test_lexer_tokens;
+          tc "operators" `Quick test_lexer_operators;
+          tc "descendant-or-self" `Quick test_lexer_dos;
+          tc "error" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          tc "query 1" `Quick test_parse_query1;
+          tc "predicate" `Quick test_parse_predicate;
+          tc "let/where" `Quick test_parse_let_and_where;
+          tc "errors" `Quick test_parse_errors;
+          tc "pretty print" `Quick test_parse_roundtrip_pp;
+        ] );
+      ( "query 1",
+        [
+          tc "ranked results" `Quick test_query1;
+          tc "V-threshold" `Quick test_query1_threshold_v;
+        ] );
+      ( "query 2",
+        [
+          tc "pick + rank" `Quick test_query2;
+          tc "no matching author" `Quick test_query2_no_doe;
+        ] );
+      ( "query 3",
+        [
+          tc "similarity join" `Quick test_query3;
+          tc "where filters reviews" `Quick test_query3_where_filters;
+        ] );
+      ( "compile",
+        [
+          tc "query 1 equivalence" `Quick test_compile_query1_equivalence;
+          tc "query 2 equivalence (pick)" `Quick test_compile_query2_equivalence;
+          tc "works without trees" `Quick test_compile_works_without_trees;
+          tc "anchor only" `Quick test_compile_anchor_only;
+          tc "rejections" `Quick test_compile_rejects;
+          tc "explain" `Quick test_compile_explain;
+        ] );
+      ( "dialect corners",
+        [
+          tc "constructor attributes" `Quick test_constructor_attributes;
+          tc "nested constructors" `Quick test_nested_constructors;
+          tc "inner for over variable" `Quick test_inner_for_over_variable;
+          tc "existence predicate" `Quick test_exists_predicate;
+          tc "text() comparison" `Quick test_text_comparison_in_predicate;
+          tc "wildcard child" `Quick test_wildcard_child;
+          tc "let shadowing" `Quick test_let_shadowing;
+          tc "missing attribute" `Quick test_missing_attribute_is_empty;
+        ] );
+      ( "fuzz",
+        [
+          tc "interpreter total" `Quick test_fuzz_interpreter_total;
+          tc "compiled equivalence" `Quick test_fuzz_compiled_equivalence;
+        ] );
+      ( "details",
+        [
+          tc "attribute predicate" `Quick test_attribute_access;
+          tc "numeric comparison" `Quick test_rating_comparison;
+          tc "tfidf" `Quick test_tfidf_scoring;
+          tc "bm25" `Quick test_bm25_scoring;
+          tc "unknown function" `Quick test_unknown_function;
+          tc "unbound variable" `Quick test_unbound_variable;
+          tc "custom function" `Quick test_custom_function;
+          tc "document glob" `Quick test_document_glob;
+          tc "and/or" `Quick test_and_or;
+          tc "count over phrase sets" `Quick test_count_phrase_set;
+          tc "or precedence" `Quick test_or_precedence;
+        ] );
+    ]

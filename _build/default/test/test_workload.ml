@@ -1,0 +1,217 @@
+(* Tests for the synthetic corpus generator: planted frequencies are
+   exact, generation is deterministic, and structure matches the
+   configuration. *)
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+
+let small_cfg =
+  {
+    Workload.Corpus.articles = 6;
+    seed = 11;
+    chapters_per_article = 2;
+    sections_per_chapter = 2;
+    paragraphs_per_section = 3;
+    words_per_paragraph = 20;
+    vocabulary = 200;
+    planted_terms = [ ("plantedone", 25); ("plantedtwo", 7) ];
+    planted_phrases = [ ("phfirst", "phsecond", 9) ];
+  }
+
+let db_of cfg =
+  let options = { Store.Db.default_options with keep_trees = false } in
+  Store.Db.load ~options (Workload.Corpus.generate cfg)
+
+let test_zipf_bounds () =
+  let z = Workload.Zipf.create 100 in
+  let state = Random.State.make [| 1 |] in
+  for _ = 1 to 1000 do
+    let r = Workload.Zipf.sample z state in
+    if r < 0 || r >= 100 then Alcotest.fail "rank out of bounds"
+  done;
+  check int_ "support" 100 (Workload.Zipf.support z)
+
+let test_zipf_skew () =
+  let z = Workload.Zipf.create 1000 in
+  let state = Random.State.make [| 2 |] in
+  let low = ref 0 in
+  let n = 5000 in
+  for _ = 1 to n do
+    if Workload.Zipf.sample z state < 10 then incr low
+  done;
+  (* the top-10 ranks of a 1000-word zipf(1.1) carry well over a
+     third of the mass *)
+  check bool_ "skewed towards head" true (!low > n / 3)
+
+let test_text_gen_deterministic () =
+  let g = Workload.Text_gen.create ~vocabulary:100 () in
+  let s1 =
+    Workload.Text_gen.sentence g (Random.State.make [| 5 |]) ~min_words:5
+      ~max_words:10
+  in
+  let s2 =
+    Workload.Text_gen.sentence g (Random.State.make [| 5 |]) ~min_words:5
+      ~max_words:10
+  in
+  check bool_ "same seed, same sentence" true (s1 = s2);
+  check bool_ "length bounds" true
+    (List.length s1 >= 5 && List.length s1 <= 10)
+
+let test_corpus_structure () =
+  let docs = List.of_seq (Workload.Corpus.generate small_cfg) in
+  check int_ "article count" 6 (List.length docs);
+  let _, first = List.hd docs in
+  check bool_ "root is article" true (first.Xmlkit.Tree.tag = "article");
+  let chapters = Xmlkit.Traverse.find_all "chapter" first in
+  check int_ "chapters" 2 (List.length chapters);
+  let sections = Xmlkit.Traverse.find_all "section" first in
+  check int_ "sections" 4 (List.length sections);
+  let ps = Xmlkit.Traverse.find_all "p" first in
+  check int_ "paragraphs" 12 (List.length ps);
+  check bool_ "has author sname" true
+    (Xmlkit.Traverse.find_first "sname" first <> None)
+
+let test_corpus_planted_frequencies () =
+  let db = db_of small_cfg in
+  let idx = Store.Db.index db in
+  check int_ "plantedone freq" 25
+    (Ir.Inverted_index.collection_freq idx "plantedone");
+  check int_ "plantedtwo freq" 7
+    (Ir.Inverted_index.collection_freq idx "plantedtwo");
+  (* phrase plants contribute to each term's frequency *)
+  check int_ "phfirst freq" 9 (Ir.Inverted_index.collection_freq idx "phfirst");
+  check int_ "phsecond freq" 9
+    (Ir.Inverted_index.collection_freq idx "phsecond")
+
+let test_corpus_planted_phrases () =
+  let db = db_of small_cfg in
+  let ctx = Access.Ctx.of_db db in
+  let total =
+    Access.Phrase_finder.total_occurrences ctx ~phrase:[ "phfirst"; "phsecond" ]
+  in
+  (* every planted pair is adjacent; random text cannot produce the
+     planted pseudo-terms *)
+  check int_ "phrase occurrences" 9 total
+
+let test_corpus_deterministic () =
+  let stats cfg = Store.Db.stats (db_of cfg) in
+  let s1 = stats small_cfg and s2 = stats small_cfg in
+  check bool_ "same seed, same corpus" true (s1 = s2);
+  let s3 = stats { small_cfg with seed = 99 } in
+  check bool_ "different seed, different corpus" true
+    (s1.Store.Db.occurrences <> s3.Store.Db.occurrences)
+
+let test_corpus_seq_reusable () =
+  let seq = Workload.Corpus.generate small_cfg in
+  let n1 = Seq.length seq and n2 = Seq.length seq in
+  check int_ "sequence re-consumable" n1 n2
+
+let test_corpus_capacity_check () =
+  let cfg =
+    { small_cfg with articles = 1; planted_terms = [ ("x", 1_000_000) ] }
+  in
+  Alcotest.check_raises "capacity exceeded"
+    (Invalid_argument "Corpus.generate: planted occurrences exceed corpus capacity")
+    (fun () ->
+      ignore
+        (Workload.Corpus.generate cfg : (string * Xmlkit.Tree.element) Seq.t))
+
+let test_paper_db_shape () =
+  check int_ "three documents" 3 (List.length Workload.Paper_db.documents);
+  check int_ "article elements" 24 (Xmlkit.Tree.size Workload.Paper_db.articles);
+  let fig5_text = Xmlkit.Tree.all_text Workload.Paper_db.articles in
+  check int_ "search engine occurrences" 4
+    (Ir.Phrase.count ~terms:[ "search"; "engine" ] fig5_text);
+  check int_ "information retrieval occurrences" 3
+    (Ir.Phrase.count ~terms:[ "information"; "retrieval" ] fig5_text)
+
+let test_author_pool () =
+  check bool_ "Doe in pool" true
+    (Array.exists (String.equal "Doe") Workload.Corpus.author_surnames)
+
+
+let test_reviews_match_articles () =
+  let cfg = { small_cfg with articles = 5 } in
+  let articles = List.of_seq (Workload.Corpus.generate cfg) in
+  let reviews = List.of_seq (Workload.Corpus.generate_reviews cfg) in
+  check int_ "one review per article" 5 (List.length reviews);
+  (* every review title shares at least one word with its article's
+     title *)
+  List.iteri
+    (fun i (_, review) ->
+      let _, article = List.nth articles i in
+      let article_title =
+        Xmlkit.Tree.all_text
+          (Option.get (Xmlkit.Traverse.find_first "article-title" article))
+      in
+      let review_title =
+        Xmlkit.Tree.all_text
+          (Option.get (Xmlkit.Traverse.find_first "title" review))
+      in
+      check bool_
+        (Printf.sprintf "review %d title overlaps" i)
+        true
+        (Ir.Similarity.count_same article_title review_title >= 1))
+    reviews
+
+let test_reviews_shape () =
+  let cfg = { small_cfg with articles = 3 } in
+  let reviews = List.of_seq (Workload.Corpus.generate_reviews ~per_article:2 cfg) in
+  check int_ "two per article" 6 (List.length reviews);
+  let _, first = List.hd reviews in
+  check bool_ "has rating" true
+    (Xmlkit.Traverse.find_first "rating" first <> None);
+  check bool_ "has reviewer" true
+    (Xmlkit.Traverse.find_first "reviewer" first <> None);
+  (* ratings are 1..5 *)
+  List.iter
+    (fun (_, r) ->
+      let rating =
+        int_of_string
+          (String.trim
+             (Xmlkit.Tree.all_text
+                (Option.get (Xmlkit.Traverse.find_first "rating" r))))
+      in
+      check bool_ "rating in range" true (rating >= 1 && rating <= 5))
+    reviews
+
+let test_query_gen () =
+  let spec =
+    { Workload.Query_gen.default_spec with terms = [ "alpha"; "beta" ] }
+  in
+  let queries = Workload.Query_gen.generate ~count:25 spec in
+  check int_ "count" 25 (List.length queries);
+  let again = Workload.Query_gen.generate ~count:25 spec in
+  check bool_ "deterministic" true (queries = again);
+  check bool_ "queries differ" true
+    (List.length (List.sort_uniq compare queries) > 5)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [ tc "bounds" `Quick test_zipf_bounds; tc "skew" `Quick test_zipf_skew ] );
+      ("text_gen", [ tc "deterministic" `Quick test_text_gen_deterministic ]);
+      ( "corpus",
+        [
+          tc "structure" `Quick test_corpus_structure;
+          tc "planted term frequencies" `Quick test_corpus_planted_frequencies;
+          tc "planted phrases" `Quick test_corpus_planted_phrases;
+          tc "deterministic" `Quick test_corpus_deterministic;
+          tc "seq reusable" `Quick test_corpus_seq_reusable;
+          tc "capacity check" `Quick test_corpus_capacity_check;
+        ] );
+      ( "reviews",
+        [
+          tc "titles match articles" `Quick test_reviews_match_articles;
+          tc "shape" `Quick test_reviews_shape;
+        ] );
+      ("query gen", [ tc "generate" `Quick test_query_gen ]);
+      ( "paper db",
+        [
+          tc "shape" `Quick test_paper_db_shape;
+          tc "author pool" `Quick test_author_pool;
+        ] );
+    ]

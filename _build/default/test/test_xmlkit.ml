@@ -1,0 +1,342 @@
+(* Tests for the XML substrate: entities, parsing, printing,
+   traversal and interval numbering. *)
+
+let check = Alcotest.check
+let string_ = Alcotest.string
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Entity *)
+
+let test_escape_text () =
+  check string_ "no escaping needed" "plain" (Xmlkit.Entity.escape_text "plain");
+  check string_ "angle brackets" "&lt;a&gt; &amp; b"
+    (Xmlkit.Entity.escape_text "<a> & b");
+  check string_ "quote untouched in text" "say \"hi\""
+    (Xmlkit.Entity.escape_text "say \"hi\"")
+
+let test_escape_attr () =
+  check string_ "quotes escaped" "a=&quot;b&quot;"
+    (Xmlkit.Entity.escape_attr "a=\"b\"")
+
+let test_decode () =
+  check string_ "predefined" "<a> & b" (Xmlkit.Entity.decode "&lt;a&gt; &amp; b");
+  check string_ "apostrophe" "it's" (Xmlkit.Entity.decode "it&apos;s");
+  check string_ "decimal ref" "A" (Xmlkit.Entity.decode "&#65;");
+  check string_ "hex ref" "A" (Xmlkit.Entity.decode "&#x41;");
+  check string_ "unknown kept" "&nbsp;" (Xmlkit.Entity.decode "&nbsp;");
+  check string_ "lone ampersand" "a & b" (Xmlkit.Entity.decode "a & b")
+
+let test_decode_utf8 () =
+  check string_ "two-byte" "\xc3\xa9" (Xmlkit.Entity.decode "&#233;");
+  check string_ "three-byte" "\xe2\x82\xac" (Xmlkit.Entity.decode "&#x20AC;")
+
+let test_roundtrip_escape () =
+  let prop s =
+    Xmlkit.Entity.decode (Xmlkit.Entity.escape_attr s) = s
+  in
+  QCheck.Test.make ~name:"decode (escape s) = s" ~count:500
+    QCheck.printable_string prop
+
+(* ------------------------------------------------------------------ *)
+(* Parser / Printer *)
+
+let parse_ok s =
+  match Xmlkit.Parser.parse_string s with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "parse error: %a" Xmlkit.Parser.pp_error e
+
+let test_parse_simple () =
+  let e = parse_ok "<a><b>hello</b><c x='1' y=\"2\"/></a>" in
+  check string_ "root tag" "a" e.Xmlkit.Tree.tag;
+  let children = Xmlkit.Tree.child_elements e in
+  check int_ "two children" 2 (List.length children);
+  let c = List.nth children 1 in
+  check (Alcotest.option string_) "attr x" (Some "1") (Xmlkit.Tree.attr c "x");
+  check (Alcotest.option string_) "attr y" (Some "2") (Xmlkit.Tree.attr c "y")
+
+let test_parse_prolog () =
+  let e =
+    parse_ok
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><!-- hi --><a/>"
+  in
+  check string_ "root" "a" e.Xmlkit.Tree.tag
+
+let test_parse_cdata () =
+  let e = parse_ok "<a><![CDATA[<not> & parsed]]></a>" in
+  check string_ "cdata text" "<not> & parsed" (Xmlkit.Tree.local_text e)
+
+let test_parse_entities () =
+  let e = parse_ok "<a>x &amp; y</a>" in
+  check string_ "decoded" "x & y" (Xmlkit.Tree.local_text e)
+
+let test_parse_errors () =
+  let fails s =
+    match Xmlkit.Parser.parse_string s with
+    | Ok _ -> Alcotest.failf "expected parse failure for %S" s
+    | Error _ -> ()
+  in
+  fails "<a>";
+  fails "<a></b>";
+  fails "<a><b></a></b>";
+  fails "";
+  fails "<a/><b/>";
+  fails "<a x=1/>"
+
+let test_parse_fragment () =
+  match Xmlkit.Parser.parse_fragment "<a/> <b>t</b>" with
+  | Ok nodes ->
+    let elems =
+      List.filter_map
+        (function Xmlkit.Tree.Element e -> Some e.Xmlkit.Tree.tag | _ -> None)
+        nodes
+    in
+    check (Alcotest.list string_) "two roots" [ "a"; "b" ] elems
+  | Error e -> Alcotest.failf "parse error: %a" Xmlkit.Parser.pp_error e
+
+let test_print_roundtrip () =
+  let doc = "<a p=\"v\"><b>x &amp; y</b><c/>tail</a>" in
+  let e = parse_ok doc in
+  let printed = Xmlkit.Printer.to_string e in
+  let e' = parse_ok printed in
+  check bool_ "roundtrip equal" true (Xmlkit.Tree.equal e e')
+
+(* random tree generator for roundtrip property; adjacent text nodes
+   are merged because serialization cannot distinguish them *)
+let rec merge_adjacent_text = function
+  | Xmlkit.Tree.Text a :: Xmlkit.Tree.Text b :: rest ->
+    merge_adjacent_text (Xmlkit.Tree.Text (a ^ b) :: rest)
+  | Xmlkit.Tree.Element e :: rest ->
+    Xmlkit.Tree.Element { e with children = merge_adjacent_text e.children }
+    :: merge_adjacent_text rest
+  | n :: rest -> n :: merge_adjacent_text rest
+  | [] -> []
+
+let gen_tree =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c"; "item"; "x-y" ] in
+  let text_frag =
+    map
+      (fun s -> Xmlkit.Tree.text s)
+      (string_size ~gen:(oneofl [ 'a'; 'b'; ' '; '&'; '<'; '"' ]) (1 -- 8))
+  in
+  let raw =
+    fix
+      (fun self depth ->
+        if depth = 0 then
+          map2 (fun t txt -> Xmlkit.Tree.elem t [ txt ]) tag text_frag
+        else
+          map2
+            (fun t children -> Xmlkit.Tree.elem t children)
+            tag
+            (list_size (0 -- 3)
+               (oneof
+                  [
+                    map (fun e -> Xmlkit.Tree.Element e) (self (depth - 1));
+                    text_frag;
+                  ])))
+      2
+  in
+  QCheck.Gen.map
+    (fun (e : Xmlkit.Tree.element) ->
+      { e with children = merge_adjacent_text e.children })
+    raw
+
+let test_print_parse_property =
+  QCheck.Test.make ~name:"parse (print t) = t" ~count:200
+    (QCheck.make gen_tree) (fun t ->
+      match Xmlkit.Parser.parse_string (Xmlkit.Printer.to_string t) with
+      | Ok t' -> Xmlkit.Tree.equal t t'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Tree helpers *)
+
+let sample =
+  Xmlkit.Tree.elem "r"
+    [
+      Xmlkit.Tree.el "a" [ Xmlkit.Tree.text "one two" ];
+      Xmlkit.Tree.el "b"
+        [
+          Xmlkit.Tree.text "three";
+          Xmlkit.Tree.el "a" [ Xmlkit.Tree.text "four" ];
+        ];
+    ]
+
+let test_all_text () =
+  check string_ "all text" "one two three four" (Xmlkit.Tree.all_text sample)
+
+let test_size_depth () =
+  check int_ "size" 4 (Xmlkit.Tree.size sample);
+  check int_ "depth" 3 (Xmlkit.Tree.depth sample)
+
+let test_find_all () =
+  check int_ "two a elements" 2
+    (List.length (Xmlkit.Traverse.find_all "a" sample))
+
+let test_path () =
+  let res = Xmlkit.Traverse.path [ "b"; "a" ] sample in
+  check int_ "one b/a" 1 (List.length res)
+
+let test_parent_map () =
+  let parent = Xmlkit.Traverse.parent_map sample in
+  let b = Option.get (Xmlkit.Traverse.find_first "b" sample) in
+  let inner_a = List.hd (Xmlkit.Traverse.find_all "a" b) in
+  (match parent inner_a with
+  | Some p -> check string_ "parent of inner a" "b" p.Xmlkit.Tree.tag
+  | None -> Alcotest.fail "expected a parent");
+  check bool_ "root has no parent" true (parent sample = None)
+
+(* ------------------------------------------------------------------ *)
+(* Numbering *)
+
+let test_numbering_keys () =
+  let num = Xmlkit.Numbering.number sample in
+  let infos = num.Xmlkit.Numbering.infos in
+  check int_ "4 elements" 4 (Array.length infos);
+  (* r [0, ...], a(one two): start 1, words 2,3, end 4 *)
+  check int_ "root start" 0 infos.(0).Xmlkit.Numbering.start;
+  check int_ "a start" 1 infos.(1).Xmlkit.Numbering.start;
+  check int_ "a end" 4 infos.(1).Xmlkit.Numbering.end_;
+  check int_ "b start" 5 infos.(2).Xmlkit.Numbering.start;
+  check int_ "inner a level" 2 infos.(3).Xmlkit.Numbering.level;
+  check int_ "inner a parent" 2 infos.(3).Xmlkit.Numbering.parent
+
+let test_numbering_containment () =
+  let num = Xmlkit.Numbering.number sample in
+  let infos = num.Xmlkit.Numbering.infos in
+  check bool_ "root contains b" true
+    (Xmlkit.Numbering.contains infos.(0) infos.(2));
+  check bool_ "b contains inner a" true
+    (Xmlkit.Numbering.contains infos.(2) infos.(3));
+  check bool_ "a does not contain b" false
+    (Xmlkit.Numbering.contains infos.(1) infos.(2))
+
+let test_numbering_find () =
+  let num = Xmlkit.Numbering.number sample in
+  (match Xmlkit.Numbering.find_by_start num 5 with
+  | Some info -> check string_ "found b" "b" info.Xmlkit.Numbering.tag
+  | None -> Alcotest.fail "expected to find b");
+  check bool_ "missing start" true (Xmlkit.Numbering.find_by_start num 3 = None)
+
+let test_numbering_enclosing () =
+  let num = Xmlkit.Numbering.number sample in
+  (* word "four" is inside inner a; find its enclosing chain *)
+  (match Xmlkit.Numbering.enclosing num 8 with
+  | Some info -> check string_ "word owner" "a" info.Xmlkit.Numbering.tag
+  | None -> Alcotest.fail "expected an enclosing element");
+  check bool_ "out of range" true (Xmlkit.Numbering.enclosing num 1000 = None)
+
+let test_numbering_ancestors () =
+  let num = Xmlkit.Numbering.number sample in
+  let infos = num.Xmlkit.Numbering.infos in
+  let ancestors = Xmlkit.Numbering.ancestors num infos.(3) in
+  check
+    (Alcotest.list string_)
+    "inner a ancestors" [ "b"; "r" ]
+    (List.map (fun (i : Xmlkit.Numbering.info) -> i.tag) ancestors)
+
+let test_numbering_text_callback () =
+  let calls = ref [] in
+  let text ~owner ~owner_start ~start_key s =
+    calls := (owner, owner_start, start_key, s) :: !calls;
+    List.length
+      (List.filter (fun w -> w <> "") (String.split_on_char ' ' s))
+  in
+  let _ = Xmlkit.Numbering.number ~text sample in
+  check int_ "three text nodes" 3 (List.length !calls);
+  let _, owner_start, start_key, s =
+    List.hd (List.rev !calls)
+  in
+  check string_ "first text" "one two" s;
+  check int_ "first text owner start" 1 owner_start;
+  check int_ "first text key" 2 start_key
+
+(* numbering invariants on random trees *)
+let test_numbering_property =
+  QCheck.Test.make ~name:"numbering invariants" ~count:200
+    (QCheck.make gen_tree) (fun t ->
+      let num = Xmlkit.Numbering.number t in
+      let infos = num.Xmlkit.Numbering.infos in
+      Array.for_all
+        (fun (i : Xmlkit.Numbering.info) ->
+          i.start < i.end_
+          && (i.parent < 0
+             || Xmlkit.Numbering.contains infos.(i.parent) i
+                && infos.(i.parent).level = i.level - 1))
+        infos)
+
+
+let test_parse_deep_nesting () =
+  let depth = 2000 in
+  let buf = Buffer.create (depth * 8) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<d>"
+  done;
+  Buffer.add_string buf "x";
+  for _ = 1 to depth do
+    Buffer.add_string buf "</d>"
+  done;
+  let e = parse_ok (Buffer.contents buf) in
+  check int_ "deep tree size" depth (Xmlkit.Tree.size e)
+
+let test_parse_single_quotes_and_comments () =
+  let e = parse_ok "<a x='v'><!-- dash - dash --and more -->t</a>" in
+  check (Alcotest.option string_) "single-quoted attr" (Some "v")
+    (Xmlkit.Tree.attr e "x");
+  check string_ "text survives comment" "t" (Xmlkit.Tree.local_text e)
+
+let test_parse_doctype_internal_subset () =
+  let e =
+    parse_ok
+      "<!DOCTYPE a [<!ELEMENT a (b)><!ENTITY x \"y\">]><a><b/></a>"
+  in
+  check int_ "children" 1 (List.length (Xmlkit.Tree.child_elements e))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "xmlkit"
+    [
+      ( "entity",
+        [
+          tc "escape text" `Quick test_escape_text;
+          tc "escape attr" `Quick test_escape_attr;
+          tc "decode" `Quick test_decode;
+          tc "decode utf8" `Quick test_decode_utf8;
+          QCheck_alcotest.to_alcotest (test_roundtrip_escape ());
+        ] );
+      ( "parser",
+        [
+          tc "simple" `Quick test_parse_simple;
+          tc "prolog" `Quick test_parse_prolog;
+          tc "cdata" `Quick test_parse_cdata;
+          tc "entities" `Quick test_parse_entities;
+          tc "errors" `Quick test_parse_errors;
+          tc "fragment" `Quick test_parse_fragment;
+          tc "print roundtrip" `Quick test_print_roundtrip;
+          tc "deep nesting" `Quick test_parse_deep_nesting;
+          tc "single quotes and comments" `Quick
+            test_parse_single_quotes_and_comments;
+          tc "doctype internal subset" `Quick test_parse_doctype_internal_subset;
+          QCheck_alcotest.to_alcotest test_print_parse_property;
+        ] );
+      ( "tree",
+        [
+          tc "all_text" `Quick test_all_text;
+          tc "size and depth" `Quick test_size_depth;
+          tc "find_all" `Quick test_find_all;
+          tc "path" `Quick test_path;
+          tc "parent map" `Quick test_parent_map;
+        ] );
+      ( "numbering",
+        [
+          tc "keys" `Quick test_numbering_keys;
+          tc "containment" `Quick test_numbering_containment;
+          tc "find by start" `Quick test_numbering_find;
+          tc "enclosing" `Quick test_numbering_enclosing;
+          tc "ancestors" `Quick test_numbering_ancestors;
+          tc "text callback" `Quick test_numbering_text_callback;
+          QCheck_alcotest.to_alcotest test_numbering_property;
+        ] );
+    ]
