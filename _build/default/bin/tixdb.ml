@@ -19,16 +19,34 @@ let () =
   | Some "info" -> Logs.set_level (Some Logs.Info)
   | Some _ | None -> Logs.set_level (Some Logs.Warning)
 
-let load_files paths =
+let load_files ~skip_bad paths =
   (* a single .tix argument is a saved database image *)
   match paths with
   | [ path ] when Filename.check_suffix path ".tix" -> begin
     match Store.Db.open_file path with
-    | db -> db
-    | exception Failure msg ->
-      Format.eprintf "%s: %s@." path msg;
+    | Ok db -> db
+    | Error e ->
+      Format.eprintf "error: %a@." Store.Db.pp_error e;
       exit 1
   end
+  | paths when skip_bad ->
+    (* error-isolated bulk load: bad documents are reported and
+       skipped, the rest of the corpus still loads *)
+    let docs =
+      List.to_seq paths
+      |> Seq.map (fun path ->
+             ( Filename.basename path,
+               match Xmlkit.Parser.parse_file path with
+               | Ok root -> Ok root
+               | Error e ->
+                 Error
+                   (Format.asprintf "parse error: %a" Xmlkit.Parser.pp_error e)
+             ))
+    in
+    let db, report = Store.Db.load_isolated docs in
+    if report.failed <> [] then
+      Format.eprintf "%a@." Store.Db.pp_load_report report;
+    db
   | paths ->
     let docs =
       List.map
@@ -50,12 +68,71 @@ let paths_arg =
           "XML documents to load, or a single saved database image \
            (*.tix).")
 
+let skip_bad_arg =
+  Arg.(
+    value & flag
+    & info [ "skip-bad" ]
+        ~doc:
+          "Skip documents that fail to parse or ingest, reporting each \
+           failure on stderr, instead of aborting the whole load.")
+
+(* --timeout/--max-steps/--max-results assemble per-query governor
+   limits; breaches surface as a typed resource-exhausted error. *)
+let limits_term =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock deadline for the query.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Evaluation step budget for the query.")
+  in
+  let max_results_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-results" ] ~docv:"N"
+          ~doc:"Cap on intermediate/final result cardinality.")
+  in
+  let mk timeout_s max_steps max_results =
+    Core.Governor.limits ?max_steps ?timeout_s ?max_results ()
+  in
+  Term.(const mk $ timeout_arg $ max_steps_arg $ max_results_arg)
+
+(* Run [f] under a fresh governor; afterwards charge the produced
+   cardinality and sample the deadline, so even access methods that
+   are not internally governed report budget breaches uniformly. *)
+let governed limits f =
+  let gov = Core.Governor.start limits in
+  let results = f () in
+  let n = List.length results in
+  Core.Governor.tick_n gov n;
+  Core.Governor.check_results gov n;
+  Core.Governor.check_deadline gov;
+  results
+
+let or_fault_exit f =
+  match f () with
+  | v -> v
+  | exception Core.Governor.Resource_exhausted v ->
+    Format.eprintf "error: %a@." Core.Governor.pp_violation v;
+    exit 1
+  | exception Store.Pager.Read_error e ->
+    Format.eprintf "storage error: %a@." Store.Pager.pp_read_error e;
+    exit 1
+
 (* ------------------------------------------------------------------ *)
 (* query *)
 
 let query_cmd =
-  let run paths query_string engine =
-    let db = load_files paths in
+  let run paths query_string engine skip_bad limits =
+    let db = load_files ~skip_bad paths in
     if engine then begin
       (* try the compiled path; report the plan and identifiers *)
       match Query.Parser.parse query_string with
@@ -69,7 +146,9 @@ let query_cmd =
           exit 1
         | Ok plan ->
           Format.printf "%s@.@." (Query.Compile.explain plan);
-          let nodes = Query.Compile.execute db plan in
+          let nodes =
+            or_fault_exit (fun () -> Query.Compile.execute ~limits db plan)
+          in
           List.iter
             (fun (n : Access.Scored_node.t) ->
               let tag =
@@ -83,7 +162,7 @@ let query_cmd =
       end
     end
     else begin
-      let evaluator = Query.Eval.create db in
+      let evaluator = Query.Eval.create ~limits db in
       match Query.Eval.run_string evaluator query_string with
       | Ok results ->
         List.iter
@@ -112,7 +191,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an extended-XQuery query")
-    Term.(const run $ paths_arg $ query_arg $ engine_arg)
+    Term.(
+      const run $ paths_arg $ query_arg $ engine_arg $ skip_bad_arg
+      $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* search *)
@@ -128,8 +209,8 @@ let method_conv =
     ]
 
 let search_cmd =
-  let run paths terms method_ complex top =
-    let db = load_files paths in
+  let run paths terms method_ complex top skip_bad limits =
+    let db = load_files ~skip_bad paths in
     let ctx = Access.Ctx.of_db db in
     let terms = String.split_on_char ',' terms |> List.map String.trim in
     let mode =
@@ -138,14 +219,16 @@ let search_cmd =
     in
     let started = Unix.gettimeofday () in
     let results =
-      match method_ with
-      | `Termjoin -> Access.Term_join.to_list ~mode ctx ~terms
-      | `Enhanced ->
-        Access.Term_join.to_list ~variant:Access.Term_join.Enhanced ~mode ctx
-          ~terms
-      | `Genmeet -> Access.Gen_meet.to_list ~mode ctx ~terms
-      | `Comp1 -> Access.Composite.comp1_list ~mode ctx ~terms
-      | `Comp2 -> Access.Composite.comp2_list ~mode ctx ~terms
+      or_fault_exit (fun () ->
+          governed limits (fun () ->
+              match method_ with
+              | `Termjoin -> Access.Term_join.to_list ~mode ctx ~terms
+              | `Enhanced ->
+                Access.Term_join.to_list ~variant:Access.Term_join.Enhanced
+                  ~mode ctx ~terms
+              | `Genmeet -> Access.Gen_meet.to_list ~mode ctx ~terms
+              | `Comp1 -> Access.Composite.comp1_list ~mode ctx ~terms
+              | `Comp2 -> Access.Composite.comp2_list ~mode ctx ~terms))
     in
     let elapsed = Unix.gettimeofday () -. started in
     let ranked = List.sort Access.Scored_node.compare_score_desc results in
@@ -186,20 +269,24 @@ let search_cmd =
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Score elements for query terms")
-    Term.(const run $ paths_arg $ terms_arg $ method_arg $ complex_arg $ top_arg)
+    Term.(
+      const run $ paths_arg $ terms_arg $ method_arg $ complex_arg $ top_arg
+      $ skip_bad_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* phrase *)
 
 let phrase_cmd =
-  let run paths phrase use_comp3 =
-    let db = load_files paths in
+  let run paths phrase use_comp3 skip_bad limits =
+    let db = load_files ~skip_bad paths in
     let ctx = Access.Ctx.of_db db in
     let phrase = Ir.Phrase.parse phrase in
     let started = Unix.gettimeofday () in
     let results =
-      if use_comp3 then Access.Composite.comp3_list ctx ~phrase
-      else Access.Phrase_finder.to_list ctx ~phrase
+      or_fault_exit (fun () ->
+          governed limits (fun () ->
+              if use_comp3 then Access.Composite.comp3_list ctx ~phrase
+              else Access.Phrase_finder.to_list ctx ~phrase))
     in
     let elapsed = Unix.gettimeofday () -. started in
     List.iter
@@ -226,14 +313,16 @@ let phrase_cmd =
   in
   Cmd.v
     (Cmd.info "phrase" ~doc:"Find a phrase with PhraseFinder")
-    Term.(const run $ paths_arg $ phrase_arg $ comp3_arg)
+    Term.(
+      const run $ paths_arg $ phrase_arg $ comp3_arg $ skip_bad_arg
+      $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
 
 let stats_cmd =
-  let run paths top =
-    let db = load_files paths in
+  let run paths top skip_bad =
+    let db = load_files ~skip_bad paths in
     Format.printf "%a@." Store.Db.pp_stats (Store.Db.stats db);
     let terms = Ir.Inverted_index.terms_by_freq (Store.Db.index db) in
     Format.printf "@.top %d terms by collection frequency:@." top;
@@ -247,7 +336,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print database statistics")
-    Term.(const run $ paths_arg $ top_arg)
+    Term.(const run $ paths_arg $ top_arg $ skip_bad_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -285,8 +374,8 @@ let gen_cmd =
 (* build *)
 
 let build_cmd =
-  let run paths out =
-    let db = load_files paths in
+  let run paths out skip_bad =
+    let db = load_files ~skip_bad paths in
     Store.Db.save db out;
     let size = (Unix.stat out).Unix.st_size in
     Format.printf "wrote %s (%d bytes): %a@." out size Store.Db.pp_stats
@@ -300,7 +389,7 @@ let build_cmd =
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a persistent database image from XML files")
-    Term.(const run $ paths_arg $ out_arg)
+    Term.(const run $ paths_arg $ out_arg $ skip_bad_arg)
 
 (* ------------------------------------------------------------------ *)
 (* demo *)

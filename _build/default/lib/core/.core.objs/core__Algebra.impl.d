@@ -1,1 +1,1 @@
-lib/core/algebra.ml: Collection Format List Op_join Op_pick Op_project Op_select Op_threshold Pattern
+lib/core/algebra.ml: Collection Format Governor List Op_join Op_pick Op_project Op_select Op_threshold Pattern

@@ -1,1 +1,1 @@
-lib/core/algebra.mli: Collection Format Op_pick Op_threshold Pattern
+lib/core/algebra.mli: Collection Format Governor Op_pick Op_threshold Pattern

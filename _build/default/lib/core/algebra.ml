@@ -19,18 +19,35 @@ type plan =
   | Sort of plan
   | Limit of int * plan
 
-let rec run = function
-  | Scan c -> c
-  | Select (pat, input) -> Op_select.select pat (run input)
-  | Project { pattern; pl; drop_zero; input } ->
-    Op_project.project ~drop_zero pattern ~pl (run input)
-  | Product (a, b) -> Op_join.product (run a) (run b)
-  | Join (pat, a, b) -> Op_join.join pat (run a) (run b)
-  | Threshold (pat, tcs, input) -> Op_threshold.threshold pat tcs (run input)
-  | Pick { pattern; var; criterion; input } ->
-    Op_pick.apply pattern ~var criterion (run input)
-  | Sort input -> Collection.sort_by_score (run input)
-  | Limit (k, input) -> List.filteri (fun i _ -> i < k) (run input)
+let rec run ?governor plan =
+  (* Every operator's output is accounted against the governor: one
+     step per produced tree, plus the cardinality gate. The charge
+     happens between operators, so a runaway plan is cut off at the
+     first materialization past its budget. *)
+  let account (c : Collection.t) =
+    (match governor with
+    | Some g ->
+      let n = Collection.size c in
+      Governor.tick_n g n;
+      Governor.check_results g n;
+      Governor.check_deadline g
+    | None -> ());
+    c
+  in
+  let run input = run ?governor input in
+  account
+    (match plan with
+    | Scan c -> c
+    | Select (pat, input) -> Op_select.select pat (run input)
+    | Project { pattern; pl; drop_zero; input } ->
+      Op_project.project ~drop_zero pattern ~pl (run input)
+    | Product (a, b) -> Op_join.product (run a) (run b)
+    | Join (pat, a, b) -> Op_join.join pat (run a) (run b)
+    | Threshold (pat, tcs, input) -> Op_threshold.threshold pat tcs (run input)
+    | Pick { pattern; var; criterion; input } ->
+      Op_pick.apply pattern ~var criterion (run input)
+    | Sort input -> Collection.sort_by_score (run input)
+    | Limit (k, input) -> List.filteri (fun i _ -> i < k) (run input))
 
 let rec pp_plan ppf = function
   | Scan c -> Format.fprintf ppf "Scan(%d trees)" (Collection.size c)

@@ -16,6 +16,11 @@ type plan =
   | Sort of plan
   | Limit of int * plan
 
-val run : plan -> Collection.t
+val run : ?governor:Governor.t -> plan -> Collection.t
+(** Evaluate the plan bottom-up. With [governor], every operator's
+    output cardinality is charged as steps and gated by the result
+    cap, and the deadline is sampled between operators; a breached
+    budget raises {!Governor.Resource_exhausted}. *)
+
 val explain : plan -> string
 val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,85 @@
+type limits = {
+  max_steps : int option;
+  timeout_s : float option;
+  max_results : int option;
+}
+
+let unlimited = { max_steps = None; timeout_s = None; max_results = None }
+
+let limits ?max_steps ?timeout_s ?max_results () =
+  { max_steps; timeout_s; max_results }
+
+type reason = Steps | Timeout | Results
+
+type violation = {
+  reason : reason;
+  steps : int;
+  elapsed_s : float;
+  limit : string;
+}
+
+exception Resource_exhausted of violation
+
+let pp_violation ppf v =
+  Format.fprintf ppf "resource exhausted after %d steps (%.3f s): %s" v.steps
+    v.elapsed_s v.limit
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+type t = {
+  l : limits;
+  started : float;
+  deadline : float;  (** absolute; [infinity] when unbounded *)
+  mutable steps : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let start l =
+  let started = now () in
+  {
+    l;
+    started;
+    deadline =
+      (match l.timeout_s with Some s -> started +. s | None -> infinity);
+    steps = 0;
+  }
+
+let steps t = t.steps
+
+let exhaust t reason limit =
+  raise
+    (Resource_exhausted
+       { reason; steps = t.steps; elapsed_s = now () -. t.started; limit })
+
+let check_deadline t =
+  if t.deadline < infinity && now () > t.deadline then
+    exhaust t Timeout
+      (Printf.sprintf "deadline of %g s" (t.deadline -. t.started))
+
+let check_steps t =
+  match t.l.max_steps with
+  | Some m when t.steps > m ->
+    exhaust t Steps (Printf.sprintf "step budget of %d" m)
+  | Some _ | None -> ()
+
+let tick t =
+  t.steps <- t.steps + 1;
+  check_steps t;
+  (* sample the clock sparsely: ticks are the hot path *)
+  if t.steps land 127 = 0 then check_deadline t
+
+let tick_n t n =
+  if n > 0 then begin
+    let before = t.steps lsr 7 in
+    t.steps <- t.steps + n;
+    check_steps t;
+    if t.steps lsr 7 <> before then check_deadline t
+  end
+
+let check_results t n =
+  match t.l.max_results with
+  | Some m when n > m ->
+    exhaust t Results
+      (Printf.sprintf "result cap of %d (got %d)" m n)
+  | Some _ | None -> ()

@@ -1,0 +1,58 @@
+(** Per-query resource governor.
+
+    A query executes under a {!t} created from its {!limits}: every
+    unit of work — an evaluated expression, a decoded tuple, an
+    emitted node — calls {!tick}, and materialized intermediate
+    results are gated by {!check_results}. The first limit breached
+    raises {!Resource_exhausted}, which unwinds the query cleanly;
+    the database itself holds no governor state, so the next query
+    starts fresh.
+
+    The wall clock is sampled every 128 steps, keeping the common
+    case a counter increment. *)
+
+type limits = {
+  max_steps : int option;  (** budget of work units *)
+  timeout_s : float option;  (** wall-clock budget in seconds *)
+  max_results : int option;  (** cap on materialized tuples/results *)
+}
+
+val unlimited : limits
+(** No bounds — every field [None]. *)
+
+val limits :
+  ?max_steps:int -> ?timeout_s:float -> ?max_results:int -> unit -> limits
+
+type reason = Steps | Timeout | Results
+
+type violation = {
+  reason : reason;
+  steps : int;  (** steps executed when the limit was hit *)
+  elapsed_s : float;
+  limit : string;  (** the breached limit, printed *)
+}
+
+exception Resource_exhausted of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string
+
+type t
+
+val start : limits -> t
+(** Begin a governed execution; the deadline clock starts now. *)
+
+val tick : t -> unit
+(** Account one unit of work. Raises {!Resource_exhausted}. *)
+
+val tick_n : t -> int -> unit
+(** Account [n] units at once (bulk operators). *)
+
+val check_results : t -> int -> unit
+(** Fail if a materialized result set of [n] rows exceeds the cap. *)
+
+val check_deadline : t -> unit
+(** Sample the clock now, regardless of the 128-step cadence. *)
+
+val steps : t -> int
+(** Work accounted so far. *)

@@ -1,1 +1,1 @@
-lib/query/eval.ml: Access Ast Core Format Functions Glob Hashtbl List Option Parser Printf Result Store String Xmlkit
+lib/query/eval.ml: Access Ast Core Format Fun Functions Glob Hashtbl List Option Parser Printf Result Store String Xmlkit

@@ -1,1 +1,1 @@
-lib/query/eval.mli: Ast Functions Store Xmlkit
+lib/query/eval.mli: Ast Core Functions Store Xmlkit

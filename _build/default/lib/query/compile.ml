@@ -245,9 +245,19 @@ let forest_of_scored nodes =
   drain ();
   List.rev !finished
 
-let execute db (p : plan) =
+let execute ?(limits = Core.Governor.unlimited) db (p : plan) =
   Log.debug (fun m -> m "executing engine plan: terms=%s, pick=%b"
       (String.concat "," p.terms) (p.pick <> None));
+  let gov = Core.Governor.start limits in
+  (* The engine path materializes between physical operators; charge
+     the governor at each materialization boundary. *)
+  let account scored =
+    let n = List.length scored in
+    Core.Governor.tick_n gov n;
+    Core.Governor.check_results gov n;
+    Core.Governor.check_deadline gov;
+    scored
+  in
   let ctx = Access.Ctx.of_db db in
   (* restrict to the documents matching the glob *)
   let doc_ok =
@@ -260,8 +270,9 @@ let execute db (p : plan) =
     fun doc -> Hashtbl.mem matches doc
   in
   let scored =
-    Access.Pattern_exec.scored_matches ctx p.structure ~struct_var:1
-      ~terms:p.terms ~weights:p.weights
+    account
+      (Access.Pattern_exec.scored_matches ctx p.structure ~struct_var:1
+         ~terms:p.terms ~weights:p.weights)
   in
   let scored = List.filter (fun (n : Access.Scored_node.t) -> doc_ok n.doc) scored in
   let scored =
@@ -278,7 +289,10 @@ let execute db (p : plan) =
         scored
     end
   in
-  let scored = List.filter (fun (n : Access.Scored_node.t) -> n.score > 0.) scored in
+  let scored =
+    account
+      (List.filter (fun (n : Access.Scored_node.t) -> n.score > 0.) scored)
+  in
   let scored =
     match p.pick with
     | None -> scored
@@ -319,17 +333,24 @@ let execute db (p : plan) =
     | Some v -> List.filter (fun (n : Access.Scored_node.t) -> n.score > v) scored
     | None -> scored
   in
-  let ranked = List.sort Access.Scored_node.compare_score_desc scored in
+  let ranked =
+    List.sort Access.Scored_node.compare_score_desc (account scored)
+  in
   match p.limit with
   | Some k -> List.filteri (fun i _ -> i < k) ranked
   | None -> ranked
 
-let run_string ?functions db src =
+let run_string ?functions ?limits db src =
   match Parser.parse src with
   | Error e -> Error (Format.asprintf "parse error: %a" Parser.pp_error e)
   | Ok q ->
     let* plan = compile ?functions q in
-    Ok (execute db plan)
+    (match execute ?limits db plan with
+    | results -> Ok results
+    | exception Core.Governor.Resource_exhausted v ->
+      Error (Core.Governor.violation_to_string v)
+    | exception Store.Pager.Read_error e ->
+      Error (Format.asprintf "storage error: %a" Store.Pager.pp_read_error e))
 
 let explain (p : plan) =
   Format.asprintf

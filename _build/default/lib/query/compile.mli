@@ -43,15 +43,23 @@ type plan = {
 val compile : ?functions:Functions.t -> Ast.t -> (plan, string) result
 (** [Error reason] when the query is outside the compilable shape. *)
 
-val execute : Store.Db.t -> plan -> Access.Scored_node.t list
+val execute :
+  ?limits:Core.Governor.limits ->
+  Store.Db.t ->
+  plan ->
+  Access.Scored_node.t list
 (** Evaluate the plan; results ranked best-first (ties in document
-    order). *)
+    order). With [limits], cardinality is charged to a fresh governor
+    at every materialization boundary; a breached budget raises
+    {!Core.Governor.Resource_exhausted}. *)
 
 val run_string :
   ?functions:Functions.t ->
+  ?limits:Core.Governor.limits ->
   Store.Db.t ->
   string ->
   (Access.Scored_node.t list, string) result
-(** Parse, compile and execute. *)
+(** Parse, compile and execute; governor breaches and storage faults
+    come back as [Error] strings. *)
 
 val explain : plan -> string

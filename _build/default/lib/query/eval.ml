@@ -4,13 +4,26 @@ type t = {
   db : Store.Db.t;
   fns : Functions.t;
   doc_trees : (int, Core.Stree.t) Hashtbl.t;
+  limits : Core.Governor.limits;
+  mutable governor : Core.Governor.t option;
+      (** live only while a query runs: each {!run} starts a fresh
+          governor from [limits], so budgets are per query and an
+          exhausted query leaves the evaluator reusable *)
 }
 
-let create ?functions db =
+let create ?functions ?(limits = Core.Governor.unlimited) db =
   let fns = match functions with Some f -> f | None -> Functions.builtins () in
-  { db; fns; doc_trees = Hashtbl.create 8 }
+  { db; fns; doc_trees = Hashtbl.create 8; limits; governor = None }
 
 let functions t = t.fns
+
+let tick t =
+  match t.governor with Some g -> Core.Governor.tick g | None -> ()
+
+let check_results t n =
+  match t.governor with
+  | Some g -> Core.Governor.check_results g n
+  | None -> ()
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
@@ -107,6 +120,7 @@ let compare_values cmp a b =
 (* paths *)
 
 let rec eval_expr t (env : env) (expr : Ast.expr) : Functions.value =
+  tick t;
   match expr with
   | Ast.Document pattern -> begin
     match documents_matching t pattern with
@@ -145,6 +159,7 @@ let rec eval_expr t (env : env) (expr : Ast.expr) : Functions.value =
     eval_steps t env v steps
 
 and eval_steps t env value steps =
+  tick t;
   match steps with
   | [] -> value
   | step :: rest -> begin
@@ -196,6 +211,7 @@ and eval_steps t env value steps =
             ns
           |> drop_wrapper
         in
+        List.iter (fun _ -> tick t) selected;
         let filtered = apply_predicates t env step.Ast.predicates selected in
         eval_steps t env (Functions.Nodes filtered) rest
       | _ -> fail "/%s applied to a non-node" name
@@ -213,6 +229,7 @@ and eval_steps t env value steps =
             ns
           |> drop_wrapper
         in
+        List.iter (fun _ -> tick t) selected;
         let filtered = apply_predicates t env step.Ast.predicates selected in
         eval_steps t env (Functions.Nodes filtered) rest
       | _ -> fail "//%s applied to a non-node" name
@@ -223,6 +240,7 @@ and eval_steps t env value steps =
         let selected =
           drop_wrapper (List.concat_map Core.Stree.self_or_descendants ns)
         in
+        List.iter (fun _ -> tick t) selected;
         let filtered = apply_predicates t env step.Ast.predicates selected in
         eval_steps t env (Functions.Nodes filtered) rest
       | _ -> fail "descendant-or-self applied to a non-node"
@@ -234,6 +252,7 @@ and apply_predicates t env preds nodes =
     (fun nodes pred ->
       List.filter
         (fun node ->
+          tick t;
           let env = ("." , Functions.Nodes [ node ]) :: env in
           match pred with
           | Ast.Pred_cmp (c, a, b) ->
@@ -362,11 +381,19 @@ let eval_pick t envs v fname args =
       envs
   end
 
-let eval_clause t (envs : env list) (clause : Ast.clause) : env list =
+let rec eval_clause t (envs : env list) (clause : Ast.clause) : env list =
+  let out = eval_clause_inner t envs clause in
+  (* the binding stream between clauses is the materialization the
+     cardinality cap governs *)
+  check_results t (List.length out);
+  out
+
+and eval_clause_inner t (envs : env list) (clause : Ast.clause) : env list =
   match clause with
   | Ast.For (v, e) ->
     List.concat_map
       (fun env ->
+        tick t;
         match eval_expr t env e with
         | Functions.Nodes ns ->
           List.map (fun n -> (v, Functions.Nodes [ n ]) :: env) ns
@@ -441,7 +468,7 @@ let sort_results field results =
   in
   List.stable_sort (fun a b -> compare (key b) (key a)) results
 
-let run t (q : Ast.t) =
+let run_ungoverned t (q : Ast.t) =
   let envs = List.fold_left (eval_clause t) [ [] ] q.clauses in
   (* threshold filters bindings before construction *)
   let envs =
@@ -466,6 +493,20 @@ let run t (q : Ast.t) =
     List.filteri (fun i _ -> i < k) results
   | Some { stop_after = None; _ } | None -> results
 
+let run t (q : Ast.t) =
+  (* A fresh governor per query: exhaustion aborts this run only and
+     leaves the evaluator (and its database) usable afterwards. *)
+  let gov = Core.Governor.start t.limits in
+  t.governor <- Some gov;
+  Fun.protect
+    ~finally:(fun () -> t.governor <- None)
+    (fun () ->
+      let results = run_ungoverned t q in
+      (* the clock is sampled sparsely during evaluation; settle the
+         deadline before handing results back *)
+      Core.Governor.check_deadline gov;
+      results)
+
 let run_string t src =
   match Parser.parse src with
   | Result.Error e ->
@@ -474,4 +515,9 @@ let run_string t src =
     match run t q with
     | results -> Result.Ok results
     | exception Error msg -> Result.Error msg
+    | exception Core.Governor.Resource_exhausted v ->
+      Result.Error (Core.Governor.violation_to_string v)
+    | exception Store.Pager.Read_error e ->
+      Result.Error
+        (Format.asprintf "storage error: %a" Store.Pager.pp_read_error e)
   end

@@ -12,14 +12,22 @@ type t
 
 exception Error of string
 
-val create : ?functions:Functions.t -> Store.Db.t -> t
-(** [functions] defaults to {!Functions.builtins}. *)
+val create :
+  ?functions:Functions.t -> ?limits:Core.Governor.limits -> Store.Db.t -> t
+(** [functions] defaults to {!Functions.builtins}; [limits] (default
+    {!Core.Governor.unlimited}) governs every subsequent {!run}: a
+    fresh {!Core.Governor.t} is started per query, charging a step
+    per evaluated expression / navigated node and gating intermediate
+    binding cardinality. *)
 
 val functions : t -> Functions.t
 
 val run : t -> Ast.t -> Xmlkit.Tree.element list
 (** Evaluate a parsed query; results in ranked order when the query
-    has a [Sortby]. Raises {!Error}. *)
+    has a [Sortby]. Raises {!Error}, or
+    {!Core.Governor.Resource_exhausted} when the evaluator's limits
+    are breached (the evaluator stays usable afterwards). *)
 
 val run_string : t -> string -> (Xmlkit.Tree.element list, string) result
-(** Parse and evaluate. *)
+(** Parse and evaluate; governor breaches and storage faults come
+    back as [Error] strings rather than exceptions. *)

@@ -1,1 +1,1 @@
-lib/store/db.ml: Array Buffer Bytes Catalog Element_rec Element_store Format Fun Ir List Logs Pager Parent_index Seq String Tag_index Unix Xmlkit
+lib/store/db.ml: Array Buffer Bytes Catalog Char Crc32 Element_rec Element_store Format Fun Ir List Logs Pager Parent_index Printexc Printf Seq String Sys Tag_index Unix Xmlkit

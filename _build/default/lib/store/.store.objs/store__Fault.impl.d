@@ -1,0 +1,1 @@
+lib/store/fault.ml: Bytes Char Int64

@@ -1,1 +1,1 @@
-lib/store/pager.ml: Array Bytes Hashtbl
+lib/store/pager.ml: Array Bytes Crc32 Fault Format Hashtbl Printf

@@ -1,1 +1,1 @@
-lib/store/pager.mli: Bytes
+lib/store/pager.mli: Bytes Fault Format

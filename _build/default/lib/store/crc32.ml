@@ -1,0 +1,27 @@
+(* Reflected CRC-32 with the IEEE polynomial 0xEDB88320, one table
+   entry per byte value. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc byte =
+  let table = Lazy.force table in
+  table.((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+
+let string ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.string";
+  let crc = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    crc := update !crc (Char.code (String.unsafe_get s i))
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let bytes ?off ?len b = string ?off ?len (Bytes.unsafe_to_string b)

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected, table-driven).
+
+    Used for the page-level checksums the {!Pager} verifies on every
+    buffer-pool miss and the per-section checksums of saved database
+    images. Values fit in 32 bits and are returned as non-negative
+    OCaml ints. *)
+
+val bytes : ?off:int -> ?len:int -> Bytes.t -> int
+(** Checksum of a byte range (the whole buffer by default). *)
+
+val string : ?off:int -> ?len:int -> string -> int

@@ -57,17 +57,36 @@ let descendant_counts (infos : Xmlkit.Numbering.info array) =
   done;
   counts
 
-let load ?(options = default_options) docs =
-  let catalog = Catalog.create () in
-  let store_builder =
-    Element_store.builder ~page_size:options.page_size
-      ~pool_pages:options.pool_pages ()
-  in
-  let parent_builder = Parent_index.builder () in
-  let tag_builder = Tag_index.builder () in
-  let index_builder = Ir.Inverted_index.builder ~stem:options.stem () in
-  let numberings = ref [] in
-  let ingest (name, root) =
+type builders = {
+  b_catalog : Catalog.t;
+  b_store : Element_store.builder;
+  b_parents : Parent_index.builder;
+  b_tags : Tag_index.builder;
+  b_index : Ir.Inverted_index.builder;
+  mutable b_numberings : Xmlkit.Numbering.t list;  (* reverse order *)
+  b_options : load_options;
+}
+
+let make_builders options =
+  {
+    b_catalog = Catalog.create ();
+    b_store =
+      Element_store.builder ~page_size:options.page_size
+        ~pool_pages:options.pool_pages ();
+    b_parents = Parent_index.builder ();
+    b_tags = Tag_index.builder ();
+    b_index = Ir.Inverted_index.builder ~stem:options.stem ();
+    b_numberings = [];
+    b_options = options;
+  }
+
+let ingest b (name, root) =
+  let options = b.b_options in
+  let catalog = b.b_catalog in
+  let store_builder = b.b_store in
+  let parent_builder = b.b_parents in
+  let tag_builder = b.b_tags in
+  let index_builder = b.b_index in
     let doc = Catalog.add_document catalog name in
     let text ~owner:_ ~owner_start ~start_key s =
       let next =
@@ -113,26 +132,73 @@ let load ?(options = default_options) docs =
         Tag_index.add tag_builder ~tag
           { Tag_index.doc; start = info.start; end_ = info.end_; level = info.level })
       infos;
-    if options.keep_trees then numberings := numbering :: !numberings
-  in
-  let started = Unix.gettimeofday () in
-  Seq.iter ingest docs;
-  Log.info (fun m ->
-      m "loaded %d documents in %.1f ms"
-        (Catalog.document_count catalog)
-        ((Unix.gettimeofday () -. started) *. 1000.));
+  if options.keep_trees then b.b_numberings <- numbering :: b.b_numberings
+
+let finish b =
   {
-    catalog;
-    elements = Element_store.freeze store_builder;
-    parents = Parent_index.freeze parent_builder;
-    tags = Tag_index.freeze tag_builder;
-    index = Ir.Inverted_index.freeze index_builder;
+    catalog = b.b_catalog;
+    elements = Element_store.freeze b.b_store;
+    parents = Parent_index.freeze b.b_parents;
+    tags = Tag_index.freeze b.b_tags;
+    index = Ir.Inverted_index.freeze b.b_index;
     numberings =
-      (if options.keep_trees then Some (Array.of_list (List.rev !numberings))
+      (if b.b_options.keep_trees then
+         Some (Array.of_list (List.rev b.b_numberings))
        else None);
   }
 
+let load ?(options = default_options) docs =
+  let b = make_builders options in
+  let started = Unix.gettimeofday () in
+  Seq.iter (ingest b) docs;
+  Log.info (fun m ->
+      m "loaded %d documents in %.1f ms"
+        (Catalog.document_count b.b_catalog)
+        ((Unix.gettimeofday () -. started) *. 1000.));
+  finish b
+
 let of_documents ?options docs = load ?options (List.to_seq docs)
+
+type load_failure = { document : string; reason : string }
+
+type load_report = { loaded : int; failed : load_failure list }
+
+let load_isolated ?(options = default_options) docs =
+  let b = make_builders options in
+  let failed = ref [] and loaded = ref 0 in
+  let skip name reason =
+    Log.info (fun m -> m "skipping %s: %s" name reason);
+    failed := { document = name; reason } :: !failed
+  in
+  Seq.iter
+    (fun (name, parsed) ->
+      match parsed with
+      | Error reason -> skip name reason
+      | Ok root -> begin
+        (* Dry-run the numbering pass before any builder sees the
+           document: whatever would make the real ingest blow up —
+           a pathological tree, a stack overflow — fails here, where
+           skipping is still free. *)
+        match ignore (Xmlkit.Numbering.number root) with
+        | exception Stack_overflow -> skip name "document tree too deep"
+        | exception e -> skip name (Printexc.to_string e)
+        | () ->
+          ingest b (name, root);
+          incr loaded
+      end)
+    docs;
+  (finish b, { loaded = !loaded; failed = List.rev !failed })
+
+let pp_load_report ppf r =
+  Format.fprintf ppf "loaded %d document%s" r.loaded
+    (if r.loaded = 1 then "" else "s");
+  match r.failed with
+  | [] -> ()
+  | failures ->
+    Format.fprintf ppf ", skipped %d:" (List.length failures);
+    List.iter
+      (fun f -> Format.fprintf ppf "@,  %s: %s" f.document f.reason)
+      failures
 
 let catalog (t : t) = t.catalog
 let elements (t : t) = t.elements
@@ -176,9 +242,57 @@ let pp_stats ppf s =
     s.documents s.elements s.distinct_terms s.occurrences s.pages s.index_bytes
 
 (* ------------------------------------------------------------------ *)
-(* Persistence *)
+(* Persistence
 
-let magic = "TIXDB001"
+   Image layout (version 2):
+
+     magic   "TIXDB002"                       8 bytes
+     count   varint                           must be 3
+     section varint id, varint len,
+             4-byte big-endian CRC-32,        catalog = 1,
+             payload                          elements = 2, index = 3
+
+   Sections appear in id order and the file ends exactly after the
+   last payload. Every payload byte is covered by its section's
+   CRC-32; every framing byte is covered by structural checks, so a
+   single flipped byte anywhere is detected before any decoded value
+   is trusted. *)
+
+let magic = "TIXDB002"
+let magic_prefix = "TIXDB"
+
+type error =
+  | Not_a_database of { path : string }
+  | Unsupported_version of { path : string; found : string }
+  | Truncated of { path : string; detail : string }
+  | Checksum_mismatch of {
+      path : string;
+      section : string;
+      expected : int;
+      actual : int;
+    }
+  | Corrupt of { path : string; detail : string }
+  | Io_error of { path : string; detail : string }
+
+let pp_error ppf = function
+  | Not_a_database { path } ->
+    Format.fprintf ppf "%s: not a TIX database image" path
+  | Unsupported_version { path; found } ->
+    Format.fprintf ppf "%s: unsupported image version %S (this build reads %S)"
+      path found magic
+  | Truncated { path; detail } ->
+    Format.fprintf ppf "%s: truncated image: %s" path detail
+  | Checksum_mismatch { path; section; expected; actual } ->
+    Format.fprintf ppf
+      "%s: %s section checksum mismatch (stored %08x, computed %08x)" path
+      section expected actual
+  | Corrupt { path; detail } ->
+    Format.fprintf ppf "%s: corrupt image: %s" path detail
+  | Io_error { path; detail } -> Format.fprintf ppf "%s: %s" path detail
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let section_names = [| "catalog"; "elements"; "index" |]
 
 let add_string buf s =
   Ir.Codec.add_varint buf (String.length s);
@@ -188,10 +302,18 @@ let read_string bytes off =
   let len, off = Ir.Codec.read_varint bytes off in
   (Bytes.sub_string bytes off len, off + len)
 
-let save t path =
-  let buf = Buffer.create (1 lsl 20) in
-  Buffer.add_string buf magic;
-  (* catalog *)
+let add_crc32 buf crc =
+  Buffer.add_char buf (Char.chr ((crc lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((crc lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((crc lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (crc land 0xFF))
+
+let read_crc32 bytes off =
+  let b i = Char.code (Bytes.get bytes (off + i)) in
+  ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3, off + 4)
+
+let catalog_section t =
+  let buf = Buffer.create 4096 in
   Ir.Codec.add_varint buf (Catalog.document_count t.catalog);
   for doc = 0 to Catalog.document_count t.catalog - 1 do
     add_string buf (Catalog.document_name t.catalog doc)
@@ -200,26 +322,44 @@ let save t path =
   for tag = 0 to Catalog.tag_count t.catalog - 1 do
     add_string buf (Catalog.tag_name t.catalog tag)
   done;
-  Element_store.save t.elements buf;
-  Ir.Inverted_index.save t.index buf;
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  buf
 
-let open_file ?pool_pages path =
-  let ic = open_in_bin path in
-  let bytes =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        Bytes.of_string (really_input_string ic (in_channel_length ic)))
+let save t path =
+  let sections =
+    [
+      catalog_section t;
+      (let buf = Buffer.create (1 lsl 20) in
+       Element_store.save t.elements buf;
+       buf);
+      (let buf = Buffer.create (1 lsl 20) in
+       Ir.Inverted_index.save t.index buf;
+       buf);
+    ]
   in
-  if
-    Bytes.length bytes < String.length magic
-    || Bytes.sub_string bytes 0 (String.length magic) <> magic
-  then failwith "Db.open_file: not a TIX database image";
-  let off = String.length magic in
+  let image = Buffer.create (1 lsl 20) in
+  Buffer.add_string image magic;
+  Ir.Codec.add_varint image (List.length sections);
+  List.iteri
+    (fun i payload ->
+      let s = Buffer.contents payload in
+      Ir.Codec.add_varint image (i + 1);
+      Ir.Codec.add_varint image (String.length s);
+      add_crc32 image (Crc32.string s);
+      Buffer.add_string image s)
+    sections;
+  (* Atomic publication: assemble next to the target, then rename. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match Buffer.output_buffer oc image with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
+let decode_catalog bytes ~off ~len =
+  let limit = off + len in
   let catalog = Catalog.create () in
   let ndocs, off = Ir.Codec.read_varint bytes off in
   let off = ref off in
@@ -235,29 +375,157 @@ let open_file ?pool_pages path =
     ignore (Catalog.intern_tag catalog name);
     off := o
   done;
-  let elements, o = Element_store.load ?pool_pages bytes !off in
-  off := o;
-  let index, o = Ir.Inverted_index.load bytes !off in
-  off := o;
-  (* rebuild the in-memory indexes from the element pages *)
-  let parent_builder = Parent_index.builder () in
-  let tag_builder = Tag_index.builder () in
-  Element_store.scan elements (fun (r : Element_rec.t) ->
-      Parent_index.add parent_builder ~doc:r.doc ~start:r.start
-        {
-          Parent_index.parent = r.parent;
-          child_count = r.child_count;
-          level = r.level;
-          end_ = r.end_;
-          tag = r.tag;
-        };
-      Tag_index.add tag_builder ~tag:r.tag
-        { Tag_index.doc = r.doc; start = r.start; end_ = r.end_; level = r.level });
-  {
-    catalog;
-    elements;
-    parents = Parent_index.freeze parent_builder;
-    tags = Tag_index.freeze tag_builder;
-    index;
-    numberings = None;
-  }
+  if !off <> limit then failwith "catalog section length mismatch";
+  catalog
+
+let open_file ?pool_pages path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        Bytes.of_string (really_input_string ic (in_channel_length ic)))
+  with
+  | exception Sys_error detail -> Error (Io_error { path; detail })
+  | exception End_of_file ->
+    Error (Truncated { path; detail = "file shorter than its own length" })
+  | bytes ->
+    let total = Bytes.length bytes in
+    if
+      total < String.length magic_prefix
+      || Bytes.sub_string bytes 0 (String.length magic_prefix) <> magic_prefix
+    then Error (Not_a_database { path })
+    else if Bytes.sub_string bytes 0 (String.length magic) <> magic then
+      Error
+        (Unsupported_version
+           { path; found = Bytes.sub_string bytes 0 (String.length magic) })
+    else begin
+      (* Frame the sections; every read is bounds-checked by Bytes
+         itself, surfaced here as Truncated. *)
+      match
+        let nsections, off = Ir.Codec.read_varint bytes (String.length magic) in
+        if nsections <> Array.length section_names then
+          Error
+            (Corrupt
+               {
+                 path;
+                 detail =
+                   Printf.sprintf "expected %d sections, header says %d"
+                     (Array.length section_names) nsections;
+               })
+        else begin
+          let rec frame i off acc =
+            if i >= nsections then
+              if off <> total then
+                Error
+                  (Corrupt
+                     {
+                       path;
+                       detail =
+                         Printf.sprintf "%d trailing bytes after last section"
+                           (total - off);
+                     })
+              else Ok (List.rev acc)
+            else begin
+              let id, off = Ir.Codec.read_varint bytes off in
+              let len, off = Ir.Codec.read_varint bytes off in
+              let crc, off = read_crc32 bytes off in
+              if id <> i + 1 then
+                Error
+                  (Corrupt
+                     {
+                       path;
+                       detail =
+                         Printf.sprintf "section %d has id %d" (i + 1) id;
+                     })
+              else if len < 0 || off + len > total then
+                Error
+                  (Truncated
+                     {
+                       path;
+                       detail =
+                         Printf.sprintf
+                           "%s section claims %d bytes, %d remain"
+                           section_names.(i) len (total - off);
+                     })
+              else frame (i + 1) (off + len) ((section_names.(i), off, len, crc) :: acc)
+            end
+          in
+          frame 0 off []
+        end
+      with
+      | exception Invalid_argument _ ->
+        Error (Truncated { path; detail = "file ends inside the header" })
+      | Error e -> Error e
+      | Ok sections ->
+        (* Verify every checksum before trusting a single byte. *)
+        let bad =
+          List.find_map
+            (fun (name, off, len, expected) ->
+              let actual = Crc32.bytes ~off ~len bytes in
+              if actual <> expected then
+                Some
+                  (Checksum_mismatch { path; section = name; expected; actual })
+              else None)
+            sections
+        in
+        (match bad with
+        | Some e -> Error e
+        | None -> begin
+          let find name =
+            let _, off, len, _ =
+              List.find (fun (n, _, _, _) -> n = name) sections
+            in
+            (off, len)
+          in
+          match
+            let cat_off, cat_len = find "catalog" in
+            let catalog = decode_catalog bytes ~off:cat_off ~len:cat_len in
+            let el_off, el_len = find "elements" in
+            let elements, el_end = Element_store.load ?pool_pages bytes el_off in
+            if el_end <> el_off + el_len then
+              failwith "elements section length mismatch";
+            let ix_off, ix_len = find "index" in
+            let index, ix_end = Ir.Inverted_index.load bytes ix_off in
+            if ix_end <> ix_off + ix_len then
+              failwith "index section length mismatch";
+            (* rebuild the in-memory indexes from the element pages *)
+            let parent_builder = Parent_index.builder () in
+            let tag_builder = Tag_index.builder () in
+            Element_store.scan elements (fun (r : Element_rec.t) ->
+                Parent_index.add parent_builder ~doc:r.doc ~start:r.start
+                  {
+                    Parent_index.parent = r.parent;
+                    child_count = r.child_count;
+                    level = r.level;
+                    end_ = r.end_;
+                    tag = r.tag;
+                  };
+                Tag_index.add tag_builder ~tag:r.tag
+                  {
+                    Tag_index.doc = r.doc;
+                    start = r.start;
+                    end_ = r.end_;
+                    level = r.level;
+                  });
+            {
+              catalog;
+              elements;
+              parents = Parent_index.freeze parent_builder;
+              tags = Tag_index.freeze tag_builder;
+              index;
+              numberings = None;
+            }
+          with
+          | db -> Ok db
+          | exception e ->
+            (* checksums passed but decoding still tripped: report,
+               never escape *)
+            Error (Corrupt { path; detail = Printexc.to_string e })
+        end)
+    end
+
+let open_file_exn ?pool_pages path =
+  match open_file ?pool_pages path with
+  | Ok db -> db
+  | Error e -> failwith (error_to_string e)

@@ -30,6 +30,23 @@ val load : ?options:load_options -> (string * Xmlkit.Tree.element) Seq.t -> t
 
 val of_documents : ?options:load_options -> (string * Xmlkit.Tree.element) list -> t
 
+type load_failure = { document : string; reason : string }
+
+type load_report = { loaded : int; failed : load_failure list }
+(** [failed] is in input order. *)
+
+val load_isolated :
+  ?options:load_options ->
+  (string * (Xmlkit.Tree.element, string) result) Seq.t ->
+  t * load_report
+(** Skip-and-report bulk load: documents whose parse already failed
+    ([Error reason]) and documents whose ingest raises are recorded
+    in the report and skipped, instead of aborting the whole load.
+    Each document is dry-run numbered before it touches any builder,
+    so a failing document leaves no partial records behind. *)
+
+val pp_load_report : Format.formatter -> load_report -> unit
+
 val catalog : t -> Catalog.t
 val elements : t -> Element_store.t
 val parents : t -> Parent_index.t
@@ -50,17 +67,52 @@ val tag_of : t -> doc:int -> start:int -> string option
 (** Tag name of the element with the given start key, resolved
     through the parent index and the catalog (no data-page access). *)
 
-(** {1 Persistence} *)
+(** {1 Persistence}
+
+    A saved image is versioned and checksummed: a magic header
+    followed by three framed sections (catalog, element pages,
+    inverted index), each carrying its length and a CRC-32 of its
+    payload. {!open_file} verifies every checksum before decoding a
+    byte of a section, so any corruption of the image — a flipped
+    bit, a torn write, a truncation — is reported as a typed
+    {!error}, never as a crash or a silently wrong database. *)
+
+type error =
+  | Not_a_database of { path : string }
+      (** the file does not start with a TIX magic header *)
+  | Unsupported_version of { path : string; found : string }
+      (** a TIX image, but of a format this build cannot read *)
+  | Truncated of { path : string; detail : string }
+      (** the file ends before the data its header promises *)
+  | Checksum_mismatch of {
+      path : string;
+      section : string;
+      expected : int;
+      actual : int;
+    }  (** a section's payload does not match its stored CRC-32 *)
+  | Corrupt of { path : string; detail : string }
+      (** checksums pass but the image is structurally inconsistent *)
+  | Io_error of { path : string; detail : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
 
 val save : t -> string -> unit
 (** [save db path] writes the database image — catalog, element
-    pages and inverted index — to one file. Retained trees are not
-    persisted. *)
+    pages and inverted index — to one file. The write is atomic: the
+    image is assembled in a temporary file in the same directory and
+    renamed over [path], so a crash mid-save never leaves a torn
+    image behind. Retained trees are not persisted. *)
 
-val open_file : ?pool_pages:int -> string -> t
+val open_file : ?pool_pages:int -> string -> (t, error) result
 (** Load a database image written by {!save}. The parent and tag
     indexes are rebuilt with one scan of the element pages; trees are
     not retained (queries must use the compiled engine path or reload
-    the source documents). Raises [Failure] on a bad image. *)
+    the source documents). *)
+
+val open_file_exn : ?pool_pages:int -> string -> t
+(** Like {!open_file} but raises [Failure] with the printed error —
+    the pre-typed-error behaviour, kept for callers that treat a bad
+    image as fatal. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,77 @@
+type t = {
+  seed : int;
+  transient_rate : float;
+  corrupt_rate : float;
+  max_retries : int;
+  mutable injected_transient : int;
+  mutable injected_corrupt : int;
+}
+
+type outcome = Healthy | Transient | Corrupt
+
+type injection_stats = { transient : int; corrupt : int }
+
+let create ?(seed = 0) ?(transient_rate = 0.) ?(corrupt_rate = 0.)
+    ?(max_retries = 3) () =
+  if transient_rate < 0. || transient_rate > 1. then
+    invalid_arg "Fault.create: transient_rate outside [0, 1]";
+  if corrupt_rate < 0. || corrupt_rate > 1. then
+    invalid_arg "Fault.create: corrupt_rate outside [0, 1]";
+  if max_retries < 0 then invalid_arg "Fault.create: negative max_retries";
+  {
+    seed;
+    transient_rate;
+    corrupt_rate;
+    max_retries;
+    injected_transient = 0;
+    injected_corrupt = 0;
+  }
+
+let max_retries t = t.max_retries
+let seed t = t.seed
+let stats t = { transient = t.injected_transient; corrupt = t.injected_corrupt }
+
+(* splitmix64 finalizer: a few rounds of multiply-xorshift give a
+   well-distributed 64-bit hash of the mixed-in key parts. *)
+let mix64 x =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let hash t ~page ~attempt ~salt =
+  let open Int64 in
+  let h = mix64 (add (of_int t.seed) 0x9e3779b97f4a7c15L) in
+  let h = mix64 (logxor h (of_int page)) in
+  let h = mix64 (logxor h (of_int ((attempt lsl 8) lor salt))) in
+  h
+
+(* uniform float in [0, 1) from the top 53 bits *)
+let unit_float h =
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1. /. 9007199254740992.)
+
+let roll t ~page ~attempt ~salt rate =
+  rate > 0. && unit_float (hash t ~page ~attempt ~salt) < rate
+
+let outcome t ~page ~attempt =
+  (* corruption is a property of the page, not of the attempt *)
+  if roll t ~page ~attempt:0 ~salt:1 t.corrupt_rate then begin
+    t.injected_corrupt <- t.injected_corrupt + 1;
+    Corrupt
+  end
+  else if roll t ~page ~attempt ~salt:0 t.transient_rate then begin
+    t.injected_transient <- t.injected_transient + 1;
+    Transient
+  end
+  else Healthy
+
+let corrupt_in_place t ~page bytes =
+  let len = Bytes.length bytes in
+  if len > 0 then begin
+    let h = hash t ~page ~attempt:0 ~salt:2 in
+    let pos = Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int len)) in
+    (* xor with a nonzero mask so the byte always changes *)
+    let mask = 1 + (Int64.to_int (Int64.logand h 0xffL) land 0xfe) in
+    Bytes.set bytes pos
+      (Char.chr (Char.code (Bytes.get bytes pos) lxor mask))
+  end

@@ -1,0 +1,54 @@
+(** Deterministic, seedable fault injection for the storage layer.
+
+    The injector simulates the disk failing underneath the buffer
+    pool. The {!Pager} consults it on every physical page read (pool
+    miss) and reacts to the decided outcome:
+
+    - {e transient} faults model a read that fails once and succeeds
+      on retry (a timeout, a recoverable bus error). The decision is
+      keyed on [(seed, page, attempt)], so retrying the same read
+      re-rolls and a bounded retry loop converges whenever the rate
+      is below 1.
+    - {e corruption} faults model a torn or bit-rotted page: the
+      bytes handed back differ from what was written. The decision is
+      keyed on [(seed, page)] only, so it is {e permanent} — the same
+      page fails identically on every attempt, like a bad sector.
+
+    Everything is a pure function of the seed: a failing run replays
+    exactly. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?transient_rate:float ->
+  ?corrupt_rate:float ->
+  ?max_retries:int ->
+  unit ->
+  t
+(** [transient_rate] and [corrupt_rate] are probabilities in
+    [\[0, 1\]] (defaults 0); [max_retries] bounds the pager's retry
+    loop for transient faults (default 3 retries after the first
+    attempt). *)
+
+type outcome =
+  | Healthy
+  | Transient  (** this attempt fails; a retry may succeed *)
+  | Corrupt  (** the page is permanently damaged *)
+
+val outcome : t -> page:int -> attempt:int -> outcome
+(** Decide the fate of read [attempt] (0-based) of [page].
+    Deterministic in [(seed, page, attempt)]. *)
+
+val corrupt_in_place : t -> page:int -> Bytes.t -> unit
+(** Damage the page image the way the decided corruption would:
+    flips one deterministically chosen byte (no-op on empty pages).
+    The pager's checksum verification is expected to catch this. *)
+
+val max_retries : t -> int
+val seed : t -> int
+
+type injection_stats = { transient : int; corrupt : int }
+
+val stats : t -> injection_stats
+(** How many faults of each kind were actually injected. *)

@@ -3,7 +3,28 @@ type stats = {
   reads : int;
   misses : int;
   bytes_transferred : int;
+  failures : int;
 }
+
+type fault_kind = Transient_exhausted | Checksum_mismatch
+
+type read_error = {
+  page : int;
+  kind : fault_kind;
+  attempts : int;
+  detail : string;
+}
+
+exception Read_error of read_error
+
+let pp_read_error ppf e =
+  Format.fprintf ppf "page %d: %s (%d attempt%s): %s" e.page
+    (match e.kind with
+    | Transient_exhausted -> "transient read fault persisted"
+    | Checksum_mismatch -> "checksum mismatch")
+    e.attempts
+    (if e.attempts = 1 then "" else "s")
+    e.detail
 
 type frame = { page_id : int; data : Bytes.t; mutable tick : int }
 
@@ -11,12 +32,15 @@ type t = {
   size : int;
   pool_pages : int;
   mutable stable : Bytes.t array;  (* the simulated disk *)
+  mutable checksums : int array;  (* CRC-32 of each stable page *)
   mutable stable_count : int;
   frames : (int, frame) Hashtbl.t;
   mutable clock : int;
   mutable reads : int;
   mutable misses : int;
   mutable bytes_transferred : int;
+  mutable failures : int;
+  mutable fault : Fault.t option;
 }
 
 let default_page_size = 8192
@@ -26,12 +50,15 @@ let create ?(pool_pages = 1024) ~page_size () =
     size = page_size;
     pool_pages;
     stable = Array.make 64 Bytes.empty;
+    checksums = Array.make 64 0;
     stable_count = 0;
     frames = Hashtbl.create 256;
     clock = 0;
     reads = 0;
     misses = 0;
     bytes_transferred = 0;
+    failures = 0;
+    fault = None;
   }
 
 let page_size t = t.size
@@ -41,14 +68,21 @@ let append_page t page =
   if t.stable_count >= capacity then begin
     let fresh = Array.make (capacity * 2) Bytes.empty in
     Array.blit t.stable 0 fresh 0 capacity;
-    t.stable <- fresh
+    t.stable <- fresh;
+    let fresh_sums = Array.make (capacity * 2) 0 in
+    Array.blit t.checksums 0 fresh_sums 0 capacity;
+    t.checksums <- fresh_sums
   end;
   let id = t.stable_count in
   t.stable.(id) <- page;
+  t.checksums.(id) <- Crc32.bytes page;
   t.stable_count <- id + 1;
   id
 
 let page_count t = t.stable_count
+
+let set_fault t fault = t.fault <- fault
+let fault t = t.fault
 
 let evict_lru t =
   (* Linear scan over the pool; the pool is small and eviction is on
@@ -64,23 +98,83 @@ let evict_lru t =
   | Some frame -> Hashtbl.remove t.frames frame.page_id
   | None -> ()
 
-let read_page t id =
-  if id < 0 || id >= t.stable_count then invalid_arg "Pager.read_page";
+(* One physical read: copy the stable page, let the injector damage
+   it, then verify the checksum. Retries re-roll transient faults;
+   corruption is permanent, so a checksum mismatch ends the loop
+   immediately. *)
+let transfer t id =
+  let verify ~attempts data =
+    let actual = Crc32.bytes data in
+    if actual = t.checksums.(id) then Ok data
+    else
+      Error
+        {
+          page = id;
+          kind = Checksum_mismatch;
+          attempts;
+          detail =
+            Printf.sprintf "stored crc32 %08x, computed %08x" t.checksums.(id)
+              actual;
+        }
+  in
+  let rec attempt k =
+    match t.fault with
+    | None -> verify ~attempts:(k + 1) (Bytes.copy t.stable.(id))
+    | Some f -> begin
+      match Fault.outcome f ~page:id ~attempt:k with
+      | Fault.Healthy -> verify ~attempts:(k + 1) (Bytes.copy t.stable.(id))
+      | Fault.Corrupt ->
+        let data = Bytes.copy t.stable.(id) in
+        Fault.corrupt_in_place f ~page:id data;
+        verify ~attempts:(k + 1) data
+      | Fault.Transient ->
+        if k < Fault.max_retries f then attempt (k + 1)
+        else
+          Error
+            {
+              page = id;
+              kind = Transient_exhausted;
+              attempts = k + 1;
+              detail =
+                Printf.sprintf "injected transient fault on every attempt \
+                                (retry budget %d)"
+                  (Fault.max_retries f);
+            }
+    end
+  in
+  attempt 0
+
+let read_page_result t id =
+  if id < 0 || id >= t.stable_count then begin
+    t.failures <- t.failures + 1;
+    invalid_arg
+      (Printf.sprintf "Pager.read_page: page %d out of bounds (page count %d)"
+         id t.stable_count)
+  end;
   t.reads <- t.reads + 1;
   t.clock <- t.clock + 1;
   match Hashtbl.find_opt t.frames id with
   | Some frame ->
     frame.tick <- t.clock;
-    frame.data
-  | None ->
+    Ok frame.data
+  | None -> begin
     t.misses <- t.misses + 1;
-    let src = t.stable.(id) in
-    (* The copy is the simulated disk-to-pool transfer. *)
-    let data = Bytes.copy src in
-    t.bytes_transferred <- t.bytes_transferred + Bytes.length data;
-    if Hashtbl.length t.frames >= t.pool_pages then evict_lru t;
-    Hashtbl.replace t.frames id { page_id = id; data; tick = t.clock };
-    data
+    match transfer t id with
+    | Error e ->
+      t.failures <- t.failures + 1;
+      Error e
+    | Ok data ->
+      (* The copy is the simulated disk-to-pool transfer. *)
+      t.bytes_transferred <- t.bytes_transferred + Bytes.length data;
+      if Hashtbl.length t.frames >= t.pool_pages then evict_lru t;
+      Hashtbl.replace t.frames id { page_id = id; data; tick = t.clock };
+      Ok data
+  end
+
+let read_page t id =
+  match read_page_result t id with
+  | Ok data -> data
+  | Error e -> raise (Read_error e)
 
 let stats t =
   {
@@ -88,11 +182,13 @@ let stats t =
     reads = t.reads;
     misses = t.misses;
     bytes_transferred = t.bytes_transferred;
+    failures = t.failures;
   }
 
 let reset_stats t =
   t.reads <- 0;
   t.misses <- 0;
-  t.bytes_transferred <- 0
+  t.bytes_transferred <- 0;
+  t.failures <- 0
 
 let clear_pool t = Hashtbl.reset t.frames

@@ -4,7 +4,14 @@
     the paper runs inside: every record access goes through
     {!read_page}, misses pay a page transfer (a copy into a pool
     frame) and statistics expose how much of the database each access
-    method touches. *)
+    method touches.
+
+    Every appended page is checksummed (CRC-32); the checksum is
+    re-verified on every pool miss, so a damaged transfer — whether
+    injected through {!set_fault} or caused by real bit rot in the
+    stable storage — surfaces as a typed {!Read_error} instead of
+    silently wrong records. Transient faults are retried up to the
+    injector's budget before giving up. *)
 
 type t
 
@@ -13,7 +20,27 @@ type stats = {
   reads : int;  (** logical page reads *)
   misses : int;  (** reads that were not served from the pool *)
   bytes_transferred : int;
+  failures : int;
+      (** reads that ended in an error: out-of-bounds page ids,
+          exhausted transient retries and checksum mismatches *)
 }
+
+(** {1 Read faults} *)
+
+type fault_kind =
+  | Transient_exhausted  (** every retry of a transient fault failed *)
+  | Checksum_mismatch  (** page bytes do not match their checksum *)
+
+type read_error = {
+  page : int;
+  kind : fault_kind;
+  attempts : int;  (** physical read attempts made *)
+  detail : string;
+}
+
+exception Read_error of read_error
+
+val pp_read_error : Format.formatter -> read_error -> unit
 
 val default_page_size : int
 
@@ -30,7 +57,22 @@ val page_count : t -> int
 
 val read_page : t -> int -> Bytes.t
 (** Fetch a page through the buffer pool. The returned bytes must be
-    treated as read-only. *)
+    treated as read-only. Raises [Invalid_argument] on an
+    out-of-bounds page id (the message names the page id and the
+    page count) and {!Read_error} when the physical read fails
+    permanently. *)
+
+val read_page_result : t -> int -> (Bytes.t, read_error) result
+(** Like {!read_page} but returns failed reads as values.
+    Out-of-bounds ids still raise [Invalid_argument]: asking for a
+    page that never existed is a caller bug, not a disk fault. *)
+
+val set_fault : t -> Fault.t option -> unit
+(** Attach (or clear) a fault injector; it is consulted on every
+    subsequent pool miss. Frames already resident serve hits without
+    touching the injector — call {!clear_pool} to force cold reads. *)
+
+val fault : t -> Fault.t option
 
 val stats : t -> stats
 val reset_stats : t -> unit

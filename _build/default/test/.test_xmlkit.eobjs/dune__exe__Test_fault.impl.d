@@ -1,0 +1,1 @@
+test/test_fault.ml: Access Alcotest Bytes Char Core Filename Fun List Option Query Store String Sys Workload Xmlkit

@@ -65,7 +65,7 @@ let test_persisted_pipeline () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Store.Db.save db path;
-      let reopened = Store.Db.open_file path in
+      let reopened = Store.Db.open_file_exn path in
       let ctx1 = Access.Ctx.of_db db and ctx2 = Access.Ctx.of_db reopened in
       (* every access method agrees across the save/open boundary *)
       let terms = [ "integalpha"; "integbeta" ] in

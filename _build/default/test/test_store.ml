@@ -412,7 +412,7 @@ let test_db_save_open () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Store.Db.save db path;
-      let reopened = Store.Db.open_file path in
+      let reopened = Store.Db.open_file_exn path in
       let s1 = Store.Db.stats db and s2 = Store.Db.stats reopened in
       check bool_ "same stats" true (s1 = s2);
       (* element records identical *)
@@ -448,8 +448,11 @@ let test_db_open_rejects_garbage () =
       output_string oc "not a database";
       close_out oc;
       match Store.Db.open_file path with
-      | _ -> Alcotest.fail "expected a failure"
-      | exception Failure _ -> ())
+      | Ok _ -> Alcotest.fail "expected a failure"
+      | Error (Store.Db.Not_a_database _) -> ()
+      | Error e ->
+        Alcotest.failf "expected Not_a_database, got: %s"
+          (Store.Db.error_to_string e))
 
 let test_persistence_query_agreement () =
   (* access methods give identical results on the reopened image *)
@@ -459,7 +462,7 @@ let test_persistence_query_agreement () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Store.Db.save db path;
-      let reopened = Store.Db.open_file path in
+      let reopened = Store.Db.open_file_exn path in
       let run d =
         Access.Term_join.to_list (Access.Ctx.of_db d)
           ~terms:[ "search"; "retrieval" ]

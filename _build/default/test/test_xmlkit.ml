@@ -281,6 +281,63 @@ let test_parse_deep_nesting () =
   let e = parse_ok (Buffer.contents buf) in
   check int_ "deep tree size" depth (Xmlkit.Tree.size e)
 
+let test_parse_depth_limit () =
+  let nested depth =
+    let buf = Buffer.create (depth * 8) in
+    for _ = 1 to depth do
+      Buffer.add_string buf "<d>"
+    done;
+    Buffer.add_string buf "x";
+    for _ = 1 to depth do
+      Buffer.add_string buf "</d>"
+    done;
+    Buffer.contents buf
+  in
+  let limits = Xmlkit.Parser.limits ~max_depth:16 () in
+  (* under the cap: parses fine *)
+  (match Xmlkit.Parser.parse_string ~limits (nested 16) with
+  | Ok e -> check int_ "size at the cap" 16 (Xmlkit.Tree.size e)
+  | Error e -> Alcotest.failf "at-cap parse failed: %a" Xmlkit.Parser.pp_error e);
+  (* over the cap: a located Parse_error, not a stack overflow *)
+  (match Xmlkit.Parser.parse_string ~limits (nested 17) with
+  | Ok _ -> Alcotest.fail "expected depth failure"
+  | Error e ->
+    check bool_ "message names nesting" true
+      (String.length e.Xmlkit.Parser.message > 0
+      && e.Xmlkit.Parser.line >= 1));
+  (* the exception variant raises Parse_error *)
+  match Xmlkit.Parser.parse_string_exn ~limits (nested 1000) with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Xmlkit.Parser.Parse_error _ -> ()
+
+let test_parse_entity_ref_limit () =
+  let doc n =
+    let buf = Buffer.create (n * 6) in
+    Buffer.add_string buf "<a>";
+    for _ = 1 to n do
+      Buffer.add_string buf "&#65;"
+    done;
+    Buffer.add_string buf "</a>";
+    Buffer.contents buf
+  in
+  let limits = Xmlkit.Parser.limits ~max_entity_refs:8 () in
+  (* under the cap: all references decode *)
+  (match Xmlkit.Parser.parse_string ~limits (doc 8) with
+  | Ok e ->
+    check string_ "decoded" (String.make 8 'A') (Xmlkit.Tree.local_text e)
+  | Error e -> Alcotest.failf "at-cap parse failed: %a" Xmlkit.Parser.pp_error e);
+  (* over the cap: typed failure *)
+  (match Xmlkit.Parser.parse_string ~limits (doc 9) with
+  | Ok _ -> Alcotest.fail "expected reference-cap failure"
+  | Error _ -> ());
+  (* the budget is document-wide, spanning attributes and text *)
+  match
+    Xmlkit.Parser.parse_string ~limits
+      "<a x=\"&#65;&#65;&#65;&#65;&#65;\">&#65;&#65;&#65;&#65;</a>"
+  with
+  | Ok _ -> Alcotest.fail "expected cross-node cap failure"
+  | Error _ -> ()
+
 let test_parse_single_quotes_and_comments () =
   let e = parse_ok "<a x='v'><!-- dash - dash --and more -->t</a>" in
   check (Alcotest.option string_) "single-quoted attr" (Some "v")
@@ -316,6 +373,8 @@ let () =
           tc "fragment" `Quick test_parse_fragment;
           tc "print roundtrip" `Quick test_print_roundtrip;
           tc "deep nesting" `Quick test_parse_deep_nesting;
+          tc "depth limit" `Quick test_parse_depth_limit;
+          tc "entity reference limit" `Quick test_parse_entity_ref_limit;
           tc "single quotes and comments" `Quick
             test_parse_single_quotes_and_comments;
           tc "doctype internal subset" `Quick test_parse_doctype_internal_subset;

@@ -5,7 +5,25 @@ exception Parse_error of error
 let pp_error ppf e =
   Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
 
-type state = { src : string; mutable pos : int; len : int }
+type limits = { max_depth : int; max_entity_refs : int }
+
+let default_limits = { max_depth = 10_000; max_entity_refs = 1_000_000 }
+
+let limits ?(max_depth = default_limits.max_depth)
+    ?(max_entity_refs = default_limits.max_entity_refs) () =
+  if max_depth < 1 then invalid_arg "Parser.limits: max_depth must be >= 1";
+  if max_entity_refs < 0 then
+    invalid_arg "Parser.limits: max_entity_refs must be >= 0";
+  { max_depth; max_entity_refs }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  len : int;
+  limits : limits;
+  mutable depth : int;  (** current element-nesting depth *)
+  mutable entity_refs : int;  (** references decoded so far *)
+}
 
 let position st =
   (* Compute line/column lazily, only on error paths. *)
@@ -34,6 +52,21 @@ let looking_at st s =
 let expect st s =
   if looking_at st s then st.pos <- st.pos + String.length s
   else fail st (Printf.sprintf "expected %S" s)
+
+(* Decode entities while charging each reference against the
+   document-wide budget, so reference-stuffed inputs fail with a
+   located error instead of burning unbounded CPU. *)
+let decode_charged st s =
+  let refs = ref 0 in
+  String.iter (fun c -> if c = '&' then incr refs) s;
+  if !refs > 0 then begin
+    st.entity_refs <- st.entity_refs + !refs;
+    if st.entity_refs > st.limits.max_entity_refs then
+      fail st
+        (Printf.sprintf "more than %d entity/character references"
+           st.limits.max_entity_refs)
+  end;
+  Entity.decode s
 
 let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
@@ -70,7 +103,7 @@ let parse_attr_value st =
     (match String.index_from_opt st.src st.pos quote with
     | Some j ->
       st.pos <- j + 1;
-      Entity.decode (String.sub st.src start (j - start))
+      decode_charged st (String.sub st.src start (j - start))
     | None -> fail st "unterminated attribute value")
   | Some _ | None -> fail st "expected a quoted attribute value"
 
@@ -156,23 +189,31 @@ and parse_node st =
     while st.pos < st.len && st.src.[st.pos] <> '<' do
       advance st
     done;
-    Tree.Text (Entity.decode (String.sub st.src start (st.pos - start)))
+    Tree.Text (decode_charged st (String.sub st.src start (st.pos - start)))
   end
 
 and parse_element st =
   expect st "<";
+  st.depth <- st.depth + 1;
+  if st.depth > st.limits.max_depth then
+    fail st
+      (Printf.sprintf "element nesting deeper than %d" st.limits.max_depth);
   let tag = parse_name st in
   let attrs = parse_attrs st in
   skip_space st;
-  if looking_at st "/>" then begin
-    st.pos <- st.pos + 2;
-    { Tree.tag; attrs; children = [] }
-  end
-  else begin
-    expect st ">";
-    let children = parse_content st tag [] in
-    { Tree.tag; attrs; children }
-  end
+  let element =
+    if looking_at st "/>" then begin
+      st.pos <- st.pos + 2;
+      { Tree.tag; attrs; children = [] }
+    end
+    else begin
+      expect st ">";
+      let children = parse_content st tag [] in
+      { Tree.tag; attrs; children }
+    end
+  in
+  st.depth <- st.depth - 1;
+  element
 
 let skip_misc st =
   let continue = ref true in
@@ -190,8 +231,17 @@ let skip_misc st =
     else continue := false
   done
 
-let run f s =
-  let st = { src = s; pos = 0; len = String.length s } in
+let run ~limits f s =
+  let st =
+    {
+      src = s;
+      pos = 0;
+      len = String.length s;
+      limits;
+      depth = 0;
+      entity_refs = 0;
+    }
+  in
   match f st with
   | v -> Ok v
   | exception Parse_error e -> Error e
@@ -204,12 +254,14 @@ let parse_document st =
   if st.pos < st.len then fail st "trailing content after root element";
   root
 
-let parse_string s = run parse_document s
+let parse_string ?(limits = default_limits) s = run ~limits parse_document s
 
-let parse_string_exn s =
-  match parse_string s with Ok e -> e | Error e -> raise (Parse_error e)
+let parse_string_exn ?limits s =
+  match parse_string ?limits s with
+  | Ok e -> e
+  | Error e -> raise (Parse_error e)
 
-let parse_fragment s =
+let parse_fragment ?(limits = default_limits) s =
   let parse_all st =
     let rec loop acc =
       skip_space st;
@@ -220,7 +272,7 @@ let parse_fragment s =
     in
     loop []
   in
-  run parse_all s
+  run ~limits parse_all s
 
 let read_file path =
   let ic = open_in_bin path in
@@ -228,4 +280,4 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let parse_file path = parse_string (read_file path)
+let parse_file ?limits path = parse_string ?limits (read_file path)

@@ -13,17 +13,36 @@ exception Parse_error of error
 
 val pp_error : Format.formatter -> error -> unit
 
-val parse_string : string -> (Tree.element, error) result
+type limits = {
+  max_depth : int;  (** maximum element-nesting depth *)
+  max_entity_refs : int;
+      (** maximum entity / numeric character references decoded per
+          document *)
+}
+(** Guard rails against pathological inputs (deeply nested element
+    bombs, reference-stuffed text). Breaching either limit fails the
+    parse with a located {!Parse_error} rather than exhausting the
+    stack or CPU. *)
+
+val default_limits : limits
+(** 10,000 levels of nesting; 1,000,000 references. *)
+
+val limits : ?max_depth:int -> ?max_entity_refs:int -> unit -> limits
+(** Omitted fields take their {!default_limits} values. Raises
+    [Invalid_argument] on a non-positive [max_depth] or negative
+    [max_entity_refs]. *)
+
+val parse_string : ?limits:limits -> string -> (Tree.element, error) result
 (** [parse_string s] parses a complete XML document and returns its
     root element. *)
 
-val parse_string_exn : string -> Tree.element
+val parse_string_exn : ?limits:limits -> string -> Tree.element
 (** Like {!parse_string} but raises {!Parse_error}. *)
 
-val parse_fragment : string -> (Tree.node list, error) result
+val parse_fragment : ?limits:limits -> string -> (Tree.node list, error) result
 (** [parse_fragment s] parses a sequence of top-level nodes, e.g. a
     file holding several documents concatenated (as [reviews.xml] in
     the paper's Figure 1). *)
 
-val parse_file : string -> (Tree.element, error) result
+val parse_file : ?limits:limits -> string -> (Tree.element, error) result
 (** [parse_file path] reads and parses the file at [path]. *)
