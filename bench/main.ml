@@ -122,6 +122,43 @@ let trimmed_mean samples =
   in
   List.fold_left ( +. ) 0. trimmed /. float_of_int (max 1 (List.length trimmed))
 
+let median samples =
+  let s = List.sort compare samples in
+  let n = List.length s in
+  if n = 0 then nan
+  else if n mod 2 = 1 then List.nth s (n / 2)
+  else (List.nth s ((n / 2) - 1) +. List.nth s (n / 2)) /. 2.
+
+(* Machine-readable results: every named measurement accumulates
+   here and is dumped as JSON when the run finishes. *)
+let bench_results : (string * float list) list ref = ref []
+
+let json_path =
+  match Sys.getenv_opt "TIX_BENCH_JSON" with
+  | Some p -> p
+  | None -> "BENCH_results.json"
+
+let write_results_json () =
+  match List.rev !bench_results with
+  | [] -> ()
+  | entries ->
+    let oc = open_out json_path in
+    let entry (name, samples) =
+      Printf.sprintf
+        "  {\"experiment\": %S, \"articles\": %d, \"runs\": %d, \
+         \"median_ns\": %.0f, \"samples_ns\": [%s]}"
+        name articles (List.length samples)
+        (median samples *. 1e9)
+        (String.concat ", "
+           (List.map (fun s -> Printf.sprintf "%.0f" (s *. 1e9)) samples))
+    in
+    output_string oc "[\n";
+    output_string oc (String.concat ",\n" (List.map entry entries));
+    output_string oc "\n]\n";
+    close_out oc;
+    Printf.printf "\nwrote %s (%d measurements)\n%!" json_path
+      (List.length entries)
+
 let time_once pager f =
   Store.Pager.clear_pool pager;
   Store.Pager.reset_stats pager;
@@ -129,8 +166,12 @@ let time_once pager f =
   let _ = f () in
   Unix.gettimeofday () -. t0
 
-let measure pager f =
-  trimmed_mean (List.init runs (fun _ -> time_once pager f))
+let measure ?record pager f =
+  let samples = List.init runs (fun _ -> time_once pager f) in
+  (match record with
+  | Some name -> bench_results := (name, samples) :: !bench_results
+  | None -> ());
+  trimmed_mean samples
 
 let count_emitted run =
   let n = ref 0 in
@@ -169,41 +210,47 @@ let term_methods ~mode ~enhanced ctx terms =
   if enhanced then base @ [ ("Enhanced", tj_run Access.Term_join.Enhanced) ]
   else base
 
-let run_term_table ~title ~mode ~enhanced ctx rows =
+let run_term_table ~name ~title ~mode ~enhanced ctx rows =
   let pager = Store.Element_store.pager ctx.Access.Ctx.elements in
   print_header title (List.map fst (term_methods ~mode ~enhanced ctx [ "x" ]));
   List.iter
     (fun (label, terms) ->
       let methods = term_methods ~mode ~enhanced ctx terms in
       let cells =
-        List.map (fun (_, run) -> measure pager (fun () -> count_emitted run)) methods
+        List.map
+          (fun (mname, run) ->
+            measure
+              ~record:(Printf.sprintf "%s/%s/%s" name label mname)
+              pager
+              (fun () -> count_emitted run))
+          methods
       in
       print_row label cells)
     rows
 
 let table1 ctx =
-  run_term_table
+  run_term_table ~name:"table1"
     ~title:
       "Table 1: two terms, increasing term frequency, simple scoring (seconds)"
     ~mode:Access.Counter_scoring.Simple ~enhanced:false ctx
     (List.map (fun f -> (string_of_int f, [ qa f; qb f ])) tj_freqs)
 
 let table2 ctx =
-  run_term_table
+  run_term_table ~name:"table2"
     ~title:
       "Table 2: two terms, increasing term frequency, complex scoring (seconds)"
     ~mode:Access.Counter_scoring.Complex ~enhanced:true ctx
     (List.map (fun f -> (string_of_int f, [ qa f; qb f ])) tj_freqs)
 
 let table3 ctx =
-  run_term_table
+  run_term_table ~name:"table3"
     ~title:
       "Table 3: term1 fixed at 1000, term2 increasing, complex scoring (seconds)"
     ~mode:Access.Counter_scoring.Complex ~enhanced:true ctx
     (List.map (fun f -> (string_of_int f, [ qa 1000; qb f ])) t3_freqs)
 
 let table4 ctx =
-  run_term_table
+  run_term_table ~name:"table4"
     ~title:
       "Table 4: increasing number of query terms, terms at freq 1500, complex \
        scoring (seconds)"
@@ -228,18 +275,123 @@ let table5 ctx =
       let phrase = [ pool_term f1; pool_term f2 ] in
       let result_size = List.length (Access.Phrase_finder.to_list ctx ~phrase) in
       let comp3 =
-        measure pager (fun () ->
+        measure
+          ~record:(Printf.sprintf "table5/q%d/Comp3" (i + 1))
+          pager
+          (fun () ->
             count_emitted (fun ~emit () ->
                 Access.Composite.comp3 ctx ~phrase ~emit ()))
       in
       let pf =
-        measure pager (fun () ->
+        measure
+          ~record:(Printf.sprintf "table5/q%d/PhraseFinder" (i + 1))
+          pager
+          (fun () ->
             count_emitted (fun ~emit () ->
                 Access.Phrase_finder.run ctx ~phrase ~emit ()))
       in
       Printf.printf "%5d %10d %10d %10d %12.4f %12.4f\n%!" (i + 1)
         (f1 / t5_scale) (f2 / t5_scale) result_size comp3 pf)
     table5_rows
+
+(* ------------------------------------------------------------------ *)
+(* Skip index: each access method with its seek-over-skip-table path
+   toggled on and off, on workloads selective enough that most of the
+   postings are skippable — the Sec. 6 observation that selective
+   queries should not pay for the postings they discard. *)
+
+let sampled_articles ctx ~every =
+  match Store.Catalog.tag_id ctx.Access.Ctx.catalog "article" with
+  | None -> [||]
+  | Some id ->
+    Store.Tag_index.nodes ctx.Access.Ctx.tags ~tag:id
+    |> Array.to_list
+    |> List.filter_map (fun (i : Store.Tag_index.item) ->
+           if i.doc mod every = 0 then
+             Some
+               {
+                 Access.Structural_join.doc = i.doc;
+                 start = i.start;
+                 end_ = i.end_;
+                 level = i.level;
+               }
+           else None)
+    |> Array.of_list
+    |> Access.Structural_join.outermost
+
+let skips ctx =
+  let pager = Store.Element_store.pager ctx.Access.Ctx.elements in
+  Printf.printf
+    "\n== Skip index: seek-enabled vs sequential decoding (seconds) ==\n%!";
+  Printf.printf "%-26s %12s %12s %10s\n" "experiment" "skips off" "skips on"
+    "speedup";
+  let pair name off on =
+    let t_off = measure ~record:(name ^ "/skips=off") pager off in
+    let t_on = measure ~record:(name ^ "/skips=on") pager on in
+    Printf.printf "%-26s %12.4f %12.4f %9.1fx\n%!" name t_off t_on
+      (t_off /. t_on)
+  in
+  (* galloping phrase intersection on the most selective Table 5 row:
+     two frequent terms whose phrase almost never occurs — and on the
+     densest row (query 1), where most probes hit and seeks cannot
+     help, as the honest worst case *)
+  let phrase_pair name phrase =
+    pair ("phrase/" ^ name)
+      (fun () ->
+        count_emitted (fun ~emit () ->
+            Access.Phrase_finder.run ~use_skips:false ctx ~phrase ~emit ()))
+      (fun () ->
+        count_emitted (fun ~emit () ->
+            Access.Phrase_finder.run ctx ~phrase ~emit ()));
+    pair ("comp3/" ^ name)
+      (fun () ->
+        count_emitted (fun ~emit () ->
+            Access.Composite.comp3 ~use_skips:false ctx ~phrase ~emit ()))
+      (fun () ->
+        count_emitted (fun ~emit () ->
+            Access.Composite.comp3 ctx ~phrase ~emit ()))
+  in
+  phrase_pair "selective" [ pool_term 121076; pool_term 45988 ];
+  phrase_pair "dense" [ pool_term 121076; pool_term 44930 ];
+  (* structural selection: postings of a frequent term semi-joined
+     against 2% of the article subtrees — the cursor seeks from one
+     subtree interval to the next *)
+  let within = sampled_articles ctx ~every:50 in
+  let cursor_of term =
+    match Ir.Inverted_index.lookup ctx.Access.Ctx.index term with
+    | Some p -> Ir.Postings.cursor p
+    | None -> invalid_arg ("bench: unplanted term " ^ term)
+  in
+  pair "within/occurrences"
+    (fun () ->
+      Access.Structural_join.occurrences_within ~use_skips:false
+        (cursor_of (qa 10000)) ~within
+        ~emit:(fun _ _ -> ())
+        ())
+    (fun () ->
+      Access.Structural_join.occurrences_within (cursor_of (qa 10000)) ~within
+        ~emit:(fun _ _ -> ())
+        ());
+  pair "genmeet/within"
+    (fun () ->
+      count_emitted (fun ~emit () ->
+          Access.Gen_meet.run ~within ~use_skips:false ctx
+            ~terms:[ qa 10000; qb 10000 ]
+            ~emit ()))
+    (fun () ->
+      count_emitted (fun ~emit () ->
+          Access.Gen_meet.run ~within ctx
+            ~terms:[ qa 10000; qb 10000 ]
+            ~emit ()));
+  (* document Top-K with max-score pruning: one dominant frequent
+     term, two rare ones that become non-essential immediately *)
+  let topk_terms = [ pool_term 146477; qa 20; qb 100 ] in
+  pair "topk/docs-k10"
+    (fun () ->
+      List.length
+        (Access.Ranked.top_k_docs ~use_skips:false ctx ~terms:topk_terms ~k:10))
+    (fun () ->
+      List.length (Access.Ranked.top_k_docs ctx ~terms:topk_terms ~k:10))
 
 (* ------------------------------------------------------------------ *)
 (* Pick: 200 to 55,000 input nodes (Sec. 6, in-text) *)
@@ -495,7 +647,9 @@ let () =
     run "table3" (fun () -> table3 ctx);
     run "table4" (fun () -> table4 ctx);
     run "table5" (fun () -> table5 ctx);
+    run "skips" (fun () -> skips ctx);
     if which = "all" then pick_bench ();
     run "ablation" (fun () -> ablation ());
     run "micro" (fun () -> micro ctx)
-  end
+  end;
+  write_results_json ()

@@ -335,13 +335,111 @@ let comp2_list ?mode ?weights ctx ~terms =
 (* Comp3: per-term index access -> intersect on owning node ->
    offset filter -> data-page verification                            *)
 
-let comp3 ctx ~phrase ~emit () =
-  match phrase with
-  | [] -> 0
-  | first :: rest ->
-    let k = 1 + List.length rest in
-    (* index access: per-term tables (doc, node) -> position set *)
-    let table_of term =
+(* Final verification shared by both Comp3 variants: fetch the text
+   from the data pages and confirm the terms really occur there. *)
+let comp3_verify_emit ctx ~phrase ~emit ~emitted ~doc ~node ~count =
+  let normalize t =
+    let t = String.lowercase_ascii t in
+    if Ir.Inverted_index.stemmed ctx.Ctx.index then Ir.Stemmer.stem t else t
+  in
+  let verified =
+    match Store.Element_store.get_text ctx.Ctx.elements ~doc ~start:node with
+    | None -> false
+    | Some text ->
+      let toks = List.map normalize (Ir.Tokenizer.terms text) in
+      List.for_all (fun t -> List.mem (normalize t) toks) phrase
+  in
+  if verified then begin
+    match Ctx.node_entry ctx ~nav:Ctx.Parent_index ~doc ~start:node with
+    | None -> ()
+    | Some m ->
+      emit
+        {
+          Scored_node.doc;
+          start = node;
+          end_ = m.Store.Parent_index.end_;
+          level = m.Store.Parent_index.level;
+          tag = m.Store.Parent_index.tag;
+          score = float_of_int count;
+        };
+      incr emitted
+  end
+
+(* Skip-aware Comp3: the rarest term drives — its occurrences become
+   the probe list (already in (doc, pos) order, so no sort and no
+   hash materialization) — and every other term is probed through a
+   seekable cursor in one monotone pass, seeking block-to-block over
+   the longer posting lists instead of decoding them whole. *)
+let comp3_seek ctx ~phrase ~emit () =
+  let terms = Array.of_list phrase in
+  let k = Array.length terms in
+  let lengths =
+    Array.map
+      (fun t ->
+        match Ir.Inverted_index.lookup ctx.Ctx.index t with
+        | Some p -> Ir.Postings.length p
+        | None -> 0)
+      terms
+  in
+  let m = ref 0 in
+  Array.iteri (fun i l -> if l < lengths.(!m) then m := i) lengths;
+  let m = !m in
+  if lengths.(m) = 0 then 0
+  else begin
+    let probes = Array.make lengths.(m) (0, 0, 0) in
+    (match Ir.Inverted_index.lookup ctx.Ctx.index terms.(m) with
+    | None -> assert false
+    | Some postings ->
+      let i = ref 0 in
+      Ir.Postings.iter
+        (fun (occ : Ir.Postings.occ) ->
+          probes.(!i) <- (occ.doc, occ.node, occ.pos);
+          incr i)
+        postings);
+    let alive = Array.make (Array.length probes) true in
+    for j = 0 to k - 1 do
+      if j <> m then begin
+        match Ir.Inverted_index.cursor ctx.Ctx.index terms.(j) with
+        | None -> Array.fill alive 0 (Array.length alive) false
+        | Some cur ->
+          let head = ref (Ir.Postings.next cur) in
+          Array.iteri
+            (fun pi (doc, node, pos) ->
+              if alive.(pi) then begin
+                (* the driver occupies offset [m]; term [j] must sit
+                   at the matching offset of the same phrase start *)
+                let want = pos - m + j in
+                (match !head with
+                | Some h when h.doc < doc || (h.doc = doc && h.pos < want) ->
+                  head := Ir.Postings.seek_pos cur ~doc ~pos:want
+                | Some _ | None -> ());
+                match !head with
+                | Some h when h.doc = doc && h.pos = want && h.node = node -> ()
+                | Some _ | None -> alive.(pi) <- false
+              end)
+            probes
+      end
+    done;
+    let counts : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+    Array.iteri
+      (fun pi (doc, node, _) ->
+        if alive.(pi) then
+          Hashtbl.replace counts (doc, node)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts (doc, node))))
+      probes;
+    let emitted = ref 0 in
+    Hashtbl.iter
+      (fun (doc, node) count ->
+        if count > 0 then
+          comp3_verify_emit ctx ~phrase ~emit ~emitted ~doc ~node ~count)
+      counts;
+    !emitted
+  end
+
+let comp3_hash ctx ~phrase ~first ~rest ~emit () =
+  let k = 1 + List.length rest in
+  (* index access: per-term tables (doc, node) -> position set *)
+  let table_of term =
       let tbl : (int * int, (int, unit) Hashtbl.t) Hashtbl.t =
         Hashtbl.create 1024
       in
@@ -389,39 +487,17 @@ let comp3 ctx ~phrase ~emit () =
             done;
             if !ok then incr count)
           (Hashtbl.find tables.(0) key);
-        if !count > 0 then begin
-          (* final verification: fetch the text from the data pages and
-             confirm the terms really occur there *)
-          let normalize t =
-            let t = String.lowercase_ascii t in
-            if Ir.Inverted_index.stemmed ctx.Ctx.index then Ir.Stemmer.stem t
-            else t
-          in
-          let verified =
-            match Store.Element_store.get_text ctx.Ctx.elements ~doc ~start:node with
-            | None -> false
-            | Some text ->
-              let toks = List.map normalize (Ir.Tokenizer.terms text) in
-              List.for_all (fun t -> List.mem (normalize t) toks) phrase
-          in
-          if verified then begin
-            match Ctx.node_entry ctx ~nav:Ctx.Parent_index ~doc ~start:node with
-            | None -> ()
-            | Some m ->
-              emit
-                {
-                  Scored_node.doc;
-                  start = node;
-                  end_ = m.Store.Parent_index.end_;
-                  level = m.Store.Parent_index.level;
-                  tag = m.Store.Parent_index.tag;
-                  score = float_of_int !count;
-                };
-              incr emitted
-          end
-        end)
+        if !count > 0 then
+          comp3_verify_emit ctx ~phrase ~emit ~emitted ~doc ~node ~count:!count)
       candidates;
     !emitted
 
-let comp3_list ctx ~phrase =
-  collect_list (fun ~emit () -> comp3 ctx ~phrase ~emit ())
+let comp3 ?(use_skips = true) ctx ~phrase ~emit () =
+  match phrase with
+  | [] -> 0
+  | first :: rest ->
+    if use_skips then comp3_seek ctx ~phrase ~emit ()
+    else comp3_hash ctx ~phrase ~first ~rest ~emit ()
+
+let comp3_list ?use_skips ctx ~phrase =
+  collect_list (fun ~emit () -> comp3 ?use_skips ctx ~phrase ~emit ())

@@ -54,12 +54,18 @@ val comp2_list :
   Scored_node.t list
 
 val comp3 :
+  ?use_skips:bool ->
   Ctx.t ->
   phrase:string list ->
   emit:(Scored_node.t -> unit) ->
   unit ->
   int
 (** Emits one scored node per text-owning element containing the
-    phrase; the score is the phrase occurrence count. *)
+    phrase; the score is the phrase occurrence count. With
+    [~use_skips:true] (default) the follower terms are probed through
+    seekable posting cursors in one monotone pass each; with
+    [~use_skips:false] they are materialized into per-term hash
+    tables (the paper's original composite). Identical results,
+    possibly in a different emission order. *)
 
-val comp3_list : Ctx.t -> phrase:string list -> Scored_node.t list
+val comp3_list : ?use_skips:bool -> Ctx.t -> phrase:string list -> Scored_node.t list

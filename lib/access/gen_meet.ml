@@ -9,7 +9,8 @@ type acc = {
   mutable nonzero_children : int;
 }
 
-let run ?(mode = Counter_scoring.Simple) ?weights ctx ~terms ~emit () =
+let run ?(mode = Counter_scoring.Simple) ?weights ?within ?(use_skips = true)
+    ctx ~terms ~emit () =
   let k = List.length terms in
   let weights =
     match weights with Some w -> w | None -> Counter_scoring.default_weights k
@@ -59,11 +60,24 @@ let run ?(mode = Counter_scoring.Simple) ?weights ctx ~terms ~emit () =
     (fun term t ->
       match Ir.Inverted_index.lookup ctx.Ctx.index t with
       | None -> ()
-      | Some postings ->
-        Ir.Postings.iter
-          (fun (occ : Ir.Postings.occ) ->
-            group ~doc:occ.doc ~start:occ.node term occ.pos)
-          postings)
+      | Some postings -> begin
+        match within with
+        | None ->
+          Ir.Postings.iter
+            (fun (occ : Ir.Postings.occ) ->
+              group ~doc:occ.doc ~start:occ.node term occ.pos)
+            postings
+        | Some regions ->
+          (* scoped meet: only occurrences inside the candidate
+             subtrees are grouped; the cursor seeks across the gaps *)
+          ignore
+            (Structural_join.occurrences_within ~use_skips
+               (Ir.Postings.cursor postings)
+               ~within:regions
+               ~emit:(fun _ (occ : Ir.Postings.occ) ->
+                 group ~doc:occ.doc ~start:occ.node term occ.pos)
+               ())
+      end)
     terms;
   (* Non-zero-scored children: a grouped node contributes one to its
      grouped parent. *)
@@ -106,7 +120,11 @@ let run ?(mode = Counter_scoring.Simple) ?weights ctx ~terms ~emit () =
     table;
   !emitted
 
-let to_list ?mode ?weights ctx ~terms =
+let to_list ?mode ?weights ?within ?use_skips ctx ~terms =
   let acc = ref [] in
-  let _ = run ?mode ?weights ctx ~terms ~emit:(fun n -> acc := n :: !acc) () in
+  let _ =
+    run ?mode ?weights ?within ?use_skips ctx ~terms
+      ~emit:(fun n -> acc := n :: !acc)
+      ()
+  in
   List.sort Scored_node.compare_pos !acc

@@ -8,11 +8,21 @@
     ancestor-chain walk and per-node hashing — and output requires a
     final pass over the table. Emits all common ancestors, including
     nodes containing only a subset of the terms (with correspondingly
-    lower scores), exactly like TermJoin. *)
+    lower scores), exactly like TermJoin.
+
+    [?within] scopes the meet to a set of candidate subtrees (sorted
+    by [(doc, start)], pairwise disjoint — see
+    {!Structural_join.outermost}): only term occurrences inside one
+    of the subtrees are grouped, and with [?use_skips] left at its
+    default the posting cursors seek structurally from subtree to
+    subtree over the skip tables instead of decoding the whole
+    collection's postings. *)
 
 val run :
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
+  ?within:Structural_join.item array ->
+  ?use_skips:bool ->
   Ctx.t ->
   terms:string list ->
   emit:(Scored_node.t -> unit) ->
@@ -22,6 +32,8 @@ val run :
 val to_list :
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
+  ?within:Structural_join.item array ->
+  ?use_skips:bool ->
   Ctx.t ->
   terms:string list ->
   Scored_node.t list

@@ -1,4 +1,4 @@
-let run ctx ~phrase ~emit () =
+let run ?(use_skips = true) ctx ~phrase ~emit () =
   match phrase with
   | [] -> 0
   | first :: rest ->
@@ -42,52 +42,86 @@ let run ctx ~phrase ~emit () =
         | None -> ())
       | Some _ | None -> ()
     in
-    let rec lead_loop () =
-      match Ir.Postings.next lead with
+    (* A follower going dry ends the phrase: no later lead occurrence
+       can complete a match, so the lead loop may stop early. *)
+    let exhausted = ref false in
+    let rec lead_loop next_occ =
+      match next_occ with
       | None -> ()
-      | Some occ ->
+      | Some (occ : Ir.Postings.occ) ->
         (match !current with
-        | Some (doc, node)
-          when doc = occ.Ir.Postings.doc && node = occ.Ir.Postings.node ->
-          ()
+        | Some (doc, node) when doc = occ.doc && node = occ.node -> ()
         | Some _ | None ->
           flush ();
-          current := Some (occ.Ir.Postings.doc, occ.Ir.Postings.node);
+          current := Some (occ.doc, occ.node);
           count := 0);
         let hit = ref true in
+        (* lexicographically largest lower bound, over missing
+           followers, on the next lead occurrence that could match *)
+        let bdoc = ref (-1) and bpos = ref 0 in
         List.iteri
           (fun i (cur, head) ->
-            let want_pos = occ.Ir.Postings.pos + i + 1 in
-            let rec advance () =
-              match !head with
-              | Some (h : Ir.Postings.occ)
-                when h.doc < occ.Ir.Postings.doc
-                     || (h.doc = occ.Ir.Postings.doc && h.pos < want_pos) ->
-                head := Ir.Postings.next cur;
-                advance ()
-              | Some _ | None -> ()
+            let want_pos = occ.pos + i + 1 in
+            let before (h : Ir.Postings.occ) =
+              h.doc < occ.doc || (h.doc = occ.doc && h.pos < want_pos)
             in
-            advance ();
+            (match !head with
+            | Some h when before h ->
+              if use_skips then
+                (* gallop: binary-search the skip table instead of
+                   decoding every intervening posting *)
+                head := Ir.Postings.seek_pos cur ~doc:occ.doc ~pos:want_pos
+              else begin
+                let rec advance () =
+                  match !head with
+                  | Some h when before h ->
+                    head := Ir.Postings.next cur;
+                    advance ()
+                  | Some _ | None -> ()
+                in
+                advance ()
+              end
+            | Some _ | None -> ());
             match !head with
-            | Some h when h.doc = occ.Ir.Postings.doc && h.pos = want_pos -> ()
-            | Some _ | None -> hit := false)
+            | Some h when h.doc = occ.doc && h.pos = want_pos -> ()
+            | Some h ->
+              hit := false;
+              (* follower i sits at (h.doc, h.pos): the lead cannot
+                 match before (h.doc, h.pos - i - 1) *)
+              let ib = h.doc and ip = max 0 (h.pos - i - 1) in
+              if ib > !bdoc || (ib = !bdoc && ip > !bpos) then begin
+                bdoc := ib;
+                bpos := ip
+              end
+            | None ->
+              hit := false;
+              exhausted := true)
           followers;
         if !hit then incr count;
-        lead_loop ()
+        if not !exhausted then begin
+          let next_lead =
+            if
+              use_skips && (not !hit) && !bdoc >= 0
+              && (!bdoc > occ.doc || (!bdoc = occ.doc && !bpos > occ.pos))
+            then Ir.Postings.seek_pos lead ~doc:!bdoc ~pos:!bpos
+            else Ir.Postings.next lead
+          in
+          lead_loop next_lead
+        end
     in
-    lead_loop ();
+    lead_loop (Ir.Postings.next lead);
     flush ();
     !emitted
 
-let to_list ctx ~phrase =
+let to_list ?use_skips ctx ~phrase =
   let acc = ref [] in
-  let _ = run ctx ~phrase ~emit:(fun n -> acc := n :: !acc) () in
+  let _ = run ?use_skips ctx ~phrase ~emit:(fun n -> acc := n :: !acc) () in
   List.sort Scored_node.compare_pos !acc
 
-let total_occurrences ctx ~phrase =
+let total_occurrences ?use_skips ctx ~phrase =
   let total = ref 0 in
   let _ =
-    run ctx ~phrase
+    run ?use_skips ctx ~phrase
       ~emit:(fun n -> total := !total + int_of_float n.Scored_node.score)
       ()
   in

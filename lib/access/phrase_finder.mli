@@ -7,11 +7,20 @@
     on every cursor is one phrase occurrence. No posting is read
     twice and no candidate set is materialized, in contrast to Comp3.
 
+    With [~use_skips:true] (the default) the merge is a galloping
+    intersection over the skip-indexed posting lists: followers
+    [seek_pos] directly to the wanted position, and when a follower
+    overshoots, the lead seeks forward to the earliest position that
+    could still match — whole blocks of postings are skipped without
+    decoding. [~use_skips:false] decodes every posting linearly (the
+    paper's original merge); both produce identical results.
+
     Word positions live in the same key space as element intervals,
     so positions in different text nodes are never adjacent — the
     paper's same-text-node requirement holds by construction. *)
 
 val run :
+  ?use_skips:bool ->
   Ctx.t ->
   phrase:string list ->
   emit:(Scored_node.t -> unit) ->
@@ -21,7 +30,7 @@ val run :
     the phrase occurrence count as score; returns the number of
     emitted nodes. *)
 
-val to_list : Ctx.t -> phrase:string list -> Scored_node.t list
+val to_list : ?use_skips:bool -> Ctx.t -> phrase:string list -> Scored_node.t list
 
-val total_occurrences : Ctx.t -> phrase:string list -> int
+val total_occurrences : ?use_skips:bool -> Ctx.t -> phrase:string list -> int
 (** Sum of phrase occurrence counts over all elements. *)

@@ -5,6 +5,198 @@ let top_k k run =
   let _ = run ~emit:(fun n -> Top_k.add acc ~score:n.Scored_node.score n) () in
   List.map snd (Top_k.to_sorted_list acc)
 
+(* ------------------------------------------------------------------ *)
+(* Top-K document retrieval with max-score pruning.
+
+   Document-at-a-time evaluation of score(d) = Σ_i w_i · tf_i(d) over
+   the query terms. With skips enabled this is the MaxScore algorithm
+   over the block posting lists: terms whose summed score bounds
+   cannot lift a document past the current K-th score become
+   "non-essential" and are only probed (by seeking, skipping whole
+   blocks) for documents that essential terms propose; candidate
+   documents whose block-level upper bound (per-block max_tf) cannot
+   beat the cutoff are skipped with seek_doc without decoding their
+   postings. With skips disabled the same loop degrades to exhaustive
+   DAAT scoring; both paths return identical results. *)
+
+type tstate = {
+  t_idx : int;  (* original term position, for deterministic summing *)
+  t_w : float;
+  t_bound : float;  (* w · max_tf: the term's score ceiling *)
+  t_cur : Ir.Postings.cursor;
+  mutable t_head : Ir.Postings.occ option;
+}
+
+let top_k_docs ?(use_skips = true) ?weights ctx ~terms ~k =
+  let terms = Array.of_list terms in
+  let nt = Array.length terms in
+  let weights = match weights with Some w -> w | None -> Array.make nt 1.0 in
+  if Array.length weights <> nt then
+    invalid_arg "Ranked.top_k_docs: one weight per term";
+  if k <= 0 then []
+  else begin
+    let states =
+      Array.to_list terms
+      |> List.mapi (fun i t -> (i, t))
+      |> List.filter_map (fun (i, t) ->
+             match Ir.Inverted_index.lookup ctx.Ctx.index t with
+             | None -> None
+             | Some p when Ir.Postings.length p = 0 -> None
+             | Some p ->
+               let cur = Ir.Postings.cursor p in
+               Some
+                 {
+                   t_idx = i;
+                   t_w = weights.(i);
+                   t_bound = weights.(i) *. float_of_int (Ir.Postings.max_tf p);
+                   t_cur = cur;
+                   t_head = Ir.Postings.next cur;
+                 })
+    in
+    let st =
+      Array.of_list (List.sort (fun a b -> compare a.t_bound b.t_bound) states)
+    in
+    let n = Array.length st in
+    if n = 0 then []
+    else begin
+      let prefix = Array.make n 0. in
+      Array.iteri
+        (fun i s ->
+          prefix.(i) <- (if i = 0 then 0. else prefix.(i - 1)) +. s.t_bound)
+        st;
+      let heap = Top_k.create k in
+      let theta () =
+        match Top_k.cutoff heap with Some c -> c | None -> neg_infinity
+      in
+      (* number of non-essential terms: the longest low-bound prefix
+         whose bounds sum to at most the cutoff *)
+      let ness () =
+        if not use_skips then 0
+        else begin
+          let th = theta () in
+          let rec go m = if m < n && prefix.(m) <= th then go (m + 1) else m in
+          go 0
+        end
+      in
+      let tf = Array.make n 0 in
+      let count_run i d =
+        (* exact tf of doc [d] on state [i]; head is at [d] *)
+        let c = ref 0 in
+        let rec go () =
+          match st.(i).t_head with
+          | Some h when h.doc = d ->
+            incr c;
+            st.(i).t_head <- Ir.Postings.next st.(i).t_cur;
+            go ()
+          | Some _ | None -> ()
+        in
+        go ();
+        tf.(i) <- !c
+      in
+      let rec loop () =
+        let m = ness () in
+        if m < n then begin
+          let d =
+            let best = ref max_int in
+            for i = m to n - 1 do
+              match st.(i).t_head with
+              | Some h when h.doc < !best -> best := h.doc
+              | Some _ | None -> ()
+            done;
+            !best
+          in
+          if d < max_int then begin
+            Array.fill tf 0 n 0;
+            (* block-refined upper bound over the essential terms
+               parked on [d] plus the non-essential score ceiling *)
+            let shallow = ref (if m > 0 then prefix.(m - 1) else 0.) in
+            for i = m to n - 1 do
+              match st.(i).t_head with
+              | Some h when h.doc = d ->
+                shallow :=
+                  !shallow
+                  +. (st.(i).t_w
+                     *. float_of_int (Ir.Postings.block_max_tf st.(i).t_cur))
+              | Some _ | None -> ()
+            done;
+            if use_skips && not (Top_k.would_enter heap !shallow) then begin
+              (* the whole document cannot reach the heap: skip its
+                 postings block-wise on every parked cursor *)
+              for i = m to n - 1 do
+                match st.(i).t_head with
+                | Some h when h.doc = d ->
+                  st.(i).t_head <- Ir.Postings.seek_doc st.(i).t_cur (d + 1)
+                | Some _ | None -> ()
+              done
+            end
+            else begin
+              (* exact essential contributions *)
+              let s = ref 0. in
+              for i = m to n - 1 do
+                match st.(i).t_head with
+                | Some h when h.doc = d ->
+                  count_run i d;
+                  s := !s +. (st.(i).t_w *. float_of_int tf.(i))
+                | Some _ | None -> ()
+              done;
+              (* probe non-essential terms, highest bound first,
+                 stopping as soon as the residual ceiling fails *)
+              let abandoned = ref false in
+              let i = ref (m - 1) in
+              while (not !abandoned) && !i >= 0 do
+                if not (Top_k.would_enter heap (!s +. prefix.(!i))) then
+                  abandoned := true
+                else begin
+                  let sti = st.(!i) in
+                  (match sti.t_head with
+                  | Some h when h.doc < d ->
+                    sti.t_head <- Ir.Postings.seek_doc sti.t_cur d
+                  | Some _ | None -> ());
+                  (match sti.t_head with
+                  | Some h when h.doc = d ->
+                    let below = if !i > 0 then prefix.(!i - 1) else 0. in
+                    let refined =
+                      !s
+                      +. (sti.t_w
+                         *. float_of_int (Ir.Postings.block_max_tf sti.t_cur))
+                      +. below
+                    in
+                    if not (Top_k.would_enter heap refined) then
+                      abandoned := true
+                    else begin
+                      count_run !i d;
+                      s := !s +. (sti.t_w *. float_of_int tf.(!i))
+                    end
+                  | Some _ | None -> ());
+                  decr i
+                end
+              done;
+              if not !abandoned then begin
+                (* deterministic summation in original term order, so
+                   the pruned and exhaustive paths emit bit-identical
+                   scores *)
+                let contribs = Array.make nt 0. in
+                Array.iteri
+                  (fun si c ->
+                    if c > 0 then
+                      contribs.(st.(si).t_idx) <- st.(si).t_w *. float_of_int c)
+                  tf;
+                let total = Array.fold_left ( +. ) 0. contribs in
+                if total > 0. then Top_k.add heap ~score:total d
+              end
+            end;
+            loop ()
+          end
+        end
+      in
+      loop ();
+      List.sort
+        (fun (d1, s1) (d2, s2) ->
+          match compare s2 s1 with 0 -> compare d1 d2 | c -> c)
+        (List.map (fun (s, d) -> (d, s)) (Top_k.to_sorted_list heap))
+    end
+  end
+
 let above v run =
   let acc = ref [] in
   let _ =

@@ -14,6 +14,26 @@ type emitter = emit:(Scored_node.t -> unit) -> unit -> int
 val top_k : int -> emitter -> Scored_node.t list
 (** The K best-scored nodes, best first. *)
 
+val top_k_docs :
+  ?use_skips:bool ->
+  ?weights:float array ->
+  Ctx.t ->
+  terms:string list ->
+  k:int ->
+  (int * float) list
+(** Document-at-a-time Top-K retrieval for a bag of terms, scoring
+    [score(d) = sum_i weights.(i) * tf_i(d)] (weights default to 1).
+    Returns at most [k] [(doc, score)] pairs, best score first, doc id
+    breaking ties; at the K-th rank, ties keep the lowest doc ids.
+
+    With [use_skips] (the default) this runs the max-score algorithm:
+    low-ceiling terms become non-essential and are only probed by
+    {!Ir.Postings.seek_doc} for candidates the remaining terms
+    propose, and candidates whose per-block [block_max_tf] ceiling
+    cannot beat the current K-th score are skipped without decoding
+    their postings. [~use_skips:false] scores every document
+    exhaustively; both paths return identical results. *)
+
 val above : float -> emitter -> Scored_node.t list
 (** Nodes scoring strictly above the threshold, in document order. *)
 

@@ -49,6 +49,61 @@ let join ?(axis = `Ancestor_descendant) ~ancestors ~descendants ~emit () =
   done;
   !emitted
 
+(* Keep only items not nested inside a previously kept item; inputs
+   sorted by (doc, start), laminar. *)
+let outermost items =
+  let acc = ref [] in
+  Array.iter
+    (fun (i : item) ->
+      match !acc with
+      | (top : item) :: _ when top.doc = i.doc && i.start < top.end_ -> ()
+      | _ -> acc := i :: !acc)
+    items;
+  Array.of_list (List.rev !acc)
+
+(* Posting-side structural join: drive a term cursor through a set of
+   disjoint subtrees. Element interval keys and word positions share
+   one key space, so the occurrences owned by the subtree rooted at
+   [r] are exactly those with [r.start < pos < r.end_] in [r.doc] —
+   and with skips enabled, the gap between one subtree's end and the
+   next subtree's start is crossed by a seek over the skip table
+   instead of decoding every posting in between. *)
+let occurrences_within ?(use_skips = true) cursor ~within ~emit () =
+  let emitted = ref 0 in
+  let head = ref (Ir.Postings.next cursor) in
+  Array.iter
+    (fun (r : item) ->
+      let before (h : Ir.Postings.occ) =
+        h.doc < r.doc || (h.doc = r.doc && h.pos < r.start)
+      in
+      (match !head with
+      | Some h when before h ->
+        if use_skips then
+          head := Ir.Postings.seek_pos cursor ~doc:r.doc ~pos:r.start
+        else begin
+          let rec advance () =
+            match !head with
+            | Some h when before h ->
+              head := Ir.Postings.next cursor;
+              advance ()
+            | Some _ | None -> ()
+          in
+          advance ()
+        end
+      | Some _ | None -> ());
+      let rec collect () =
+        match !head with
+        | Some (h : Ir.Postings.occ) when h.doc = r.doc && h.pos < r.end_ ->
+          emit r h;
+          incr emitted;
+          head := Ir.Postings.next cursor;
+          collect ()
+        | Some _ | None -> ()
+      in
+      collect ())
+    within;
+  !emitted
+
 let pairs ?axis ~ancestors ~descendants () =
   let acc = ref [] in
   let _ =

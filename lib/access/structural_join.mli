@@ -28,3 +28,25 @@ val pairs :
   descendants:item array ->
   unit ->
   (item * item) list
+
+val outermost : item array -> item array
+(** Drop every item nested inside an earlier item of the same
+    document. Input must be sorted by [(doc, start)] and laminar;
+    the result is sorted and pairwise disjoint, as
+    {!occurrences_within} requires. *)
+
+val occurrences_within :
+  ?use_skips:bool ->
+  Ir.Postings.cursor ->
+  within:item array ->
+  emit:(item -> Ir.Postings.occ -> unit) ->
+  unit ->
+  int
+(** Structural semi-join of a posting cursor against a set of
+    subtrees: calls [emit subtree occ] for every occurrence lying
+    inside one of [within], which must be sorted by [(doc, start)]
+    and pairwise disjoint (see {!outermost}). With [~use_skips:true]
+    (default) the cursor seeks over the skip table from one subtree
+    to the next, decoding none of the postings in the gaps; with
+    [~use_skips:false] every posting is decoded. Returns the number
+    of emitted occurrences. *)

@@ -12,15 +12,18 @@ let satisfies_min pat var v tree =
 (* K-based thresholding needs the global ranking of matches across the
    collection (Sec. 5.3): compute the K-th best score and fall back to
    a min-score test at that cut, breaking ties by keeping them (the
-   paper's definition is rank-based on scores). *)
+   paper's definition is rank-based on scores). A bounded min-heap
+   finds the K-th best in O(n log K) without sorting all scores. *)
 let kth_best_score pat var k trees =
-  let all = List.concat_map (match_scores pat var) trees in
-  let sorted = List.sort (fun a b -> compare b a) all in
-  let rec nth i = function
-    | [] -> None
-    | s :: rest -> if i = k then Some s else nth (i + 1) rest
-  in
-  nth 1 sorted
+  if k <= 0 then None
+  else begin
+    let tk = Top_k.create k in
+    List.iter
+      (fun tree ->
+        List.iter (fun s -> Top_k.add tk ~score:s ()) (match_scores pat var tree))
+      trees;
+    if Top_k.count tk < k then None else Top_k.cutoff tk
+  end
 
 let threshold (pat : Pattern.t) (tcs : tc list) trees =
   let keep_for tc =
@@ -37,13 +40,36 @@ let threshold (pat : Pattern.t) (tcs : tc list) trees =
   List.filter (fun tree -> List.for_all (fun p -> p tree) preds) trees
 
 let top_k_by_score k trees =
-  let indexed = List.mapi (fun i t -> (i, t)) trees in
-  let sorted =
-    List.sort
-      (fun (i, a) (j, b) ->
-        match compare (Stree.score b) (Stree.score a) with
-        | 0 -> compare i j
-        | c -> c)
-      indexed
-  in
-  List.filteri (fun rank _ -> rank < k) (List.map snd sorted)
+  if k <= 0 then []
+  else begin
+    (* the K-th best score via the bounded heap, then one linear pass
+       keeping everything above the cut plus the first input-order
+       trees at the cut — identical to a full stable sort truncated
+       at K, without sorting the collection *)
+    let tk = Top_k.create k in
+    List.iter (fun t -> Top_k.add tk ~score:(Stree.score t) ()) trees;
+    match Top_k.cutoff tk with
+    | None ->
+      (* fewer than K trees: all of them, best first *)
+      List.stable_sort
+        (fun a b -> compare (Stree.score b) (Stree.score a))
+        trees
+    | Some cut ->
+      let above =
+        List.filter (fun t -> Stree.score t > cut) trees
+      in
+      let at_cut = ref (k - List.length above) in
+      let keep_at_cut =
+        List.filter
+          (fun t ->
+            if Stree.score t = cut && !at_cut > 0 then begin
+              decr at_cut;
+              true
+            end
+            else false)
+          trees
+      in
+      List.stable_sort
+        (fun a b -> compare (Stree.score b) (Stree.score a))
+        (above @ keep_at_cut)
+  end

@@ -1,0 +1,68 @@
+type 'a t = {
+  capacity : int;
+  scores : float array;
+  items : 'a option array;
+  mutable size : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Top_k.create";
+  {
+    capacity;
+    scores = Array.make capacity 0.;
+    items = Array.make capacity None;
+    size = 0;
+  }
+
+let swap t i j =
+  let s = t.scores.(i) in
+  t.scores.(i) <- t.scores.(j);
+  t.scores.(j) <- s;
+  let it = t.items.(i) in
+  t.items.(i) <- t.items.(j);
+  t.items.(j) <- it
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.scores.(i) < t.scores.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.scores.(l) < t.scores.(!smallest) then smallest := l;
+  if r < t.size && t.scores.(r) < t.scores.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~score item =
+  if t.size < t.capacity then begin
+    t.scores.(t.size) <- score;
+    t.items.(t.size) <- Some item;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+  else if score > t.scores.(0) then begin
+    t.scores.(0) <- score;
+    t.items.(0) <- Some item;
+    sift_down t 0
+  end
+
+let count t = t.size
+let cutoff t = if t.size < t.capacity then None else Some t.scores.(0)
+let would_enter t score = t.size < t.capacity || score > t.scores.(0)
+
+let to_sorted_list t =
+  let entries = ref [] in
+  for i = 0 to t.size - 1 do
+    match t.items.(i) with
+    | Some item -> entries := (t.scores.(i), item) :: !entries
+    | None -> ()
+  done;
+  List.sort (fun (a, _) (b, _) -> compare b a) !entries

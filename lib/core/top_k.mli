@@ -1,0 +1,26 @@
+(** Bounded top-K accumulation (the K-threshold of Sec. 5.3).
+
+    A fixed-capacity min-heap keeps the K best-scoring items seen so
+    far in O(log K) per insertion, so K-thresholding composes with
+    any score-emitting access method without materializing or sorting
+    the full result. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create k] raises [Invalid_argument] when [k <= 0]. *)
+
+val add : 'a t -> score:float -> 'a -> unit
+val count : 'a t -> int
+
+val cutoff : 'a t -> float option
+(** The current K-th best score, once K items have been seen. *)
+
+val would_enter : 'a t -> float -> bool
+(** Whether an item with this score would be retained by {!add} —
+    the pruning test of max-score early termination: a candidate
+    whose score upper bound fails [would_enter] can be skipped
+    without scoring it exactly. *)
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Best first; does not clear the accumulator. *)

@@ -1,3 +1,7 @@
+exception Truncated of string
+
+let truncated what = raise (Truncated what)
+
 let add_varint buf v =
   assert (v >= 0);
   let v = ref v in
@@ -11,12 +15,23 @@ let add_zigzag buf v =
   let encoded = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1 in
   add_varint buf encoded
 
+(* An OCaml int is 63 bits: ceil(63/7) = 9 continuation bytes is the
+   longest well-formed encoding. Anything longer is corrupt data, not
+   a big number. *)
+let max_varint_bytes = 9
+
 let read_varint b off =
+  let len = Bytes.length b in
   let rec go off shift acc =
-    let byte = Char.code (Bytes.get b off) in
-    let acc = acc lor ((byte land 0x7F) lsl shift) in
-    if byte land 0x80 <> 0 then go (off + 1) (shift + 7) acc
-    else (acc, off + 1)
+    if off >= len then truncated "varint runs past end of buffer"
+    else if shift > 7 * max_varint_bytes then
+      truncated "varint longer than 9 bytes"
+    else begin
+      let byte = Char.code (Bytes.get b off) in
+      let acc = acc lor ((byte land 0x7F) lsl shift) in
+      if byte land 0x80 <> 0 then go (off + 1) (shift + 7) acc
+      else (acc, off + 1)
+    end
   in
   go off 0 0
 

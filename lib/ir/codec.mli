@@ -1,6 +1,13 @@
 (** Byte-level integer codecs used by the compressed posting lists
     and the slotted storage pages. *)
 
+exception Truncated of string
+(** Raised by the read functions on a truncated or corrupt buffer: a
+    varint that runs past the end of the bytes, or one encoded with
+    more continuation bytes than a 63-bit integer can need. Decoders
+    above this layer (postings, index, image loading) let it
+    propagate to their own typed error handling. *)
+
 val add_varint : Buffer.t -> int -> unit
 (** LEB128 encoding of a non-negative integer. *)
 
@@ -8,9 +15,11 @@ val add_zigzag : Buffer.t -> int -> unit
 (** Zigzag-then-varint encoding of a signed integer. *)
 
 val read_varint : Bytes.t -> int -> int * int
-(** [read_varint b off] is [(value, next_off)]. *)
+(** [read_varint b off] is [(value, next_off)]. Raises {!Truncated}
+    rather than reading past the end of [b]. *)
 
 val read_zigzag : Bytes.t -> int -> int * int
+(** Raises {!Truncated} like {!read_varint}. *)
 
 val varint_size : int -> int
 (** Encoded size in bytes of a non-negative integer. *)

@@ -3,22 +3,88 @@ type occ = { doc : int; node : int; pos : int }
 let compare_occ a b =
   match compare a.doc b.doc with 0 -> compare a.pos b.pos | c -> c
 
+let block_size = 128
+
+(* One entry per block of [block_size] occurrences. The byte stream
+   stays a single continuous delta chain (sequential [next] never
+   consults the table); an entry snapshots the decoder state at the
+   block boundary so a seek can land there and decode only the block
+   it needs. [sk_first_*] duplicate the first occurrence's sort key
+   for the binary search; [sk_max_node] and [sk_max_tf] are per-block
+   summaries for structural and score-based pruning. *)
+type skip = {
+  sk_off : int;  (* byte offset of the block's first occurrence *)
+  sk_prev_doc : int;
+  sk_prev_node : int;
+  sk_prev_pos : int;  (* decoder state entering the block *)
+  sk_first_doc : int;
+  sk_first_pos : int;  (* the block's first occurrence *)
+  sk_max_node : int;  (* largest owning-element key in the block *)
+  sk_max_tf : int;
+      (* max occurrences, over documents intersecting this block, of
+         the term in that whole document (not clipped to the block) *)
+}
+
 type builder = {
   buf : Buffer.t;
   mutable count : int;
   mutable last_doc : int;
   mutable last_node : int;
   mutable last_pos : int;
+  mutable rev_skips : skip list;  (* max_node/max_tf patched at freeze *)
+  mutable blk_max_node : int;  (* of the block under construction *)
+  (* per-document run tracking for sk_max_tf *)
+  mutable run_doc : int;
+  mutable run_count : int;
+  mutable run_first_block : int;
+  mutable rev_runs : (int * int * int) list;  (* first_block, last_block, tf *)
 }
 
 let builder () =
-  { buf = Buffer.create 64; count = 0; last_doc = 0; last_node = 0;
-    last_pos = 0 }
+  {
+    buf = Buffer.create 64;
+    count = 0;
+    last_doc = 0;
+    last_node = 0;
+    last_pos = 0;
+    rev_skips = [];
+    blk_max_node = 0;
+    run_doc = -1;
+    run_count = 0;
+    run_first_block = 0;
+    rev_runs = [];
+  }
+
+let close_run b =
+  if b.run_count > 0 then
+    b.rev_runs <-
+      (b.run_first_block, (b.count - 1) / block_size, b.run_count)
+      :: b.rev_runs
 
 let add b occ =
   if occ.doc < b.last_doc
      || (occ.doc = b.last_doc && b.count > 0 && occ.pos < b.last_pos)
   then invalid_arg "Postings.add: occurrences out of order";
+  if b.count mod block_size = 0 then begin
+    (* close the previous block's summary, snapshot the new one *)
+    (match b.rev_skips with
+    | sk :: rest when b.count > 0 ->
+      b.rev_skips <- { sk with sk_max_node = b.blk_max_node } :: rest
+    | _ -> ());
+    b.rev_skips <-
+      {
+        sk_off = Buffer.length b.buf;
+        sk_prev_doc = b.last_doc;
+        sk_prev_node = b.last_node;
+        sk_prev_pos = b.last_pos;
+        sk_first_doc = occ.doc;
+        sk_first_pos = occ.pos;
+        sk_max_node = occ.node;
+        sk_max_tf = 0;
+      }
+      :: b.rev_skips;
+    b.blk_max_node <- occ.node
+  end;
   if occ.doc <> b.last_doc then begin
     Codec.add_varint b.buf (occ.doc - b.last_doc);
     b.last_node <- 0;
@@ -27,16 +93,49 @@ let add b occ =
   else Codec.add_varint b.buf 0;
   Codec.add_zigzag b.buf (occ.node - b.last_node);
   Codec.add_varint b.buf (occ.pos - b.last_pos);
+  if occ.doc <> b.run_doc then begin
+    close_run b;
+    b.run_doc <- occ.doc;
+    b.run_count <- 1;
+    b.run_first_block <- b.count / block_size
+  end
+  else b.run_count <- b.run_count + 1;
+  if occ.node > b.blk_max_node then b.blk_max_node <- occ.node;
   b.last_doc <- occ.doc;
   b.last_node <- occ.node;
   b.last_pos <- occ.pos;
   b.count <- b.count + 1
 
-type t = { data : Bytes.t; count : int }
+type t = {
+  data : Bytes.t;
+  count : int;
+  skips : skip array;
+  max_tf : int;  (* max occurrences of the term in one document *)
+}
 
-let freeze b = { data = Buffer.to_bytes b.buf; count = b.count }
+let freeze b =
+  close_run b;
+  b.run_count <- 0;
+  (match b.rev_skips with
+  | sk :: rest when b.count > 0 ->
+    b.rev_skips <- { sk with sk_max_node = b.blk_max_node } :: rest
+  | _ -> ());
+  let skips = Array.of_list (List.rev b.rev_skips) in
+  let tmp = Array.map (fun sk -> sk.sk_max_tf) skips in
+  List.iter
+    (fun (b0, b1, tf) ->
+      for i = b0 to b1 do
+        if tf > tmp.(i) then tmp.(i) <- tf
+      done)
+    b.rev_runs;
+  let skips = Array.mapi (fun i sk -> { sk with sk_max_tf = tmp.(i) }) skips in
+  let max_tf = Array.fold_left (fun m sk -> max m sk.sk_max_tf) 0 skips in
+  { data = Buffer.to_bytes b.buf; count = b.count; skips; max_tf }
+
 let length t = t.count
 let byte_size t = Bytes.length t.data
+let blocks t = Array.length t.skips
+let max_tf t = t.max_tf
 
 type cursor = {
   list : t;
@@ -74,6 +173,64 @@ let reset c =
   c.node <- 0;
   c.pos <- 0
 
+(* First not-yet-decoded occurrence with [(doc, pos) >= target],
+   consuming it. The binary search only ever moves the cursor
+   forward; at most one block (plus the landing occurrence) is
+   decoded after the jump. *)
+let seek_pos c ~doc ~pos =
+  let t = c.list in
+  let nsk = Array.length t.skips in
+  if nsk > 1 && c.seen < t.count then begin
+    let cur_block = c.seen / block_size in
+    let le j =
+      let sk = t.skips.(j) in
+      sk.sk_first_doc < doc || (sk.sk_first_doc = doc && sk.sk_first_pos <= pos)
+    in
+    let lo = ref (cur_block + 1) and hi = ref (nsk - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if le mid then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !best > cur_block then begin
+      let sk = t.skips.(!best) in
+      c.off <- sk.sk_off;
+      c.seen <- !best * block_size;
+      c.doc <- sk.sk_prev_doc;
+      c.node <- sk.sk_prev_node;
+      c.pos <- sk.sk_prev_pos
+    end
+  end;
+  let rec scan () =
+    match next c with
+    | Some o when o.doc < doc || (o.doc = doc && o.pos < pos) -> scan ()
+    | res -> res
+  in
+  scan ()
+
+let seek_doc c doc = seek_pos c ~doc ~pos:0
+
+let block_max_tf c =
+  let t = c.list in
+  let nsk = Array.length t.skips in
+  if nsk = 0 then 0
+  else begin
+    let i = if c.seen = 0 then 0 else (c.seen - 1) / block_size in
+    t.skips.(min i (nsk - 1)).sk_max_tf
+  end
+
+let block_max_node c =
+  let t = c.list in
+  let nsk = Array.length t.skips in
+  if nsk = 0 then 0
+  else begin
+    let i = if c.seen = 0 then 0 else (c.seen - 1) / block_size in
+    t.skips.(min i (nsk - 1)).sk_max_node
+  end
+
 let iter f t =
   let c = cursor t in
   let rec go () =
@@ -95,5 +252,65 @@ let of_list occs =
   List.iter (add b) occs;
   freeze b
 
-let serialize t = Bytes.to_string t.data
-let deserialize ~count data = { data = Bytes.of_string data; count }
+(* Serialized form: the skip table, then the raw delta stream. Block
+   membership is positional (block [i] covers occurrences
+   [i*block_size ..]), so per-entry counts need not be stored. *)
+let serialize t =
+  let buf = Buffer.create (Bytes.length t.data + (Array.length t.skips * 12)) in
+  Codec.add_varint buf (Array.length t.skips);
+  let prev_off = ref 0 in
+  Array.iter
+    (fun sk ->
+      Codec.add_varint buf (sk.sk_off - !prev_off);
+      prev_off := sk.sk_off;
+      Codec.add_varint buf sk.sk_prev_doc;
+      Codec.add_varint buf sk.sk_prev_node;
+      Codec.add_varint buf sk.sk_prev_pos;
+      Codec.add_varint buf sk.sk_first_doc;
+      Codec.add_varint buf sk.sk_first_pos;
+      Codec.add_varint buf sk.sk_max_node;
+      Codec.add_varint buf sk.sk_max_tf)
+    t.skips;
+  Codec.add_varint buf (Bytes.length t.data);
+  Buffer.add_bytes buf t.data;
+  Buffer.contents buf
+
+let deserialize ~count data =
+  let bytes = Bytes.of_string data in
+  let nsk, off = Codec.read_varint bytes 0 in
+  let off = ref off in
+  let prev_off = ref 0 in
+  let skips =
+    Array.init nsk (fun _ ->
+        let rd () =
+          let v, o = Codec.read_varint bytes !off in
+          off := o;
+          v
+        in
+        let d_off = rd () in
+        let sk_off = !prev_off + d_off in
+        prev_off := sk_off;
+        let sk_prev_doc = rd () in
+        let sk_prev_node = rd () in
+        let sk_prev_pos = rd () in
+        let sk_first_doc = rd () in
+        let sk_first_pos = rd () in
+        let sk_max_node = rd () in
+        let sk_max_tf = rd () in
+        {
+          sk_off;
+          sk_prev_doc;
+          sk_prev_node;
+          sk_prev_pos;
+          sk_first_doc;
+          sk_first_pos;
+          sk_max_node;
+          sk_max_tf;
+        })
+  in
+  let len, off = Codec.read_varint bytes !off in
+  if off + len > Bytes.length bytes then
+    raise (Codec.Truncated "posting payload shorter than its header");
+  let payload = Bytes.sub bytes off len in
+  let max_tf = Array.fold_left (fun m sk -> max m sk.sk_max_tf) 0 skips in
+  { data = payload; count; skips; max_tf }

@@ -5,12 +5,23 @@
     directly owns the text), and at which word position. Occurrences
     are kept sorted by [(doc, pos)], which is document order, and are
     stored varint-delta compressed — decoding is real per-occurrence
-    work, mirroring the index-scan cost of a disk-resident system. *)
+    work, mirroring the index-scan cost of a disk-resident system.
+
+    The stream is chunked into blocks of {!block_size} occurrences
+    with one skip entry per block (decoder snapshot, first sort key,
+    max owning-element key, max per-document frequency), so a cursor
+    can {!seek_doc}/{!seek_pos} forward by binary-searching the skip
+    table and decoding only the landing block, and score-utilizing
+    consumers can prune blocks whose {!block_max_tf} bound cannot
+    beat a Top-K cutoff. *)
 
 type occ = { doc : int; node : int; pos : int }
 
 val compare_occ : occ -> occ -> int
 (** Order by [(doc, pos)]. *)
+
+val block_size : int
+(** Occurrences per skip block (128). *)
 
 type builder
 
@@ -28,6 +39,12 @@ val length : t -> int
 (** Number of occurrences (the term's collection frequency). *)
 
 val byte_size : t -> int
+val blocks : t -> int
+(** Number of skip blocks. *)
+
+val max_tf : t -> int
+(** Largest number of occurrences of the term in any one document —
+    the term-level score bound of max-score pruning. 0 when empty. *)
 
 type cursor
 
@@ -38,6 +55,33 @@ val next : cursor -> occ option
 
 val reset : cursor -> unit
 
+(** {1 Seeking}
+
+    Both seeks are forward-only: they consume (skipping whole blocks
+    where the skip table allows) every occurrence strictly before the
+    target, then decode and return the first occurrence at or after
+    it — exactly the occurrence a loop of [next] calls discarding
+    smaller entries would return. A target at or before the cursor's
+    position degrades to [next]. *)
+
+val seek_doc : cursor -> int -> occ option
+(** [seek_doc c d] is the first remaining occurrence with
+    [occ.doc >= d]. *)
+
+val seek_pos : cursor -> doc:int -> pos:int -> occ option
+(** [seek_pos c ~doc ~pos] is the first remaining occurrence with
+    [(occ.doc, occ.pos) >= (doc, pos)] lexicographically. Element
+    start/end keys share the position key space, so seeking to an
+    element's end key skips every occurrence inside its subtree. *)
+
+val block_max_tf : cursor -> int
+(** Upper bound on the whole-document frequency of any document
+    intersecting the block of the last returned occurrence. Valid
+    immediately after [next]/[seek_*] returned [Some _]. *)
+
+val block_max_node : cursor -> int
+(** Largest owning-element key in the current block. *)
+
 val iter : (occ -> unit) -> t -> unit
 val to_list : t -> occ list
 val of_list : occ list -> t
@@ -46,6 +90,9 @@ val of_list : occ list -> t
 (** {1 Serialization} *)
 
 val serialize : t -> string
-(** The raw compressed bytes (count is carried separately). *)
+(** Skip table followed by the raw compressed stream (count is
+    carried separately). *)
 
 val deserialize : count:int -> string -> t
+(** Raises [Codec.Truncated] when the payload is shorter than its
+    own framing claims. *)

@@ -244,9 +244,10 @@ let pp_stats ppf s =
 (* ------------------------------------------------------------------ *)
 (* Persistence
 
-   Image layout (version 2):
+   Image layout (version 3; version 3 added the posting skip tables
+   inside the index section's payload):
 
-     magic   "TIXDB002"                       8 bytes
+     magic   "TIXDB003"                       8 bytes
      count   varint                           must be 3
      section varint id, varint len,
              4-byte big-endian CRC-32,        catalog = 1,
@@ -258,7 +259,7 @@ let pp_stats ppf s =
    single flipped byte anywhere is detected before any decoded value
    is trusted. *)
 
-let magic = "TIXDB002"
+let magic = "TIXDB003"
 let magic_prefix = "TIXDB"
 
 type error =
@@ -456,6 +457,8 @@ let open_file ?pool_pages path =
       with
       | exception Invalid_argument _ ->
         Error (Truncated { path; detail = "file ends inside the header" })
+      | exception Ir.Codec.Truncated detail ->
+        Error (Truncated { path; detail = "header: " ^ detail })
       | Error e -> Error e
       | Ok sections ->
         (* Verify every checksum before trusting a single byte. *)

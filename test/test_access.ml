@@ -298,6 +298,206 @@ let test_structural_join_against_naive () =
   check int_ "pair count matches naive" naive (List.length joined)
 
 (* ------------------------------------------------------------------ *)
+(* Skip-aware paths: every seek-based implementation must return
+   exactly what its sequential counterpart returns *)
+
+let tag_regions ctx tag =
+  match Store.Catalog.tag_id ctx.Access.Ctx.catalog tag with
+  | None -> [||]
+  | Some id ->
+    Store.Tag_index.nodes ctx.Access.Ctx.tags ~tag:id
+    |> Array.map (fun (i : Store.Tag_index.item) ->
+           item ~doc:i.doc ~start:i.start ~end_:i.end_ ~level:i.level)
+    |> Access.Structural_join.outermost
+
+let test_phrase_skips_equivalent () =
+  let ctx = Lazy.force synth_ctx in
+  List.iter
+    (fun phrase ->
+      same_results "phrase skips on = off"
+        (Access.Phrase_finder.to_list ~use_skips:false ctx ~phrase)
+        (Access.Phrase_finder.to_list ctx ~phrase);
+      check bool_ "comp3 skips on = off" true
+        (phrase_counts_of (Access.Composite.comp3_list ~use_skips:false ctx ~phrase)
+        = phrase_counts_of (Access.Composite.comp3_list ctx ~phrase)))
+    [
+      [ "gammaone"; "gammatwo" ];
+      [ "gammatwo"; "gammaone" ];
+      [ "alphaterm"; "betaterm" ];
+      [ "gammaone" ];
+      [ "alphaterm"; "alphaterm" ];
+      [ "alphaterm"; "nonexistentterm" ];
+    ]
+
+let test_within_vs_filter () =
+  let ctx = Lazy.force synth_ctx in
+  let common =
+    match Ir.Inverted_index.terms_by_freq ctx.Access.Ctx.index with
+    | (t, _) :: _ -> t
+    | [] -> Alcotest.fail "empty index"
+  in
+  List.iter
+    (fun (tag, term) ->
+      let within = tag_regions ctx tag in
+      check bool_ (tag ^ ": has regions") true (Array.length within > 0);
+      let postings =
+        match Ir.Inverted_index.lookup ctx.Access.Ctx.index term with
+        | Some p -> p
+        | None -> Alcotest.fail ("missing term " ^ term)
+      in
+      let naive =
+        List.filter
+          (fun (o : Ir.Postings.occ) ->
+            Array.exists
+              (fun (r : Access.Structural_join.item) ->
+                r.doc = o.doc && r.start < o.pos && o.pos < r.end_)
+              within)
+          (Ir.Postings.to_list postings)
+      in
+      let run use_skips =
+        let acc = ref [] in
+        let n =
+          Access.Structural_join.occurrences_within ~use_skips
+            (Ir.Postings.cursor postings) ~within
+            ~emit:(fun _ o -> acc := o :: !acc)
+            ()
+        in
+        check int_ (tag ^ ": return = emitted") n (List.length !acc);
+        List.rev !acc
+      in
+      check bool_ (tag ^ ": skips on = filter") true (run true = naive);
+      check bool_ (tag ^ ": skips off = filter") true (run false = naive))
+    [
+      ("p", "alphaterm");
+      ("section", "betaterm");
+      ("article", common);
+      ("section-title", common);
+      ("section-title", "alphaterm") (* plants never land in titles *);
+    ];
+  (* no regions at all: nothing is emitted and nothing is consumed *)
+  let postings =
+    match Ir.Inverted_index.lookup ctx.Access.Ctx.index common with
+    | Some p -> p
+    | None -> Alcotest.fail "missing common term"
+  in
+  check int_ "empty region set" 0
+    (Access.Structural_join.occurrences_within
+       (Ir.Postings.cursor postings) ~within:[||]
+       ~emit:(fun _ _ -> Alcotest.fail "unexpected emit")
+       ())
+
+let test_gen_meet_within () =
+  let ctx = Lazy.force synth_ctx in
+  let terms = [ "alphaterm"; "betaterm" ] in
+  (* the article roots cover every occurrence, so the scoped meet
+     must reproduce the unscoped one *)
+  same_results "within articles = unscoped"
+    (Access.Gen_meet.to_list ctx ~terms)
+    (Access.Gen_meet.to_list ~within:(tag_regions ctx "article") ctx ~terms);
+  let sections = tag_regions ctx "section" in
+  same_results "scoped skips on = off"
+    (Access.Gen_meet.to_list ~within:sections ~use_skips:false ctx ~terms)
+    (Access.Gen_meet.to_list ~within:sections ctx ~terms)
+
+let naive_top_k_docs ctx ?weights ~terms ~k () =
+  let weights =
+    match weights with
+    | Some w -> w
+    | None -> Array.make (List.length terms) 1.0
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iteri
+    (fun i t ->
+      match Ir.Inverted_index.lookup ctx.Access.Ctx.index t with
+      | None -> ()
+      | Some p ->
+        Ir.Postings.iter
+          (fun o ->
+            let d = o.Ir.Postings.doc in
+            let tfs =
+              match Hashtbl.find_opt tbl d with
+              | Some a -> a
+              | None ->
+                let a = Array.make (List.length terms) 0 in
+                Hashtbl.add tbl d a;
+                a
+            in
+            tfs.(i) <- tfs.(i) + 1)
+          p)
+    terms;
+  Hashtbl.fold
+    (fun d tfs acc ->
+      let score = ref 0. in
+      Array.iteri (fun i c -> score := !score +. (weights.(i) *. float_of_int c)) tfs;
+      if !score > 0. then (d, !score) :: acc else acc)
+    tbl []
+  |> List.sort (fun (d1, s1) (d2, s2) ->
+         match compare s2 s1 with 0 -> compare d1 d2 | c -> c)
+  |> List.filteri (fun i _ -> i < k)
+
+let test_top_k_docs_equivalence () =
+  let ctx = Lazy.force synth_ctx in
+  List.iter
+    (fun terms ->
+      List.iter
+        (fun k ->
+          let naive = naive_top_k_docs ctx ~terms ~k () in
+          check bool_ "skips on = naive" true
+            (Access.Ranked.top_k_docs ctx ~terms ~k = naive);
+          check bool_ "skips off = naive" true
+            (Access.Ranked.top_k_docs ~use_skips:false ctx ~terms ~k = naive))
+        [ 1; 2; 5; 100 ])
+    [
+      [ "alphaterm" ];
+      [ "alphaterm"; "betaterm" ];
+      [ "alphaterm"; "betaterm"; "gammaone" ];
+      [ "alphaterm"; "nonexistentterm" ];
+      [ "nonexistentterm" ];
+      [];
+    ];
+  (* weighted, with exactly-representable weights so scores stay
+     bit-comparable *)
+  let terms = [ "alphaterm"; "betaterm" ] and weights = [| 2.0; 0.5 |] in
+  let naive = naive_top_k_docs ctx ~weights ~terms ~k:4 () in
+  check bool_ "weighted on = naive" true
+    (Access.Ranked.top_k_docs ~weights ctx ~terms ~k:4 = naive);
+  check bool_ "weighted off = naive" true
+    (Access.Ranked.top_k_docs ~use_skips:false ~weights ctx ~terms ~k:4 = naive)
+
+let test_skips_property =
+  QCheck.Test.make ~name:"skip paths = sequential paths (random)" ~count:10
+    (QCheck.make corpus_gen) (fun (seed, articles) ->
+      let cfg =
+        {
+          Workload.Corpus.articles;
+          seed;
+          chapters_per_article = 2;
+          sections_per_chapter = 2;
+          paragraphs_per_section = 3;
+          words_per_paragraph = 12;
+          vocabulary = 40;
+          planted_terms = [ ("rone", 20); ("rtwo", 9) ];
+          planted_phrases = [ ("pone", "ptwo", 7) ];
+        }
+      in
+      let options = { Store.Db.default_options with keep_trees = false } in
+      let ctx =
+        Access.Ctx.of_db (Store.Db.load ~options (Workload.Corpus.generate cfg))
+      in
+      let phrase = [ "pone"; "ptwo" ] in
+      let sections = tag_regions ctx "section" in
+      let terms = [ "rone"; "rtwo"; "pone" ] in
+      key_score_list (Access.Phrase_finder.to_list ctx ~phrase)
+      = key_score_list (Access.Phrase_finder.to_list ~use_skips:false ctx ~phrase)
+      && phrase_counts_of (Access.Composite.comp3_list ctx ~phrase)
+         = phrase_counts_of (Access.Composite.comp3_list ~use_skips:false ctx ~phrase)
+      && key_score_list (Access.Gen_meet.to_list ~within:sections ctx ~terms)
+         = key_score_list
+             (Access.Gen_meet.to_list ~within:sections ~use_skips:false ctx ~terms)
+      && Access.Ranked.top_k_docs ctx ~terms ~k:3
+         = Access.Ranked.top_k_docs ~use_skips:false ctx ~terms ~k:3)
+
+(* ------------------------------------------------------------------ *)
 (* Top-K *)
 
 let test_top_k_basic () =
@@ -1164,6 +1364,14 @@ let () =
           tc "parent-child" `Quick test_structural_join_parent_child;
           tc "cross-doc" `Quick test_structural_join_cross_doc;
           tc "vs naive" `Quick test_structural_join_against_naive;
+        ] );
+      ( "skip paths",
+        [
+          tc "phrase/comp3 on=off" `Quick test_phrase_skips_equivalent;
+          tc "occurrences_within = filter" `Quick test_within_vs_filter;
+          tc "scoped gen_meet" `Quick test_gen_meet_within;
+          tc "top_k_docs = naive" `Quick test_top_k_docs_equivalence;
+          QCheck_alcotest.to_alcotest test_skips_property;
         ] );
       ( "top_k",
         [

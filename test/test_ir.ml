@@ -170,6 +170,183 @@ let test_postings_property =
     (QCheck.make gen_occs) (fun occs ->
       Ir.Postings.to_list (Ir.Postings.of_list occs) = occs)
 
+(* --- skip-table seeks ---------------------------------------------- *)
+
+(* Lists whose sizes straddle the block boundary (block_size = 128),
+   plus a random mix of interleaved [next] and [seek_pos] calls.
+   The oracle is the only sensible spec: seek returns exactly what a
+   sequence of [next] calls discarding every occurrence below the
+   target would. *)
+let gen_seek_scenario =
+  let open QCheck.Gen in
+  let bs = Ir.Postings.block_size in
+  let sized n =
+    list_repeat n (triple (int_bound 20) (int_bound 100) (int_range 1 10))
+    >|= fun steps ->
+    let doc = ref 0 and pos = ref 0 in
+    List.map
+      (fun (adv, node, pgap) ->
+        if adv = 0 then begin
+          incr doc;
+          pos := pgap
+        end
+        else pos := !pos + pgap;
+        occ !doc node !pos)
+      steps
+  in
+  let size =
+    oneofl [ 0; 1; 2; bs - 1; bs; bs + 1; (2 * bs) + 17; 37 ] >>= fun base ->
+    int_bound 8 >|= fun jitter -> max 0 (base + jitter - 4)
+  in
+  (size >>= sized) >>= fun occs ->
+  let max_doc =
+    List.fold_left (fun a (o : Ir.Postings.occ) -> max a o.doc) 0 occs
+  in
+  let max_pos =
+    List.fold_left (fun a (o : Ir.Postings.occ) -> max a o.pos) 0 occs
+  in
+  let op =
+    frequency
+      [
+        (1, return `Next);
+        ( 2,
+          pair (int_bound (max_doc + 2)) (int_bound (max_pos + 5)) >|= fun t ->
+          `Seek t );
+        (* exact keys: both hits and the occurrence just past one *)
+        ( 2,
+          if occs = [] then return `Next
+          else
+            int_bound (List.length occs - 1) >|= fun i ->
+            let o = List.nth occs i in
+            `Seek (o.Ir.Postings.doc, o.Ir.Postings.pos) );
+      ]
+  in
+  pair (return occs) (list_size (1 -- 40) op)
+
+let oracle_run occs ops =
+  let remaining = ref occs in
+  let take () =
+    match !remaining with
+    | [] -> None
+    | o :: rest ->
+      remaining := rest;
+      Some o
+  in
+  List.map
+    (fun op ->
+      match op with
+      | `Next -> take ()
+      | `Seek (d, p) ->
+        let below (o : Ir.Postings.occ) = (o.doc, o.pos) < (d, p) in
+        remaining := List.filter (fun o -> not (below o)) !remaining;
+        take ())
+    ops
+
+let cursor_run c ops =
+  List.map
+    (fun op ->
+      match op with
+      | `Next -> Ir.Postings.next c
+      | `Seek (d, p) -> Ir.Postings.seek_pos c ~doc:d ~pos:p)
+    ops
+
+let test_seek_matches_next_oracle =
+  QCheck.Test.make ~name:"seek_pos/next agree with sequential oracle"
+    ~count:500 (QCheck.make gen_seek_scenario) (fun (occs, ops) ->
+      let p = Ir.Postings.of_list occs in
+      cursor_run (Ir.Postings.cursor p) ops = oracle_run occs ops)
+
+let test_seek_survives_serialization =
+  QCheck.Test.make ~name:"serialize/deserialize preserves seek behavior"
+    ~count:200 (QCheck.make gen_seek_scenario) (fun (occs, ops) ->
+      let p = Ir.Postings.of_list occs in
+      let p' =
+        Ir.Postings.deserialize ~count:(Ir.Postings.length p)
+          (Ir.Postings.serialize p)
+      in
+      Ir.Postings.to_list p' = occs
+      && Ir.Postings.blocks p' = Ir.Postings.blocks p
+      && Ir.Postings.max_tf p' = Ir.Postings.max_tf p
+      && cursor_run (Ir.Postings.cursor p') ops
+         = cursor_run (Ir.Postings.cursor p) ops)
+
+let test_seek_doc_is_seek_pos_zero =
+  QCheck.Test.make ~name:"seek_doc d = seek_pos (d,0)" ~count:200
+    (QCheck.make gen_seek_scenario) (fun (occs, ops) ->
+      let docs_of ops =
+        List.filter_map (function `Seek (d, _) -> Some d | `Next -> None) ops
+      in
+      let p = Ir.Postings.of_list occs in
+      let a = Ir.Postings.cursor p and b = Ir.Postings.cursor p in
+      List.for_all
+        (fun d -> Ir.Postings.seek_doc a d = Ir.Postings.seek_pos b ~doc:d ~pos:0)
+        (docs_of ops))
+
+let test_seek_empty_and_edges () =
+  let empty = Ir.Postings.of_list [] in
+  let c = Ir.Postings.cursor empty in
+  check bool_ "seek on empty" true (Ir.Postings.seek_pos c ~doc:0 ~pos:0 = None);
+  check int_ "block_max_tf on empty" 0 (Ir.Postings.block_max_tf c);
+  check int_ "blocks of empty" 0 (Ir.Postings.blocks empty);
+  let single = Ir.Postings.of_list [ occ 2 1 7 ] in
+  let c = Ir.Postings.cursor single in
+  (match Ir.Postings.seek_pos c ~doc:2 ~pos:7 with
+  | Some o -> check int_ "exact single hit" 7 o.Ir.Postings.pos
+  | None -> Alcotest.fail "expected the single occurrence");
+  check bool_ "drained after" true (Ir.Postings.next c = None);
+  (* a list exactly one block long has one skip entry and no
+     forward blocks to jump to *)
+  let one_block =
+    Ir.Postings.of_list
+      (List.init Ir.Postings.block_size (fun i -> occ 0 0 (i + 1)))
+  in
+  check int_ "one block" 1 (Ir.Postings.blocks one_block);
+  let c = Ir.Postings.cursor one_block in
+  (match Ir.Postings.seek_pos c ~doc:0 ~pos:Ir.Postings.block_size with
+  | Some o -> check int_ "last key" Ir.Postings.block_size o.Ir.Postings.pos
+  | None -> Alcotest.fail "expected last occurrence")
+
+let test_postings_max_tf () =
+  (* doc 0: tf 3, doc 1: tf 5, doc 2: tf 1 *)
+  let occs =
+    List.init 3 (fun i -> occ 0 0 (i + 1))
+    @ List.init 5 (fun i -> occ 1 0 (i + 1))
+    @ [ occ 2 0 4 ]
+  in
+  let p = Ir.Postings.of_list occs in
+  check int_ "global max_tf" 5 (Ir.Postings.max_tf p);
+  (* block_max_tf is an upper bound for every doc the block touches *)
+  let c = Ir.Postings.cursor p in
+  let rec walk () =
+    match Ir.Postings.next c with
+    | None -> ()
+    | Some o ->
+      check bool_ "block bound holds" true
+        (Ir.Postings.block_max_tf c
+        >= List.length
+             (List.filter (fun (x : Ir.Postings.occ) -> x.doc = o.doc) occs));
+      walk ()
+  in
+  walk ()
+
+let test_codec_truncated () =
+  let expect_truncated name bytes off =
+    match Ir.Codec.read_varint bytes off with
+    | _ -> Alcotest.fail (name ^ ": expected Codec.Truncated")
+    | exception Ir.Codec.Truncated _ -> ()
+  in
+  (* continuation bit set on the last byte *)
+  expect_truncated "dangling continuation" (Bytes.make 1 '\x80') 0;
+  expect_truncated "empty buffer" Bytes.empty 0;
+  (* more continuation bytes than any 63-bit value needs *)
+  expect_truncated "overlong varint" (Bytes.make 12 '\xff') 0;
+  (* truncated posting payload *)
+  let p = Ir.Postings.of_list [ occ 0 1 2; occ 0 1 5; occ 1 0 3 ] in
+  let s = Ir.Postings.serialize p in
+  match Ir.Postings.deserialize ~count:3 (String.sub s 0 (String.length s - 2)) with
+  | _ -> Alcotest.fail "expected Truncated on clipped payload"
+  | exception Ir.Codec.Truncated _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Inverted index *)
 
@@ -406,6 +583,7 @@ let () =
       ( "codec",
         [
           tc "sequence" `Quick test_varint_sequence;
+          tc "truncated input" `Quick test_codec_truncated;
           QCheck_alcotest.to_alcotest test_varint_roundtrip;
           QCheck_alcotest.to_alcotest test_zigzag_roundtrip;
         ] );
@@ -415,6 +593,11 @@ let () =
           tc "order check" `Quick test_postings_order_check;
           tc "cursor reset" `Quick test_postings_cursor_reset;
           QCheck_alcotest.to_alcotest test_postings_property;
+          tc "seek edges" `Quick test_seek_empty_and_edges;
+          tc "max_tf" `Quick test_postings_max_tf;
+          QCheck_alcotest.to_alcotest test_seek_matches_next_oracle;
+          QCheck_alcotest.to_alcotest test_seek_survives_serialization;
+          QCheck_alcotest.to_alcotest test_seek_doc_is_seek_pos_zero;
         ] );
       ( "inverted index",
         [
