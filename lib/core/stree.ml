@@ -12,11 +12,11 @@ type t = {
 
 and child = Node of t | Content of string
 
-let counter = ref 0
+(* Atomic so trees can be built from several domains at once (ids
+   stay unique); synthetic ids only need freshness, not density. *)
+let counter = Atomic.make 0
 
-let fresh_id () =
-  incr counter;
-  Synthetic !counter
+let fresh_id () = Synthetic (Atomic.fetch_and_add counter 1 + 1)
 
 let make ?(attrs = []) ?score ?id tag children =
   let id = match id with Some id -> id | None -> fresh_id () in

@@ -41,6 +41,12 @@ type t = {
   mutable bytes_transferred : int;
   mutable failures : int;
   mutable fault : Fault.t option;
+  lock : Mutex.t;
+      (* serializes pool (frames/stats) mutation so concurrent domains
+         can read through one pager; the pinned fast path below never
+         takes it *)
+  mutable pinned : bool;
+  pinned_reads : int Atomic.t;  (* reads served by the pinned path *)
 }
 
 let default_page_size = 8192
@@ -59,6 +65,9 @@ let create ?(pool_pages = 1024) ~page_size () =
     bytes_transferred = 0;
     failures = 0;
     fault = None;
+    lock = Mutex.create ();
+    pinned = false;
+    pinned_reads = Atomic.make 0;
   }
 
 let page_size t = t.size
@@ -81,7 +90,7 @@ let append_page t page =
 
 let page_count t = t.stable_count
 
-let set_fault t fault = t.fault <- fault
+let set_fault t fault = Mutex.protect t.lock (fun () -> t.fault <- fault)
 let fault t = t.fault
 
 let evict_lru t =
@@ -144,32 +153,71 @@ let transfer t id =
   in
   attempt 0
 
+(* Verify every stable page once, then serve reads straight from the
+   stable array without touching the pool or its lock: the stable
+   array and checksums are never mutated after the last append, so a
+   pinned pager is safe to read from any number of domains
+   concurrently. Pinned reads model a fully memory-resident image —
+   they count as reads but never as misses or transfers. *)
+let pin t =
+  let rec verify id =
+    if id >= t.stable_count then Ok ()
+    else begin
+      let actual = Crc32.bytes t.stable.(id) in
+      if actual = t.checksums.(id) then verify (id + 1)
+      else
+        Error
+          {
+            page = id;
+            kind = Checksum_mismatch;
+            attempts = 1;
+            detail =
+              Printf.sprintf "stored crc32 %08x, computed %08x at pin time"
+                t.checksums.(id) actual;
+          }
+    end
+  in
+  match verify 0 with
+  | Ok () ->
+    Mutex.protect t.lock (fun () -> Hashtbl.reset t.frames);
+    t.pinned <- true;
+    Ok ()
+  | Error _ as e -> e
+
+let pinned t = t.pinned
+
 let read_page_result t id =
   if id < 0 || id >= t.stable_count then begin
-    t.failures <- t.failures + 1;
+    Mutex.protect t.lock (fun () -> t.failures <- t.failures + 1);
     invalid_arg
       (Printf.sprintf "Pager.read_page: page %d out of bounds (page count %d)"
          id t.stable_count)
-  end;
-  t.reads <- t.reads + 1;
-  t.clock <- t.clock + 1;
-  match Hashtbl.find_opt t.frames id with
-  | Some frame ->
-    frame.tick <- t.clock;
-    Ok frame.data
-  | None -> begin
-    t.misses <- t.misses + 1;
-    match transfer t id with
-    | Error e ->
-      t.failures <- t.failures + 1;
-      Error e
-    | Ok data ->
-      (* The copy is the simulated disk-to-pool transfer. *)
-      t.bytes_transferred <- t.bytes_transferred + Bytes.length data;
-      if Hashtbl.length t.frames >= t.pool_pages then evict_lru t;
-      Hashtbl.replace t.frames id { page_id = id; data; tick = t.clock };
-      Ok data
   end
+  else if t.pinned then begin
+    Atomic.incr t.pinned_reads;
+    Ok t.stable.(id)
+  end
+  else
+    Mutex.protect t.lock (fun () ->
+        t.reads <- t.reads + 1;
+        t.clock <- t.clock + 1;
+        match Hashtbl.find_opt t.frames id with
+        | Some frame ->
+          frame.tick <- t.clock;
+          Ok frame.data
+        | None -> begin
+          t.misses <- t.misses + 1;
+          match transfer t id with
+          | Error e ->
+            t.failures <- t.failures + 1;
+            Error e
+          | Ok data ->
+            (* The copy is the simulated disk-to-pool transfer. *)
+            t.bytes_transferred <- t.bytes_transferred + Bytes.length data;
+            if Hashtbl.length t.frames >= t.pool_pages then evict_lru t;
+            Hashtbl.replace t.frames id { page_id = id; data; tick = t.clock };
+            Ok data
+        end)
 
 let read_page t id =
   match read_page_result t id with
@@ -177,18 +225,21 @@ let read_page t id =
   | Error e -> raise (Read_error e)
 
 let stats t =
-  {
-    page_count = t.stable_count;
-    reads = t.reads;
-    misses = t.misses;
-    bytes_transferred = t.bytes_transferred;
-    failures = t.failures;
-  }
+  Mutex.protect t.lock (fun () ->
+      {
+        page_count = t.stable_count;
+        reads = t.reads + Atomic.get t.pinned_reads;
+        misses = t.misses;
+        bytes_transferred = t.bytes_transferred;
+        failures = t.failures;
+      })
 
 let reset_stats t =
-  t.reads <- 0;
-  t.misses <- 0;
-  t.bytes_transferred <- 0;
-  t.failures <- 0
+  Mutex.protect t.lock (fun () ->
+      t.reads <- 0;
+      t.misses <- 0;
+      t.bytes_transferred <- 0;
+      t.failures <- 0;
+      Atomic.set t.pinned_reads 0)
 
-let clear_pool t = Hashtbl.reset t.frames
+let clear_pool t = Mutex.protect t.lock (fun () -> Hashtbl.reset t.frames)

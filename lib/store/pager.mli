@@ -79,3 +79,20 @@ val reset_stats : t -> unit
 val clear_pool : t -> unit
 (** Drop every frame: makes the next reads cold, so experiments start
     from a known state. *)
+
+(** {1 Concurrency}
+
+    A pager may be read from several domains at once: pool state
+    (frames, statistics) is mutex-protected. For a read-only snapshot
+    the lock can be bypassed entirely with {!pin}. *)
+
+val pin : t -> (unit, read_error) result
+(** Verify every stable page's checksum once, then serve all
+    subsequent reads lock-free straight from stable storage (no pool,
+    no misses, no transfers — the image is memory-resident). The
+    first damaged page is reported as [Error] and the pager stays
+    unpinned. A pinned pager must not receive further
+    {!append_page}s, and the bytes {!read_page} returns are the
+    stable pages themselves — the read-only contract is load-bearing. *)
+
+val pinned : t -> bool
