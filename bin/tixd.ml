@@ -1,0 +1,178 @@
+(* tixd: the resident TIX query service.
+
+   Loads one database (XML documents or a saved .tix image), pins it
+   as an immutable snapshot, and serves the newline-delimited JSON
+   protocol (lib/service/protocol.mli) over TCP with a fixed pool of
+   domain workers. `tixdb client` is the matching command-line
+   client. *)
+
+open Cmdliner
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  match Sys.getenv_opt "TIX_LOG" with
+  | Some "debug" -> Logs.set_level (Some Logs.Debug)
+  | Some "info" -> Logs.set_level (Some Logs.Info)
+  | Some _ | None -> Logs.set_level (Some Logs.Warning)
+
+let load_files ~skip_bad paths =
+  match paths with
+  | [ path ] when Filename.check_suffix path ".tix" -> begin
+    match Store.Db.open_file path with
+    | Ok db -> db
+    | Error e ->
+      Format.eprintf "error: %a@." Store.Db.pp_error e;
+      exit 1
+  end
+  | paths when skip_bad ->
+    let docs =
+      List.to_seq paths
+      |> Seq.map (fun path ->
+             ( Filename.basename path,
+               match Xmlkit.Parser.parse_file path with
+               | Ok root -> Ok root
+               | Error e ->
+                 Error
+                   (Format.asprintf "parse error: %a" Xmlkit.Parser.pp_error e)
+             ))
+    in
+    let db, report = Store.Db.load_isolated docs in
+    if report.failed <> [] then
+      Format.eprintf "%a@." Store.Db.pp_load_report report;
+    db
+  | paths ->
+    let docs =
+      List.map
+        (fun path ->
+          match Xmlkit.Parser.parse_file path with
+          | Ok root -> (Filename.basename path, root)
+          | Error e ->
+            Format.eprintf "%s: parse error: %a@." path Xmlkit.Parser.pp_error e;
+            exit 1)
+        paths
+    in
+    Store.Db.of_documents docs
+
+let serve paths host port workers queue_depth plan_cache result_cache timeout
+    max_steps max_results skip_bad =
+  let db = load_files ~skip_bad paths in
+  let source = match paths with [ p ] -> p | _ -> "<multiple>" in
+  let snapshot =
+    match Service.Engine.of_db ~source db with
+    | Ok s -> s
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+  in
+  let limits =
+    Core.Governor.limits ?max_steps ?timeout_s:timeout ?max_results ()
+  in
+  let scheduler =
+    Service.Scheduler.create ?workers ?queue_depth ~limits
+      ~plan_cache_capacity:plan_cache ~result_cache_capacity:result_cache
+      snapshot
+  in
+  let server = Service.Server.start ~host ~port scheduler in
+  let stats = Service.Scheduler.stats scheduler in
+  Format.printf "tixd: serving %s on %s:%d (workers=%d queue=%d)@." source host
+    (Service.Server.port server)
+    stats.Service.Scheduler.workers stats.Service.Scheduler.queue_depth;
+  (* flush so scripts that spawned us can scrape the port *)
+  Format.pp_print_flush Format.std_formatter ();
+  let running = Atomic.make true in
+  let quit _ = Atomic.set running false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  while Atomic.get running do
+    Unix.sleepf 0.2
+  done;
+  Format.printf "tixd: shutting down@.";
+  Service.Server.stop server;
+  Service.Scheduler.shutdown scheduler
+
+let paths_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "XML documents to load, or a single saved database image (*.tix).")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7070
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"TCP port (0 asks the kernel for a free one).")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "w"; "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains (default: recommended domain count - 1, capped at \
+           8).")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue" ] ~docv:"DEPTH"
+        ~doc:
+          "Submission queue bound; a full queue answers with an overloaded \
+           error (default 4 x workers).")
+
+let plan_cache_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "plan-cache" ] ~docv:"N"
+        ~doc:"Compiled-plan LRU capacity (0 disables).")
+
+let result_cache_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "result-cache" ] ~docv:"N"
+        ~doc:"Top-k result LRU capacity (0 disables).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Default wall-clock budget per query (requests may tighten it).")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Default step budget per query.")
+
+let max_results_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-results" ] ~docv:"N"
+        ~doc:"Default result-cardinality cap per query.")
+
+let skip_bad_arg =
+  Arg.(
+    value & flag
+    & info [ "skip-bad" ]
+        ~doc:"Skip documents that fail to parse or ingest instead of aborting.")
+
+let () =
+  let info =
+    Cmd.info "tixd" ~version:"1.0.0"
+      ~doc:"Resident concurrent TIX query service (NDJSON over TCP)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const serve $ paths_arg $ host_arg $ port_arg $ workers_arg
+            $ queue_arg $ plan_cache_arg $ result_cache_arg $ timeout_arg
+            $ max_steps_arg $ max_results_arg $ skip_bad_arg)))

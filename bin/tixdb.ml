@@ -6,6 +6,8 @@
      phrase  find a phrase with PhraseFinder or Comp3
      stats   load documents and print database statistics
      gen     write a synthetic INEX-like corpus to a directory
+     build   build a persistent database image from XML files
+     client  talk to a running tixd server (NDJSON over TCP)
      demo    run the paper's Query 1 against the built-in Figure 1 data
 *)
 
@@ -130,9 +132,32 @@ let or_fault_exit f =
 (* ------------------------------------------------------------------ *)
 (* query *)
 
+let format_conv = Arg.enum [ ("text", `Text); ("json", `Json) ]
+
 let query_cmd =
-  let run paths query_string engine skip_bad limits =
+  let run paths query_string engine format skip_bad limits =
     let db = load_files ~skip_bad paths in
+    match format with
+    | `Json ->
+      (* structured output through the service layer, so scripts and
+         the tixd protocol share one encoder *)
+      let snapshot =
+        match Service.Engine.of_db db with
+        | Ok s -> s
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 1
+      in
+      let mode = if engine then `Engine else `Auto in
+      let request = Service.Engine.Query { q = query_string; mode } in
+      let json, failed =
+        match Service.Engine.exec ~limits snapshot request with
+        | Ok result -> (Service.Protocol.result_to_json result, false)
+        | Error e -> (Service.Protocol.engine_error_to_json e, true)
+      in
+      print_endline (Service.Json.to_string json);
+      if failed then exit 1
+    | `Text ->
     if engine then begin
       (* try the compiled path; report the plan and identifiers *)
       match Query.Parser.parse query_string with
@@ -189,11 +214,19 @@ let query_cmd =
             "Compile onto the store-level access methods (structural joins + \
              TermJoin + stack Pick) instead of interpreting.")
   in
+  let format_arg =
+    Arg.(
+      value & opt format_conv `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: text, or json (one response object with results, \
+             scores and timings — the same encoding tixd serves).")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an extended-XQuery query")
     Term.(
-      const run $ paths_arg $ query_arg $ engine_arg $ skip_bad_arg
-      $ limits_term)
+      const run $ paths_arg $ query_arg $ engine_arg $ format_arg
+      $ skip_bad_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* search *)
@@ -392,6 +425,267 @@ let build_cmd =
     Term.(const run $ paths_arg $ out_arg $ skip_bad_arg)
 
 (* ------------------------------------------------------------------ *)
+(* client *)
+
+let resolve_addr host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> begin
+    match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+    | { Unix.ai_addr; _ } :: _ -> ai_addr
+    | [] ->
+      Format.eprintf "error: cannot resolve host %s@." host;
+      exit 1
+  end
+
+(* One request, one response line: connect, send, read, close. *)
+let round_trip ~host ~port line =
+  let addr = resolve_addr host port in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match Unix.connect sock addr with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf "error: cannot connect to %s:%d: %s@." host port
+      (Unix.error_message e);
+    exit 1);
+  let oc = Unix.out_channel_of_descr sock in
+  let ic = Unix.in_channel_of_descr sock in
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let resp =
+    match input_line ic with
+    | line -> line
+    | exception End_of_file ->
+      Format.eprintf "error: server closed the connection@.";
+      exit 1
+  in
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  resp
+
+let print_response ~pretty resp =
+  if not pretty then print_endline resp
+  else begin
+    match Service.Json.parse resp with
+    | Error e ->
+      Format.eprintf "error: unparseable response (%s): %s@." e resp;
+      exit 1
+    | Ok json -> begin
+      match Service.Json.(Option.bind (member "ok" json) to_bool_opt) with
+      | Some false ->
+        let code, message =
+          match Service.Json.member "error" json with
+          | Some err ->
+            ( Option.value ~default:"?"
+                Service.Json.(Option.bind (member "code" err) to_string_opt),
+              Option.value ~default:""
+                Service.Json.(Option.bind (member "message" err) to_string_opt)
+            )
+          | None -> ("?", resp)
+        in
+        Format.eprintf "error [%s]: %s@." code message;
+        exit 1
+      | _ -> begin
+        (match Service.Json.(Option.bind (member "results" json) to_list_opt) with
+        | Some rows ->
+          List.iteri
+            (fun i row ->
+              let str name =
+                Option.value ~default:"?"
+                  Service.Json.(Option.bind (member name row) to_string_opt)
+              in
+              let num name =
+                Option.value ~default:0
+                  Service.Json.(Option.bind (member name row) to_int_opt)
+              in
+              let score =
+                Option.value ~default:0.
+                  Service.Json.(Option.bind (member "score" row) to_float_opt)
+              in
+              Format.printf "%2d. %-14s doc=%d start=%d score=%.3f@." (i + 1)
+                (str "tag") (num "doc") (num "start") score)
+            rows
+        | None -> ());
+        (match Service.Json.(Option.bind (member "trees" json) to_list_opt) with
+        | Some trees ->
+          List.iter
+            (fun t ->
+              match Service.Json.to_string_opt t with
+              | Some s -> print_string s
+              | None -> ())
+            trees
+        | None -> ());
+        match Service.Json.(Option.bind (member "total" json) to_int_opt) with
+        | Some total -> Format.printf "(%d results)@." total
+        | None -> print_endline resp
+      end
+    end
+  end
+
+let client_cmd =
+  let run host port query search phrase ranked comp3 method_ complex do_stats
+      do_health prepare execute raw k pretty limits =
+    let some_if cond v = if cond then Some v else None in
+    let requests =
+      List.filter_map Fun.id
+        [
+          Option.map
+            (fun q ->
+              Service.Protocol.Exec
+                { req = Service.Engine.Query { q; mode = `Auto }; k; limits })
+            query;
+          Option.map
+            (fun terms ->
+              let terms =
+                String.split_on_char ',' terms |> List.map String.trim
+              in
+              let method_ =
+                match method_ with
+                | `Termjoin -> Service.Engine.Termjoin
+                | `Enhanced -> Service.Engine.Enhanced
+                | `Genmeet -> Service.Engine.Genmeet
+                | `Comp1 -> Service.Engine.Comp1
+                | `Comp2 -> Service.Engine.Comp2
+              in
+              Service.Protocol.Exec
+                {
+                  req = Service.Engine.Search { terms; method_; complex };
+                  k;
+                  limits;
+                })
+            search;
+          Option.map
+            (fun phrase ->
+              Service.Protocol.Exec
+                { req = Service.Engine.Phrase { phrase; comp3 }; k; limits })
+            phrase;
+          Option.map
+            (fun terms ->
+              let terms =
+                String.split_on_char ',' terms |> List.map String.trim
+              in
+              Service.Protocol.Exec
+                { req = Service.Engine.Ranked { terms }; k; limits })
+            ranked;
+          Option.map (fun q -> Service.Protocol.Prepare { q }) prepare;
+          Option.map
+            (fun id -> Service.Protocol.Execute { id; k; limits })
+            execute;
+          some_if do_stats Service.Protocol.Stats;
+          some_if do_health Service.Protocol.Health;
+        ]
+    in
+    let lines =
+      List.map
+        (fun r -> Service.Json.to_string (Service.Protocol.request_to_json r))
+        requests
+      @ Option.to_list raw
+    in
+    match lines with
+    | [] ->
+      Format.eprintf
+        "error: pick one of --query, --search, --phrase, --ranked, \
+         --prepare, --execute, --stats, --health or --raw@.";
+      exit 2
+    | lines ->
+      List.iter
+        (fun line -> print_response ~pretty (round_trip ~host ~port line))
+        lines
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 7070 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let query_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Extended-XQuery text to run.")
+  in
+  let search_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "search" ] ~docv:"TERMS" ~doc:"Comma-separated search terms.")
+  in
+  let phrase_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "phrase" ] ~docv:"PHRASE" ~doc:"Phrase to find.")
+  in
+  let ranked_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ranked" ] ~docv:"TERMS"
+          ~doc:"Comma-separated terms for document top-k retrieval.")
+  in
+  let comp3_arg =
+    Arg.(
+      value & flag
+      & info [ "comp3" ] ~doc:"Phrase via the composite baseline.")
+  in
+  let method_arg =
+    Arg.(
+      value & opt method_conv `Termjoin
+      & info [ "m"; "method" ] ~docv:"METHOD" ~doc:"Search access method.")
+  in
+  let complex_arg =
+    Arg.(
+      value & flag & info [ "complex" ] ~doc:"Complex scoring (Sec. 6.1).")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Fetch server statistics.")
+  in
+  let health_arg =
+    Arg.(value & flag & info [ "health" ] ~doc:"Health check.")
+  in
+  let prepare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prepare" ] ~docv:"QUERY"
+          ~doc:"Register a prepared statement; prints its id.")
+  in
+  let execute_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "execute" ] ~docv:"ID" ~doc:"Run a prepared statement.")
+  in
+  let raw_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"JSON" ~doc:"Send one raw protocol line as-is.")
+  in
+  let k_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "top" ] ~docv:"K" ~doc:"Result rows to keep.")
+  in
+  let pretty_arg =
+    Arg.(
+      value & flag
+      & info [ "pretty" ]
+          ~doc:"Render rows as a table instead of raw JSON.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Talk to a running tixd server")
+    Term.(
+      const run $ host_arg $ port_arg $ query_arg $ search_arg $ phrase_arg
+      $ ranked_arg $ comp3_arg $ method_arg $ complex_arg $ stats_arg
+      $ health_arg $ prepare_arg $ execute_arg $ raw_arg $ k_arg $ pretty_arg
+      $ limits_term)
+
+(* ------------------------------------------------------------------ *)
 (* demo *)
 
 let demo_cmd =
@@ -432,5 +726,5 @@ let () =
        (Cmd.group info
           [
             query_cmd; search_cmd; phrase_cmd; stats_cmd; gen_cmd; build_cmd;
-            demo_cmd;
+            client_cmd; demo_cmd;
           ]))

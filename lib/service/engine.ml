@@ -1,0 +1,340 @@
+type snapshot = {
+  db : Store.Db.t;
+  ctx : Access.Ctx.t;
+  generation : int;
+  source : string;
+}
+
+let of_db ?(generation = 0) ?(source = "<memory>") db =
+  let pager = Store.Element_store.pager (Store.Db.elements db) in
+  match Store.Pager.pin pager with
+  | Ok () ->
+    Ok { db; ctx = Access.Ctx.of_db db; generation; source }
+  | Error e ->
+    Error
+      (Format.asprintf "cannot pin %s: %a" source Store.Pager.pp_read_error e)
+
+let load ?pool_pages ?generation path =
+  match Store.Db.open_file ?pool_pages path with
+  | Ok db -> of_db ?generation ~source:path db
+  | Error e -> Error (Store.Db.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+type search_method = Termjoin | Enhanced | Genmeet | Comp1 | Comp2
+
+let search_method_of_string = function
+  | "termjoin" -> Some Termjoin
+  | "enhanced" -> Some Enhanced
+  | "genmeet" -> Some Genmeet
+  | "comp1" -> Some Comp1
+  | "comp2" -> Some Comp2
+  | _ -> None
+
+let search_method_to_string = function
+  | Termjoin -> "termjoin"
+  | Enhanced -> "enhanced"
+  | Genmeet -> "genmeet"
+  | Comp1 -> "comp1"
+  | Comp2 -> "comp2"
+
+type request =
+  | Query of { q : string; mode : [ `Auto | `Engine | `Interp ] }
+  | Search of { terms : string list; method_ : search_method; complex : bool }
+  | Phrase of { phrase : string; comp3 : bool }
+  | Ranked of { terms : string list }
+
+type row = { tag : string; doc : int; start : int; score : float }
+
+type result = {
+  rows : row list;
+  trees : string list;
+  total : int;
+  cached : bool;
+  plan : string option;
+  timings : (string * float) list;
+}
+
+type error =
+  | Parse_error of string
+  | Unsupported of string
+  | Exhausted of Core.Governor.violation
+  | Storage of string
+  | Bad_request of string
+
+let error_code = function
+  | Parse_error _ -> "parse_error"
+  | Unsupported _ -> "unsupported"
+  | Exhausted _ -> "exhausted"
+  | Storage _ -> "storage"
+  | Bad_request _ -> "bad_request"
+
+let error_message = function
+  | Parse_error m | Unsupported m | Storage m | Bad_request m -> m
+  | Exhausted v -> Core.Governor.violation_to_string v
+
+(* Collapse whitespace runs outside double-quoted literals, so two
+   spellings of one query share a cache entry without ever merging
+   queries whose literals differ. *)
+let normalize_query q =
+  let buf = Buffer.create (String.length q) in
+  let in_quote = ref false in
+  let pending_ws = ref false in
+  String.iter
+    (fun c ->
+      if !in_quote then begin
+        if c = '"' then in_quote := false;
+        Buffer.add_char buf c
+      end
+      else
+        match c with
+        | ' ' | '\t' | '\n' | '\r' -> pending_ws := true
+        | c ->
+          if !pending_ws && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          pending_ws := false;
+          if c = '"' then in_quote := true;
+          Buffer.add_char buf c)
+    q;
+  Buffer.contents buf
+
+let canonical_key = function
+  | Query { q; mode } ->
+    let m =
+      match mode with `Auto -> "auto" | `Engine -> "engine" | `Interp -> "interp"
+    in
+    Printf.sprintf "query|%s|%s" m (normalize_query q)
+  | Search { terms; method_; complex } ->
+    Printf.sprintf "search|%s|%s|%s"
+      (search_method_to_string method_)
+      (if complex then "complex" else "simple")
+      (String.concat "\x00" terms)
+  | Phrase { phrase; comp3 } ->
+    Printf.sprintf "phrase|%s|%s"
+      (if comp3 then "comp3" else "finder")
+      (normalize_query phrase)
+  | Ranked { terms } -> Printf.sprintf "ranked|%s" (String.concat "\x00" terms)
+
+type caches = {
+  plans : (Query.Compile.plan, string) Stdlib.result Lru.t;
+  results : (row list * string list * int) Lru.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let now = Unix.gettimeofday
+
+let row_of_node snapshot (n : Access.Scored_node.t) =
+  let tag =
+    Option.value ~default:"?"
+      (Store.Db.tag_of snapshot.db ~doc:n.doc ~start:n.start)
+  in
+  { tag; doc = n.doc; start = n.start; score = n.score }
+
+let op_counter name = Metrics.counter ("op." ^ name)
+
+(* Mirror of the CLI's [governed] wrapper: access methods that are
+   not internally governed still pay for their output cardinality
+   and sample the deadline once. *)
+let governed limits f =
+  let gov = Core.Governor.start limits in
+  let results = f () in
+  let n = List.length results in
+  Core.Governor.tick_n gov n;
+  Core.Governor.check_results gov n;
+  Core.Governor.check_deadline gov;
+  results
+
+let truncate k rows =
+  match k with
+  | None -> rows
+  | Some k when k < 0 -> rows
+  | Some k -> List.filteri (fun i _ -> i < k) rows
+
+let exec_query ~caches ~limits snapshot ~q ~mode =
+  let key = canonical_key (Query { q; mode }) in
+  let timings = ref [] in
+  let stage name f =
+    let t0 = now () in
+    let v = f () in
+    let dt = now () -. t0 in
+    timings := (name, dt) :: !timings;
+    Metrics.observe_s (Metrics.histogram ("stage." ^ name)) dt;
+    v
+  in
+  let compile_fresh () =
+    match stage "parse" (fun () -> Query.Parser.parse q) with
+    | Error e -> Error (Parse_error (Format.asprintf "%a" Query.Parser.pp_error e))
+    | Ok ast -> Ok (stage "compile" (fun () -> Query.Compile.compile ast))
+  in
+  let compiled =
+    match caches with
+    | Some c -> begin
+      match Lru.find c.plans key with
+      | Some plan -> Ok plan
+      | None -> begin
+        match compile_fresh () with
+        | Error _ as e -> e
+        | Ok outcome ->
+          Lru.add c.plans key outcome;
+          Ok outcome
+      end
+    end
+    | None -> compile_fresh ()
+  in
+  match compiled with
+  | Error e -> Error e
+  | Ok compiled -> begin
+    let run_interp () =
+      (* a fresh evaluator per query: its tree cache and governor
+         slot are private, so the interpreter is domain-safe too *)
+      let evaluator = Query.Eval.create ~limits snapshot.db in
+      Metrics.incr (op_counter "interp");
+      match stage "execute" (fun () -> Query.Eval.run_string evaluator q) with
+      | Ok results ->
+        let trees =
+          List.map (fun r -> Xmlkit.Printer.to_string ~indent:2 r) results
+        in
+        Ok ([], trees, None)
+      | Error msg -> Error (Unsupported msg)
+    in
+    let outcome =
+      match compiled, mode with
+      | Ok plan, (`Auto | `Engine) ->
+        Metrics.incr (op_counter "engine_plan");
+        let nodes =
+          stage "execute" (fun () -> Query.Compile.execute ~limits snapshot.db plan)
+        in
+        Ok
+          ( List.map (row_of_node snapshot) nodes,
+            [],
+            Some (Query.Compile.explain plan) )
+      | Error reason, `Engine ->
+        Error (Unsupported (Printf.sprintf "not compilable: %s" reason))
+      | Error _, (`Auto | `Interp) | Ok _, `Interp -> run_interp ()
+    in
+    match outcome with
+    | Ok (rows, trees, plan) -> Ok (rows, trees, plan, List.rev !timings)
+    | Error e -> Error e
+  end
+
+let exec ?caches ?(limits = Core.Governor.unlimited) ?k snapshot request =
+  Metrics.incr (Metrics.counter "queries.total");
+  let t0 = now () in
+  let result_key =
+    Printf.sprintf "g%d|k%s|%s" snapshot.generation
+      (match k with None -> "*" | Some k -> string_of_int k)
+      (canonical_key request)
+  in
+  let cached_result =
+    match caches with
+    | Some c -> Lru.find c.results result_key
+    | None -> None
+  in
+  match cached_result with
+  | Some (rows, trees, total) ->
+    Metrics.incr (Metrics.counter "queries.result_cache_hits");
+    Ok { rows; trees; total; cached = true; plan = None; timings = [] }
+  | None -> begin
+    let finish ~plan ~timings rows trees =
+      let total = List.length rows + List.length trees in
+      let rows = truncate k rows in
+      let trees = truncate k trees in
+      (match caches with
+      | Some c -> Lru.add c.results result_key (rows, trees, total)
+      | None -> ());
+      let dt = now () -. t0 in
+      Metrics.observe_s (Metrics.histogram "query.total") dt;
+      let timings = timings @ [ ("total", dt) ] in
+      Ok { rows; trees; total; cached = false; plan; timings }
+    in
+    let ranked_rows nodes =
+      List.sort Access.Scored_node.compare_score_desc nodes
+      |> List.map (row_of_node snapshot)
+    in
+    match
+      match request with
+      | Query { q; mode } -> begin
+        match exec_query ~caches ~limits snapshot ~q ~mode with
+        | Ok (rows, trees, plan, timings) -> finish ~plan ~timings rows trees
+        | Error e -> Error e
+      end
+      | Search { terms; method_; complex } ->
+        if terms = [] || List.exists (fun t -> String.trim t = "") terms then
+          Error (Bad_request "search needs at least one non-empty term")
+        else begin
+          let mode =
+            if complex then Access.Counter_scoring.Complex
+            else Access.Counter_scoring.Simple
+          in
+          let ctx = snapshot.ctx in
+          Metrics.incr (op_counter (search_method_to_string method_));
+          let t0 = now () in
+          let nodes =
+            governed limits (fun () ->
+                match method_ with
+                | Termjoin -> Access.Term_join.to_list ~mode ctx ~terms
+                | Enhanced ->
+                  Access.Term_join.to_list ~variant:Access.Term_join.Enhanced
+                    ~mode ctx ~terms
+                | Genmeet -> Access.Gen_meet.to_list ~mode ctx ~terms
+                | Comp1 -> Access.Composite.comp1_list ~mode ctx ~terms
+                | Comp2 -> Access.Composite.comp2_list ~mode ctx ~terms)
+          in
+          let dt = now () -. t0 in
+          Metrics.observe_s (Metrics.histogram "stage.execute") dt;
+          finish ~plan:None ~timings:[ ("execute", dt) ] (ranked_rows nodes) []
+        end
+      | Phrase { phrase; comp3 } -> begin
+        match Ir.Phrase.parse phrase with
+        | [] -> Error (Bad_request "empty phrase")
+        | words ->
+          Metrics.incr (op_counter (if comp3 then "comp3" else "phrase_finder"));
+          let t0 = now () in
+          let nodes =
+            governed limits (fun () ->
+                if comp3 then Access.Composite.comp3_list snapshot.ctx ~phrase:words
+                else Access.Phrase_finder.to_list snapshot.ctx ~phrase:words)
+          in
+          let dt = now () -. t0 in
+          Metrics.observe_s (Metrics.histogram "stage.execute") dt;
+          finish ~plan:None ~timings:[ ("execute", dt) ] (ranked_rows nodes) []
+      end
+      | Ranked { terms } ->
+        if terms = [] || List.exists (fun t -> String.trim t = "") terms then
+          Error (Bad_request "ranked needs at least one non-empty term")
+        else begin
+          Metrics.incr (op_counter "ranked");
+          let kk = match k with Some k when k > 0 -> k | _ -> 10 in
+          let t0 = now () in
+          let docs =
+            governed limits (fun () ->
+                Access.Ranked.top_k_docs snapshot.ctx ~terms ~k:kk)
+          in
+          let dt = now () -. t0 in
+          Metrics.observe_s (Metrics.histogram "stage.execute") dt;
+          let catalog = Store.Db.catalog snapshot.db in
+          let rows =
+            List.map
+              (fun (doc, score) ->
+                let tag =
+                  if doc >= 0 && doc < Store.Catalog.document_count catalog then
+                    Store.Catalog.document_name catalog doc
+                  else "?"
+                in
+                { tag; doc; start = -1; score })
+              docs
+          in
+          finish ~plan:None ~timings:[ ("execute", dt) ] rows []
+        end
+    with
+    | outcome -> outcome
+    | exception Core.Governor.Resource_exhausted v ->
+      Metrics.incr (Metrics.counter "queries.exhausted");
+      Error (Exhausted v)
+    | exception Store.Pager.Read_error e ->
+      Metrics.incr (Metrics.counter "queries.storage_errors");
+      Error (Storage (Format.asprintf "%a" Store.Pager.pp_read_error e))
+    | exception Query.Eval.Error msg -> Error (Unsupported msg)
+  end

@@ -1,0 +1,93 @@
+(** A shared read-only snapshot of one database, and uniform
+    execution of service requests against it.
+
+    A {!snapshot} pins the store's pager ({!Store.Pager.pin}), after
+    which the whole read path — element pages, parent/tag indexes,
+    frozen postings — is immutable shared state that any number of
+    domains may evaluate queries against concurrently. Every worker
+    of {!Scheduler} executes through {!exec}; the CLI reuses the same
+    entry point so one query has one semantics everywhere. *)
+
+type snapshot = {
+  db : Store.Db.t;
+  ctx : Access.Ctx.t;
+  generation : int;
+      (** bumped on reload; caches key on it so a stale entry can
+          never serve a new snapshot *)
+  source : string;  (** image path, or ["<memory>"] *)
+}
+
+val of_db : ?generation:int -> ?source:string -> Store.Db.t -> (snapshot, string) result
+(** Pin the database's pager and wrap it. [Error] when a page fails
+    its pin-time checksum verification. *)
+
+val load : ?pool_pages:int -> ?generation:int -> string -> (snapshot, string) result
+(** [Store.Db.open_file] + {!of_db}. *)
+
+(** {1 Requests} *)
+
+type search_method = Termjoin | Enhanced | Genmeet | Comp1 | Comp2
+
+val search_method_of_string : string -> search_method option
+val search_method_to_string : search_method -> string
+
+type request =
+  | Query of { q : string; mode : [ `Auto | `Engine | `Interp ] }
+      (** extended XQuery; [`Auto] compiles onto the access methods
+          and falls back to the interpreter when the shape is outside
+          the compilable fragment (and trees were retained) *)
+  | Search of { terms : string list; method_ : search_method; complex : bool }
+  | Phrase of { phrase : string; comp3 : bool }
+  | Ranked of { terms : string list }
+      (** document-at-a-time max-score top-k over the given bag *)
+
+type row = { tag : string; doc : int; start : int; score : float }
+(** One scored element; for {!Ranked} rows, [start = -1] and [tag] is
+    the document name. *)
+
+type result = {
+  rows : row list;
+  trees : string list;
+      (** rendered XML results of the interpreter path (rows empty) *)
+  total : int;  (** result count before [k]-truncation *)
+  cached : bool;
+  plan : string option;  (** explain output of the compiled plan *)
+  timings : (string * float) list;  (** stage -> seconds, in order *)
+}
+
+type error =
+  | Parse_error of string
+  | Unsupported of string
+      (** outside the compilable fragment with no retained trees to
+          fall back to *)
+  | Exhausted of Core.Governor.violation
+  | Storage of string
+  | Bad_request of string
+
+val error_code : error -> string
+val error_message : error -> string
+
+val canonical_key : request -> string
+(** Deterministic cache key: query text is whitespace-normalized
+    outside string literals, term lists joined verbatim. Does not
+    include [k] or the snapshot generation — {!Result_cache} adds
+    those. *)
+
+type caches = {
+  plans : (Query.Compile.plan, string) Stdlib.result Lru.t;
+      (** keyed by {!canonical_key}; [Error reason] caches the
+          negative compile so the fallback decision is also cached *)
+  results : (row list * string list * int) Lru.t;
+}
+
+val exec :
+  ?caches:caches ->
+  ?limits:Core.Governor.limits ->
+  ?k:int ->
+  snapshot ->
+  request ->
+  (result, error) Stdlib.result
+(** Evaluate one request under a fresh governor. [k] truncates the
+    ranked row list (default: keep everything). Stage latencies are
+    recorded in {!Metrics} histograms ([stage.*]) and the executed
+    operator in [op.*] counters. *)

@@ -1,0 +1,288 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f > 1e15 then
+    Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    (* integral floats keep a ".0" so they round-trip as Float *)
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else if Float.abs f = Float.infinity then Buffer.add_string buf "null"
+  else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Bad of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> fail (Printf.sprintf "expected %c, found %c" c got)
+    | None -> fail (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+        advance ();
+        Buffer.contents buf
+      | Some '\\' -> begin
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'u' ->
+          advance ();
+          let cp = parse_hex4 () in
+          pos := !pos - 1;
+          (* encode the code point as UTF-8; surrogate pairs are
+             rejoined when both halves are escaped *)
+          let cp =
+            if cp >= 0xD800 && cp <= 0xDBFF
+               && !pos + 7 <= n
+               && s.[!pos + 1] = '\\'
+               && s.[!pos + 2] = 'u'
+            then begin
+              let save = !pos in
+              pos := !pos + 3;
+              let lo = parse_hex4 () in
+              pos := !pos - 1;
+              if lo >= 0xDC00 && lo <= 0xDFFF then
+                0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+              else begin
+                pos := save;
+                cp
+              end
+            end
+            else cp
+          in
+          let add c = Buffer.add_char buf (Char.chr c) in
+          if cp < 0x80 then add cp
+          else if cp < 0x800 then begin
+            add (0xC0 lor (cp lsr 6));
+            add (0x80 lor (cp land 0x3F))
+          end
+          else if cp < 0x10000 then begin
+            add (0xE0 lor (cp lsr 12));
+            add (0x80 lor ((cp lsr 6) land 0x3F));
+            add (0x80 lor (cp land 0x3F))
+          end
+          else begin
+            add (0xF0 lor (cp lsr 18));
+            add (0x80 lor ((cp lsr 12) land 0x3F));
+            add (0x80 lor ((cp lsr 6) land 0x3F));
+            add (0x80 lor (cp land 0x3F))
+          end
+        | Some c -> fail (Printf.sprintf "bad escape \\%c" c)
+        | None -> fail "truncated escape");
+        advance ();
+        go ()
+      end
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %s" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> fail (Printf.sprintf "bad number %s" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        List (items [])
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) -> Error (Printf.sprintf "offset %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int_opt = function
+  | Int n -> Some n
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

@@ -1,0 +1,106 @@
+(* Classic Hashtbl + doubly-linked list; [head] is most recent. All
+   operations run under the mutex — cache lookups are tiny next to
+   query evaluation, so a single lock does not bottleneck the pool. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* toward head / more recent *)
+  mutable next : 'v node option;  (* toward tail / less recent *)
+}
+
+type 'v t = {
+  capacity : int;
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable head : 'v node option;
+  mutable tail : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+type stats = { capacity : int; entries : int; hits : int; misses : int; evictions : int }
+
+let create ~capacity =
+  {
+    capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find (t : _ t) key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some node ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_front t node;
+        Some node.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add (t : _ t) key value =
+  if t.capacity > 0 then
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some node ->
+          node.value <- value;
+          unlink t node;
+          push_front t node
+        | None ->
+          if Hashtbl.length t.tbl >= t.capacity then begin
+            match t.tail with
+            | Some victim ->
+              unlink t victim;
+              Hashtbl.remove t.tbl victim.key;
+              t.evictions <- t.evictions + 1
+            | None -> ()
+          end;
+          let node = { key; value; prev = None; next = None } in
+          Hashtbl.replace t.tbl key node;
+          push_front t node)
+
+let clear (t : _ t) =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.tbl;
+      t.head <- None;
+      t.tail <- None)
+
+let stats (t : _ t) =
+  Mutex.protect t.lock (fun () ->
+      {
+        capacity = t.capacity;
+        entries = Hashtbl.length t.tbl;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+      })
+
+let reset_stats (t : _ t) =
+  Mutex.protect t.lock (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)

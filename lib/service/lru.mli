@@ -1,0 +1,27 @@
+(** A mutex-protected LRU map with string keys.
+
+    The shared building block of {!Plan_cache} and {!Result_cache}:
+    bounded capacity, recency updated on every hit, eviction of the
+    least recently used entry on overflow, and hit/miss/eviction
+    counters. Safe to use from several domains at once. *)
+
+type 'v t
+
+type stats = { capacity : int; entries : int; hits : int; misses : int; evictions : int }
+
+val create : capacity:int -> 'v t
+(** [capacity <= 0] disables the cache: every {!find} misses, every
+    {!add} is dropped. *)
+
+val find : 'v t -> string -> 'v option
+(** Counts a hit (and refreshes recency) or a miss. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert or replace; evicts the least recently used entry when the
+    cache is full. *)
+
+val clear : 'v t -> unit
+(** Drop every entry (counters survive; evictions are not charged). *)
+
+val stats : 'v t -> stats
+val reset_stats : 'v t -> unit

@@ -1,0 +1,143 @@
+type counter = { c_name : string; cell : int Atomic.t }
+
+(* 40 power-of-two buckets cover 1 ns .. ~550 s; bucket i counts
+   observations with 2^i <= ns < 2^(i+1) (bucket 0 also takes 0). *)
+let buckets = 40
+
+type histogram = {
+  h_name : string;
+  counts : int Atomic.t array;
+  sum_ns : int Atomic.t;
+  total : int Atomic.t;
+}
+
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; cell = Atomic.make 0 } in
+        Hashtbl.replace counters name c;
+        c)
+
+let incr c = Atomic.incr c.cell
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let counter_value c = Atomic.get c.cell
+
+let histogram name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            h_name = name;
+            counts = Array.init buckets (fun _ -> Atomic.make 0);
+            sum_ns = Atomic.make 0;
+            total = Atomic.make 0;
+          }
+        in
+        Hashtbl.replace histograms name h;
+        h)
+
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else min (buckets - 1) (Float.to_int (Float.log2 (float_of_int ns)))
+
+let observe_ns h ns =
+  let ns = max 0 ns in
+  Atomic.incr h.counts.(bucket_of_ns ns);
+  ignore (Atomic.fetch_and_add h.sum_ns ns);
+  Atomic.incr h.total
+
+let observe_s h s = observe_ns h (Float.to_int (s *. 1e9))
+let hist_count h = Atomic.get h.total
+
+let quantile_ns h q =
+  let total = Atomic.get h.total in
+  if total = 0 then nan
+  else begin
+    let target = Float.of_int total *. q in
+    let rec go i seen =
+      if i >= buckets then Float.of_int (1 lsl (buckets - 1))
+      else begin
+        let c = Atomic.get h.counts.(i) in
+        let seen' = seen + c in
+        if Float.of_int seen' >= target && c > 0 then begin
+          (* interpolate inside [2^i, 2^(i+1)) *)
+          let lo = if i = 0 then 0. else Float.of_int (1 lsl i) in
+          let hi = Float.of_int (1 lsl (i + 1)) in
+          let into = (target -. Float.of_int seen) /. Float.of_int c in
+          lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. into))
+        end
+        else go (i + 1) seen'
+      end
+    in
+    go 0 0
+  end
+
+let mean_ns h =
+  let total = Atomic.get h.total in
+  if total = 0 then nan
+  else Float.of_int (Atomic.get h.sum_ns) /. Float.of_int total
+
+let sorted tbl =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
+
+let dump () =
+  let buf = Buffer.create 512 in
+  let cs =
+    sorted counters |> List.sort (fun a b -> compare a.c_name b.c_name)
+  in
+  List.iter
+    (fun c -> Printf.bprintf buf "%-40s %d\n" c.c_name (Atomic.get c.cell))
+    cs;
+  let hs =
+    sorted histograms |> List.sort (fun a b -> compare a.h_name b.h_name)
+  in
+  List.iter
+    (fun h ->
+      Printf.bprintf buf
+        "%-40s count=%d mean=%.0fns p50=%.0fns p90=%.0fns p99=%.0fns\n"
+        h.h_name (hist_count h) (mean_ns h) (quantile_ns h 0.5)
+        (quantile_ns h 0.9) (quantile_ns h 0.99))
+    hs;
+  Buffer.contents buf
+
+let to_json () =
+  let float_or_null f = if Float.is_nan f then Json.Null else Json.Float f in
+  let cs =
+    sorted counters
+    |> List.sort (fun a b -> compare a.c_name b.c_name)
+    |> List.map (fun c -> (c.c_name, Json.Int (Atomic.get c.cell)))
+  in
+  let hs =
+    sorted histograms
+    |> List.sort (fun a b -> compare a.h_name b.h_name)
+    |> List.map (fun h ->
+           ( h.h_name,
+             Json.Obj
+               [
+                 ("count", Json.Int (hist_count h));
+                 ("mean_ns", float_or_null (mean_ns h));
+                 ("p50_ns", float_or_null (quantile_ns h 0.5));
+                 ("p90_ns", float_or_null (quantile_ns h 0.9));
+                 ("p99_ns", float_or_null (quantile_ns h 0.99));
+               ] ))
+  in
+  Json.Obj [ ("counters", Json.Obj cs); ("histograms", Json.Obj hs) ]
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (fun a -> Atomic.set a 0) h.counts;
+          Atomic.set h.sum_ns 0;
+          Atomic.set h.total 0)
+        histograms)

@@ -1,0 +1,43 @@
+(** Service-wide counters and latency histograms.
+
+    A process-global registry: {!counter} and {!histogram} intern by
+    name, so every module that names ["queries.total"] shares one
+    atomic cell. Counters are lock-free; histograms bucket
+    nanoseconds into powers of two, which makes p50/p99 estimation a
+    scan over 40 cells. {!dump} renders everything as stable sorted
+    text, {!to_json} as a JSON object for the [stats] protocol op. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Intern (create on first use) the named counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val histogram : string -> histogram
+(** Intern the named latency histogram. *)
+
+val observe_ns : histogram -> int -> unit
+val observe_s : histogram -> float -> unit
+(** Seconds, converted to nanoseconds. *)
+
+val hist_count : histogram -> int
+
+val quantile_ns : histogram -> float -> float
+(** [quantile_ns h 0.99] estimates the q-quantile in nanoseconds by
+    linear interpolation inside the winning power-of-two bucket;
+    [nan] when the histogram is empty. *)
+
+val mean_ns : histogram -> float
+
+val dump : unit -> string
+(** All counters then all histograms (count/mean/p50/p90/p99), sorted
+    by name — one metric per line. *)
+
+val to_json : unit -> Json.t
+
+val reset : unit -> unit
+(** Zero every registered metric (tests and benchmarks). *)

@@ -1,0 +1,297 @@
+type request =
+  | Exec of { req : Engine.request; k : int option; limits : Core.Governor.limits }
+  | Prepare of { q : string }
+  | Execute of { id : int; k : int option; limits : Core.Governor.limits }
+  | Stats
+  | Health
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding *)
+
+let field_string j name =
+  match Option.map Json.to_string_opt (Json.member name j) with
+  | Some (Some s) -> Ok s
+  | Some None -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let field_string_list j name =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> begin
+    match Json.to_list_opt v with
+    | None -> Error (Printf.sprintf "field %S must be an array of strings" name)
+    | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> begin
+          match Json.to_string_opt x with
+          | Some s -> go (s :: acc) rest
+          | None ->
+            Error (Printf.sprintf "field %S must be an array of strings" name)
+        end
+      in
+      go [] items
+  end
+
+let opt_int j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> begin
+    match Json.to_int_opt v with
+    | Some n -> Ok (Some n)
+    | None -> Error (Printf.sprintf "field %S must be an integer" name)
+  end
+
+let opt_float j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> begin
+    match Json.to_float_opt v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "field %S must be a number" name)
+  end
+
+let opt_bool ~default j name =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> begin
+    match Json.to_bool_opt v with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "field %S must be a boolean" name)
+  end
+
+let ( let* ) = Result.bind
+
+let limits_of j =
+  let* timeout_s = opt_float j "timeout" in
+  let* max_steps = opt_int j "max_steps" in
+  let* max_results = opt_int j "max_results" in
+  Ok { Core.Governor.timeout_s; max_steps; max_results }
+
+let parse_request line =
+  match Json.parse line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok j -> begin
+    let* op = field_string j "op" in
+    let* k = opt_int j "k" in
+    let* limits = limits_of j in
+    match op with
+    | "query" ->
+      let* q = field_string j "q" in
+      let* mode =
+        match Option.map Json.to_string_opt (Json.member "mode" j) with
+        | None -> Ok `Auto
+        | Some (Some "auto") -> Ok `Auto
+        | Some (Some "engine") -> Ok `Engine
+        | Some (Some "interp") -> Ok `Interp
+        | Some _ -> Error "field \"mode\" must be auto, engine or interp"
+      in
+      Ok (Exec { req = Engine.Query { q; mode }; k; limits })
+    | "search" ->
+      let* terms = field_string_list j "terms" in
+      let* complex = opt_bool ~default:false j "complex" in
+      let* method_ =
+        match Option.map Json.to_string_opt (Json.member "method" j) with
+        | None -> Ok Engine.Termjoin
+        | Some (Some s) -> begin
+          match Engine.search_method_of_string s with
+          | Some m -> Ok m
+          | None -> Error (Printf.sprintf "unknown search method %S" s)
+        end
+        | Some None -> Error "field \"method\" must be a string"
+      in
+      Ok (Exec { req = Engine.Search { terms; method_; complex }; k; limits })
+    | "phrase" ->
+      let* phrase = field_string j "phrase" in
+      let* comp3 = opt_bool ~default:false j "comp3" in
+      Ok (Exec { req = Engine.Phrase { phrase; comp3 }; k; limits })
+    | "ranked" ->
+      let* terms = field_string_list j "terms" in
+      Ok (Exec { req = Engine.Ranked { terms }; k; limits })
+    | "prepare" ->
+      let* q = field_string j "q" in
+      Ok (Prepare { q })
+    | "execute" -> begin
+      let* id = opt_int j "id" in
+      match id with
+      | Some id -> Ok (Execute { id; k; limits })
+      | None -> Error "missing field \"id\""
+    end
+    | "stats" -> Ok Stats
+    | "health" -> Ok Health
+    | other -> Error (Printf.sprintf "unknown op %S" other)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request encoding (client side) *)
+
+let limits_fields (l : Core.Governor.limits) =
+  List.concat
+    [
+      (match l.timeout_s with Some s -> [ ("timeout", Json.Float s) ] | None -> []);
+      (match l.max_steps with Some n -> [ ("max_steps", Json.Int n) ] | None -> []);
+      (match l.max_results with
+      | Some n -> [ ("max_results", Json.Int n) ]
+      | None -> []);
+    ]
+
+let k_field = function Some k -> [ ("k", Json.Int k) ] | None -> []
+
+let request_to_json = function
+  | Exec { req; k; limits } -> begin
+    let base =
+      match req with
+      | Engine.Query { q; mode } ->
+        let mode =
+          match mode with
+          | `Auto -> "auto"
+          | `Engine -> "engine"
+          | `Interp -> "interp"
+        in
+        [ ("op", Json.String "query"); ("q", Json.String q);
+          ("mode", Json.String mode) ]
+      | Engine.Search { terms; method_; complex } ->
+        [
+          ("op", Json.String "search");
+          ("terms", Json.List (List.map (fun t -> Json.String t) terms));
+          ("method", Json.String (Engine.search_method_to_string method_));
+          ("complex", Json.Bool complex);
+        ]
+      | Engine.Phrase { phrase; comp3 } ->
+        [ ("op", Json.String "phrase"); ("phrase", Json.String phrase);
+          ("comp3", Json.Bool comp3) ]
+      | Engine.Ranked { terms } ->
+        [
+          ("op", Json.String "ranked");
+          ("terms", Json.List (List.map (fun t -> Json.String t) terms));
+        ]
+    in
+    Json.Obj (base @ k_field k @ limits_fields limits)
+  end
+  | Prepare { q } -> Json.Obj [ ("op", Json.String "prepare"); ("q", Json.String q) ]
+  | Execute { id; k; limits } ->
+    Json.Obj
+      ([ ("op", Json.String "execute"); ("id", Json.Int id) ]
+      @ k_field k @ limits_fields limits)
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Health -> Json.Obj [ ("op", Json.String "health") ]
+
+(* ------------------------------------------------------------------ *)
+(* Response encoding *)
+
+let row_to_json (r : Engine.row) =
+  Json.Obj
+    [
+      ("tag", Json.String r.tag);
+      ("doc", Json.Int r.doc);
+      ("start", Json.Int r.start);
+      ("score", Json.Float r.score);
+    ]
+
+let rows_to_json rows = Json.List (List.map row_to_json rows)
+
+let result_to_json ?(include_timings = true) (r : Engine.result) =
+  let base =
+    [
+      ("ok", Json.Bool true);
+      ("total", Json.Int r.total);
+      ("cached", Json.Bool r.cached);
+      ("results", rows_to_json r.rows);
+    ]
+  in
+  let trees =
+    if r.trees = [] then []
+    else [ ("trees", Json.List (List.map (fun t -> Json.String t) r.trees)) ]
+  in
+  let plan = match r.plan with Some p -> [ ("plan", Json.String p) ] | None -> [] in
+  let timings =
+    if include_timings && r.timings <> [] then
+      [
+        ( "timings",
+          Json.Obj (List.map (fun (s, dt) -> (s, Json.Float dt)) r.timings) );
+      ]
+    else []
+  in
+  Json.Obj (base @ trees @ plan @ timings)
+
+let error_to_json ~code ~message =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj [ ("code", Json.String code); ("message", Json.String message) ]
+      );
+    ]
+
+let engine_error_to_json e =
+  error_to_json ~code:(Engine.error_code e) ~message:(Engine.error_message e)
+
+let ok_prepared_to_json id =
+  Json.Obj [ ("ok", Json.Bool true); ("id", Json.Int id) ]
+
+let health_to_json ~generation ~source =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("status", Json.String "serving");
+      ("generation", Json.Int generation);
+      ("source", Json.String source);
+    ]
+
+let lru_stats_to_json (s : Lru.stats) =
+  Json.Obj
+    [
+      ("capacity", Json.Int s.capacity);
+      ("entries", Json.Int s.entries);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("evictions", Json.Int s.evictions);
+    ]
+
+let stats_to_json scheduler =
+  let snap = Scheduler.snapshot scheduler in
+  let db_stats = Store.Db.stats snap.Engine.db in
+  let pager_stats =
+    Store.Pager.stats (Store.Element_store.pager (Store.Db.elements snap.Engine.db))
+  in
+  let s = Scheduler.stats scheduler in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ( "db",
+        Json.Obj
+          [
+            ("source", Json.String snap.Engine.source);
+            ("generation", Json.Int snap.Engine.generation);
+            ("documents", Json.Int db_stats.Store.Db.documents);
+            ("elements", Json.Int db_stats.Store.Db.elements);
+            ("distinct_terms", Json.Int db_stats.Store.Db.distinct_terms);
+            ("occurrences", Json.Int db_stats.Store.Db.occurrences);
+            ("pages", Json.Int db_stats.Store.Db.pages);
+            ("index_bytes", Json.Int db_stats.Store.Db.index_bytes);
+          ] );
+      ( "pager",
+        Json.Obj
+          [
+            ("reads", Json.Int pager_stats.Store.Pager.reads);
+            ("misses", Json.Int pager_stats.Store.Pager.misses);
+            ("failures", Json.Int pager_stats.Store.Pager.failures);
+            ("pinned",
+             Json.Bool
+               (Store.Pager.pinned
+                  (Store.Element_store.pager (Store.Db.elements snap.Engine.db))));
+          ] );
+      ( "scheduler",
+        Json.Obj
+          [
+            ("workers", Json.Int s.Scheduler.workers);
+            ("queue_depth", Json.Int s.Scheduler.queue_depth);
+            ("queued", Json.Int s.Scheduler.queued);
+            ("submitted", Json.Int s.Scheduler.submitted);
+            ("rejected", Json.Int s.Scheduler.rejected);
+            ("completed", Json.Int s.Scheduler.completed);
+          ] );
+      ("plan_cache", lru_stats_to_json s.Scheduler.plan_cache);
+      ("result_cache", lru_stats_to_json s.Scheduler.result_cache);
+      ("metrics", Metrics.to_json ());
+    ]

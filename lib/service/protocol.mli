@@ -1,0 +1,54 @@
+(** The `tixd` wire protocol: newline-delimited JSON over TCP.
+
+    One request object per line in, one response object per line out,
+    in order. Ops:
+
+    {v
+    {"op":"query","q":"...","k":10,"mode":"auto|engine|interp"}
+    {"op":"search","terms":["a","b"],"method":"termjoin","complex":false,"k":10}
+    {"op":"phrase","phrase":"search engine","comp3":false,"k":10}
+    {"op":"ranked","terms":["a","b"],"k":10}
+    {"op":"prepare","q":"..."}         -> {"ok":true,"id":1}
+    {"op":"execute","id":1,"k":10}
+    {"op":"stats"}
+    {"op":"health"}
+    v}
+
+    Every request may carry ["timeout"] (seconds), ["max_steps"] and
+    ["max_results"] — they tighten the server's per-query governor.
+    Responses are [{"ok":true,...}] or
+    [{"ok":false,"error":{"code":c,"message":m}}].
+
+    The encoders here are the single source of structured output: the
+    TCP server, [tixdb client] and [tixdb query --format json] all
+    share them. *)
+
+type request =
+  | Exec of { req : Engine.request; k : int option; limits : Core.Governor.limits }
+  | Prepare of { q : string }
+  | Execute of { id : int; k : int option; limits : Core.Governor.limits }
+  | Stats
+  | Health
+
+val parse_request : string -> (request, string) result
+(** One line of JSON; [Error] names the missing/ill-typed field. *)
+
+val request_to_json : request -> Json.t
+(** Inverse of {!parse_request} (used by the client). *)
+
+(** {1 Responses} *)
+
+val result_to_json : ?include_timings:bool -> Engine.result -> Json.t
+(** [{"ok":true,"total":n,"cached":b,"results":[...],...}]. Timings
+    default to included; the stress test compares responses with
+    timings stripped. *)
+
+val rows_to_json : Engine.row list -> Json.t
+
+val error_to_json : code:string -> message:string -> Json.t
+val engine_error_to_json : Engine.error -> Json.t
+
+val ok_prepared_to_json : int -> Json.t
+val health_to_json : generation:int -> source:string -> Json.t
+val stats_to_json : Scheduler.t -> Json.t
+(** Database, pager, scheduler, cache and metrics statistics. *)

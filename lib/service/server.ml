@@ -1,0 +1,137 @@
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  scheduler : Scheduler.t;
+  running : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  accepted : int Atomic.t;
+  conn_lock : Mutex.t;
+  mutable conn_fds : Unix.file_descr list;
+}
+
+let handle scheduler (req : Protocol.request) =
+  let exec ?limits ?k request =
+    match Scheduler.run scheduler ?limits ?k request with
+    | Ok (Ok result) -> Protocol.result_to_json result
+    | Ok (Error e) -> Protocol.engine_error_to_json e
+    | Error e ->
+      Protocol.error_to_json ~code:(Scheduler.error_code e)
+        ~message:
+          (match e with
+          | Scheduler.Overloaded ->
+            "submission queue full; retry with backoff"
+          | Scheduler.Closed -> "server is shutting down")
+  in
+  match req with
+  | Protocol.Exec { req; k; limits } -> exec ~limits ?k req
+  | Protocol.Prepare { q } -> begin
+    match Scheduler.prepare scheduler q with
+    | Ok id -> Protocol.ok_prepared_to_json id
+    | Error e -> Protocol.engine_error_to_json e
+  end
+  | Protocol.Execute { id; k; limits } -> begin
+    match Scheduler.prepared scheduler id with
+    | Some q -> exec ~limits ?k (Engine.Query { q; mode = `Engine })
+    | None ->
+      Protocol.error_to_json ~code:"unknown_statement"
+        ~message:(Printf.sprintf "no prepared statement %d" id)
+  end
+  | Protocol.Stats -> Protocol.stats_to_json scheduler
+  | Protocol.Health ->
+    let snap = Scheduler.snapshot scheduler in
+    Protocol.health_to_json ~generation:snap.Engine.generation
+      ~source:snap.Engine.source
+
+let track_conn t fd =
+  Mutex.protect t.conn_lock (fun () -> t.conn_fds <- fd :: t.conn_fds)
+
+let untrack_conn t fd =
+  Mutex.protect t.conn_lock (fun () ->
+      t.conn_fds <- List.filter (fun f -> f != fd) t.conn_fds)
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond line =
+    let json =
+      match Protocol.parse_request line with
+      | Ok req -> handle t.scheduler req
+      | Error msg -> Protocol.error_to_json ~code:"bad_request" ~message:msg
+    in
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | "" -> loop ()
+    | line ->
+      respond line;
+      loop ()
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+  in
+  (try loop () with _ -> ());
+  untrack_conn t fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t () =
+  while Atomic.get t.running do
+    match Unix.accept t.sock with
+    | fd, _addr ->
+      Atomic.incr t.accepted;
+      track_conn t fd;
+      ignore (Thread.create (fun () -> serve_connection t fd) ())
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      ->
+      if Atomic.get t.running then Thread.yield ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(host = "127.0.0.1") ?(port = 0) scheduler =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind sock addr
+   with e ->
+     Unix.close sock;
+     raise e);
+  Unix.listen sock 64;
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t =
+    {
+      sock;
+      port = actual_port;
+      scheduler;
+      running = Atomic.make true;
+      accept_thread = None;
+      accepted = Atomic.make 0;
+      conn_lock = Mutex.create ();
+      conn_fds = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  Logs.info (fun m -> m "tixd listening on %s:%d" host actual_port);
+  t
+
+let port t = t.port
+let connections t = Atomic.get t.accepted
+
+let stop t =
+  if Atomic.compare_and_set t.running true false then begin
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    (match t.accept_thread with
+    | Some th ->
+      Thread.join th;
+      t.accept_thread <- None
+    | None -> ());
+    let fds = Mutex.protect t.conn_lock (fun () -> t.conn_fds) in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      fds
+  end

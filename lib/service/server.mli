@@ -1,0 +1,30 @@
+(** The `tixd` TCP front end.
+
+    A listener thread accepts connections; each connection gets its
+    own (lightweight) thread that reads newline-delimited JSON
+    requests, submits them to the {!Scheduler}'s domain pool, and
+    writes one response line per request, in order. Blocking on a
+    promise parks only the connection thread — evaluation parallelism
+    comes from the worker domains, so many idle connections cost
+    nothing and concurrent requests from different connections run
+    truly in parallel. *)
+
+type t
+
+val start : ?host:string -> ?port:int -> Scheduler.t -> t
+(** Bind and start serving. [port] defaults to 0 (kernel-assigned —
+    read it back with {!port}); [host] to ["127.0.0.1"]. Raises
+    [Unix.Unix_error] when the address cannot be bound. *)
+
+val port : t -> int
+val connections : t -> int
+(** Connections accepted so far. *)
+
+val handle : Scheduler.t -> Protocol.request -> Json.t
+(** The server's request dispatch, exposed so tests and in-process
+    clients can drive the full protocol without a socket. *)
+
+val stop : t -> unit
+(** Close the listening socket and join the accept thread. Open
+    connections are shut down. Idempotent. Does not shut down the
+    scheduler (the caller owns it). *)

@@ -1,0 +1,619 @@
+(* Service-layer tests: JSON codec, LRU caches, engine snapshot
+   execution, the domain worker pool (multi-domain determinism,
+   backpressure, cache invalidation on reload) and the TCP server. *)
+
+module Lru = Service.Lru
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: planted terms at known frequencies, deterministic seed. *)
+
+let cfg =
+  {
+    Workload.Corpus.articles = 24;
+    seed = 7;
+    chapters_per_article = 2;
+    sections_per_chapter = 2;
+    paragraphs_per_section = 3;
+    words_per_paragraph = 18;
+    vocabulary = 300;
+    planted_terms = [ ("svplantone", 60); ("svplanttwo", 25) ];
+    planted_phrases = [ ("svphrasea", "svphraseb", 12) ];
+  }
+
+let db =
+  lazy
+    (let options = { Store.Db.default_options with keep_trees = false } in
+     Store.Db.load ~options (Workload.Corpus.generate cfg))
+
+let snapshot =
+  lazy
+    (match Service.Engine.of_db (Lazy.force db) with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "of_db: %s" msg)
+
+let compilable_query =
+  {|
+  for $a in document("*")//article/descendant-or-self::*
+  score $a using ScoreFoo($a, {"svplantone"}, {"svplanttwo"})
+  return <r>{$a}</r>
+  sortby(score)
+  threshold $a/@score > 0 stop after 10
+  |}
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_roundtrip () =
+  let v =
+    Service.Json.(
+      Obj
+        [
+          ("s", String "a\"b\\c\nd\te");
+          ("i", Int (-42));
+          ("f", Float 1.5);
+          ("z", Float 3.0);
+          ("b", Bool true);
+          ("n", Null);
+          ("l", List [ Int 1; String "x"; Obj [ ("k", Bool false) ] ]);
+        ])
+  in
+  let s = Service.Json.to_string v in
+  match Service.Json.parse s with
+  | Ok v' -> check bool_ "roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_json_parse_basics () =
+  let ok s v =
+    match Service.Json.parse s with
+    | Ok got -> check bool_ (Printf.sprintf "parse %s" s) true (got = v)
+    | Error e -> Alcotest.failf "parse %s: %s" s e
+  in
+  ok "17" (Service.Json.Int 17);
+  ok "-2.5e2" (Service.Json.Float (-250.));
+  ok "\"\\u0041\\u00e9\"" (Service.Json.String "A\xc3\xa9");
+  ok "[]" (Service.Json.List []);
+  ok "{}" (Service.Json.Obj []);
+  ok "  {\"a\" : [1, 2]} " (Service.Json.Obj [ ("a", Service.Json.List [ Service.Json.Int 1; Service.Json.Int 2 ]) ]);
+  (match Service.Json.parse "{\"a\":1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated object accepted");
+  match Service.Json.parse "[1,2] junk" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing junk accepted"
+
+let test_json_escaped_output_parses () =
+  let v = Service.Json.String "line\nwith \"quotes\" and \x01 control" in
+  match Service.Json.parse (Service.Json.to_string v) with
+  | Ok v' -> check bool_ "escape roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 in
+  check bool_ "miss" true (Lru.find c "a" = None);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check bool_ "hit a" true (Lru.find c "a" = Some 1);
+  (* b is now least recent; adding c evicts it *)
+  Lru.add c "c" 3;
+  check bool_ "b evicted" true (Lru.find c "b" = None);
+  check bool_ "a kept" true (Lru.find c "a" = Some 1);
+  check bool_ "c kept" true (Lru.find c "c" = Some 3);
+  let s = Lru.stats c in
+  check int_ "entries" 2 s.Lru.entries;
+  check int_ "evictions" 1 s.Lru.evictions;
+  check int_ "hits" 3 s.Lru.hits;
+  check int_ "misses" 2 s.Lru.misses
+
+let test_lru_replace_and_clear () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "a" 9;
+  check bool_ "replaced" true (Lru.find c "a" = Some 9);
+  check int_ "one entry" 1 (Lru.stats c).Lru.entries;
+  Lru.clear c;
+  check int_ "cleared" 0 (Lru.stats c).Lru.entries;
+  check bool_ "gone" true (Lru.find c "a" = None)
+
+let test_lru_disabled () =
+  let c = Lru.create ~capacity:0 in
+  Lru.add c "a" 1;
+  check bool_ "never stores" true (Lru.find c "a" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics () =
+  let c = Service.Metrics.counter "test.counter" in
+  let v0 = Service.Metrics.counter_value c in
+  Service.Metrics.incr c;
+  Service.Metrics.add c 4;
+  check int_ "counter" (v0 + 5) (Service.Metrics.counter_value c);
+  let h = Service.Metrics.histogram "test.hist" in
+  let n0 = Service.Metrics.hist_count h in
+  List.iter (fun ns -> Service.Metrics.observe_ns h ns) [ 100; 200; 400; 100_000 ];
+  check int_ "hist count" (n0 + 4) (Service.Metrics.hist_count h);
+  let p50 = Service.Metrics.quantile_ns h 0.5 in
+  check bool_ "p50 sane" true (p50 > 32. && p50 < 10_000.);
+  let p99 = Service.Metrics.quantile_ns h 0.99 in
+  check bool_ "p99 in top bucket" true (p99 > 32_768. && p99 < 524_288.);
+  check bool_ "dump mentions both" true
+    (let d = Service.Metrics.dump () in
+     let has needle =
+       let rec go i =
+         i + String.length needle <= String.length d
+         && (String.sub d i (String.length needle) = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "test.counter" && has "test.hist")
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let encode result =
+  Service.Json.to_string
+    (Service.Protocol.result_to_json ~include_timings:false result)
+
+let exec ?caches ?limits ?k request =
+  Service.Engine.exec ?caches ?limits ?k (Lazy.force snapshot) request
+
+let test_engine_search_matches_direct () =
+  let terms = [ "svplantone" ] in
+  match
+    exec (Service.Engine.Search { terms; method_ = Service.Engine.Termjoin; complex = false })
+  with
+  | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  | Ok result ->
+    let direct =
+      Access.Term_join.to_list ~mode:Access.Counter_scoring.Simple
+        (Lazy.force snapshot).Service.Engine.ctx ~terms
+      |> List.sort Access.Scored_node.compare_score_desc
+    in
+    check int_ "same cardinality" (List.length direct) result.Service.Engine.total;
+    List.iter2
+      (fun (row : Service.Engine.row) (node : Access.Scored_node.t) ->
+        check int_ "doc" node.doc row.Service.Engine.doc;
+        check int_ "start" node.start row.Service.Engine.start;
+        check bool_ "score" true (Float.equal node.score row.Service.Engine.score))
+      result.Service.Engine.rows direct
+
+let test_engine_query_compiles () =
+  match exec (Service.Engine.Query { q = compilable_query; mode = `Engine }) with
+  | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  | Ok result ->
+    check bool_ "has plan" true (result.Service.Engine.plan <> None);
+    check bool_ "has rows" true (result.Service.Engine.rows <> [])
+
+let test_engine_bad_requests () =
+  (match exec (Service.Engine.Search { terms = []; method_ = Service.Engine.Termjoin; complex = false }) with
+  | Error e -> check string_ "code" "bad_request" (Service.Engine.error_code e)
+  | Ok _ -> Alcotest.fail "empty search accepted");
+  (match exec (Service.Engine.Phrase { phrase = "   "; comp3 = false }) with
+  | Error e -> check string_ "code" "bad_request" (Service.Engine.error_code e)
+  | Ok _ -> Alcotest.fail "empty phrase accepted");
+  match exec (Service.Engine.Query { q = "for $a in"; mode = `Engine }) with
+  | Error e -> check string_ "code" "parse_error" (Service.Engine.error_code e)
+  | Ok _ -> Alcotest.fail "bad query accepted"
+
+let test_engine_governor () =
+  match
+    exec
+      ~limits:(Core.Governor.limits ~max_results:1 ())
+      (Service.Engine.Search
+         { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false })
+  with
+  | Error e -> check string_ "code" "exhausted" (Service.Engine.error_code e)
+  | Ok _ -> Alcotest.fail "expected resource exhaustion"
+
+let fresh_caches () =
+  {
+    Service.Engine.plans = Lru.create ~capacity:16;
+    results = Lru.create ~capacity:16;
+  }
+
+let test_engine_result_cache () =
+  let caches = fresh_caches () in
+  let request =
+    Service.Engine.Search
+      { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false }
+  in
+  let r1 =
+    match exec ~caches ~k:5 request with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  in
+  check bool_ "first is uncached" false r1.Service.Engine.cached;
+  let r2 =
+    match exec ~caches ~k:5 request with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  in
+  check bool_ "second is cached" true r2.Service.Engine.cached;
+  check string_ "identical rows"
+    (Service.Json.to_string (Service.Protocol.rows_to_json r1.Service.Engine.rows))
+    (Service.Json.to_string (Service.Protocol.rows_to_json r2.Service.Engine.rows));
+  check int_ "one hit" 1 (Lru.stats caches.Service.Engine.results).Lru.hits;
+  (* a different k is a different entry *)
+  (match exec ~caches ~k:3 request with
+  | Ok r -> check bool_ "k=3 not cached" false r.Service.Engine.cached
+  | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e));
+  check int_ "two entries" 2 (Lru.stats caches.Service.Engine.results).Lru.entries
+
+let test_engine_plan_cache () =
+  let caches = fresh_caches () in
+  let run () =
+    match
+      exec ~caches (Service.Engine.Query { q = compilable_query; mode = `Engine })
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  in
+  let r1 = run () in
+  check int_ "plan cached" 1 (Lru.stats caches.Service.Engine.plans).Lru.entries;
+  (* second run must hit the plan cache (the result cache also hits;
+     disable it to prove the plan path alone) *)
+  Lru.clear caches.Service.Engine.results;
+  let before = (Lru.stats caches.Service.Engine.plans).Lru.hits in
+  let r2 = run () in
+  check int_ "plan hit" (before + 1) (Lru.stats caches.Service.Engine.plans).Lru.hits;
+  check bool_ "recomputed, not served from result cache" false
+    r2.Service.Engine.cached;
+  check string_ "same rows"
+    (Service.Json.to_string (Service.Protocol.rows_to_json r1.Service.Engine.rows))
+    (Service.Json.to_string (Service.Protocol.rows_to_json r2.Service.Engine.rows));
+  (* whitespace-insensitive keying outside literals *)
+  let squashed =
+    String.concat " "
+      (String.split_on_char '\n' compilable_query
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> ""))
+  in
+  (* the two spellings share one canonical key, so with the result
+     cache live the squashed spelling is answered from it outright *)
+  (match exec ~caches (Service.Engine.Query { q = squashed; mode = `Engine }) with
+  | Ok r -> check bool_ "squashed hits result cache" true r.Service.Engine.cached
+  | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e));
+  Lru.clear caches.Service.Engine.results;
+  let before = (Lru.stats caches.Service.Engine.plans).Lru.hits in
+  (match
+     exec ~caches (Service.Engine.Query { q = squashed; mode = `Engine })
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e));
+  check int_ "normalized spelling hits too" (before + 1)
+    (Lru.stats caches.Service.Engine.plans).Lru.hits
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let mixed_requests n =
+  List.init n (fun i ->
+      let k = Some (1 + (i mod 17)) in
+      let req =
+        match i mod 5 with
+        | 0 ->
+          Service.Engine.Search
+            { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false }
+        | 1 ->
+          Service.Engine.Search
+            {
+              terms = [ "svplantone"; "svplanttwo" ];
+              method_ = Service.Engine.Genmeet;
+              complex = false;
+            }
+        | 2 -> Service.Engine.Phrase { phrase = "svphrasea svphraseb"; comp3 = i mod 2 = 0 }
+        | 3 -> Service.Engine.Ranked { terms = [ "svplantone"; "svplanttwo" ] }
+        | _ -> Service.Engine.Query { q = compilable_query; mode = `Engine }
+      in
+      (req, k))
+
+let render outcome =
+  match outcome with
+  | Ok result -> encode result
+  | Error e ->
+    Service.Json.to_string (Service.Protocol.engine_error_to_json e)
+
+let test_multi_domain_stress () =
+  let requests = mixed_requests 200 in
+  (* sequential baseline, no caches so every response is recomputed *)
+  let expected = List.map (fun (req, k) -> render (exec ?k req)) requests in
+  (* 4 domains, caches off, queue wide enough for every request *)
+  let pool =
+    Service.Scheduler.create ~workers:4 ~queue_depth:256
+      ~plan_cache_capacity:0 ~result_cache_capacity:0 (Lazy.force snapshot)
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.shutdown pool)
+    (fun () ->
+      let promises =
+        List.map
+          (fun (req, k) ->
+            match Service.Scheduler.submit pool ?k req with
+            | Ok p -> p
+            | Error _ -> Alcotest.fail "admission failed with a deep queue")
+          requests
+      in
+      let got = List.map (fun p -> render (Service.Scheduler.await p)) promises in
+      check int_ "200 responses" 200 (List.length got);
+      List.iteri
+        (fun i (want, have) ->
+          if want <> have then
+            Alcotest.failf "response %d differs:\nseq: %s\npar: %s" i want have)
+        (List.combine expected got);
+      let s = Service.Scheduler.stats pool in
+      check int_ "all submitted" 200 s.Service.Scheduler.submitted;
+      check int_ "all completed" 200 s.Service.Scheduler.completed)
+
+let test_scheduler_backpressure () =
+  let pool =
+    Service.Scheduler.create ~workers:1 ~queue_depth:2 ~plan_cache_capacity:0
+      ~result_cache_capacity:0 (Lazy.force snapshot)
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.shutdown pool)
+    (fun () ->
+      let gate = Mutex.create () in
+      let open_ = ref false in
+      let started = ref false in
+      let cond = Condition.create () in
+      let blocker () =
+        Mutex.lock gate;
+        started := true;
+        Condition.broadcast cond;
+        while not !open_ do
+          Condition.wait cond gate
+        done;
+        Mutex.unlock gate
+      in
+      let b =
+        match Service.Scheduler.submit_fn pool blocker with
+        | Ok p -> p
+        | Error _ -> Alcotest.fail "blocker rejected"
+      in
+      (* wait until the single worker is actually inside the blocker,
+         so the queue is empty and fills deterministically *)
+      Mutex.lock gate;
+      while not !started do
+        Condition.wait cond gate
+      done;
+      Mutex.unlock gate;
+      let filler () = () in
+      let queued =
+        List.init 2 (fun _ ->
+            match Service.Scheduler.submit_fn pool filler with
+            | Ok p -> p
+            | Error _ -> Alcotest.fail "queue rejected below its bound")
+      in
+      (* the queue is now at its bound: admission must shed load *)
+      (match Service.Scheduler.submit_fn pool filler with
+      | Error Service.Scheduler.Overloaded -> ()
+      | Error Service.Scheduler.Closed -> Alcotest.fail "closed?"
+      | Ok _ -> Alcotest.fail "overload admitted");
+      (match
+         Service.Scheduler.submit pool
+           (Service.Engine.Ranked { terms = [ "svplantone" ] })
+       with
+      | Error Service.Scheduler.Overloaded -> ()
+      | _ -> Alcotest.fail "query overload admitted");
+      let s = Service.Scheduler.stats pool in
+      check int_ "two rejections" 2 s.Service.Scheduler.rejected;
+      (* open the gate; everything drains; admission recovers *)
+      Mutex.lock gate;
+      open_ := true;
+      Condition.broadcast cond;
+      Mutex.unlock gate;
+      Service.Scheduler.await b;
+      List.iter Service.Scheduler.await queued;
+      match Service.Scheduler.run pool (Service.Engine.Ranked { terms = [ "svplantone" ] }) with
+      | Ok (Ok _) -> ()
+      | Ok (Error e) -> Alcotest.failf "post-drain query: %s" (Service.Engine.error_message e)
+      | Error _ -> Alcotest.fail "post-drain admission failed")
+
+let test_scheduler_reload_invalidates () =
+  let pool =
+    Service.Scheduler.create ~workers:1 ~queue_depth:8 (Lazy.force snapshot)
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.shutdown pool)
+    (fun () ->
+      let request = Service.Engine.Ranked { terms = [ "svplantone" ] } in
+      let run () =
+        match Service.Scheduler.run pool ~k:5 request with
+        | Ok (Ok r) -> r
+        | Ok (Error e) -> Alcotest.failf "query: %s" (Service.Engine.error_message e)
+        | Error _ -> Alcotest.fail "admission failed"
+      in
+      let r1 = run () in
+      check bool_ "miss first" false r1.Service.Engine.cached;
+      let r2 = run () in
+      check bool_ "hit second" true r2.Service.Engine.cached;
+      check string_ "hit serves identical rows"
+        (Service.Json.to_string (Service.Protocol.rows_to_json r1.Service.Engine.rows))
+        (Service.Json.to_string (Service.Protocol.rows_to_json r2.Service.Engine.rows));
+      (* install the next generation of the same database: caches drop *)
+      let snap2 =
+        match Service.Engine.of_db ~generation:1 (Lazy.force db) with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "of_db: %s" msg
+      in
+      Service.Scheduler.reload pool snap2;
+      check int_ "result cache emptied" 0
+        (Service.Scheduler.stats pool).Service.Scheduler.result_cache.Lru.entries;
+      let r3 = run () in
+      check bool_ "recomputed after reload" false r3.Service.Engine.cached;
+      check string_ "same answer on the same data"
+        (Service.Json.to_string (Service.Protocol.rows_to_json r1.Service.Engine.rows))
+        (Service.Json.to_string (Service.Protocol.rows_to_json r3.Service.Engine.rows)))
+
+let test_scheduler_prepared () =
+  let pool = Service.Scheduler.create ~workers:1 ~queue_depth:8 (Lazy.force snapshot) in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.shutdown pool)
+    (fun () ->
+      let id =
+        match Service.Scheduler.prepare pool compilable_query with
+        | Ok id -> id
+        | Error e -> Alcotest.failf "prepare: %s" (Service.Engine.error_message e)
+      in
+      (match Service.Scheduler.prepare pool compilable_query with
+      | Ok id' -> check int_ "same id on re-prepare" id id'
+      | Error e -> Alcotest.failf "re-prepare: %s" (Service.Engine.error_message e));
+      check bool_ "text stored" true
+        (Service.Scheduler.prepared pool id = Some compilable_query);
+      (match Service.Scheduler.prepare pool "for $a in" with
+      | Error e -> check string_ "code" "parse_error" (Service.Engine.error_code e)
+      | Ok _ -> Alcotest.fail "bad prepare accepted");
+      let json =
+        Service.Server.handle pool
+          (Service.Protocol.Execute
+             { id; k = Some 3; limits = Core.Governor.unlimited })
+      in
+      check bool_ "execute ok" true
+        (Service.Json.member "ok" json = Some (Service.Json.Bool true)))
+
+(* ------------------------------------------------------------------ *)
+(* TCP server *)
+
+let send_lines port lines =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock addr;
+  let oc = Unix.out_channel_of_descr sock in
+  let ic = Unix.in_channel_of_descr sock in
+  let responses =
+    List.map
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        input_line ic)
+      lines
+  in
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  responses
+
+let is_ok resp =
+  match Service.Json.parse resp with
+  | Ok j -> Service.Json.member "ok" j = Some (Service.Json.Bool true)
+  | Error _ -> false
+
+let test_tcp_server () =
+  let pool = Service.Scheduler.create ~workers:2 ~queue_depth:64 (Lazy.force snapshot) in
+  let server = Service.Server.start ~port:0 pool in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Server.stop server;
+      Service.Scheduler.shutdown pool)
+    (fun () ->
+      let port = Service.Server.port server in
+      check bool_ "got a real port" true (port > 0);
+      let query_line =
+        Service.Json.to_string
+          (Service.Protocol.request_to_json
+             (Service.Protocol.Exec
+                {
+                  req =
+                    Service.Engine.Search
+                      {
+                        terms = [ "svplantone" ];
+                        method_ = Service.Engine.Termjoin;
+                        complex = false;
+                      };
+                  k = Some 4;
+                  limits = Core.Governor.unlimited;
+                }))
+      in
+      (* several concurrent connections, several requests each *)
+      let results = Array.make 4 [] in
+      let threads =
+        List.init 4 (fun i ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  send_lines port
+                    [ {|{"op":"health"}|}; query_line; query_line ])
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i resps ->
+          check int_ (Printf.sprintf "conn %d: 3 responses" i) 3 (List.length resps);
+          List.iter
+            (fun r -> check bool_ (Printf.sprintf "conn %d ok" i) true (is_ok r))
+            resps;
+          (* all connections got byte-identical search responses modulo
+             the cached flag and timings; compare the rows only *)
+          let rows r =
+            match Service.Json.parse r with
+            | Ok j -> Service.Json.member "results" j
+            | Error _ -> None
+          in
+          match resps with
+          | [ _; a; b ] ->
+            check bool_ (Printf.sprintf "conn %d rows agree" i) true
+              (rows a = rows b && rows a <> None)
+          | _ -> ())
+        results;
+      (* protocol errors answer without closing the line *)
+      (match send_lines port [ "not json"; {|{"op":"nope"}|}; {|{"op":"health"}|} ] with
+      | [ bad1; bad2; ok ] ->
+        check bool_ "bad json rejected" true (not (is_ok bad1));
+        check bool_ "unknown op rejected" true (not (is_ok bad2));
+        check bool_ "line survives" true (is_ok ok)
+      | other -> Alcotest.failf "expected 3 responses, got %d" (List.length other));
+      (* stats over the wire *)
+      match send_lines port [ {|{"op":"stats"}|} ] with
+      | [ stats ] ->
+        check bool_ "stats ok" true (is_ok stats);
+        let j = Result.get_ok (Service.Json.parse stats) in
+        check bool_ "has scheduler section" true
+          (Service.Json.member "scheduler" j <> None)
+      | _ -> Alcotest.fail "no stats response")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "escapes" `Quick test_json_escaped_output_parses;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "replace and clear" `Quick test_lru_replace_and_clear;
+          Alcotest.test_case "disabled" `Quick test_lru_disabled;
+        ] );
+      ("metrics", [ Alcotest.test_case "counters and quantiles" `Quick test_metrics ]);
+      ( "engine",
+        [
+          Alcotest.test_case "search matches direct" `Quick
+            test_engine_search_matches_direct;
+          Alcotest.test_case "query compiles" `Quick test_engine_query_compiles;
+          Alcotest.test_case "bad requests" `Quick test_engine_bad_requests;
+          Alcotest.test_case "governor" `Quick test_engine_governor;
+          Alcotest.test_case "result cache" `Quick test_engine_result_cache;
+          Alcotest.test_case "plan cache" `Quick test_engine_plan_cache;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "4-domain stress, byte-identical" `Slow
+            test_multi_domain_stress;
+          Alcotest.test_case "backpressure" `Quick test_scheduler_backpressure;
+          Alcotest.test_case "reload invalidates" `Quick
+            test_scheduler_reload_invalidates;
+          Alcotest.test_case "prepared statements" `Quick test_scheduler_prepared;
+        ] );
+      ("server", [ Alcotest.test_case "tcp" `Slow test_tcp_server ]);
+    ]
