@@ -568,6 +568,136 @@ let ablation () =
   Printf.printf "%24s %12.4f\n%!" "holistic TwigStack" t_twig
 
 (* ------------------------------------------------------------------ *)
+(* Service: concurrent throughput of the tixd query pool. The same
+   mixed batch of requests runs through 1, 2 and 4 worker domains
+   with caches disabled (pure evaluation scaling over the pinned
+   snapshot), then through 4 workers with the result cache on (the
+   batch repeats 60 distinct requests, so steady state is mostly
+   cache hits). *)
+
+let service_batch_size =
+  match Sys.getenv_opt "TIX_BENCH_SERVICE_BATCH" with
+  | Some s -> int_of_string s
+  | None -> 400
+
+let service_requests n =
+  List.init n (fun i ->
+      let k = Some (5 + (i mod 10)) in
+      let req =
+        match i mod 6 with
+        | 0 ->
+          Service.Engine.Search
+            {
+              terms = [ qa 1000; qb 1000 ];
+              method_ = Service.Engine.Termjoin;
+              complex = false;
+            }
+        | 1 ->
+          Service.Engine.Search
+            {
+              terms = [ qa 300; qb 300 ];
+              method_ = Service.Engine.Termjoin;
+              complex = true;
+            }
+        | 2 ->
+          Service.Engine.Search
+            {
+              terms = [ qa 2000; qb 2000 ];
+              method_ = Service.Engine.Genmeet;
+              complex = false;
+            }
+        | 3 ->
+          Service.Engine.Phrase
+            {
+              phrase = pool_term 121076 ^ " " ^ pool_term 44930;
+              comp3 = false;
+            }
+        | 4 -> Service.Engine.Ranked { terms = [ qa 500; qb 500 ] }
+        | _ ->
+          Service.Engine.Search
+            {
+              terms = [ qa 100; qb 100 ];
+              method_ = Service.Engine.Enhanced;
+              complex = true;
+            }
+      in
+      (req, k))
+
+let service_bench db =
+  let snapshot =
+    match Service.Engine.of_db db with
+    | Ok s -> s
+    | Error e -> failwith ("service bench: " ^ e)
+  in
+  let requests = service_requests service_batch_size in
+  let n = List.length requests in
+  let batch scheduler =
+    let t0 = Unix.gettimeofday () in
+    let promises =
+      List.map
+        (fun (req, k) ->
+          match Service.Scheduler.submit scheduler ?k req with
+          | Ok p -> p
+          | Error _ -> failwith "service bench: admission rejected")
+        requests
+    in
+    List.iter
+      (fun p -> ignore (Service.Scheduler.await p : (_, _) result))
+      promises;
+    Unix.gettimeofday () -. t0
+  in
+  Printf.printf
+    "\n== Service: domain pool throughput (%d mixed requests per batch) ==\n%!"
+    n;
+  Printf.printf "%8s %6s %10s %10s %10s %10s\n" "workers" "cache" "QPS"
+    "p50(ms)" "p99(ms)" "hits";
+  let config ~workers ~cached =
+    let scheduler =
+      Service.Scheduler.create ~workers ~queue_depth:n
+        ~plan_cache_capacity:(if cached then 256 else 0)
+        ~result_cache_capacity:(if cached then 4096 else 0)
+        snapshot
+    in
+    Fun.protect
+      ~finally:(fun () -> Service.Scheduler.shutdown scheduler)
+      (fun () ->
+        (* one untimed batch warms code paths (and, when on, the cache) *)
+        ignore (batch scheduler : float);
+        Service.Metrics.reset ();
+        let name =
+          Printf.sprintf "service/batch/workers=%d/cache=%s" workers
+            (if cached then "on" else "off")
+        in
+        let samples = List.init runs (fun _ -> batch scheduler) in
+        bench_results := (name, samples) :: !bench_results;
+        let qps = float_of_int n /. median samples in
+        let q p =
+          Service.Metrics.quantile_ns (Service.Metrics.histogram "query.total") p
+          /. 1e6
+        in
+        let hits =
+          (Service.Scheduler.stats scheduler).Service.Scheduler.result_cache
+            .Service.Lru.hits
+        in
+        let ms v =
+          (* every request served from cache leaves the latency
+             histogram empty *)
+          if Float.is_nan v then Printf.sprintf "%10s" "-"
+          else Printf.sprintf "%10.3f" v
+        in
+        Printf.printf "%8d %6s %10.0f %s %s %10d\n%!" workers
+          (if cached then "on" else "off")
+          qps
+          (ms (q 0.5))
+          (ms (q 0.99))
+          hits)
+  in
+  config ~workers:1 ~cached:false;
+  config ~workers:2 ~cached:false;
+  config ~workers:4 ~cached:false;
+  config ~workers:4 ~cached:true
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment *)
 
 let micro ctx =
@@ -650,6 +780,9 @@ let () =
     run "skips" (fun () -> skips ctx);
     if which = "all" then pick_bench ();
     run "ablation" (fun () -> ablation ());
-    run "micro" (fun () -> micro ctx)
+    run "micro" (fun () -> micro ctx);
+    (* last: pinning the pager switches it to lock-free reads, which
+       would skew the buffer-pool-sensitive experiments above *)
+    run "service" (fun () -> service_bench db)
   end;
   write_results_json ()

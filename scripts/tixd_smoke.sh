@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the tixd network service: generate a small
+# corpus, build a database image, start tixd on an ephemeral loopback
+# port, drive the protocol through `tixdb client`, and shut the server
+# down cleanly. Exits non-zero on the first failed check.
+set -euo pipefail
+
+TIXDB=${TIXDB:-_build/default/bin/tixdb.exe}
+TIXD=${TIXD:-_build/default/bin/tixd.exe}
+
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; sed 's/^/  tixd: /' "$WORK/tixd.log" >&2 || true; exit 1; }
+
+echo "== corpus + image"
+"$TIXDB" gen -n 40 -o "$WORK/corpus" >/dev/null
+"$TIXDB" build "$WORK"/corpus/*.xml -o "$WORK/db.tix" >/dev/null
+
+# any real vocabulary word from the generated text (they look like "ceba0")
+TERM=$(tr -c 'a-z0-9' '\n' < "$WORK/corpus/article-0.xml" | grep -E '^[a-z]+[0-9]+$' | head -1)
+[ -n "$TERM" ] || fail "no vocabulary term found in generated corpus"
+echo "   probe term: $TERM"
+
+echo "== start tixd (ephemeral port)"
+"$TIXD" "$WORK/db.tix" --port 0 --workers 2 >"$WORK/tixd.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$WORK/tixd.log" | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "tixd exited during startup"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "tixd never reported its port"
+echo "   port $PORT"
+
+client() { "$TIXDB" client --port "$PORT" "$@"; }
+
+echo "== health"
+client --health | grep -q '"ok":true' || fail "health"
+
+echo "== search (twice: second answer must come from the result cache)"
+client -t "$TERM" -k 5 | grep -q '"ok":true' || fail "search"
+client -t "$TERM" -k 5 | grep -q '"cached":true' || fail "repeat search not cached"
+
+echo "== phrase + ranked"
+client --phrase "$TERM $TERM" | grep -q '"ok":true' || fail "phrase"
+client --ranked "$TERM" -k 3 | grep -q '"ok":true' || fail "ranked"
+
+echo "== prepared statement round-trip"
+PREP=$(client --prepare 'for $a in document("*")//article/descendant-or-self::*
+score $a using ScoreFoo($a, {"'"$TERM"'"}, {})
+return <r>{$a}</r>
+sortby(score)
+threshold $a/@score > 0 stop after 5')
+echo "$PREP" | grep -q '"ok":true' || fail "prepare: $PREP"
+ID=$(echo "$PREP" | sed -n 's/.*"id":\([0-9][0-9]*\).*/\1/p')
+[ -n "$ID" ] || fail "prepare returned no id"
+client --execute "$ID" -k 5 | grep -q '"ok":true' || fail "execute"
+
+echo "== stats (pinned snapshot, cache hit recorded)"
+STATS=$(client --stats)
+echo "$STATS" | grep -q '"ok":true' || fail "stats"
+echo "$STATS" | grep -q '"pinned":true' || fail "snapshot not pinned"
+echo "$STATS" | grep -q '"hits":' || fail "no cache counters in stats"
+
+echo "== protocol error handling"
+client --raw 'not json' | grep -q '"ok":false' || fail "bad JSON accepted"
+client --raw '{"op":"nope"}' | grep -q '"ok":false' || fail "unknown op accepted"
+
+echo "== graceful shutdown"
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then fail "tixd ignored SIGTERM"; fi
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+grep -q "shutting down" "$WORK/tixd.log" || fail "no shutdown message"
+
+echo "OK: tixd smoke test passed"
