@@ -631,12 +631,12 @@ let service_bench db =
   in
   let requests = service_requests service_batch_size in
   let n = List.length requests in
-  let batch scheduler =
+  let batch ?(trace = false) scheduler =
     let t0 = Unix.gettimeofday () in
     let promises =
       List.map
         (fun (req, k) ->
-          match Service.Scheduler.submit scheduler ?k req with
+          match Service.Scheduler.submit scheduler ?k ~trace req with
           | Ok p -> p
           | Error _ -> failwith "service bench: admission rejected")
         requests
@@ -649,9 +649,9 @@ let service_bench db =
   Printf.printf
     "\n== Service: domain pool throughput (%d mixed requests per batch) ==\n%!"
     n;
-  Printf.printf "%8s %6s %10s %10s %10s %10s\n" "workers" "cache" "QPS"
-    "p50(ms)" "p99(ms)" "hits";
-  let config ~workers ~cached =
+  Printf.printf "%8s %6s %6s %10s %10s %10s %10s\n" "workers" "cache" "trace"
+    "QPS" "p50(ms)" "p99(ms)" "hits";
+  let config ~workers ~cached ?(traced = false) () =
     let scheduler =
       Service.Scheduler.create ~workers ~queue_depth:n
         ~plan_cache_capacity:(if cached then 256 else 0)
@@ -662,13 +662,16 @@ let service_bench db =
       ~finally:(fun () -> Service.Scheduler.shutdown scheduler)
       (fun () ->
         (* one untimed batch warms code paths (and, when on, the cache) *)
-        ignore (batch scheduler : float);
+        ignore (batch ~trace:traced scheduler : float);
         Service.Metrics.reset ();
         let name =
-          Printf.sprintf "service/batch/workers=%d/cache=%s" workers
+          Printf.sprintf "service/batch/workers=%d/cache=%s/trace=%s" workers
             (if cached then "on" else "off")
+            (if traced then "on" else "off")
         in
-        let samples = List.init runs (fun _ -> batch scheduler) in
+        let samples =
+          List.init runs (fun _ -> batch ~trace:traced scheduler)
+        in
         bench_results := (name, samples) :: !bench_results;
         let qps = float_of_int n /. median samples in
         let q p =
@@ -685,17 +688,19 @@ let service_bench db =
           if Float.is_nan v then Printf.sprintf "%10s" "-"
           else Printf.sprintf "%10.3f" v
         in
-        Printf.printf "%8d %6s %10.0f %s %s %10d\n%!" workers
+        Printf.printf "%8d %6s %6s %10.0f %s %s %10d\n%!" workers
           (if cached then "on" else "off")
+          (if traced then "on" else "off")
           qps
           (ms (q 0.5))
           (ms (q 0.99))
           hits)
   in
-  config ~workers:1 ~cached:false;
-  config ~workers:2 ~cached:false;
-  config ~workers:4 ~cached:false;
-  config ~workers:4 ~cached:true
+  config ~workers:1 ~cached:false ();
+  config ~workers:2 ~cached:false ();
+  config ~workers:4 ~cached:false ();
+  config ~workers:4 ~cached:false ~traced:true ();
+  config ~workers:4 ~cached:true ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment *)

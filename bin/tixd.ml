@@ -54,8 +54,9 @@ let load_files ~skip_bad paths =
     Store.Db.of_documents docs
 
 let serve paths host port workers queue_depth plan_cache result_cache timeout
-    max_steps max_results skip_bad =
+    max_steps max_results slow_query skip_bad =
   let db = load_files ~skip_bad paths in
+  Service.Engine.set_slow_query_threshold slow_query;
   let source = match paths with [ p ] -> p | _ -> "<multiple>" in
   let snapshot =
     match Service.Engine.of_db ~source db with
@@ -158,6 +159,16 @@ let max_results_arg =
     & info [ "max-results" ] ~docv:"N"
         ~doc:"Default result-cardinality cap per query.")
 
+let slow_query_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-query" ] ~docv:"SECONDS"
+        ~doc:
+          "Log a warning (with the span tree, when the request was traced) \
+           for every query slower than this many seconds, and count it in \
+           the queries.slow metric.")
+
 let skip_bad_arg =
   Arg.(
     value & flag
@@ -175,4 +186,5 @@ let () =
           Term.(
             const serve $ paths_arg $ host_arg $ port_arg $ workers_arg
             $ queue_arg $ plan_cache_arg $ result_cache_arg $ timeout_arg
-            $ max_steps_arg $ max_results_arg $ skip_bad_arg)))
+            $ max_steps_arg $ max_results_arg $ slow_query_arg
+            $ skip_bad_arg)))

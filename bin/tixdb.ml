@@ -135,7 +135,7 @@ let or_fault_exit f =
 let format_conv = Arg.enum [ ("text", `Text); ("json", `Json) ]
 
 let query_cmd =
-  let run paths query_string engine format skip_bad limits =
+  let run paths query_string engine explain trace format skip_bad limits =
     let db = load_files ~skip_bad paths in
     match format with
     | `Json ->
@@ -148,17 +148,37 @@ let query_cmd =
           Format.eprintf "error: %s@." msg;
           exit 1
       in
-      let mode = if engine then `Engine else `Auto in
-      let request = Service.Engine.Query { q = query_string; mode } in
-      let json, failed =
-        match Service.Engine.exec ~limits snapshot request with
-        | Ok result -> (Service.Protocol.result_to_json result, false)
-        | Error e -> (Service.Protocol.engine_error_to_json e, true)
-      in
-      print_endline (Service.Json.to_string json);
-      if failed then exit 1
+      if explain && not trace then begin
+        (* EXPLAIN without ANALYZE: compile only, print the plan *)
+        match Service.Engine.explain query_string with
+        | Ok plan ->
+          print_endline
+            (Service.Json.to_string (Service.Protocol.ok_plan_to_json plan))
+        | Error e ->
+          print_endline
+            (Service.Json.to_string (Service.Protocol.engine_error_to_json e));
+          exit 1
+      end
+      else begin
+        let mode = if engine || explain then `Engine else `Auto in
+        let request = Service.Engine.Query { q = query_string; mode } in
+        let json, failed =
+          match Service.Engine.exec ~limits ~trace snapshot request with
+          | Ok result -> (Service.Protocol.result_to_json result, false)
+          | Error e -> (Service.Protocol.engine_error_to_json e, true)
+        in
+        print_endline (Service.Json.to_string json);
+        if failed then exit 1
+      end
     | `Text ->
-    if engine then begin
+    let tracer = if trace then Core.Trace.make () else Core.Trace.disabled in
+    let print_trace () =
+      if trace then
+        match Core.Trace.root tracer with
+        | Some sp -> Format.printf "@.%s@." (Core.Trace.span_to_string sp)
+        | None -> ()
+    in
+    if engine || explain then begin
       (* try the compiled path; report the plan and identifiers *)
       match Query.Parser.parse query_string with
       | Error e ->
@@ -167,33 +187,41 @@ let query_cmd =
       | Ok q -> begin
         match Query.Compile.compile q with
         | Error reason ->
-          Format.eprintf "not compilable (%s); rerun without --engine@." reason;
+          Format.eprintf
+            "not compilable (%s); it would run on the interpreter@." reason;
           exit 1
         | Ok plan ->
           Format.printf "%s@.@." (Query.Compile.explain plan);
-          let nodes =
-            or_fault_exit (fun () -> Query.Compile.execute ~limits db plan)
-          in
-          List.iter
-            (fun (n : Access.Scored_node.t) ->
-              let tag =
-                Option.value ~default:"?"
-                  (Store.Db.tag_of db ~doc:n.doc ~start:n.start)
-              in
-              Format.printf "%-14s doc=%d start=%d score=%.3f@." tag n.doc
-                n.start n.score)
-            nodes;
-          Format.printf "(%d results)@." (List.length nodes)
+          (* --explain alone stops at the plan; --engine or --trace
+             also executes (EXPLAIN ANALYZE) *)
+          if engine || trace then begin
+            let nodes =
+              or_fault_exit (fun () ->
+                  Query.Compile.execute ~limits ~trace:tracer db plan)
+            in
+            List.iter
+              (fun (n : Access.Scored_node.t) ->
+                let tag =
+                  Option.value ~default:"?"
+                    (Store.Db.tag_of db ~doc:n.doc ~start:n.start)
+                in
+                Format.printf "%-14s doc=%d start=%d score=%.3f@." tag n.doc
+                  n.start n.score)
+              nodes;
+            Format.printf "(%d results)@." (List.length nodes);
+            print_trace ()
+          end
       end
     end
     else begin
-      let evaluator = Query.Eval.create ~limits db in
+      let evaluator = Query.Eval.create ~limits ~trace:tracer db in
       match Query.Eval.run_string evaluator query_string with
       | Ok results ->
         List.iter
           (fun r -> print_string (Xmlkit.Printer.to_string ~indent:2 r))
           results;
-        Format.printf "(%d results)@." (List.length results)
+        Format.printf "(%d results)@." (List.length results);
+        print_trace ()
       | Error msg ->
         Format.eprintf "error: %s@." msg;
         exit 1
@@ -214,6 +242,24 @@ let query_cmd =
             "Compile onto the store-level access methods (structural joins + \
              TermJoin + stack Pick) instead of interpreting.")
   in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the compiled physical plan without executing (combine \
+             with $(b,--trace) for EXPLAIN ANALYZE). Fails when the query \
+             is outside the compilable fragment.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Execute with per-operator tracing and print the span tree: \
+             input/output cardinalities, governor steps and elapsed time \
+             for every operator.")
+  in
   let format_arg =
     Arg.(
       value & opt format_conv `Text
@@ -225,8 +271,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an extended-XQuery query")
     Term.(
-      const run $ paths_arg $ query_arg $ engine_arg $ format_arg
-      $ skip_bad_arg $ limits_term)
+      const run $ paths_arg $ query_arg $ engine_arg $ explain_arg $ trace_arg
+      $ format_arg $ skip_bad_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* search *)
@@ -242,7 +288,7 @@ let method_conv =
     ]
 
 let search_cmd =
-  let run paths terms method_ complex top skip_bad limits =
+  let run paths terms method_ complex top trace skip_bad limits =
     let db = load_files ~skip_bad paths in
     let ctx = Access.Ctx.of_db db in
     let terms = String.split_on_char ',' terms |> List.map String.trim in
@@ -250,18 +296,19 @@ let search_cmd =
       if complex then Access.Counter_scoring.Complex
       else Access.Counter_scoring.Simple
     in
+    let tracer = if trace then Core.Trace.make () else Core.Trace.disabled in
     let started = Unix.gettimeofday () in
     let results =
       or_fault_exit (fun () ->
           governed limits (fun () ->
               match method_ with
-              | `Termjoin -> Access.Term_join.to_list ~mode ctx ~terms
+              | `Termjoin -> Access.Term_join.to_list ~trace:tracer ~mode ctx ~terms
               | `Enhanced ->
-                Access.Term_join.to_list ~variant:Access.Term_join.Enhanced
-                  ~mode ctx ~terms
-              | `Genmeet -> Access.Gen_meet.to_list ~mode ctx ~terms
-              | `Comp1 -> Access.Composite.comp1_list ~mode ctx ~terms
-              | `Comp2 -> Access.Composite.comp2_list ~mode ctx ~terms))
+                Access.Term_join.to_list ~trace:tracer
+                  ~variant:Access.Term_join.Enhanced ~mode ctx ~terms
+              | `Genmeet -> Access.Gen_meet.to_list ~trace:tracer ~mode ctx ~terms
+              | `Comp1 -> Access.Composite.comp1_list ~trace:tracer ~mode ctx ~terms
+              | `Comp2 -> Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms))
     in
     let elapsed = Unix.gettimeofday () -. started in
     let ranked = List.sort Access.Scored_node.compare_score_desc results in
@@ -278,7 +325,11 @@ let search_cmd =
         end)
       ranked;
     Format.printf "(%d scored elements in %.1f ms)@." (List.length results)
-      (elapsed *. 1000.)
+      (elapsed *. 1000.);
+    if trace then
+      Option.iter
+        (fun sp -> Format.printf "@.%s@." (Core.Trace.span_to_string sp))
+        (Core.Trace.root tracer)
   in
   let terms_arg =
     Arg.(
@@ -300,26 +351,33 @@ let search_cmd =
   let top_arg =
     Arg.(value & opt int 10 & info [ "k"; "top" ] ~docv:"K" ~doc:"Rows to print.")
   in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print the access method's span tree.")
+  in
   Cmd.v
     (Cmd.info "search" ~doc:"Score elements for query terms")
     Term.(
       const run $ paths_arg $ terms_arg $ method_arg $ complex_arg $ top_arg
-      $ skip_bad_arg $ limits_term)
+      $ trace_arg $ skip_bad_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* phrase *)
 
 let phrase_cmd =
-  let run paths phrase use_comp3 skip_bad limits =
+  let run paths phrase use_comp3 trace skip_bad limits =
     let db = load_files ~skip_bad paths in
     let ctx = Access.Ctx.of_db db in
     let phrase = Ir.Phrase.parse phrase in
+    let tracer = if trace then Core.Trace.make () else Core.Trace.disabled in
     let started = Unix.gettimeofday () in
     let results =
       or_fault_exit (fun () ->
           governed limits (fun () ->
-              if use_comp3 then Access.Composite.comp3_list ctx ~phrase
-              else Access.Phrase_finder.to_list ctx ~phrase))
+              if use_comp3 then
+                Access.Composite.comp3_list ~trace:tracer ctx ~phrase
+              else Access.Phrase_finder.to_list ~trace:tracer ctx ~phrase))
     in
     let elapsed = Unix.gettimeofday () -. started in
     List.iter
@@ -331,7 +389,11 @@ let phrase_cmd =
           n.start n.score)
       results;
     Format.printf "(%d elements in %.1f ms)@." (List.length results)
-      (elapsed *. 1000.)
+      (elapsed *. 1000.);
+    if trace then
+      Option.iter
+        (fun sp -> Format.printf "@.%s@." (Core.Trace.span_to_string sp))
+        (Core.Trace.root tracer)
   in
   let phrase_arg =
     Arg.(
@@ -344,11 +406,16 @@ let phrase_cmd =
       value & flag
       & info [ "comp3" ] ~doc:"Use the composite baseline instead of PhraseFinder.")
   in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print the access method's span tree.")
+  in
   Cmd.v
     (Cmd.info "phrase" ~doc:"Find a phrase with PhraseFinder")
     Term.(
-      const run $ paths_arg $ phrase_arg $ comp3_arg $ skip_bad_arg
-      $ limits_term)
+      const run $ paths_arg $ phrase_arg $ comp3_arg $ trace_arg
+      $ skip_bad_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -523,8 +590,8 @@ let print_response ~pretty resp =
   end
 
 let client_cmd =
-  let run host port query search phrase ranked comp3 method_ complex do_stats
-      do_health prepare execute raw k pretty limits =
+  let run host port query explain trace search phrase ranked comp3 method_
+      complex do_stats do_health prepare execute raw k pretty limits =
     let some_if cond v = if cond then Some v else None in
     let requests =
       List.filter_map Fun.id
@@ -532,8 +599,10 @@ let client_cmd =
           Option.map
             (fun q ->
               Service.Protocol.Exec
-                { req = Service.Engine.Query { q; mode = `Auto }; k; limits })
+                { req = Service.Engine.Query { q; mode = `Auto }; k; limits;
+                  trace })
             query;
+          Option.map (fun q -> Service.Protocol.Explain { q }) explain;
           Option.map
             (fun terms ->
               let terms =
@@ -552,12 +621,14 @@ let client_cmd =
                   req = Service.Engine.Search { terms; method_; complex };
                   k;
                   limits;
+                  trace;
                 })
             search;
           Option.map
             (fun phrase ->
               Service.Protocol.Exec
-                { req = Service.Engine.Phrase { phrase; comp3 }; k; limits })
+                { req = Service.Engine.Phrase { phrase; comp3 }; k; limits;
+                  trace })
             phrase;
           Option.map
             (fun terms ->
@@ -565,11 +636,11 @@ let client_cmd =
                 String.split_on_char ',' terms |> List.map String.trim
               in
               Service.Protocol.Exec
-                { req = Service.Engine.Ranked { terms }; k; limits })
+                { req = Service.Engine.Ranked { terms }; k; limits; trace })
             ranked;
           Option.map (fun q -> Service.Protocol.Prepare { q }) prepare;
           Option.map
-            (fun id -> Service.Protocol.Execute { id; k; limits })
+            (fun id -> Service.Protocol.Execute { id; k; limits; trace })
             execute;
           some_if do_stats Service.Protocol.Stats;
           some_if do_health Service.Protocol.Health;
@@ -584,8 +655,8 @@ let client_cmd =
     match lines with
     | [] ->
       Format.eprintf
-        "error: pick one of --query, --search, --phrase, --ranked, \
-         --prepare, --execute, --stats, --health or --raw@.";
+        "error: pick one of --query, --explain, --search, --phrase, \
+         --ranked, --prepare, --execute, --stats, --health or --raw@.";
       exit 2
     | lines ->
       List.iter
@@ -606,6 +677,21 @@ let client_cmd =
       value
       & opt (some string) None
       & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Extended-XQuery text to run.")
+  in
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"QUERY"
+          ~doc:"Ask the server for the compiled plan without executing.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Request per-operator tracing: the response carries a \
+             \"trace\" span tree (bypasses the server's result cache).")
   in
   let search_arg =
     Arg.(
@@ -680,10 +766,10 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc:"Talk to a running tixd server")
     Term.(
-      const run $ host_arg $ port_arg $ query_arg $ search_arg $ phrase_arg
-      $ ranked_arg $ comp3_arg $ method_arg $ complex_arg $ stats_arg
-      $ health_arg $ prepare_arg $ execute_arg $ raw_arg $ k_arg $ pretty_arg
-      $ limits_term)
+      const run $ host_arg $ port_arg $ query_arg $ explain_arg $ trace_arg
+      $ search_arg $ phrase_arg $ ranked_arg $ comp3_arg $ method_arg
+      $ complex_arg $ stats_arg $ health_arg $ prepare_arg $ execute_arg
+      $ raw_arg $ k_arg $ pretty_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* demo *)

@@ -193,7 +193,30 @@ let comp1_term_groups ~k ~complex ctx term_index term =
   flush !current;
   List.rev !groups
 
-let comp1 ?(mode = Counter_scoring.Simple) ?weights ctx ~terms ~emit () =
+(* Shared span wrapper: input cardinality is the total posting
+   occurrences of the terms, computed only when tracing is live. *)
+let traced trace name ctx ~terms body =
+  if not (Core.Trace.enabled trace) then body ()
+  else begin
+    let input =
+      List.fold_left
+        (fun acc t -> acc + Ir.Inverted_index.collection_freq ctx.Ctx.index t)
+        0 terms
+    in
+    Core.Trace.enter ~input trace name;
+    Core.Trace.annotate trace "terms" (string_of_int (List.length terms));
+    match body () with
+    | n ->
+      Core.Trace.leave ~output:n trace;
+      n
+    | exception e ->
+      Core.Trace.leave trace;
+      raise e
+  end
+
+let comp1 ?(trace = Core.Trace.disabled) ?(mode = Counter_scoring.Simple)
+    ?weights ctx ~terms ~emit () =
+  traced trace "Comp1" ctx ~terms @@ fun () ->
   let k = List.length terms in
   let weights =
     match weights with Some w -> w | None -> Counter_scoring.default_weights k
@@ -308,7 +331,9 @@ let comp2_term_groups ~k ~complex ctx term_index term =
     (fun a b -> compare (group_key a) (group_key b))
     !groups
 
-let comp2 ?(mode = Counter_scoring.Simple) ?weights ctx ~terms ~emit () =
+let comp2 ?(trace = Core.Trace.disabled) ?(mode = Counter_scoring.Simple)
+    ?weights ctx ~terms ~emit () =
+  traced trace "Comp2" ctx ~terms @@ fun () ->
   let k = List.length terms in
   let weights =
     match weights with Some w -> w | None -> Counter_scoring.default_weights k
@@ -325,11 +350,11 @@ let collect_list run =
   let _ = run ~emit:(fun n -> acc := n :: !acc) () in
   List.sort Scored_node.compare_pos !acc
 
-let comp1_list ?mode ?weights ctx ~terms =
-  collect_list (fun ~emit () -> comp1 ?mode ?weights ctx ~terms ~emit ())
+let comp1_list ?trace ?mode ?weights ctx ~terms =
+  collect_list (fun ~emit () -> comp1 ?trace ?mode ?weights ctx ~terms ~emit ())
 
-let comp2_list ?mode ?weights ctx ~terms =
-  collect_list (fun ~emit () -> comp2 ?mode ?weights ctx ~terms ~emit ())
+let comp2_list ?trace ?mode ?weights ctx ~terms =
+  collect_list (fun ~emit () -> comp2 ?trace ?mode ?weights ctx ~terms ~emit ())
 
 (* ------------------------------------------------------------------ *)
 (* Comp3: per-term index access -> intersect on owning node ->
@@ -492,12 +517,14 @@ let comp3_hash ctx ~phrase ~first ~rest ~emit () =
       candidates;
     !emitted
 
-let comp3 ?(use_skips = true) ctx ~phrase ~emit () =
+let comp3 ?(trace = Core.Trace.disabled) ?(use_skips = true) ctx ~phrase ~emit
+    () =
   match phrase with
   | [] -> 0
   | first :: rest ->
+    traced trace "Comp3" ctx ~terms:phrase @@ fun () ->
     if use_skips then comp3_seek ctx ~phrase ~emit ()
     else comp3_hash ctx ~phrase ~first ~rest ~emit ()
 
-let comp3_list ?use_skips ctx ~phrase =
-  collect_list (fun ~emit () -> comp3 ?use_skips ctx ~phrase ~emit ())
+let comp3_list ?trace ?use_skips ctx ~phrase =
+  collect_list (fun ~emit () -> comp3 ?trace ?use_skips ctx ~phrase ~emit ())

@@ -22,6 +22,7 @@
     data-page verification of the candidate nodes. *)
 
 val comp1 :
+  ?trace:Core.Trace.t ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
   Ctx.t ->
@@ -31,6 +32,7 @@ val comp1 :
   int
 
 val comp2 :
+  ?trace:Core.Trace.t ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
   Ctx.t ->
@@ -40,6 +42,7 @@ val comp2 :
   int
 
 val comp1_list :
+  ?trace:Core.Trace.t ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
   Ctx.t ->
@@ -47,6 +50,7 @@ val comp1_list :
   Scored_node.t list
 
 val comp2_list :
+  ?trace:Core.Trace.t ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
   Ctx.t ->
@@ -54,6 +58,7 @@ val comp2_list :
   Scored_node.t list
 
 val comp3 :
+  ?trace:Core.Trace.t ->
   ?use_skips:bool ->
   Ctx.t ->
   phrase:string list ->
@@ -68,4 +73,13 @@ val comp3 :
     tables (the paper's original composite). Identical results,
     possibly in a different emission order. *)
 
-val comp3_list : ?use_skips:bool -> Ctx.t -> phrase:string list -> Scored_node.t list
+val comp3_list :
+  ?trace:Core.Trace.t ->
+  ?use_skips:bool ->
+  Ctx.t ->
+  phrase:string list ->
+  Scored_node.t list
+
+(** With [trace], each baseline records a ["Comp1"]/["Comp2"]/["Comp3"]
+    span: input is the total posting occurrences of the terms, output
+    the emitted node count. *)

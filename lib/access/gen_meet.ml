@@ -9,8 +9,8 @@ type acc = {
   mutable nonzero_children : int;
 }
 
-let run ?(mode = Counter_scoring.Simple) ?weights ?within ?(use_skips = true)
-    ctx ~terms ~emit () =
+let run_meet ?(mode = Counter_scoring.Simple) ?weights ?within
+    ?(use_skips = true) ctx ~terms ~emit () =
   let k = List.length terms in
   let weights =
     match weights with Some w -> w | None -> Counter_scoring.default_weights k
@@ -120,10 +120,35 @@ let run ?(mode = Counter_scoring.Simple) ?weights ?within ?(use_skips = true)
     table;
   !emitted
 
-let to_list ?mode ?weights ?within ?use_skips ctx ~terms =
+let run ?(trace = Core.Trace.disabled) ?mode ?weights ?within ?use_skips ctx
+    ~terms ~emit () =
+  if not (Core.Trace.enabled trace) then
+    run_meet ?mode ?weights ?within ?use_skips ctx ~terms ~emit ()
+  else begin
+    let input =
+      List.fold_left
+        (fun acc t -> acc + Ir.Inverted_index.collection_freq ctx.Ctx.index t)
+        0 terms
+    in
+    Core.Trace.enter ~input trace "GenMeet";
+    Core.Trace.annotate trace "terms" (string_of_int (List.length terms));
+    (match within with
+    | Some regions ->
+      Core.Trace.annotate trace "within" (string_of_int (Array.length regions))
+    | None -> ());
+    match run_meet ?mode ?weights ?within ?use_skips ctx ~terms ~emit () with
+    | n ->
+      Core.Trace.leave ~output:n trace;
+      n
+    | exception e ->
+      Core.Trace.leave trace;
+      raise e
+  end
+
+let to_list ?trace ?mode ?weights ?within ?use_skips ctx ~terms =
   let acc = ref [] in
   let _ =
-    run ?mode ?weights ?within ?use_skips ctx ~terms
+    run ?trace ?mode ?weights ?within ?use_skips ctx ~terms
       ~emit:(fun n -> acc := n :: !acc)
       ()
   in

@@ -19,6 +19,7 @@
     collection's postings. *)
 
 val run :
+  ?trace:Core.Trace.t ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
   ?within:Structural_join.item array ->
@@ -28,8 +29,11 @@ val run :
   emit:(Scored_node.t -> unit) ->
   unit ->
   int
+(** With [trace], records a ["GenMeet"] span (input = total posting
+    occurrences of the terms, output = grouped nodes emitted). *)
 
 val to_list :
+  ?trace:Core.Trace.t ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
   ?within:Structural_join.item array ->

@@ -191,10 +191,13 @@ let matches ctx (pat : Core.Pattern.t) ~var =
   top_down pat.root root_items;
   !result
 
-let scored_matches ?mode ?weights ctx (pat : Core.Pattern.t) ~struct_var ~terms
-    =
-  let anchors = matches ctx pat ~var:struct_var in
-  let scored = Term_join.to_list ?mode ?weights ctx ~terms in
+let scored_matches ?(trace = Core.Trace.disabled) ?mode ?weights ctx
+    (pat : Core.Pattern.t) ~struct_var ~terms =
+  let anchors =
+    Core.Trace.span_list trace "PatternMatch" (fun () ->
+        matches ctx pat ~var:struct_var)
+  in
+  let scored = Term_join.to_list ~trace ?mode ?weights ctx ~terms in
   (* keep scored nodes that are the anchor or lie inside one *)
   let as_items =
     List.map

@@ -28,6 +28,7 @@ val matches : Ctx.t -> Core.Pattern.t -> var:int -> Store.Tag_index.item list
     predicate forms raise [Invalid_argument]. *)
 
 val scored_matches :
+  ?trace:Core.Trace.t ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
   Ctx.t ->

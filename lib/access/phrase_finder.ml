@@ -1,4 +1,4 @@
-let run ?(use_skips = true) ctx ~phrase ~emit () =
+let run_merge ?(use_skips = true) ctx ~phrase ~emit () =
   match phrase with
   | [] -> 0
   | first :: rest ->
@@ -113,16 +113,42 @@ let run ?(use_skips = true) ctx ~phrase ~emit () =
     flush ();
     !emitted
 
-let to_list ?use_skips ctx ~phrase =
+let run ?(trace = Core.Trace.disabled) ?use_skips ctx ~phrase ~emit () =
+  if not (Core.Trace.enabled trace) then run_merge ?use_skips ctx ~phrase ~emit ()
+  else begin
+    let input =
+      List.fold_left
+        (fun acc t -> acc + Ir.Inverted_index.collection_freq ctx.Ctx.index t)
+        0 phrase
+    in
+    Core.Trace.enter ~input trace "PhraseFinder";
+    Core.Trace.annotate trace "terms" (string_of_int (List.length phrase));
+    Core.Trace.annotate trace "skips"
+      (match use_skips with Some false -> "off" | Some true | None -> "on");
+    match run_merge ?use_skips ctx ~phrase ~emit () with
+    | n ->
+      Core.Trace.leave ~output:n trace;
+      n
+    | exception e ->
+      Core.Trace.leave trace;
+      raise e
+  end
+
+let to_list ?trace ?use_skips ctx ~phrase =
   let acc = ref [] in
-  let _ = run ?use_skips ctx ~phrase ~emit:(fun n -> acc := n :: !acc) () in
+  let _ =
+    run ?trace ?use_skips ctx ~phrase ~emit:(fun n -> acc := n :: !acc) ()
+  in
   List.sort Scored_node.compare_pos !acc
 
 let total_occurrences ?use_skips ctx ~phrase =
-  let total = ref 0 in
+  (* Scores are per-element phrase counts (integers as floats); sum
+     in float and round once so nothing fractional is silently
+     truncated if scores ever become weighted. *)
+  let total = ref 0. in
   let _ =
     run ?use_skips ctx ~phrase
-      ~emit:(fun n -> total := !total + int_of_float n.Scored_node.score)
+      ~emit:(fun n -> total := !total +. n.Scored_node.score)
       ()
   in
-  !total
+  int_of_float (Float.round !total)

@@ -20,6 +20,7 @@
     paper's same-text-node requirement holds by construction. *)
 
 val run :
+  ?trace:Core.Trace.t ->
   ?use_skips:bool ->
   Ctx.t ->
   phrase:string list ->
@@ -28,9 +29,16 @@ val run :
   int
 (** Emits one node per owning element that contains the phrase, with
     the phrase occurrence count as score; returns the number of
-    emitted nodes. *)
+    emitted nodes. With [trace], records a ["PhraseFinder"] span
+    (input = total postings of the phrase's terms, output = emitted
+    elements). *)
 
-val to_list : ?use_skips:bool -> Ctx.t -> phrase:string list -> Scored_node.t list
+val to_list :
+  ?trace:Core.Trace.t ->
+  ?use_skips:bool ->
+  Ctx.t ->
+  phrase:string list ->
+  Scored_node.t list
 
 val total_occurrences : ?use_skips:bool -> Ctx.t -> phrase:string list -> int
 (** Sum of phrase occurrence counts over all elements. *)

@@ -27,7 +27,7 @@ type tstate = {
   mutable t_head : Ir.Postings.occ option;
 }
 
-let top_k_docs ?(use_skips = true) ?weights ctx ~terms ~k =
+let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
   let terms = Array.of_list terms in
   let nt = Array.length terms in
   let weights = match weights with Some w -> w | None -> Array.make nt 1.0 in
@@ -195,6 +195,27 @@ let top_k_docs ?(use_skips = true) ?weights ctx ~terms ~k =
           match compare s2 s1 with 0 -> compare d1 d2 | c -> c)
         (List.map (fun (s, d) -> (d, s)) (Top_k.to_sorted_list heap))
     end
+  end
+
+let top_k_docs ?(trace = Core.Trace.disabled) ?use_skips ?weights ctx ~terms ~k
+    =
+  if not (Core.Trace.enabled trace) then
+    top_k_docs_inner ?use_skips ?weights ctx ~terms ~k
+  else begin
+    let input =
+      List.fold_left
+        (fun acc t -> acc + Ir.Inverted_index.collection_freq ctx.Ctx.index t)
+        0 terms
+    in
+    Core.Trace.enter ~input trace "RankedTopK";
+    Core.Trace.annotate trace "k" (string_of_int k);
+    match top_k_docs_inner ?use_skips ?weights ctx ~terms ~k with
+    | l ->
+      Core.Trace.leave ~output:(List.length l) trace;
+      l
+    | exception e ->
+      Core.Trace.leave trace;
+      raise e
   end
 
 let above v run =

@@ -15,6 +15,7 @@ val top_k : int -> emitter -> Scored_node.t list
 (** The K best-scored nodes, best first. *)
 
 val top_k_docs :
+  ?trace:Core.Trace.t ->
   ?use_skips:bool ->
   ?weights:float array ->
   Ctx.t ->

@@ -3,7 +3,12 @@ type item = { doc : int; start : int; end_ : int; level : int }
 let item_of_scored (n : Scored_node.t) =
   { doc = n.doc; start = n.start; end_ = n.end_; level = n.level }
 
-let join ?(axis = `Ancestor_descendant) ~ancestors ~descendants ~emit () =
+let join ?(trace = Core.Trace.disabled) ?(axis = `Ancestor_descendant)
+    ~ancestors ~descendants ~emit () =
+  Core.Trace.span_count
+    ~input:(Array.length ancestors + Array.length descendants)
+    trace "StructuralJoin"
+  @@ fun () ->
   let emitted = ref 0 in
   let stack = ref [] in
   let na = Array.length ancestors and nd = Array.length descendants in
@@ -68,7 +73,10 @@ let outermost items =
    and with skips enabled, the gap between one subtree's end and the
    next subtree's start is crossed by a seek over the skip table
    instead of decoding every posting in between. *)
-let occurrences_within ?(use_skips = true) cursor ~within ~emit () =
+let occurrences_within ?(trace = Core.Trace.disabled) ?(use_skips = true)
+    cursor ~within ~emit () =
+  Core.Trace.span_count ~input:(Array.length within) trace "OccurrencesWithin"
+  @@ fun () ->
   let emitted = ref 0 in
   let head = ref (Ir.Postings.next cursor) in
   Array.iter

@@ -10,6 +10,7 @@ type item = { doc : int; start : int; end_ : int; level : int }
 val item_of_scored : Scored_node.t -> item
 
 val join :
+  ?trace:Core.Trace.t ->
   ?axis:[ `Ancestor_descendant | `Parent_child ] ->
   ancestors:item array ->
   descendants:item array ->
@@ -36,6 +37,7 @@ val outermost : item array -> item array
     {!occurrences_within} requires. *)
 
 val occurrences_within :
+  ?trace:Core.Trace.t ->
   ?use_skips:bool ->
   Ir.Postings.cursor ->
   within:item array ->

@@ -193,21 +193,45 @@ let next c =
   refill c;
   Queue.take_opt c.pending
 
-let run ?variant ?mode ?weights ctx ~terms ~emit () =
-  let c = cursor ?variant ?mode ?weights ctx ~terms in
-  let rec drive n =
-    match next c with
-    | Some node ->
-      emit node;
-      drive (n + 1)
-    | None -> n
-  in
-  drive 0
+(* Total posting occurrences the merge will consume; only computed
+   when a live tracer asks for the input cardinality. *)
+let postings_input ctx terms =
+  List.fold_left
+    (fun acc t -> acc + Ir.Inverted_index.collection_freq ctx.Ctx.index t)
+    0 terms
 
-let to_list ?variant ?mode ?weights ctx ~terms =
+let run ?(trace = Core.Trace.disabled) ?variant ?mode ?weights ctx ~terms ~emit
+    () =
+  let body () =
+    let c = cursor ?variant ?mode ?weights ctx ~terms in
+    let rec drive n =
+      match next c with
+      | Some node ->
+        emit node;
+        drive (n + 1)
+      | None -> n
+    in
+    drive 0
+  in
+  if not (Core.Trace.enabled trace) then body ()
+  else begin
+    Core.Trace.enter ~input:(postings_input ctx terms) trace "TermJoin";
+    Core.Trace.annotate trace "variant"
+      (match variant with Some Enhanced -> "enhanced" | Some Plain | None -> "plain");
+    Core.Trace.annotate trace "terms" (string_of_int (List.length terms));
+    match body () with
+    | n ->
+      Core.Trace.leave ~output:n trace;
+      n
+    | exception e ->
+      Core.Trace.leave trace;
+      raise e
+  end
+
+let to_list ?trace ?variant ?mode ?weights ctx ~terms =
   let acc = ref [] in
   let _ =
-    run ?variant ?mode ?weights ctx ~terms
+    run ?trace ?variant ?mode ?weights ctx ~terms
       ~emit:(fun n -> acc := n :: !acc)
       ()
   in

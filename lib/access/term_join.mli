@@ -38,6 +38,7 @@ val next : cursor -> Scored_node.t option
     drained. *)
 
 val run :
+  ?trace:Core.Trace.t ->
   ?variant:variant ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
@@ -47,9 +48,13 @@ val run :
   unit ->
   int
 (** Drive a cursor to completion, calling [emit] for every scored
-    ancestor; returns the number of emitted nodes. *)
+    ancestor; returns the number of emitted nodes. With [trace],
+    records a ["TermJoin"] span whose input cardinality is the total
+    posting occurrences merged and whose output is the emitted
+    count. *)
 
 val to_list :
+  ?trace:Core.Trace.t ->
   ?variant:variant ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->

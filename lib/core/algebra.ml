@@ -19,7 +19,7 @@ type plan =
   | Sort of plan
   | Limit of int * plan
 
-let rec run ?governor plan =
+let rec run ?governor ?(trace = Trace.disabled) plan =
   (* Every operator's output is accounted against the governor: one
      step per produced tree, plus the cardinality gate. The charge
      happens between operators, so a runaway plan is cut off at the
@@ -34,20 +34,29 @@ let rec run ?governor plan =
     | None -> ());
     c
   in
-  let run input = run ?governor input in
+  let run input = run ?governor ~trace input in
+  (* The hooked operators record their own spans; the plain plan
+     nodes (scan, project, sort, limit) get spans here. Spans appear
+     in execution order — plan inputs before the operator itself. *)
+  let local name input f =
+    if Trace.enabled trace then Trace.span_over ?governor trace name input f
+    else f input
+  in
   account
     (match plan with
-    | Scan c -> c
-    | Select (pat, input) -> Op_select.select pat (run input)
+    | Scan c -> local "Scan" c Fun.id
+    | Select (pat, input) -> Op_select.select ~trace pat (run input)
     | Project { pattern; pl; drop_zero; input } ->
-      Op_project.project ~drop_zero pattern ~pl (run input)
-    | Product (a, b) -> Op_join.product (run a) (run b)
-    | Join (pat, a, b) -> Op_join.join pat (run a) (run b)
-    | Threshold (pat, tcs, input) -> Op_threshold.threshold pat tcs (run input)
+      local "Project" (run input) (Op_project.project ~drop_zero pattern ~pl)
+    | Product (a, b) -> Op_join.product ~trace (run a) (run b)
+    | Join (pat, a, b) -> Op_join.join ~trace pat (run a) (run b)
+    | Threshold (pat, tcs, input) ->
+      Op_threshold.threshold ~trace pat tcs (run input)
     | Pick { pattern; var; criterion; input } ->
-      Op_pick.apply pattern ~var criterion (run input)
-    | Sort input -> Collection.sort_by_score (run input)
-    | Limit (k, input) -> List.filteri (fun i _ -> i < k) (run input))
+      Op_pick.apply ~trace pattern ~var criterion (run input)
+    | Sort input -> local "Sort" (run input) Collection.sort_by_score
+    | Limit (k, input) ->
+      local "Limit" (run input) (List.filteri (fun i _ -> i < k)))
 
 let rec pp_plan ppf = function
   | Scan c -> Format.fprintf ppf "Scan(%d trees)" (Collection.size c)

@@ -16,11 +16,13 @@ type plan =
   | Sort of plan
   | Limit of int * plan
 
-val run : ?governor:Governor.t -> plan -> Collection.t
+val run : ?governor:Governor.t -> ?trace:Trace.t -> plan -> Collection.t
 (** Evaluate the plan bottom-up. With [governor], every operator's
     output cardinality is charged as steps and gated by the result
     cap, and the deadline is sampled between operators; a breached
-    budget raises {!Governor.Resource_exhausted}. *)
+    budget raises {!Governor.Resource_exhausted}. With [trace], each
+    operator records a span with input/output cardinalities, in
+    execution order (inputs before the consuming operator). *)
 
 val explain : plan -> string
 val pp_plan : Format.formatter -> plan -> unit

@@ -1,6 +1,7 @@
 let group_tag = "tix_group"
 
-let group_by ~basis ?order trees =
+let group_by ?(trace = Trace.disabled) ~basis ?order trees =
+  Trace.span_over trace "GroupBy" trees @@ fun trees ->
   let table : (string, Stree.t list ref) Hashtbl.t = Hashtbl.create 16 in
   let keys_in_order = ref [] in
   List.iter

@@ -11,6 +11,7 @@ val group_tag : string
 (** Tag of constructed group roots ([tix_group]). *)
 
 val group_by :
+  ?trace:Trace.t ->
   basis:(Stree.t -> string) ->
   ?order:(Stree.t -> Stree.t -> int) ->
   Stree.t list ->

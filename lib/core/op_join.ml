@@ -1,11 +1,22 @@
 let prod_root_tag = "tix_prod_root"
 
-let product c1 c2 =
-  List.concat_map
-    (fun a ->
-      List.map
-        (fun b -> Stree.make prod_root_tag [ Stree.Node a; Stree.Node b ])
-        c2)
-    c1
+let product ?(trace = Trace.disabled) c1 c2 =
+  let body () =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun b -> Stree.make prod_root_tag [ Stree.Node a; Stree.Node b ])
+          c2)
+      c1
+  in
+  if not (Trace.enabled trace) then body ()
+  else
+    Trace.span_list
+      ~input:(List.length c1 + List.length c2)
+      trace "Product" body
 
-let join pat c1 c2 = Op_select.select pat (product c1 c2)
+let join ?(trace = Trace.disabled) pat c1 c2 =
+  let body () = Op_select.select ~trace pat (product ~trace c1 c2) in
+  if not (Trace.enabled trace) then body ()
+  else
+    Trace.span_list ~input:(List.length c1 + List.length c2) trace "Join" body

@@ -3,11 +3,14 @@
     [tix_prod_root]; join conditions in the selection pattern can be
     scored ([Pattern.Similarity] rules). *)
 
-val product : Stree.t list -> Stree.t list -> Stree.t list
+val product : ?trace:Trace.t -> Stree.t list -> Stree.t list -> Stree.t list
 (** The scored product: each output root has tag [tix_prod_root], a
     fresh synthetic id and a null score. *)
 
-val join : Pattern.t -> Stree.t list -> Stree.t list -> Stree.t list
-(** [join pat c1 c2 = Op_select.select pat (product c1 c2)]. *)
+val join :
+  ?trace:Trace.t -> Pattern.t -> Stree.t list -> Stree.t list -> Stree.t list
+(** [join pat c1 c2 = Op_select.select pat (product c1 c2)]. With
+    [trace], the ["Product"] and ["Select"] spans nest under the
+    ["Join"] span. *)
 
 val prod_root_tag : string

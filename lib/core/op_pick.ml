@@ -27,9 +27,12 @@ let worth_by_histogram ~quantile ~scores ?fraction () =
   let threshold =
     if n = 0 then 0.
     else begin
-      let idx =
-        min (n - 1) (int_of_float (quantile *. float_of_int n))
-      in
+      (* Nearest-rank: the smallest element whose cumulative fraction
+         reaches the quantile, i.e. index ceil(q*n) - 1. The previous
+         [int_of_float (q *. n)] truncated, so boundary quantiles over
+         even-sized groups (q=0.5, n=4) skipped past the median. *)
+      let rank = int_of_float (Float.ceil (quantile *. float_of_int n)) in
+      let idx = min (n - 1) (max 0 (rank - 1)) in
       List.nth sorted idx
     end
   in
@@ -62,7 +65,8 @@ let returned crit ~candidates tree =
   regroup tree;
   List.filter (is_in !surviving) in_order
 
-let apply (pat : Pattern.t) ~var crit trees =
+let apply ?(trace = Trace.disabled) (pat : Pattern.t) ~var crit trees =
+  Trace.span_over trace "Pick" trees @@ fun trees ->
   (* The input trees are operator outputs (projections, witnesses):
      their data IR-nodes carry scores, but the original pattern need
      not structurally embed anymore (projection elides nodes). A

@@ -39,7 +39,8 @@ val returned : criterion -> candidates:(Stree.t -> bool) -> Stree.t -> Stree.t l
     returning and its (immediate) parent is not returned —
     parent/child redundancy elimination. Document order. *)
 
-val apply : Pattern.t -> var:int -> criterion -> Stree.t list -> Stree.t list
+val apply :
+  ?trace:Trace.t -> Pattern.t -> var:int -> criterion -> Stree.t list -> Stree.t list
 (** Apply Pick to each tree of a collection: candidates are the
     matches of [var]; candidates that are not returned are elided
     (children promoted; the tree root is kept but its score is

@@ -45,10 +45,11 @@ let rec witness (pat : Pattern.t) (b : Matcher.binding) (p : Pattern.pnode) :
       Some { node with score; children }
     end
 
-let select (pat : Pattern.t) (trees : Stree.t list) =
-  List.concat_map
-    (fun tree ->
-      List.filter_map
-        (fun b -> witness pat b pat.root)
-        (Matcher.embeddings pat tree))
-    trees
+let select ?(trace = Trace.disabled) (pat : Pattern.t) (trees : Stree.t list) =
+  Trace.span_over trace "Select" trees (fun trees ->
+      List.concat_map
+        (fun tree ->
+          List.filter_map
+            (fun b -> witness pat b pat.root)
+            (Matcher.embeddings pat tree))
+        trees)

@@ -6,7 +6,9 @@
     variables keep their whole subtree), and IR-nodes carry scores
     computed by the pattern's scoring rules. *)
 
-val select : Pattern.t -> Stree.t list -> Stree.t list
+val select : ?trace:Trace.t -> Pattern.t -> Stree.t list -> Stree.t list
+(** With [trace], records a ["Select"] span carrying input/output
+    cardinalities. *)
 
 val score_of_binding : Pattern.t -> Matcher.binding -> int -> float option
 (** Score that the pattern's rules assign to the given variable

@@ -25,7 +25,9 @@ let kth_best_score pat var k trees =
     if Top_k.count tk < k then None else Top_k.cutoff tk
   end
 
-let threshold (pat : Pattern.t) (tcs : tc list) trees =
+let threshold ?(trace = Trace.disabled) (pat : Pattern.t) (tcs : tc list) trees
+    =
+  Trace.span_over trace "Threshold" trees @@ fun trees ->
   let keep_for tc =
     match tc.condition with
     | Min_score v -> fun tree -> satisfies_min pat tc.var v tree

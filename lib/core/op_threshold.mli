@@ -12,7 +12,8 @@ type condition =
 
 type tc = { var : int; condition : condition }
 
-val threshold : Pattern.t -> tc list -> Stree.t list -> Stree.t list
+val threshold :
+  ?trace:Trace.t -> Pattern.t -> tc list -> Stree.t list -> Stree.t list
 (** Trees must satisfy every condition to be retained; document
     order is preserved. *)
 

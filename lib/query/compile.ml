@@ -245,107 +245,137 @@ let forest_of_scored nodes =
   drain ();
   List.rev !finished
 
-let execute ?(limits = Core.Governor.unlimited) db (p : plan) =
+let execute ?(limits = Core.Governor.unlimited)
+    ?(trace = Core.Trace.disabled) db (p : plan) =
   Log.debug (fun m -> m "executing engine plan: terms=%s, pick=%b"
       (String.concat "," p.terms) (p.pick <> None));
   let gov = Core.Governor.start limits in
-  (* The engine path materializes between physical operators; charge
-     the governor at each materialization boundary. *)
-  let account scored =
-    let n = List.length scored in
-    Core.Governor.tick_n gov n;
-    Core.Governor.check_results gov n;
-    Core.Governor.check_deadline gov;
-    scored
+  (* Stage spans: the materialization boundaries of the engine path,
+     nested under one CompiledQuery root. *)
+  let stage name input f =
+    if Core.Trace.enabled trace then
+      Core.Trace.span_over ~governor:gov trace name input f
+    else f input
   in
-  let ctx = Access.Ctx.of_db db in
-  (* restrict to the documents matching the glob *)
-  let doc_ok =
-    let catalog = Store.Db.catalog db in
-    let matches = Hashtbl.create 8 in
-    for doc = 0 to Store.Catalog.document_count catalog - 1 do
-      if Glob.matches p.document (Store.Catalog.document_name catalog doc)
-      then Hashtbl.replace matches doc ()
-    done;
-    fun doc -> Hashtbl.mem matches doc
-  in
-  let scored =
-    account
-      (Access.Pattern_exec.scored_matches ctx p.structure ~struct_var:1
-         ~terms:p.terms ~weights:p.weights)
-  in
-  let scored = List.filter (fun (n : Access.Scored_node.t) -> doc_ok n.doc) scored in
-  let scored =
-    if p.self_or_descendant then scored
-    else begin
-      (* the scored variable is the anchor itself *)
-      let anchors = Access.Pattern_exec.matches ctx p.structure ~var:1 in
-      let keys = Hashtbl.create 64 in
-      List.iter
-        (fun (i : Store.Tag_index.item) -> Hashtbl.replace keys (i.doc, i.start) ())
-        anchors;
-      List.filter
-        (fun (n : Access.Scored_node.t) -> Hashtbl.mem keys (n.doc, n.start))
-        scored
-    end
-  in
-  let scored =
-    account
-      (List.filter (fun (n : Access.Scored_node.t) -> n.score > 0.) scored)
-  in
-  let scored =
-    match p.pick with
-    | None -> scored
-    | Some mk_crit ->
-      let crit = mk_crit { Functions.db } in
-      (* group by document (input is in document order), build the
-         candidate forest and run the streaming Pick *)
-      let returned = Hashtbl.create 256 in
-      let flush nodes =
+  Core.Trace.enter ~governor:gov trace "CompiledQuery";
+  match
+    (* The engine path materializes between physical operators; charge
+       the governor at each materialization boundary. *)
+    let account scored =
+      let n = List.length scored in
+      Core.Governor.tick_n gov n;
+      Core.Governor.check_results gov n;
+      Core.Governor.check_deadline gov;
+      scored
+    in
+    let ctx = Access.Ctx.of_db db in
+    (* restrict to the documents matching the glob *)
+    let doc_ok =
+      let catalog = Store.Db.catalog db in
+      let matches = Hashtbl.create 8 in
+      for doc = 0 to Store.Catalog.document_count catalog - 1 do
+        if Glob.matches p.document (Store.Catalog.document_name catalog doc)
+        then Hashtbl.replace matches doc ()
+      done;
+      fun doc -> Hashtbl.mem matches doc
+    in
+    let scored =
+      account
+        (Access.Pattern_exec.scored_matches ~trace ctx p.structure
+           ~struct_var:1 ~terms:p.terms ~weights:p.weights)
+    in
+    let scored =
+      stage "DocFilter" scored
+        (List.filter (fun (n : Access.Scored_node.t) -> doc_ok n.doc))
+    in
+    let scored =
+      if p.self_or_descendant then scored
+      else
+        stage "AnchorFilter" scored @@ fun scored ->
+        (* the scored variable is the anchor itself *)
+        let anchors = Access.Pattern_exec.matches ctx p.structure ~var:1 in
+        let keys = Hashtbl.create 64 in
         List.iter
-          (fun root ->
-            List.iter
-              (fun (t : Core.Stree.t) ->
-                match t.id with
-                | Core.Stree.Stored { doc; start } ->
-                  Hashtbl.replace returned (doc, start) ()
-                | Core.Stree.Synthetic _ -> ())
-              (Access.Pick_stack.returned crit ~candidates:(fun _ -> true) root))
-          (forest_of_scored (List.rev nodes))
-      in
-      let rec group current current_doc = function
-        | [] -> flush current
-        | (n : Access.Scored_node.t) :: rest ->
-          if n.doc = current_doc || current = [] then
-            group (n :: current) n.doc rest
-          else begin
-            flush current;
-            group [ n ] n.doc rest
-          end
-      in
-      group [] (-1) scored;
-      List.filter
-        (fun (n : Access.Scored_node.t) -> Hashtbl.mem returned (n.doc, n.start))
-        scored
-  in
-  let scored =
-    match p.min_score with
-    | Some v -> List.filter (fun (n : Access.Scored_node.t) -> n.score > v) scored
-    | None -> scored
-  in
-  let ranked =
-    List.sort Access.Scored_node.compare_score_desc (account scored)
-  in
-  match p.limit with
-  | Some k -> List.filteri (fun i _ -> i < k) ranked
-  | None -> ranked
+          (fun (i : Store.Tag_index.item) ->
+            Hashtbl.replace keys (i.doc, i.start) ())
+          anchors;
+        List.filter
+          (fun (n : Access.Scored_node.t) -> Hashtbl.mem keys (n.doc, n.start))
+          scored
+    in
+    let scored =
+      account
+        (stage "ScoreFilter" scored
+           (List.filter (fun (n : Access.Scored_node.t) -> n.score > 0.)))
+    in
+    let scored =
+      match p.pick with
+      | None -> scored
+      | Some mk_crit ->
+        stage "Pick" scored @@ fun scored ->
+        let crit = mk_crit { Functions.db } in
+        (* group by document (input is in document order), build the
+           candidate forest and run the streaming Pick *)
+        let returned = Hashtbl.create 256 in
+        let flush nodes =
+          List.iter
+            (fun root ->
+              List.iter
+                (fun (t : Core.Stree.t) ->
+                  match t.id with
+                  | Core.Stree.Stored { doc; start } ->
+                    Hashtbl.replace returned (doc, start) ()
+                  | Core.Stree.Synthetic _ -> ())
+                (Access.Pick_stack.returned crit
+                   ~candidates:(fun _ -> true)
+                   root))
+            (forest_of_scored (List.rev nodes))
+        in
+        let rec group current current_doc = function
+          | [] -> flush current
+          | (n : Access.Scored_node.t) :: rest ->
+            if n.doc = current_doc || current = [] then
+              group (n :: current) n.doc rest
+            else begin
+              flush current;
+              group [ n ] n.doc rest
+            end
+        in
+        group [] (-1) scored;
+        List.filter
+          (fun (n : Access.Scored_node.t) ->
+            Hashtbl.mem returned (n.doc, n.start))
+          scored
+    in
+    let scored =
+      match p.min_score with
+      | Some v ->
+        stage "Threshold" scored
+          (List.filter (fun (n : Access.Scored_node.t) -> n.score > v))
+      | None -> scored
+    in
+    let ranked =
+      stage "Rank" (account scored)
+        (List.sort Access.Scored_node.compare_score_desc)
+    in
+    match p.limit with
+    | Some k -> stage "Limit" ranked (List.filteri (fun i _ -> i < k))
+    | None -> ranked
+  with
+  | result ->
+    if Core.Trace.enabled trace then
+      Core.Trace.leave ~output:(List.length result) ~governor:gov trace;
+    result
+  | exception e ->
+    Core.Trace.unwind trace;
+    raise e
 
-let run_string ?functions ?limits db src =
+let run_string ?functions ?limits ?trace db src =
   match Parser.parse src with
   | Error e -> Error (Format.asprintf "parse error: %a" Parser.pp_error e)
   | Ok q ->
     let* plan = compile ?functions q in
-    (match execute ?limits db plan with
+    (match execute ?limits ?trace db plan with
     | results -> Ok results
     | exception Core.Governor.Resource_exhausted v ->
       Error (Core.Governor.violation_to_string v)

@@ -45,17 +45,23 @@ val compile : ?functions:Functions.t -> Ast.t -> (plan, string) result
 
 val execute :
   ?limits:Core.Governor.limits ->
+  ?trace:Core.Trace.t ->
   Store.Db.t ->
   plan ->
   Access.Scored_node.t list
 (** Evaluate the plan; results ranked best-first (ties in document
     order). With [limits], cardinality is charged to a fresh governor
     at every materialization boundary; a breached budget raises
-    {!Core.Governor.Resource_exhausted}. *)
+    {!Core.Governor.Resource_exhausted}. With [trace], a
+    ["CompiledQuery"] root span nests the access-method spans
+    (PatternMatch, TermJoin) and one span per materialization stage
+    (DocFilter, AnchorFilter, ScoreFilter, Pick, Threshold, Rank,
+    Limit), each with cardinalities and governor steps. *)
 
 val run_string :
   ?functions:Functions.t ->
   ?limits:Core.Governor.limits ->
+  ?trace:Core.Trace.t ->
   Store.Db.t ->
   string ->
   (Access.Scored_node.t list, string) result

@@ -5,15 +5,17 @@ type t = {
   fns : Functions.t;
   doc_trees : (int, Core.Stree.t) Hashtbl.t;
   limits : Core.Governor.limits;
+  trace : Core.Trace.t;
   mutable governor : Core.Governor.t option;
       (** live only while a query runs: each {!run} starts a fresh
           governor from [limits], so budgets are per query and an
           exhausted query leaves the evaluator reusable *)
 }
 
-let create ?functions ?(limits = Core.Governor.unlimited) db =
+let create ?functions ?(limits = Core.Governor.unlimited)
+    ?(trace = Core.Trace.disabled) db =
   let fns = match functions with Some f -> f | None -> Functions.builtins () in
-  { db; fns; doc_trees = Hashtbl.create 8; limits; governor = None }
+  { db; fns; doc_trees = Hashtbl.create 8; limits; trace; governor = None }
 
 let functions t = t.fns
 
@@ -381,8 +383,21 @@ let eval_pick t envs v fname args =
       envs
   end
 
+let clause_name = function
+  | Ast.For (v, _) -> "For $" ^ v
+  | Ast.Let (v, _) -> "Let $" ^ v
+  | Ast.Where _ -> "Where"
+  | Ast.Score (v, _, _) -> "Score $" ^ v
+  | Ast.Pick (v, _, _) -> "Pick $" ^ v
+
 let rec eval_clause t (envs : env list) (clause : Ast.clause) : env list =
-  let out = eval_clause_inner t envs clause in
+  let out =
+    if Core.Trace.enabled t.trace then
+      Core.Trace.span_over ?governor:t.governor t.trace (clause_name clause)
+        envs
+        (fun envs -> eval_clause_inner t envs clause)
+    else eval_clause_inner t envs clause
+  in
   (* the binding stream between clauses is the materialization the
      cardinality cap governs *)
   check_results t (List.length out);
@@ -501,11 +516,18 @@ let run t (q : Ast.t) =
   Fun.protect
     ~finally:(fun () -> t.governor <- None)
     (fun () ->
-      let results = run_ungoverned t q in
-      (* the clock is sampled sparsely during evaluation; settle the
-         deadline before handing results back *)
-      Core.Governor.check_deadline gov;
-      results)
+      Core.Trace.enter ~governor:gov t.trace "Eval";
+      match run_ungoverned t q with
+      | results ->
+        (* the clock is sampled sparsely during evaluation; settle the
+           deadline before handing results back *)
+        Core.Governor.check_deadline gov;
+        if Core.Trace.enabled t.trace then
+          Core.Trace.leave ~output:(List.length results) ~governor:gov t.trace;
+        results
+      | exception e ->
+        Core.Trace.unwind t.trace;
+        raise e)
 
 let run_string t src =
   match Parser.parse src with

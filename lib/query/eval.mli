@@ -13,12 +13,19 @@ type t
 exception Error of string
 
 val create :
-  ?functions:Functions.t -> ?limits:Core.Governor.limits -> Store.Db.t -> t
+  ?functions:Functions.t ->
+  ?limits:Core.Governor.limits ->
+  ?trace:Core.Trace.t ->
+  Store.Db.t ->
+  t
 (** [functions] defaults to {!Functions.builtins}; [limits] (default
     {!Core.Governor.unlimited}) governs every subsequent {!run}: a
     fresh {!Core.Governor.t} is started per query, charging a step
     per evaluated expression / navigated node and gating intermediate
-    binding cardinality. *)
+    binding cardinality. With [trace], each {!run} records an ["Eval"]
+    root span with one child span per clause (For/Let/Where/Score/
+    Pick) carrying the binding-stream cardinalities and governor
+    steps. *)
 
 val functions : t -> Functions.t
 

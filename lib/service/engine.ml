@@ -54,6 +54,9 @@ type result = {
   cached : bool;
   plan : string option;
   timings : (string * float) list;
+  trace : Core.Trace.span option;
+      (** the annotated span tree, present iff the request asked for
+          tracing *)
 }
 
 type error =
@@ -74,28 +77,50 @@ let error_message = function
   | Parse_error m | Unsupported m | Storage m | Bad_request m -> m
   | Exhausted v -> Core.Governor.violation_to_string v
 
-(* Collapse whitespace runs outside double-quoted literals, so two
-   spellings of one query share a cache entry without ever merging
-   queries whose literals differ. *)
+(* Collapse whitespace runs outside string literals, so two spellings
+   of one query share a cache entry without ever merging queries whose
+   literals differ. The literal rules must agree with [Query.Lexer]:
+   either quote character opens a literal, the same character closes
+   it, and there are no escape sequences. The lexer keeps only the
+   content, so ["abc"] and ['abc'] tokenize identically — the key
+   re-quotes every literal with ["], falling back to ['] exactly when
+   the content contains ["] (such a literal has no double-quoted
+   spelling, so the fallback cannot collide). An unterminated literal
+   is a lex error; its remainder is copied verbatim so two distinct
+   erroneous queries never collapse onto one key. *)
 let normalize_query q =
-  let buf = Buffer.create (String.length q) in
-  let in_quote = ref false in
+  let n = String.length q in
+  let buf = Buffer.create n in
   let pending_ws = ref false in
-  String.iter
-    (fun c ->
-      if !in_quote then begin
-        if c = '"' then in_quote := false;
-        Buffer.add_char buf c
-      end
-      else
-        match c with
-        | ' ' | '\t' | '\n' | '\r' -> pending_ws := true
-        | c ->
-          if !pending_ws && Buffer.length buf > 0 then Buffer.add_char buf ' ';
-          pending_ws := false;
-          if c = '"' then in_quote := true;
-          Buffer.add_char buf c)
-    q;
+  let sep () =
+    if !pending_ws && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    pending_ws := false
+  in
+  let i = ref 0 in
+  while !i < n do
+    match q.[!i] with
+    | ' ' | '\t' | '\n' | '\r' ->
+      pending_ws := true;
+      incr i
+    | ('"' | '\'') as quote ->
+      sep ();
+      (match String.index_from_opt q (!i + 1) quote with
+      | Some stop ->
+        let content = String.sub q (!i + 1) (stop - !i - 1) in
+        let canon = if String.contains content '"' then '\'' else '"' in
+        Buffer.add_char buf canon;
+        Buffer.add_string buf content;
+        Buffer.add_char buf canon;
+        i := stop + 1
+      | None ->
+        (* unterminated: copy the rest verbatim, whitespace and all *)
+        Buffer.add_substring buf q !i (n - !i);
+        i := n)
+    | c ->
+      sep ();
+      Buffer.add_char buf c;
+      incr i
+  done;
   Buffer.contents buf
 
 let canonical_key = function
@@ -123,7 +148,37 @@ type caches = {
 (* ------------------------------------------------------------------ *)
 (* Execution *)
 
+let src = Logs.Src.create "tix.service" ~doc:"TIX query service engine"
+
+module Log = (val Logs.src_log src)
+
 let now = Unix.gettimeofday
+
+(* Requests slower than this (seconds) are logged with their span
+   tree when one was recorded. Set once at server startup. *)
+let slow_query_threshold : float option Atomic.t = Atomic.make None
+let set_slow_query_threshold s = Atomic.set slow_query_threshold s
+
+(* Every recorded span also lands in a per-operator latency
+   histogram, so EXPLAIN ANALYZE runs feed the service metrics. *)
+let observe_spans span =
+  Core.Trace.iter_span
+    (fun (sp : Core.Trace.span) ->
+      Metrics.observe_ns (Metrics.histogram ("span." ^ sp.name)) sp.elapsed_ns)
+    span
+
+let log_slow ~key ~dt trace_span =
+  match Atomic.get slow_query_threshold with
+  | Some threshold when dt >= threshold ->
+    Metrics.incr (Metrics.counter "queries.slow");
+    let tree =
+      match trace_span with
+      | Some sp -> "\n" ^ Core.Trace.span_to_string sp
+      | None -> ""
+    in
+    Log.warn (fun m ->
+        m "slow query (%.3fs >= %.3fs): %s%s" dt threshold key tree)
+  | Some _ | None -> ()
 
 let row_of_node snapshot (n : Access.Scored_node.t) =
   let tag =
@@ -152,7 +207,7 @@ let truncate k rows =
   | Some k when k < 0 -> rows
   | Some k -> List.filteri (fun i _ -> i < k) rows
 
-let exec_query ~caches ~limits snapshot ~q ~mode =
+let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
   let key = canonical_key (Query { q; mode }) in
   let timings = ref [] in
   let stage name f =
@@ -189,7 +244,7 @@ let exec_query ~caches ~limits snapshot ~q ~mode =
     let run_interp () =
       (* a fresh evaluator per query: its tree cache and governor
          slot are private, so the interpreter is domain-safe too *)
-      let evaluator = Query.Eval.create ~limits snapshot.db in
+      let evaluator = Query.Eval.create ~limits ~trace:tracer snapshot.db in
       Metrics.incr (op_counter "interp");
       match stage "execute" (fun () -> Query.Eval.run_string evaluator q) with
       | Ok results ->
@@ -204,7 +259,8 @@ let exec_query ~caches ~limits snapshot ~q ~mode =
       | Ok plan, (`Auto | `Engine) ->
         Metrics.incr (op_counter "engine_plan");
         let nodes =
-          stage "execute" (fun () -> Query.Compile.execute ~limits snapshot.db plan)
+          stage "execute" (fun () ->
+              Query.Compile.execute ~limits ~trace:tracer snapshot.db plan)
         in
         Ok
           ( List.map (row_of_node snapshot) nodes,
@@ -219,35 +275,89 @@ let exec_query ~caches ~limits snapshot ~q ~mode =
     | Error e -> Error e
   end
 
-let exec ?caches ?(limits = Core.Governor.unlimited) ?k snapshot request =
+(* EXPLAIN without ANALYZE: parse and compile, print the plan the
+   engine path would run, without touching the data. *)
+let explain ?caches q =
+  let key = canonical_key (Query { q; mode = `Engine }) in
+  let compiled =
+    let fresh () =
+      match Query.Parser.parse q with
+      | Error e ->
+        Error (Parse_error (Format.asprintf "%a" Query.Parser.pp_error e))
+      | Ok ast -> Ok (Query.Compile.compile ast)
+    in
+    match caches with
+    | Some c -> begin
+      match Lru.find c.plans key with
+      | Some plan -> Ok plan
+      | None -> begin
+        match fresh () with
+        | Error _ as e -> e
+        | Ok outcome ->
+          Lru.add c.plans key outcome;
+          Ok outcome
+      end
+    end
+    | None -> fresh ()
+  in
+  match compiled with
+  | Error e -> Error e
+  | Ok (Ok plan) -> Ok (Query.Compile.explain plan)
+  | Ok (Error reason) ->
+    Error
+      (Unsupported
+         (Printf.sprintf
+            "not compilable (would run on the interpreter): %s" reason))
+
+let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
+    snapshot request =
   Metrics.incr (Metrics.counter "queries.total");
   let t0 = now () in
+  (* One tracer per traced request; the shared disabled tracer keeps
+     the untraced path allocation-free. *)
+  let tracer = if trace then Core.Trace.make () else Core.Trace.disabled in
   let result_key =
     Printf.sprintf "g%d|k%s|%s" snapshot.generation
       (match k with None -> "*" | Some k -> string_of_int k)
       (canonical_key request)
   in
   let cached_result =
-    match caches with
-    | Some c -> Lru.find c.results result_key
-    | None -> None
+    (* a traced request must actually execute: bypass the result
+       cache in both directions *)
+    if trace then None
+    else
+      match caches with
+      | Some c -> Lru.find c.results result_key
+      | None -> None
   in
   match cached_result with
   | Some (rows, trees, total) ->
     Metrics.incr (Metrics.counter "queries.result_cache_hits");
-    Ok { rows; trees; total; cached = true; plan = None; timings = [] }
+    Ok
+      {
+        rows;
+        trees;
+        total;
+        cached = true;
+        plan = None;
+        timings = [];
+        trace = None;
+      }
   | None -> begin
     let finish ~plan ~timings rows trees =
       let total = List.length rows + List.length trees in
       let rows = truncate k rows in
       let trees = truncate k trees in
       (match caches with
-      | Some c -> Lru.add c.results result_key (rows, trees, total)
-      | None -> ());
+      | Some c when not trace -> Lru.add c.results result_key (rows, trees, total)
+      | Some _ | None -> ());
       let dt = now () -. t0 in
       Metrics.observe_s (Metrics.histogram "query.total") dt;
       let timings = timings @ [ ("total", dt) ] in
-      Ok { rows; trees; total; cached = false; plan; timings }
+      let trace_span = Core.Trace.root tracer in
+      Option.iter observe_spans trace_span;
+      log_slow ~key:result_key ~dt trace_span;
+      Ok { rows; trees; total; cached = false; plan; timings; trace = trace_span }
     in
     let ranked_rows nodes =
       List.sort Access.Scored_node.compare_score_desc nodes
@@ -256,7 +366,7 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k snapshot request =
     match
       match request with
       | Query { q; mode } -> begin
-        match exec_query ~caches ~limits snapshot ~q ~mode with
+        match exec_query ~caches ~limits ~tracer snapshot ~q ~mode with
         | Ok (rows, trees, plan, timings) -> finish ~plan ~timings rows trees
         | Error e -> Error e
       end
@@ -274,13 +384,17 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k snapshot request =
           let nodes =
             governed limits (fun () ->
                 match method_ with
-                | Termjoin -> Access.Term_join.to_list ~mode ctx ~terms
+                | Termjoin ->
+                  Access.Term_join.to_list ~trace:tracer ~mode ctx ~terms
                 | Enhanced ->
-                  Access.Term_join.to_list ~variant:Access.Term_join.Enhanced
-                    ~mode ctx ~terms
-                | Genmeet -> Access.Gen_meet.to_list ~mode ctx ~terms
-                | Comp1 -> Access.Composite.comp1_list ~mode ctx ~terms
-                | Comp2 -> Access.Composite.comp2_list ~mode ctx ~terms)
+                  Access.Term_join.to_list ~trace:tracer
+                    ~variant:Access.Term_join.Enhanced ~mode ctx ~terms
+                | Genmeet ->
+                  Access.Gen_meet.to_list ~trace:tracer ~mode ctx ~terms
+                | Comp1 ->
+                  Access.Composite.comp1_list ~trace:tracer ~mode ctx ~terms
+                | Comp2 ->
+                  Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms)
           in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
@@ -294,8 +408,12 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k snapshot request =
           let t0 = now () in
           let nodes =
             governed limits (fun () ->
-                if comp3 then Access.Composite.comp3_list snapshot.ctx ~phrase:words
-                else Access.Phrase_finder.to_list snapshot.ctx ~phrase:words)
+                if comp3 then
+                  Access.Composite.comp3_list ~trace:tracer snapshot.ctx
+                    ~phrase:words
+                else
+                  Access.Phrase_finder.to_list ~trace:tracer snapshot.ctx
+                    ~phrase:words)
           in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
@@ -310,7 +428,7 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k snapshot request =
           let t0 = now () in
           let docs =
             governed limits (fun () ->
-                Access.Ranked.top_k_docs snapshot.ctx ~terms ~k:kk)
+                Access.Ranked.top_k_docs ~trace:tracer snapshot.ctx ~terms ~k:kk)
           in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;

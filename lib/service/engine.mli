@@ -53,6 +53,9 @@ type result = {
   cached : bool;
   plan : string option;  (** explain output of the compiled plan *)
   timings : (string * float) list;  (** stage -> seconds, in order *)
+  trace : Core.Trace.span option;
+      (** the annotated operator span tree (EXPLAIN ANALYZE), present
+          iff the request was executed with [~trace:true] *)
 }
 
 type error =
@@ -84,10 +87,31 @@ val exec :
   ?caches:caches ->
   ?limits:Core.Governor.limits ->
   ?k:int ->
+  ?trace:bool ->
   snapshot ->
   request ->
   (result, error) Stdlib.result
 (** Evaluate one request under a fresh governor. [k] truncates the
     ranked row list (default: keep everything). Stage latencies are
     recorded in {!Metrics} histograms ([stage.*]) and the executed
-    operator in [op.*] counters. *)
+    operator in [op.*] counters.
+
+    With [~trace:true] the request runs with a live {!Core.Trace}
+    tracer threaded through the operator pipeline: the result carries
+    the span tree, each span's latency is folded into a [span.<op>]
+    histogram, and the result cache is bypassed in both directions (a
+    trace must measure a real execution, and an artificially slow
+    traced run must not be served to untraced clients... nor the
+    reverse). *)
+
+val explain : ?caches:caches -> string -> (string, error) Stdlib.result
+(** EXPLAIN without executing: parse and compile the query, returning
+    the engine plan's pretty-printed form. [Error Unsupported] when
+    the query falls outside the compilable fragment (it would run on
+    the interpreter). Uses (and fills) the plan cache when given. *)
+
+val set_slow_query_threshold : float option -> unit
+(** Requests slower than this many seconds are counted
+    ([queries.slow]) and logged at warning level — with their span
+    tree when tracing was on. [None] (the default) disables slow-query
+    logging. *)

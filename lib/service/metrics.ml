@@ -44,9 +44,21 @@ let histogram name =
         Hashtbl.replace histograms name h;
         h)
 
+(* floor(log2 n) for n >= 1, in integer arithmetic: going through
+   [Float.log2] misbuckets near power-of-two boundaries (2^n - 1 for
+   large n rounds to n.0, and int -> float itself rounds above 2^53) *)
+let floor_log2 n =
+  let n = ref n and r = ref 0 in
+  let shift k = if !n lsr k > 0 then begin n := !n lsr k; r := !r + k end in
+  shift 32; shift 16; shift 8; shift 4; shift 2; shift 1;
+  !r
+
 let bucket_of_ns ns =
-  if ns <= 1 then 0
-  else min (buckets - 1) (Float.to_int (Float.log2 (float_of_int ns)))
+  if ns <= 1 then 0 else min (buckets - 1) (floor_log2 ns)
+
+(* inclusive lower bound of bucket [i]: bucket 0 also holds 0 *)
+let bucket_lo i = if i = 0 then 0 else 1 lsl i
+let bucket_hi i = 1 lsl (i + 1)
 
 let observe_ns h ns =
   let ns = max 0 ns in
@@ -54,7 +66,9 @@ let observe_ns h ns =
   ignore (Atomic.fetch_and_add h.sum_ns ns);
   Atomic.incr h.total
 
-let observe_s h s = observe_ns h (Float.to_int (s *. 1e9))
+(* round, don't truncate: [observe_s h 0.9e-9] belongs in bucket 0 as
+   1 ns, not as 0 *)
+let observe_s h s = observe_ns h (Float.to_int (Float.round (s *. 1e9)))
 let hist_count h = Atomic.get h.total
 
 let quantile_ns h q =
@@ -68,9 +82,9 @@ let quantile_ns h q =
         let c = Atomic.get h.counts.(i) in
         let seen' = seen + c in
         if Float.of_int seen' >= target && c > 0 then begin
-          (* interpolate inside [2^i, 2^(i+1)) *)
-          let lo = if i = 0 then 0. else Float.of_int (1 lsl i) in
-          let hi = Float.of_int (1 lsl (i + 1)) in
+          (* interpolate inside the bucket's [lo, hi) range *)
+          let lo = Float.of_int (bucket_lo i) in
+          let hi = Float.of_int (bucket_hi i) in
           let into = (target -. Float.of_int seen) /. Float.of_int c in
           lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. into))
         end

@@ -22,7 +22,14 @@ val histogram : string -> histogram
 
 val observe_ns : histogram -> int -> unit
 val observe_s : histogram -> float -> unit
-(** Seconds, converted to nanoseconds. *)
+(** Seconds, converted (rounded, not truncated) to nanoseconds. *)
+
+val bucket_of_ns : int -> int
+(** The bucket index an observation lands in: 0 for [ns <= 1],
+    otherwise [floor (log2 ns)] capped at the last bucket. Computed
+    with integer bit arithmetic — exact at power-of-two boundaries
+    where the float path rounds the wrong way. Exposed for property
+    tests. *)
 
 val hist_count : histogram -> int
 

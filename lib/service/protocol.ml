@@ -1,7 +1,18 @@
 type request =
-  | Exec of { req : Engine.request; k : int option; limits : Core.Governor.limits }
+  | Exec of {
+      req : Engine.request;
+      k : int option;
+      limits : Core.Governor.limits;
+      trace : bool;
+    }
+  | Explain of { q : string }
   | Prepare of { q : string }
-  | Execute of { id : int; k : int option; limits : Core.Governor.limits }
+  | Execute of {
+      id : int;
+      k : int option;
+      limits : Core.Governor.limits;
+      trace : bool;
+    }
   | Stats
   | Health
 
@@ -75,6 +86,7 @@ let parse_request line =
     let* op = field_string j "op" in
     let* k = opt_int j "k" in
     let* limits = limits_of j in
+    let* trace = opt_bool ~default:false j "trace" in
     match op with
     | "query" ->
       let* q = field_string j "q" in
@@ -86,7 +98,10 @@ let parse_request line =
         | Some (Some "interp") -> Ok `Interp
         | Some _ -> Error "field \"mode\" must be auto, engine or interp"
       in
-      Ok (Exec { req = Engine.Query { q; mode }; k; limits })
+      Ok (Exec { req = Engine.Query { q; mode }; k; limits; trace })
+    | "explain" ->
+      let* q = field_string j "q" in
+      Ok (Explain { q })
     | "search" ->
       let* terms = field_string_list j "terms" in
       let* complex = opt_bool ~default:false j "complex" in
@@ -100,21 +115,21 @@ let parse_request line =
         end
         | Some None -> Error "field \"method\" must be a string"
       in
-      Ok (Exec { req = Engine.Search { terms; method_; complex }; k; limits })
+      Ok (Exec { req = Engine.Search { terms; method_; complex }; k; limits; trace })
     | "phrase" ->
       let* phrase = field_string j "phrase" in
       let* comp3 = opt_bool ~default:false j "comp3" in
-      Ok (Exec { req = Engine.Phrase { phrase; comp3 }; k; limits })
+      Ok (Exec { req = Engine.Phrase { phrase; comp3 }; k; limits; trace })
     | "ranked" ->
       let* terms = field_string_list j "terms" in
-      Ok (Exec { req = Engine.Ranked { terms }; k; limits })
+      Ok (Exec { req = Engine.Ranked { terms }; k; limits; trace })
     | "prepare" ->
       let* q = field_string j "q" in
       Ok (Prepare { q })
     | "execute" -> begin
       let* id = opt_int j "id" in
       match id with
-      | Some id -> Ok (Execute { id; k; limits })
+      | Some id -> Ok (Execute { id; k; limits; trace })
       | None -> Error "missing field \"id\""
     end
     | "stats" -> Ok Stats
@@ -136,9 +151,10 @@ let limits_fields (l : Core.Governor.limits) =
     ]
 
 let k_field = function Some k -> [ ("k", Json.Int k) ] | None -> []
+let trace_field = function true -> [ ("trace", Json.Bool true) ] | false -> []
 
 let request_to_json = function
-  | Exec { req; k; limits } -> begin
+  | Exec { req; k; limits; trace } -> begin
     let base =
       match req with
       | Engine.Query { q; mode } ->
@@ -166,13 +182,15 @@ let request_to_json = function
           ("terms", Json.List (List.map (fun t -> Json.String t) terms));
         ]
     in
-    Json.Obj (base @ k_field k @ limits_fields limits)
+    Json.Obj (base @ k_field k @ limits_fields limits @ trace_field trace)
   end
+  | Explain { q } ->
+    Json.Obj [ ("op", Json.String "explain"); ("q", Json.String q) ]
   | Prepare { q } -> Json.Obj [ ("op", Json.String "prepare"); ("q", Json.String q) ]
-  | Execute { id; k; limits } ->
+  | Execute { id; k; limits; trace } ->
     Json.Obj
       ([ ("op", Json.String "execute"); ("id", Json.Int id) ]
-      @ k_field k @ limits_fields limits)
+      @ k_field k @ limits_fields limits @ trace_field trace)
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Health -> Json.Obj [ ("op", Json.String "health") ]
 
@@ -189,6 +207,28 @@ let row_to_json (r : Engine.row) =
     ]
 
 let rows_to_json rows = Json.List (List.map row_to_json rows)
+
+let rec span_to_json (sp : Core.Trace.span) =
+  let int_field name v = if v >= 0 then [ (name, Json.Int v) ] else [] in
+  Json.Obj
+    (List.concat
+       [
+         [ ("op", Json.String sp.name) ];
+         int_field "input" sp.input;
+         int_field "output" sp.output;
+         int_field "steps" sp.gov_steps;
+         [ ("elapsed_ns", Json.Int sp.elapsed_ns) ];
+         (match sp.attrs with
+         | [] -> []
+         | attrs ->
+           [
+             ( "attrs",
+               Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) attrs) );
+           ]);
+         (match sp.children with
+         | [] -> []
+         | cs -> [ ("children", Json.List (List.map span_to_json cs)) ]);
+       ])
 
 let result_to_json ?(include_timings = true) (r : Engine.result) =
   let base =
@@ -212,7 +252,15 @@ let result_to_json ?(include_timings = true) (r : Engine.result) =
       ]
     else []
   in
-  Json.Obj (base @ trees @ plan @ timings)
+  let trace =
+    match r.trace with
+    | Some sp -> [ ("trace", span_to_json sp) ]
+    | None -> []
+  in
+  Json.Obj (base @ trees @ plan @ timings @ trace)
+
+let ok_plan_to_json plan =
+  Json.Obj [ ("ok", Json.Bool true); ("plan", Json.String plan) ]
 
 let error_to_json ~code ~message =
   Json.Obj

@@ -5,6 +5,7 @@
 
     {v
     {"op":"query","q":"...","k":10,"mode":"auto|engine|interp"}
+    {"op":"explain","q":"..."}         -> {"ok":true,"plan":"..."}
     {"op":"search","terms":["a","b"],"method":"termjoin","complex":false,"k":10}
     {"op":"phrase","phrase":"search engine","comp3":false,"k":10}
     {"op":"ranked","terms":["a","b"],"k":10}
@@ -15,8 +16,10 @@
     v}
 
     Every request may carry ["timeout"] (seconds), ["max_steps"] and
-    ["max_results"] — they tighten the server's per-query governor.
-    Responses are [{"ok":true,...}] or
+    ["max_results"] — they tighten the server's per-query governor —
+    and executing ops accept ["trace":true] (EXPLAIN ANALYZE: the
+    response gains a ["trace"] span tree and the result cache is
+    bypassed). Responses are [{"ok":true,...}] or
     [{"ok":false,"error":{"code":c,"message":m}}].
 
     The encoders here are the single source of structured output: the
@@ -24,9 +27,20 @@
     share them. *)
 
 type request =
-  | Exec of { req : Engine.request; k : int option; limits : Core.Governor.limits }
+  | Exec of {
+      req : Engine.request;
+      k : int option;
+      limits : Core.Governor.limits;
+      trace : bool;
+    }
+  | Explain of { q : string }
   | Prepare of { q : string }
-  | Execute of { id : int; k : int option; limits : Core.Governor.limits }
+  | Execute of {
+      id : int;
+      k : int option;
+      limits : Core.Governor.limits;
+      trace : bool;
+    }
   | Stats
   | Health
 
@@ -44,6 +58,14 @@ val result_to_json : ?include_timings:bool -> Engine.result -> Json.t
     timings stripped. *)
 
 val rows_to_json : Engine.row list -> Json.t
+
+val span_to_json : Core.Trace.span -> Json.t
+(** [{"op":name,"input":i,"output":o,"steps":s,"elapsed_ns":ns,
+     "attrs":{...},"children":[...]}] — unknown ([-1]) cardinalities
+    and empty attrs/children are omitted. *)
+
+val ok_plan_to_json : string -> Json.t
+(** [{"ok":true,"plan":p}] — the [explain] response. *)
 
 val error_to_json : code:string -> message:string -> Json.t
 val engine_error_to_json : Engine.error -> Json.t

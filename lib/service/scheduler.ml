@@ -138,12 +138,12 @@ let enqueue t job =
         Ok ()
       end)
 
-let submit t ?(limits = Core.Governor.unlimited) ?k request =
+let submit t ?(limits = Core.Governor.unlimited) ?k ?trace request =
   let p = promise () in
   let limits = tighten t.limits limits in
   let work snap =
     let outcome =
-      try Engine.exec ~caches:t.caches ~limits ?k snap request
+      try Engine.exec ~caches:t.caches ~limits ?k ?trace snap request
       with exn ->
         Error
           (Engine.Storage
@@ -156,10 +156,12 @@ let submit t ?(limits = Core.Governor.unlimited) ?k request =
   in
   match enqueue t { work } with Ok () -> Ok p | Error _ as e -> e
 
-let run t ?limits ?k request =
-  match submit t ?limits ?k request with
+let run t ?limits ?k ?trace request =
+  match submit t ?limits ?k ?trace request with
   | Ok p -> Ok (await p)
   | Error _ as e -> e
+
+let explain t q = Engine.explain ~caches:t.caches q
 
 let submit_fn t fn =
   let p = promise () in

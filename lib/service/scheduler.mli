@@ -40,18 +40,24 @@ val submit :
   t ->
   ?limits:Core.Governor.limits ->
   ?k:int ->
+  ?trace:bool ->
   Engine.request ->
   ((Engine.result, Engine.error) result promise, error) result
 (** Non-blocking admission. [limits] tightens (never loosens) the
-    pool's defaults. *)
+    pool's defaults; [trace] is forwarded to {!Engine.exec}. *)
 
 val run :
   t ->
   ?limits:Core.Governor.limits ->
   ?k:int ->
+  ?trace:bool ->
   Engine.request ->
   ((Engine.result, Engine.error) result, error) result
 (** {!submit} + {!await}. *)
+
+val explain : t -> string -> (string, Engine.error) result
+(** {!Engine.explain} against the pool's plan cache; runs inline on
+    the calling thread (compilation only, no query execution). *)
 
 val submit_fn : t -> (unit -> unit) -> (unit promise, error) result
 (** Enqueue an opaque thunk (tests and benchmarks: occupying workers

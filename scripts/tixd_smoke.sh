@@ -74,6 +74,32 @@ echo "$STATS" | grep -q '"ok":true' || fail "stats"
 echo "$STATS" | grep -q '"pinned":true' || fail "snapshot not pinned"
 echo "$STATS" | grep -q '"hits":' || fail "no cache counters in stats"
 
+echo "== explain + traced query (span JSON parses, expected root operator)"
+QUERY='for $a in document("*")//article/descendant-or-self::*
+score $a using ScoreFoo($a, {"'"$TERM"'"}, {})
+return <r>{$a}</r>
+sortby(score)
+threshold $a/@score > 0 stop after 5'
+"$TIXDB" query "$WORK/db.tix" -q "$QUERY" --explain --format json \
+  | grep -q '"plan":' || fail "explain printed no plan"
+TRACE_OUT=${TRACE_ARTIFACT:-$WORK/trace.json}
+"$TIXDB" query "$WORK/db.tix" -q "$QUERY" --explain --trace --format json \
+  > "$TRACE_OUT" || fail "traced query failed"
+python3 - "$TRACE_OUT" <<'PY' || fail "trace span tree malformed"
+import json, sys
+with open(sys.argv[1]) as f:
+    resp = json.load(f)                     # must be valid JSON
+assert resp.get("ok") is True, resp
+span = resp["trace"]                        # span tree present
+assert span["op"] == "CompiledQuery", span["op"]
+assert span.get("children"), "root span has no children"
+assert "elapsed_ns" in span, "root span has no elapsed_ns"
+print("   root span: %s out=%s children=%d"
+      % (span["op"], span.get("output"), len(span["children"])))
+PY
+client --explain "$QUERY" | grep -q '"plan":' || fail "wire explain"
+client -t "$TERM" -k 5 --trace | grep -q '"trace":' || fail "wire trace"
+
 echo "== protocol error handling"
 client --raw 'not json' | grep -q '"ok":false' || fail "bad JSON accepted"
 client --raw '{"op":"nope"}' | grep -q '"ok":false' || fail "unknown op accepted"

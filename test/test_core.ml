@@ -490,6 +490,130 @@ let test_top_k_via_grouping_empty () =
   check int_ "empty input" 0
     (List.length (Core.Op_group.top_k_via_grouping 3 []))
 
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_spans () =
+  check bool_ "disabled sentinel is off" false
+    (Core.Trace.enabled Core.Trace.disabled);
+  let tr = Core.Trace.make () in
+  check bool_ "live tracer is on" true (Core.Trace.enabled tr);
+  let out =
+    Core.Trace.span_over tr "Outer" [ 1; 2; 3 ] (fun xs ->
+        Core.Trace.span ~input:7 tr "Inner" (fun () -> ());
+        List.map (fun x -> x * 2) xs)
+  in
+  check (Alcotest.list int_) "result passes through" [ 2; 4; 6 ] out;
+  match Core.Trace.roots tr with
+  | [ sp ] ->
+    check string_ "name" "Outer" sp.Core.Trace.name;
+    check int_ "input cardinality" 3 sp.Core.Trace.input;
+    check int_ "output cardinality" 3 sp.Core.Trace.output;
+    check bool_ "elapsed recorded" true (sp.Core.Trace.elapsed_ns >= 0);
+    (match sp.Core.Trace.children with
+    | [ inner ] ->
+      check string_ "child name" "Inner" inner.Core.Trace.name;
+      check int_ "child input" 7 inner.Core.Trace.input
+    | other -> Alcotest.failf "expected 1 child, got %d" (List.length other))
+  | other -> Alcotest.failf "expected 1 root, got %d" (List.length other)
+
+let test_trace_exception_safety () =
+  let tr = Core.Trace.make () in
+  (try Core.Trace.span tr "Boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  check int_ "failed span still closed" 1 (List.length (Core.Trace.roots tr));
+  Core.Trace.enter tr "Dangling";
+  Core.Trace.enter tr "Deeper";
+  Core.Trace.unwind tr;
+  (* Deeper nests under Dangling; both frames are closed *)
+  check int_ "unwound to two roots" 2 (List.length (Core.Trace.roots tr));
+  match Core.Trace.root tr with
+  | Some sp ->
+    check string_ "multiple roots wrapped" "trace" sp.Core.Trace.name;
+    check int_ "wrapper holds both" 2 (List.length sp.Core.Trace.children)
+  | None -> Alcotest.fail "no root span"
+
+let test_trace_disabled_is_inert () =
+  let tr = Core.Trace.disabled in
+  let out = Core.Trace.span_over tr "X" [ 1 ] (fun xs -> xs) in
+  check (Alcotest.list int_) "same list" [ 1 ] out;
+  Core.Trace.enter tr "X";
+  Core.Trace.annotate tr "k" "v";
+  Core.Trace.leave tr;
+  check int_ "no spans recorded" 0 (List.length (Core.Trace.roots tr))
+
+(* spans recorded by a traced algebra run mirror the plan's operators *)
+let test_trace_algebra_run () =
+  let t s = Core.Stree.make ~score:s "x" [] in
+  let plan =
+    Core.Algebra.(Limit (2, Sort (Scan (List.map t [ 2.; 9.; 4.; 7. ]))))
+  in
+  let tr = Core.Trace.make () in
+  let out = Core.Algebra.run ~trace:tr plan in
+  check int_ "limited to 2" 2 (List.length out);
+  let names = ref [] in
+  (match Core.Trace.root tr with
+  | Some sp ->
+    Core.Trace.iter_span
+      (fun s -> names := s.Core.Trace.name :: !names)
+      sp
+  | None -> Alcotest.fail "no spans");
+  List.iter
+    (fun expected ->
+      check bool_ (expected ^ " span present") true
+        (List.mem expected !names))
+    [ "Scan"; "Sort"; "Limit" ]
+
+(* ------------------------------------------------------------------ *)
+(* worth_by_histogram: nearest-rank quantile, tested against an
+   oracle (the old float-truncating index skipped past the median on
+   boundary quantiles like q=0.5 over even-sized groups) *)
+
+let test_pick_quantile_nearest_rank () =
+  (* reference: smallest element whose cumulative fraction reaches q *)
+  let oracle q scores =
+    let sorted = List.sort compare scores in
+    let n = List.length sorted in
+    let rec at i = function
+      | [] -> assert false
+      | x :: rest -> if i = 0 then x else at (i - 1) rest
+    in
+    let rec smallest idx =
+      if idx >= n - 1 then at (n - 1) sorted
+      else if float_of_int (idx + 1) /. float_of_int n >= q then at idx sorted
+      else smallest (idx + 1)
+    in
+    smallest 0
+  in
+  (* the threshold is observable through leaf worthiness: a leaf is
+     worth returning iff score >= threshold *)
+  let threshold_of crit =
+    let worth s =
+      crit.Core.Op_pick.worth (Core.Stree.make ~score:s "x" [])
+    in
+    (* scores are drawn from 1..n, so scan in 0.5 steps *)
+    let rec first s = if worth s then s else first (s +. 0.5) in
+    first 0.5
+  in
+  List.iter
+    (fun n ->
+      let scores = List.init n (fun i -> float_of_int (i + 1)) in
+      List.iter
+        (fun q ->
+          let crit = Core.Op_pick.worth_by_histogram ~quantile:q ~scores () in
+          check float_
+            (Printf.sprintf "q=%.2f n=%d" q n)
+            (oracle q scores) (threshold_of crit))
+        [ 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ])
+    [ 1; 2; 3; 4; 5; 8 ];
+  (* the motivating case: the median of 4 is the 2nd element, not the
+     3rd *)
+  let crit =
+    Core.Op_pick.worth_by_histogram ~quantile:0.5 ~scores:[ 1.; 2.; 3.; 4. ] ()
+  in
+  check bool_ "median of 4 keeps score 2" true
+    (crit.Core.Op_pick.worth (Core.Stree.make ~score:2. "x" []))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "core"
@@ -553,4 +677,13 @@ let () =
           tc "run and explain" `Quick test_algebra_run_and_explain;
           tc "collection helpers" `Quick test_collection_helpers;
         ] );
+      ( "trace",
+        [
+          tc "spans and nesting" `Quick test_trace_spans;
+          tc "exception safety" `Quick test_trace_exception_safety;
+          tc "disabled is inert" `Quick test_trace_disabled_is_inert;
+          tc "algebra run" `Quick test_trace_algebra_run;
+        ] );
+      ( "pick quantile",
+        [ tc "nearest rank vs oracle" `Quick test_pick_quantile_nearest_rank ] );
     ]

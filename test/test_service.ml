@@ -155,6 +155,156 @@ let test_metrics () =
      in
      has "test.counter" && has "test.hist")
 
+(* bucketing agrees with a reference implementation, in particular at
+   power-of-two boundaries where the old Float.log2 path misbucketed *)
+let test_metrics_bucketing_property () =
+  (* reference: linear scan for the bucket whose [lo, hi) holds ns *)
+  let reference ns =
+    if ns <= 1 then 0
+    else begin
+      let rec go i =
+        if i = 39 then 39
+        else if ns lsr (i + 1) = 0 then i
+        else go (i + 1)
+      in
+      go 0
+    end
+  in
+  let boundaries =
+    List.concat_map
+      (fun k -> [ (1 lsl k) - 1; 1 lsl k; (1 lsl k) + 1 ])
+      (List.init 61 (fun k -> k + 1))
+  in
+  List.iter
+    (fun ns ->
+      check int_
+        (Printf.sprintf "bucket_of_ns %d" ns)
+        (reference ns)
+        (Service.Metrics.bucket_of_ns ns))
+    ([ 0; 1; 2; 3 ] @ boundaries);
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:2000 ~name:"bucket_of_ns matches reference"
+       QCheck.(map abs (small_int_corners ()))
+       (fun ns -> Service.Metrics.bucket_of_ns ns = reference ns))
+
+let test_metrics_observe_s_rounds () =
+  let h = Service.Metrics.histogram "test.hist.rounding" in
+  let n0 = Service.Metrics.hist_count h in
+  (* 0.9 ns was truncated to 0 before the fix; rounding keeps the
+     nanosecond, observable through the mean *)
+  Service.Metrics.observe_s h 0.9e-9;
+  check int_ "observed" (n0 + 1) (Service.Metrics.hist_count h);
+  check bool_ "sub-ns observation rounds to 1 ns" true
+    (Service.Metrics.mean_ns h >= 1.);
+  (* and 1999.6 ns rounds up across the bucket boundary to 2000 *)
+  Service.Metrics.observe_s h 1999.6e-9;
+  check bool_ "mean reflects rounded 2000" true
+    (Service.Metrics.mean_ns h >= 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Lru edge cases *)
+
+let test_lru_add_existing_refreshes () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* re-adding [a] must make it most recent: [c] then evicts [b] *)
+  Lru.add c "a" 10;
+  Lru.add c "c" 3;
+  check bool_ "a survived" true (Lru.find c "a" = Some 10);
+  check bool_ "b evicted" true (Lru.find c "b" = None);
+  check bool_ "c present" true (Lru.find c "c" = Some 3);
+  check int_ "one eviction" 1 (Lru.stats c).Lru.evictions
+
+let test_lru_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c "a" 1;
+  check bool_ "a in" true (Lru.find c "a" = Some 1);
+  Lru.add c "b" 2;
+  check bool_ "a evicted" true (Lru.find c "a" = None);
+  check bool_ "b in" true (Lru.find c "b" = Some 2);
+  (* replacing the sole entry must not evict *)
+  Lru.add c "b" 9;
+  check bool_ "b replaced" true (Lru.find c "b" = Some 9);
+  let s = Lru.stats c in
+  check int_ "entries" 1 s.Lru.entries;
+  check int_ "evictions" 1 s.Lru.evictions
+
+let test_lru_capacity_zero_stats () =
+  let c = Lru.create ~capacity:0 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check bool_ "nothing stored" true (Lru.find c "a" = None && Lru.find c "b" = None);
+  let s = Lru.stats c in
+  check int_ "no entries" 0 s.Lru.entries;
+  check int_ "no evictions" 0 s.Lru.evictions;
+  check int_ "finds all missed" 2 s.Lru.misses
+
+let test_lru_concurrent_stats () =
+  let c = Lru.create ~capacity:8 in
+  let domains = 4 and per_domain = 500 in
+  let work d () =
+    for i = 0 to per_domain - 1 do
+      let key = Printf.sprintf "k%d" ((i + d) mod 16) in
+      (match Lru.find c key with
+      | Some _ -> ()
+      | None -> Lru.add c key i);
+      ignore (Lru.stats c)
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (work d)) in
+  List.iter Domain.join ds;
+  let s = Lru.stats c in
+  (* every find recorded exactly one hit or miss *)
+  check int_ "hits + misses = finds" (domains * per_domain)
+    (s.Lru.hits + s.Lru.misses);
+  check bool_ "within capacity" true (s.Lru.entries <= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys *)
+
+let qkey q =
+  Service.Engine.canonical_key (Service.Engine.Query { q; mode = `Engine })
+
+let test_cache_key_merges_equal_tokenizations () =
+  (* whitespace outside literals collapses *)
+  check string_ "whitespace variants"
+    (qkey "for $a in document(\"*\")//a  return   $a")
+    (qkey "for $a in\n\tdocument(\"*\")//a return $a");
+  (* the lexer keeps only literal content: quote style is irrelevant *)
+  check string_ "quote style"
+    (qkey {|score $a using ScoreFoo($a, {"xy z"}, {})|})
+    (qkey {|score $a using ScoreFoo($a, {'xy z'}, {})|})
+
+let test_cache_key_separates_distinct_tokenizations () =
+  let distinct name a b =
+    check bool_ name true (not (String.equal (qkey a) (qkey b)))
+  in
+  (* whitespace inside literals is significant *)
+  distinct "literal internal spacing"
+    {|score $a using ScoreFoo($a, {"x y"}, {})|}
+    {|score $a using ScoreFoo($a, {"x  y"}, {})|};
+  (* a single-quoted literal containing a double quote keeps its
+     spelling; it must not collide with nearby double-quoted forms *)
+  distinct "embedded quote"
+    {|//a[b = 'say "hi"']|}
+    {|//a[b = "say hi"]|};
+  (* unterminated literals are lex errors; their tails stay verbatim
+     so distinct erroneous queries never share a key *)
+  distinct "unterminated tails differ"
+    {|//a[b = "unterminated x|}
+    {|//a[b = "unterminated y|};
+  distinct "unterminated whitespace significant"
+    {|//a[b = "unterminated  x|}
+    {|//a[b = "unterminated x|}
+
+let test_cache_key_unterminated_whitespace_before_quote () =
+  (* whitespace before the unterminated quote still collapses; only
+     the (error) literal itself is verbatim *)
+  check string_ "prefix still normalizes"
+    (qkey "//a  [b =  \"oops")
+    (qkey "//a [b = \"oops")
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -162,8 +312,8 @@ let encode result =
   Service.Json.to_string
     (Service.Protocol.result_to_json ~include_timings:false result)
 
-let exec ?caches ?limits ?k request =
-  Service.Engine.exec ?caches ?limits ?k (Lazy.force snapshot) request
+let exec ?caches ?limits ?k ?trace request =
+  Service.Engine.exec ?caches ?limits ?k ?trace (Lazy.force snapshot) request
 
 let test_engine_search_matches_direct () =
   let terms = [ "svplantone" ] in
@@ -290,6 +440,156 @@ let test_engine_plan_cache () =
   | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e));
   check int_ "normalized spelling hits too" (before + 1)
     (Lru.stats caches.Service.Engine.plans).Lru.hits
+
+(* ------------------------------------------------------------------ *)
+(* Tracing (EXPLAIN ANALYZE) *)
+
+let span_names sp =
+  let names = ref [] in
+  Core.Trace.iter_span (fun s -> names := s.Core.Trace.name :: !names) sp;
+  List.rev !names
+
+let exec_traced request =
+  match
+    Service.Engine.exec ~trace:true (Lazy.force snapshot) request
+  with
+  | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  | Ok r -> begin
+    match r.Service.Engine.trace with
+    | Some sp -> (r, sp)
+    | None -> Alcotest.fail "traced request returned no span tree"
+  end
+
+(* every access-method family reports spans with cardinalities *)
+let test_trace_all_families () =
+  let expect_root request root =
+    let r, sp = exec_traced request in
+    check string_ (root ^ " root") root sp.Core.Trace.name;
+    check bool_ (root ^ " output known") true (sp.Core.Trace.output >= 0);
+    check bool_ (root ^ " elapsed") true (sp.Core.Trace.elapsed_ns >= 0);
+    check int_ (root ^ " output = total") r.Service.Engine.total
+      sp.Core.Trace.output
+  in
+  expect_root
+    (Service.Engine.Search
+       { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false })
+    "TermJoin";
+  expect_root
+    (Service.Engine.Search
+       { terms = [ "svplantone" ]; method_ = Service.Engine.Genmeet; complex = false })
+    "GenMeet";
+  expect_root
+    (Service.Engine.Search
+       { terms = [ "svplantone" ]; method_ = Service.Engine.Comp1; complex = false })
+    "Comp1";
+  expect_root
+    (Service.Engine.Phrase { phrase = "svphrasea svphraseb"; comp3 = false })
+    "PhraseFinder";
+  expect_root
+    (Service.Engine.Phrase { phrase = "svphrasea svphraseb"; comp3 = true })
+    "Comp3";
+  (* ranked rows are per-document, total counts kept rows *)
+  let _, sp = exec_traced (Service.Engine.Ranked { terms = [ "svplantone" ] }) in
+  check string_ "ranked root" "RankedTopK" sp.Core.Trace.name;
+  (* the compiled query nests access-method spans under CompiledQuery *)
+  let _, sp =
+    exec_traced (Service.Engine.Query { q = compilable_query; mode = `Engine })
+  in
+  check string_ "query root" "CompiledQuery" sp.Core.Trace.name;
+  let names = span_names sp in
+  List.iter
+    (fun expected ->
+      check bool_ (expected ^ " nested") true (List.mem expected names))
+    [ "PatternMatch"; "TermJoin"; "Threshold"; "Rank"; "Limit" ]
+
+(* the interpreter path records Eval clause spans *)
+let test_trace_interpreter () =
+  let options = { Store.Db.default_options with keep_trees = true } in
+  let db = Store.Db.load ~options (Workload.Corpus.generate cfg) in
+  let snap =
+    match Service.Engine.of_db db with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "of_db: %s" msg
+  in
+  match
+    Service.Engine.exec ~trace:true snap
+      (Service.Engine.Query { q = compilable_query; mode = `Interp })
+  with
+  | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  | Ok r -> begin
+    match r.Service.Engine.trace with
+    | None -> Alcotest.fail "no span tree"
+    | Some sp ->
+      check string_ "root" "Eval" sp.Core.Trace.name;
+      let names = span_names sp in
+      check bool_ "has a For clause span" true
+        (List.exists
+           (fun n -> String.length n >= 3 && String.sub n 0 3 = "For")
+           names)
+  end
+
+(* traced requests bypass the result cache in both directions *)
+let test_trace_bypasses_cache () =
+  let caches = fresh_caches () in
+  let request =
+    Service.Engine.Search
+      { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false }
+  in
+  let run ?(trace = false) () =
+    match exec ~caches ~k:5 ~trace request with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  in
+  let r1 = run () in
+  check bool_ "first uncached" false r1.Service.Engine.cached;
+  check bool_ "untraced has no spans" true (r1.Service.Engine.trace = None);
+  let r2 = run ~trace:true () in
+  check bool_ "traced run is recomputed" false r2.Service.Engine.cached;
+  check bool_ "traced run has spans" true (r2.Service.Engine.trace <> None);
+  let r3 = run () in
+  check bool_ "untraced still served from cache" true r3.Service.Engine.cached
+
+let test_engine_explain () =
+  (match Service.Engine.explain compilable_query with
+  | Ok plan ->
+    check bool_ "plan mentions terms" true
+      (let has needle hay =
+         let nl = String.length needle and hl = String.length hay in
+         let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+         go 0
+       in
+       has "svplantone" plan)
+  | Error e -> Alcotest.failf "explain: %s" (Service.Engine.error_message e));
+  (match Service.Engine.explain "for $a in" with
+  | Error e -> check string_ "parse error" "parse_error" (Service.Engine.error_code e)
+  | Ok _ -> Alcotest.fail "bad query explained");
+  (* a plan-cache-backed explain also fills the cache *)
+  let caches = fresh_caches () in
+  (match Service.Engine.explain ~caches compilable_query with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "explain: %s" (Service.Engine.error_message e));
+  check int_ "plan cached" 1 (Lru.stats caches.Service.Engine.plans).Lru.entries
+
+(* the span tree crosses the protocol as well-formed JSON *)
+let test_trace_json_roundtrip () =
+  let r, sp =
+    exec_traced
+      (Service.Engine.Search
+         { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false })
+  in
+  let line = Service.Json.to_string (Service.Protocol.result_to_json r) in
+  match Service.Json.parse line with
+  | Error e -> Alcotest.failf "unparseable response: %s" e
+  | Ok j -> begin
+    match Service.Json.member "trace" j with
+    | None -> Alcotest.fail "no trace member"
+    | Some t ->
+      check bool_ "root op name" true
+        (Service.Json.member "op" t
+        = Some (Service.Json.String sp.Core.Trace.name));
+      check bool_ "elapsed present" true
+        (Service.Json.member "elapsed_ns" t <> None)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler *)
@@ -474,7 +774,7 @@ let test_scheduler_prepared () =
       let json =
         Service.Server.handle pool
           (Service.Protocol.Execute
-             { id; k = Some 3; limits = Core.Governor.unlimited })
+             { id; k = Some 3; limits = Core.Governor.unlimited; trace = false })
       in
       check bool_ "execute ok" true
         (Service.Json.member "ok" json = Some (Service.Json.Bool true)))
@@ -529,6 +829,7 @@ let test_tcp_server () =
                       };
                   k = Some 4;
                   limits = Core.Governor.unlimited;
+                  trace = false;
                 }))
       in
       (* several concurrent connections, several requests each *)
@@ -594,8 +895,28 @@ let () =
           Alcotest.test_case "basic" `Quick test_lru_basic;
           Alcotest.test_case "replace and clear" `Quick test_lru_replace_and_clear;
           Alcotest.test_case "disabled" `Quick test_lru_disabled;
+          Alcotest.test_case "add existing refreshes" `Quick
+            test_lru_add_existing_refreshes;
+          Alcotest.test_case "capacity 1" `Quick test_lru_capacity_one;
+          Alcotest.test_case "capacity 0 stats" `Quick test_lru_capacity_zero_stats;
+          Alcotest.test_case "concurrent stats" `Slow test_lru_concurrent_stats;
         ] );
-      ("metrics", [ Alcotest.test_case "counters and quantiles" `Quick test_metrics ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and quantiles" `Quick test_metrics;
+          Alcotest.test_case "bucketing vs reference" `Quick
+            test_metrics_bucketing_property;
+          Alcotest.test_case "observe_s rounds" `Quick test_metrics_observe_s_rounds;
+        ] );
+      ( "cache keys",
+        [
+          Alcotest.test_case "equal tokenizations merge" `Quick
+            test_cache_key_merges_equal_tokenizations;
+          Alcotest.test_case "distinct tokenizations separate" `Quick
+            test_cache_key_separates_distinct_tokenizations;
+          Alcotest.test_case "unterminated literal prefix" `Quick
+            test_cache_key_unterminated_whitespace_before_quote;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "search matches direct" `Quick
@@ -605,6 +926,15 @@ let () =
           Alcotest.test_case "governor" `Quick test_engine_governor;
           Alcotest.test_case "result cache" `Quick test_engine_result_cache;
           Alcotest.test_case "plan cache" `Quick test_engine_plan_cache;
+          Alcotest.test_case "explain" `Quick test_engine_explain;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "all access families" `Quick test_trace_all_families;
+          Alcotest.test_case "interpreter clauses" `Quick test_trace_interpreter;
+          Alcotest.test_case "bypasses result cache" `Quick
+            test_trace_bypasses_cache;
+          Alcotest.test_case "span JSON roundtrip" `Quick test_trace_json_roundtrip;
         ] );
       ( "scheduler",
         [
