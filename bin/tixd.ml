@@ -53,8 +53,8 @@ let load_files ~skip_bad paths =
     in
     Store.Db.of_documents docs
 
-let serve paths host port workers queue_depth plan_cache result_cache timeout
-    max_steps max_results slow_query skip_bad =
+let serve paths host port workers queue_depth parallelism plan_cache
+    result_cache timeout max_steps max_results slow_query skip_bad =
   let db = load_files ~skip_bad paths in
   Service.Engine.set_slow_query_threshold slow_query;
   let source = match paths with [ p ] -> p | _ -> "<multiple>" in
@@ -70,8 +70,8 @@ let serve paths host port workers queue_depth plan_cache result_cache timeout
   in
   let scheduler =
     Service.Scheduler.create ?workers ?queue_depth ~limits
-      ~plan_cache_capacity:plan_cache ~result_cache_capacity:result_cache
-      snapshot
+      ~max_parallelism:parallelism ~plan_cache_capacity:plan_cache
+      ~result_cache_capacity:result_cache snapshot
   in
   let server = Service.Server.start ~host ~port scheduler in
   let stats = Service.Scheduler.stats scheduler in
@@ -126,6 +126,16 @@ let queue_arg =
         ~doc:
           "Submission queue bound; a full queue answers with an overloaded \
            error (default 4 x workers).")
+
+let parallelism_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "parallelism" ] ~docv:"N"
+        ~doc:
+          "Cap on intra-query parallelism: a request asking for \
+           \"parallelism\":n runs its posting-list scan across up to \
+           min(n, N) extra domains. 1 (the default) disables the parallel \
+           executor.")
 
 let plan_cache_arg =
   Arg.(
@@ -185,6 +195,6 @@ let () =
        (Cmd.v info
           Term.(
             const serve $ paths_arg $ host_arg $ port_arg $ workers_arg
-            $ queue_arg $ plan_cache_arg $ result_cache_arg $ timeout_arg
-            $ max_steps_arg $ max_results_arg $ slow_query_arg
+            $ queue_arg $ parallelism_arg $ plan_cache_arg $ result_cache_arg
+            $ timeout_arg $ max_steps_arg $ max_results_arg $ slow_query_arg
             $ skip_bad_arg)))

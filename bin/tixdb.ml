@@ -119,6 +119,25 @@ let governed limits f =
   Core.Governor.check_deadline gov;
   results
 
+(* Parallel variant: one shared budget across every domain of the
+   fan-out, settled (and the deadline sampled) once the merge is
+   done, so --max-steps bounds the whole query, not one chunk. *)
+let governed_parallel limits f =
+  let sh = Core.Governor.make_shared limits in
+  let results = f sh in
+  Core.Governor.shared_check_results sh (List.length results);
+  Core.Governor.shared_check_deadline sh;
+  results
+
+let parallel_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "parallel" ] ~docv:"N"
+        ~doc:
+          "Partition the posting lists into document ranges and run the \
+           access method across up to N domains (results are identical to \
+           sequential execution). 1 disables it.")
+
 let or_fault_exit f =
   match f () with
   | v -> v
@@ -288,7 +307,7 @@ let method_conv =
     ]
 
 let search_cmd =
-  let run paths terms method_ complex top trace skip_bad limits =
+  let run paths terms method_ complex top trace parallel skip_bad limits =
     let db = load_files ~skip_bad paths in
     let ctx = Access.Ctx.of_db db in
     let terms = String.split_on_char ',' terms |> List.map String.trim in
@@ -297,18 +316,44 @@ let search_cmd =
       else Access.Counter_scoring.Simple
     in
     let tracer = if trace then Core.Trace.make () else Core.Trace.disabled in
+    (* the composite baselines have no range-restricted form; they
+       always run sequentially *)
+    let parallel =
+      match method_ with
+      | `Comp1 | `Comp2 ->
+        if parallel > 1 then
+          Format.eprintf "note: %s runs sequentially; --parallel ignored@."
+            (match method_ with `Comp1 -> "comp1" | _ -> "comp2");
+        1
+      | _ -> parallel
+    in
     let started = Unix.gettimeofday () in
     let results =
       or_fault_exit (fun () ->
-          governed limits (fun () ->
-              match method_ with
-              | `Termjoin -> Access.Term_join.to_list ~trace:tracer ~mode ctx ~terms
-              | `Enhanced ->
-                Access.Term_join.to_list ~trace:tracer
-                  ~variant:Access.Term_join.Enhanced ~mode ctx ~terms
-              | `Genmeet -> Access.Gen_meet.to_list ~trace:tracer ~mode ctx ~terms
-              | `Comp1 -> Access.Composite.comp1_list ~trace:tracer ~mode ctx ~terms
-              | `Comp2 -> Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms))
+          if parallel > 1 then
+            governed_parallel limits (fun shared ->
+                match method_ with
+                | `Termjoin ->
+                  Exec.Par.term_join ~trace:tracer ~shared ~mode
+                    ~parallelism:parallel ctx ~terms
+                | `Enhanced ->
+                  Exec.Par.term_join ~trace:tracer ~shared
+                    ~variant:Access.Term_join.Enhanced ~mode
+                    ~parallelism:parallel ctx ~terms
+                | `Genmeet ->
+                  Exec.Par.gen_meet ~trace:tracer ~shared ~mode
+                    ~parallelism:parallel ctx ~terms
+                | `Comp1 | `Comp2 -> assert false)
+          else
+            governed limits (fun () ->
+                match method_ with
+                | `Termjoin -> Access.Term_join.to_list ~trace:tracer ~mode ctx ~terms
+                | `Enhanced ->
+                  Access.Term_join.to_list ~trace:tracer
+                    ~variant:Access.Term_join.Enhanced ~mode ctx ~terms
+                | `Genmeet -> Access.Gen_meet.to_list ~trace:tracer ~mode ctx ~terms
+                | `Comp1 -> Access.Composite.comp1_list ~trace:tracer ~mode ctx ~terms
+                | `Comp2 -> Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms))
     in
     let elapsed = Unix.gettimeofday () -. started in
     let ranked = List.sort Access.Scored_node.compare_score_desc results in
@@ -360,24 +405,31 @@ let search_cmd =
     (Cmd.info "search" ~doc:"Score elements for query terms")
     Term.(
       const run $ paths_arg $ terms_arg $ method_arg $ complex_arg $ top_arg
-      $ trace_arg $ skip_bad_arg $ limits_term)
+      $ trace_arg $ parallel_arg $ skip_bad_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* phrase *)
 
 let phrase_cmd =
-  let run paths phrase use_comp3 trace skip_bad limits =
+  let run paths phrase use_comp3 trace parallel skip_bad limits =
     let db = load_files ~skip_bad paths in
     let ctx = Access.Ctx.of_db db in
     let phrase = Ir.Phrase.parse phrase in
     let tracer = if trace then Core.Trace.make () else Core.Trace.disabled in
+    if use_comp3 && parallel > 1 then
+      Format.eprintf "note: comp3 runs sequentially; --parallel ignored@.";
     let started = Unix.gettimeofday () in
     let results =
       or_fault_exit (fun () ->
-          governed limits (fun () ->
-              if use_comp3 then
-                Access.Composite.comp3_list ~trace:tracer ctx ~phrase
-              else Access.Phrase_finder.to_list ~trace:tracer ctx ~phrase))
+          if parallel > 1 && not use_comp3 then
+            governed_parallel limits (fun shared ->
+                Exec.Par.phrase ~trace:tracer ~shared ~parallelism:parallel
+                  ctx ~phrase)
+          else
+            governed limits (fun () ->
+                if use_comp3 then
+                  Access.Composite.comp3_list ~trace:tracer ctx ~phrase
+                else Access.Phrase_finder.to_list ~trace:tracer ctx ~phrase))
     in
     let elapsed = Unix.gettimeofday () -. started in
     List.iter
@@ -415,7 +467,7 @@ let phrase_cmd =
     (Cmd.info "phrase" ~doc:"Find a phrase with PhraseFinder")
     Term.(
       const run $ paths_arg $ phrase_arg $ comp3_arg $ trace_arg
-      $ skip_bad_arg $ limits_term)
+      $ parallel_arg $ skip_bad_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -590,9 +642,10 @@ let print_response ~pretty resp =
   end
 
 let client_cmd =
-  let run host port query explain trace search phrase ranked comp3 method_
-      complex do_stats do_health prepare execute raw k pretty limits =
+  let run host port query explain trace parallel search phrase ranked comp3
+      method_ complex do_stats do_health prepare execute raw k pretty limits =
     let some_if cond v = if cond then Some v else None in
+    let parallelism = if parallel > 1 then Some parallel else None in
     let requests =
       List.filter_map Fun.id
         [
@@ -600,7 +653,7 @@ let client_cmd =
             (fun q ->
               Service.Protocol.Exec
                 { req = Service.Engine.Query { q; mode = `Auto }; k; limits;
-                  trace })
+                  trace; parallelism })
             query;
           Option.map (fun q -> Service.Protocol.Explain { q }) explain;
           Option.map
@@ -622,13 +675,14 @@ let client_cmd =
                   k;
                   limits;
                   trace;
+                  parallelism;
                 })
             search;
           Option.map
             (fun phrase ->
               Service.Protocol.Exec
                 { req = Service.Engine.Phrase { phrase; comp3 }; k; limits;
-                  trace })
+                  trace; parallelism })
             phrase;
           Option.map
             (fun terms ->
@@ -636,11 +690,13 @@ let client_cmd =
                 String.split_on_char ',' terms |> List.map String.trim
               in
               Service.Protocol.Exec
-                { req = Service.Engine.Ranked { terms }; k; limits; trace })
+                { req = Service.Engine.Ranked { terms }; k; limits; trace;
+                  parallelism })
             ranked;
           Option.map (fun q -> Service.Protocol.Prepare { q }) prepare;
           Option.map
-            (fun id -> Service.Protocol.Execute { id; k; limits; trace })
+            (fun id ->
+              Service.Protocol.Execute { id; k; limits; trace; parallelism })
             execute;
           some_if do_stats Service.Protocol.Stats;
           some_if do_health Service.Protocol.Health;
@@ -767,9 +823,9 @@ let client_cmd =
     (Cmd.info "client" ~doc:"Talk to a running tixd server")
     Term.(
       const run $ host_arg $ port_arg $ query_arg $ explain_arg $ trace_arg
-      $ search_arg $ phrase_arg $ ranked_arg $ comp3_arg $ method_arg
-      $ complex_arg $ stats_arg $ health_arg $ prepare_arg $ execute_arg
-      $ raw_arg $ k_arg $ pretty_arg $ limits_term)
+      $ parallel_arg $ search_arg $ phrase_arg $ ranked_arg $ comp3_arg
+      $ method_arg $ complex_arg $ stats_arg $ health_arg $ prepare_arg
+      $ execute_arg $ raw_arg $ k_arg $ pretty_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* demo *)

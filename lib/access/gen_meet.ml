@@ -10,7 +10,7 @@ type acc = {
 }
 
 let run_meet ?(mode = Counter_scoring.Simple) ?weights ?within
-    ?(use_skips = true) ctx ~terms ~emit () =
+    ?(use_skips = true) ?doc_range ctx ~terms ~emit () =
   let k = List.length terms in
   let weights =
     match weights with Some w -> w | None -> Counter_scoring.default_weights k
@@ -62,11 +62,29 @@ let run_meet ?(mode = Counter_scoring.Simple) ?weights ?within
       | None -> ()
       | Some postings -> begin
         match within with
-        | None ->
-          Ir.Postings.iter
-            (fun (occ : Ir.Postings.occ) ->
-              group ~doc:occ.doc ~start:occ.node term occ.pos)
-            postings
+        | None -> begin
+          match doc_range with
+          | None ->
+            Ir.Postings.iter
+              (fun (occ : Ir.Postings.occ) ->
+                group ~doc:occ.doc ~start:occ.node term occ.pos)
+              postings
+          | Some (lo, hi) ->
+            (* grouping is per (doc, node): occurrences of one
+               document land in one range, so partitioned runs emit
+               exactly the full run's nodes with identical counts *)
+            let cur = Ir.Postings.cursor postings in
+            let rec walk o =
+              match o with
+              | Some (occ : Ir.Postings.occ) when occ.doc < hi ->
+                group ~doc:occ.doc ~start:occ.node term occ.pos;
+                walk (Ir.Postings.next cur)
+              | Some _ | None -> ()
+            in
+            walk
+              (if lo = 0 then Ir.Postings.next cur
+               else Ir.Postings.seek_doc cur lo)
+        end
         | Some regions ->
           (* scoped meet: only occurrences inside the candidate
              subtrees are grouped; the cursor seeks across the gaps *)
@@ -120,10 +138,10 @@ let run_meet ?(mode = Counter_scoring.Simple) ?weights ?within
     table;
   !emitted
 
-let run ?(trace = Core.Trace.disabled) ?mode ?weights ?within ?use_skips ctx
-    ~terms ~emit () =
+let run ?(trace = Core.Trace.disabled) ?mode ?weights ?within ?use_skips
+    ?doc_range ctx ~terms ~emit () =
   if not (Core.Trace.enabled trace) then
-    run_meet ?mode ?weights ?within ?use_skips ctx ~terms ~emit ()
+    run_meet ?mode ?weights ?within ?use_skips ?doc_range ctx ~terms ~emit ()
   else begin
     let input =
       List.fold_left
@@ -136,7 +154,9 @@ let run ?(trace = Core.Trace.disabled) ?mode ?weights ?within ?use_skips ctx
     | Some regions ->
       Core.Trace.annotate trace "within" (string_of_int (Array.length regions))
     | None -> ());
-    match run_meet ?mode ?weights ?within ?use_skips ctx ~terms ~emit () with
+    match
+      run_meet ?mode ?weights ?within ?use_skips ?doc_range ctx ~terms ~emit ()
+    with
     | n ->
       Core.Trace.leave ~output:n trace;
       n
@@ -145,10 +165,10 @@ let run ?(trace = Core.Trace.disabled) ?mode ?weights ?within ?use_skips ctx
       raise e
   end
 
-let to_list ?trace ?mode ?weights ?within ?use_skips ctx ~terms =
+let to_list ?trace ?mode ?weights ?within ?use_skips ?doc_range ctx ~terms =
   let acc = ref [] in
   let _ =
-    run ?trace ?mode ?weights ?within ?use_skips ctx ~terms
+    run ?trace ?mode ?weights ?within ?use_skips ?doc_range ctx ~terms
       ~emit:(fun n -> acc := n :: !acc)
       ()
   in

@@ -24,13 +24,19 @@ val run :
   ?weights:float array ->
   ?within:Structural_join.item array ->
   ?use_skips:bool ->
+  ?doc_range:int * int ->
   Ctx.t ->
   terms:string list ->
   emit:(Scored_node.t -> unit) ->
   unit ->
   int
 (** With [trace], records a ["GenMeet"] span (input = total posting
-    occurrences of the terms, output = grouped nodes emitted). *)
+    occurrences of the terms, output = grouped nodes emitted).
+    [doc_range] restricts grouping to occurrences in the half-open doc
+    interval [(lo, hi)]; grouping is per [(doc, node)], so ranges that
+    partition the doc-id space partition the output. [doc_range] is
+    ignored when [within] is given (scoped meets are already bounded
+    by the candidate regions). *)
 
 val to_list :
   ?trace:Core.Trace.t ->
@@ -38,6 +44,7 @@ val to_list :
   ?weights:float array ->
   ?within:Structural_join.item array ->
   ?use_skips:bool ->
+  ?doc_range:int * int ->
   Ctx.t ->
   terms:string list ->
   Scored_node.t list

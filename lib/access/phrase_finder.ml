@@ -1,7 +1,16 @@
-let run_merge ?(use_skips = true) ctx ~phrase ~emit () =
+let run_merge ?(use_skips = true) ?doc_range ctx ~phrase ~emit () =
   match phrase with
   | [] -> 0
   | first :: rest ->
+    let lo, hi = match doc_range with Some r -> r | None -> (0, max_int) in
+    (* Only the lead needs range clipping: a phrase match lives inside
+       one document, and followers are only ever probed at positions
+       in the lead's (in-range) document. *)
+    let clip o =
+      match o with
+      | Some (occ : Ir.Postings.occ) when occ.doc >= hi -> None
+      | Some _ | None -> o
+    in
     let lead =
       match Ir.Inverted_index.cursor ctx.Ctx.index first with
       | Some c -> c
@@ -106,15 +115,20 @@ let run_merge ?(use_skips = true) ctx ~phrase ~emit () =
             then Ir.Postings.seek_pos lead ~doc:!bdoc ~pos:!bpos
             else Ir.Postings.next lead
           in
-          lead_loop next_lead
+          lead_loop (clip next_lead)
         end
     in
-    lead_loop (Ir.Postings.next lead);
+    lead_loop
+      (clip
+         (if lo = 0 then Ir.Postings.next lead
+          else Ir.Postings.seek_doc lead lo));
     flush ();
     !emitted
 
-let run ?(trace = Core.Trace.disabled) ?use_skips ctx ~phrase ~emit () =
-  if not (Core.Trace.enabled trace) then run_merge ?use_skips ctx ~phrase ~emit ()
+let run ?(trace = Core.Trace.disabled) ?use_skips ?doc_range ctx ~phrase ~emit
+    () =
+  if not (Core.Trace.enabled trace) then
+    run_merge ?use_skips ?doc_range ctx ~phrase ~emit ()
   else begin
     let input =
       List.fold_left
@@ -125,7 +139,7 @@ let run ?(trace = Core.Trace.disabled) ?use_skips ctx ~phrase ~emit () =
     Core.Trace.annotate trace "terms" (string_of_int (List.length phrase));
     Core.Trace.annotate trace "skips"
       (match use_skips with Some false -> "off" | Some true | None -> "on");
-    match run_merge ?use_skips ctx ~phrase ~emit () with
+    match run_merge ?use_skips ?doc_range ctx ~phrase ~emit () with
     | n ->
       Core.Trace.leave ~output:n trace;
       n
@@ -134,10 +148,12 @@ let run ?(trace = Core.Trace.disabled) ?use_skips ctx ~phrase ~emit () =
       raise e
   end
 
-let to_list ?trace ?use_skips ctx ~phrase =
+let to_list ?trace ?use_skips ?doc_range ctx ~phrase =
   let acc = ref [] in
   let _ =
-    run ?trace ?use_skips ctx ~phrase ~emit:(fun n -> acc := n :: !acc) ()
+    run ?trace ?use_skips ?doc_range ctx ~phrase
+      ~emit:(fun n -> acc := n :: !acc)
+      ()
   in
   List.sort Scored_node.compare_pos !acc
 

@@ -22,6 +22,7 @@
 val run :
   ?trace:Core.Trace.t ->
   ?use_skips:bool ->
+  ?doc_range:int * int ->
   Ctx.t ->
   phrase:string list ->
   emit:(Scored_node.t -> unit) ->
@@ -29,13 +30,17 @@ val run :
   int
 (** Emits one node per owning element that contains the phrase, with
     the phrase occurrence count as score; returns the number of
-    emitted nodes. With [trace], records a ["PhraseFinder"] span
-    (input = total postings of the phrase's terms, output = emitted
+    emitted nodes. [doc_range] restricts the merge to lead occurrences
+    in the half-open doc interval [(lo, hi)]; matches never span
+    documents, so ranges that partition the doc-id space partition the
+    output. With [trace], records a ["PhraseFinder"] span (input =
+    total postings of the phrase's terms, output = emitted
     elements). *)
 
 val to_list :
   ?trace:Core.Trace.t ->
   ?use_skips:bool ->
+  ?doc_range:int * int ->
   Ctx.t ->
   phrase:string list ->
   Scored_node.t list

@@ -27,7 +27,8 @@ type tstate = {
   mutable t_head : Ir.Postings.occ option;
 }
 
-let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
+let top_k_docs_inner ?(use_skips = true) ?weights ?doc_range ?shared_threshold
+    ctx ~terms ~k =
   let terms = Array.of_list terms in
   let nt = Array.length terms in
   let weights = match weights with Some w -> w | None -> Array.make nt 1.0 in
@@ -35,6 +36,12 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
     invalid_arg "Ranked.top_k_docs: one weight per term";
   if k <= 0 then []
   else begin
+    let lo, hi = match doc_range with Some r -> r | None -> (0, max_int) in
+    let clip o =
+      match o with
+      | Some (h : Ir.Postings.occ) when h.doc >= hi -> None
+      | Some _ | None -> o
+    in
     let states =
       Array.to_list terms
       |> List.mapi (fun i t -> (i, t))
@@ -50,7 +57,10 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
                    t_w = weights.(i);
                    t_bound = weights.(i) *. float_of_int (Ir.Postings.max_tf p);
                    t_cur = cur;
-                   t_head = Ir.Postings.next cur;
+                   t_head =
+                     clip
+                       (if lo = 0 then Ir.Postings.next cur
+                        else Ir.Postings.seek_doc cur lo);
                  })
     in
     let st =
@@ -64,17 +74,60 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
         (fun i s ->
           prefix.(i) <- (if i = 0 then 0. else prefix.(i - 1)) +. s.t_bound)
         st;
-      let heap = Top_k.create k in
+      (* lower doc ids win score ties, so the K-th rank is cut by the
+         same (score desc, doc asc) total order the final sort and the
+         parallel merge use — without this the heap would keep an
+         arbitrary tied doc and partitioned execution could disagree
+         with sequential *)
+      let heap = Top_k.create ~tie:(fun a b -> compare b a) k in
       let theta () =
         match Top_k.cutoff heap with Some c -> c | None -> neg_infinity
       in
+      (* Cross-partition pruning: θ_shared is the monotone max of
+         every partition's published k-th-best score, so it is always
+         ≤ the final global cutoff. A bound may be pruned against it
+         only with a STRICT compare — a score exactly equal to the
+         final cutoff can still win the global doc-id tie-break, so
+         only [bound < θ_shared] guarantees the document cannot
+         appear in (or reorder) the merged top-k. *)
+      let shared_theta () =
+        match shared_threshold with
+        | Some a -> Atomic.get a
+        | None -> neg_infinity
+      in
+      (* [true] when a document whose score ceiling is [bound] can be
+         skipped without affecting the merged result. *)
+      let cannot_enter bound =
+        (not (Top_k.would_enter heap bound)) || bound < shared_theta ()
+      in
+      let publish () =
+        match shared_threshold with
+        | None -> ()
+        | Some a -> begin
+          match Top_k.cutoff heap with
+          | None -> ()
+          | Some c ->
+            (* monotone max via CAS: physical equality on the box
+               returned by Atomic.get makes the retry loop sound *)
+            let rec bump () =
+              let cur = Atomic.get a in
+              if c > cur && not (Atomic.compare_and_set a cur c) then bump ()
+            in
+            bump ()
+        end
+      in
       (* number of non-essential terms: the longest low-bound prefix
-         whose bounds sum to at most the cutoff *)
+         whose bounds sum to at most the local cutoff (or strictly
+         below the shared one) *)
       let ness () =
         if not use_skips then 0
         else begin
           let th = theta () in
-          let rec go m = if m < n && prefix.(m) <= th then go (m + 1) else m in
+          let sh = shared_theta () in
+          let rec go m =
+            if m < n && (prefix.(m) <= th || prefix.(m) < sh) then go (m + 1)
+            else m
+          in
           go 0
         end
       in
@@ -86,7 +139,7 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
           match st.(i).t_head with
           | Some h when h.doc = d ->
             incr c;
-            st.(i).t_head <- Ir.Postings.next st.(i).t_cur;
+            st.(i).t_head <- clip (Ir.Postings.next st.(i).t_cur);
             go ()
           | Some _ | None -> ()
         in
@@ -119,13 +172,14 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
                      *. float_of_int (Ir.Postings.block_max_tf st.(i).t_cur))
               | Some _ | None -> ()
             done;
-            if use_skips && not (Top_k.would_enter heap !shallow) then begin
+            if use_skips && cannot_enter !shallow then begin
               (* the whole document cannot reach the heap: skip its
                  postings block-wise on every parked cursor *)
               for i = m to n - 1 do
                 match st.(i).t_head with
                 | Some h when h.doc = d ->
-                  st.(i).t_head <- Ir.Postings.seek_doc st.(i).t_cur (d + 1)
+                  st.(i).t_head <-
+                    clip (Ir.Postings.seek_doc st.(i).t_cur (d + 1))
                 | Some _ | None -> ()
               done
             end
@@ -144,13 +198,12 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
               let abandoned = ref false in
               let i = ref (m - 1) in
               while (not !abandoned) && !i >= 0 do
-                if not (Top_k.would_enter heap (!s +. prefix.(!i))) then
-                  abandoned := true
+                if cannot_enter (!s +. prefix.(!i)) then abandoned := true
                 else begin
                   let sti = st.(!i) in
                   (match sti.t_head with
                   | Some h when h.doc < d ->
-                    sti.t_head <- Ir.Postings.seek_doc sti.t_cur d
+                    sti.t_head <- clip (Ir.Postings.seek_doc sti.t_cur d)
                   | Some _ | None -> ());
                   (match sti.t_head with
                   | Some h when h.doc = d ->
@@ -161,8 +214,7 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
                          *. float_of_int (Ir.Postings.block_max_tf sti.t_cur))
                       +. below
                     in
-                    if not (Top_k.would_enter heap refined) then
-                      abandoned := true
+                    if cannot_enter refined then abandoned := true
                     else begin
                       count_run !i d;
                       s := !s +. (sti.t_w *. float_of_int tf.(!i))
@@ -182,7 +234,10 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
                       contribs.(st.(si).t_idx) <- st.(si).t_w *. float_of_int c)
                   tf;
                 let total = Array.fold_left ( +. ) 0. contribs in
-                if total > 0. then Top_k.add heap ~score:total d
+                if total > 0. then begin
+                  Top_k.add heap ~score:total d;
+                  publish ()
+                end
               end
             end;
             loop ()
@@ -197,10 +252,11 @@ let top_k_docs_inner ?(use_skips = true) ?weights ctx ~terms ~k =
     end
   end
 
-let top_k_docs ?(trace = Core.Trace.disabled) ?use_skips ?weights ctx ~terms ~k
-    =
+let top_k_docs ?(trace = Core.Trace.disabled) ?use_skips ?weights ?doc_range
+    ?shared_threshold ctx ~terms ~k =
   if not (Core.Trace.enabled trace) then
-    top_k_docs_inner ?use_skips ?weights ctx ~terms ~k
+    top_k_docs_inner ?use_skips ?weights ?doc_range ?shared_threshold ctx
+      ~terms ~k
   else begin
     let input =
       List.fold_left
@@ -209,7 +265,10 @@ let top_k_docs ?(trace = Core.Trace.disabled) ?use_skips ?weights ctx ~terms ~k
     in
     Core.Trace.enter ~input trace "RankedTopK";
     Core.Trace.annotate trace "k" (string_of_int k);
-    match top_k_docs_inner ?use_skips ?weights ctx ~terms ~k with
+    match
+      top_k_docs_inner ?use_skips ?weights ?doc_range ?shared_threshold ctx
+        ~terms ~k
+    with
     | l ->
       Core.Trace.leave ~output:(List.length l) trace;
       l

@@ -18,6 +18,8 @@ val top_k_docs :
   ?trace:Core.Trace.t ->
   ?use_skips:bool ->
   ?weights:float array ->
+  ?doc_range:int * int ->
+  ?shared_threshold:float Atomic.t ->
   Ctx.t ->
   terms:string list ->
   k:int ->
@@ -33,7 +35,20 @@ val top_k_docs :
     propose, and candidates whose per-block [block_max_tf] ceiling
     cannot beat the current K-th score are skipped without decoding
     their postings. [~use_skips:false] scores every document
-    exhaustively; both paths return identical results. *)
+    exhaustively; both paths return identical results.
+
+    [doc_range] restricts scoring to documents in the half-open
+    interval [(lo, hi)] — the per-partition entry point of the
+    parallel executor. [shared_threshold] is a cross-partition score
+    floor (initialised to [neg_infinity]): each partition publishes
+    the monotone max of its k-th-best score into the atomic, and
+    pruning additionally skips any document whose score ceiling is
+    {e strictly} below it. Strictness matters: a score exactly equal
+    to the final global cutoff can still win the doc-id tie-break, so
+    only strictly-lower bounds are provably irrelevant to the merged
+    top-k. The local result may then be missing documents below the
+    shared floor, but the union over all partitions always contains
+    the exact global top-k. *)
 
 val above : float -> emitter -> Scored_node.t list
 (** Nodes scoring strictly above the threshold, in document order. *)

@@ -26,6 +26,7 @@ type cursor = {
   weights : float array;
   complex : bool;
   heads : head array;
+  hi : int;  (* exclusive upper doc bound; [max_int] = unbounded *)
   mutable stack : entry list;
   pending : Scored_node.t Queue.t;
       (* one input occurrence can pop several ancestors; emissions
@@ -33,12 +34,25 @@ type cursor = {
   mutable drained : bool;
 }
 
-let make_heads ctx terms =
+(* Occurrences at or past the range's upper bound look like end of
+   list: the stack then never holds an element of a document outside
+   [lo, hi), so a partitioned run emits exactly the full run's nodes
+   whose doc falls in the range. *)
+let clip hi o =
+  match o with
+  | Some (occ : Ir.Postings.occ) when occ.doc >= hi -> None
+  | Some _ | None -> o
+
+let make_heads ctx ~lo ~hi terms =
   List.mapi
     (fun term t ->
       match Ir.Inverted_index.cursor ctx.Ctx.index t with
       | Some pcursor ->
-        { term; cur = Ir.Postings.next pcursor; pcursor = Some pcursor }
+        let cur =
+          if lo = 0 then Ir.Postings.next pcursor
+          else Ir.Postings.seek_doc pcursor lo
+        in
+        { term; cur = clip hi cur; pcursor = Some pcursor }
       | None -> { term; cur = None; pcursor = None })
     terms
   |> Array.of_list
@@ -57,24 +71,26 @@ let min_head heads =
     heads;
   !best
 
-let advance h =
+let advance hi h =
   match h.pcursor with
-  | Some c -> h.cur <- Ir.Postings.next c
+  | Some c -> h.cur <- clip hi (Ir.Postings.next c)
   | None -> h.cur <- None
 
-let cursor ?(variant = Plain) ?(mode = Counter_scoring.Simple) ?weights ctx
-    ~terms =
+let cursor ?(variant = Plain) ?(mode = Counter_scoring.Simple) ?weights
+    ?doc_range ctx ~terms =
   let k = List.length terms in
   let weights =
     match weights with Some w -> w | None -> Counter_scoring.default_weights k
   in
+  let lo, hi = match doc_range with Some r -> r | None -> (0, max_int) in
   {
     ctx;
     variant;
     mode;
     weights;
     complex = mode = Counter_scoring.Complex;
-    heads = make_heads ctx terms;
+    heads = make_heads ctx ~lo ~hi terms;
+    hi;
     stack = [];
     pending = Queue.create ();
     drained = false;
@@ -180,7 +196,7 @@ let rec refill c =
             Occ_buf.append top.occs
               (Occ_buf.singleton { Counter_scoring.term = h.term; pos = occ.pos })
       | [] -> () (* occurrence with no known owner element *));
-      advance h;
+      advance c.hi h;
       refill c
     | None ->
       while c.stack <> [] do
@@ -200,10 +216,10 @@ let postings_input ctx terms =
     (fun acc t -> acc + Ir.Inverted_index.collection_freq ctx.Ctx.index t)
     0 terms
 
-let run ?(trace = Core.Trace.disabled) ?variant ?mode ?weights ctx ~terms ~emit
-    () =
+let run ?(trace = Core.Trace.disabled) ?variant ?mode ?weights ?doc_range ctx
+    ~terms ~emit () =
   let body () =
-    let c = cursor ?variant ?mode ?weights ctx ~terms in
+    let c = cursor ?variant ?mode ?weights ?doc_range ctx ~terms in
     let rec drive n =
       match next c with
       | Some node ->
@@ -228,10 +244,10 @@ let run ?(trace = Core.Trace.disabled) ?variant ?mode ?weights ctx ~terms ~emit
       raise e
   end
 
-let to_list ?trace ?variant ?mode ?weights ctx ~terms =
+let to_list ?trace ?variant ?mode ?weights ?doc_range ctx ~terms =
   let acc = ref [] in
   let _ =
-    run ?trace ?variant ?mode ?weights ctx ~terms
+    run ?trace ?variant ?mode ?weights ?doc_range ctx ~terms
       ~emit:(fun n -> acc := n :: !acc)
       ()
   in

@@ -27,10 +27,16 @@ val cursor :
   ?variant:variant ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
+  ?doc_range:int * int ->
   Ctx.t ->
   terms:string list ->
   cursor
-(** [weights] defaults to all ones. *)
+(** [weights] defaults to all ones. [doc_range], a half-open document
+    interval [(lo, hi)], restricts the merge to occurrences with
+    [lo <= doc < hi]: cursors seek to [lo] and stop at [hi]. Because
+    an element never spans documents, the nodes emitted for a range
+    are exactly the full join's nodes whose document falls inside it —
+    ranges that partition the doc-id space partition the output. *)
 
 val next : cursor -> Scored_node.t option
 (** The next scored ancestor, in stack-pop (document postorder)
@@ -42,6 +48,7 @@ val run :
   ?variant:variant ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
+  ?doc_range:int * int ->
   Ctx.t ->
   terms:string list ->
   emit:(Scored_node.t -> unit) ->
@@ -58,6 +65,7 @@ val to_list :
   ?variant:variant ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
+  ?doc_range:int * int ->
   Ctx.t ->
   terms:string list ->
   Scored_node.t list

@@ -56,3 +56,42 @@ val check_deadline : t -> unit
 
 val steps : t -> int
 (** Work accounted so far. *)
+
+(** {1 Shared budgets}
+
+    A parallel query runs one chunk per domain, each under its own
+    {!t}, but the user's [--max-steps]/[--timeout] bound the {e whole}
+    query. A {!shared} budget holds the limits, one atomic step
+    counter and one absolute deadline; each domain {!attach}es a
+    private governor whose ticks stay domain-local and are flushed
+    into the shared counter at the same 128-step cadence as the clock
+    sample. The first breach trips the budget exactly once — every
+    domain that breaches or observes the trip raises the {e same}
+    {!violation}, so the coordinator reports one typed error. *)
+
+type shared
+
+val make_shared : limits -> shared
+(** Begin a shared governed execution; the deadline clock starts now. *)
+
+val attach : shared -> t
+(** A private governor drawing on the shared budget. Its deadline is
+    the shared absolute deadline, not a fresh one. *)
+
+val settle : t -> unit
+(** Flush an attached governor's unflushed steps into the shared
+    counter, checking the budget; call when a chunk completes. No-op
+    for unattached governors. *)
+
+val shared_steps : shared -> int
+(** Total steps flushed by all attached governors so far. *)
+
+val shared_violation : shared -> violation option
+(** The violation that tripped the budget, if any. *)
+
+val shared_check_results : shared -> int -> unit
+(** {!check_results} against the shared limits (re-raising the tripping
+    violation if the budget is already blown). *)
+
+val shared_check_deadline : shared -> unit
+(** Sample the clock against the shared deadline now. *)

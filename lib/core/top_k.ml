@@ -2,15 +2,17 @@ type 'a t = {
   capacity : int;
   scores : float array;
   items : 'a option array;
+  tie : 'a -> 'a -> int;
   mutable size : int;
 }
 
-let create capacity =
+let create ?(tie = fun _ _ -> 0) capacity =
   if capacity <= 0 then invalid_arg "Top_k.create";
   {
     capacity;
     scores = Array.make capacity 0.;
     items = Array.make capacity None;
+    tie;
     size = 0;
   }
 
@@ -22,10 +24,21 @@ let swap t i j =
   t.items.(i) <- t.items.(j);
   t.items.(j) <- it
 
+(* entry [i] ranks strictly below entry [j]: lower score, or the tie
+   order on equal scores — the root is then the unique worst entry,
+   so eviction is deterministic even among tied scores *)
+let below t i j =
+  t.scores.(i) < t.scores.(j)
+  || t.scores.(i) = t.scores.(j)
+     &&
+     match (t.items.(i), t.items.(j)) with
+     | Some a, Some b -> t.tie a b < 0
+     | _ -> false
+
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.scores.(i) < t.scores.(parent) then begin
+    if below t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -34,8 +47,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.scores.(l) < t.scores.(!smallest) then smallest := l;
-  if r < t.size && t.scores.(r) < t.scores.(!smallest) then smallest := r;
+  if l < t.size && below t l !smallest then smallest := l;
+  if r < t.size && below t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
@@ -48,10 +61,20 @@ let add t ~score item =
     t.size <- t.size + 1;
     sift_up t (t.size - 1)
   end
-  else if score > t.scores.(0) then begin
-    t.scores.(0) <- score;
-    t.items.(0) <- Some item;
-    sift_down t 0
+  else begin
+    let enters =
+      score > t.scores.(0)
+      || score = t.scores.(0)
+         &&
+         match t.items.(0) with
+         | Some root -> t.tie item root > 0
+         | None -> false
+    in
+    if enters then begin
+      t.scores.(0) <- score;
+      t.items.(0) <- Some item;
+      sift_down t 0
+    end
   end
 
 let count t = t.size
@@ -65,4 +88,6 @@ let to_sorted_list t =
     | Some item -> entries := (t.scores.(i), item) :: !entries
     | None -> ()
   done;
-  List.sort (fun (a, _) (b, _) -> compare b a) !entries
+  List.sort
+    (fun (a, x) (b, y) -> match compare b a with 0 -> t.tie y x | c -> c)
+    !entries

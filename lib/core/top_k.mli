@@ -7,10 +7,20 @@
 
 type 'a t
 
-val create : int -> 'a t
-(** [create k] raises [Invalid_argument] when [k <= 0]. *)
+val create : ?tie:('a -> 'a -> int) -> int -> 'a t
+(** [create k] raises [Invalid_argument] when [k <= 0].
+
+    [tie] totally orders items of equal score ([tie a b < 0] means
+    [a] ranks below [b] and is evicted first); without it (the
+    default), which tied item survives at the K-th rank is whichever
+    the heap happens to hold. A deterministic tie order is what lets
+    independently built accumulators (e.g. one per parallel
+    partition) merge into exactly the sequential result. *)
 
 val add : 'a t -> score:float -> 'a -> unit
+(** When the accumulator is full, [item] enters iff it ranks strictly
+    above the current K-th entry under (score, [tie]). *)
+
 val count : 'a t -> int
 
 val cutoff : 'a t -> float option
@@ -20,7 +30,11 @@ val would_enter : 'a t -> float -> bool
 (** Whether an item with this score would be retained by {!add} —
     the pruning test of max-score early termination: a candidate
     whose score upper bound fails [would_enter] can be skipped
-    without scoring it exactly. *)
+    without scoring it exactly. With a [tie] order this is exact only
+    for candidates ranking below every present tied entry — which
+    holds when items arrive in worst-first tie order, as in
+    ascending-doc-id scoring. *)
 
 val to_sorted_list : 'a t -> (float * 'a) list
-(** Best first; does not clear the accumulator. *)
+(** Best first, [tie]-best first among equal scores; does not clear
+    the accumulator. *)

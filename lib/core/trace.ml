@@ -138,6 +138,17 @@ let span_over ?governor t name input f =
       raise e
   end
 
+(* Graft a finished span (built by another tracer, e.g. one partition
+   of a parallel query) under the innermost open span — or as a root
+   when nothing is open. Children lists are kept reversed until
+   [leave], so push like a completed child would be pushed. *)
+let attach t sp =
+  if t.on then begin
+    match t.stack with
+    | { sp = parent; _ } :: _ -> parent.children <- sp :: parent.children
+    | [] -> t.roots <- sp :: t.roots
+  end
+
 let roots t = List.rev t.roots
 
 let root t =

@@ -65,6 +65,12 @@ val span_over :
     shape. Input and output cardinalities are recorded; neither
     [List.length] runs when the tracer is disabled. *)
 
+val attach : t -> span -> unit
+(** Graft a finished span — typically the root of a tree built by
+    another tracer on another domain — as a child of the innermost
+    open span (or as a top-level span when none is open). The grafted
+    tree must be complete; it is not copied. *)
+
 val roots : t -> span list
 (** Completed top-level spans, in completion order. *)
 

@@ -1,0 +1,191 @@
+(* Intra-query parallel execution.
+
+   One query is split into document-range chunks ({!Partition.plan}),
+   each chunk runs a range-restricted instance of the access method on
+   its own domain against the shared immutable snapshot, and the
+   per-chunk results are merged deterministically:
+
+   - boolean/structural results (TermJoin, GenMeet, PhraseFinder) come
+     back per chunk in document order over disjoint ascending ranges,
+     so the merge is concatenation in chunk order — byte-identical to
+     the sequential document-order output;
+   - ranked top-k chunks each return their local top-k under the total
+     order (score desc, doc asc); the merge re-sorts the union under
+     the same order and keeps k. Cross-chunk max-score pruning shares
+     the best k-th score seen by any chunk through an atomic
+     ([Ranked.top_k_docs ~shared_threshold]), which only ever prunes
+     documents strictly below the final cutoff — the merged result is
+     exactly the sequential one, ties included.
+
+   Resource limits come in as an optional {!Core.Governor.shared}
+   budget: every chunk attaches a private governor, ticks it for the
+   work it does, and the first chunk to breach trips the budget once
+   for the whole query. Tracing fans out the same way — each chunk
+   records into a private tracer whose finished tree is grafted, in
+   chunk order, under one "Parallel" span of the caller's tracer. *)
+
+let chunks_per_domain = 4
+(* more chunks than domains so the shared work index load-balances
+   skewed ranges; each extra chunk costs one cursor re-seek *)
+
+let resolve_ranges ?ranges ~parallelism ctx ~terms =
+  match ranges with
+  | Some (_ :: _ as r) -> r
+  | Some [] | None ->
+    Partition.plan ctx ~terms ~chunks:(parallelism * chunks_per_domain)
+
+(* Fan [body] out over [ranges], then [merge] the per-chunk values in
+   chunk order. [merge] also returns the output cardinality for the
+   "Parallel" trace span. *)
+let fan_out ~trace ~shared ~parallelism ~method_ ~ranges ~body ~merge =
+  let rs = Array.of_list ranges in
+  let n = Array.length rs in
+  let slots = Array.make n None in
+  let span_trees = Array.make n None in
+  let traced = Core.Trace.enabled trace in
+  if traced then begin
+    Core.Trace.enter trace "Parallel";
+    Core.Trace.annotate trace "method" method_;
+    Core.Trace.annotate trace "partitions" (string_of_int n);
+    Core.Trace.annotate trace "domains" (string_of_int parallelism)
+  end;
+  let task i =
+    let lo, hi = rs.(i) in
+    let gov = Option.map Core.Governor.attach shared in
+    let tr = if traced then Core.Trace.make () else Core.Trace.disabled in
+    let res =
+      match
+        Core.Trace.enter tr "Partition";
+        Core.Trace.annotate tr "lo" (string_of_int lo);
+        Core.Trace.annotate tr "hi"
+          (if hi = max_int then "end" else string_of_int hi);
+        let v = body ~gov ~trace:tr (lo, hi) in
+        (match gov with Some g -> Core.Governor.settle g | None -> ());
+        Core.Trace.leave tr;
+        v
+      with
+      | v -> Ok v
+      | exception e ->
+        Core.Trace.unwind tr;
+        Error e
+    in
+    slots.(i) <- Some res;
+    if traced then span_trees.(i) <- Core.Trace.root tr
+  in
+  Pool.run ~domains:parallelism ~n task;
+  let fail e =
+    if traced then Core.Trace.leave trace;
+    raise e
+  in
+  (* a tripped shared budget outranks chunk-local failures: every
+     breaching chunk carries the same violation, report it once *)
+  (match Option.map Core.Governor.shared_violation shared with
+  | Some (Some v) -> fail (Core.Governor.Resource_exhausted v)
+  | Some None | None -> ());
+  Array.iter
+    (function Some (Error e) -> fail e | Some (Ok _) | None -> ())
+    slots;
+  let vals =
+    Array.map
+      (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+      slots
+  in
+  let result, count = merge vals in
+  if traced then begin
+    Array.iter (Option.iter (Core.Trace.attach trace)) span_trees;
+    Core.Trace.leave ~output:count trace
+  end;
+  result
+
+let ticker gov =
+  match gov with
+  | Some g -> fun () -> Core.Governor.tick g
+  | None -> fun () -> ()
+
+(* Per-chunk results are document-sorted over disjoint ascending
+   ranges: concatenation in chunk order IS the global document
+   order. *)
+let concat_in_order vals =
+  let nodes = List.concat (Array.to_list vals) in
+  (nodes, List.length nodes)
+
+let term_join ?(trace = Core.Trace.disabled) ?shared ?ranges ?variant ?mode
+    ?weights ~parallelism ctx ~terms =
+  let ranges = resolve_ranges ?ranges ~parallelism ctx ~terms in
+  fan_out ~trace ~shared ~parallelism ~method_:"TermJoin" ~ranges
+    ~body:(fun ~gov ~trace (lo, hi) ->
+      let acc = ref [] in
+      let tick = ticker gov in
+      let _ =
+        Access.Term_join.run ~trace ?variant ?mode ?weights ~doc_range:(lo, hi)
+          ctx ~terms
+          ~emit:(fun nd ->
+            tick ();
+            acc := nd :: !acc)
+          ()
+      in
+      List.sort Access.Scored_node.compare_pos !acc)
+    ~merge:concat_in_order
+
+let gen_meet ?(trace = Core.Trace.disabled) ?shared ?ranges ?mode ?weights
+    ~parallelism ctx ~terms =
+  let ranges = resolve_ranges ?ranges ~parallelism ctx ~terms in
+  fan_out ~trace ~shared ~parallelism ~method_:"GenMeet" ~ranges
+    ~body:(fun ~gov ~trace (lo, hi) ->
+      let acc = ref [] in
+      let tick = ticker gov in
+      let _ =
+        Access.Gen_meet.run ~trace ?mode ?weights ~doc_range:(lo, hi) ctx
+          ~terms
+          ~emit:(fun nd ->
+            tick ();
+            acc := nd :: !acc)
+          ()
+      in
+      List.sort Access.Scored_node.compare_pos !acc)
+    ~merge:concat_in_order
+
+let phrase ?(trace = Core.Trace.disabled) ?shared ?ranges ~parallelism ctx
+    ~phrase =
+  let ranges = resolve_ranges ?ranges ~parallelism ctx ~terms:phrase in
+  fan_out ~trace ~shared ~parallelism ~method_:"PhraseFinder" ~ranges
+    ~body:(fun ~gov ~trace (lo, hi) ->
+      let acc = ref [] in
+      let tick = ticker gov in
+      let _ =
+        Access.Phrase_finder.run ~trace ~doc_range:(lo, hi) ctx ~phrase
+          ~emit:(fun nd ->
+            tick ();
+            acc := nd :: !acc)
+          ()
+      in
+      List.sort Access.Scored_node.compare_pos !acc)
+    ~merge:concat_in_order
+
+let top_k_docs ?(trace = Core.Trace.disabled) ?shared ?ranges ?weights
+    ~parallelism ctx ~terms ~k =
+  let ranges = resolve_ranges ?ranges ~parallelism ctx ~terms in
+  let shared_threshold = Atomic.make neg_infinity in
+  fan_out ~trace ~shared ~parallelism ~method_:"RankedTopK" ~ranges
+    ~body:(fun ~gov ~trace (lo, hi) ->
+      let docs =
+        Access.Ranked.top_k_docs ~trace ?weights ~doc_range:(lo, hi)
+          ~shared_threshold ctx ~terms ~k
+      in
+      (match gov with
+      | Some g -> Core.Governor.tick_n g (List.length docs)
+      | None -> ());
+      docs)
+    ~merge:(fun vals ->
+      (* ranges are disjoint, so the union has no duplicate docs; the
+         k best under (score desc, doc asc) are exactly the
+         sequential top-k *)
+      let all = List.concat (Array.to_list vals) in
+      let sorted =
+        List.sort
+          (fun (d1, s1) (d2, s2) ->
+            match compare s2 s1 with 0 -> compare d1 d2 | c -> c)
+          all
+      in
+      let top = List.filteri (fun i _ -> i < k) sorted in
+      (top, List.length top))

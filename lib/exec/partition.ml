@@ -1,0 +1,63 @@
+(* Document-range partition planning.
+
+   A parallel query splits the doc-id space into half-open intervals
+   and runs one access-method instance per interval. Any covering,
+   disjoint set of intervals is correct (no element, phrase match or
+   document score spans documents); this planner additionally aligns
+   every cut with a skip-block boundary of the query's posting lists,
+   so each chunk's [seek_doc] lands exactly on a block start and no
+   block is decoded by two chunks. Cut points are chosen by walking
+   the blocks in doc order and cutting every time roughly
+   [total/chunks] occurrences have accumulated — balancing estimated
+   work, not document counts, across chunks. *)
+
+let plan ctx ~terms ~chunks =
+  if chunks <= 1 then [ (0, max_int) ]
+  else begin
+    (* weight at doc d = occurrences of blocks starting at d *)
+    let weight : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let total = ref 0 in
+    List.iter
+      (fun t ->
+        match Ir.Inverted_index.lookup ctx.Access.Ctx.index t with
+        | None -> ()
+        | Some p ->
+          let len = Ir.Postings.length p in
+          total := !total + len;
+          for i = 0 to Ir.Postings.blocks p - 1 do
+            let d = Ir.Postings.block_first_doc p i in
+            let w =
+              min Ir.Postings.block_size (len - (i * Ir.Postings.block_size))
+            in
+            Hashtbl.replace weight d
+              (w + try Hashtbl.find weight d with Not_found -> 0)
+          done)
+      terms;
+    let bounds =
+      List.sort compare (Hashtbl.fold (fun d w acc -> (d, w) :: acc) weight [])
+    in
+    let target = max 1 (!total / chunks) in
+    let cuts = ref [] in
+    let ncuts = ref 0 in
+    let acc = ref 0 in
+    List.iter
+      (fun (d, w) ->
+        (* cut in front of this block when the running chunk is full;
+           a cut at doc 0 would make the first chunk empty *)
+        if !acc >= target && d > 0 && !ncuts < chunks - 1 then begin
+          (match !cuts with
+          | c :: _ when c = d -> ()
+          | _ ->
+            cuts := d :: !cuts;
+            incr ncuts;
+            acc := 0);
+          ()
+        end;
+        acc := !acc + w)
+      bounds;
+    let rec ranges lo = function
+      | [] -> [ (lo, max_int) ]
+      | c :: rest -> (lo, c) :: ranges c rest
+    in
+    ranges 0 (List.rev !cuts)
+  end

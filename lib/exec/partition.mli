@@ -1,0 +1,12 @@
+(** Skip-block-aligned document-range partitioning for parallel query
+    execution. *)
+
+val plan : Access.Ctx.t -> terms:string list -> chunks:int -> (int * int) list
+(** [plan ctx ~terms ~chunks] splits the doc-id space into at most
+    [chunks] half-open intervals [(lo, hi)], in ascending order,
+    disjoint and covering ([lo] of the first is [0], [hi] of the last
+    is [max_int]). Every interior cut falls on a skip-block boundary
+    of one of [terms]'s posting lists, and cuts are placed so each
+    interval covers roughly the same number of posting occurrences.
+    Returns fewer than [chunks] intervals (possibly just one) when the
+    postings are too small to split further. *)

@@ -1,0 +1,143 @@
+(* A small process-wide pool of helper domains for intra-query
+   parallelism.
+
+   A job is an array of independent chunk tasks drained through one
+   atomic index — work sharing rather than per-domain queues, which
+   for a handful of chunks steals just as well with none of the deque
+   machinery. The submitting domain always participates in draining
+   its own job, so a job completes even with zero helpers (single-core
+   hosts, an exhausted pool) and a submitter never blocks waiting for
+   a domain that is itself waiting. Helpers are spawned lazily on
+   first use, live for the whole process, and are joined from an
+   [at_exit] hook so process shutdown stays clean. *)
+
+type job = {
+  run : int -> unit;
+  n : int;
+  next : int Atomic.t;  (* next unclaimed chunk *)
+  mu : Mutex.t;
+  cond : Condition.t;  (* signalled when [done_] reaches [n] *)
+  mutable done_ : int;  (* completed chunks; guarded by [mu] *)
+  mutable exn : exn option;
+      (* last-resort capture: tasks are expected to trap their own
+         exceptions, but an escaping one must not kill a helper domain
+         or deadlock the submitter *)
+}
+
+let queue : job Queue.t = Queue.create ()
+let qmu = Mutex.create ()
+let qcond = Condition.create ()
+let stopping = ref false
+let helpers : unit Domain.t list ref = ref []
+let helper_count = ref 0
+
+let max_helpers = 7
+(* submitter + helpers = 8 domains per job at most: beyond that the
+   runtime's stop-the-world costs outweigh chunk-level speedup *)
+
+let drain job =
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      (try job.run i
+       with e ->
+         Mutex.lock job.mu;
+         job.exn <- Some e;
+         Mutex.unlock job.mu);
+      Mutex.lock job.mu;
+      job.done_ <- job.done_ + 1;
+      if job.done_ = job.n then Condition.broadcast job.cond;
+      Mutex.unlock job.mu;
+      go ()
+    end
+  in
+  go ()
+
+let helper_loop () =
+  let rec next_job () =
+    Mutex.lock qmu;
+    let rec wait () =
+      if !stopping then None
+      else begin
+        match Queue.take_opt queue with
+        | Some j -> Some j
+        | None ->
+          Condition.wait qcond qmu;
+          wait ()
+      end
+    in
+    let j = wait () in
+    Mutex.unlock qmu;
+    match j with
+    | Some j ->
+      drain j;
+      next_job ()
+    | None -> ()
+  in
+  next_job ()
+
+let shutdown () =
+  Mutex.lock qmu;
+  stopping := true;
+  Condition.broadcast qcond;
+  Mutex.unlock qmu;
+  List.iter Domain.join !helpers;
+  helpers := [];
+  helper_count := 0
+
+let ensure_helpers wanted =
+  Mutex.lock qmu;
+  let first_spawn = !helper_count = 0 && wanted > 0 && not !stopping in
+  (if not !stopping then
+     while !helper_count < min wanted max_helpers do
+       incr helper_count;
+       helpers := Domain.spawn helper_loop :: !helpers
+     done);
+  Mutex.unlock qmu;
+  if first_spawn then at_exit shutdown
+
+let helpers_running () =
+  Mutex.lock qmu;
+  let n = !helper_count in
+  Mutex.unlock qmu;
+  n
+
+let run ~domains ~n f =
+  if n > 0 then begin
+    if domains <= 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let job =
+        {
+          run = f;
+          n;
+          next = Atomic.make 0;
+          mu = Mutex.create ();
+          cond = Condition.create ();
+          done_ = 0;
+          exn = None;
+        }
+      in
+      let want = min (domains - 1) (min (n - 1) max_helpers) in
+      ensure_helpers want;
+      Mutex.lock qmu;
+      (* one queue entry per helper we want on this job; a helper that
+         arrives after the chunks are claimed drains nothing and goes
+         back to sleep *)
+      for _ = 1 to want do
+        Queue.push job queue
+      done;
+      Condition.broadcast qcond;
+      Mutex.unlock qmu;
+      drain job;
+      Mutex.lock job.mu;
+      while job.done_ < job.n do
+        Condition.wait job.cond job.mu
+      done;
+      let escaped = job.exn in
+      Mutex.unlock job.mu;
+      match escaped with Some e -> raise e | None -> ()
+    end
+  end

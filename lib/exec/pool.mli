@@ -1,0 +1,21 @@
+(** Process-wide helper-domain pool for intra-query parallelism.
+
+    {!run} drains [n] independent chunk tasks across up to [domains]
+    domains: the calling domain plus lazily-spawned, long-lived
+    helpers that assist through a shared atomic work index. The caller
+    always participates, so completion never depends on a helper being
+    available — with [domains = 1] (or on a machine with no spare
+    cores) the tasks simply run inline, sequentially.
+
+    Tasks of one job must be independent and domain-safe; they may run
+    in any order, concurrently. Tasks should trap their own
+    exceptions — one that escapes anyway is re-raised from {!run}
+    after every task of the job has finished. *)
+
+val run : domains:int -> n:int -> (int -> unit) -> unit
+(** [run ~domains ~n f] executes [f 0 .. f (n-1)], using at most
+    [domains] domains (capped internally), and returns when all [n]
+    calls have completed. *)
+
+val helpers_running : unit -> int
+(** Helper domains currently alive (for tests and stats). *)

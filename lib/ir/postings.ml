@@ -136,6 +136,7 @@ let length t = t.count
 let byte_size t = Bytes.length t.data
 let blocks t = Array.length t.skips
 let max_tf t = t.max_tf
+let block_first_doc t i = t.skips.(i).sk_first_doc
 
 type cursor = {
   list : t;

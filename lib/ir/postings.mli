@@ -46,6 +46,13 @@ val max_tf : t -> int
 (** Largest number of occurrences of the term in any one document —
     the term-level score bound of max-score pruning. 0 when empty. *)
 
+val block_first_doc : t -> int -> int
+(** [block_first_doc t i] is the document id of block [i]'s first
+    occurrence ([0 <= i < blocks t]) — the natural cut points for
+    document-range partitioning: splitting at these boundaries lets a
+    chunk's cursor land on a block start without decoding its
+    predecessor. *)
+
 type cursor
 
 val cursor : t -> cursor

@@ -246,10 +246,15 @@ let forest_of_scored nodes =
   List.rev !finished
 
 let execute ?(limits = Core.Governor.unlimited)
-    ?(trace = Core.Trace.disabled) db (p : plan) =
+    ?(trace = Core.Trace.disabled) ?governor db (p : plan) =
   Log.debug (fun m -> m "executing engine plan: terms=%s, pick=%b"
       (String.concat "," p.terms) (p.pick <> None));
-  let gov = Core.Governor.start limits in
+  (* A caller-supplied governor lets the service read steps_used after
+     the run (and share one budget across plans); [limits] is ignored
+     in that case — the governor already carries its own. *)
+  let gov =
+    match governor with Some g -> g | None -> Core.Governor.start limits
+  in
   (* Stage spans: the materialization boundaries of the engine path,
      nested under one CompiledQuery root. *)
   let stage name input f =

@@ -46,13 +46,16 @@ val compile : ?functions:Functions.t -> Ast.t -> (plan, string) result
 val execute :
   ?limits:Core.Governor.limits ->
   ?trace:Core.Trace.t ->
+  ?governor:Core.Governor.t ->
   Store.Db.t ->
   plan ->
   Access.Scored_node.t list
 (** Evaluate the plan; results ranked best-first (ties in document
     order). With [limits], cardinality is charged to a fresh governor
     at every materialization boundary; a breached budget raises
-    {!Core.Governor.Resource_exhausted}. With [trace], a
+    {!Core.Governor.Resource_exhausted}. [governor] supplies the
+    governor instead ([limits] is then ignored), so the caller can
+    read {!Core.Governor.steps} afterwards. With [trace], a
     ["CompiledQuery"] root span nests the access-method spans
     (PatternMatch, TermJoin) and one span per materialization stage
     (DocFilter, AnchorFilter, ScoreFilter, Pick, Threshold, Rank,

@@ -10,14 +10,25 @@ type t = {
       (** live only while a query runs: each {!run} starts a fresh
           governor from [limits], so budgets are per query and an
           exhausted query leaves the evaluator reusable *)
+  mutable last_steps : int;
+      (** steps consumed by the most recent {!run}, finished or not *)
 }
 
 let create ?functions ?(limits = Core.Governor.unlimited)
     ?(trace = Core.Trace.disabled) db =
   let fns = match functions with Some f -> f | None -> Functions.builtins () in
-  { db; fns; doc_trees = Hashtbl.create 8; limits; trace; governor = None }
+  {
+    db;
+    fns;
+    doc_trees = Hashtbl.create 8;
+    limits;
+    trace;
+    governor = None;
+    last_steps = 0;
+  }
 
 let functions t = t.fns
+let last_steps t = t.last_steps
 
 let tick t =
   match t.governor with Some g -> Core.Governor.tick g | None -> ()
@@ -514,7 +525,9 @@ let run t (q : Ast.t) =
   let gov = Core.Governor.start t.limits in
   t.governor <- Some gov;
   Fun.protect
-    ~finally:(fun () -> t.governor <- None)
+    ~finally:(fun () ->
+      t.last_steps <- Core.Governor.steps gov;
+      t.governor <- None)
     (fun () ->
       Core.Trace.enter ~governor:gov t.trace "Eval";
       match run_ungoverned t q with

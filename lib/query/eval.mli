@@ -38,3 +38,7 @@ val run : t -> Ast.t -> Xmlkit.Tree.element list
 val run_string : t -> string -> (Xmlkit.Tree.element list, string) result
 (** Parse and evaluate; governor breaches and storage faults come
     back as [Error] strings rather than exceptions. *)
+
+val last_steps : t -> int
+(** Governor steps consumed by the most recent {!run} (whether it
+    finished or breached a limit); 0 before the first run. *)

@@ -54,6 +54,7 @@ type result = {
   cached : bool;
   plan : string option;
   timings : (string * float) list;
+  steps_used : int;
   trace : Core.Trace.span option;
       (** the annotated span tree, present iff the request asked for
           tracing *)
@@ -191,7 +192,8 @@ let op_counter name = Metrics.counter ("op." ^ name)
 
 (* Mirror of the CLI's [governed] wrapper: access methods that are
    not internally governed still pay for their output cardinality
-   and sample the deadline once. *)
+   and sample the deadline once. Returns the steps consumed alongside
+   the results. *)
 let governed limits f =
   let gov = Core.Governor.start limits in
   let results = f () in
@@ -199,7 +201,17 @@ let governed limits f =
   Core.Governor.tick_n gov n;
   Core.Governor.check_results gov n;
   Core.Governor.check_deadline gov;
-  results
+  (results, Core.Governor.steps gov)
+
+(* The parallel counterpart: one shared budget for every chunk of the
+   query; chunks tick their attached governors as they emit, so the
+   result cardinality is already accounted when the fan-in returns. *)
+let governed_parallel limits f =
+  let sh = Core.Governor.make_shared limits in
+  let results = f sh in
+  Core.Governor.shared_check_results sh (List.length results);
+  Core.Governor.shared_check_deadline sh;
+  (results, Core.Governor.shared_steps sh)
 
 let truncate k rows =
   match k with
@@ -251,27 +263,31 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
         let trees =
           List.map (fun r -> Xmlkit.Printer.to_string ~indent:2 r) results
         in
-        Ok ([], trees, None)
+        Ok ([], trees, None, Query.Eval.last_steps evaluator)
       | Error msg -> Error (Unsupported msg)
     in
     let outcome =
       match compiled, mode with
       | Ok plan, (`Auto | `Engine) ->
         Metrics.incr (op_counter "engine_plan");
+        let gov = Core.Governor.start limits in
         let nodes =
           stage "execute" (fun () ->
-              Query.Compile.execute ~limits ~trace:tracer snapshot.db plan)
+              Query.Compile.execute ~governor:gov ~trace:tracer snapshot.db
+                plan)
         in
         Ok
           ( List.map (row_of_node snapshot) nodes,
             [],
-            Some (Query.Compile.explain plan) )
+            Some (Query.Compile.explain plan),
+            Core.Governor.steps gov )
       | Error reason, `Engine ->
         Error (Unsupported (Printf.sprintf "not compilable: %s" reason))
       | Error _, (`Auto | `Interp) | Ok _, `Interp -> run_interp ()
     in
     match outcome with
-    | Ok (rows, trees, plan) -> Ok (rows, trees, plan, List.rev !timings)
+    | Ok (rows, trees, plan, steps) ->
+      Ok (rows, trees, plan, List.rev !timings, steps)
     | Error e -> Error e
   end
 
@@ -310,8 +326,12 @@ let explain ?caches q =
             "not compilable (would run on the interpreter): %s" reason))
 
 let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
-    snapshot request =
+    ?parallelism snapshot request =
   Metrics.incr (Metrics.counter "queries.total");
+  (* Parallel execution never changes results, so it shares the
+     sequential cache key; [parallelism <= 1] (or an ineligible
+     request shape) falls through to the sequential paths. *)
+  let par = match parallelism with Some p when p > 1 -> p | _ -> 1 in
   let t0 = now () in
   (* One tracer per traced request; the shared disabled tracer keeps
      the untraced path allocation-free. *)
@@ -341,10 +361,11 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
         cached = true;
         plan = None;
         timings = [];
+        steps_used = 0;
         trace = None;
       }
   | None -> begin
-    let finish ~plan ~timings rows trees =
+    let finish ~plan ~timings ~steps rows trees =
       let total = List.length rows + List.length trees in
       let rows = truncate k rows in
       let trees = truncate k trees in
@@ -357,7 +378,17 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
       let trace_span = Core.Trace.root tracer in
       Option.iter observe_spans trace_span;
       log_slow ~key:result_key ~dt trace_span;
-      Ok { rows; trees; total; cached = false; plan; timings; trace = trace_span }
+      Ok
+        {
+          rows;
+          trees;
+          total;
+          cached = false;
+          plan;
+          timings;
+          steps_used = steps;
+          trace = trace_span;
+        }
     in
     let ranked_rows nodes =
       List.sort Access.Scored_node.compare_score_desc nodes
@@ -367,7 +398,8 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
       match request with
       | Query { q; mode } -> begin
         match exec_query ~caches ~limits ~tracer snapshot ~q ~mode with
-        | Ok (rows, trees, plan, timings) -> finish ~plan ~timings rows trees
+        | Ok (rows, trees, plan, timings, steps) ->
+          finish ~plan ~timings ~steps rows trees
         | Error e -> Error e
       end
       | Search { terms; method_; complex } ->
@@ -381,24 +413,43 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
           let ctx = snapshot.ctx in
           Metrics.incr (op_counter (search_method_to_string method_));
           let t0 = now () in
-          let nodes =
-            governed limits (fun () ->
-                match method_ with
-                | Termjoin ->
-                  Access.Term_join.to_list ~trace:tracer ~mode ctx ~terms
-                | Enhanced ->
-                  Access.Term_join.to_list ~trace:tracer
-                    ~variant:Access.Term_join.Enhanced ~mode ctx ~terms
-                | Genmeet ->
-                  Access.Gen_meet.to_list ~trace:tracer ~mode ctx ~terms
-                | Comp1 ->
-                  Access.Composite.comp1_list ~trace:tracer ~mode ctx ~terms
-                | Comp2 ->
-                  Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms)
+          let nodes, steps =
+            match method_ with
+            | (Termjoin | Enhanced | Genmeet) when par > 1 ->
+              Metrics.incr (Metrics.counter "queries.parallel");
+              governed_parallel limits (fun shared ->
+                  match method_ with
+                  | Termjoin ->
+                    Exec.Par.term_join ~trace:tracer ~shared ~mode
+                      ~parallelism:par ctx ~terms
+                  | Enhanced ->
+                    Exec.Par.term_join ~trace:tracer ~shared
+                      ~variant:Access.Term_join.Enhanced ~mode
+                      ~parallelism:par ctx ~terms
+                  | _ ->
+                    Exec.Par.gen_meet ~trace:tracer ~shared ~mode
+                      ~parallelism:par ctx ~terms)
+            | _ ->
+              (* the composite baselines materialize candidate sets and
+                 stay sequential *)
+              governed limits (fun () ->
+                  match method_ with
+                  | Termjoin ->
+                    Access.Term_join.to_list ~trace:tracer ~mode ctx ~terms
+                  | Enhanced ->
+                    Access.Term_join.to_list ~trace:tracer
+                      ~variant:Access.Term_join.Enhanced ~mode ctx ~terms
+                  | Genmeet ->
+                    Access.Gen_meet.to_list ~trace:tracer ~mode ctx ~terms
+                  | Comp1 ->
+                    Access.Composite.comp1_list ~trace:tracer ~mode ctx ~terms
+                  | Comp2 ->
+                    Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms)
           in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
-          finish ~plan:None ~timings:[ ("execute", dt) ] (ranked_rows nodes) []
+          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps
+            (ranked_rows nodes) []
         end
       | Phrase { phrase; comp3 } -> begin
         match Ir.Phrase.parse phrase with
@@ -406,18 +457,26 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
         | words ->
           Metrics.incr (op_counter (if comp3 then "comp3" else "phrase_finder"));
           let t0 = now () in
-          let nodes =
-            governed limits (fun () ->
-                if comp3 then
-                  Access.Composite.comp3_list ~trace:tracer snapshot.ctx
-                    ~phrase:words
-                else
-                  Access.Phrase_finder.to_list ~trace:tracer snapshot.ctx
-                    ~phrase:words)
+          let nodes, steps =
+            if (not comp3) && par > 1 then begin
+              Metrics.incr (Metrics.counter "queries.parallel");
+              governed_parallel limits (fun shared ->
+                  Exec.Par.phrase ~trace:tracer ~shared ~parallelism:par
+                    snapshot.ctx ~phrase:words)
+            end
+            else
+              governed limits (fun () ->
+                  if comp3 then
+                    Access.Composite.comp3_list ~trace:tracer snapshot.ctx
+                      ~phrase:words
+                  else
+                    Access.Phrase_finder.to_list ~trace:tracer snapshot.ctx
+                      ~phrase:words)
           in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
-          finish ~plan:None ~timings:[ ("execute", dt) ] (ranked_rows nodes) []
+          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps
+            (ranked_rows nodes) []
       end
       | Ranked { terms } ->
         if terms = [] || List.exists (fun t -> String.trim t = "") terms then
@@ -426,9 +485,17 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
           Metrics.incr (op_counter "ranked");
           let kk = match k with Some k when k > 0 -> k | _ -> 10 in
           let t0 = now () in
-          let docs =
-            governed limits (fun () ->
-                Access.Ranked.top_k_docs ~trace:tracer snapshot.ctx ~terms ~k:kk)
+          let docs, steps =
+            if par > 1 then begin
+              Metrics.incr (Metrics.counter "queries.parallel");
+              governed_parallel limits (fun shared ->
+                  Exec.Par.top_k_docs ~trace:tracer ~shared ~parallelism:par
+                    snapshot.ctx ~terms ~k:kk)
+            end
+            else
+              governed limits (fun () ->
+                  Access.Ranked.top_k_docs ~trace:tracer snapshot.ctx ~terms
+                    ~k:kk)
           in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
@@ -444,7 +511,7 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
                 { tag; doc; start = -1; score })
               docs
           in
-          finish ~plan:None ~timings:[ ("execute", dt) ] rows []
+          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps rows []
         end
     with
     | outcome -> outcome

@@ -53,6 +53,10 @@ type result = {
   cached : bool;
   plan : string option;  (** explain output of the compiled plan *)
   timings : (string * float) list;  (** stage -> seconds, in order *)
+  steps_used : int;
+      (** governor steps the execution consumed (0 for cache hits);
+          for a parallel request, the shared budget's total across
+          every domain *)
   trace : Core.Trace.span option;
       (** the annotated operator span tree (EXPLAIN ANALYZE), present
           iff the request was executed with [~trace:true] *)
@@ -88,6 +92,7 @@ val exec :
   ?limits:Core.Governor.limits ->
   ?k:int ->
   ?trace:bool ->
+  ?parallelism:int ->
   snapshot ->
   request ->
   (result, error) Stdlib.result
@@ -95,6 +100,18 @@ val exec :
     ranked row list (default: keep everything). Stage latencies are
     recorded in {!Metrics} histograms ([stage.*]) and the executed
     operator in [op.*] counters.
+
+    [parallelism] > 1 runs eligible requests — {!Search} with the
+    termjoin/enhanced/genmeet methods, non-comp3 {!Phrase}, and
+    {!Ranked} — through the intra-query parallel executor
+    ({!Exec.Par}): the posting lists are partitioned into
+    skip-block-aligned document ranges fanned out across up to that
+    many domains, under one shared governor budget ([limits] bounds
+    the whole query, and a breach reports exactly one
+    {!error.Exhausted}). Results are identical to sequential
+    execution, so parallel and sequential runs share cache entries;
+    other request shapes (compiled/interpreted queries, composite
+    baselines) ignore the option and run sequentially.
 
     With [~trace:true] the request runs with a live {!Core.Trace}
     tracer threaded through the operator pipeline: the result carries

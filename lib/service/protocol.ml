@@ -4,6 +4,7 @@ type request =
       k : int option;
       limits : Core.Governor.limits;
       trace : bool;
+      parallelism : int option;
     }
   | Explain of { q : string }
   | Prepare of { q : string }
@@ -12,6 +13,7 @@ type request =
       k : int option;
       limits : Core.Governor.limits;
       trace : bool;
+      parallelism : int option;
     }
   | Stats
   | Health
@@ -87,6 +89,7 @@ let parse_request line =
     let* k = opt_int j "k" in
     let* limits = limits_of j in
     let* trace = opt_bool ~default:false j "trace" in
+    let* parallelism = opt_int j "parallelism" in
     match op with
     | "query" ->
       let* q = field_string j "q" in
@@ -98,7 +101,7 @@ let parse_request line =
         | Some (Some "interp") -> Ok `Interp
         | Some _ -> Error "field \"mode\" must be auto, engine or interp"
       in
-      Ok (Exec { req = Engine.Query { q; mode }; k; limits; trace })
+      Ok (Exec { req = Engine.Query { q; mode }; k; limits; trace; parallelism })
     | "explain" ->
       let* q = field_string j "q" in
       Ok (Explain { q })
@@ -115,21 +118,27 @@ let parse_request line =
         end
         | Some None -> Error "field \"method\" must be a string"
       in
-      Ok (Exec { req = Engine.Search { terms; method_; complex }; k; limits; trace })
+      Ok
+        (Exec
+           { req = Engine.Search { terms; method_; complex }; k; limits; trace;
+             parallelism })
     | "phrase" ->
       let* phrase = field_string j "phrase" in
       let* comp3 = opt_bool ~default:false j "comp3" in
-      Ok (Exec { req = Engine.Phrase { phrase; comp3 }; k; limits; trace })
+      Ok
+        (Exec
+           { req = Engine.Phrase { phrase; comp3 }; k; limits; trace;
+             parallelism })
     | "ranked" ->
       let* terms = field_string_list j "terms" in
-      Ok (Exec { req = Engine.Ranked { terms }; k; limits; trace })
+      Ok (Exec { req = Engine.Ranked { terms }; k; limits; trace; parallelism })
     | "prepare" ->
       let* q = field_string j "q" in
       Ok (Prepare { q })
     | "execute" -> begin
       let* id = opt_int j "id" in
       match id with
-      | Some id -> Ok (Execute { id; k; limits; trace })
+      | Some id -> Ok (Execute { id; k; limits; trace; parallelism })
       | None -> Error "missing field \"id\""
     end
     | "stats" -> Ok Stats
@@ -153,8 +162,12 @@ let limits_fields (l : Core.Governor.limits) =
 let k_field = function Some k -> [ ("k", Json.Int k) ] | None -> []
 let trace_field = function true -> [ ("trace", Json.Bool true) ] | false -> []
 
+let parallelism_field = function
+  | Some n -> [ ("parallelism", Json.Int n) ]
+  | None -> []
+
 let request_to_json = function
-  | Exec { req; k; limits; trace } -> begin
+  | Exec { req; k; limits; trace; parallelism } -> begin
     let base =
       match req with
       | Engine.Query { q; mode } ->
@@ -182,15 +195,18 @@ let request_to_json = function
           ("terms", Json.List (List.map (fun t -> Json.String t) terms));
         ]
     in
-    Json.Obj (base @ k_field k @ limits_fields limits @ trace_field trace)
+    Json.Obj
+      (base @ k_field k @ limits_fields limits @ trace_field trace
+      @ parallelism_field parallelism)
   end
   | Explain { q } ->
     Json.Obj [ ("op", Json.String "explain"); ("q", Json.String q) ]
   | Prepare { q } -> Json.Obj [ ("op", Json.String "prepare"); ("q", Json.String q) ]
-  | Execute { id; k; limits; trace } ->
+  | Execute { id; k; limits; trace; parallelism } ->
     Json.Obj
       ([ ("op", Json.String "execute"); ("id", Json.Int id) ]
-      @ k_field k @ limits_fields limits @ trace_field trace)
+      @ k_field k @ limits_fields limits @ trace_field trace
+      @ parallelism_field parallelism)
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Health -> Json.Obj [ ("op", Json.String "health") ]
 
@@ -236,6 +252,7 @@ let result_to_json ?(include_timings = true) (r : Engine.result) =
       ("ok", Json.Bool true);
       ("total", Json.Int r.total);
       ("cached", Json.Bool r.cached);
+      ("steps_used", Json.Int r.steps_used);
       ("results", rows_to_json r.rows);
     ]
   in

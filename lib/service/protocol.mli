@@ -19,7 +19,10 @@
     ["max_results"] — they tighten the server's per-query governor —
     and executing ops accept ["trace":true] (EXPLAIN ANALYZE: the
     response gains a ["trace"] span tree and the result cache is
-    bypassed). Responses are [{"ok":true,...}] or
+    bypassed) and ["parallelism":n] (intra-query parallel execution
+    across up to [n] domains, clamped to the server's
+    [--parallelism] cap; results are identical to sequential).
+    Responses are [{"ok":true,...}] or
     [{"ok":false,"error":{"code":c,"message":m}}].
 
     The encoders here are the single source of structured output: the
@@ -32,6 +35,7 @@ type request =
       k : int option;
       limits : Core.Governor.limits;
       trace : bool;
+      parallelism : int option;
     }
   | Explain of { q : string }
   | Prepare of { q : string }
@@ -40,6 +44,7 @@ type request =
       k : int option;
       limits : Core.Governor.limits;
       trace : bool;
+      parallelism : int option;
     }
   | Stats
   | Health
@@ -53,9 +58,9 @@ val request_to_json : request -> Json.t
 (** {1 Responses} *)
 
 val result_to_json : ?include_timings:bool -> Engine.result -> Json.t
-(** [{"ok":true,"total":n,"cached":b,"results":[...],...}]. Timings
-    default to included; the stress test compares responses with
-    timings stripped. *)
+(** [{"ok":true,"total":n,"cached":b,"steps_used":s,"results":[...],...}].
+    Timings default to included; the stress test compares responses
+    with timings stripped. *)
 
 val rows_to_json : Engine.row list -> Json.t
 

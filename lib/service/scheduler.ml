@@ -43,6 +43,8 @@ type t = {
   snap : Engine.snapshot Atomic.t;
   caches : Engine.caches;
   limits : Core.Governor.limits;
+  max_parallelism : int;
+      (* cap on per-request intra-query parallelism; 1 disables it *)
   mutable submitted : int;
   mutable rejected : int;
   completed : int Atomic.t;
@@ -84,7 +86,8 @@ let worker_loop t () =
   loop ()
 
 let create ?workers ?queue_depth ?(limits = Core.Governor.unlimited)
-    ?(plan_cache_capacity = 256) ?(result_cache_capacity = 1024) snapshot =
+    ?(max_parallelism = 1) ?(plan_cache_capacity = 256)
+    ?(result_cache_capacity = 1024) snapshot =
   let workers =
     match workers with
     | Some w -> max 1 w
@@ -108,6 +111,7 @@ let create ?workers ?queue_depth ?(limits = Core.Governor.unlimited)
           results = Lru.create ~capacity:result_cache_capacity;
         };
       limits;
+      max_parallelism = max 1 max_parallelism;
       submitted = 0;
       rejected = 0;
       completed = Atomic.make 0;
@@ -138,12 +142,23 @@ let enqueue t job =
         Ok ()
       end)
 
-let submit t ?(limits = Core.Governor.unlimited) ?k ?trace request =
+let submit t ?(limits = Core.Governor.unlimited) ?k ?trace ?parallelism
+    request =
   let p = promise () in
   let limits = tighten t.limits limits in
+  (* requested intra-query parallelism is clamped to the pool's cap,
+     never raised: the operator sizes the domain budget, clients only
+     choose how much of it one query may use *)
+  let parallelism =
+    match parallelism with
+    | Some n -> Some (max 1 (min n t.max_parallelism))
+    | None -> None
+  in
   let work snap =
     let outcome =
-      try Engine.exec ~caches:t.caches ~limits ?k ?trace snap request
+      try
+        Engine.exec ~caches:t.caches ~limits ?k ?trace ?parallelism snap
+          request
       with exn ->
         Error
           (Engine.Storage
@@ -156,8 +171,8 @@ let submit t ?(limits = Core.Governor.unlimited) ?k ?trace request =
   in
   match enqueue t { work } with Ok () -> Ok p | Error _ as e -> e
 
-let run t ?limits ?k ?trace request =
-  match submit t ?limits ?k ?trace request with
+let run t ?limits ?k ?trace ?parallelism request =
+  match submit t ?limits ?k ?trace ?parallelism request with
   | Ok p -> Ok (await p)
   | Error _ as e -> e
 

@@ -28,29 +28,36 @@ val create :
   ?workers:int ->
   ?queue_depth:int ->
   ?limits:Core.Governor.limits ->
+  ?max_parallelism:int ->
   ?plan_cache_capacity:int ->
   ?result_cache_capacity:int ->
   Engine.snapshot ->
   t
 (** [workers] defaults to [Domain.recommended_domain_count () - 1]
     (min 1, max 8); [queue_depth] to [4 * workers]; cache capacities
-    to 256 (plans) and 1024 (results); capacity 0 disables a cache. *)
+    to 256 (plans) and 1024 (results); capacity 0 disables a cache.
+    [max_parallelism] (default 1, i.e. disabled) caps the intra-query
+    parallelism any single request may ask for. *)
 
 val submit :
   t ->
   ?limits:Core.Governor.limits ->
   ?k:int ->
   ?trace:bool ->
+  ?parallelism:int ->
   Engine.request ->
   ((Engine.result, Engine.error) result promise, error) result
 (** Non-blocking admission. [limits] tightens (never loosens) the
-    pool's defaults; [trace] is forwarded to {!Engine.exec}. *)
+    pool's defaults; [trace] is forwarded to {!Engine.exec};
+    [parallelism] is clamped to the pool's [max_parallelism] and
+    forwarded. *)
 
 val run :
   t ->
   ?limits:Core.Governor.limits ->
   ?k:int ->
   ?trace:bool ->
+  ?parallelism:int ->
   Engine.request ->
   ((Engine.result, Engine.error) result, error) result
 (** {!submit} + {!await}. *)

@@ -10,8 +10,8 @@ type t = {
 }
 
 let handle scheduler (req : Protocol.request) =
-  let exec ?limits ?k ?trace request =
-    match Scheduler.run scheduler ?limits ?k ?trace request with
+  let exec ?limits ?k ?trace ?parallelism request =
+    match Scheduler.run scheduler ?limits ?k ?trace ?parallelism request with
     | Ok (Ok result) -> Protocol.result_to_json result
     | Ok (Error e) -> Protocol.engine_error_to_json e
     | Error e ->
@@ -23,7 +23,8 @@ let handle scheduler (req : Protocol.request) =
           | Scheduler.Closed -> "server is shutting down")
   in
   match req with
-  | Protocol.Exec { req; k; limits; trace } -> exec ~limits ?k ~trace req
+  | Protocol.Exec { req; k; limits; trace; parallelism } ->
+    exec ~limits ?k ~trace ?parallelism req
   | Protocol.Explain { q } -> begin
     match Scheduler.explain scheduler q with
     | Ok plan -> Protocol.ok_plan_to_json plan
@@ -34,9 +35,10 @@ let handle scheduler (req : Protocol.request) =
     | Ok id -> Protocol.ok_prepared_to_json id
     | Error e -> Protocol.engine_error_to_json e
   end
-  | Protocol.Execute { id; k; limits; trace } -> begin
+  | Protocol.Execute { id; k; limits; trace; parallelism } -> begin
     match Scheduler.prepared scheduler id with
-    | Some q -> exec ~limits ?k ~trace (Engine.Query { q; mode = `Engine })
+    | Some q ->
+      exec ~limits ?k ~trace ?parallelism (Engine.Query { q; mode = `Engine })
     | None ->
       Protocol.error_to_json ~code:"unknown_statement"
         ~message:(Printf.sprintf "no prepared statement %d" id)

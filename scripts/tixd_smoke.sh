@@ -7,6 +7,7 @@ set -euo pipefail
 
 TIXDB=${TIXDB:-_build/default/bin/tixdb.exe}
 TIXD=${TIXD:-_build/default/bin/tixd.exe}
+TEST_EXEC=${TEST_EXEC:-_build/default/test/test_exec.exe}
 
 WORK=$(mktemp -d)
 SERVER_PID=
@@ -25,13 +26,15 @@ echo "== corpus + image"
 "$TIXDB" gen -n 40 -o "$WORK/corpus" >/dev/null
 "$TIXDB" build "$WORK"/corpus/*.xml -o "$WORK/db.tix" >/dev/null
 
-# any real vocabulary word from the generated text (they look like "ceba0")
-TERM=$(tr -c 'a-z0-9' '\n' < "$WORK/corpus/article-0.xml" | grep -E '^[a-z]+[0-9]+$' | head -1)
+# any real vocabulary word from the generated text (they look like
+# "ceba0"); take the first word of a paragraph so it is a whole token,
+# not the tail of a capitalized title word
+TERM=$(grep -oE '<p>[a-z]+[0-9]+' "$WORK/corpus/article-0.xml" | head -1 | cut -c4-)
 [ -n "$TERM" ] || fail "no vocabulary term found in generated corpus"
 echo "   probe term: $TERM"
 
-echo "== start tixd (ephemeral port)"
-"$TIXD" "$WORK/db.tix" --port 0 --workers 2 >"$WORK/tixd.log" 2>&1 &
+echo "== start tixd (ephemeral port, 2-domain parallel execution enabled)"
+"$TIXD" "$WORK/db.tix" --port 0 --workers 2 --parallelism 2 >"$WORK/tixd.log" 2>&1 &
 SERVER_PID=$!
 
 PORT=
@@ -56,6 +59,46 @@ client -t "$TERM" -k 5 | grep -q '"cached":true' || fail "repeat search not cach
 echo "== phrase + ranked"
 client --phrase "$TERM $TERM" | grep -q '"ok":true' || fail "phrase"
 client --ranked "$TERM" -k 3 | grep -q '"ok":true' || fail "ranked"
+
+echo "== parallel execution (2 domains: identical rows, steps accounted)"
+# --trace bypasses the result cache, so both requests really execute
+client -t "$TERM" -k 5 --trace > "$WORK/seq.json" || fail "sequential search"
+client -t "$TERM" -k 5 --trace --parallel 2 > "$WORK/par.json" \
+  || fail "parallel search"
+client --ranked "$TERM" -k 3 --trace > "$WORK/seq_ranked.json" \
+  || fail "sequential ranked"
+client --ranked "$TERM" -k 3 --trace --parallel 2 > "$WORK/par_ranked.json" \
+  || fail "parallel ranked"
+python3 - "$WORK" <<'PY' || fail "parallel response diverged from sequential"
+import json, sys, os
+work = sys.argv[1]
+
+def ops(span):
+    yield span["op"]
+    for c in span.get("children", []):
+        yield from ops(c)
+
+for name in ("", "_ranked"):
+    with open(os.path.join(work, "seq%s.json" % name)) as f:
+        seq = json.load(f)
+    with open(os.path.join(work, "par%s.json" % name)) as f:
+        par = json.load(f)
+    assert seq["ok"] and par["ok"], (seq, par)
+    assert seq["results"] == par["results"], "results differ for seq%s" % name
+    assert seq["total"] == par["total"], "totals differ for seq%s" % name
+    assert par["steps_used"] > 0, "parallel run reported no steps"
+    assert "Parallel" in set(ops(par["trace"])), \
+        "no Parallel span in par%s trace" % name
+print("   parallel == sequential (search + ranked), Parallel span present")
+PY
+
+echo "== determinism suite (parallel == sequential property tests)"
+if [ -x "$TEST_EXEC" ]; then
+  "$TEST_EXEC" -q >/dev/null || fail "determinism suite"
+  echo "   test_exec passed"
+else
+  echo "   SKIP: $TEST_EXEC not built"
+fi
 
 echo "== prepared statement round-trip"
 PREP=$(client --prepare 'for $a in document("*")//article/descendant-or-self::*

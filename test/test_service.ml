@@ -774,7 +774,8 @@ let test_scheduler_prepared () =
       let json =
         Service.Server.handle pool
           (Service.Protocol.Execute
-             { id; k = Some 3; limits = Core.Governor.unlimited; trace = false })
+             { id; k = Some 3; limits = Core.Governor.unlimited;
+               trace = false; parallelism = None })
       in
       check bool_ "execute ok" true
         (Service.Json.member "ok" json = Some (Service.Json.Bool true)))
@@ -830,6 +831,7 @@ let test_tcp_server () =
                   k = Some 4;
                   limits = Core.Governor.unlimited;
                   trace = false;
+                  parallelism = None;
                 }))
       in
       (* several concurrent connections, several requests each *)
@@ -880,6 +882,72 @@ let test_tcp_server () =
       | _ -> Alcotest.fail "no stats response")
 
 (* ------------------------------------------------------------------ *)
+(* Intra-query parallelism plumbing *)
+
+(* "parallelism" survives a protocol round trip *)
+let test_protocol_parallelism_roundtrip () =
+  let req =
+    Service.Protocol.Exec
+      {
+        req =
+          Service.Engine.Search
+            {
+              terms = [ "svplantone" ];
+              method_ = Service.Engine.Termjoin;
+              complex = false;
+            };
+        k = Some 5;
+        limits = Core.Governor.unlimited;
+        trace = false;
+        parallelism = Some 3;
+      }
+  in
+  let line = Service.Json.to_string (Service.Protocol.request_to_json req) in
+  check bool_ "field on the wire" true
+    (let j = Result.get_ok (Service.Json.parse line) in
+     Service.Json.member "parallelism" j = Some (Service.Json.Int 3));
+  match Service.Protocol.parse_request line with
+  | Ok req' -> check bool_ "roundtrip" true (req = req')
+  | Error e -> Alcotest.failf "parse: %s" e
+
+(* a parallel submission returns the same rows as a sequential one,
+   through a pool whose cap clamps the request's ask *)
+let test_scheduler_parallelism () =
+  let pool =
+    Service.Scheduler.create ~workers:1 ~max_parallelism:2
+      ~result_cache_capacity:0 (Lazy.force snapshot)
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.shutdown pool)
+    (fun () ->
+      let req =
+        Service.Engine.Search
+          {
+            terms = [ "svplantone"; "svplanttwo" ];
+            method_ = Service.Engine.Termjoin;
+            complex = true;
+          }
+      in
+      let run ?parallelism () =
+        match Service.Scheduler.run pool ?parallelism req with
+        | Ok (Ok r) -> r
+        | Ok (Error e) ->
+          Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+        | Error e -> Alcotest.failf "submit: %s" (Service.Scheduler.error_code e)
+      in
+      let seq = run () in
+      (* 8 clamps to the pool's cap of 2; results must not change *)
+      let par = run ~parallelism:8 () in
+      check bool_ "rows identical" true
+        (seq.Service.Engine.rows = par.Service.Engine.rows);
+      check int_ "total identical" seq.Service.Engine.total
+        par.Service.Engine.total;
+      check bool_ "steps accounted" true (par.Service.Engine.steps_used > 0);
+      (* steps_used crosses the response encoder *)
+      let j = Service.Protocol.result_to_json par in
+      match Service.Json.member "steps_used" j with
+      | Some (Service.Json.Int n) -> check bool_ "steps_used > 0" true (n > 0)
+      | _ -> Alcotest.fail "steps_used missing from response")
 
 let () =
   Alcotest.run "service"
@@ -944,6 +1012,10 @@ let () =
           Alcotest.test_case "reload invalidates" `Quick
             test_scheduler_reload_invalidates;
           Alcotest.test_case "prepared statements" `Quick test_scheduler_prepared;
+          Alcotest.test_case "parallelism protocol roundtrip" `Quick
+            test_protocol_parallelism_roundtrip;
+          Alcotest.test_case "parallel = sequential rows" `Quick
+            test_scheduler_parallelism;
         ] );
       ("server", [ Alcotest.test_case "tcp" `Slow test_tcp_server ]);
     ]
