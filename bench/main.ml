@@ -793,6 +793,99 @@ let service_bench db =
   config ~workers:4 ~cached:true ()
 
 (* ------------------------------------------------------------------ *)
+(* Live updates: WAL-durable mutation throughput, the query-time
+   overhead of a pending delta against the plain snapshot, and the
+   cost of folding the delta into a fresh image (checkpoint). *)
+
+let updates_batch_size =
+  match Sys.getenv_opt "TIX_BENCH_UPDATES_BATCH" with
+  | Some s -> int_of_string s
+  | None -> 200
+
+let updates_bench db =
+  let dir = Filename.temp_file "tix_bench_updates" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+    (fun () ->
+      let live =
+        match Store.Live.open_dir ~base:db ~dir () with
+        | Ok o -> o.Store.Live.live
+        | Error e -> failwith (Store.Live.error_to_string e)
+      in
+      let n = updates_batch_size in
+      Printf.printf "\n== Live updates (%d WAL-durable inserts) ==\n%!" n;
+      let doc i =
+        Printf.sprintf
+          "<article><title>bench %d</title><sec><p>%s %s planted bench \
+           text</p></sec></article>"
+          i (qa 1000) (qb 1000)
+      in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to n - 1 do
+        match
+          Store.Live.insert live
+            ~name:(Printf.sprintf "bench%d.xml" i)
+            ~xml:(doc i)
+        with
+        | Ok () -> ()
+        | Error e -> failwith (Store.Live.error_to_string e)
+      done;
+      let ingest_s = Unix.gettimeofday () -. t0 in
+      bench_results := ("updates/insert-batch", [ ingest_s ]) :: !bench_results;
+      Printf.printf "%-28s %10.0f docs/s (%.1f ms total, fsync per doc)\n%!"
+        "insert throughput"
+        (float_of_int n /. ingest_s)
+        (ingest_s *. 1000.);
+      (* query overhead of the pending delta: the same ranked request
+         against the plain snapshot and the base+delta view *)
+      let snapshot =
+        match Service.Engine.of_db db with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      let delta_snapshot =
+        Service.Engine.with_delta snapshot (Store.Live.delta live)
+      in
+      let request = Service.Engine.Ranked { terms = [ qa 1000; qb 1000 ] } in
+      let time_queries snap =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to 20 do
+          match Service.Engine.exec ~k:10 snap request with
+          | Ok _ -> ()
+          | Error e -> failwith (Service.Engine.error_message e)
+        done;
+        (Unix.gettimeofday () -. t0) /. 20. *. 1000.
+      in
+      let base_ms = time_queries snapshot in
+      let delta_ms = time_queries delta_snapshot in
+      bench_results :=
+        ("updates/ranked-base", [ base_ms /. 1000. ])
+        :: ("updates/ranked-delta", [ delta_ms /. 1000. ])
+        :: !bench_results;
+      Printf.printf "%-28s %10.3f ms (plain snapshot)\n%!" "ranked top-10"
+        base_ms;
+      Printf.printf "%-28s %10.3f ms (+%d-doc delta)\n%!" "ranked top-10"
+        delta_ms n;
+      let t0 = Unix.gettimeofday () in
+      (match Store.Live.checkpoint live with
+      | Ok _ -> ()
+      | Error e -> failwith (Store.Live.error_to_string e));
+      let ckpt_s = Unix.gettimeofday () -. t0 in
+      bench_results := ("updates/checkpoint", [ ckpt_s ]) :: !bench_results;
+      Printf.printf "%-28s %10.1f ms (merge + save + wal reset)\n%!"
+        "checkpoint" (ckpt_s *. 1000.);
+      Store.Live.close live)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment *)
 
 let micro ctx =
@@ -879,7 +972,8 @@ let () =
     run "micro" (fun () -> micro ctx);
     (* last: pinning the pager switches it to lock-free reads, which
        would skew the buffer-pool-sensitive experiments above *)
-    run "service" (fun () -> service_bench db)
+    run "service" (fun () -> service_bench db);
+    run "updates" (fun () -> updates_bench db)
   end;
   write_results_json ();
   match !bench_failures with

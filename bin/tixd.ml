@@ -53,17 +53,64 @@ let load_files ~skip_bad paths =
     in
     Store.Db.of_documents docs
 
+let open_live ?base ~dir () =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  match Store.Live.open_dir ?base ~dir () with
+  | Error e ->
+    Format.eprintf "error: %s: %s@." dir (Store.Live.error_to_string e);
+    exit 1
+  | Ok opened ->
+    let recovery = opened.Store.Live.recovery in
+    let replay = opened.Store.Live.replay in
+    let records = List.length recovery.Store.Wal.records in
+    if records > 0 || recovery.Store.Wal.truncated_bytes > 0 then
+      Format.printf
+        "tixd: recovered %d WAL record(s): %d applied, %d skipped, %d torn \
+         byte(s) truncated@."
+        records replay.Store.Delta.applied replay.Store.Delta.skipped
+        recovery.Store.Wal.truncated_bytes;
+    opened
+
 let serve paths host port workers queue_depth parallelism plan_cache
-    result_cache timeout max_steps max_results slow_query skip_bad =
-  let db = load_files ~skip_bad paths in
+    result_cache timeout max_steps max_results slow_query skip_bad wal_dir =
+  if paths = [] && wal_dir = None then begin
+    Format.eprintf
+      "error: nothing to serve — give XML documents, a .tix image, or \
+       --wal-dir@.";
+    exit 1
+  end;
+  let base =
+    match paths with [] -> None | paths -> Some (load_files ~skip_bad paths)
+  in
+  let base_label = match paths with [ p ] -> p | _ -> "<multiple>" in
   Service.Engine.set_slow_query_threshold slow_query;
-  let source = match paths with [ p ] -> p | _ -> "<multiple>" in
+  let opened = Option.map (fun dir -> open_live ?base ~dir ()) wal_dir in
+  let source, db =
+    match opened with
+    | None -> (base_label, Option.get base)
+    | Some o ->
+      let source =
+        match o.Store.Live.base_source with
+        | Store.Live.From_checkpoint path -> path
+        | Store.Live.Provided -> base_label
+        | Store.Live.Empty -> "<empty>"
+      in
+      (source, Store.Live.base o.Store.Live.live)
+  in
   let snapshot =
     match Service.Engine.of_db ~source db with
     | Ok s -> s
     | Error msg ->
       Format.eprintf "error: %s@." msg;
       exit 1
+  in
+  (* recovered-but-not-yet-checkpointed WAL records live in the delta:
+     publish them with the very first snapshot *)
+  let snapshot =
+    match opened with
+    | None -> snapshot
+    | Some o ->
+      Service.Engine.with_delta snapshot (Store.Live.delta o.Store.Live.live)
   in
   let limits =
     Core.Governor.limits ?max_steps ?timeout_s:timeout ?max_results ()
@@ -73,11 +120,20 @@ let serve paths host port workers queue_depth parallelism plan_cache
       ~max_parallelism:parallelism ~plan_cache_capacity:plan_cache
       ~result_cache_capacity:result_cache snapshot
   in
-  let server = Service.Server.start ~host ~port scheduler in
+  let updates =
+    Option.map
+      (fun o -> Service.Updates.create ~live:o.Store.Live.live ~scheduler)
+      opened
+  in
+  let server = Service.Server.start ~host ~port ?updates scheduler in
   let stats = Service.Scheduler.stats scheduler in
-  Format.printf "tixd: serving %s on %s:%d (workers=%d queue=%d)@." source host
+  Format.printf "tixd: serving %s on %s:%d (workers=%d queue=%d%s)@." source
+    host
     (Service.Server.port server)
-    stats.Service.Scheduler.workers stats.Service.Scheduler.queue_depth;
+    stats.Service.Scheduler.workers stats.Service.Scheduler.queue_depth
+    (match wal_dir with
+    | Some dir -> Printf.sprintf " wal-dir=%s" dir
+    | None -> "");
   (* flush so scripts that spawned us can scrape the port *)
   Format.pp_print_flush Format.std_formatter ();
   let running = Atomic.make true in
@@ -89,14 +145,17 @@ let serve paths host port workers queue_depth parallelism plan_cache
   done;
   Format.printf "tixd: shutting down@.";
   Service.Server.stop server;
-  Service.Scheduler.shutdown scheduler
+  Service.Scheduler.shutdown scheduler;
+  Option.iter (fun o -> Store.Live.close o.Store.Live.live) opened
 
 let paths_arg =
   Arg.(
-    non_empty & pos_all file []
+    value & pos_all file []
     & info [] ~docv:"FILE"
         ~doc:
-          "XML documents to load, or a single saved database image (*.tix).")
+          "XML documents to load, or a single saved database image (*.tix). \
+           May be omitted when $(b,--wal-dir) names a directory with a \
+           checkpoint.")
 
 let host_arg =
   Arg.(
@@ -185,6 +244,18 @@ let skip_bad_arg =
     & info [ "skip-bad" ]
         ~doc:"Skip documents that fail to parse or ingest instead of aborting.")
 
+let wal_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal-dir" ] ~docv:"DIR"
+        ~doc:
+          "Serve updatable: accept insert/delete/update/checkpoint ops, \
+           logging each mutation to DIR/wal.log before acknowledging it. On \
+           start, a checkpoint image in DIR wins over the FILE arguments and \
+           the WAL's committed records are replayed (torn tails are \
+           truncated). Created if missing.")
+
 let () =
   let info =
     Cmd.info "tixd" ~version:"1.0.0"
@@ -197,4 +268,4 @@ let () =
             const serve $ paths_arg $ host_arg $ port_arg $ workers_arg
             $ queue_arg $ parallelism_arg $ plan_cache_arg $ result_cache_arg
             $ timeout_arg $ max_steps_arg $ max_results_arg $ slow_query_arg
-            $ skip_bad_arg)))
+            $ skip_bad_arg $ wal_dir_arg)))

@@ -8,6 +8,8 @@
      gen     write a synthetic INEX-like corpus to a directory
      build   build a persistent database image from XML files
      client  talk to a running tixd server (NDJSON over TCP)
+     ingest  insert/replace documents in a running updatable tixd
+     rm      delete documents from a running updatable tixd
      demo    run the paper's Query 1 against the built-in Figure 1 data
 *)
 
@@ -643,7 +645,8 @@ let print_response ~pretty resp =
 
 let client_cmd =
   let run host port query explain trace parallel search phrase ranked comp3
-      method_ complex do_stats do_health prepare execute raw k pretty limits =
+      method_ complex do_stats do_health do_checkpoint prepare execute raw k
+      pretty limits =
     let some_if cond v = if cond then Some v else None in
     let parallelism = if parallel > 1 then Some parallel else None in
     let requests =
@@ -698,6 +701,7 @@ let client_cmd =
             (fun id ->
               Service.Protocol.Execute { id; k; limits; trace; parallelism })
             execute;
+          some_if do_checkpoint Service.Protocol.Checkpoint;
           some_if do_stats Service.Protocol.Stats;
           some_if do_health Service.Protocol.Health;
         ]
@@ -712,7 +716,8 @@ let client_cmd =
     | [] ->
       Format.eprintf
         "error: pick one of --query, --explain, --search, --phrase, \
-         --ranked, --prepare, --execute, --stats, --health or --raw@.";
+         --ranked, --prepare, --execute, --checkpoint, --stats, --health or \
+         --raw@.";
       exit 2
     | lines ->
       List.iter
@@ -788,6 +793,14 @@ let client_cmd =
   let health_arg =
     Arg.(value & flag & info [ "health" ] ~doc:"Health check.")
   in
+  let checkpoint_arg =
+    Arg.(
+      value & flag
+      & info [ "checkpoint" ]
+          ~doc:
+            "Ask the server to merge its delta into a fresh immutable image \
+             and reset the WAL (requires tixd --wal-dir).")
+  in
   let prepare_arg =
     Arg.(
       value
@@ -824,8 +837,112 @@ let client_cmd =
     Term.(
       const run $ host_arg $ port_arg $ query_arg $ explain_arg $ trace_arg
       $ parallel_arg $ search_arg $ phrase_arg $ ranked_arg $ comp3_arg
-      $ method_arg $ complex_arg $ stats_arg $ health_arg $ prepare_arg
-      $ execute_arg $ raw_arg $ k_arg $ pretty_arg $ limits_term)
+      $ method_arg $ complex_arg $ stats_arg $ health_arg $ checkpoint_arg
+      $ prepare_arg $ execute_arg $ raw_arg $ k_arg $ pretty_arg $ limits_term)
+
+(* ------------------------------------------------------------------ *)
+(* ingest / rm: live updates against a running tixd --wal-dir server *)
+
+let server_host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let server_port_arg =
+  Arg.(
+    value & opt int 7070 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let read_document path =
+  if path = "-" then In_channel.input_all stdin
+  else begin
+    let ic =
+      match open_in_bin path with
+      | ic -> ic
+      | exception Sys_error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 1
+    in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_all ic)
+  end
+
+let send_request ~host ~port req =
+  let line = Service.Json.to_string (Service.Protocol.request_to_json req) in
+  (* pretty-mode response handling: exits 1 on {"ok":false,...} *)
+  print_response ~pretty:true (round_trip ~host ~port line)
+
+let ingest_cmd =
+  let run host port update name paths =
+    (match name, paths with
+    | Some _, _ :: _ :: _ ->
+      Format.eprintf "error: --name needs exactly one FILE@.";
+      exit 2
+    | _ -> ());
+    List.iter
+      (fun path ->
+        let xml = read_document path in
+        let doc_name =
+          match name with
+          | Some n -> n
+          | None ->
+            if path = "-" then begin
+              Format.eprintf "error: reading stdin requires --name@.";
+              exit 2
+            end
+            else Filename.basename path
+        in
+        send_request ~host ~port
+          (if update then Service.Protocol.UpdateDoc { name = doc_name; xml }
+           else Service.Protocol.Insert { name = doc_name; xml }))
+      paths
+  in
+  let update_arg =
+    Arg.(
+      value & flag
+      & info [ "update" ]
+          ~doc:"Replace an existing document instead of inserting a new one.")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:
+            "Document name to ingest under (default: the file's basename; \
+             required when FILE is $(b,-), i.e. stdin).")
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"XML documents to send; $(b,-) reads one document from stdin.")
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Insert (or with --update, replace) XML documents in a running \
+          updatable tixd; each acknowledged document is WAL-durable")
+    Term.(
+      const run $ server_host_arg $ server_port_arg $ update_arg $ name_arg
+      $ files_arg)
+
+let rm_cmd =
+  let run host port names =
+    List.iter
+      (fun name ->
+        send_request ~host ~port (Service.Protocol.Remove { name }))
+      names
+  in
+  let names_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"NAME" ~doc:"Document names to delete.")
+  in
+  Cmd.v
+    (Cmd.info "rm"
+       ~doc:"Delete documents by name from a running updatable tixd")
+    Term.(const run $ server_host_arg $ server_port_arg $ names_arg)
 
 (* ------------------------------------------------------------------ *)
 (* demo *)
@@ -868,5 +985,5 @@ let () =
        (Cmd.group info
           [
             query_cmd; search_cmd; phrase_cmd; stats_cmd; gen_cmd; build_cmd;
-            client_cmd; demo_cmd;
+            client_cmd; ingest_cmd; rm_cmd; demo_cmd;
           ]))

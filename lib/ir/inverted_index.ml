@@ -58,8 +58,7 @@ let per_term b id =
 
 let normalize b term = if b.stem then Stemmer.stem term else term
 
-let add_occurrence b ~doc ~node ~term ~pos =
-  let term = normalize b term in
+let add_normalized_occurrence b ~doc ~node ~term ~pos =
   let id = Dictionary.intern b.dict term in
   let pt = per_term b id in
   (match pt.build with
@@ -71,6 +70,9 @@ let add_occurrence b ~doc ~node ~term ~pos =
   end;
   if doc >= b.docs then b.docs <- doc + 1;
   b.occurrences <- b.occurrences + 1
+
+let add_occurrence b ~doc ~node ~term ~pos =
+  add_normalized_occurrence b ~doc ~node ~term:(normalize b term) ~pos
 
 let index_text b ~doc ~node ~start_pos text =
   Tokenizer.fold ~start_pos
@@ -119,6 +121,11 @@ let doc_freq t term =
 let document_count t = t.documents
 let dictionary t = t.dictionary
 let stemmed t = t.is_stemmed
+
+let iter_terms t f =
+  for id = 0 to Array.length t.postings - 1 do
+    f (Dictionary.term t.dictionary id) t.postings.(id)
+  done
 
 let stats t =
   {

@@ -6,6 +6,7 @@ type t = {
   doc_trees : (int, Core.Stree.t) Hashtbl.t;
   limits : Core.Governor.limits;
   trace : Core.Trace.t;
+  exclude_docs : int -> bool;
   mutable governor : Core.Governor.t option;
       (** live only while a query runs: each {!run} starts a fresh
           governor from [limits], so budgets are per query and an
@@ -15,7 +16,7 @@ type t = {
 }
 
 let create ?functions ?(limits = Core.Governor.unlimited)
-    ?(trace = Core.Trace.disabled) db =
+    ?(trace = Core.Trace.disabled) ?(exclude_docs = fun _ -> false) db =
   let fns = match functions with Some f -> f | None -> Functions.builtins () in
   {
     db;
@@ -23,6 +24,7 @@ let create ?functions ?(limits = Core.Governor.unlimited)
     doc_trees = Hashtbl.create 8;
     limits;
     trace;
+    exclude_docs;
     governor = None;
     last_steps = 0;
   }
@@ -63,7 +65,11 @@ let documents_matching t pattern =
     if doc >= Store.Catalog.document_count catalog then List.rev acc
     else begin
       let name = Store.Catalog.document_name catalog doc in
-      let acc = if Glob.matches pattern name then doc :: acc else acc in
+      let acc =
+        if (not (t.exclude_docs doc)) && Glob.matches pattern name then
+          doc :: acc
+        else acc
+      in
       collect (doc + 1) acc
     end
   in

@@ -16,9 +16,13 @@ val create :
   ?functions:Functions.t ->
   ?limits:Core.Governor.limits ->
   ?trace:Core.Trace.t ->
+  ?exclude_docs:(int -> bool) ->
   Store.Db.t ->
   t
-(** [functions] defaults to {!Functions.builtins}; [limits] (default
+(** [exclude_docs] hides documents from [document(...)] resolution —
+    the delta overlay uses it to mask tombstoned base documents
+    without touching the store. [functions] defaults to
+    {!Functions.builtins}; [limits] (default
     {!Core.Governor.unlimited}) governs every subsequent {!run}: a
     fresh {!Core.Governor.t} is started per query, charging a step
     per evaluated expression / navigated node and gating intermediate

@@ -1,18 +1,66 @@
+type delta_view = {
+  delta_db : (Store.Db.t * Access.Ctx.t) option;
+  tombstones : bool array;
+  dense : int array;
+  n_live : int;
+  n_tomb : int;
+  delta_docs : int;
+}
+
 type snapshot = {
   db : Store.Db.t;
   ctx : Access.Ctx.t;
   generation : int;
   source : string;
+  delta : delta_view option;
 }
 
 let of_db ?(generation = 0) ?(source = "<memory>") db =
   let pager = Store.Element_store.pager (Store.Db.elements db) in
   match Store.Pager.pin pager with
   | Ok () ->
-    Ok { db; ctx = Access.Ctx.of_db db; generation; source }
+    Ok { db; ctx = Access.Ctx.of_db db; generation; source; delta = None }
   | Error e ->
     Error
       (Format.asprintf "cannot pin %s: %a" source Store.Pager.pp_read_error e)
+
+let with_delta snapshot d =
+  if Store.Delta.is_empty d then { snapshot with delta = None }
+  else begin
+    let tombstones = Store.Delta.tombstones d in
+    let n_base = Array.length tombstones in
+    let dense = Array.make (max n_base 1) (-1) in
+    let n_live = ref 0 in
+    for doc = 0 to n_base - 1 do
+      if not tombstones.(doc) then begin
+        dense.(doc) <- !n_live;
+        incr n_live
+      end
+    done;
+    let delta_db =
+      Option.map (fun db -> (db, Access.Ctx.of_db db)) (Store.Delta.db d)
+    in
+    {
+      snapshot with
+      delta =
+        Some
+          {
+            delta_db;
+            tombstones;
+            dense;
+            n_live = !n_live;
+            n_tomb = Store.Delta.tombstone_count d;
+            delta_docs = Store.Delta.doc_count d;
+          };
+    }
+  end
+
+let is_tombstoned dv doc =
+  doc >= 0 && doc < Array.length dv.tombstones && dv.tombstones.(doc)
+
+let fault_stats snapshot =
+  Store.Pager.fault (Store.Element_store.pager (Store.Db.elements snapshot.db))
+  |> Option.map Store.Fault.stats
 
 let load ?pool_pages ?generation path =
   match Store.Db.open_file ?pool_pages path with
@@ -181,12 +229,22 @@ let log_slow ~key ~dt trace_span =
         m "slow query (%.3fs >= %.3fs): %s%s" dt threshold key tree)
   | Some _ | None -> ()
 
-let row_of_node snapshot (n : Access.Scored_node.t) =
+let row_of_db db (n : Access.Scored_node.t) =
   let tag =
-    Option.value ~default:"?"
-      (Store.Db.tag_of snapshot.db ~doc:n.doc ~start:n.start)
+    Option.value ~default:"?" (Store.Db.tag_of db ~doc:n.doc ~start:n.start)
   in
   { tag; doc = n.doc; start = n.start; score = n.score }
+
+let row_of_node snapshot n = row_of_db snapshot.db n
+
+(* Row-level mirror of [Access.Scored_node.compare_score_desc]:
+   score descending, ties in (doc, start) order. Merged base+delta
+   rows are sorted with this after id remapping, which reproduces the
+   order a from-scratch rebuild would emit. *)
+let compare_row a b =
+  match compare b.score a.score with
+  | 0 -> ( match compare a.doc b.doc with 0 -> compare a.start b.start | c -> c)
+  | c -> c
 
 let op_counter name = Metrics.counter ("op." ^ name)
 
@@ -254,22 +312,39 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
   | Error e -> Error e
   | Ok compiled -> begin
     let run_interp () =
-      (* a fresh evaluator per query: its tree cache and governor
-         slot are private, so the interpreter is domain-safe too *)
-      let evaluator = Query.Eval.create ~limits ~trace:tracer snapshot.db in
-      Metrics.incr (op_counter "interp");
-      match stage "execute" (fun () -> Query.Eval.run_string evaluator q) with
-      | Ok results ->
-        let trees =
-          List.map (fun r -> Xmlkit.Printer.to_string ~indent:2 r) results
+      (* The interpreter renders trees without scores, so a delta
+         holding new/updated documents cannot be rank-merged with the
+         base run; tombstone-only deltas are exact via [exclude_docs]
+         (hiding a document never changes the others' results). *)
+      match snapshot.delta with
+      | Some dv when dv.delta_docs > 0 ->
+        Error
+          (Unsupported
+             "interpreter fallback is unavailable while inserted/updated \
+              documents are pending; checkpoint first")
+      | _ ->
+        let exclude_docs =
+          match snapshot.delta with
+          | Some dv -> fun doc -> is_tombstoned dv doc
+          | None -> fun _ -> false
         in
-        Ok ([], trees, None, Query.Eval.last_steps evaluator)
-      | Error msg -> Error (Unsupported msg)
+        (* a fresh evaluator per query: its tree cache and governor
+           slot are private, so the interpreter is domain-safe too *)
+        let evaluator =
+          Query.Eval.create ~limits ~trace:tracer ~exclude_docs snapshot.db
+        in
+        Metrics.incr (op_counter "interp");
+        (match stage "execute" (fun () -> Query.Eval.run_string evaluator q) with
+        | Ok results ->
+          let trees =
+            List.map (fun r -> Xmlkit.Printer.to_string ~indent:2 r) results
+          in
+          Ok ([], trees, None, Query.Eval.last_steps evaluator)
+        | Error msg -> Error (Unsupported msg))
     in
-    let outcome =
-      match compiled, mode with
-      | Ok plan, (`Auto | `Engine) ->
-        Metrics.incr (op_counter "engine_plan");
+    let run_plan plan =
+      match snapshot.delta with
+      | None ->
         let gov = Core.Governor.start limits in
         let nodes =
           stage "execute" (fun () ->
@@ -281,6 +356,69 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
             [],
             Some (Query.Compile.explain plan),
             Core.Governor.steps gov )
+      | Some dv ->
+        if plan.Query.Compile.pick <> None then
+          Error
+            (Unsupported
+               "quantile pick is distribution-sensitive and cannot be \
+                merged with pending updates; checkpoint first")
+        else begin
+          (* run base and delta separately and rank-merge: scores are
+             corpus-stat free, so per-element results are unchanged by
+             the split. The base limit is widened by the tombstone
+             count so dropping dead documents cannot starve the
+             merged top-K. *)
+          let widened =
+            match plan.Query.Compile.limit with
+            | Some l -> { plan with Query.Compile.limit = Some (l + dv.n_tomb) }
+            | None -> plan
+          in
+          let gov = Core.Governor.start limits in
+          let base_nodes, delta_nodes =
+            stage "execute" (fun () ->
+                let base =
+                  Query.Compile.execute ~governor:gov ~trace:tracer snapshot.db
+                    widened
+                in
+                let delta =
+                  match dv.delta_db with
+                  | None -> []
+                  | Some (ddb, _) ->
+                    Query.Compile.execute ~governor:gov ~trace:tracer ddb plan
+                in
+                (base, delta))
+          in
+          let base_rows =
+            List.filter_map
+              (fun (n : Access.Scored_node.t) ->
+                if is_tombstoned dv n.doc then None
+                else
+                  Some { (row_of_db snapshot.db n) with doc = dv.dense.(n.doc) })
+              base_nodes
+          in
+          let delta_rows =
+            match dv.delta_db with
+            | None -> []
+            | Some (ddb, _) ->
+              List.map
+                (fun (n : Access.Scored_node.t) ->
+                  { (row_of_db ddb n) with doc = dv.n_live + n.doc })
+                delta_nodes
+          in
+          let rows = List.sort compare_row (base_rows @ delta_rows) in
+          let rows = truncate plan.Query.Compile.limit rows in
+          Ok
+            ( rows,
+              [],
+              Some (Query.Compile.explain plan),
+              Core.Governor.steps gov )
+        end
+    in
+    let outcome =
+      match compiled, mode with
+      | Ok plan, (`Auto | `Engine) ->
+        Metrics.incr (op_counter "engine_plan");
+        run_plan plan
       | Error reason, `Engine ->
         Error (Unsupported (Printf.sprintf "not compilable: %s" reason))
       | Error _, (`Auto | `Interp) | Ok _, `Interp -> run_interp ()
@@ -394,6 +532,41 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
       List.sort Access.Scored_node.compare_score_desc nodes
       |> List.map (row_of_node snapshot)
     in
+    (* Node-result families (search, phrase): run the same access
+       method over the base and the delta contexts, drop tombstoned
+       base nodes, remap both sides into the dense merged id space
+       and re-rank. Scores are per-element (no corpus statistics), so
+       the split execution returns exactly what a from-scratch
+       rebuild of base ∪ delta − tombstones would. *)
+    let merged_node_rows ~run =
+      match snapshot.delta with
+      | None ->
+        let nodes, steps = run snapshot.ctx in
+        (ranked_rows nodes, steps)
+      | Some dv ->
+        let base_nodes, base_steps = run snapshot.ctx in
+        let base_rows =
+          List.filter_map
+            (fun (n : Access.Scored_node.t) ->
+              if is_tombstoned dv n.doc then None
+              else
+                Some { (row_of_db snapshot.db n) with doc = dv.dense.(n.doc) })
+            base_nodes
+        in
+        let delta_rows, delta_steps =
+          match dv.delta_db with
+          | None -> ([], 0)
+          | Some (ddb, dctx) ->
+            let nodes, steps = run dctx in
+            ( List.map
+                (fun (n : Access.Scored_node.t) ->
+                  { (row_of_db ddb n) with doc = dv.n_live + n.doc })
+                nodes,
+              steps )
+        in
+        ( List.sort compare_row (base_rows @ delta_rows),
+          base_steps + delta_steps )
+    in
     match
       match request with
       | Query { q; mode } -> begin
@@ -410,13 +583,15 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
             if complex then Access.Counter_scoring.Complex
             else Access.Counter_scoring.Simple
           in
-          let ctx = snapshot.ctx in
           Metrics.incr (op_counter (search_method_to_string method_));
+          (match method_ with
+          | (Termjoin | Enhanced | Genmeet) when par > 1 ->
+            Metrics.incr (Metrics.counter "queries.parallel")
+          | _ -> ());
           let t0 = now () in
-          let nodes, steps =
+          let run ctx =
             match method_ with
             | (Termjoin | Enhanced | Genmeet) when par > 1 ->
-              Metrics.incr (Metrics.counter "queries.parallel");
               governed_parallel limits (fun shared ->
                   match method_ with
                   | Termjoin ->
@@ -446,37 +621,36 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
                   | Comp2 ->
                     Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms)
           in
+          let rows, steps = merged_node_rows ~run in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
-          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps
-            (ranked_rows nodes) []
+          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps rows []
         end
       | Phrase { phrase; comp3 } -> begin
         match Ir.Phrase.parse phrase with
         | [] -> Error (Bad_request "empty phrase")
         | words ->
           Metrics.incr (op_counter (if comp3 then "comp3" else "phrase_finder"));
+          if (not comp3) && par > 1 then
+            Metrics.incr (Metrics.counter "queries.parallel");
           let t0 = now () in
-          let nodes, steps =
-            if (not comp3) && par > 1 then begin
-              Metrics.incr (Metrics.counter "queries.parallel");
+          let run ctx =
+            if (not comp3) && par > 1 then
               governed_parallel limits (fun shared ->
-                  Exec.Par.phrase ~trace:tracer ~shared ~parallelism:par
-                    snapshot.ctx ~phrase:words)
-            end
+                  Exec.Par.phrase ~trace:tracer ~shared ~parallelism:par ctx
+                    ~phrase:words)
             else
               governed limits (fun () ->
                   if comp3 then
-                    Access.Composite.comp3_list ~trace:tracer snapshot.ctx
-                      ~phrase:words
+                    Access.Composite.comp3_list ~trace:tracer ctx ~phrase:words
                   else
-                    Access.Phrase_finder.to_list ~trace:tracer snapshot.ctx
+                    Access.Phrase_finder.to_list ~trace:tracer ctx
                       ~phrase:words)
           in
+          let rows, steps = merged_node_rows ~run in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
-          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps
-            (ranked_rows nodes) []
+          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps rows []
       end
       | Ranked { terms } ->
         if terms = [] || List.exists (fun t -> String.trim t = "") terms then
@@ -484,33 +658,66 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
         else begin
           Metrics.incr (op_counter "ranked");
           let kk = match k with Some k when k > 0 -> k | _ -> 10 in
+          if par > 1 then Metrics.incr (Metrics.counter "queries.parallel");
           let t0 = now () in
-          let docs, steps =
-            if par > 1 then begin
-              Metrics.incr (Metrics.counter "queries.parallel");
+          let run ctx ~k =
+            if par > 1 then
               governed_parallel limits (fun shared ->
                   Exec.Par.top_k_docs ~trace:tracer ~shared ~parallelism:par
-                    snapshot.ctx ~terms ~k:kk)
-            end
+                    ctx ~terms ~k)
             else
               governed limits (fun () ->
-                  Access.Ranked.top_k_docs ~trace:tracer snapshot.ctx ~terms
-                    ~k:kk)
+                  Access.Ranked.top_k_docs ~trace:tracer ctx ~terms ~k)
+          in
+          let doc_row catalog remap (doc, score) =
+            let tag =
+              if doc >= 0 && doc < Store.Catalog.document_count catalog then
+                Store.Catalog.document_name catalog doc
+              else "?"
+            in
+            { tag; doc = remap doc; start = -1; score }
+          in
+          let rows, steps =
+            match snapshot.delta with
+            | None ->
+              let docs, steps = run snapshot.ctx ~k:kk in
+              ( List.map (doc_row (Store.Db.catalog snapshot.db) Fun.id) docs,
+                steps )
+            | Some dv ->
+              (* widen the base run by the tombstone count: every live
+                 document of the true merged top-K is then guaranteed
+                 to be among the surviving base candidates *)
+              let base_docs, base_steps =
+                run snapshot.ctx ~k:(kk + dv.n_tomb)
+              in
+              let base_rows =
+                List.filter_map
+                  (fun (doc, score) ->
+                    if is_tombstoned dv doc then None
+                    else
+                      Some
+                        (doc_row
+                           (Store.Db.catalog snapshot.db)
+                           (fun d -> dv.dense.(d))
+                           (doc, score)))
+                  base_docs
+              in
+              let delta_rows, delta_steps =
+                match dv.delta_db with
+                | None -> ([], 0)
+                | Some (ddb, dctx) ->
+                  let docs, steps = run dctx ~k:kk in
+                  ( List.map
+                      (doc_row (Store.Db.catalog ddb) (fun d -> dv.n_live + d))
+                      docs,
+                    steps )
+              in
+              ( truncate (Some kk)
+                  (List.sort compare_row (base_rows @ delta_rows)),
+                base_steps + delta_steps )
           in
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
-          let catalog = Store.Db.catalog snapshot.db in
-          let rows =
-            List.map
-              (fun (doc, score) ->
-                let tag =
-                  if doc >= 0 && doc < Store.Catalog.document_count catalog then
-                    Store.Catalog.document_name catalog doc
-                  else "?"
-                in
-                { tag; doc; start = -1; score })
-              docs
-          in
           finish ~plan:None ~timings:[ ("execute", dt) ] ~steps rows []
         end
     with

@@ -8,6 +8,23 @@
     of {!Scheduler} executes through {!exec}; the CLI reuses the same
     entry point so one query has one semantics everywhere. *)
 
+type delta_view = {
+  delta_db : (Store.Db.t * Access.Ctx.t) option;
+      (** index over the delta documents; [None] when the delta holds
+          only tombstones *)
+  tombstones : bool array;  (** over base document ids *)
+  dense : int array;
+      (** base doc → its id in the merged (rebuild-equivalent) dense
+          id space; [-1] for tombstoned docs *)
+  n_live : int;  (** live base documents; delta doc [d] ↦ [n_live + d] *)
+  n_tomb : int;
+  delta_docs : int;
+}
+(** How a snapshot sees a pending {!Store.Delta}: queries run over
+    the base and the delta separately and are merged in the dense id
+    space, so results — ids, scores, order — equal a from-scratch
+    rebuild of base ∪ delta − tombstones. *)
+
 type snapshot = {
   db : Store.Db.t;
   ctx : Access.Ctx.t;
@@ -15,14 +32,28 @@ type snapshot = {
       (** bumped on reload; caches key on it so a stale entry can
           never serve a new snapshot *)
   source : string;  (** image path, or ["<memory>"] *)
+  delta : delta_view option;
+      (** pending live updates layered over [db]; [None] for a purely
+          immutable snapshot *)
 }
 
 val of_db : ?generation:int -> ?source:string -> Store.Db.t -> (snapshot, string) result
-(** Pin the database's pager and wrap it. [Error] when a page fails
-    its pin-time checksum verification. *)
+(** Pin the database's pager and wrap it (no delta). [Error] when a
+    page fails its pin-time checksum verification. *)
 
 val load : ?pool_pages:int -> ?generation:int -> string -> (snapshot, string) result
 (** [Store.Db.open_file] + {!of_db}. *)
+
+val with_delta : snapshot -> Store.Delta.t -> snapshot
+(** Attach a delta segment's current state (documents, tombstones) to
+    the snapshot. The segment must overlay the snapshot's own [db].
+    The view is immutable — after further mutations, build a new
+    snapshot. An empty delta yields [delta = None]. *)
+
+val fault_stats : snapshot -> Store.Fault.injection_stats option
+(** Injection counts of the fault injector attached to the base
+    store's pager, if any — surfaced through the service [stats]
+    response so fault-injected runs are observable over the wire. *)
 
 (** {1 Requests} *)
 

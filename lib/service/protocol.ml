@@ -15,6 +15,10 @@ type request =
       trace : bool;
       parallelism : int option;
     }
+  | Insert of { name : string; xml : string }
+  | Remove of { name : string }
+  | UpdateDoc of { name : string; xml : string }
+  | Checkpoint
   | Stats
   | Health
 
@@ -141,6 +145,18 @@ let parse_request line =
       | Some id -> Ok (Execute { id; k; limits; trace; parallelism })
       | None -> Error "missing field \"id\""
     end
+    | "insert" ->
+      let* name = field_string j "name" in
+      let* xml = field_string j "xml" in
+      Ok (Insert { name; xml })
+    | "delete" ->
+      let* name = field_string j "name" in
+      Ok (Remove { name })
+    | "update" ->
+      let* name = field_string j "name" in
+      let* xml = field_string j "xml" in
+      Ok (UpdateDoc { name; xml })
+    | "checkpoint" -> Ok Checkpoint
     | "stats" -> Ok Stats
     | "health" -> Ok Health
     | other -> Error (Printf.sprintf "unknown op %S" other)
@@ -207,6 +223,17 @@ let request_to_json = function
       ([ ("op", Json.String "execute"); ("id", Json.Int id) ]
       @ k_field k @ limits_fields limits @ trace_field trace
       @ parallelism_field parallelism)
+  | Insert { name; xml } ->
+    Json.Obj
+      [ ("op", Json.String "insert"); ("name", Json.String name);
+        ("xml", Json.String xml) ]
+  | Remove { name } ->
+    Json.Obj [ ("op", Json.String "delete"); ("name", Json.String name) ]
+  | UpdateDoc { name; xml } ->
+    Json.Obj
+      [ ("op", Json.String "update"); ("name", Json.String name);
+        ("xml", Json.String xml) ]
+  | Checkpoint -> Json.Obj [ ("op", Json.String "checkpoint") ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Health -> Json.Obj [ ("op", Json.String "health") ]
 
@@ -294,13 +321,32 @@ let engine_error_to_json e =
 let ok_prepared_to_json id =
   Json.Obj [ ("ok", Json.Bool true); ("id", Json.Int id) ]
 
-let health_to_json ~generation ~source =
+let health_to_json ?(updatable = false) ~generation ~source () =
   Json.Obj
     [
       ("ok", Json.Bool true);
       ("status", Json.String "serving");
       ("generation", Json.Int generation);
       ("source", Json.String source);
+      ("updatable", Json.Bool updatable);
+    ]
+
+let ok_mutation_to_json ~op ~name ~generation =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String op);
+      ("name", Json.String name);
+      ("generation", Json.Int generation);
+    ]
+
+let ok_checkpoint_to_json ~path ~generation =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String "checkpoint");
+      ("path", Json.String path);
+      ("generation", Json.Int generation);
     ]
 
 let lru_stats_to_json (s : Lru.stats) =
@@ -313,15 +359,60 @@ let lru_stats_to_json (s : Lru.stats) =
       ("evictions", Json.Int s.evictions);
     ]
 
-let stats_to_json scheduler =
+let stats_to_json ?updates scheduler =
   let snap = Scheduler.snapshot scheduler in
   let db_stats = Store.Db.stats snap.Engine.db in
   let pager_stats =
     Store.Pager.stats (Store.Element_store.pager (Store.Db.elements snap.Engine.db))
   in
   let s = Scheduler.stats scheduler in
+  let fault_fields =
+    match Engine.fault_stats snap with
+    | None -> []
+    | Some f ->
+      [
+        ( "faults",
+          Json.Obj
+            [
+              ("transient", Json.Int f.Store.Fault.transient);
+              ("corrupt", Json.Int f.Store.Fault.corrupt);
+              ("torn_writes", Json.Int f.Store.Fault.torn_writes);
+              ("failed_fsyncs", Json.Int f.Store.Fault.failed_fsyncs);
+            ] );
+      ]
+  in
+  let delta_fields =
+    match snap.Engine.delta with
+    | None -> []
+    | Some dv ->
+      [
+        ( "delta",
+          Json.Obj
+            [
+              ("documents", Json.Int dv.Engine.delta_docs);
+              ("tombstones", Json.Int dv.Engine.n_tomb);
+            ] );
+      ]
+  in
+  let updates_fields =
+    match updates with
+    | None -> []
+    | Some u ->
+      let ls = Store.Live.stats (Updates.live u) in
+      [
+        ( "updates",
+          Json.Obj
+            [
+              ("wal_records", Json.Int ls.Store.Live.wal_records);
+              ("wal_bytes", Json.Int ls.Store.Live.wal_bytes);
+              ("delta_documents", Json.Int ls.Store.Live.delta_documents);
+              ("tombstones", Json.Int ls.Store.Live.tombstones);
+              ("checkpoints", Json.Int ls.Store.Live.checkpoints);
+            ] );
+      ]
+  in
   Json.Obj
-    [
+    ([
       ("ok", Json.Bool true);
       ( "db",
         Json.Obj
@@ -360,3 +451,4 @@ let stats_to_json scheduler =
       ("result_cache", lru_stats_to_json s.Scheduler.result_cache);
       ("metrics", Metrics.to_json ());
     ]
+    @ fault_fields @ delta_fields @ updates_fields)

@@ -11,6 +11,10 @@
     {"op":"ranked","terms":["a","b"],"k":10}
     {"op":"prepare","q":"..."}         -> {"ok":true,"id":1}
     {"op":"execute","id":1,"k":10}
+    {"op":"insert","name":"doc.xml","xml":"<a>...</a>"}
+    {"op":"delete","name":"doc.xml"}
+    {"op":"update","name":"doc.xml","xml":"<a>...</a>"}
+    {"op":"checkpoint"}                -> {"ok":true,"path":...,"generation":g}
     {"op":"stats"}
     {"op":"health"}
     v}
@@ -46,6 +50,10 @@ type request =
       trace : bool;
       parallelism : int option;
     }
+  | Insert of { name : string; xml : string }
+  | Remove of { name : string }
+  | UpdateDoc of { name : string; xml : string }
+  | Checkpoint
   | Stats
   | Health
 
@@ -76,6 +84,20 @@ val error_to_json : code:string -> message:string -> Json.t
 val engine_error_to_json : Engine.error -> Json.t
 
 val ok_prepared_to_json : int -> Json.t
-val health_to_json : generation:int -> source:string -> Json.t
-val stats_to_json : Scheduler.t -> Json.t
-(** Database, pager, scheduler, cache and metrics statistics. *)
+
+val ok_mutation_to_json : op:string -> name:string -> generation:int -> Json.t
+(** [{"ok":true,"op":o,"name":n,"generation":g}] — the acknowledged
+    mutation is WAL-durable and generation [g] serves it. *)
+
+val ok_checkpoint_to_json : path:string -> generation:int -> Json.t
+(** [{"ok":true,"path":p,"generation":g}]. *)
+
+val health_to_json :
+  ?updatable:bool -> generation:int -> source:string -> unit -> Json.t
+(** [updatable] reports whether the server accepts mutation ops
+    (i.e. was started with a WAL directory); defaults to [false]. *)
+
+val stats_to_json : ?updates:Updates.t -> Scheduler.t -> Json.t
+(** Database, pager, scheduler, cache and metrics statistics; with
+    [updates], also WAL/delta/checkpoint counters, and when the
+    snapshot carries fault/delta state, those sections too. *)

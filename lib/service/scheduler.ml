@@ -226,11 +226,26 @@ let prepared t id =
 let snapshot t = Atomic.get t.snap
 let caches t = t.caches
 
+type reload_error = Same_generation of { generation : int }
+
+let reload_error_to_string = function
+  | Same_generation { generation } ->
+    Printf.sprintf
+      "reload rejected: snapshot has the current generation %d (result-cache \
+       entries of the old snapshot would survive as hits for the new one)"
+      generation
+
 let reload t snapshot =
-  Atomic.set t.snap snapshot;
-  Lru.clear t.caches.Engine.plans;
-  Lru.clear t.caches.Engine.results;
-  Metrics.incr (Metrics.counter "scheduler.reloads")
+  let current = Atomic.get t.snap in
+  if snapshot.Engine.generation = current.Engine.generation then
+    Error (Same_generation { generation = snapshot.Engine.generation })
+  else begin
+    Atomic.set t.snap snapshot;
+    Lru.clear t.caches.Engine.plans;
+    Lru.clear t.caches.Engine.results;
+    Metrics.incr (Metrics.counter "scheduler.reloads");
+    Ok ()
+  end
 
 type stats = {
   workers : int;

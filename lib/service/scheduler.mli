@@ -82,9 +82,17 @@ val prepared : t -> int -> string option
 val snapshot : t -> Engine.snapshot
 val caches : t -> Engine.caches
 
-val reload : t -> Engine.snapshot -> unit
-(** Install a snapshot (its [generation] should differ) and clear the
-    plan and result caches. *)
+type reload_error = Same_generation of { generation : int }
+
+val reload_error_to_string : reload_error -> string
+
+val reload : t -> Engine.snapshot -> (unit, reload_error) result
+(** Install a snapshot and clear the plan and result caches. The new
+    snapshot's [generation] must differ from the installed one:
+    result-cache keys embed the generation, so installing a different
+    snapshot under the same generation would let stale entries serve
+    the new data — such a reload is rejected with
+    [Same_generation]. *)
 
 type stats = {
   workers : int;

@@ -2,6 +2,7 @@ type t = {
   sock : Unix.file_descr;
   port : int;
   scheduler : Scheduler.t;
+  updates : Updates.t option;
   running : bool Atomic.t;
   mutable accept_thread : Thread.t option;
   accepted : int Atomic.t;
@@ -9,7 +10,21 @@ type t = {
   mutable conn_fds : Unix.file_descr list;
 }
 
-let handle scheduler (req : Protocol.request) =
+let handle ?updates scheduler (req : Protocol.request) =
+  let mutation op run =
+    match updates with
+    | None ->
+      Protocol.error_to_json ~code:"read_only"
+        ~message:
+          "server is read-only: start tixd with --wal-dir to accept updates"
+    | Some u -> begin
+      match run u with
+      | Ok json -> json
+      | Error e ->
+        Protocol.error_to_json ~code:(Updates.error_code e)
+          ~message:(Printf.sprintf "%s failed: %s" op (Updates.error_message e))
+    end
+  in
   let exec ?limits ?k ?trace ?parallelism request =
     match Scheduler.run scheduler ?limits ?k ?trace ?parallelism request with
     | Ok (Ok result) -> Protocol.result_to_json result
@@ -43,11 +58,36 @@ let handle scheduler (req : Protocol.request) =
       Protocol.error_to_json ~code:"unknown_statement"
         ~message:(Printf.sprintf "no prepared statement %d" id)
   end
-  | Protocol.Stats -> Protocol.stats_to_json scheduler
+  | Protocol.Insert { name; xml } ->
+    mutation "insert" (fun u ->
+        Result.map
+          (fun generation ->
+            Protocol.ok_mutation_to_json ~op:"insert" ~name ~generation)
+          (Updates.insert u ~name ~xml))
+  | Protocol.Remove { name } ->
+    mutation "delete" (fun u ->
+        Result.map
+          (fun generation ->
+            Protocol.ok_mutation_to_json ~op:"delete" ~name ~generation)
+          (Updates.delete u ~name))
+  | Protocol.UpdateDoc { name; xml } ->
+    mutation "update" (fun u ->
+        Result.map
+          (fun generation ->
+            Protocol.ok_mutation_to_json ~op:"update" ~name ~generation)
+          (Updates.update u ~name ~xml))
+  | Protocol.Checkpoint ->
+    mutation "checkpoint" (fun u ->
+        Result.map
+          (fun (path, generation) ->
+            Protocol.ok_checkpoint_to_json ~path ~generation)
+          (Updates.checkpoint u))
+  | Protocol.Stats -> Protocol.stats_to_json ?updates scheduler
   | Protocol.Health ->
     let snap = Scheduler.snapshot scheduler in
-    Protocol.health_to_json ~generation:snap.Engine.generation
-      ~source:snap.Engine.source
+    Protocol.health_to_json
+      ~updatable:(Option.is_some updates)
+      ~generation:snap.Engine.generation ~source:snap.Engine.source ()
 
 let track_conn t fd =
   Mutex.protect t.conn_lock (fun () -> t.conn_fds <- fd :: t.conn_fds)
@@ -62,7 +102,7 @@ let serve_connection t fd =
   let respond line =
     let json =
       match Protocol.parse_request line with
-      | Ok req -> handle t.scheduler req
+      | Ok req -> handle ?updates:t.updates t.scheduler req
       | Error msg -> Protocol.error_to_json ~code:"bad_request" ~message:msg
     in
     output_string oc (Json.to_string json);
@@ -94,7 +134,7 @@ let accept_loop t () =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let start ?(host = "127.0.0.1") ?(port = 0) scheduler =
+let start ?(host = "127.0.0.1") ?(port = 0) ?updates scheduler =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -113,6 +153,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) scheduler =
       sock;
       port = actual_port;
       scheduler;
+      updates;
       running = Atomic.make true;
       accept_thread = None;
       accepted = Atomic.make 0;

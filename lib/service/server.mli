@@ -11,16 +11,20 @@
 
 type t
 
-val start : ?host:string -> ?port:int -> Scheduler.t -> t
+val start :
+  ?host:string -> ?port:int -> ?updates:Updates.t -> Scheduler.t -> t
 (** Bind and start serving. [port] defaults to 0 (kernel-assigned —
-    read it back with {!port}); [host] to ["127.0.0.1"]. Raises
-    [Unix.Unix_error] when the address cannot be bound. *)
+    read it back with {!port}); [host] to ["127.0.0.1"]. With
+    [updates], the mutation ops ([insert]/[delete]/[update]/
+    [checkpoint]) are served; without it they are rejected with
+    [read_only]. Raises [Unix.Unix_error] when the address cannot be
+    bound. *)
 
 val port : t -> int
 val connections : t -> int
 (** Connections accepted so far. *)
 
-val handle : Scheduler.t -> Protocol.request -> Json.t
+val handle : ?updates:Updates.t -> Scheduler.t -> Protocol.request -> Json.t
 (** The server's request dispatch, exposed so tests and in-process
     clients can drive the full protocol without a socket. *)
 

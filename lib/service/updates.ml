@@ -1,0 +1,100 @@
+let src = Logs.Src.create "tix.updates" ~doc:"TIX live-update coordinator"
+
+module Log = (val Logs.src_log src)
+
+type t = {
+  live : Store.Live.t;
+  scheduler : Scheduler.t;
+  publish : Mutex.t;
+}
+
+type error = Store_error of Store.Live.error | Snapshot_error of string
+
+let error_code = function
+  | Store_error (Store.Live.Mutation_error e) -> begin
+    match e with
+    | Store.Delta.Duplicate_document _ -> "duplicate_document"
+    | Store.Delta.Unknown_document _ -> "unknown_document"
+    | Store.Delta.Parse_failed _ -> "parse_error"
+  end
+  | Store_error (Store.Live.Wal_error (Store.Wal.Sync_failed _)) ->
+    "sync_failed"
+  | Store_error (Store.Live.Wal_error _) -> "storage"
+  | Store_error (Store.Live.Image_error _) -> "storage"
+  | Snapshot_error _ -> "storage"
+
+let error_message = function
+  | Store_error e -> Store.Live.error_to_string e
+  | Snapshot_error m -> m
+
+let create ~live ~scheduler = { live; scheduler; publish = Mutex.create () }
+let live t = t.live
+
+(* Publish the store's current delta state over the scheduler's
+   snapshot. The base db (and its pinned pager) is reused; only the
+   delta view and the generation change. *)
+let publish_delta t =
+  let current = Scheduler.snapshot t.scheduler in
+  let next =
+    Engine.with_delta
+      { current with Engine.generation = current.Engine.generation + 1 }
+      (Store.Live.delta t.live)
+  in
+  match Scheduler.reload t.scheduler next with
+  | Ok () -> Ok next.Engine.generation
+  | Error e -> Error (Snapshot_error (Scheduler.reload_error_to_string e))
+
+let counted name outcome =
+  (match outcome with
+  | Ok _ -> Metrics.incr (Metrics.counter ("ingest." ^ name))
+  | Error _ -> Metrics.incr (Metrics.counter "ingest.rejected"));
+  outcome
+
+let mutate t name op =
+  Mutex.lock t.publish;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.publish)
+    (fun () ->
+      counted name
+        (match op () with
+        | Error e -> Error (Store_error e)
+        | Ok () ->
+          Metrics.incr (Metrics.counter "wal.appends");
+          publish_delta t))
+
+let insert t ~name ~xml =
+  mutate t "inserts" (fun () -> Store.Live.insert t.live ~name ~xml)
+
+let delete t ~name =
+  mutate t "deletes" (fun () -> Store.Live.delete t.live ~name)
+
+let update t ~name ~xml =
+  mutate t "updates" (fun () -> Store.Live.update t.live ~name ~xml)
+
+let checkpoint t =
+  Mutex.lock t.publish;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.publish)
+    (fun () ->
+      match Store.Live.checkpoint t.live with
+      | Error e -> Error (Store_error e)
+      | Ok path -> begin
+        let current = Scheduler.snapshot t.scheduler in
+        match
+          Engine.of_db
+            ~generation:(current.Engine.generation + 1)
+            ~source:path (Store.Live.base t.live)
+        with
+        | Error msg -> Error (Snapshot_error msg)
+        | Ok next -> begin
+          match Scheduler.reload t.scheduler next with
+          | Error e ->
+            Error (Snapshot_error (Scheduler.reload_error_to_string e))
+          | Ok () ->
+            Metrics.incr (Metrics.counter "checkpoints.total");
+            Log.info (fun m ->
+                m "checkpoint installed: %s (generation %d)" path
+                  next.Engine.generation);
+            Ok (path, next.Engine.generation)
+        end
+      end)

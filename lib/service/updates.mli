@@ -1,0 +1,41 @@
+(** Live-update coordinator: applies mutations to a {!Store.Live}
+    store and republishes the scheduler's snapshot.
+
+    Each successful mutation is WAL-durable before it is
+    acknowledged, and installs a fresh snapshot (same pinned base,
+    new {!Engine.delta_view}, generation + 1) via {!Scheduler.reload}
+    — reads stay lock-free and the generation-keyed caches invalidate
+    exactly as on any other reload. {!checkpoint} merges the delta
+    into a new immutable image and installs {e that} as the new base.
+
+    Mutations are serialized by the underlying store's mutex plus a
+    publish lock here; concurrent readers are never blocked. *)
+
+type t
+
+type error =
+  | Store_error of Store.Live.error
+  | Snapshot_error of string
+      (** the mutation is durable but the new snapshot could not be
+          built/installed — readers keep the previous generation *)
+
+val error_code : error -> string
+(** Protocol error code: [duplicate_document], [unknown_document],
+    [parse_error], [sync_failed], [storage] or [bad_request]. *)
+
+val error_message : error -> string
+
+val create : live:Store.Live.t -> scheduler:Scheduler.t -> t
+(** The scheduler's installed snapshot must wrap [live]'s base. *)
+
+val live : t -> Store.Live.t
+
+val insert : t -> name:string -> xml:string -> (int, error) result
+val delete : t -> name:string -> (int, error) result
+val update : t -> name:string -> xml:string -> (int, error) result
+(** On [Ok g], the mutation is durable and generation [g] serves it. *)
+
+val checkpoint : t -> (string * int, error) result
+(** Merge and persist ({!Store.Live.checkpoint}), then install the
+    merged database as the new base snapshot. [Ok (path, g)] gives
+    the image path and the generation serving it. *)

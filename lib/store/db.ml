@@ -236,6 +236,122 @@ let tag_of t ~doc ~start =
   | Some e -> Some (Catalog.tag_name t.catalog e.Parent_index.tag)
   | None -> None
 
+(* ------------------------------------------------------------------ *)
+(* Compaction: merge a delta segment into a fresh immutable database.
+
+   The merged document id space is dense: live base documents keep
+   their relative order and are renumbered 0.., delta documents follow
+   in arrival order. Both remaps are monotone, so re-adding element
+   records and posting occurrences in scan order preserves the
+   (doc, start) / (doc, pos) orders the builders require, and the
+   result is indistinguishable from loading the surviving documents
+   from scratch. *)
+
+let compact ~base ~delta ~tombstones =
+  let n_base = Catalog.document_count base.catalog in
+  let remap = Array.make (max n_base 1) (-1) in
+  let n_live = ref 0 in
+  for d = 0 to n_base - 1 do
+    let dead = d < Array.length tombstones && tombstones.(d) in
+    if not dead then begin
+      remap.(d) <- !n_live;
+      incr n_live
+    end
+  done;
+  let n_live = !n_live in
+  let catalog = Catalog.create () in
+  for d = 0 to n_base - 1 do
+    if remap.(d) >= 0 then
+      ignore (Catalog.add_document catalog (Catalog.document_name base.catalog d))
+  done;
+  (match delta with
+  | None -> ()
+  | Some dd ->
+    for d = 0 to Catalog.document_count dd.catalog - 1 do
+      ignore (Catalog.add_document catalog (Catalog.document_name dd.catalog d))
+    done);
+  let store_b =
+    Element_store.builder
+      ~page_size:(Pager.page_size (Element_store.pager base.elements))
+      ~pool_pages:default_options.pool_pages ()
+  in
+  let parent_b = Parent_index.builder () in
+  let tag_b = Tag_index.builder () in
+  let add_element src_catalog doc_of (r : Element_rec.t) =
+    match doc_of r.doc with
+    | -1 -> ()
+    | doc ->
+      let tag = Catalog.intern_tag catalog (Catalog.tag_name src_catalog r.tag) in
+      Element_store.add store_b { r with doc; tag };
+      Parent_index.add parent_b ~doc ~start:r.start
+        {
+          Parent_index.parent = r.parent;
+          child_count = r.child_count;
+          level = r.level;
+          end_ = r.end_;
+          tag;
+        };
+      Tag_index.add tag_b ~tag
+        { Tag_index.doc; start = r.start; end_ = r.end_; level = r.level }
+  in
+  Element_store.scan base.elements ~with_text:true
+    (add_element base.catalog (fun d -> remap.(d)));
+  (match delta with
+  | None -> ()
+  | Some dd ->
+    Element_store.scan dd.elements ~with_text:true
+      (add_element dd.catalog (fun d -> n_live + d)));
+  let index_b =
+    Ir.Inverted_index.builder ~stem:(Ir.Inverted_index.stemmed base.index) ()
+  in
+  (* terms were normalized at original ingest; re-add them raw *)
+  Ir.Inverted_index.iter_terms base.index (fun term postings ->
+      Ir.Postings.iter
+        (fun (o : Ir.Postings.occ) ->
+          if remap.(o.doc) >= 0 then
+            Ir.Inverted_index.add_normalized_occurrence index_b
+              ~doc:remap.(o.doc) ~node:o.node ~term ~pos:o.pos)
+        postings);
+  (match delta with
+  | None -> ()
+  | Some dd ->
+    Ir.Inverted_index.iter_terms dd.index (fun term postings ->
+        Ir.Postings.iter
+          (fun (o : Ir.Postings.occ) ->
+            Ir.Inverted_index.add_normalized_occurrence index_b
+              ~doc:(n_live + o.doc) ~node:o.node ~term ~pos:o.pos)
+          postings));
+  let numberings =
+    let live_base =
+      match base.numberings with
+      | Some arr ->
+        let live = ref [] in
+        Array.iteri (fun d num -> if remap.(d) >= 0 then live := num :: !live) arr;
+        Some (List.rev !live)
+      | None -> if n_live = 0 then Some [] else None
+    in
+    let from_delta =
+      match delta with
+      | None -> Some []
+      | Some dd -> (
+        match dd.numberings with
+        | Some arr -> Some (Array.to_list arr)
+        | None ->
+          if Catalog.document_count dd.catalog = 0 then Some [] else None)
+    in
+    match (live_base, from_delta) with
+    | Some a, Some b -> Some (Array.of_list (a @ b))
+    | _ -> None
+  in
+  {
+    catalog;
+    elements = Element_store.freeze store_b;
+    parents = Parent_index.freeze parent_b;
+    tags = Tag_index.freeze tag_b;
+    index = Ir.Inverted_index.freeze index_b;
+    numberings;
+  }
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "documents=%d elements=%d terms=%d occurrences=%d pages=%d index_bytes=%d"

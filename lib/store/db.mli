@@ -67,6 +67,17 @@ val tag_of : t -> doc:int -> start:int -> string option
 (** Tag name of the element with the given start key, resolved
     through the parent index and the catalog (no data-page access). *)
 
+val compact : base:t -> delta:t option -> tombstones:bool array -> t
+(** Merge a delta segment into a fresh database: live base documents
+    (those not marked in [tombstones]) keep their relative order and
+    are renumbered densely from 0, delta documents follow in their
+    own id order. Element records and posting occurrences are
+    re-added under the new ids, so the result is equivalent to
+    loading the surviving documents from scratch — this is the
+    checkpoint's merge step. Retained trees survive when every
+    surviving source had them ([base] live docs and [delta]);
+    otherwise the result keeps none, like an image-loaded database. *)
+
 (** {1 Persistence}
 
     A saved image is versioned and checksummed: a magic header

@@ -1,0 +1,165 @@
+type entry = { name : string; xml : string; tree : Xmlkit.Tree.element }
+
+type t = {
+  base : Db.t;
+  mutable entries : entry list;  (* arrival order *)
+  tombstones : bool array;  (* over base document ids *)
+  mutable n_tombstones : int;
+  mutable cache : Db.t option;  (* delta index, rebuilt lazily *)
+}
+
+type mutation_error =
+  | Duplicate_document of { name : string }
+  | Unknown_document of { name : string }
+  | Parse_failed of { name : string; reason : string }
+
+let pp_mutation_error ppf = function
+  | Duplicate_document { name } ->
+    Format.fprintf ppf "document %S already exists" name
+  | Unknown_document { name } -> Format.fprintf ppf "no document named %S" name
+  | Parse_failed { name; reason } ->
+    Format.fprintf ppf "document %S does not parse: %s" name reason
+
+let mutation_error_to_string e = Format.asprintf "%a" pp_mutation_error e
+
+let create ~base =
+  {
+    base;
+    entries = [];
+    tombstones = Array.make (Catalog.document_count (Db.catalog base)) false;
+    n_tombstones = 0;
+    cache = None;
+  }
+
+let base t = t.base
+
+let base_doc t name =
+  match Catalog.document_id (Db.catalog t.base) name with
+  | Some d when not t.tombstones.(d) -> Some d
+  | Some _ | None -> None
+
+let in_delta t name = List.exists (fun e -> e.name = name) t.entries
+let mem t name = in_delta t name || base_doc t name <> None
+
+let is_tombstoned t doc =
+  doc >= 0 && doc < Array.length t.tombstones && t.tombstones.(doc)
+
+let tombstone_count t = t.n_tombstones
+let tombstones t = Array.copy t.tombstones
+let doc_count t = List.length t.entries
+let is_empty t = t.entries = [] && t.n_tombstones = 0
+let documents t = List.map (fun e -> (e.name, e.xml)) t.entries
+
+let parse ~name xml =
+  match Xmlkit.Parser.parse_string xml with
+  | Ok tree -> Ok { name; xml; tree }
+  | Error e ->
+    Error
+      (Parse_failed
+         { name; reason = Format.asprintf "%a" Xmlkit.Parser.pp_error e })
+
+let dirty t = t.cache <- None
+
+let tombstone t doc =
+  if not t.tombstones.(doc) then begin
+    t.tombstones.(doc) <- true;
+    t.n_tombstones <- t.n_tombstones + 1
+  end
+
+let insert t ~name ~xml =
+  if mem t name then Error (Duplicate_document { name })
+  else
+    match parse ~name xml with
+    | Error _ as e -> e |> Result.map (fun _ -> ())
+    | Ok entry ->
+      t.entries <- t.entries @ [ entry ];
+      dirty t;
+      Ok ()
+
+let delete t ~name =
+  if in_delta t name then begin
+    (* an updated base doc stays tombstoned; only the delta copy goes *)
+    t.entries <- List.filter (fun e -> e.name <> name) t.entries;
+    dirty t;
+    Ok ()
+  end
+  else
+    match base_doc t name with
+    | Some d ->
+      tombstone t d;
+      dirty t;
+      Ok ()
+    | None -> Error (Unknown_document { name })
+
+let update t ~name ~xml =
+  if in_delta t name then
+    match parse ~name xml with
+    | Error _ as e -> e |> Result.map (fun _ -> ())
+    | Ok entry ->
+      (* replace in place: an update keeps the document's position *)
+      t.entries <-
+        List.map (fun e -> if e.name = name then entry else e) t.entries;
+      dirty t;
+      Ok ()
+  else
+    match base_doc t name with
+    | Some d -> begin
+      match parse ~name xml with
+      | Error _ as e -> e |> Result.map (fun _ -> ())
+      | Ok entry ->
+        tombstone t d;
+        t.entries <- t.entries @ [ entry ];
+        dirty t;
+        Ok ()
+    end
+    | None -> Error (Unknown_document { name })
+
+let apply t = function
+  | Wal.Insert { name; xml } -> insert t ~name ~xml
+  | Wal.Delete { name } -> delete t ~name
+  | Wal.Update { name; xml } -> update t ~name ~xml
+
+let check t = function
+  | Wal.Insert { name; xml } ->
+    if mem t name then Error (Duplicate_document { name })
+    else parse ~name xml |> Result.map (fun _ -> ())
+  | Wal.Delete { name } ->
+    if mem t name then Ok () else Error (Unknown_document { name })
+  | Wal.Update { name; xml } ->
+    if mem t name then parse ~name xml |> Result.map (fun _ -> ())
+    else Error (Unknown_document { name })
+
+type replay_report = { applied : int; skipped : int }
+
+let replay t records =
+  let applied = ref 0 and skipped = ref 0 in
+  let step = function
+    | Wal.Insert { name; xml } | Wal.Update { name; xml } ->
+      (* live name → update, dead name → insert: idempotent both ways *)
+      let r =
+        if mem t name then update t ~name ~xml else insert t ~name ~xml
+      in
+      (match r with Ok () -> incr applied | Error _ -> incr skipped)
+    | Wal.Delete { name } -> (
+      match delete t ~name with Ok () -> incr applied | Error _ -> incr skipped)
+  in
+  List.iter step records;
+  { applied = !applied; skipped = !skipped }
+
+let db t =
+  match (t.cache, t.entries) with
+  | Some db, _ -> Some db
+  | None, [] -> None
+  | None, entries ->
+    let options =
+      {
+        Db.default_options with
+        stem = Ir.Inverted_index.stemmed (Db.index t.base);
+        keep_trees = true;
+      }
+    in
+    let db =
+      Db.of_documents ~options (List.map (fun e -> (e.name, e.tree)) entries)
+    in
+    t.cache <- Some db;
+    Some db

@@ -1,3 +1,7 @@
+type write_fault = Torn_write of { at_byte : int } | Fail_fsync
+
+exception Write_crash of { op : int; wrote : int }
+
 type t = {
   seed : int;
   transient_rate : float;
@@ -5,11 +9,19 @@ type t = {
   max_retries : int;
   mutable injected_transient : int;
   mutable injected_corrupt : int;
+  write_faults : (int, write_fault) Hashtbl.t;
+  mutable injected_torn : int;
+  mutable injected_fsync : int;
 }
 
 type outcome = Healthy | Transient | Corrupt
 
-type injection_stats = { transient : int; corrupt : int }
+type injection_stats = {
+  transient : int;
+  corrupt : int;
+  torn_writes : int;
+  failed_fsyncs : int;
+}
 
 let create ?(seed = 0) ?(transient_rate = 0.) ?(corrupt_rate = 0.)
     ?(max_retries = 3) () =
@@ -25,11 +37,39 @@ let create ?(seed = 0) ?(transient_rate = 0.) ?(corrupt_rate = 0.)
     max_retries;
     injected_transient = 0;
     injected_corrupt = 0;
+    write_faults = Hashtbl.create 4;
+    injected_torn = 0;
+    injected_fsync = 0;
   }
 
 let max_retries t = t.max_retries
 let seed t = t.seed
-let stats t = { transient = t.injected_transient; corrupt = t.injected_corrupt }
+
+let stats t =
+  {
+    transient = t.injected_transient;
+    corrupt = t.injected_corrupt;
+    torn_writes = t.injected_torn;
+    failed_fsyncs = t.injected_fsync;
+  }
+
+let arm_write_fault t ~op fault =
+  if op < 0 then invalid_arg "Fault.arm_write_fault: negative op index";
+  (match fault with
+  | Torn_write { at_byte } when at_byte < 0 ->
+    invalid_arg "Fault.arm_write_fault: negative torn-write offset"
+  | Torn_write _ | Fail_fsync -> ());
+  Hashtbl.replace t.write_faults op fault
+
+let take_write_fault t ~op =
+  match Hashtbl.find_opt t.write_faults op with
+  | None -> None
+  | Some f ->
+    Hashtbl.remove t.write_faults op;
+    (match f with
+    | Torn_write _ -> t.injected_torn <- t.injected_torn + 1
+    | Fail_fsync -> t.injected_fsync <- t.injected_fsync + 1);
+    Some f
 
 (* splitmix64 finalizer: a few rounds of multiply-xorshift give a
    well-distributed 64-bit hash of the mixed-in key parts. *)

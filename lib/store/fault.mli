@@ -15,7 +15,12 @@
       page fails identically on every attempt, like a bad sector.
 
     Everything is a pure function of the seed: a failing run replays
-    exactly. *)
+    exactly.
+
+    The injector also covers the {e write} path ({!Wal} appends):
+    {!arm_write_fault} schedules a torn write or a failed fsync for a
+    specific upcoming append, so crash-point sweeps can place a
+    process death at every byte of a log frame deterministically. *)
 
 type t
 
@@ -48,7 +53,45 @@ val corrupt_in_place : t -> page:int -> Bytes.t -> unit
 val max_retries : t -> int
 val seed : t -> int
 
-type injection_stats = { transient : int; corrupt : int }
+(** {1 Write-path faults}
+
+    Unlike read faults (probabilistic, re-rolled per attempt), write
+    faults are {e armed}: a test points one at the [op]-th upcoming
+    append and the {!Wal} fires it exactly once. This is what a
+    crash-point sweep needs — one precisely placed failure per run,
+    not a rate. *)
+
+type write_fault =
+  | Torn_write of { at_byte : int }
+      (** only the first [at_byte] bytes of the frame reach the file,
+          then the process "dies" ({!Write_crash}); [at_byte] past the
+          frame end degrades to a complete write that still crashes
+          before the append returns — the
+          crash-between-append-and-commit point *)
+  | Fail_fsync
+      (** the frame is written but the fsync reports failure; the
+          append must report a typed error and leave the log in its
+          pre-append state *)
+
+exception Write_crash of { op : int; wrote : int }
+(** Simulated process death mid-append: [wrote] bytes of append [op]'s
+    frame reached stable storage before the crash. *)
+
+val arm_write_fault : t -> op:int -> write_fault -> unit
+(** Schedule [fault] for the [op]-th (0-based) subsequent append
+    through the consumer that holds this injector. Re-arming the same
+    [op] replaces the previous fault. *)
+
+val take_write_fault : t -> op:int -> write_fault option
+(** Consume the fault armed for append [op] (it fires at most once);
+    consuming counts it in {!stats}. *)
+
+type injection_stats = {
+  transient : int;
+  corrupt : int;
+  torn_writes : int;
+  failed_fsyncs : int;
+}
 
 val stats : t -> injection_stats
 (** How many faults of each kind were actually injected. *)

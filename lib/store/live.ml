@@ -1,0 +1,159 @@
+let src = Logs.Src.create "tix.live" ~doc:"TIX live (updatable) store"
+
+module Log = (val Logs.src_log src)
+
+type error =
+  | Wal_error of Wal.error
+  | Mutation_error of Delta.mutation_error
+  | Image_error of Db.error
+
+let pp_error ppf = function
+  | Wal_error e -> Wal.pp_error ppf e
+  | Mutation_error e -> Delta.pp_mutation_error ppf e
+  | Image_error e -> Db.pp_error ppf e
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type t = {
+  t_dir : string;
+  mutable base : Db.t;
+  mutable delta : Delta.t;
+  wal : Wal.t;
+  mutex : Mutex.t;
+  mutable checkpoints : int;
+}
+
+type base_source = From_checkpoint of string | Provided | Empty
+
+type opened = {
+  live : t;
+  recovery : Wal.recovery;
+  replay : Delta.replay_report;
+  base_source : base_source;
+}
+
+let wal_path ~dir = Filename.concat dir "wal.log"
+let checkpoint_path ~dir = Filename.concat dir "checkpoint.tix"
+
+let open_dir ?fault ?base ~dir () =
+  let cpath = checkpoint_path ~dir in
+  let base_result =
+    if Sys.file_exists cpath then
+      match Db.open_file cpath with
+      | Ok db -> Ok (db, From_checkpoint cpath)
+      | Error e -> Error (Image_error e)
+    else
+      match base with
+      | Some db -> Ok (db, Provided)
+      | None -> Ok (Db.of_documents [], Empty)
+  in
+  match base_result with
+  | Error e -> Error e
+  | Ok (base, base_source) -> begin
+    match Wal.open_ ?fault (wal_path ~dir) with
+    | Error e -> Error (Wal_error e)
+    | Ok (wal, recovery) ->
+      let delta = Delta.create ~base in
+      let replay = Delta.replay delta recovery.Wal.records in
+      if recovery.Wal.records <> [] then
+        Log.info (fun m ->
+            m "%s: replayed %d WAL record%s (%d applied, %d skipped)" dir
+              (List.length recovery.Wal.records)
+              (if List.length recovery.Wal.records = 1 then "" else "s")
+              replay.Delta.applied replay.Delta.skipped);
+      Ok
+        {
+          live =
+            {
+              t_dir = dir;
+              base;
+              delta;
+              wal;
+              mutex = Mutex.create ();
+              checkpoints = 0;
+            };
+          recovery;
+          replay;
+          base_source;
+        }
+  end
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Validate → log → apply. The record reaches the WAL only when it is
+   known to apply cleanly, so recovery never replays a rejected
+   mutation; and it reaches the delta only once it is durable, so an
+   acknowledged mutation survives a crash. *)
+let mutate t record =
+  locked t (fun () ->
+      match Delta.check t.delta record with
+      | Error e -> Error (Mutation_error e)
+      | Ok () -> begin
+        match Wal.append t.wal record with
+        | Error e -> Error (Wal_error e)
+        | Ok () -> begin
+          match Delta.apply t.delta record with
+          | Ok () -> Ok ()
+          | Error e ->
+            (* unreachable given check; surface rather than hide *)
+            Error (Mutation_error e)
+        end
+      end)
+
+let insert t ~name ~xml = mutate t (Wal.Insert { name; xml })
+let delete t ~name = mutate t (Wal.Delete { name })
+let update t ~name ~xml = mutate t (Wal.Update { name; xml })
+
+let checkpoint ?path t =
+  locked t (fun () ->
+      let path =
+        match path with Some p -> p | None -> checkpoint_path ~dir:t.t_dir
+      in
+      let merged =
+        Db.compact ~base:t.base ~delta:(Delta.db t.delta)
+          ~tombstones:(Delta.tombstones t.delta)
+      in
+      match Db.save merged path with
+      | exception Sys_error detail -> Error (Image_error (Db.Io_error { path; detail }))
+      | () -> begin
+        match Wal.reset t.wal with
+        | Error e ->
+          (* the image is on disk but the log still holds the delta:
+             recovery replays it onto the new checkpoint, which is
+             idempotent — safe, just not compacted *)
+          Error (Wal_error e)
+        | Ok () ->
+          t.base <- merged;
+          t.delta <- Delta.create ~base:merged;
+          t.checkpoints <- t.checkpoints + 1;
+          Log.info (fun m ->
+              m "%s: checkpoint #%d saved to %s" t.t_dir t.checkpoints path);
+          Ok path
+      end)
+
+let base t = locked t (fun () -> t.base)
+let delta t = locked t (fun () -> t.delta)
+let wal t = t.wal
+let dir t = t.t_dir
+
+type stats = {
+  wal_records : int;
+  wal_bytes : int;
+  delta_documents : int;
+  tombstones : int;
+  checkpoints : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        wal_records = Wal.record_count t.wal;
+        wal_bytes = Wal.byte_size t.wal;
+        delta_documents = Delta.doc_count t.delta;
+        tombstones = Delta.tombstone_count t.delta;
+        checkpoints = t.checkpoints;
+      })
+
+let close t = Wal.close t.wal

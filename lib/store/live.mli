@@ -1,0 +1,92 @@
+(** A live (updatable) store: immutable base + {!Wal} + {!Delta}.
+
+    The handle owns a directory holding two files:
+
+    - [wal.log] — the {!Wal}; every mutation is validated, appended
+      and fsynced here {e before} it touches the in-memory delta, so
+      an acknowledged mutation survives a crash, and
+    - [checkpoint.tix] — the most recent checkpoint image; absent
+      until the first {!checkpoint}.
+
+    {!open_dir} recovers: it loads the newest base (the checkpoint
+    image if present, else the caller-provided database, else an
+    empty corpus), replays the WAL's committed prefix into a fresh
+    delta, and truncates any torn tail. The crash matrix is
+
+    - crash before the WAL append commits → recovery truncates the
+      torn frame; the store equals the pre-op state;
+    - crash after the commit marker is durable → replay re-applies
+      the record; the store equals the post-op state;
+    - never anything in between.
+
+    Mutations are serialized by an internal mutex; readers never take
+    it — they query immutable snapshots published elsewhere (see
+    [Service.Engine]). *)
+
+type t
+
+type error =
+  | Wal_error of Wal.error
+  | Mutation_error of Delta.mutation_error
+  | Image_error of Db.error  (** loading or saving a checkpoint image *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type base_source =
+  | From_checkpoint of string  (** [checkpoint.tix] found in the dir *)
+  | Provided  (** the [?base] argument *)
+  | Empty  (** neither: a fresh, empty corpus *)
+
+type opened = {
+  live : t;
+  recovery : Wal.recovery;
+  replay : Delta.replay_report;
+  base_source : base_source;
+}
+
+val wal_path : dir:string -> string
+val checkpoint_path : dir:string -> string
+
+val open_dir :
+  ?fault:Fault.t -> ?base:Db.t -> dir:string -> unit -> (opened, error) result
+(** Open (or create) the live store rooted at [dir]. A checkpoint
+    image in the directory wins over [?base]: it already contains
+    every mutation checkpointed so far, while [?base] is the original
+    seed corpus. The WAL is then replayed on top of whichever base
+    was chosen. [dir] must exist. *)
+
+val insert : t -> name:string -> xml:string -> (unit, error) result
+val delete : t -> name:string -> (unit, error) result
+val update : t -> name:string -> xml:string -> (unit, error) result
+(** Validate, append to the WAL (fsync), then apply to the delta.
+    On [Ok] the mutation is durable. On [Error] nothing changed —
+    invalid mutations are rejected before they reach the log. May
+    raise {!Fault.Write_crash} when an armed write fault fires. *)
+
+val checkpoint : ?path:string -> t -> (string, error) result
+(** Merge base + delta − tombstones into a fresh immutable database
+    ({!Db.compact}), save it atomically to [path] (default
+    [checkpoint.tix] in the store's directory), reset the WAL and
+    swap the merged database in as the new base with an empty delta.
+    Returns the image path. *)
+
+val base : t -> Db.t
+(** The current base snapshot (changes only at {!checkpoint}). *)
+
+val delta : t -> Delta.t
+(** The current delta segment (replaced at {!checkpoint}). *)
+
+val wal : t -> Wal.t
+val dir : t -> string
+
+type stats = {
+  wal_records : int;
+  wal_bytes : int;
+  delta_documents : int;
+  tombstones : int;
+  checkpoints : int;  (** checkpoints taken through this handle *)
+}
+
+val stats : t -> stats
+val close : t -> unit

@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for live updates: start an updatable tixd
+# (--wal-dir), ingest documents over the wire, kill -9 the server mid
+# ingest, restart it on the same WAL directory and check that
+#   - every acknowledged document survived the crash (durability),
+#   - the recovered set is a contiguous prefix of the send order
+#     (atomicity: a torn trailing append recovers to pre-op),
+#   - query answers over base + recovered delta are byte-identical to
+#     a from-scratch rebuild of the same corpus,
+#   - a checkpoint folds the delta into an image, bumps the snapshot
+#     generation, and a third restart boots from that image alone.
+# Exits non-zero on the first failed check.
+set -euo pipefail
+
+TIXDB=${TIXDB:-_build/default/bin/tixdb.exe}
+TIXD=${TIXD:-_build/default/bin/tixd.exe}
+
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; sed 's/^/  tixd: /' "$WORK/tixd.log" >&2 || true; exit 1; }
+
+start_server() { # args: extra tixd arguments...
+  : > "$WORK/tixd.log"
+  "$TIXD" --port 0 --wal-dir "$WORK/wal" "$@" >"$WORK/tixd.log" 2>&1 &
+  SERVER_PID=$!
+  PORT=
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$WORK/tixd.log" | head -1)
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "tixd exited during startup"
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || fail "tixd never reported its port"
+}
+
+client() { "$TIXDB" client --port "$PORT" "$@"; }
+
+echo "== corpus + documents to ingest"
+"$TIXDB" gen -n 20 -o "$WORK/corpus" >/dev/null
+BASE_FILES=$(ls "$WORK/corpus"/*.xml | sort)
+mkdir -p "$WORK/docs"
+TOTAL=16
+for i in $(seq 0 $((TOTAL - 1))); do
+  printf '<article><title>crash doc %d</title><sec><p>uniqprobe%d shared smoke term</p></sec></article>' \
+    "$i" "$i" > "$WORK/docs/doc-$i.xml"
+done
+
+echo "== start updatable tixd (ephemeral port, fresh WAL dir)"
+# shellcheck disable=SC2086
+start_server $BASE_FILES
+echo "   port $PORT"
+client --health | grep -q '"updatable":true' || fail "server is not updatable"
+client --health | grep -q '"generation":0' || fail "fresh server not at generation 0"
+
+echo "== ingest the first 5 documents (acked = durable)"
+for i in 0 1 2 3 4; do
+  "$TIXDB" ingest --port "$PORT" "$WORK/docs/doc-$i.xml" \
+    | grep -q '"ok":true' || fail "ingest doc-$i"
+done
+ACKED=5
+client --health | grep -q '"generation":5' || fail "5 mutations should be at generation 5"
+
+echo "== kill -9 mid-ingest"
+( for i in $(seq "$ACKED" $((TOTAL - 1))); do
+    "$TIXDB" ingest --port "$PORT" "$WORK/docs/doc-$i.xml" >> "$WORK/acks.log" 2>/dev/null || break
+  done ) &
+INGEST_PID=$!
+sleep 0.05
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+wait "$INGEST_PID" 2>/dev/null || true
+LATE_ACKS=$(grep -c '"ok":true' "$WORK/acks.log" 2>/dev/null || true)
+LATE_ACKS=${LATE_ACKS:-0}
+echo "   $LATE_ACKS more documents acked before the crash"
+
+echo "== restart on the same WAL dir (recovery)"
+# shellcheck disable=SC2086
+start_server $BASE_FILES
+echo "   port $PORT"
+grep -q "recovered" "$WORK/tixd.log" || fail "restart did not report recovery"
+
+# membership probes: each ingested doc carries a unique planted term,
+# so a non-zero ranked total for uniqprobeN means doc-N was recovered
+present() { client --ranked "uniqprobe$1" -k 3 | grep -q '"total":[1-9]'; }
+
+echo "== durability: every acked document survived"
+RECOVERED=0
+CONTIGUOUS=1
+for i in $(seq 0 $((TOTAL - 1))); do
+  if present "$i"; then
+    [ "$CONTIGUOUS" = 1 ] || fail "recovered set has a hole before doc-$i"
+    RECOVERED=$((RECOVERED + 1))
+  else
+    CONTIGUOUS=0
+  fi
+done
+MIN=$((ACKED + LATE_ACKS))
+echo "   recovered $RECOVERED/$TOTAL sent documents ($MIN were acked)"
+[ "$RECOVERED" -ge "$MIN" ] || fail "an acked document was lost ($RECOVERED < $MIN)"
+[ "$RECOVERED" -le "$TOTAL" ] || fail "recovered more than was sent"
+
+echo "== query equality: base + delta == from-scratch rebuild"
+QUERY='for $a in document("*")//article/descendant-or-self::*
+score $a using ScoreFoo($a, {"shared"}, {"smoke"})
+return <r>{$a}</r>
+sortby(score)
+threshold $a/@score > 0 stop after 10'
+REBUILD_FILES=$BASE_FILES
+for i in $(seq 0 $((RECOVERED - 1))); do
+  REBUILD_FILES="$REBUILD_FILES $WORK/docs/doc-$i.xml"
+done
+client -q "$QUERY" -k 10 > "$WORK/server.json" || fail "server query"
+# shellcheck disable=SC2086
+"$TIXDB" query $REBUILD_FILES -q "$QUERY" --format json > "$WORK/rebuild.json" \
+  || fail "rebuild query"
+python3 - "$WORK" <<'PY' || fail "recovered answers diverge from rebuild"
+import json, sys, os
+work = sys.argv[1]
+with open(os.path.join(work, "server.json")) as f:
+    server = json.load(f)
+with open(os.path.join(work, "rebuild.json")) as f:
+    rebuild = json.load(f)
+assert server["ok"] and rebuild["ok"], (server, rebuild)
+assert server["results"] == rebuild["results"], "rows differ"
+assert server["total"] == rebuild["total"], "totals differ"
+print("   %d rows identical to rebuild" % server["total"])
+PY
+
+echo "== checkpoint bumps the generation and resets the WAL"
+GEN=$(client --health | sed -n 's/.*"generation":\([0-9][0-9]*\).*/\1/p')
+client --checkpoint | grep -q '"ok":true' || fail "checkpoint"
+NEWGEN=$(client --health | sed -n 's/.*"generation":\([0-9][0-9]*\).*/\1/p')
+[ "$NEWGEN" -eq $((GEN + 1)) ] || fail "generation did not bump ($GEN -> $NEWGEN)"
+client --stats | grep -q '"wal_records":0' || fail "WAL not reset by checkpoint"
+client -q "$QUERY" -k 10 > "$WORK/after_ckpt.json" || fail "post-checkpoint query"
+python3 - "$WORK" <<'PY' || fail "checkpoint changed the answers"
+import json, sys, os
+work = sys.argv[1]
+with open(os.path.join(work, "server.json")) as f:
+    before = json.load(f)
+with open(os.path.join(work, "after_ckpt.json")) as f:
+    after = json.load(f)
+assert before["results"] == after["results"], "rows differ across checkpoint"
+print("   answers unchanged across checkpoint")
+PY
+
+echo "== third boot: the checkpoint image alone restores the corpus"
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+start_server   # no corpus files: --wal-dir must find checkpoint.tix
+echo "   port $PORT"
+grep -q "checkpoint.tix" "$WORK/tixd.log" || fail "restart did not use the checkpoint"
+client -q "$QUERY" -k 10 > "$WORK/from_ckpt.json" || fail "from-checkpoint query"
+python3 - "$WORK" <<'PY' || fail "checkpoint image lost data"
+import json, sys, os
+work = sys.argv[1]
+with open(os.path.join(work, "server.json")) as f:
+    before = json.load(f)
+with open(os.path.join(work, "from_ckpt.json")) as f:
+    after = json.load(f)
+assert before["results"] == after["results"], "rows differ after image-only boot"
+print("   answers unchanged after image-only boot")
+PY
+
+kill -TERM "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+echo "OK: crash-recovery smoke test passed"

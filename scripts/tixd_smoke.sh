@@ -49,8 +49,11 @@ echo "   port $PORT"
 
 client() { "$TIXDB" client --port "$PORT" "$@"; }
 
-echo "== health"
-client --health | grep -q '"ok":true' || fail "health"
+echo "== health (read-only server: generation pinned at 0, not updatable)"
+HEALTH=$(client --health)
+echo "$HEALTH" | grep -q '"ok":true' || fail "health"
+echo "$HEALTH" | grep -q '"generation":0' || fail "health reports no generation"
+echo "$HEALTH" | grep -q '"updatable":false' || fail "read-only server claims updatable"
 
 echo "== search (twice: second answer must come from the result cache)"
 client -t "$TERM" -k 5 | grep -q '"ok":true' || fail "search"

@@ -744,7 +744,11 @@ let test_scheduler_reload_invalidates () =
         | Ok s -> s
         | Error msg -> Alcotest.failf "of_db: %s" msg
       in
-      Service.Scheduler.reload pool snap2;
+      (match Service.Scheduler.reload pool snap2 with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "reload: %s"
+          (Service.Scheduler.reload_error_to_string e));
       check int_ "result cache emptied" 0
         (Service.Scheduler.stats pool).Service.Scheduler.result_cache.Lru.entries;
       let r3 = run () in

@@ -1,0 +1,933 @@
+(* Live-update tests: the WAL (framing, recovery, torn writes, fsync
+   failures, corruption sweep), the delta segment, the live store's
+   crash matrix, checkpointing, and the service-layer update path.
+
+   The central properties:
+   - an acknowledged mutation is durable: it survives kill -9 and is
+     replayed on reopen;
+   - a crash at ANY byte of a WAL append leaves the store equal to
+     the pre-op state (frame torn) or the post-op state (frame
+     complete) — never anything in between;
+   - queries over base ∪ delta − tombstones return byte-identical
+     rows to a from-scratch rebuild of the same logical corpus, for
+     every query family, sequential and parallel;
+   - checkpointing folds the delta into a fresh immutable image that
+     again equals the rebuild. *)
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+let base_docs =
+  [
+    ( "d0.xml",
+      "<article><title>search engine</title><sec><p>internet search \
+       retrieval</p><p>index engine</p></sec></article>" );
+    ( "d1.xml",
+      "<article><title>information retrieval</title><sec><p>search the \
+       internet</p></sec></article>" );
+    ( "d2.xml",
+      "<article><sec><p>search engine internet</p><p>retrieval search \
+       engine</p></sec></article>" );
+    ( "d3.xml",
+      "<article><title>databases</title><sec><p>xml query \
+       processing</p></sec></article>" );
+  ]
+
+let doc_a =
+  "<article><title>search</title><sec><p>search engine \
+   retrieval</p></sec></article>"
+
+let doc_b =
+  "<article><sec><p>internet engine</p><p>search search \
+   retrieval</p></sec></article>"
+
+let doc_c = "<article><sec><p>ranking search internet</p></sec></article>"
+
+let parse_docs docs =
+  List.map (fun (n, x) -> (n, Xmlkit.Parser.parse_string_exn x)) docs
+
+let mk_base () = Store.Db.of_documents (parse_docs base_docs)
+
+(* the mutation script exercised by the crash sweep: insert, update of
+   a base doc, delete of a base doc, second insert, delete of a delta
+   doc *)
+let script =
+  [
+    Store.Wal.Insert { name = "new1.xml"; xml = doc_a };
+    Store.Wal.Update { name = "d0.xml"; xml = doc_b };
+    Store.Wal.Delete { name = "d1.xml" };
+    Store.Wal.Insert { name = "new2.xml"; xml = doc_c };
+    Store.Wal.Delete { name = "new1.xml" };
+  ]
+
+let apply_live live (r : Store.Wal.record) =
+  match r with
+  | Store.Wal.Insert { name; xml } -> Store.Live.insert live ~name ~xml
+  | Store.Wal.Delete { name } -> Store.Live.delete live ~name
+  | Store.Wal.Update { name; xml } -> Store.Live.update live ~name ~xml
+
+let apply_live_exn live r =
+  match apply_live live r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mutation: %s" (Store.Live.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Reference model: the logical corpus after a prefix of the script,
+   maintained with the delta's own ordering rules so a from-scratch
+   rebuild reproduces the merged dense id space. *)
+
+type sim = {
+  mutable s_base : (string * string) list;  (** live base docs, base order *)
+  mutable s_delta : (string * string) list;  (** delta docs, arrival order *)
+}
+
+let sim_create () = { s_base = base_docs; s_delta = [] }
+
+let sim_apply s (r : Store.Wal.record) =
+  match r with
+  | Store.Wal.Insert { name; xml } -> s.s_delta <- s.s_delta @ [ (name, xml) ]
+  | Store.Wal.Delete { name } ->
+    if List.mem_assoc name s.s_delta then
+      s.s_delta <- List.filter (fun (n, _) -> n <> name) s.s_delta
+    else s.s_base <- List.filter (fun (n, _) -> n <> name) s.s_base
+  | Store.Wal.Update { name; xml } ->
+    if List.mem_assoc name s.s_delta then
+      s.s_delta <-
+        List.map (fun (n, x) -> if n = name then (n, xml) else (n, x)) s.s_delta
+    else begin
+      s.s_base <- List.filter (fun (n, _) -> n <> name) s.s_base;
+      s.s_delta <- s.s_delta @ [ (name, xml) ]
+    end
+
+let sim_after prefix =
+  let s = sim_create () in
+  List.iter (sim_apply s) prefix;
+  s
+
+let sim_rebuild s = Store.Db.of_documents (parse_docs (s.s_base @ s.s_delta))
+
+(* ------------------------------------------------------------------ *)
+(* Query-equality harness: every family, sequential and parallel. *)
+
+let compilable =
+  {|
+  for $a in document("*")//article/descendant-or-self::*
+  score $a using ScoreFoo($a, {"search"}, {"retrieval"})
+  return <r>{$a}</r>
+  sortby(score)
+  threshold $a/@score > 0 stop after 10
+  |}
+
+let families =
+  [
+    ("query", Service.Engine.Query { q = compilable; mode = `Engine });
+    ( "search",
+      Service.Engine.Search
+        {
+          terms = [ "search"; "retrieval" ];
+          method_ = Service.Engine.Termjoin;
+          complex = false;
+        } );
+    ("phrase", Service.Engine.Phrase { phrase = "search engine"; comp3 = false });
+    ("ranked", Service.Engine.Ranked { terms = [ "search"; "internet" ] });
+  ]
+
+let snapshot_exn db =
+  match Service.Engine.of_db db with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "of_db: %s" msg
+
+let row_keys (r : Service.Engine.result) =
+  List.map
+    (fun (row : Service.Engine.row) -> (row.tag, row.doc, row.start, row.score))
+    r.Service.Engine.rows
+
+(* Execute every family against [snap] (base + delta view) and
+   against a from-scratch rebuild of [sim]; rows must be identical at
+   parallelism 1 and 2. *)
+let assert_equals_rebuild ~what snap sim =
+  let rebuilt = snapshot_exn (sim_rebuild sim) in
+  List.iter
+    (fun (family, request) ->
+      List.iter
+        (fun parallelism ->
+          let run s =
+            match
+              Service.Engine.exec ~parallelism ~k:10 s request
+            with
+            | Ok r -> r
+            | Error e ->
+              Alcotest.failf "%s: %s (par %d): %s" what family parallelism
+                (Service.Engine.error_message e)
+          in
+          let live_run = run snap in
+          let rebuild_run = run rebuilt in
+          check bool_
+            (Printf.sprintf "%s: %s rows = rebuild (par %d)" what family
+               parallelism)
+            true
+            (row_keys live_run = row_keys rebuild_run);
+          check bool_
+            (Printf.sprintf "%s: %s trees = rebuild (par %d)" what family
+               parallelism)
+            true
+            (live_run.Service.Engine.trees = rebuild_run.Service.Engine.trees))
+        [ 1; 2 ])
+    families
+
+let live_snapshot live =
+  Service.Engine.with_delta
+    (snapshot_exn (Store.Live.base live))
+    (Store.Live.delta live)
+
+(* ------------------------------------------------------------------ *)
+(* Temp dirs *)
+
+let temp_dir () =
+  let path = Filename.temp_file "tix_updates" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let open_live ?fault ?(base = true) dir =
+  let base = if base then Some (mk_base ()) else None in
+  match Store.Live.open_dir ?fault ?base ~dir () with
+  | Ok opened -> opened
+  | Error e -> Alcotest.failf "open_dir: %s" (Store.Live.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* WAL basics *)
+
+let wal_open_exn ?fault path =
+  match Store.Wal.open_ ?fault path with
+  | Ok (wal, recovery) -> (wal, recovery)
+  | Error e -> Alcotest.failf "wal open: %s" (Store.Wal.error_to_string e)
+
+let wal_append_exn wal r =
+  match Store.Wal.append wal r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "wal append: %s" (Store.Wal.error_to_string e)
+
+let test_wal_roundtrip () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let wal, recovery = wal_open_exn path in
+      check int_ "fresh log is empty" 0 (List.length recovery.Store.Wal.records);
+      List.iter (wal_append_exn wal) script;
+      check int_ "records counted" (List.length script)
+        (Store.Wal.record_count wal);
+      Store.Wal.close wal;
+      let wal, recovery = wal_open_exn path in
+      check bool_ "reopen replays the exact records" true
+        (recovery.Store.Wal.records = script);
+      check int_ "clean log truncates nothing" 0
+        recovery.Store.Wal.truncated_bytes;
+      (* reset = the post-checkpoint state *)
+      (match Store.Wal.reset wal with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "reset: %s" (Store.Wal.error_to_string e));
+      check int_ "reset empties" 0 (Store.Wal.record_count wal);
+      Store.Wal.close wal;
+      let wal, recovery = wal_open_exn path in
+      check int_ "reset is durable" 0 (List.length recovery.Store.Wal.records);
+      Store.Wal.close wal)
+
+(* frame length (header+payload+commit) of each script record,
+   measured on a clean log *)
+let frame_lengths () =
+  with_dir (fun dir ->
+      let wal, _ = wal_open_exn (Filename.concat dir "wal.log") in
+      let sizes =
+        List.map
+          (fun r ->
+            let before = Store.Wal.byte_size wal in
+            wal_append_exn wal r;
+            Store.Wal.byte_size wal - before)
+          script
+      in
+      Store.Wal.close wal;
+      sizes)
+
+let test_wal_torn_write_every_byte () =
+  (* sweep a torn write through EVERY byte of one frame: recovery
+     must yield the empty log below the frame length and the full
+     record at (or past) it *)
+  let record = Store.Wal.Insert { name = "t.xml"; xml = "<a>x y</a>" } in
+  let flen =
+    with_dir (fun dir ->
+        let wal, _ = wal_open_exn (Filename.concat dir "wal.log") in
+        wal_append_exn wal record;
+        let n = Store.Wal.byte_size wal - 8 in
+        Store.Wal.close wal;
+        n)
+  in
+  check bool_ "frame is non-trivial" true (flen > 12);
+  with_dir (fun dir ->
+      for at_byte = 0 to flen + 3 do
+        let path = Filename.concat dir (Printf.sprintf "w%d.log" at_byte) in
+        let fault = Store.Fault.create () in
+        Store.Fault.arm_write_fault fault ~op:0
+          (Store.Fault.Torn_write { at_byte });
+        let wal, _ = wal_open_exn ~fault path in
+        (match Store.Wal.append wal record with
+        | Ok () | Error _ -> Alcotest.fail "armed torn write did not crash"
+        | exception Store.Fault.Write_crash { wrote; _ } ->
+          check int_
+            (Printf.sprintf "bytes on disk at crash point %d" at_byte)
+            (min at_byte flen) wrote);
+        Store.Wal.close wal;
+        let wal, recovery = wal_open_exn path in
+        let expected = if at_byte >= flen then [ record ] else [] in
+        check bool_
+          (Printf.sprintf "crash at byte %d recovers pre- or post-op" at_byte)
+          true
+          (recovery.Store.Wal.records = expected);
+        check int_
+          (Printf.sprintf "torn tail truncated at byte %d" at_byte)
+          (if at_byte >= flen then 0 else at_byte)
+          recovery.Store.Wal.truncated_bytes;
+        (* recovery is idempotent *)
+        Store.Wal.close wal;
+        let wal, again = wal_open_exn path in
+        check bool_ "second recovery identical" true
+          (again.Store.Wal.records = expected
+          && again.Store.Wal.truncated_bytes = 0);
+        Store.Wal.close wal
+      done)
+
+let test_wal_fsync_failure_rolls_back () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let fault = Store.Fault.create () in
+      let wal, _ = wal_open_exn ~fault path in
+      wal_append_exn wal (List.nth script 0);
+      let size = Store.Wal.byte_size wal in
+      Store.Fault.arm_write_fault fault ~op:1 Store.Fault.Fail_fsync;
+      (match Store.Wal.append wal (List.nth script 1) with
+      | Ok () -> Alcotest.fail "injected fsync failure was swallowed"
+      | Error (Store.Wal.Sync_failed _) -> ()
+      | Error e ->
+        Alcotest.failf "wanted Sync_failed, got %s"
+          (Store.Wal.error_to_string e));
+      check int_ "log rolled back to pre-append length" size
+        (Store.Wal.byte_size wal);
+      check int_ "record not counted" 1 (Store.Wal.record_count wal);
+      (* the handle stays usable; the next append commits *)
+      wal_append_exn wal (List.nth script 1);
+      Store.Wal.close wal;
+      let wal, recovery = wal_open_exn path in
+      check bool_ "survivors are exactly the committed records" true
+        (recovery.Store.Wal.records
+        = [ List.nth script 0; List.nth script 1 ]);
+      check int_ "one fsync failure injected" 1
+        (Store.Fault.stats fault).Store.Fault.failed_fsyncs;
+      Store.Wal.close wal)
+
+let test_wal_corruption_sweep_byte_flips () =
+  (* single-byte corruption sweep, mirroring the .tix image sweep:
+     every flip inside the magic is a typed open error; every flip
+     inside a frame truncates recovery to the preceding frames —
+     never an exception, never a wrong record *)
+  with_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let wal, _ = wal_open_exn path in
+      (* frame boundary offsets: frame i spans [starts.(i), starts.(i+1)) *)
+      let frame_starts =
+        List.map
+          (fun r ->
+            let s = Store.Wal.byte_size wal in
+            wal_append_exn wal r;
+            s)
+          script
+      in
+      let starts = Array.of_list (frame_starts @ [ Store.Wal.byte_size wal ]) in
+      Store.Wal.close wal;
+      let read_file p =
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let write_file p s =
+        let oc = open_out_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc s)
+      in
+      let image = read_file path in
+      let n = String.length image in
+      check int_ "image spans the frames" n starts.(Array.length starts - 1);
+      let frame_of off =
+        (* index of the frame containing byte [off] *)
+        let rec go i = if off < starts.(i + 1) then i else go (i + 1) in
+        go 0
+      in
+      for off = 0 to n - 1 do
+        let damaged = Bytes.of_string image in
+        Bytes.set damaged off (Char.chr (Char.code image.[off] lxor 0x01));
+        write_file path (Bytes.to_string damaged);
+        if off < 8 then begin
+          (* magic header: typed error, version flips report the
+             version variant *)
+          match Store.Wal.open_ path with
+          | Ok _ -> Alcotest.failf "header flip at %d went undetected" off
+          | Error (Store.Wal.Not_a_wal _ | Store.Wal.Unsupported_version _) ->
+            ()
+          | Error e ->
+            Alcotest.failf "header flip at %d: unexpected %s" off
+              (Store.Wal.error_to_string e)
+        end
+        else begin
+          let wal, recovery = wal_open_exn path in
+          let expected_frames = frame_of off in
+          check bool_
+            (Printf.sprintf "flip at %d truncates to the preceding frames" off)
+            true
+            (recovery.Store.Wal.records
+            = List.filteri (fun i _ -> i < expected_frames) script);
+          check bool_
+            (Printf.sprintf "flip at %d discards the damaged tail" off)
+            true
+            (recovery.Store.Wal.truncated_bytes > 0);
+          Store.Wal.close wal
+        end
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Delta semantics *)
+
+let test_delta_strict_errors () =
+  let d = Store.Delta.create ~base:(mk_base ()) in
+  (match Store.Delta.insert d ~name:"d0.xml" ~xml:doc_a with
+  | Error (Store.Delta.Duplicate_document { name }) ->
+    check string_ "duplicate names the doc" "d0.xml" name
+  | _ -> Alcotest.fail "duplicate insert accepted");
+  (match Store.Delta.delete d ~name:"nope.xml" with
+  | Error (Store.Delta.Unknown_document _) -> ()
+  | _ -> Alcotest.fail "unknown delete accepted");
+  (match Store.Delta.update d ~name:"nope.xml" ~xml:doc_a with
+  | Error (Store.Delta.Unknown_document _) -> ()
+  | _ -> Alcotest.fail "unknown update accepted");
+  (match Store.Delta.insert d ~name:"bad.xml" ~xml:"<open>" with
+  | Error (Store.Delta.Parse_failed { name; reason }) ->
+    check string_ "parse failure names the doc" "bad.xml" name;
+    check bool_ "reason is non-empty" true (String.length reason > 0)
+  | _ -> Alcotest.fail "unparseable insert accepted");
+  check bool_ "rejections leave the delta empty" true (Store.Delta.is_empty d)
+
+let test_delta_update_in_place () =
+  let d = Store.Delta.create ~base:(mk_base ()) in
+  let ok = function
+    | Ok () -> ()
+    | Error e ->
+      Alcotest.failf "delta: %s" (Store.Delta.mutation_error_to_string e)
+  in
+  ok (Store.Delta.insert d ~name:"x.xml" ~xml:doc_a);
+  ok (Store.Delta.insert d ~name:"y.xml" ~xml:doc_b);
+  (* update of a delta doc replaces in place — arrival order keeps *)
+  ok (Store.Delta.update d ~name:"x.xml" ~xml:doc_c);
+  check bool_ "order preserved, content replaced" true
+    (Store.Delta.documents d = [ ("x.xml", doc_c); ("y.xml", doc_b) ]);
+  check int_ "no tombstones for delta-only churn" 0
+    (Store.Delta.tombstone_count d);
+  (* update of a base doc tombstones it and appends *)
+  ok (Store.Delta.update d ~name:"d2.xml" ~xml:doc_a);
+  check int_ "base update tombstones" 1 (Store.Delta.tombstone_count d);
+  check bool_ "base update appends" true
+    (List.map fst (Store.Delta.documents d) = [ "x.xml"; "y.xml"; "d2.xml" ]);
+  check bool_ "name still live" true (Store.Delta.mem d "d2.xml");
+  (* delete of a delta doc removes it entirely *)
+  ok (Store.Delta.delete d ~name:"y.xml");
+  check bool_ "deleted delta doc is gone" false (Store.Delta.mem d "y.xml")
+
+let test_delta_lenient_replay () =
+  let d = Store.Delta.create ~base:(mk_base ()) in
+  let report =
+    Store.Delta.replay d
+      [
+        (* insert of a live (base) name degrades to update *)
+        Store.Wal.Insert { name = "d0.xml"; xml = doc_a };
+        (* update of a dead name degrades to insert *)
+        Store.Wal.Update { name = "fresh.xml"; xml = doc_b };
+        (* delete of a dead name is a no-op *)
+        Store.Wal.Delete { name = "never.xml" };
+        (* unparseable XML is skipped, not fatal *)
+        Store.Wal.Insert { name = "junk.xml"; xml = "<broken" };
+      ]
+  in
+  check int_ "two records took effect" 2 report.Store.Delta.applied;
+  check int_ "two were skipped/degraded" 2 report.Store.Delta.skipped;
+  check bool_ "insert-of-live became update" true
+    (Store.Delta.mem d "d0.xml" && Store.Delta.tombstone_count d = 1);
+  check bool_ "update-of-dead became insert" true (Store.Delta.mem d "fresh.xml");
+  check bool_ "junk stayed out" false (Store.Delta.mem d "junk.xml")
+
+(* ------------------------------------------------------------------ *)
+(* Query equality: base ∪ delta − tombstones = from-scratch rebuild *)
+
+let test_delta_queries_equal_rebuild () =
+  with_dir (fun dir ->
+      let opened = open_live dir in
+      let live = opened.Store.Live.live in
+      List.iteri
+        (fun i op ->
+          apply_live_exn live op;
+          assert_equals_rebuild
+            ~what:(Printf.sprintf "after op %d" i)
+            (live_snapshot live)
+            (sim_after (List.filteri (fun j _ -> j <= i) script)))
+        script;
+      Store.Live.close live)
+
+let test_tombstone_only_interp_fallback () =
+  (* deletions alone keep the interpreter fallback available: the
+     base evaluator just masks tombstoned documents *)
+  with_dir (fun dir ->
+      let base =
+        Store.Db.of_documents
+          ~options:{ Store.Db.default_options with keep_trees = true }
+          (parse_docs base_docs)
+      in
+      let opened =
+        match Store.Live.open_dir ~base ~dir () with
+        | Ok o -> o
+        | Error e -> Alcotest.failf "open: %s" (Store.Live.error_to_string e)
+      in
+      let live = opened.Store.Live.live in
+      apply_live_exn live (Store.Wal.Delete { name = "d1.xml" });
+      let snap = live_snapshot live in
+      (* a non-compilable query shape (phrase of two words in the
+         score clause) runs on the interpreter *)
+      let q =
+        {|
+        for $a in document("*")//article/descendant-or-self::*
+        score $a using ScoreFoo($a, {"search engine"}, {"retrieval"})
+        return <r>{$a}</r>
+        sortby(score)
+        threshold $a/@score > 0 stop after 10
+        |}
+      in
+      let rebuilt =
+        snapshot_exn
+          (Store.Db.of_documents
+             ~options:{ Store.Db.default_options with keep_trees = true }
+             (parse_docs (List.filter (fun (n, _) -> n <> "d1.xml") base_docs)))
+      in
+      let run s =
+        match
+          Service.Engine.exec s (Service.Engine.Query { q; mode = `Interp })
+        with
+        | Ok r -> r
+        | Error e ->
+          Alcotest.failf "interp: %s" (Service.Engine.error_message e)
+      in
+      check bool_ "interp over tombstones = rebuild" true
+        ((run snap).Service.Engine.trees = (run rebuilt).Service.Engine.trees);
+      (* with a pending document the interpreter cannot merge: typed
+         Unsupported, not a wrong answer *)
+      apply_live_exn live (Store.Wal.Insert { name = "new.xml"; xml = doc_a });
+      (match
+         Service.Engine.exec (live_snapshot live)
+           (Service.Engine.Query { q; mode = `Interp })
+       with
+      | Error (Service.Engine.Unsupported _) -> ()
+      | Ok _ -> Alcotest.fail "interp merged pending docs"
+      | Error e ->
+        Alcotest.failf "wanted Unsupported, got %s"
+          (Service.Engine.error_message e));
+      Store.Live.close live)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point sweep: kill the process at every frame boundary of
+   every scripted mutation; the reopened store must equal the pre-op
+   or post-op state — verified by full query equality. *)
+
+let test_crash_point_sweep () =
+  let flens = frame_lengths () in
+  List.iteri
+    (fun i op ->
+      let flen = List.nth flens i in
+      (* crash points: start, inside the header, inside the payload,
+         one byte short of commit, exactly complete, past the end
+         (complete write, crash before returning) *)
+      let points =
+        [ 0; 1; 4; 8; flen / 2; flen - 1; flen; flen + 9 ]
+        |> List.sort_uniq compare
+        |> List.filter (fun p -> p >= 0)
+      in
+      List.iter
+        (fun at_byte ->
+          with_dir (fun dir ->
+              let fault = Store.Fault.create () in
+              let opened = open_live ~fault dir in
+              let live = opened.Store.Live.live in
+              (* the committed prefix *)
+              List.iteri
+                (fun j op -> if j < i then apply_live_exn live op)
+                script;
+              Store.Fault.arm_write_fault fault ~op:i
+                (Store.Fault.Torn_write { at_byte });
+              (match apply_live live op with
+              | Ok () | Error _ ->
+                Alcotest.fail "armed torn write did not crash"
+              | exception Store.Fault.Write_crash _ -> ());
+              (* the process is dead; drop the handle and recover *)
+              Store.Live.close live;
+              let reopened = open_live dir in
+              let committed = at_byte >= flen in
+              let expected_ops =
+                List.filteri (fun j _ -> j < i || (j = i && committed)) script
+              in
+              check bool_
+                (Printf.sprintf "op %d crash at byte %d: exact records" i
+                   at_byte)
+                true
+                (reopened.Store.Live.recovery.Store.Wal.records = expected_ops);
+              assert_equals_rebuild
+                ~what:(Printf.sprintf "op %d crash at byte %d" i at_byte)
+                (live_snapshot reopened.Store.Live.live)
+                (sim_after expected_ops);
+              Store.Live.close reopened.Store.Live.live))
+        points)
+    script
+
+(* ------------------------------------------------------------------ *)
+(* Live store: recovery, strictness, checkpoint *)
+
+let test_live_recovery_idempotent () =
+  with_dir (fun dir ->
+      let opened = open_live dir in
+      List.iter (apply_live_exn opened.Store.Live.live) script;
+      let stats = Store.Live.stats opened.Store.Live.live in
+      check int_ "all records logged" (List.length script)
+        stats.Store.Live.wal_records;
+      Store.Live.close opened.Store.Live.live;
+      (* reopen twice: same replay, nothing truncated *)
+      let reference = ref None in
+      for _round = 1 to 2 do
+        let o = open_live dir in
+        check int_ "replay applies every record" (List.length script)
+          o.Store.Live.replay.Store.Delta.applied;
+        check int_ "clean log truncates nothing" 0
+          o.Store.Live.recovery.Store.Wal.truncated_bytes;
+        let d = Store.Live.delta o.Store.Live.live in
+        let state =
+          (List.map fst (Store.Delta.documents d), Store.Delta.tombstone_count d)
+        in
+        (match !reference with
+        | None -> reference := Some state
+        | Some expected ->
+          check bool_ "reopen reproduces the same delta" true
+            (state = expected));
+        Store.Live.close o.Store.Live.live
+      done)
+
+let test_live_rejections_never_reach_the_log () =
+  with_dir (fun dir ->
+      let opened = open_live dir in
+      let live = opened.Store.Live.live in
+      let wal_count () = Store.Live.(stats live).wal_records in
+      (match Store.Live.insert live ~name:"d0.xml" ~xml:doc_a with
+      | Error (Store.Live.Mutation_error (Store.Delta.Duplicate_document _)) ->
+        ()
+      | _ -> Alcotest.fail "duplicate insert accepted");
+      (match Store.Live.delete live ~name:"ghost.xml" with
+      | Error (Store.Live.Mutation_error (Store.Delta.Unknown_document _)) ->
+        ()
+      | _ -> Alcotest.fail "unknown delete accepted");
+      (match Store.Live.insert live ~name:"bad.xml" ~xml:"<nope" with
+      | Error (Store.Live.Mutation_error (Store.Delta.Parse_failed _)) -> ()
+      | _ -> Alcotest.fail "unparseable insert accepted");
+      check int_ "validate-before-log: nothing was appended" 0 (wal_count ());
+      Store.Live.close live)
+
+let test_live_checkpoint () =
+  with_dir (fun dir ->
+      let opened = open_live dir in
+      let live = opened.Store.Live.live in
+      List.iter (apply_live_exn live) script;
+      let path =
+        match Store.Live.checkpoint live with
+        | Ok p -> p
+        | Error e ->
+          Alcotest.failf "checkpoint: %s" (Store.Live.error_to_string e)
+      in
+      check bool_ "image written where promised" true (Sys.file_exists path);
+      check string_ "default checkpoint path" (Store.Live.checkpoint_path ~dir)
+        path;
+      let stats = Store.Live.stats live in
+      check int_ "wal reset" 0 stats.Store.Live.wal_records;
+      check int_ "delta folded in" 0 stats.Store.Live.delta_documents;
+      check int_ "one checkpoint taken" 1 stats.Store.Live.checkpoints;
+      (* the swapped-in base answers exactly like a rebuild *)
+      assert_equals_rebuild ~what:"after checkpoint" (live_snapshot live)
+        (sim_after script);
+      Store.Live.close live;
+      (* reopening WITHOUT the seed corpus finds the checkpoint *)
+      let reopened = open_live ~base:false dir in
+      (match reopened.Store.Live.base_source with
+      | Store.Live.From_checkpoint p -> check string_ "from checkpoint" path p
+      | _ -> Alcotest.fail "checkpoint image was not preferred");
+      assert_equals_rebuild ~what:"reopened from checkpoint"
+        (live_snapshot reopened.Store.Live.live)
+        (sim_after script);
+      (* and mutations keep working on top of the new base *)
+      apply_live_exn reopened.Store.Live.live
+        (Store.Wal.Insert { name = "post.xml"; xml = doc_a });
+      let sim = sim_after script in
+      sim_apply sim (Store.Wal.Insert { name = "post.xml"; xml = doc_a });
+      assert_equals_rebuild ~what:"mutation after checkpoint"
+        (live_snapshot reopened.Store.Live.live)
+        sim;
+      Store.Live.close reopened.Store.Live.live)
+
+(* ------------------------------------------------------------------ *)
+(* Service layer: coordinator, protocol, server dispatch *)
+
+let with_service ?(base = true) f =
+  with_dir (fun dir ->
+      let opened = open_live ~base dir in
+      let live = opened.Store.Live.live in
+      let scheduler =
+        Service.Scheduler.create ~workers:1 ~queue_depth:8
+          (live_snapshot live)
+      in
+      let updates = Service.Updates.create ~live ~scheduler in
+      Fun.protect
+        ~finally:(fun () ->
+          Service.Scheduler.shutdown scheduler;
+          Store.Live.close live)
+        (fun () -> f scheduler updates))
+
+let json_member name json =
+  match Service.Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S" name
+
+let json_bool name json =
+  match Service.Json.to_bool_opt (json_member name json) with
+  | Some b -> b
+  | None -> Alcotest.failf "%S is not a bool" name
+
+let json_int name json =
+  match Service.Json.to_int_opt (json_member name json) with
+  | Some i -> i
+  | None -> Alcotest.failf "%S is not an int" name
+
+let test_updates_coordinator () =
+  with_service (fun scheduler updates ->
+      let gen0 = (Service.Scheduler.snapshot scheduler).Service.Engine.generation in
+      (match Service.Updates.insert updates ~name:"new1.xml" ~xml:doc_a with
+      | Ok g -> check int_ "insert bumps the generation" (gen0 + 1) g
+      | Error e ->
+        Alcotest.failf "insert: %s" (Service.Updates.error_message e));
+      (* readers see the new document through the ordinary path *)
+      (match
+         Service.Scheduler.run scheduler ~k:10
+           (Service.Engine.Ranked { terms = [ "search" ] })
+       with
+      | Ok (Ok r) ->
+        check bool_ "inserted doc is ranked" true
+          (List.exists
+             (fun (row : Service.Engine.row) -> row.tag = "new1.xml")
+             r.Service.Engine.rows)
+      | Ok (Error e) ->
+        Alcotest.failf "ranked: %s" (Service.Engine.error_message e)
+      | Error _ -> Alcotest.fail "admission failed");
+      (match Service.Updates.delete updates ~name:"d3.xml" with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "delete: %s" (Service.Updates.error_message e));
+      (* rejected mutations do not bump the generation *)
+      let gen_before =
+        (Service.Scheduler.snapshot scheduler).Service.Engine.generation
+      in
+      (match Service.Updates.insert updates ~name:"new1.xml" ~xml:doc_a with
+      | Error (Service.Updates.Store_error
+                 (Store.Live.Mutation_error (Store.Delta.Duplicate_document _)))
+        ->
+        ()
+      | _ -> Alcotest.fail "duplicate accepted");
+      check int_ "rejection leaves the generation" gen_before
+        (Service.Scheduler.snapshot scheduler).Service.Engine.generation;
+      (* checkpoint installs a delta-free snapshot at a new generation *)
+      (match Service.Updates.checkpoint updates with
+      | Ok (_path, g) ->
+        check int_ "checkpoint bumps the generation" (gen_before + 1) g
+      | Error e ->
+        Alcotest.failf "checkpoint: %s" (Service.Updates.error_message e));
+      check bool_ "post-checkpoint snapshot has no delta" true
+        ((Service.Scheduler.snapshot scheduler).Service.Engine.delta = None))
+
+let test_protocol_mutation_roundtrip () =
+  List.iter
+    (fun req ->
+      let line =
+        Service.Json.to_string (Service.Protocol.request_to_json req)
+      in
+      match Service.Protocol.parse_request line with
+      | Ok req' -> check bool_ ("roundtrip " ^ line) true (req = req')
+      | Error e -> Alcotest.failf "parse %s: %s" line e)
+    [
+      Service.Protocol.Insert { name = "a.xml"; xml = "<a>1</a>" };
+      Service.Protocol.Remove { name = "a.xml" };
+      Service.Protocol.UpdateDoc { name = "a.xml"; xml = "<a>2</a>" };
+      Service.Protocol.Checkpoint;
+    ]
+
+let test_server_dispatch_mutations () =
+  with_service (fun scheduler updates ->
+      let handle req = Service.Server.handle ~updates scheduler req in
+      let resp =
+        handle (Service.Protocol.Insert { name = "new1.xml"; xml = doc_a })
+      in
+      check bool_ "insert acked" true (json_bool "ok" resp);
+      check int_ "generation in the ack" 1 (json_int "generation" resp);
+      (* duplicate insert: typed protocol error *)
+      let resp =
+        handle (Service.Protocol.Insert { name = "new1.xml"; xml = doc_a })
+      in
+      check bool_ "duplicate rejected" false (json_bool "ok" resp);
+      (match
+         Service.Json.to_string_opt
+           (json_member "code" (json_member "error" resp))
+       with
+      | Some code -> check string_ "error code" "duplicate_document" code
+      | None -> Alcotest.fail "error code missing");
+      let resp = handle (Service.Protocol.Remove { name = "d3.xml" }) in
+      check bool_ "delete acked" true (json_bool "ok" resp);
+      let resp =
+        handle (Service.Protocol.UpdateDoc { name = "new1.xml"; xml = doc_b })
+      in
+      check bool_ "update acked" true (json_bool "ok" resp);
+      (* health reports updatability and the current generation *)
+      let health = handle Service.Protocol.Health in
+      check bool_ "updatable" true (json_bool "updatable" health);
+      check int_ "generation tracks the mutations" 3
+        (json_int "generation" health);
+      (* stats carries the WAL/delta counters *)
+      let stats = handle Service.Protocol.Stats in
+      let upd = json_member "updates" stats in
+      check int_ "wal_records" 3 (json_int "wal_records" upd);
+      check int_ "delta_documents" 1 (json_int "delta_documents" upd);
+      check int_ "tombstones" 1 (json_int "tombstones" upd);
+      let delta = json_member "delta" stats in
+      check int_ "delta.documents" 1 (json_int "documents" delta);
+      (* checkpoint over the wire *)
+      let resp = handle Service.Protocol.Checkpoint in
+      check bool_ "checkpoint acked" true (json_bool "ok" resp);
+      check int_ "checkpoint generation" 4 (json_int "generation" resp))
+
+let test_server_read_only_rejects_mutations () =
+  let scheduler =
+    Service.Scheduler.create ~workers:1 ~queue_depth:4
+      (snapshot_exn (mk_base ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.shutdown scheduler)
+    (fun () ->
+      List.iter
+        (fun req ->
+          let resp = Service.Server.handle scheduler req in
+          check bool_ "read-only server rejects" false (json_bool "ok" resp);
+          match
+            Service.Json.to_string_opt
+              (json_member "code" (json_member "error" resp))
+          with
+          | Some code -> check string_ "error code" "read_only" code
+          | None -> Alcotest.fail "error code missing")
+        [
+          Service.Protocol.Insert { name = "a.xml"; xml = "<a/>" };
+          Service.Protocol.Remove { name = "a.xml" };
+          Service.Protocol.UpdateDoc { name = "a.xml"; xml = "<a/>" };
+          Service.Protocol.Checkpoint;
+        ];
+      let health = Service.Server.handle scheduler Service.Protocol.Health in
+      check bool_ "read-only health says so" false
+        (json_bool "updatable" health))
+
+let test_scheduler_rejects_same_generation () =
+  let scheduler =
+    Service.Scheduler.create ~workers:1 ~queue_depth:4
+      (snapshot_exn (mk_base ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.shutdown scheduler)
+    (fun () ->
+      let current = Service.Scheduler.snapshot scheduler in
+      (match Service.Scheduler.reload scheduler current with
+      | Error (Service.Scheduler.Same_generation { generation }) ->
+        check int_ "names the clashing generation"
+          current.Service.Engine.generation generation
+      | Ok () -> Alcotest.fail "same-generation reload accepted");
+      (* a bumped generation goes through *)
+      match
+        Service.Scheduler.reload scheduler
+          {
+            current with
+            Service.Engine.generation = current.Service.Engine.generation + 1;
+          }
+      with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "bumped reload rejected: %s"
+          (Service.Scheduler.reload_error_to_string e))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "updates"
+    [
+      ( "wal",
+        [
+          tc "roundtrip and reset" `Quick test_wal_roundtrip;
+          tc "torn write at every byte" `Quick test_wal_torn_write_every_byte;
+          tc "fsync failure rolls back" `Quick
+            test_wal_fsync_failure_rolls_back;
+          tc "byte-flip corruption sweep" `Quick
+            test_wal_corruption_sweep_byte_flips;
+        ] );
+      ( "delta",
+        [
+          tc "strict errors" `Quick test_delta_strict_errors;
+          tc "update in place" `Quick test_delta_update_in_place;
+          tc "lenient replay" `Quick test_delta_lenient_replay;
+          tc "queries equal rebuild" `Quick test_delta_queries_equal_rebuild;
+          tc "tombstone-only interp" `Quick test_tombstone_only_interp_fallback;
+        ] );
+      ( "crash matrix",
+        [ tc "crash-point sweep" `Quick test_crash_point_sweep ] );
+      ( "live store",
+        [
+          tc "recovery idempotent" `Quick test_live_recovery_idempotent;
+          tc "rejections never logged" `Quick
+            test_live_rejections_never_reach_the_log;
+          tc "checkpoint" `Quick test_live_checkpoint;
+        ] );
+      ( "service",
+        [
+          tc "coordinator" `Quick test_updates_coordinator;
+          tc "protocol roundtrip" `Quick test_protocol_mutation_roundtrip;
+          tc "server dispatch" `Quick test_server_dispatch_mutations;
+          tc "read-only rejects" `Quick test_server_read_only_rejects_mutations;
+          tc "same-generation reload" `Quick
+            test_scheduler_rejects_same_generation;
+        ] );
+    ]
