@@ -1,5 +1,7 @@
 (** Byte-level integer codecs used by the compressed posting lists
-    and the slotted storage pages. *)
+    and the slotted storage pages, plus the read-only buffer
+    abstraction and fixed-width bit packer behind the packed posting
+    blocks and mmap'd database images. *)
 
 exception Truncated of string
 (** Raised by the read functions on a truncated or corrupt buffer: a
@@ -23,3 +25,55 @@ val read_zigzag : Bytes.t -> int -> int * int
 
 val varint_size : int -> int
 (** Encoded size in bytes of a non-negative integer. *)
+
+(** {1 Read-only buffers}
+
+    Decoders written against {!buf} read identically from an
+    in-memory [Bytes.t] and from an mmap'd image ([Bigarray]) — the
+    latter without copying a single payload byte. *)
+
+type bigbytes =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type buf = B of Bytes.t | M of bigbytes
+
+val buf_of_bytes : Bytes.t -> buf
+val buf_of_string : string -> buf
+(** Copies the string into fresh bytes. *)
+
+val buf_length : buf -> int
+
+val buf_get : buf -> int -> int
+(** Byte value at an offset; bounds-checked. *)
+
+val buf_sub_string : buf -> int -> int -> string
+
+val buf_blit : buf -> src_off:int -> Bytes.t -> dst_off:int -> len:int -> unit
+
+val read_varint_buf : buf -> int -> int * int
+(** {!read_varint} over a {!buf}; raises {!Truncated} likewise. *)
+
+(** {1 Fixed-width bit packing}
+
+    Frame-of-reference storage for posting blocks: [n] values of one
+    shared bit width, laid out LSB-first in a continuous little-endian
+    bit stream (value [k] occupies bits [k*width .. k*width+width-1]).
+    Width 0 encodes a run of zeros in zero bytes. *)
+
+val max_bit_width : int
+(** 62 — any non-negative OCaml int fits. *)
+
+val bits_needed : int -> int
+(** Minimal width for a non-negative value; [bits_needed 0 = 0]. *)
+
+val packed_bytes : n:int -> width:int -> int
+(** Bytes occupied by [n] packed values: [ceil (n*width / 8)]. *)
+
+val pack_bits : Buffer.t -> int array -> int -> int -> unit
+(** [pack_bits out vals n width] appends the packed encoding of
+    [vals.(0..n-1)]; every value must fit in [width] bits. *)
+
+val unpack_bits : buf -> off:int -> width:int -> n:int -> int array -> unit
+(** Decode [n] values into the prefix of the output array with
+    straight-line shift/mask ops (no per-byte branching). The caller
+    must have bounds-checked [off .. off + packed_bytes ~n ~width). *)

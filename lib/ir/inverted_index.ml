@@ -146,10 +146,6 @@ let add_string buf s =
   Codec.add_varint buf (String.length s);
   Buffer.add_string buf s
 
-let read_string bytes off =
-  let len, off = Codec.read_varint bytes off in
-  (Bytes.sub_string bytes off len, off + len)
-
 let save t buf =
   Codec.add_varint buf (if t.is_stemmed then 1 else 0);
   Codec.add_varint buf t.documents;
@@ -163,25 +159,35 @@ let save t buf =
     add_string buf (Postings.serialize t.postings.(id))
   done
 
-let load bytes off =
-  let stemmed, off = Codec.read_varint bytes off in
-  let documents, off = Codec.read_varint bytes off in
-  let total, off = Codec.read_varint bytes off in
-  let n, off = Codec.read_varint bytes off in
+let read_string_buf buf off =
+  let len, off = Codec.read_varint_buf buf off in
+  (Codec.buf_sub_string buf off len, off + len)
+
+(* [decode_postings] parses one term's posting payload occupying
+   [off .. off + len) of [buf]; the default keeps a zero-copy packed
+   view ({!Postings.deserialize_buf}), the legacy loader substitutes
+   the varint decode + re-pack of the TIXDB003 upgrade path. *)
+let load_gen ~decode_postings buf off =
+  let stemmed, off = Codec.read_varint_buf buf off in
+  let documents, off = Codec.read_varint_buf buf off in
+  let total, off = Codec.read_varint_buf buf off in
+  let n, off = Codec.read_varint_buf buf off in
   let dictionary = Dictionary.create () in
   let postings = Array.make n (Postings.of_list []) in
   let doc_freqs = Array.make n 0 in
   let off = ref off in
   for id = 0 to n - 1 do
-    let term, o = read_string bytes !off in
+    let term, o = read_string_buf buf !off in
     let interned = Dictionary.intern dictionary term in
     assert (interned = id);
-    let df, o = Codec.read_varint bytes o in
-    let count, o = Codec.read_varint bytes o in
-    let data, o = read_string bytes o in
-    postings.(id) <- Postings.deserialize ~count data;
+    let df, o = Codec.read_varint_buf buf o in
+    let count, o = Codec.read_varint_buf buf o in
+    let len, o = Codec.read_varint_buf buf o in
+    if len < 0 || o + len > Codec.buf_length buf then
+      raise (Codec.Truncated "posting payload shorter than its header");
+    postings.(id) <- decode_postings buf ~count ~off:o ~len;
     doc_freqs.(id) <- df;
-    off := o
+    off := o + len
   done;
   ( {
       dictionary;
@@ -192,3 +198,41 @@ let load bytes off =
       is_stemmed = stemmed = 1;
     },
     !off )
+
+let decode_packed buf ~count ~off ~len =
+  let p, pend = Postings.deserialize_buf ~count buf off in
+  if pend > off + len then
+    raise (Codec.Truncated "posting payload overruns its framing");
+  p
+
+let load_buf buf off = load_gen ~decode_postings:decode_packed buf off
+
+let load bytes off = load_buf (Codec.buf_of_bytes bytes) off
+
+(* ------------------------------------------------------------------ *)
+(* TIXDB003 compatibility: same outer framing, but each payload is the
+   legacy varint stream. Reading converts term by term through the
+   packed builder (the transparent in-memory upgrade); writing
+   re-encodes packed lists as varint so tests and benchmarks can
+   produce genuine version-3 images. *)
+
+let load_legacy bytes off =
+  let decode buf ~count ~off ~len =
+    Postings_varint.to_packed
+      (Postings_varint.deserialize ~count (Codec.buf_sub_string buf off len))
+  in
+  load_gen ~decode_postings:decode (Codec.buf_of_bytes bytes) off
+
+let save_legacy t buf =
+  Codec.add_varint buf (if t.is_stemmed then 1 else 0);
+  Codec.add_varint buf t.documents;
+  Codec.add_varint buf t.total;
+  let n = Array.length t.postings in
+  Codec.add_varint buf n;
+  for id = 0 to n - 1 do
+    add_string buf (Dictionary.term t.dictionary id);
+    Codec.add_varint buf t.doc_freqs.(id);
+    Codec.add_varint buf (Postings.length t.postings.(id));
+    add_string buf
+      (Postings_varint.serialize (Postings_varint.of_packed t.postings.(id)))
+  done

@@ -70,6 +70,21 @@ val save : t -> Buffer.t -> unit
 val load : Bytes.t -> int -> t * int
 (** [load bytes off] is [(index, next_off)]; inverse of {!save}. *)
 
+val load_buf : Codec.buf -> int -> t * int
+(** Like {!load} over any {!Codec.buf}. Posting lists keep zero-copy
+    views into the buffer — over an mmap'd image, block bytes decode
+    in place and are never copied. *)
+
+val save_legacy : t -> Buffer.t -> unit
+(** Serialize with the legacy varint posting payloads of TIXDB003
+    images (via {!Postings_varint}); used by [Db.save_v3] so compat
+    tests and benchmarks can produce genuine version-3 images. *)
+
+val load_legacy : Bytes.t -> int -> t * int
+(** Read a TIXDB003 index section, transparently re-encoding each
+    posting list through the packed builder — the in-memory upgrade
+    path of [Db.open_file]. *)
+
 val terms_by_freq : t -> (string * int) list
 (** All terms with their collection frequencies, most frequent
     first. Used by the benchmark harness to select query terms by

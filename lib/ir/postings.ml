@@ -5,15 +5,20 @@ let compare_occ a b =
 
 let block_size = 128
 
-(* One entry per block of [block_size] occurrences. The byte stream
-   stays a single continuous delta chain (sequential [next] never
-   consults the table); an entry snapshots the decoder state at the
-   block boundary so a seek can land there and decode only the block
-   it needs. [sk_first_*] duplicate the first occurrence's sort key
-   for the binary search; [sk_max_node] and [sk_max_tf] are per-block
+(* One entry per block of [block_size] occurrences. Each block is
+   self-contained frame-of-reference data: a 3-byte header holding the
+   block's bit widths (doc-delta, zigzag node-delta, pos-delta)
+   followed by the three packed field streams. [sk_off] is the byte
+   offset of the block header within the packed region, and
+   [sk_prev_*] snapshot the decoder state entering the block (the last
+   occurrence of the previous block), so any block decodes
+   independently — sequential scans decode block after block, seeks
+   binary-search the table and decode only the landing block.
+   [sk_first_*] duplicate the first occurrence's sort key for the
+   binary search; [sk_max_node] and [sk_max_tf] are per-block
    summaries for structural and score-based pruning. *)
 type skip = {
-  sk_off : int;  (* byte offset of the block's first occurrence *)
+  sk_off : int;  (* byte offset of the block header in the packed region *)
   sk_prev_doc : int;
   sk_prev_node : int;
   sk_prev_pos : int;  (* decoder state entering the block *)
@@ -25,8 +30,16 @@ type skip = {
          the term in that whole document (not clipped to the block) *)
 }
 
+let zigzag v = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1
+
+let unzigzag e = if e land 1 = 0 then e lsr 1 else -((e + 1) lsr 1)
+
 type builder = {
-  buf : Buffer.t;
+  buf : Buffer.t;  (* packed blocks already flushed *)
+  docs_d : int array;  (* pending block: doc deltas (0 = same doc) *)
+  nodes_d : int array;  (* pending block: zigzag node deltas *)
+  poss_d : int array;  (* pending block: pos deltas *)
+  mutable pending : int;  (* occupancy of the pending block *)
   mutable count : int;
   mutable last_doc : int;
   mutable last_node : int;
@@ -43,6 +56,10 @@ type builder = {
 let builder () =
   {
     buf = Buffer.create 64;
+    docs_d = Array.make block_size 0;
+    nodes_d = Array.make block_size 0;
+    poss_d = Array.make block_size 0;
+    pending = 0;
     count = 0;
     last_doc = 0;
     last_node = 0;
@@ -61,12 +78,37 @@ let close_run b =
       (b.run_first_block, (b.count - 1) / block_size, b.run_count)
       :: b.rev_runs
 
+let field_width vals n =
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    let x = Codec.bits_needed vals.(i) in
+    if x > !w then w := x
+  done;
+  !w
+
+let flush_block b =
+  if b.pending > 0 then begin
+    let n = b.pending in
+    let wd = field_width b.docs_d n in
+    let wn = field_width b.nodes_d n in
+    let wp = field_width b.poss_d n in
+    Buffer.add_char b.buf (Char.chr wd);
+    Buffer.add_char b.buf (Char.chr wn);
+    Buffer.add_char b.buf (Char.chr wp);
+    Codec.pack_bits b.buf b.docs_d n wd;
+    Codec.pack_bits b.buf b.nodes_d n wn;
+    Codec.pack_bits b.buf b.poss_d n wp;
+    b.pending <- 0
+  end
+
 let add b occ =
   if occ.doc < b.last_doc
      || (occ.doc = b.last_doc && b.count > 0 && occ.pos < b.last_pos)
   then invalid_arg "Postings.add: occurrences out of order";
   if b.count mod block_size = 0 then begin
-    (* close the previous block's summary, snapshot the new one *)
+    (* pack the completed block, close its summary, snapshot the new
+       one; [sk_off] is where the fresh block's header will land *)
+    flush_block b;
     (match b.rev_skips with
     | sk :: rest when b.count > 0 ->
       b.rev_skips <- { sk with sk_max_node = b.blk_max_node } :: rest
@@ -85,14 +127,19 @@ let add b occ =
       :: b.rev_skips;
     b.blk_max_node <- occ.node
   end;
+  let k = b.pending in
   if occ.doc <> b.last_doc then begin
-    Codec.add_varint b.buf (occ.doc - b.last_doc);
-    b.last_node <- 0;
-    b.last_pos <- 0
+    b.docs_d.(k) <- occ.doc - b.last_doc;
+    (* node/pos restart from 0 on a document change *)
+    b.nodes_d.(k) <- zigzag occ.node;
+    b.poss_d.(k) <- occ.pos
   end
-  else Codec.add_varint b.buf 0;
-  Codec.add_zigzag b.buf (occ.node - b.last_node);
-  Codec.add_varint b.buf (occ.pos - b.last_pos);
+  else begin
+    b.docs_d.(k) <- 0;
+    b.nodes_d.(k) <- zigzag (occ.node - b.last_node);
+    b.poss_d.(k) <- occ.pos - b.last_pos
+  end;
+  b.pending <- k + 1;
   if occ.doc <> b.run_doc then begin
     close_run b;
     b.run_doc <- occ.doc;
@@ -107,13 +154,16 @@ let add b occ =
   b.count <- b.count + 1
 
 type t = {
-  data : Bytes.t;
+  data : Codec.buf;  (* holds the packed region (and possibly more) *)
+  base : int;  (* offset of block 0's header within [data] *)
+  len : int;  (* length of the packed region *)
   count : int;
   skips : skip array;
   max_tf : int;  (* max occurrences of the term in one document *)
 }
 
 let freeze b =
+  flush_block b;
   close_run b;
   b.run_count <- 0;
   (match b.rev_skips with
@@ -130,59 +180,141 @@ let freeze b =
     b.rev_runs;
   let skips = Array.mapi (fun i sk -> { sk with sk_max_tf = tmp.(i) }) skips in
   let max_tf = Array.fold_left (fun m sk -> max m sk.sk_max_tf) 0 skips in
-  { data = Buffer.to_bytes b.buf; count = b.count; skips; max_tf }
+  let data = Buffer.to_bytes b.buf in
+  {
+    data = Codec.B data;
+    base = 0;
+    len = Bytes.length data;
+    count = b.count;
+    skips;
+    max_tf;
+  }
 
 let length t = t.count
-let byte_size t = Bytes.length t.data
+let byte_size t = t.len
 let blocks t = Array.length t.skips
 let max_tf t = t.max_tf
 let block_first_doc t i = t.skips.(i).sk_first_doc
 
+(* A cursor decodes one whole block at a time into flat arrays of
+   absolute (doc, node, pos) values — straight-line shift/mask work —
+   and then serves [next] as three array reads. [blk] is the decoded
+   block (-1 before the first decode), [i] the next undelivered index
+   within it, [n] its occupancy. Consumed count = blk*block_size + i
+   (blocks before [blk] are always full). *)
 type cursor = {
   list : t;
-  mutable off : int;
-  mutable seen : int;
-  mutable doc : int;
-  mutable node : int;
-  mutable pos : int;
+  docs : int array;
+  nodes : int array;
+  poss : int array;
+  mutable blk : int;
+  mutable i : int;
+  mutable n : int;
 }
 
-let cursor list = { list; off = 0; seen = 0; doc = 0; node = 0; pos = 0 }
+let cursor list =
+  {
+    list;
+    docs = Array.make block_size 0;
+    nodes = Array.make block_size 0;
+    poss = Array.make block_size 0;
+    blk = -1;
+    i = 0;
+    n = 0;
+  }
+
+let bad_block () = raise (Codec.Truncated "posting block runs past its payload")
+
+(* Validate block [b]'s frame and unpack its three raw delta streams
+   into the caller's arrays; returns the block's occupancy. *)
+let load_deltas t b docs nodes poss =
+  let n = min block_size (t.count - (b * block_size)) in
+  let sk = t.skips.(b) in
+  if sk.sk_off < 0 || sk.sk_off + 3 > t.len then bad_block ();
+  let off = t.base + sk.sk_off in
+  let wd = Codec.buf_get t.data off in
+  let wn = Codec.buf_get t.data (off + 1) in
+  let wp = Codec.buf_get t.data (off + 2) in
+  if wd > Codec.max_bit_width || wn > Codec.max_bit_width
+     || wp > Codec.max_bit_width
+  then bad_block ();
+  let od = off + 3 in
+  let on = od + Codec.packed_bytes ~n ~width:wd in
+  let op = on + Codec.packed_bytes ~n ~width:wn in
+  let oe = op + Codec.packed_bytes ~n ~width:wp in
+  if oe > t.base + t.len then bad_block ();
+  Codec.unpack_bits t.data ~off:od ~width:wd ~n docs;
+  Codec.unpack_bits t.data ~off:on ~width:wn ~n nodes;
+  Codec.unpack_bits t.data ~off:op ~width:wp ~n poss;
+  n
+
+let decode_block c b =
+  let t = c.list in
+  let n = load_deltas t b c.docs c.nodes c.poss in
+  let sk = t.skips.(b) in
+  let doc = ref sk.sk_prev_doc in
+  let node = ref sk.sk_prev_node in
+  let pos = ref sk.sk_prev_pos in
+  for k = 0 to n - 1 do
+    let dd = Array.unsafe_get c.docs k in
+    if dd <> 0 then begin
+      doc := !doc + dd;
+      node := 0;
+      pos := 0
+    end;
+    node := !node + unzigzag (Array.unsafe_get c.nodes k);
+    pos := !pos + Array.unsafe_get c.poss k;
+    Array.unsafe_set c.docs k !doc;
+    Array.unsafe_set c.nodes k !node;
+    Array.unsafe_set c.poss k !pos
+  done;
+  c.blk <- b;
+  c.n <- n;
+  c.i <- 0
 
 let next c =
-  if c.seen >= c.list.count then None
+  if c.blk >= 0 && c.i < c.n then begin
+    let k = c.i in
+    c.i <- k + 1;
+    Some { doc = c.docs.(k); node = c.nodes.(k); pos = c.poss.(k) }
+  end
   else begin
-    let doc_delta, off = Codec.read_varint c.list.data c.off in
-    if doc_delta <> 0 then begin
-      c.doc <- c.doc + doc_delta;
-      c.node <- 0;
-      c.pos <- 0
-    end;
-    let node_delta, off = Codec.read_zigzag c.list.data off in
-    let pos_delta, off = Codec.read_varint c.list.data off in
-    c.node <- c.node + node_delta;
-    c.pos <- c.pos + pos_delta;
-    c.off <- off;
-    c.seen <- c.seen + 1;
-    Some { doc = c.doc; node = c.node; pos = c.pos }
+    let b = c.blk + 1 in
+    if b * block_size >= c.list.count then None
+    else begin
+      decode_block c b;
+      c.i <- 1;
+      Some { doc = c.docs.(0); node = c.nodes.(0); pos = c.poss.(0) }
+    end
   end
 
 let reset c =
-  c.off <- 0;
-  c.seen <- 0;
-  c.doc <- 0;
-  c.node <- 0;
-  c.pos <- 0
+  c.blk <- -1;
+  c.i <- 0;
+  c.n <- 0
 
-(* First not-yet-decoded occurrence with [(doc, pos) >= target],
-   consuming it. The binary search only ever moves the cursor
-   forward; at most one block (plus the landing occurrence) is
-   decoded after the jump. *)
+(* First index in [i .. n) with (doc, pos) >= target; [n] if none.
+   The decoded arrays are sorted by (doc, pos). *)
+let lower_bound c ~doc ~pos =
+  let lo = ref c.i and hi = ref c.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let d = c.docs.(mid) in
+    if d < doc || (d = doc && c.poss.(mid) < pos) then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* First not-yet-delivered occurrence with [(doc, pos) >= target],
+   consuming everything before it. The skip-table binary search only
+   ever moves the cursor forward; after the jump, at most the blocks
+   up to the target are decoded (one, in the common case). *)
 let seek_pos c ~doc ~pos =
   let t = c.list in
   let nsk = Array.length t.skips in
-  if nsk > 1 && c.seen < t.count then begin
-    let cur_block = c.seen / block_size in
+  let seen = if c.blk < 0 then 0 else (c.blk * block_size) + c.i in
+  if nsk > 1 && seen < t.count then begin
+    let cur_block = seen / block_size in
     let le j =
       let sk = t.skips.(j) in
       sk.sk_first_doc < doc || (sk.sk_first_doc = doc && sk.sk_first_pos <= pos)
@@ -196,19 +328,28 @@ let seek_pos c ~doc ~pos =
       end
       else hi := mid - 1
     done;
-    if !best > cur_block then begin
-      let sk = t.skips.(!best) in
-      c.off <- sk.sk_off;
-      c.seen <- !best * block_size;
-      c.doc <- sk.sk_prev_doc;
-      c.node <- sk.sk_prev_node;
-      c.pos <- sk.sk_prev_pos
-    end
+    if !best > c.blk then decode_block c !best
   end;
   let rec scan () =
-    match next c with
-    | Some o when o.doc < doc || (o.doc = doc && o.pos < pos) -> scan ()
-    | res -> res
+    if c.blk >= 0 && c.i < c.n then begin
+      let k = lower_bound c ~doc ~pos in
+      if k < c.n then begin
+        c.i <- k + 1;
+        Some { doc = c.docs.(k); node = c.nodes.(k); pos = c.poss.(k) }
+      end
+      else begin
+        c.i <- c.n;
+        advance ()
+      end
+    end
+    else advance ()
+  and advance () =
+    let b = c.blk + 1 in
+    if b * block_size >= t.count then None
+    else begin
+      decode_block c b;
+      scan ()
+    end
   in
   scan ()
 
@@ -219,7 +360,7 @@ let block_max_tf c =
   let nsk = Array.length t.skips in
   if nsk = 0 then 0
   else begin
-    let i = if c.seen = 0 then 0 else (c.seen - 1) / block_size in
+    let i = if c.blk < 0 then 0 else c.blk in
     t.skips.(min i (nsk - 1)).sk_max_tf
   end
 
@@ -228,7 +369,7 @@ let block_max_node c =
   let nsk = Array.length t.skips in
   if nsk = 0 then 0
   else begin
-    let i = if c.seen = 0 then 0 else (c.seen - 1) / block_size in
+    let i = if c.blk < 0 then 0 else c.blk in
     t.skips.(min i (nsk - 1)).sk_max_node
   end
 
@@ -243,6 +384,36 @@ let iter f t =
   in
   go ()
 
+let scan t f =
+  (* sequential decode with no per-occurrence allocation: unpack each
+     block's raw delta streams, then one fused loop reconstructs the
+     absolute values and hands out plain ints — no cursor state, no
+     write-back of the reconstructed block *)
+  let nblocks = Array.length t.skips in
+  if nblocks > 0 then begin
+    let docs = Array.make block_size 0 in
+    let nodes = Array.make block_size 0 in
+    let poss = Array.make block_size 0 in
+    for b = 0 to nblocks - 1 do
+      let n = load_deltas t b docs nodes poss in
+      let sk = t.skips.(b) in
+      let doc = ref sk.sk_prev_doc in
+      let node = ref sk.sk_prev_node in
+      let pos = ref sk.sk_prev_pos in
+      for k = 0 to n - 1 do
+        let dd = Array.unsafe_get docs k in
+        if dd <> 0 then begin
+          doc := !doc + dd;
+          node := 0;
+          pos := 0
+        end;
+        node := !node + unzigzag (Array.unsafe_get nodes k);
+        pos := !pos + Array.unsafe_get poss k;
+        f !doc !node !pos
+      done
+    done
+  end
+
 let to_list t =
   let acc = ref [] in
   iter (fun occ -> acc := occ :: !acc) t;
@@ -253,11 +424,11 @@ let of_list occs =
   List.iter (add b) occs;
   freeze b
 
-(* Serialized form: the skip table, then the raw delta stream. Block
+(* Serialized form: the skip table, then the packed region. Block
    membership is positional (block [i] covers occurrences
    [i*block_size ..]), so per-entry counts need not be stored. *)
 let serialize t =
-  let buf = Buffer.create (Bytes.length t.data + (Array.length t.skips * 12)) in
+  let buf = Buffer.create (t.len + (Array.length t.skips * 12)) in
   Codec.add_varint buf (Array.length t.skips);
   let prev_off = ref 0 in
   Array.iter
@@ -272,19 +443,22 @@ let serialize t =
       Codec.add_varint buf sk.sk_max_node;
       Codec.add_varint buf sk.sk_max_tf)
     t.skips;
-  Codec.add_varint buf (Bytes.length t.data);
-  Buffer.add_bytes buf t.data;
+  Codec.add_varint buf t.len;
+  (match t.data with
+  | Codec.B b when t.base = 0 && t.len = Bytes.length b -> Buffer.add_bytes buf b
+  | _ -> Buffer.add_string buf (Codec.buf_sub_string t.data t.base t.len));
   Buffer.contents buf
 
-let deserialize ~count data =
-  let bytes = Bytes.of_string data in
-  let nsk, off = Codec.read_varint bytes 0 in
+(* Decoding keeps a view into [buf] — no payload copy. This is what
+   makes postings decode directly out of an mmap'd image. *)
+let deserialize_buf ~count buf off =
+  let nsk, off = Codec.read_varint_buf buf off in
   let off = ref off in
   let prev_off = ref 0 in
   let skips =
     Array.init nsk (fun _ ->
         let rd () =
-          let v, o = Codec.read_varint bytes !off in
+          let v, o = Codec.read_varint_buf buf !off in
           off := o;
           v
         in
@@ -309,9 +483,11 @@ let deserialize ~count data =
           sk_max_tf;
         })
   in
-  let len, off = Codec.read_varint bytes !off in
-  if off + len > Bytes.length bytes then
+  let len, base = Codec.read_varint_buf buf !off in
+  if len < 0 || base + len > Codec.buf_length buf then
     raise (Codec.Truncated "posting payload shorter than its header");
-  let payload = Bytes.sub bytes off len in
   let max_tf = Array.fold_left (fun m sk -> max m sk.sk_max_tf) 0 skips in
-  { data = payload; count; skips; max_tf }
+  ({ data = buf; base; len; count; skips; max_tf }, base + len)
+
+let deserialize ~count data =
+  fst (deserialize_buf ~count (Codec.buf_of_string data) 0)

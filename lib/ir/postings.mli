@@ -4,16 +4,24 @@
     which element ([node] is the start key of the element that
     directly owns the text), and at which word position. Occurrences
     are kept sorted by [(doc, pos)], which is document order, and are
-    stored varint-delta compressed — decoding is real per-occurrence
-    work, mirroring the index-scan cost of a disk-resident system.
+    stored delta-compressed with frame-of-reference bit packing:
+    each block of {!block_size} occurrences carries one fixed bit
+    width per field (doc-delta, node-delta, pos-delta) and the three
+    packed field streams, decoded a whole block at a time with
+    straight-line shift/mask ops — no per-occurrence varint loop.
 
-    The stream is chunked into blocks of {!block_size} occurrences
-    with one skip entry per block (decoder snapshot, first sort key,
+    Each block has one skip entry (decoder snapshot, first sort key,
     max owning-element key, max per-document frequency), so a cursor
     can {!seek_doc}/{!seek_pos} forward by binary-searching the skip
     table and decoding only the landing block, and score-utilizing
     consumers can prune blocks whose {!block_max_tf} bound cannot
-    beat a Top-K cutoff. *)
+    beat a Top-K cutoff.
+
+    A list decodes out of any {!Codec.buf} — {!deserialize_buf} keeps
+    a zero-copy view, so postings read straight out of an mmap'd
+    TIXDB004 image. The previous varint codec lives on in
+    {!Postings_varint} for TIXDB003 compatibility and as the bench
+    baseline. *)
 
 type occ = { doc : int; node : int; pos : int }
 
@@ -90,6 +98,12 @@ val block_max_node : cursor -> int
 (** Largest owning-element key in the current block. *)
 
 val iter : (occ -> unit) -> t -> unit
+
+val scan : t -> (int -> int -> int -> unit) -> unit
+(** [scan t f] calls [f doc node pos] for every occurrence in order,
+    decoding block-at-a-time with no per-occurrence allocation — the
+    fast path for scan-bound consumers and the decode benchmarks. *)
+
 val to_list : t -> occ list
 val of_list : occ list -> t
 (** Builds from a list that must already be sorted by [(doc, pos)]. *)
@@ -97,9 +111,16 @@ val of_list : occ list -> t
 (** {1 Serialization} *)
 
 val serialize : t -> string
-(** Skip table followed by the raw compressed stream (count is
-    carried separately). *)
+(** Skip table followed by the packed block region (count is carried
+    separately). *)
 
 val deserialize : count:int -> string -> t
 (** Raises [Codec.Truncated] when the payload is shorter than its
     own framing claims. *)
+
+val deserialize_buf : count:int -> Codec.buf -> int -> t * int
+(** [deserialize_buf ~count buf off] parses the {!serialize} framing
+    at [off] and returns the list plus the offset one past its packed
+    region. The list keeps a zero-copy view into [buf] — for an
+    mmap'd image the block bytes are decoded in place, never copied.
+    Raises [Codec.Truncated] like {!deserialize}. *)

@@ -1,0 +1,324 @@
+(* The pre-TIXDB004 posting codec: one continuous varint-delta stream
+   with per-block decoder snapshots (doc-delta varint, zigzag
+   node-delta, pos-delta varint per occurrence). Retained verbatim as
+
+     - the reader behind the transparent in-memory upgrade of
+       TIXDB003 images (and the writer behind [Db.save_v3], which
+       compat tests and benchmarks use to produce such images),
+     - the baseline the decode-throughput bench family compares the
+       packed frame-of-reference codec against,
+     - an independent oracle for the packed codec's property tests.
+
+   The occurrence type is shared with {!Postings} so lists convert
+   without copying records. *)
+
+type occ = Postings.occ = { doc : int; node : int; pos : int }
+
+let block_size = Postings.block_size
+
+type skip = {
+  sk_off : int;
+  sk_prev_doc : int;
+  sk_prev_node : int;
+  sk_prev_pos : int;
+  sk_first_doc : int;
+  sk_first_pos : int;
+  sk_max_node : int;
+  sk_max_tf : int;
+}
+
+type builder = {
+  buf : Buffer.t;
+  mutable count : int;
+  mutable last_doc : int;
+  mutable last_node : int;
+  mutable last_pos : int;
+  mutable rev_skips : skip list;
+  mutable blk_max_node : int;
+  mutable run_doc : int;
+  mutable run_count : int;
+  mutable run_first_block : int;
+  mutable rev_runs : (int * int * int) list;
+}
+
+let builder () =
+  {
+    buf = Buffer.create 64;
+    count = 0;
+    last_doc = 0;
+    last_node = 0;
+    last_pos = 0;
+    rev_skips = [];
+    blk_max_node = 0;
+    run_doc = -1;
+    run_count = 0;
+    run_first_block = 0;
+    rev_runs = [];
+  }
+
+let close_run b =
+  if b.run_count > 0 then
+    b.rev_runs <-
+      (b.run_first_block, (b.count - 1) / block_size, b.run_count)
+      :: b.rev_runs
+
+let add b occ =
+  if occ.doc < b.last_doc
+     || (occ.doc = b.last_doc && b.count > 0 && occ.pos < b.last_pos)
+  then invalid_arg "Postings_varint.add: occurrences out of order";
+  if b.count mod block_size = 0 then begin
+    (match b.rev_skips with
+    | sk :: rest when b.count > 0 ->
+      b.rev_skips <- { sk with sk_max_node = b.blk_max_node } :: rest
+    | _ -> ());
+    b.rev_skips <-
+      {
+        sk_off = Buffer.length b.buf;
+        sk_prev_doc = b.last_doc;
+        sk_prev_node = b.last_node;
+        sk_prev_pos = b.last_pos;
+        sk_first_doc = occ.doc;
+        sk_first_pos = occ.pos;
+        sk_max_node = occ.node;
+        sk_max_tf = 0;
+      }
+      :: b.rev_skips;
+    b.blk_max_node <- occ.node
+  end;
+  if occ.doc <> b.last_doc then begin
+    Codec.add_varint b.buf (occ.doc - b.last_doc);
+    b.last_node <- 0;
+    b.last_pos <- 0
+  end
+  else Codec.add_varint b.buf 0;
+  Codec.add_zigzag b.buf (occ.node - b.last_node);
+  Codec.add_varint b.buf (occ.pos - b.last_pos);
+  if occ.doc <> b.run_doc then begin
+    close_run b;
+    b.run_doc <- occ.doc;
+    b.run_count <- 1;
+    b.run_first_block <- b.count / block_size
+  end
+  else b.run_count <- b.run_count + 1;
+  if occ.node > b.blk_max_node then b.blk_max_node <- occ.node;
+  b.last_doc <- occ.doc;
+  b.last_node <- occ.node;
+  b.last_pos <- occ.pos;
+  b.count <- b.count + 1
+
+type t = {
+  data : Bytes.t;
+  count : int;
+  skips : skip array;
+  max_tf : int;
+}
+
+let freeze b =
+  close_run b;
+  b.run_count <- 0;
+  (match b.rev_skips with
+  | sk :: rest when b.count > 0 ->
+    b.rev_skips <- { sk with sk_max_node = b.blk_max_node } :: rest
+  | _ -> ());
+  let skips = Array.of_list (List.rev b.rev_skips) in
+  let tmp = Array.map (fun sk -> sk.sk_max_tf) skips in
+  List.iter
+    (fun (b0, b1, tf) ->
+      for i = b0 to b1 do
+        if tf > tmp.(i) then tmp.(i) <- tf
+      done)
+    b.rev_runs;
+  let skips = Array.mapi (fun i sk -> { sk with sk_max_tf = tmp.(i) }) skips in
+  let max_tf = Array.fold_left (fun m sk -> max m sk.sk_max_tf) 0 skips in
+  { data = Buffer.to_bytes b.buf; count = b.count; skips; max_tf }
+
+let length t = t.count
+let byte_size t = Bytes.length t.data
+let blocks t = Array.length t.skips
+let max_tf t = t.max_tf
+
+type cursor = {
+  list : t;
+  mutable off : int;
+  mutable seen : int;
+  mutable doc : int;
+  mutable node : int;
+  mutable pos : int;
+}
+
+let cursor list = { list; off = 0; seen = 0; doc = 0; node = 0; pos = 0 }
+
+let next c =
+  if c.seen >= c.list.count then None
+  else begin
+    let doc_delta, off = Codec.read_varint c.list.data c.off in
+    if doc_delta <> 0 then begin
+      c.doc <- c.doc + doc_delta;
+      c.node <- 0;
+      c.pos <- 0
+    end;
+    let node_delta, off = Codec.read_zigzag c.list.data off in
+    let pos_delta, off = Codec.read_varint c.list.data off in
+    c.node <- c.node + node_delta;
+    c.pos <- c.pos + pos_delta;
+    c.off <- off;
+    c.seen <- c.seen + 1;
+    Some { doc = c.doc; node = c.node; pos = c.pos }
+  end
+
+let reset c =
+  c.off <- 0;
+  c.seen <- 0;
+  c.doc <- 0;
+  c.node <- 0;
+  c.pos <- 0
+
+let seek_pos c ~doc ~pos =
+  let t = c.list in
+  let nsk = Array.length t.skips in
+  if nsk > 1 && c.seen < t.count then begin
+    let cur_block = c.seen / block_size in
+    let le j =
+      let sk = t.skips.(j) in
+      sk.sk_first_doc < doc || (sk.sk_first_doc = doc && sk.sk_first_pos <= pos)
+    in
+    let lo = ref (cur_block + 1) and hi = ref (nsk - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if le mid then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !best > cur_block then begin
+      let sk = t.skips.(!best) in
+      c.off <- sk.sk_off;
+      c.seen <- !best * block_size;
+      c.doc <- sk.sk_prev_doc;
+      c.node <- sk.sk_prev_node;
+      c.pos <- sk.sk_prev_pos
+    end
+  end;
+  let rec scan () =
+    match next c with
+    | Some o when o.doc < doc || (o.doc = doc && o.pos < pos) -> scan ()
+    | res -> res
+  in
+  scan ()
+
+let seek_doc c doc = seek_pos c ~doc ~pos:0
+
+let iter f t =
+  let c = cursor t in
+  let rec go () =
+    match next c with
+    | Some occ ->
+      f occ;
+      go ()
+    | None -> ()
+  in
+  go ()
+
+let scan t f =
+  (* allocation-free sequential decode, mirroring {!Postings.scan}:
+     the per-occurrence varint loop without the option/record boxing *)
+  let off = ref 0 and doc = ref 0 and node = ref 0 and pos = ref 0 in
+  for _ = 1 to t.count do
+    let doc_delta, o = Codec.read_varint t.data !off in
+    if doc_delta <> 0 then begin
+      doc := !doc + doc_delta;
+      node := 0;
+      pos := 0
+    end;
+    let node_delta, o = Codec.read_zigzag t.data o in
+    let pos_delta, o = Codec.read_varint t.data o in
+    node := !node + node_delta;
+    pos := !pos + pos_delta;
+    off := o;
+    f !doc !node !pos
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun occ -> acc := occ :: !acc) t;
+  List.rev !acc
+
+let of_list occs =
+  let b = builder () in
+  List.iter (add b) occs;
+  freeze b
+
+let serialize t =
+  let buf = Buffer.create (Bytes.length t.data + (Array.length t.skips * 12)) in
+  Codec.add_varint buf (Array.length t.skips);
+  let prev_off = ref 0 in
+  Array.iter
+    (fun sk ->
+      Codec.add_varint buf (sk.sk_off - !prev_off);
+      prev_off := sk.sk_off;
+      Codec.add_varint buf sk.sk_prev_doc;
+      Codec.add_varint buf sk.sk_prev_node;
+      Codec.add_varint buf sk.sk_prev_pos;
+      Codec.add_varint buf sk.sk_first_doc;
+      Codec.add_varint buf sk.sk_first_pos;
+      Codec.add_varint buf sk.sk_max_node;
+      Codec.add_varint buf sk.sk_max_tf)
+    t.skips;
+  Codec.add_varint buf (Bytes.length t.data);
+  Buffer.add_bytes buf t.data;
+  Buffer.contents buf
+
+let deserialize ~count data =
+  let bytes = Bytes.of_string data in
+  let nsk, off = Codec.read_varint bytes 0 in
+  let off = ref off in
+  let prev_off = ref 0 in
+  let skips =
+    Array.init nsk (fun _ ->
+        let rd () =
+          let v, o = Codec.read_varint bytes !off in
+          off := o;
+          v
+        in
+        let d_off = rd () in
+        let sk_off = !prev_off + d_off in
+        prev_off := sk_off;
+        let sk_prev_doc = rd () in
+        let sk_prev_node = rd () in
+        let sk_prev_pos = rd () in
+        let sk_first_doc = rd () in
+        let sk_first_pos = rd () in
+        let sk_max_node = rd () in
+        let sk_max_tf = rd () in
+        {
+          sk_off;
+          sk_prev_doc;
+          sk_prev_node;
+          sk_prev_pos;
+          sk_first_doc;
+          sk_first_pos;
+          sk_max_node;
+          sk_max_tf;
+        })
+  in
+  let len, off = Codec.read_varint bytes !off in
+  if off + len > Bytes.length bytes then
+    raise (Codec.Truncated "posting payload shorter than its header");
+  let payload = Bytes.sub bytes off len in
+  let max_tf = Array.fold_left (fun m sk -> max m sk.sk_max_tf) 0 skips in
+  { data = payload; count; skips; max_tf }
+
+(* Conversions between the two codecs, both going through the
+   destination builder so every invariant (skip table, run-based
+   max_tf) is recomputed rather than translated. *)
+
+let to_packed t =
+  let b = Postings.builder () in
+  iter (Postings.add b) t;
+  Postings.freeze b
+
+let of_packed p =
+  let b = builder () in
+  Postings.iter (add b) p;
+  freeze b

@@ -1,0 +1,52 @@
+(** The legacy varint-delta posting codec (image format TIXDB003).
+
+    {!Postings} packs each 128-occurrence block to fixed bit widths;
+    this module keeps the previous continuous varint stream alive for
+    three jobs: decoding TIXDB003 images during the transparent
+    in-memory upgrade, writing such images ([Db.save_v3]) for compat
+    tests and open-latency benchmarks, and serving as the independent
+    oracle/baseline the packed codec is property-tested and benched
+    against. Semantics mirror {!Postings} exactly. *)
+
+type occ = Postings.occ = { doc : int; node : int; pos : int }
+
+val block_size : int
+
+type builder
+
+val builder : unit -> builder
+val add : builder -> occ -> unit
+
+type t
+
+val freeze : builder -> t
+val length : t -> int
+val byte_size : t -> int
+val blocks : t -> int
+val max_tf : t -> int
+
+type cursor
+
+val cursor : t -> cursor
+val next : cursor -> occ option
+val reset : cursor -> unit
+val seek_doc : cursor -> int -> occ option
+val seek_pos : cursor -> doc:int -> pos:int -> occ option
+
+val iter : (occ -> unit) -> t -> unit
+
+val scan : t -> (int -> int -> int -> unit) -> unit
+(** Allocation-free sequential decode, mirroring {!Postings.scan} —
+    the baseline side of the codec benchmarks. *)
+
+val to_list : t -> occ list
+val of_list : occ list -> t
+
+val serialize : t -> string
+val deserialize : count:int -> string -> t
+
+val to_packed : t -> Postings.t
+(** Re-encode through the packed builder (TIXDB003 upgrade path). *)
+
+val of_packed : Postings.t -> t
+(** Re-encode a packed list as varint (TIXDB003 writer path). *)

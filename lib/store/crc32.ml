@@ -25,3 +25,16 @@ let string ?(off = 0) ?len s =
   !crc lxor 0xFFFFFFFF
 
 let bytes ?off ?len b = string ?off ?len (Bytes.unsafe_to_string b)
+
+let buf ?(off = 0) ?len (b : Ir.Codec.buf) =
+  match b with
+  | Ir.Codec.B by -> bytes ~off ?len by
+  | Ir.Codec.M m ->
+    let dim = Bigarray.Array1.dim m in
+    let len = match len with Some l -> l | None -> dim - off in
+    if off < 0 || len < 0 || off + len > dim then invalid_arg "Crc32.buf";
+    let crc = ref 0xFFFFFFFF in
+    for i = off to off + len - 1 do
+      crc := update !crc (Char.code (Bigarray.Array1.unsafe_get m i))
+    done;
+    !crc lxor 0xFFFFFFFF

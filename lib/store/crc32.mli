@@ -9,3 +9,7 @@ val bytes : ?off:int -> ?len:int -> Bytes.t -> int
 (** Checksum of a byte range (the whole buffer by default). *)
 
 val string : ?off:int -> ?len:int -> string -> int
+
+val buf : ?off:int -> ?len:int -> Ir.Codec.buf -> int
+(** Checksum over a {!Ir.Codec.buf} range — for an mmap'd image this
+    reads the mapped pages directly, without copying them. *)

@@ -360,22 +360,38 @@ let pp_stats ppf s =
 (* ------------------------------------------------------------------ *)
 (* Persistence
 
-   Image layout (version 3; version 3 added the posting skip tables
-   inside the index section's payload):
+   Image layout (version 4: frame-of-reference bit-packed posting
+   blocks, serialized parent/tag index sections, mmap'd zero-copy
+   open; version 3 added the posting skip tables inside the index
+   section's payload):
 
-     magic   "TIXDB003"                       8 bytes
-     count   varint                           must be 3
+     magic   "TIXDB004"                       8 bytes
+     count   varint                           must be 5
      section varint id, varint len,
              4-byte big-endian CRC-32,        catalog = 1,
-             payload                          elements = 2, index = 3
+             payload                          elements = 2, index = 3,
+                                              parents = 4, tags = 5
 
    Sections appear in id order and the file ends exactly after the
    last payload. Every payload byte is covered by its section's
    CRC-32; every framing byte is covered by structural checks, so a
    single flipped byte anywhere is detected before any decoded value
-   is trusted. *)
+   is trusted.
 
-let magic = "TIXDB003"
+   A version-4 image is opened by mapping the file (Unix.map_file)
+   and verifying every section CRC directly over the map — no copy,
+   no allocation proportional to the image. Posting lists and element
+   pages then decode lazily, in place: the element pager is born
+   pinned ([Pager.of_mapped]), so snapshot publication is O(1) and
+   the mapped pages are shared read-only across every domain.
+
+   Version-3 images still open: they are read into memory with the
+   legacy varint posting codec and transparently re-packed
+   ([Ir.Inverted_index.load_legacy]); the next [save] — e.g. a
+   checkpoint, or `tixdb compact` — writes version 4. *)
+
+let magic = "TIXDB004"
+let magic_v3 = "TIXDB003"
 let magic_prefix = "TIXDB"
 
 type error =
@@ -409,15 +425,16 @@ let pp_error ppf = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-let section_names = [| "catalog"; "elements"; "index" |]
+let section_names = [| "catalog"; "elements"; "index"; "parents"; "tags" |]
+let section_names_v3 = [| "catalog"; "elements"; "index" |]
 
 let add_string buf s =
   Ir.Codec.add_varint buf (String.length s);
   Buffer.add_string buf s
 
-let read_string bytes off =
-  let len, off = Ir.Codec.read_varint bytes off in
-  (Bytes.sub_string bytes off len, off + len)
+let read_string_buf buf off =
+  let len, off = Ir.Codec.read_varint_buf buf off in
+  (Ir.Codec.buf_sub_string buf off len, off + len)
 
 let add_crc32 buf crc =
   Buffer.add_char buf (Char.chr ((crc lsr 24) land 0xFF));
@@ -425,8 +442,8 @@ let add_crc32 buf crc =
   Buffer.add_char buf (Char.chr ((crc lsr 8) land 0xFF));
   Buffer.add_char buf (Char.chr (crc land 0xFF))
 
-let read_crc32 bytes off =
-  let b i = Char.code (Bytes.get bytes (off + i)) in
+let read_crc32_buf buf off =
+  let b i = Ir.Codec.buf_get buf (off + i) in
   ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3, off + 4)
 
 let catalog_section t =
@@ -441,18 +458,12 @@ let catalog_section t =
   done;
   buf
 
-let save t path =
-  let sections =
-    [
-      catalog_section t;
-      (let buf = Buffer.create (1 lsl 20) in
-       Element_store.save t.elements buf;
-       buf);
-      (let buf = Buffer.create (1 lsl 20) in
-       Ir.Inverted_index.save t.index buf;
-       buf);
-    ]
-  in
+let section buf_size fill =
+  let buf = Buffer.create buf_size in
+  fill buf;
+  buf
+
+let write_image ~magic sections path =
   let image = Buffer.create (1 lsl 20) in
   Buffer.add_string image magic;
   Ir.Codec.add_varint image (List.length sections);
@@ -475,27 +486,229 @@ let save t path =
     raise e);
   Sys.rename tmp path
 
-let decode_catalog bytes ~off ~len =
+let save t path =
+  write_image ~magic
+    [
+      catalog_section t;
+      section (1 lsl 20) (Element_store.save t.elements);
+      section (1 lsl 20) (Ir.Inverted_index.save t.index);
+      section (1 lsl 16) (Parent_index.save t.parents);
+      section (1 lsl 16) (Tag_index.save t.tags);
+    ]
+    path
+
+(* A genuine version-3 image (legacy varint postings, three sections,
+   no parent/tag sections): what previous builds of this code wrote.
+   Kept so compatibility tests and the snapshot-open benchmark can
+   produce the images the upgrade path must keep reading. *)
+let save_v3 t path =
+  write_image ~magic:magic_v3
+    [
+      catalog_section t;
+      section (1 lsl 20) (Element_store.save t.elements);
+      section (1 lsl 20) (Ir.Inverted_index.save_legacy t.index);
+    ]
+    path
+
+let decode_catalog buf ~off ~len =
   let limit = off + len in
   let catalog = Catalog.create () in
-  let ndocs, off = Ir.Codec.read_varint bytes off in
+  let ndocs, off = Ir.Codec.read_varint_buf buf off in
   let off = ref off in
   for _ = 1 to ndocs do
-    let name, o = read_string bytes !off in
+    let name, o = read_string_buf buf !off in
     ignore (Catalog.add_document catalog name);
     off := o
   done;
-  let ntags, o = Ir.Codec.read_varint bytes !off in
+  let ntags, o = Ir.Codec.read_varint_buf buf !off in
   off := o;
   for _ = 1 to ntags do
-    let name, o = read_string bytes !off in
+    let name, o = read_string_buf buf !off in
     ignore (Catalog.intern_tag catalog name);
     off := o
   done;
   if !off <> limit then failwith "catalog section length mismatch";
   catalog
 
-let open_file ?pool_pages path =
+(* Frame the section table over [buf] (header structural checks), then
+   verify every checksum before trusting a single byte. Over an
+   mmap'd image the CRC pass reads the map in place — it allocates
+   nothing proportional to the image. *)
+let frame_and_verify ~path ~names buf =
+  let total = Ir.Codec.buf_length buf in
+  match
+    let nsections, off = Ir.Codec.read_varint_buf buf (String.length magic) in
+    if nsections <> Array.length names then
+      Error
+        (Corrupt
+           {
+             path;
+             detail =
+               Printf.sprintf "expected %d sections, header says %d"
+                 (Array.length names) nsections;
+           })
+    else begin
+      let rec frame i off acc =
+        if i >= nsections then
+          if off <> total then
+            Error
+              (Corrupt
+                 {
+                   path;
+                   detail =
+                     Printf.sprintf "%d trailing bytes after last section"
+                       (total - off);
+                 })
+          else Ok (List.rev acc)
+        else begin
+          let id, off = Ir.Codec.read_varint_buf buf off in
+          let len, off = Ir.Codec.read_varint_buf buf off in
+          let crc, off = read_crc32_buf buf off in
+          if id <> i + 1 then
+            Error
+              (Corrupt
+                 { path; detail = Printf.sprintf "section %d has id %d" (i + 1) id })
+          else if len < 0 || off + len > total then
+            Error
+              (Truncated
+                 {
+                   path;
+                   detail =
+                     Printf.sprintf "%s section claims %d bytes, %d remain"
+                       names.(i) len (total - off);
+                 })
+          else frame (i + 1) (off + len) ((names.(i), off, len, crc) :: acc)
+        end
+      in
+      frame 0 off []
+    end
+  with
+  | exception Invalid_argument _ ->
+    Error (Truncated { path; detail = "file ends inside the header" })
+  | exception Ir.Codec.Truncated detail ->
+    Error (Truncated { path; detail = "header: " ^ detail })
+  | Error e -> Error e
+  | Ok sections ->
+    let bad =
+      List.find_map
+        (fun (name, off, len, expected) ->
+          let actual = Crc32.buf ~off ~len buf in
+          if actual <> expected then
+            Some (Checksum_mismatch { path; section = name; expected; actual })
+          else None)
+        sections
+    in
+    (match bad with Some e -> Error e | None -> Ok sections)
+
+let find_section sections name =
+  let _, off, len, _ = List.find (fun (n, _, _, _) -> n = name) sections in
+  (off, len)
+
+(* Version 4: everything decodes straight out of the mapped buffer.
+   The catalog and the parent/tag sections are materialized eagerly
+   (they are small and already in their query shape); posting lists
+   keep zero-copy views; element pages stay slices of the map until a
+   query first touches them. *)
+let decode_v4 ~path buf sections =
+  match
+    let find = find_section sections in
+    let cat_off, cat_len = find "catalog" in
+    let catalog = decode_catalog buf ~off:cat_off ~len:cat_len in
+    let el_off, el_len = find "elements" in
+    let elements, el_end = Element_store.load_mapped buf el_off in
+    if el_end <> el_off + el_len then
+      failwith "elements section length mismatch";
+    let ix_off, ix_len = find "index" in
+    let index, ix_end = Ir.Inverted_index.load_buf buf ix_off in
+    if ix_end <> ix_off + ix_len then failwith "index section length mismatch";
+    let p_off, p_len = find "parents" in
+    let parents, p_end = Parent_index.load buf p_off in
+    if p_end <> p_off + p_len then failwith "parents section length mismatch";
+    let t_off, t_len = find "tags" in
+    let tags, t_end = Tag_index.load buf t_off in
+    if t_end <> t_off + t_len then failwith "tags section length mismatch";
+    { catalog; elements; parents; tags; index; numberings = None }
+  with
+  | db ->
+    Log.info (fun m ->
+        m "%s: mapped TIXDB004 image (%d bytes, %d sections, zero-copy)" path
+          (Ir.Codec.buf_length buf) (List.length sections));
+    Ok db
+  | exception e ->
+    (* checksums passed but decoding still tripped: report, never
+       escape *)
+    Error (Corrupt { path; detail = Printexc.to_string e })
+
+(* Version 3: legacy images carry varint postings, no parent/tag
+   sections, and pages meant for a heap pager. Read into memory,
+   re-pack the postings through the packed builder and rebuild the
+   structural indexes by scanning — the transparent in-memory
+   upgrade. Saving the result writes version 4. *)
+let decode_v3 ?pool_pages ~path bytes sections =
+  match
+    let find = find_section sections in
+    let cat_off, cat_len = find "catalog" in
+    let catalog =
+      decode_catalog (Ir.Codec.buf_of_bytes bytes) ~off:cat_off ~len:cat_len
+    in
+    let el_off, el_len = find "elements" in
+    let elements, el_end = Element_store.load ?pool_pages bytes el_off in
+    if el_end <> el_off + el_len then
+      failwith "elements section length mismatch";
+    let ix_off, ix_len = find "index" in
+    let index, ix_end = Ir.Inverted_index.load_legacy bytes ix_off in
+    if ix_end <> ix_off + ix_len then failwith "index section length mismatch";
+    let parent_builder = Parent_index.builder () in
+    let tag_builder = Tag_index.builder () in
+    Element_store.scan elements (fun (r : Element_rec.t) ->
+        Parent_index.add parent_builder ~doc:r.doc ~start:r.start
+          {
+            Parent_index.parent = r.parent;
+            child_count = r.child_count;
+            level = r.level;
+            end_ = r.end_;
+            tag = r.tag;
+          };
+        Tag_index.add tag_builder ~tag:r.tag
+          { Tag_index.doc = r.doc; start = r.start; end_ = r.end_; level = r.level });
+    {
+      catalog;
+      elements;
+      parents = Parent_index.freeze parent_builder;
+      tags = Tag_index.freeze tag_builder;
+      index;
+      numberings = None;
+    }
+  with
+  | db ->
+    Log.info (fun m ->
+        m "%s: upgraded TIXDB003 image in memory (re-packed postings; \
+           resaving writes TIXDB004)"
+          path);
+    Ok db
+  | exception e ->
+    Error (Corrupt { path; detail = Printexc.to_string e })
+
+let open_v4 ~path =
+  match
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |]))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Io_error { path; detail = Unix.error_message e })
+  | exception Sys_error detail -> Error (Io_error { path; detail })
+  | map -> begin
+    let buf = Ir.Codec.M map in
+    match frame_and_verify ~path ~names:section_names buf with
+    | Error e -> Error e
+    | Ok sections -> decode_v4 ~path buf sections
+  end
+
+let open_v3 ?pool_pages path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -506,143 +719,37 @@ let open_file ?pool_pages path =
   | exception Sys_error detail -> Error (Io_error { path; detail })
   | exception End_of_file ->
     Error (Truncated { path; detail = "file shorter than its own length" })
-  | bytes ->
-    let total = Bytes.length bytes in
-    if
-      total < String.length magic_prefix
-      || Bytes.sub_string bytes 0 (String.length magic_prefix) <> magic_prefix
-    then Error (Not_a_database { path })
-    else if Bytes.sub_string bytes 0 (String.length magic) <> magic then
-      Error
-        (Unsupported_version
-           { path; found = Bytes.sub_string bytes 0 (String.length magic) })
-    else begin
-      (* Frame the sections; every read is bounds-checked by Bytes
-         itself, surfaced here as Truncated. *)
-      match
-        let nsections, off = Ir.Codec.read_varint bytes (String.length magic) in
-        if nsections <> Array.length section_names then
-          Error
-            (Corrupt
-               {
-                 path;
-                 detail =
-                   Printf.sprintf "expected %d sections, header says %d"
-                     (Array.length section_names) nsections;
-               })
-        else begin
-          let rec frame i off acc =
-            if i >= nsections then
-              if off <> total then
-                Error
-                  (Corrupt
-                     {
-                       path;
-                       detail =
-                         Printf.sprintf "%d trailing bytes after last section"
-                           (total - off);
-                     })
-              else Ok (List.rev acc)
-            else begin
-              let id, off = Ir.Codec.read_varint bytes off in
-              let len, off = Ir.Codec.read_varint bytes off in
-              let crc, off = read_crc32 bytes off in
-              if id <> i + 1 then
-                Error
-                  (Corrupt
-                     {
-                       path;
-                       detail =
-                         Printf.sprintf "section %d has id %d" (i + 1) id;
-                     })
-              else if len < 0 || off + len > total then
-                Error
-                  (Truncated
-                     {
-                       path;
-                       detail =
-                         Printf.sprintf
-                           "%s section claims %d bytes, %d remain"
-                           section_names.(i) len (total - off);
-                     })
-              else frame (i + 1) (off + len) ((section_names.(i), off, len, crc) :: acc)
-            end
-          in
-          frame 0 off []
-        end
-      with
-      | exception Invalid_argument _ ->
-        Error (Truncated { path; detail = "file ends inside the header" })
-      | exception Ir.Codec.Truncated detail ->
-        Error (Truncated { path; detail = "header: " ^ detail })
-      | Error e -> Error e
-      | Ok sections ->
-        (* Verify every checksum before trusting a single byte. *)
-        let bad =
-          List.find_map
-            (fun (name, off, len, expected) ->
-              let actual = Crc32.bytes ~off ~len bytes in
-              if actual <> expected then
-                Some
-                  (Checksum_mismatch { path; section = name; expected; actual })
-              else None)
-            sections
-        in
-        (match bad with
-        | Some e -> Error e
-        | None -> begin
-          let find name =
-            let _, off, len, _ =
-              List.find (fun (n, _, _, _) -> n = name) sections
-            in
-            (off, len)
-          in
-          match
-            let cat_off, cat_len = find "catalog" in
-            let catalog = decode_catalog bytes ~off:cat_off ~len:cat_len in
-            let el_off, el_len = find "elements" in
-            let elements, el_end = Element_store.load ?pool_pages bytes el_off in
-            if el_end <> el_off + el_len then
-              failwith "elements section length mismatch";
-            let ix_off, ix_len = find "index" in
-            let index, ix_end = Ir.Inverted_index.load bytes ix_off in
-            if ix_end <> ix_off + ix_len then
-              failwith "index section length mismatch";
-            (* rebuild the in-memory indexes from the element pages *)
-            let parent_builder = Parent_index.builder () in
-            let tag_builder = Tag_index.builder () in
-            Element_store.scan elements (fun (r : Element_rec.t) ->
-                Parent_index.add parent_builder ~doc:r.doc ~start:r.start
-                  {
-                    Parent_index.parent = r.parent;
-                    child_count = r.child_count;
-                    level = r.level;
-                    end_ = r.end_;
-                    tag = r.tag;
-                  };
-                Tag_index.add tag_builder ~tag:r.tag
-                  {
-                    Tag_index.doc = r.doc;
-                    start = r.start;
-                    end_ = r.end_;
-                    level = r.level;
-                  });
-            {
-              catalog;
-              elements;
-              parents = Parent_index.freeze parent_builder;
-              tags = Tag_index.freeze tag_builder;
-              index;
-              numberings = None;
-            }
-          with
-          | db -> Ok db
-          | exception e ->
-            (* checksums passed but decoding still tripped: report,
-               never escape *)
-            Error (Corrupt { path; detail = Printexc.to_string e })
-        end)
-    end
+  | bytes -> begin
+    match
+      frame_and_verify ~path ~names:section_names_v3 (Ir.Codec.buf_of_bytes bytes)
+    with
+    | Error e -> Error e
+    | Ok sections -> decode_v3 ?pool_pages ~path bytes sections
+  end
+
+let open_file ?pool_pages path =
+  (* Sniff the 8-byte magic to pick the read strategy: version 4 maps
+     the file, version 3 reads it into memory for the upgrade. *)
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let total = in_channel_length ic in
+        (really_input_string ic (min total (String.length magic)), total))
+  with
+  | exception Sys_error detail -> Error (Io_error { path; detail })
+  | exception End_of_file ->
+    Error (Truncated { path; detail = "file shorter than its own length" })
+  | (head, total) ->
+    let prefix_len = String.length magic_prefix in
+    if total < prefix_len || String.sub head 0 prefix_len <> magic_prefix then
+      Error (Not_a_database { path })
+    else if total < String.length magic then
+      Error (Truncated { path; detail = "file ends inside the magic" })
+    else if head = magic then open_v4 ~path
+    else if head = magic_v3 then open_v3 ?pool_pages path
+    else Error (Unsupported_version { path; found = head })
 
 let open_file_exn ?pool_pages path =
   match open_file ?pool_pages path with

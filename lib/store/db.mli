@@ -81,12 +81,22 @@ val compact : base:t -> delta:t option -> tombstones:bool array -> t
 (** {1 Persistence}
 
     A saved image is versioned and checksummed: a magic header
-    followed by three framed sections (catalog, element pages,
-    inverted index), each carrying its length and a CRC-32 of its
-    payload. {!open_file} verifies every checksum before decoding a
-    byte of a section, so any corruption of the image — a flipped
-    bit, a torn write, a truncation — is reported as a typed
-    {!error}, never as a crash or a silently wrong database. *)
+    ([TIXDB004]) followed by five framed sections (catalog, element
+    pages, inverted index, parent index, tag index), each carrying
+    its length and a CRC-32 of its payload. {!open_file} verifies
+    every checksum before decoding a byte of a section, so any
+    corruption of the image — a flipped bit, a torn write, a
+    truncation — is reported as a typed {!error}, never as a crash
+    or a silently wrong database.
+
+    Version 4 images are opened {e zero-copy}: the file is mapped
+    into memory and the checksum pass, the posting blocks and the
+    element pages all read the map in place. Opening cost is
+    dominated by the CRC scan, not by decoding, and resident memory
+    is shared read-only across domains by the OS page cache.
+    Version 3 images ([TIXDB003], varint postings, no parent/tag
+    sections) are still readable: they are upgraded transparently in
+    memory at open, and saving the result writes version 4. *)
 
 type error =
   | Not_a_database of { path : string }
@@ -109,17 +119,25 @@ val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
 val save : t -> string -> unit
-(** [save db path] writes the database image — catalog, element
-    pages and inverted index — to one file. The write is atomic: the
-    image is assembled in a temporary file in the same directory and
-    renamed over [path], so a crash mid-save never leaves a torn
-    image behind. Retained trees are not persisted. *)
+(** [save db path] writes the current-version ([TIXDB004]) database
+    image — catalog, element pages, inverted index, parent index and
+    tag index — to one file. The write is atomic: the image is
+    assembled in a temporary file in the same directory and renamed
+    over [path], so a crash mid-save never leaves a torn image
+    behind. Retained trees are not persisted. *)
+
+val save_v3 : t -> string -> unit
+(** Write a legacy [TIXDB003] image (varint postings, three
+    sections). Exists for compatibility testing and as the baseline
+    of the decode benchmarks; new images should use {!save}. *)
 
 val open_file : ?pool_pages:int -> string -> (t, error) result
-(** Load a database image written by {!save}. The parent and tag
-    indexes are rebuilt with one scan of the element pages; trees are
-    not retained (queries must use the compiled engine path or reload
-    the source documents). *)
+(** Load a database image. Version 4 images are mapped zero-copy
+    (element pages materialize lazily on first access;
+    [?pool_pages] is ignored — the map itself is the pool); version
+    3 images are read into memory and upgraded on the fly. Trees are
+    not retained (queries must use the compiled engine path or
+    reload the source documents). *)
 
 val open_file_exn : ?pool_pages:int -> string -> t
 (** Like {!open_file} but raises [Failure] with the printed error —

@@ -185,6 +185,33 @@ let save t buf =
       Buffer.add_bytes buf page)
     t.metas
 
+(* Zero-copy load: the page table is decoded (it is tiny), but page
+   payloads stay where they are — (offset, length) slices of the
+   mapped image, materialized by the pager only when a query first
+   touches them. Cold open cost is the page table, not the data. *)
+let load_mapped buf off =
+  let page_size, off = Ir.Codec.read_varint_buf buf off in
+  let elements, off = Ir.Codec.read_varint_buf buf off in
+  let documents, off = Ir.Codec.read_varint_buf buf off in
+  let npages, off = Ir.Codec.read_varint_buf buf off in
+  let total = Ir.Codec.buf_length buf in
+  let metas = Array.make npages { first_doc = 0; first_start = 0; records = 0 } in
+  let slices = Array.make npages (0, 0) in
+  let off = ref off in
+  for page_id = 0 to npages - 1 do
+    let first_doc, o = Ir.Codec.read_varint_buf buf !off in
+    let first_start, o = Ir.Codec.read_varint_buf buf o in
+    let records, o = Ir.Codec.read_varint_buf buf o in
+    let len, o = Ir.Codec.read_varint_buf buf o in
+    if len < 0 || o + len > total then
+      raise (Ir.Codec.Truncated "element page runs past end of image");
+    metas.(page_id) <- { first_doc; first_start; records };
+    slices.(page_id) <- (o, len);
+    off := o + len
+  done;
+  let pager = Pager.of_mapped ~page_size ~buf slices in
+  ({ pager; metas; elements; documents }, !off)
+
 let load ?pool_pages bytes off =
   let page_size, off = Ir.Codec.read_varint bytes off in
   let elements, off = Ir.Codec.read_varint bytes off in

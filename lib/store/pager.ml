@@ -28,6 +28,20 @@ let pp_read_error ppf e =
 
 type frame = { page_id : int; data : Bytes.t; mutable tick : int }
 
+(* A pager over an mmap'd image: pages live as (offset, length)
+   slices of the map and are materialized (copied into Bytes) lazily,
+   on first read, because the record decoders work on Bytes. The
+   materialized page is published with [Atomic.set] so the write is
+   safely visible to every other domain reading through the same
+   pinned snapshot; a racing first read simply copies the same
+   immutable slice twice. [Bytes.empty] doubles as the "not yet
+   materialized" sentinel — a real page is never empty. *)
+type mapped = {
+  m_buf : Ir.Codec.buf;
+  m_slices : (int * int) array;  (* (offset, length) per page *)
+  m_pages : Bytes.t Atomic.t array;
+}
+
 type t = {
   size : int;
   pool_pages : int;
@@ -47,6 +61,7 @@ type t = {
          takes it *)
   mutable pinned : bool;
   pinned_reads : int Atomic.t;  (* reads served by the pinned path *)
+  mapped : mapped option;  (* Some = zero-copy image-backed pager *)
 }
 
 let default_page_size = 8192
@@ -68,11 +83,40 @@ let create ?(pool_pages = 1024) ~page_size () =
     lock = Mutex.create ();
     pinned = false;
     pinned_reads = Atomic.make 0;
+    mapped = None;
+  }
+
+(* Image-backed pagers are born pinned: the image's section CRC was
+   verified over the map before construction, so pinning — and
+   therefore snapshot publication — is O(1) regardless of index
+   size. There is no pool and no fault injection on this path; the
+   map is the stable storage. *)
+let of_mapped ~page_size ~buf slices =
+  let n = Array.length slices in
+  {
+    size = page_size;
+    pool_pages = 0;
+    stable = [||];
+    checksums = [||];
+    stable_count = n;
+    frames = Hashtbl.create 1;
+    clock = 0;
+    reads = 0;
+    misses = 0;
+    bytes_transferred = 0;
+    failures = 0;
+    fault = None;
+    lock = Mutex.create ();
+    pinned = true;
+    pinned_reads = Atomic.make 0;
+    mapped = Some { m_buf = buf; m_slices = slices; m_pages = Array.init n (fun _ -> Atomic.make Bytes.empty) };
   }
 
 let page_size t = t.size
 
 let append_page t page =
+  if t.mapped <> None then
+    invalid_arg "Pager.append_page: image-backed pager is immutable";
   let capacity = Array.length t.stable in
   if t.stable_count >= capacity then begin
     let fresh = Array.make (capacity * 2) Bytes.empty in
@@ -160,6 +204,8 @@ let transfer t id =
    concurrently. Pinned reads model a fully memory-resident image —
    they count as reads but never as misses or transfers. *)
 let pin t =
+  if t.mapped <> None then Ok ()  (* CRC-verified over the map at open *)
+  else
   let rec verify id =
     if id >= t.stable_count then Ok ()
     else begin
@@ -193,12 +239,34 @@ let read_page_result t id =
       (Printf.sprintf "Pager.read_page: page %d out of bounds (page count %d)"
          id t.stable_count)
   end
-  else if t.pinned then begin
-    Atomic.incr t.pinned_reads;
-    Ok t.stable.(id)
-  end
   else
-    Mutex.protect t.lock (fun () ->
+    match t.mapped with
+    | Some m -> begin
+      let page = Atomic.get m.m_pages.(id) in
+      if Bytes.length page > 0 then begin
+        Atomic.incr t.pinned_reads;
+        Ok page
+      end
+      else begin
+        (* first touch: copy the slice out of the map *)
+        let off, len = m.m_slices.(id) in
+        let data = Bytes.create len in
+        Ir.Codec.buf_blit m.m_buf ~src_off:off data ~dst_off:0 ~len;
+        Mutex.protect t.lock (fun () ->
+            t.misses <- t.misses + 1;
+            t.bytes_transferred <- t.bytes_transferred + len);
+        Atomic.set m.m_pages.(id) data;
+        Atomic.incr t.pinned_reads;
+        Ok data
+      end
+    end
+    | None ->
+      if t.pinned then begin
+        Atomic.incr t.pinned_reads;
+        Ok t.stable.(id)
+      end
+      else
+        Mutex.protect t.lock (fun () ->
         t.reads <- t.reads + 1;
         t.clock <- t.clock + 1;
         match Hashtbl.find_opt t.frames id with

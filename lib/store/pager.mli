@@ -48,6 +48,19 @@ val create : ?pool_pages:int -> page_size:int -> unit -> t
 (** [pool_pages] is the buffer-pool capacity in frames
     (default 1024). *)
 
+val of_mapped : page_size:int -> buf:Ir.Codec.buf -> (int * int) array -> t
+(** [of_mapped ~page_size ~buf slices] is a read-only pager whose
+    page [i] is the [(offset, length)] slice [slices.(i)] of [buf] —
+    typically an mmap'd database image whose section checksum was
+    already verified over the map. The pager is born pinned ({!pin}
+    is O(1)), pages materialize into [Bytes.t] lazily on first read
+    (published atomically, so the map is shared read-only across all
+    domains), and {!append_page} raises [Invalid_argument].
+    {!set_fault} injectors are never consulted: the map is the stable
+    storage, and image integrity is the CRC's job. First-touch copies
+    are counted as misses/bytes transferred in {!stats}; subsequent
+    reads count as pinned reads. *)
+
 val page_size : t -> int
 val append_page : t -> Bytes.t -> int
 (** Add a page to stable storage (build time); returns its id.

@@ -113,3 +113,55 @@ let parent_of t ~doc ~start =
   | Some _ | None -> None
 
 let entry_count (t : t) = t.total
+
+(* Serialized so an image open loads the index directly instead of
+   rebuilding it with a full element-table scan (TIXDB004 section 4).
+   Parents are stored +1 because a root's parent is -1. *)
+
+let save t buf =
+  Ir.Codec.add_varint buf (Array.length t.docs);
+  Ir.Codec.add_varint buf t.total;
+  Array.iter
+    (fun d ->
+      let n = Array.length d.starts in
+      Ir.Codec.add_varint buf n;
+      for i = 0 to n - 1 do
+        Ir.Codec.add_varint buf d.starts.(i);
+        Ir.Codec.add_varint buf (d.parents.(i) + 1);
+        Ir.Codec.add_varint buf d.child_counts.(i);
+        Ir.Codec.add_varint buf d.levels.(i);
+        Ir.Codec.add_varint buf d.ends.(i);
+        Ir.Codec.add_varint buf d.tags.(i)
+      done)
+    t.docs
+
+let load buf off =
+  let ndocs, off = Ir.Codec.read_varint_buf buf off in
+  let total, off = Ir.Codec.read_varint_buf buf off in
+  let off = ref off in
+  let docs =
+    Array.init ndocs (fun _ ->
+        let n, o = Ir.Codec.read_varint_buf buf !off in
+        off := o;
+        let starts = Array.make n 0
+        and parents = Array.make n 0
+        and child_counts = Array.make n 0
+        and levels = Array.make n 0
+        and ends = Array.make n 0
+        and tags = Array.make n 0 in
+        let rd () =
+          let v, o = Ir.Codec.read_varint_buf buf !off in
+          off := o;
+          v
+        in
+        for i = 0 to n - 1 do
+          starts.(i) <- rd ();
+          parents.(i) <- rd () - 1;
+          child_counts.(i) <- rd ();
+          levels.(i) <- rd ();
+          ends.(i) <- rd ();
+          tags.(i) <- rd ()
+        done;
+        { starts; parents; child_counts; levels; ends; tags })
+  in
+  ({ docs; total }, !off)

@@ -1,10 +1,14 @@
 type item = { doc : int; start : int; end_ : int; level : int }
 
-type t = { by_tag : item array array; everything : item array }
+type t = {
+  by_tag : item array array;
+  everything : item array;
+  everything_tags : int array;  (* tag of everything.(i), for [save] *)
+}
 
 type builder = {
   mutable per_tag : item list array;  (* reverse document order *)
-  mutable all_rev : item list;
+  mutable all_rev : (int * item) list;  (* (tag, item) *)
   mutable total : int;
   mutable last : int * int;
 }
@@ -23,13 +27,23 @@ let add b ~tag item =
     b.per_tag <- fresh
   end;
   b.per_tag.(tag) <- item :: b.per_tag.(tag);
-  b.all_rev <- item :: b.all_rev;
+  b.all_rev <- (tag, item) :: b.all_rev;
   b.total <- b.total + 1
 
 let freeze b =
+  let n = b.total in
+  let everything = Array.make n { doc = 0; start = 0; end_ = 0; level = 0 } in
+  let everything_tags = Array.make n 0 in
+  List.iteri
+    (fun i (tag, item) ->
+      let j = n - 1 - i in
+      everything.(j) <- item;
+      everything_tags.(j) <- tag)
+    b.all_rev;
   {
     by_tag = Array.map (fun l -> Array.of_list (List.rev l)) b.per_tag;
-    everything = Array.of_list (List.rev b.all_rev);
+    everything;
+    everything_tags;
   }
 
 let nodes t ~tag =
@@ -38,3 +52,55 @@ let nodes t ~tag =
 let all t = t.everything
 let count t ~tag = Array.length (nodes t ~tag)
 let tag_count t = Array.length t.by_tag
+
+(* Serialized as the flat (tag, item) stream in document order
+   (TIXDB004 section 5); the per-tag arrays are rebuilt by a counting
+   pass at load — each one is a stable subsequence of the stream, so
+   per-tag document order is preserved by construction. *)
+
+let save t buf =
+  Ir.Codec.add_varint buf (Array.length t.by_tag);
+  Ir.Codec.add_varint buf (Array.length t.everything);
+  Array.iteri
+    (fun i item ->
+      Ir.Codec.add_varint buf t.everything_tags.(i);
+      Ir.Codec.add_varint buf item.doc;
+      Ir.Codec.add_varint buf item.start;
+      Ir.Codec.add_varint buf item.end_;
+      Ir.Codec.add_varint buf item.level)
+    t.everything
+
+let load buf off =
+  let ntags, off = Ir.Codec.read_varint_buf buf off in
+  let total, off = Ir.Codec.read_varint_buf buf off in
+  let everything = Array.make total { doc = 0; start = 0; end_ = 0; level = 0 } in
+  let everything_tags = Array.make total 0 in
+  let off = ref off in
+  let rd () =
+    let v, o = Ir.Codec.read_varint_buf buf !off in
+    off := o;
+    v
+  in
+  for i = 0 to total - 1 do
+    let tag = rd () in
+    if tag >= ntags then failwith "Tag_index.load: tag id out of range";
+    let doc = rd () in
+    let start = rd () in
+    let end_ = rd () in
+    let level = rd () in
+    everything_tags.(i) <- tag;
+    everything.(i) <- { doc; start; end_; level }
+  done;
+  let counts = Array.make ntags 0 in
+  Array.iter (fun tg -> counts.(tg) <- counts.(tg) + 1) everything_tags;
+  let by_tag =
+    Array.init ntags (fun tg ->
+        Array.make counts.(tg) { doc = 0; start = 0; end_ = 0; level = 0 })
+  in
+  let fill = Array.make ntags 0 in
+  Array.iteri
+    (fun i tg ->
+      by_tag.(tg).(fill.(tg)) <- everything.(i);
+      fill.(tg) <- fill.(tg) + 1)
+    everything_tags;
+  ({ by_tag; everything; everything_tags }, !off)

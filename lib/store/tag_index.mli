@@ -32,3 +32,15 @@ val count : t -> tag:int -> int
     for join ordering). *)
 
 val tag_count : t -> int
+
+(** {1 Serialization}
+
+    A TIXDB004 image stores this index as its own section, so an
+    open decodes it directly instead of rebuilding it by scanning
+    every element page. *)
+
+val save : t -> Buffer.t -> unit
+
+val load : Ir.Codec.buf -> int -> t * int
+(** [(index, next_off)]; inverse of {!save}. Raises
+    [Ir.Codec.Truncated] on a short buffer. *)

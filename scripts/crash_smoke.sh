@@ -158,9 +158,15 @@ echo "== third boot: the checkpoint image alone restores the corpus"
 kill -9 "$SERVER_PID" 2>/dev/null || true
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=
+MAGIC=$(head -c 8 "$WORK/wal/checkpoint.tix")
+[ "$MAGIC" = "TIXDB004" ] || fail "checkpoint image magic is '$MAGIC', expected TIXDB004"
+export TIX_LOG=info          # surface the store's open-path log line
 start_server   # no corpus files: --wal-dir must find checkpoint.tix
+unset TIX_LOG
 echo "   port $PORT"
 grep -q "checkpoint.tix" "$WORK/tixd.log" || fail "restart did not use the checkpoint"
+grep -q "mapped TIXDB004 image" "$WORK/tixd.log" \
+  || fail "third boot did not take the zero-copy mmap path"
 client -q "$QUERY" -k 10 > "$WORK/from_ckpt.json" || fail "from-checkpoint query"
 python3 - "$WORK" <<'PY' || fail "checkpoint image lost data"
 import json, sys, os

@@ -347,6 +347,143 @@ let test_codec_truncated () =
   | _ -> Alcotest.fail "expected Truncated on clipped payload"
   | exception Ir.Codec.Truncated _ -> ()
 
+(* --- frame-of-reference bit-packing -------------------------------- *)
+
+(* pack_bits/unpack_bits roundtrip at every width 0..62, over both
+   the Bytes and the Bigarray buffer backends. *)
+let gen_packed_field =
+  let open QCheck.Gen in
+  int_range 0 Ir.Codec.max_bit_width >>= fun width ->
+  int_range 0 300 >>= fun n ->
+  let value =
+    if width = 0 then return 0
+    else if width >= 62 then map abs int >|= fun v -> v land max_int
+    else int_bound ((1 lsl width) - 1)
+  in
+  list_repeat n value >|= fun vs -> (width, Array.of_list vs)
+
+let unpack_via backend bytes ~width ~n =
+  let buf =
+    match backend with
+    | `B -> Ir.Codec.buf_of_bytes (Bytes.of_string bytes)
+    | `M ->
+      let a =
+        Bigarray.Array1.create Bigarray.char Bigarray.c_layout
+          (String.length bytes)
+      in
+      String.iteri (fun i c -> Bigarray.Array1.set a i c) bytes;
+      Ir.Codec.M a
+  in
+  let out = Array.make n (-1) in
+  Ir.Codec.unpack_bits buf ~off:0 ~width ~n out;
+  out
+
+let test_pack_bits_roundtrip =
+  QCheck.Test.make ~name:"pack_bits/unpack_bits roundtrip (both backends)"
+    ~count:500 (QCheck.make gen_packed_field) (fun (width, values) ->
+      let buf = Buffer.create 64 in
+      Ir.Codec.pack_bits buf values (Array.length values) width;
+      let bytes = Buffer.contents buf in
+      String.length bytes
+      = Ir.Codec.packed_bytes ~n:(Array.length values) ~width
+      && unpack_via `B bytes ~width ~n:(Array.length values) = values
+      && unpack_via `M bytes ~width ~n:(Array.length values) = values)
+
+let test_pack_bits_edges () =
+  (* width 0 occupies no bytes and unpacks to zeros *)
+  let buf = Buffer.create 4 in
+  Ir.Codec.pack_bits buf [| 0; 0; 0 |] 3 0;
+  check int_ "width 0 bytes" 0 (Buffer.length buf);
+  check bool_ "width 0 zeros" true (unpack_via `B "" ~width:0 ~n:3 = [| 0; 0; 0 |]);
+  (* max width carries max_int exactly *)
+  let buf = Buffer.create 16 in
+  Ir.Codec.pack_bits buf [| max_int; 0; max_int |] 3 62;
+  check bool_ "width 62" true
+    (unpack_via `B (Buffer.contents buf) ~width:62 ~n:3 = [| max_int; 0; max_int |]);
+  check int_ "bits_needed 0" 0 (Ir.Codec.bits_needed 0);
+  check int_ "bits_needed 1" 1 (Ir.Codec.bits_needed 1);
+  check int_ "bits_needed 255" 8 (Ir.Codec.bits_needed 255);
+  check int_ "bits_needed 256" 9 (Ir.Codec.bits_needed 256);
+  check int_ "bits_needed max_int" 62 (Ir.Codec.bits_needed max_int)
+
+(* --- packed codec vs the varint oracle ----------------------------- *)
+
+(* The legacy varint codec is an independent implementation of the
+   same posting-list semantics; every behavior of the packed codec
+   must agree with it on the same occurrence stream. *)
+let varint_of_occs occs =
+  let b = Ir.Postings_varint.builder () in
+  List.iter (Ir.Postings_varint.add b) occs;
+  Ir.Postings_varint.freeze b
+
+let test_packed_matches_varint_oracle =
+  QCheck.Test.make ~name:"packed codec agrees with varint oracle" ~count:300
+    (QCheck.make gen_seek_scenario) (fun (occs, ops) ->
+      let packed = Ir.Postings.of_list occs in
+      let varint = varint_of_occs occs in
+      let varint_run c ops =
+        List.map
+          (function
+            | `Next -> Ir.Postings_varint.next c
+            | `Seek (d, p) -> Ir.Postings_varint.seek_pos c ~doc:d ~pos:p)
+          ops
+      in
+      Ir.Postings.to_list packed = Ir.Postings_varint.to_list varint
+      && Ir.Postings.max_tf packed = Ir.Postings_varint.max_tf varint
+      && Ir.Postings.blocks packed = Ir.Postings_varint.blocks varint
+      && cursor_run (Ir.Postings.cursor packed) ops
+         = varint_run (Ir.Postings_varint.cursor varint) ops
+      && Ir.Postings.to_list (Ir.Postings_varint.to_packed varint) = occs
+      && Ir.Postings_varint.to_list (Ir.Postings_varint.of_packed packed) = occs)
+
+let test_packed_degenerate_blocks () =
+  let bs = Ir.Postings.block_size in
+  (* one document, one node, consecutive positions: the doc and node
+     delta streams pack to width 0 across block boundaries *)
+  let flat = List.init ((3 * bs) + 5) (fun i -> occ 7 3 (i + 1)) in
+  let p = Ir.Postings.of_list flat in
+  check bool_ "width-0 streams roundtrip" true (Ir.Postings.to_list p = flat);
+  check bool_ "width-0 serialize roundtrip" true
+    (Ir.Postings.to_list
+       (Ir.Postings.deserialize ~count:(List.length flat)
+          (Ir.Postings.serialize p))
+    = flat);
+  (* near-max deltas force the widest fields the codec supports *)
+  let huge =
+    [
+      occ 0 0 1;
+      occ 0 ((1 lsl 60) - 1) ((1 lsl 61) + 5);
+      occ ((1 lsl 45) + 3) 17 ((1 lsl 59) - 1);
+    ]
+  in
+  let p = Ir.Postings.of_list huge in
+  check bool_ "max-width roundtrip" true (Ir.Postings.to_list p = huge);
+  check bool_ "max-width serialize roundtrip" true
+    (Ir.Postings.to_list
+       (Ir.Postings.deserialize ~count:3 (Ir.Postings.serialize p))
+    = huge);
+  check bool_ "max-width agrees with varint" true
+    (Ir.Postings_varint.to_list (varint_of_occs huge)
+    = Ir.Postings.to_list p)
+
+let test_packed_decodes_from_bigarray =
+  QCheck.Test.make ~name:"packed postings decode from a Bigarray map"
+    ~count:100 (QCheck.make gen_seek_scenario) (fun (occs, ops) ->
+      let p = Ir.Postings.of_list occs in
+      let s = Ir.Postings.serialize p in
+      let a =
+        Bigarray.Array1.create Bigarray.char Bigarray.c_layout (String.length s)
+      in
+      String.iteri (fun i c -> Bigarray.Array1.set a i c) s;
+      let mapped, consumed =
+        Ir.Postings.deserialize_buf ~count:(List.length occs)
+          (Ir.Codec.M a) 0
+      in
+      consumed = String.length s
+      && Ir.Postings.to_list mapped = occs
+      && cursor_run (Ir.Postings.cursor mapped) ops
+         = cursor_run (Ir.Postings.cursor p) ops)
+
 (* ------------------------------------------------------------------ *)
 (* Inverted index *)
 
@@ -598,6 +735,14 @@ let () =
           QCheck_alcotest.to_alcotest test_seek_matches_next_oracle;
           QCheck_alcotest.to_alcotest test_seek_survives_serialization;
           QCheck_alcotest.to_alcotest test_seek_doc_is_seek_pos_zero;
+        ] );
+      ( "packed codec",
+        [
+          tc "pack_bits edges" `Quick test_pack_bits_edges;
+          tc "degenerate blocks" `Quick test_packed_degenerate_blocks;
+          QCheck_alcotest.to_alcotest test_pack_bits_roundtrip;
+          QCheck_alcotest.to_alcotest test_packed_matches_varint_oracle;
+          QCheck_alcotest.to_alcotest test_packed_decodes_from_bigarray;
         ] );
       ( "inverted index",
         [

@@ -469,6 +469,72 @@ let test_persistence_query_agreement () =
       in
       check bool_ "same scored nodes" true (run db = run reopened))
 
+let test_db_v3_upgrade () =
+  (* a legacy TIXDB003 image opens transparently, answers queries
+     identically, and resaving it writes the current format *)
+  let db = Lazy.force db in
+  let path = Filename.temp_file "tix" ".db" in
+  let path_v4 = Filename.temp_file "tix" ".db" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove path_v4)
+    (fun () ->
+      Store.Db.save_v3 db path;
+      let magic_of p =
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic 8)
+      in
+      check string_ "legacy magic" "TIXDB003" (magic_of path);
+      let upgraded =
+        match Store.Db.open_file path with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "v3 open failed: %s" (Store.Db.error_to_string e)
+      in
+      check bool_ "same stats" true (Store.Db.stats db = Store.Db.stats upgraded);
+      let run d =
+        Access.Term_join.to_list (Access.Ctx.of_db d)
+          ~terms:[ "search"; "retrieval" ]
+      in
+      check bool_ "same scored nodes" true (run db = run upgraded);
+      (* parent and tag indexes were rebuilt by the upgrade scan *)
+      check (Alcotest.option int_) "parent rebuilt" (Some 0)
+        (Store.Parent_index.parent_of (Store.Db.parents upgraded) ~doc:0 ~start:1);
+      (* resave: the upgraded database writes the current format *)
+      Store.Db.save upgraded path_v4;
+      check string_ "resave migrates" "TIXDB004" (magic_of path_v4);
+      let reopened = Store.Db.open_file_exn path_v4 in
+      check bool_ "migrated image agrees" true (run db = run reopened))
+
+let test_db_mapped_lazy_pages () =
+  (* a mapped image materializes element pages on first touch only;
+     the pager is born pinned (no verification scan needed) *)
+  let db = Lazy.force db in
+  let path = Filename.temp_file "tix" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Store.Db.save db path;
+      let mapped = Store.Db.open_file_exn path in
+      let pager = Store.Element_store.pager (Store.Db.elements mapped) in
+      (match Store.Pager.pin pager with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "pin on mapped pager: %a" Store.Pager.pp_read_error e);
+      let s0 = Store.Pager.stats pager in
+      check int_ "no pages touched yet" 0 s0.Store.Pager.misses;
+      ignore (Store.Pager.read_page pager 0);
+      ignore (Store.Pager.read_page pager 0);
+      let s1 = Store.Pager.stats pager in
+      check int_ "one materialization" 1 s1.Store.Pager.misses;
+      check int_ "both reads counted" 2 s1.Store.Pager.reads;
+      (* a mapped pager is an immutable snapshot *)
+      Alcotest.check_raises "append rejected"
+        (Invalid_argument "Pager.append_page: image-backed pager is immutable")
+        (fun () -> ignore (Store.Pager.append_page pager (Bytes.create 1))))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "store"
@@ -521,5 +587,7 @@ let () =
           tc "save and reopen" `Quick test_db_save_open;
           tc "rejects garbage" `Quick test_db_open_rejects_garbage;
           tc "query agreement" `Quick test_persistence_query_agreement;
+          tc "v3 transparent upgrade" `Quick test_db_v3_upgrade;
+          tc "mapped lazy pages" `Quick test_db_mapped_lazy_pages;
         ] );
     ]
