@@ -1070,6 +1070,165 @@ let updates_bench db =
       Store.Live.close live)
 
 (* ------------------------------------------------------------------ *)
+(* Distributed scatter-gather: the coordinator over 1/2/4 in-process
+   shard backends (real TCP servers on loopback, one worker domain
+   each — the per-node resource a deployment scales by adding shards).
+   Closed-loop client; per-request latencies feed p50/p99, the batch
+   wall clock feeds QPS. Result caches are off so every request pays
+   real execution; a shard count of 1 measures pure federation
+   overhead against the service bench's single-node numbers. *)
+
+let dist_batch_size =
+  match Sys.getenv_opt "TIX_BENCH_DIST_BATCH" with
+  | Some s -> int_of_string s
+  | None -> 200
+
+let dist_requests n =
+  List.init n (fun i ->
+      let k = Some (5 + (i mod 10)) in
+      let req =
+        match i mod 5 with
+        | 0 ->
+          Service.Engine.Search
+            {
+              terms = [ qa 1000; qb 1000 ];
+              method_ = Service.Engine.Termjoin;
+              complex = false;
+            }
+        | 1 ->
+          Service.Engine.Search
+            {
+              terms = [ qa 300; qb 300 ];
+              method_ = Service.Engine.Termjoin;
+              complex = true;
+            }
+        | 2 ->
+          Service.Engine.Phrase
+            {
+              phrase = pool_term 121076 ^ " " ^ pool_term 44930;
+              comp3 = false;
+            }
+        | 3 -> Service.Engine.Ranked { terms = [ qa 500; qb 500 ] }
+        | _ ->
+          Service.Engine.Search
+            {
+              terms = [ qa 2000; qb 2000 ];
+              method_ = Service.Engine.Genmeet;
+              complex = false;
+            }
+      in
+      Service.Protocol.Exec
+        {
+          req;
+          k;
+          limits = Core.Governor.limits ();
+          trace = false;
+          parallelism = None;
+          theta = None;
+        })
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan else sorted.(int_of_float (p *. float_of_int (n - 1)))
+
+let dist_bench db =
+  let docs = Store.Catalog.document_count (Store.Db.catalog db) in
+  let requests = dist_requests dist_batch_size in
+  let n = List.length requests in
+  Printf.printf
+    "\n== Distributed: coordinator scatter-gather (%d mixed requests per \
+     batch) ==\n%!"
+    n;
+  Printf.printf "%8s %10s %10s %10s %10s\n" "shards" "QPS" "p50(ms)" "p99(ms)"
+    "degraded";
+  List.iter
+    (fun shards ->
+      let parts =
+        List.mapi
+          (fun i (lo, hi) ->
+            let tombstones = Array.init docs (fun d -> d < lo || d >= hi) in
+            let shard_db =
+              Store.Db.compact ~base:db ~delta:None ~tombstones
+            in
+            let snapshot =
+              match
+                Service.Engine.of_db
+                  ~source:(Printf.sprintf "bench-shard-%d" i)
+                  shard_db
+              with
+              | Ok s -> s
+              | Error e -> failwith ("dist bench: " ^ e)
+            in
+            let scheduler =
+              Service.Scheduler.create ~workers:1 ~queue_depth:n
+                ~result_cache_capacity:0 snapshot
+            in
+            let server = Service.Server.start scheduler in
+            let shard =
+              {
+                Dist.Shard_map.lo;
+                hi;
+                image = Printf.sprintf "bench-shard-%d" i;
+                replicas =
+                  [
+                    {
+                      Dist.Shard_map.host = "127.0.0.1";
+                      port = Service.Server.port server;
+                    };
+                  ];
+              }
+            in
+            (shard, server, scheduler))
+          (Dist.Shard_map.ranges ~docs ~shards)
+      in
+      let map =
+        match Dist.Shard_map.make (List.map (fun (s, _, _) -> s) parts) with
+        | Ok m -> m
+        | Error e -> failwith ("dist bench: " ^ e)
+      in
+      let coordinator = Dist.Coordinator.create ~source:"bench" map in
+      Fun.protect
+        ~finally:(fun () ->
+          Dist.Client.close (Dist.Coordinator.client coordinator);
+          List.iter
+            (fun (_, server, scheduler) ->
+              Service.Server.stop server;
+              Service.Scheduler.shutdown scheduler)
+            parts)
+        (fun () ->
+          let latencies = Array.make n 0. in
+          let batch () =
+            let t0 = Unix.gettimeofday () in
+            List.iteri
+              (fun i req ->
+                let r0 = Unix.gettimeofday () in
+                ignore
+                  (Dist.Coordinator.handle coordinator req : Service.Json.t);
+                latencies.(i) <- Unix.gettimeofday () -. r0)
+              requests;
+            Unix.gettimeofday () -. t0
+          in
+          ignore (batch () : float);
+          let samples = List.init runs (fun _ -> batch ()) in
+          bench_results :=
+            (Printf.sprintf "dist/batch/shards=%d" shards, samples)
+            :: !bench_results;
+          let qps = float_of_int n /. median samples in
+          let sorted = Array.copy latencies in
+          Array.sort compare sorted;
+          let degraded = Dist.Coordinator.degraded_served coordinator in
+          if degraded > 0 then
+            bench_failures :=
+              Printf.sprintf "dist bench: %d degraded responses at %d shards"
+                degraded shards
+              :: !bench_failures;
+          Printf.printf "%8d %10.0f %10.3f %10.3f %10d\n%!" shards qps
+            (percentile sorted 0.5 *. 1000.)
+            (percentile sorted 0.99 *. 1000.)
+            degraded))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment *)
 
 let micro ctx =
@@ -1158,7 +1317,8 @@ let () =
     (* last: pinning the pager switches it to lock-free reads, which
        would skew the buffer-pool-sensitive experiments above *)
     run "service" (fun () -> service_bench db);
-    run "updates" (fun () -> updates_bench db)
+    run "updates" (fun () -> updates_bench db);
+    run "dist" (fun () -> dist_bench db)
   end;
   write_results_json ();
   match !bench_failures with

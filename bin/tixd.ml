@@ -15,10 +15,10 @@ let () =
   | Some "info" -> Logs.set_level (Some Logs.Info)
   | Some _ | None -> Logs.set_level (Some Logs.Warning)
 
-let load_files ~skip_bad paths =
+let load_files ~skip_bad ~verify paths =
   match paths with
   | [ path ] when Filename.check_suffix path ".tix" -> begin
-    match Store.Db.open_file path with
+    match Store.Db.open_file ~verify path with
     | Ok db -> db
     | Error e ->
       Format.eprintf "error: %a@." Store.Db.pp_error e;
@@ -72,15 +72,19 @@ let open_live ?base ~dir () =
     opened
 
 let serve paths host port workers queue_depth parallelism plan_cache
-    result_cache timeout max_steps max_results slow_query skip_bad wal_dir =
+    result_cache timeout max_steps max_results slow_query skip_bad wal_dir
+    lazy_verify =
   if paths = [] && wal_dir = None then begin
     Format.eprintf
       "error: nothing to serve — give XML documents, a .tix image, or \
        --wal-dir@.";
     exit 1
   end;
+  let verify = if lazy_verify then `Lazy else `Eager in
   let base =
-    match paths with [] -> None | paths -> Some (load_files ~skip_bad paths)
+    match paths with
+    | [] -> None
+    | paths -> Some (load_files ~skip_bad ~verify paths)
   in
   let base_label = match paths with [ p ] -> p | _ -> "<multiple>" in
   Service.Engine.set_slow_query_threshold slow_query;
@@ -256,6 +260,17 @@ let wal_dir_arg =
            the WAL's committed records are replayed (torn tails are \
            truncated). Created if missing.")
 
+let lazy_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "lazy-verify" ]
+        ~doc:
+          "Serve a .tix image before its checksums are verified: the \
+           structural frame is checked eagerly, the CRC pass runs on a \
+           background thread, and $(b,health) reports \
+           \"verification\":\"pending\" until it lands (then \"verified\" \
+           or \"failed\"). Cuts time-to-first-query on large images.")
+
 let () =
   let info =
     Cmd.info "tixd" ~version:"1.0.0"
@@ -268,4 +283,4 @@ let () =
             const serve $ paths_arg $ host_arg $ port_arg $ workers_arg
             $ queue_arg $ parallelism_arg $ plan_cache_arg $ result_cache_arg
             $ timeout_arg $ max_steps_arg $ max_results_arg $ slow_query_arg
-            $ skip_bad_arg $ wal_dir_arg)))
+            $ skip_bad_arg $ wal_dir_arg $ lazy_verify_arg)))

@@ -690,7 +690,7 @@ let client_cmd =
             (fun q ->
               Service.Protocol.Exec
                 { req = Service.Engine.Query { q; mode = `Auto }; k; limits;
-                  trace; parallelism })
+                  trace; parallelism; theta = None })
             query;
           Option.map (fun q -> Service.Protocol.Explain { q }) explain;
           Option.map
@@ -713,13 +713,14 @@ let client_cmd =
                   limits;
                   trace;
                   parallelism;
+                  theta = None;
                 })
             search;
           Option.map
             (fun phrase ->
               Service.Protocol.Exec
                 { req = Service.Engine.Phrase { phrase; comp3 }; k; limits;
-                  trace; parallelism })
+                  trace; parallelism; theta = None })
             phrase;
           Option.map
             (fun terms ->
@@ -728,7 +729,7 @@ let client_cmd =
               in
               Service.Protocol.Exec
                 { req = Service.Engine.Ranked { terms }; k; limits; trace;
-                  parallelism })
+                  parallelism; theta = None })
             ranked;
           Option.map (fun q -> Service.Protocol.Prepare { q }) prepare;
           Option.map
@@ -1009,6 +1010,108 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run the paper's Query 1 on the Figure 1 database")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* shard *)
+
+let shard_cmd =
+  let run paths skip_bad shards out host port_base replicas =
+    if shards < 1 then begin
+      Format.eprintf "error: --shards must be at least 1@.";
+      exit 1
+    end;
+    if replicas < 1 then begin
+      Format.eprintf "error: --replicas must be at least 1@.";
+      exit 1
+    end;
+    let db = load_files ~skip_bad paths in
+    let docs = Store.Catalog.document_count (Store.Db.catalog db) in
+    if docs = 0 then begin
+      Format.eprintf "error: corpus has no documents@.";
+      exit 1
+    end;
+    if not (Sys.file_exists out) then Unix.mkdir out 0o755;
+    (* each range becomes its own dense image: compact with every
+       document outside [lo,hi) tombstoned renumbers the range from
+       0, which is exactly the local id space the coordinator undoes
+       with [lo + local] *)
+    let shard_specs =
+      List.mapi
+        (fun i (lo, hi) ->
+          let tombstones = Array.init docs (fun d -> d < lo || d >= hi) in
+          let shard_db = Store.Db.compact ~base:db ~delta:None ~tombstones in
+          let image = Printf.sprintf "shard-%d.tix" i in
+          Store.Db.save shard_db (Filename.concat out image);
+          let eps =
+            List.init replicas (fun r ->
+                {
+                  Dist.Shard_map.host;
+                  port = port_base + (i * replicas) + r;
+                })
+          in
+          Format.printf "shard %d: docs [%d,%d) -> %s (%s)@." i lo hi image
+            (String.concat ", "
+               (List.map Dist.Shard_map.endpoint_to_string eps));
+          { Dist.Shard_map.lo; hi; image; replicas = eps })
+        (Dist.Shard_map.ranges ~docs ~shards)
+    in
+    match Dist.Shard_map.make shard_specs with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+    | Ok map ->
+      let manifest = Filename.concat out "manifest.json" in
+      Dist.Shard_map.save map manifest;
+      Format.printf
+        "wrote %s: %d shard(s) x %d replica(s) over %d document(s)@." manifest
+        (Dist.Shard_map.shard_count map)
+        replicas docs
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Number of document-range shards to extract.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:
+            "Output directory for the shard images and manifest.json \
+             (created if missing).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR"
+          ~doc:"Host written into every manifest endpoint.")
+  in
+  let port_base_arg =
+    Arg.(
+      value & opt int 7100
+      & info [ "port-base" ] ~docv:"PORT"
+          ~doc:
+            "First endpoint port; shard i replica r is assigned \
+             PORT + i*replicas + r.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Replica endpoints per shard (all serving the same image; the \
+             coordinator fails over between them).")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Split a corpus into document-range shard images plus a JSON \
+          manifest for the tixq coordinator")
+    Term.(
+      const run $ paths_arg $ skip_bad_arg $ shards_arg $ out_arg $ host_arg
+      $ port_base_arg $ replicas_arg)
+
 let () =
   let info =
     Cmd.info "tixdb" ~version:"1.0.0"
@@ -1019,5 +1122,5 @@ let () =
        (Cmd.group info
           [
             query_cmd; search_cmd; phrase_cmd; stats_cmd; gen_cmd; build_cmd;
-            compact_cmd; client_cmd; ingest_cmd; rm_cmd; demo_cmd;
+            compact_cmd; shard_cmd; client_cmd; ingest_cmd; rm_cmd; demo_cmd;
           ]))

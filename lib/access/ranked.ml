@@ -101,20 +101,9 @@ let top_k_docs_inner ?(use_skips = true) ?weights ?doc_range ?shared_threshold
         (not (Top_k.would_enter heap bound)) || bound < shared_theta ()
       in
       let publish () =
-        match shared_threshold with
-        | None -> ()
-        | Some a -> begin
-          match Top_k.cutoff heap with
-          | None -> ()
-          | Some c ->
-            (* monotone max via CAS: physical equality on the box
-               returned by Atomic.get makes the retry loop sound *)
-            let rec bump () =
-              let cur = Atomic.get a in
-              if c > cur && not (Atomic.compare_and_set a cur c) then bump ()
-            in
-            bump ()
-        end
+        match (shared_threshold, Top_k.cutoff heap) with
+        | Some a, Some c -> Core.Merge.Theta.publish a c
+        | (Some _ | None), _ -> ()
       in
       (* number of non-essential terms: the longest low-bound prefix
          whose bounds sum to at most the local cutoff (or strictly
@@ -245,9 +234,7 @@ let top_k_docs_inner ?(use_skips = true) ?weights ?doc_range ?shared_threshold
         end
       in
       loop ();
-      List.sort
-        (fun (d1, s1) (d2, s2) ->
-          match compare s2 s1 with 0 -> compare d1 d2 | c -> c)
+      List.sort Core.Merge.compare_doc_score
         (List.map (fun (s, d) -> (d, s)) (Top_k.to_sorted_list heap))
     end
   end

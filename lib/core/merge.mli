@@ -1,0 +1,51 @@
+(** Deterministic merge rules and the monotone θ threshold shared by
+    every partitioned backend: local domain fan-out ({!Exec.Par}) and
+    remote shard scatter-gather ({!Dist.Coordinator}) merge through
+    this one implementation, so the invariants cannot diverge.
+
+    All functions assume the per-range inputs come from disjoint
+    ascending doc ranges that cover the corpus; under that premise the
+    merged output is byte-identical to the unpartitioned answer, ties
+    included. *)
+
+val compare_doc_score : int * float -> int * float -> int
+(** The ranked total order: score descending, doc id ascending on
+    ties. This exact comparator cuts the k-th rank locally, sorts the
+    final answer, and merges across ranges. *)
+
+val concat_in_order : 'a list array -> 'a list * int
+(** Merge document-ordered per-range results over disjoint ascending
+    ranges: concatenation in range order, with the output
+    cardinality. *)
+
+val top_k : compare:('a -> 'a -> int) -> k:int -> 'a list -> 'a list
+(** Sort under [compare] and keep the first [k]. *)
+
+val merge_ranked : k:int -> (int * float) list array -> (int * float) list * int
+(** Merge per-range ranked top-k lists: union, re-sort under
+    {!compare_doc_score}, truncate to [k]; with the output
+    cardinality. *)
+
+(** Monotone shared pruning threshold. Each range publishes its local
+    k-th-best score; θ is the running max, so it is always ≤ the final
+    global cutoff and a bound may be pruned against it only with a
+    strict compare ([bound < θ]) — equality can still win the global
+    doc-id tie-break. *)
+module Theta : sig
+  type t = float Atomic.t
+
+  val make : ?seed:float -> unit -> t
+  (** Fresh threshold, [neg_infinity] unless [seed]ed — e.g. by a
+      coordinator relaying another shard's published cutoff. *)
+
+  val get : t -> float
+
+  val publish : t -> float -> unit
+  (** Monotone max: raises θ to the given cutoff if higher, never
+      lowers it. Safe under concurrent publishers (CAS retry). *)
+
+  val prunes : t -> float -> bool
+  (** [prunes t bound] is [bound < get t]: true when a candidate whose
+      score ceiling is [bound] provably cannot appear in (or reorder)
+      the merged top-k. *)
+end

@@ -1,0 +1,241 @@
+type error =
+  | Connect of { endpoint : Shard_map.endpoint; detail : string }
+  | Timeout of { endpoint : Shard_map.endpoint; detail : string }
+  | Io of { endpoint : Shard_map.endpoint; detail : string }
+  | Bad_response of { endpoint : Shard_map.endpoint; detail : string }
+
+let error_endpoint = function
+  | Connect { endpoint; _ }
+  | Timeout { endpoint; _ }
+  | Io { endpoint; _ }
+  | Bad_response { endpoint; _ } -> endpoint
+
+let error_message = function
+  | Connect { endpoint; detail } ->
+    Printf.sprintf "connect to %s failed: %s"
+      (Shard_map.endpoint_to_string endpoint)
+      detail
+  | Timeout { endpoint; detail } ->
+    Printf.sprintf "request to %s timed out (%s)"
+      (Shard_map.endpoint_to_string endpoint)
+      detail
+  | Io { endpoint; detail } ->
+    Printf.sprintf "i/o with %s failed: %s"
+      (Shard_map.endpoint_to_string endpoint)
+      detail
+  | Bad_response { endpoint; detail } ->
+    Printf.sprintf "bad response from %s: %s"
+      (Shard_map.endpoint_to_string endpoint)
+      detail
+
+let src = Logs.Src.create "tix.dist.client" ~doc:"distributed backend client"
+
+module Log = (val Logs.src_log src)
+
+(* One pooled connection: the raw socket plus a buffer of bytes read
+   past the last newline (the protocol is strictly one response line
+   per request line, so the buffer is normally empty between calls). *)
+type conn = { fd : Unix.file_descr; pending : Buffer.t }
+
+type slot = { s_lock : Mutex.t; mutable s_conn : conn option }
+
+type t = {
+  connect_timeout : float;
+  request_timeout : float;
+  retries : int;
+  backoff : float;
+  pool_lock : Mutex.t;
+  pool : (string * int, slot) Hashtbl.t;
+  requests : int Atomic.t;
+  reconnects : int Atomic.t;
+}
+
+let create ?(connect_timeout = 2.0) ?(request_timeout = 30.0) ?(retries = 2)
+    ?(backoff = 0.05) () =
+  {
+    connect_timeout;
+    request_timeout;
+    retries = max 0 retries;
+    backoff = max 0. backoff;
+    pool_lock = Mutex.create ();
+    pool = Hashtbl.create 16;
+    requests = Atomic.make 0;
+    reconnects = Atomic.make 0;
+  }
+
+let requests t = Atomic.get t.requests
+let reconnects t = Atomic.get t.reconnects
+
+let slot_of t (ep : Shard_map.endpoint) =
+  Mutex.protect t.pool_lock (fun () ->
+      let key = (ep.host, ep.port) in
+      match Hashtbl.find_opt t.pool key with
+      | Some s -> s
+      | None ->
+        let s = { s_lock = Mutex.create (); s_conn = None } in
+        Hashtbl.replace t.pool key s;
+        s)
+
+exception Failed of error
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Non-blocking connect + select so a dead host costs
+   [connect_timeout], not the kernel's multi-minute SYN retry. *)
+let connect t (ep : Shard_map.endpoint) =
+  let fail detail = raise (Failed (Connect { endpoint = ep; detail })) in
+  let addr =
+    match Unix.inet_addr_of_string ep.host with
+    | a -> Unix.ADDR_INET (a, ep.port)
+    | exception Failure _ -> begin
+      match Unix.gethostbyname ep.host with
+      | { Unix.h_addr_list = [||]; _ } -> fail "host resolves to no address"
+      | h -> Unix.ADDR_INET (h.Unix.h_addr_list.(0), ep.port)
+      | exception Not_found -> fail "unknown host"
+    end
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.set_nonblock fd;
+    (try Unix.connect fd addr
+     with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> ());
+    let _, writable, _ = Unix.select [] [ fd ] [] t.connect_timeout in
+    if writable = [] then fail "connect timeout";
+    (match Unix.getsockopt_error fd with
+    | Some e -> fail (Unix.error_message e)
+    | None -> ());
+    Unix.clear_nonblock fd;
+    Unix.setsockopt fd Unix.TCP_NODELAY true
+  with
+  | () -> { fd; pending = Buffer.create 256 }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    fail (Unix.error_message e)
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let write_all ep fd s =
+  let len = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then begin
+      match Unix.write fd bytes off (len - off) with
+      | 0 -> raise (Failed (Io { endpoint = ep; detail = "short write" }))
+      | n -> go (off + n)
+      | exception Unix.Unix_error (e, _, _) ->
+        raise (Failed (Io { endpoint = ep; detail = Unix.error_message e }))
+    end
+  in
+  go 0
+
+(* Read one newline-terminated line, honouring the request timeout as
+   a deadline across partial reads. *)
+let read_line t ep conn =
+  let deadline = Unix.gettimeofday () +. t.request_timeout in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let buffered = Buffer.contents conn.pending in
+    match String.index_opt buffered '\n' with
+    | Some i ->
+      Buffer.clear conn.pending;
+      Buffer.add_substring conn.pending buffered (i + 1)
+        (String.length buffered - i - 1);
+      String.sub buffered 0 i
+    | None ->
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then
+        raise
+          (Failed
+             (Timeout
+                { endpoint = ep;
+                  detail = Printf.sprintf "%.1fs" t.request_timeout }))
+      else begin
+        match Unix.select [ conn.fd ] [] [] remaining with
+        | [], _, _ -> go () (* re-check the deadline *)
+        | _ -> begin
+          match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            raise
+              (Failed (Io { endpoint = ep; detail = "connection closed" }))
+          | n ->
+            Buffer.add_subbytes conn.pending chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (e, _, _) ->
+            raise (Failed (Io { endpoint = ep; detail = Unix.error_message e }))
+        end
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      end
+  in
+  go ()
+
+let roundtrip t ep conn json =
+  write_all ep conn.fd (Service.Json.to_string json ^ "\n");
+  let line = read_line t ep conn in
+  match Service.Json.parse line with
+  | Ok j -> j
+  | Error e ->
+    raise (Failed (Bad_response { endpoint = ep; detail = e }))
+
+(* One request/response over the pooled connection, with bounded
+   retry: a torn connection (backend restarted, idle socket reaped)
+   surfaces as an I/O error on the reused socket, so each retry drops
+   the pooled connection and dials a fresh one. Timeouts and bad
+   responses also retry — the protocol is stateless per line, so a
+   retried request is safe — up to [retries] extra attempts with
+   exponential backoff. *)
+let request t (ep : Shard_map.endpoint) json =
+  Atomic.incr t.requests;
+  let slot = slot_of t ep in
+  Mutex.protect slot.s_lock (fun () ->
+      let rec attempt n =
+        let outcome =
+          match
+            let conn =
+              match slot.s_conn with
+              | Some c -> c
+              | None ->
+                let c = connect t ep in
+                slot.s_conn <- Some c;
+                c
+            in
+            Buffer.clear conn.pending;
+            roundtrip t ep conn json
+          with
+          | j -> Ok j
+          | exception Failed e -> Error e
+        in
+        match outcome with
+        | Ok _ as ok -> ok
+        | Error e ->
+          (match slot.s_conn with
+          | Some c ->
+            close_conn c;
+            slot.s_conn <- None
+          | None -> ());
+          if n >= t.retries then Error e
+          else begin
+            Atomic.incr t.reconnects;
+            Log.debug (fun m ->
+                m "retrying %s after %s (attempt %d/%d)"
+                  (Shard_map.endpoint_to_string ep)
+                  (error_message e) (n + 1) t.retries);
+            if t.backoff > 0. then
+              Thread.delay (t.backoff *. Float.pow 2. (float_of_int n));
+            attempt (n + 1)
+          end
+      in
+      attempt 0)
+
+let close t =
+  Mutex.protect t.pool_lock (fun () ->
+      Hashtbl.iter
+        (fun _ slot ->
+          Mutex.protect slot.s_lock (fun () ->
+              match slot.s_conn with
+              | Some c ->
+                close_conn c;
+                slot.s_conn <- None
+              | None -> ()))
+        t.pool;
+      Hashtbl.reset t.pool)

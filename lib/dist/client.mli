@@ -1,0 +1,54 @@
+(** Pooled NDJSON client for backend [tixd] shards.
+
+    One persistent connection per endpoint, guarded by a per-endpoint
+    lock (the coordinator scatters with one thread per shard, so the
+    lock is uncontended on the hot path). Requests are one JSON line
+    out, one line back; failures are typed, and every failure mode —
+    torn connection, timeout, garbled line — is retried on a fresh
+    connection up to [retries] times with exponential backoff, which
+    makes a backend restart invisible to callers as long as it comes
+    back within the retry budget. *)
+
+type error =
+  | Connect of { endpoint : Shard_map.endpoint; detail : string }
+      (** dial failed: refused, unreachable, or connect timeout *)
+  | Timeout of { endpoint : Shard_map.endpoint; detail : string }
+      (** no complete response line within the request timeout *)
+  | Io of { endpoint : Shard_map.endpoint; detail : string }
+      (** read/write failed mid-exchange (torn connection) *)
+  | Bad_response of { endpoint : Shard_map.endpoint; detail : string }
+      (** the response line was not valid JSON *)
+
+val error_endpoint : error -> Shard_map.endpoint
+val error_message : error -> string
+
+type t
+
+val create :
+  ?connect_timeout:float ->
+  ?request_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  t
+(** [connect_timeout] (default 2s) bounds the dial; [request_timeout]
+    (default 30s) bounds each request/response exchange; [retries]
+    (default 2) extra attempts per request, each on a fresh
+    connection, sleeping [backoff * 2^n] (default 50ms) before retry
+    [n]. *)
+
+val request :
+  t -> Shard_map.endpoint -> Service.Json.t -> (Service.Json.t, error) result
+(** Send one request object, return the parsed response object. The
+    returned error is the last attempt's failure. *)
+
+val requests : t -> int
+(** Requests issued (before retries). *)
+
+val reconnects : t -> int
+(** Fresh connections dialled due to retry — the torn-connection
+    counter. *)
+
+val close : t -> unit
+(** Drop every pooled connection. The pool remains usable: the next
+    request re-dials. *)

@@ -1,0 +1,50 @@
+(** Scatter-gather query federation over document-sharded backends.
+
+    The coordinator speaks the same NDJSON protocol as a single
+    [tixd] — {!handle} plugs straight into
+    {!Service.Server.start_handler} — and answers every read op by
+    fanning out to the shards of a {!Shard_map.t} and merging
+    deterministically:
+
+    - {b query / search / phrase}: one concurrent wave over every
+      shard; rows re-sort under {!Service.Engine.compare_row} with
+      document ids lifted to the global space ([lo + local]), so the
+      merged prefix is byte-identical to a single-node run — ties
+      included. Interpreter trees concatenate in shard order (global
+      document order). An engine plan's own row limit is re-applied
+      after the gather.
+    - {b ranked}: waves of [window] shards; after each wave the
+      gathered k-th best score is published as θ and relayed to the
+      remaining shards ({!Core.Merge.Theta}'s monotone contract), so
+      late shards prune documents that provably cannot enter the
+      top-k. [window = 0] (the default) contacts every shard in one
+      latency-optimal wave; smaller windows trade latency for pruned
+      work.
+
+    Failures: each shard tries its replicas in rotation (the replica
+    that answers stays active, so an outage is paid once, not per
+    request). A query-level error from any shard is forwarded
+    verbatim; shards whose every replica is unreachable leave the
+    response flagged [{"degraded":true,"shards_unavailable":[..]}]
+    over the surviving shards' merged answer; if no shard answers the
+    response is an [unavailable] error. *)
+
+type t
+
+val create :
+  ?window:int -> ?client:Client.t -> ?source:string -> Shard_map.t -> t
+(** [window] is the ranked fan-out wave size (0 = all shards at
+    once); [client] defaults to {!Client.create}[ ()]; [source] names
+    the manifest in health output. *)
+
+val handle : t -> Service.Protocol.request -> Service.Json.t
+(** The coordinator's dispatch — serve it with
+    {!Service.Server.start_handler}. Mutation ops are refused with
+    [read_only]; [prepare]/[execute] are coordinator-local (the
+    statement text is re-scattered as a plain query). *)
+
+val client : t -> Client.t
+val shard_map : t -> Shard_map.t
+
+val degraded_served : t -> int
+(** Responses served with the degraded flag since startup. *)

@@ -1,0 +1,149 @@
+type endpoint = { host : string; port : int }
+
+let endpoint_to_string e = Printf.sprintf "%s:%d" e.host e.port
+
+type shard = {
+  lo : int;
+  hi : int;
+  image : string;
+  replicas : endpoint list;
+}
+
+type t = { shards : shard array }
+
+let shards t = Array.to_list t.shards
+let shard_count t = Array.length t.shards
+let total_docs t =
+  if Array.length t.shards = 0 then 0
+  else t.shards.(Array.length t.shards - 1).hi
+
+let shard t i = t.shards.(i)
+
+(* The invariants every manifest must satisfy before a coordinator
+   will serve it: shards in ascending doc order, ranges non-empty,
+   abutting (no gap, no overlap), starting at 0, and every shard
+   reachable through at least one endpoint. Deterministic merge
+   depends on all of them: global ids are [lo + local], so a gap or
+   overlap silently corrupts the id space instead of failing. *)
+let validate shards =
+  let rec go expected_lo = function
+    | [] -> Ok ()
+    | s :: rest ->
+      if s.lo <> expected_lo then
+        Error
+          (Printf.sprintf
+             "shard [%d,%d) breaks coverage: expected range to start at %d"
+             s.lo s.hi expected_lo)
+      else if s.hi <= s.lo then
+        Error (Printf.sprintf "shard [%d,%d) is empty" s.lo s.hi)
+      else if s.replicas = [] then
+        Error (Printf.sprintf "shard [%d,%d) has no endpoints" s.lo s.hi)
+      else go s.hi rest
+  in
+  match shards with
+  | [] -> Error "manifest has no shards"
+  | ss -> go 0 ss
+
+let make shards =
+  match validate shards with
+  | Ok () -> Ok { shards = Array.of_list shards }
+  | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* JSON manifest *)
+
+module Json = Service.Json
+
+let endpoint_to_json e =
+  Json.Obj [ ("host", Json.String e.host); ("port", Json.Int e.port) ]
+
+let shard_to_json s =
+  Json.Obj
+    [
+      ("lo", Json.Int s.lo);
+      ("hi", Json.Int s.hi);
+      ("image", Json.String s.image);
+      ("replicas", Json.List (List.map endpoint_to_json s.replicas));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("total_docs", Json.Int (total_docs t));
+      ("shards", Json.List (List.map shard_to_json (shards t)));
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "manifest: missing or ill-typed field %S" name)
+
+let endpoint_of_json j =
+  let* host = field "host" Json.to_string_opt j in
+  let* port = field "port" Json.to_int_opt j in
+  Ok { host; port }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let shard_of_json j =
+  let* lo = field "lo" Json.to_int_opt j in
+  let* hi = field "hi" Json.to_int_opt j in
+  let* image = field "image" Json.to_string_opt j in
+  let* eps = field "replicas" Json.to_list_opt j in
+  let* replicas = map_result endpoint_of_json eps in
+  Ok { lo; hi; image; replicas }
+
+let of_json j =
+  let* version = field "version" Json.to_int_opt j in
+  if version <> 1 then
+    Error (Printf.sprintf "manifest: unsupported version %d" version)
+  else
+    let* shard_list = field "shards" Json.to_list_opt j in
+    let* shards = map_result shard_of_json shard_list in
+    make shards
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error (Printf.sprintf "manifest: %s" e)
+  | text -> begin
+    match Json.parse text with
+    | Error e -> Error (Printf.sprintf "manifest: bad JSON: %s" e)
+    | Ok j -> of_json j
+  end
+
+(* Split [n] documents into [k] abutting ranges as evenly as
+   possible: the first [n mod k] ranges get one extra document. *)
+let ranges ~docs ~shards =
+  if docs <= 0 || shards <= 0 then []
+  else begin
+    let shards = min shards docs in
+    let base = docs / shards and extra = docs mod shards in
+    let rec go lo i acc =
+      if i = shards then List.rev acc
+      else
+        let hi = lo + base + if i < extra then 1 else 0 in
+        go hi (i + 1) ((lo, hi) :: acc)
+    in
+    go 0 0 []
+  end

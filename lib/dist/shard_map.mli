@@ -1,0 +1,53 @@
+(** The shard manifest: which document ranges live where.
+
+    A corpus of [N] documents is split into abutting ranges
+    [[lo,hi)]; each range is served by one or more replica [tixd]
+    endpoints over an image holding just those documents, renumbered
+    densely from 0. The coordinator maps a shard-local document id
+    back into the global space as [lo + local] — which is exactly the
+    inverse of the dense renumbering {!Store.Db.compact} performs
+    when [tixdb shard] extracts the range — so merged answers carry
+    the same ids a single-node database over the whole corpus would.
+
+    Manifests are one JSON object
+    [{"version":1,"total_docs":n,"shards":[{"lo":..,"hi":..,
+    "image":..,"replicas":[{"host":..,"port":..},..]},..]}] and are
+    validated structurally on load: ascending, non-empty, gap-free
+    ranges starting at 0, at least one replica per shard. *)
+
+type endpoint = { host : string; port : int }
+
+val endpoint_to_string : endpoint -> string
+(** ["host:port"]. *)
+
+type shard = {
+  lo : int;  (** first global document id of the range *)
+  hi : int;  (** one past the last global document id *)
+  image : string;  (** image file serving the range (relative path) *)
+  replicas : endpoint list;  (** failover order: first is primary *)
+}
+
+type t
+
+val make : shard list -> (t, string) result
+(** Validate and seal a manifest. [Error] names the violated
+    invariant (gap, overlap, empty range, missing endpoints). *)
+
+val shards : t -> shard list
+val shard : t -> int -> shard
+val shard_count : t -> int
+
+val total_docs : t -> int
+(** [hi] of the last shard — the size of the global id space. *)
+
+val to_json : t -> Service.Json.t
+val of_json : Service.Json.t -> (t, string) result
+
+val save : t -> string -> unit
+val load : string -> (t, string) result
+
+val ranges : docs:int -> shards:int -> (int * int) list
+(** Split [docs] documents into at most [shards] abutting ranges,
+    sizes differing by at most one ([docs mod shards] leading ranges
+    get the extra document). Empty when either argument is [<= 0];
+    never returns an empty range. *)

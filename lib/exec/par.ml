@@ -103,11 +103,10 @@ let ticker gov =
   | None -> fun () -> ()
 
 (* Per-chunk results are document-sorted over disjoint ascending
-   ranges: concatenation in chunk order IS the global document
-   order. *)
-let concat_in_order vals =
-  let nodes = List.concat (Array.to_list vals) in
-  (nodes, List.length nodes)
+   ranges: concatenation in chunk order IS the global document order.
+   Both merge rules live in Core.Merge, shared with the distributed
+   coordinator so local and remote partitioning cannot diverge. *)
+let concat_in_order = Core.Merge.concat_in_order
 
 let term_join ?(trace = Core.Trace.disabled) ?shared ?ranges ?variant ?mode
     ?weights ~parallelism ctx ~terms =
@@ -162,10 +161,14 @@ let phrase ?(trace = Core.Trace.disabled) ?shared ?ranges ~parallelism ctx
       List.sort Access.Scored_node.compare_pos !acc)
     ~merge:concat_in_order
 
-let top_k_docs ?(trace = Core.Trace.disabled) ?shared ?ranges ?weights
+let top_k_docs ?(trace = Core.Trace.disabled) ?shared ?ranges ?weights ?theta
     ~parallelism ctx ~terms ~k =
   let ranges = resolve_ranges ?ranges ~parallelism ctx ~terms in
-  let shared_threshold = Atomic.make neg_infinity in
+  (* [?theta] seeds the shared threshold with a cutoff already proven
+     elsewhere (a distributed coordinator relaying other shards'
+     published k-th-best): pruning against it stays exact because the
+     seed is itself a monotone θ value, always ≤ the global cutoff *)
+  let shared_threshold = Core.Merge.Theta.make ?seed:theta () in
   fan_out ~trace ~shared ~parallelism ~method_:"RankedTopK" ~ranges
     ~body:(fun ~gov ~trace (lo, hi) ->
       let docs =
@@ -176,16 +179,4 @@ let top_k_docs ?(trace = Core.Trace.disabled) ?shared ?ranges ?weights
       | Some g -> Core.Governor.tick_n g (List.length docs)
       | None -> ());
       docs)
-    ~merge:(fun vals ->
-      (* ranges are disjoint, so the union has no duplicate docs; the
-         k best under (score desc, doc asc) are exactly the
-         sequential top-k *)
-      let all = List.concat (Array.to_list vals) in
-      let sorted =
-        List.sort
-          (fun (d1, s1) (d2, s2) ->
-            match compare s2 s1 with 0 -> compare d1 d2 | c -> c)
-          all
-      in
-      let top = List.filteri (fun i _ -> i < k) sorted in
-      (top, List.length top))
+    ~merge:(Core.Merge.merge_ranked ~k)

@@ -57,10 +57,15 @@ val top_k_docs :
   ?shared:Core.Governor.shared ->
   ?ranges:(int * int) list ->
   ?weights:float array ->
+  ?theta:float ->
   parallelism:int ->
   Access.Ctx.t ->
   terms:string list ->
   k:int ->
   (int * float) list
 (** Parallel {!Access.Ranked.top_k_docs} with cross-chunk shared
-    max-score pruning; best score first, doc id breaking ties. *)
+    max-score pruning; best score first, doc id breaking ties.
+    [theta] seeds the shared threshold with a cutoff already proven by
+    another backend (e.g. a remote shard's published k-th best); the
+    result stays exact as long as the seed is a true monotone θ value
+    (≤ the global cutoff). *)

@@ -62,8 +62,8 @@ let fault_stats snapshot =
   Store.Pager.fault (Store.Element_store.pager (Store.Db.elements snapshot.db))
   |> Option.map Store.Fault.stats
 
-let load ?pool_pages ?generation path =
-  match Store.Db.open_file ?pool_pages path with
+let load ?pool_pages ?verify ?generation path =
+  match Store.Db.open_file ?pool_pages ?verify path with
   | Ok db -> of_db ?generation ~source:path db
   | Error e -> Error (Store.Db.error_to_string e)
 
@@ -191,7 +191,7 @@ let canonical_key = function
 
 type caches = {
   plans : (Query.Compile.plan, string) Stdlib.result Lru.t;
-  results : (row list * string list * int) Lru.t;
+  results : (row list * string list * int * string option) Lru.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -357,17 +357,15 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
             Some (Query.Compile.explain plan),
             Core.Governor.steps gov )
       | Some dv ->
-        if plan.Query.Compile.pick <> None then
-          Error
-            (Unsupported
-               "quantile pick is distribution-sensitive and cannot be \
-                merged with pending updates; checkpoint first")
-        else begin
+        begin
           (* run base and delta separately and rank-merge: scores are
              corpus-stat free, so per-element results are unchanged by
-             the split. The base limit is widened by the tombstone
-             count so dropping dead documents cannot starve the
-             merged top-K. *)
+             the split — including `pick` stages, which group scored
+             nodes per document and select within each document's
+             forest, so base/delta split execution picks exactly what
+             one combined run would. The base limit is widened by the
+             tombstone count so dropping dead documents cannot starve
+             the merged top-K. *)
           let widened =
             match plan.Query.Compile.limit with
             | Some l -> { plan with Query.Compile.limit = Some (l + dv.n_tomb) }
@@ -463,7 +461,7 @@ let explain ?caches q =
          (Printf.sprintf
             "not compilable (would run on the interpreter): %s" reason))
 
-let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
+let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
     ?parallelism snapshot request =
   Metrics.incr (Metrics.counter "queries.total");
   (* Parallel execution never changes results, so it shares the
@@ -475,8 +473,12 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
      the untraced path allocation-free. *)
   let tracer = if trace then Core.Trace.make () else Core.Trace.disabled in
   let result_key =
-    Printf.sprintf "g%d|k%s|%s" snapshot.generation
+    (* a θ hint legitimately prunes ranked answers below the relayed
+       cutoff, so hinted and unhinted runs must never share a cache
+       entry *)
+    Printf.sprintf "g%d|k%s|t%s|%s" snapshot.generation
       (match k with None -> "*" | Some k -> string_of_int k)
+      (match theta with None -> "*" | Some t -> Printf.sprintf "%h" t)
       (canonical_key request)
   in
   let cached_result =
@@ -489,15 +491,18 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
       | None -> None
   in
   match cached_result with
-  | Some (rows, trees, total) ->
+  | Some (rows, trees, total, plan) ->
     Metrics.incr (Metrics.counter "queries.result_cache_hits");
+    (* the plan text rides along in the cache so responses are
+       cache-transparent — distributed coordinators parse the plan's
+       row limit out of shard responses and must see it on hits too *)
     Ok
       {
         rows;
         trees;
         total;
         cached = true;
-        plan = None;
+        plan;
         timings = [];
         steps_used = 0;
         trace = None;
@@ -508,7 +513,8 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
       let rows = truncate k rows in
       let trees = truncate k trees in
       (match caches with
-      | Some c when not trace -> Lru.add c.results result_key (rows, trees, total)
+      | Some c when not trace ->
+        Lru.add c.results result_key (rows, trees, total, plan)
       | Some _ | None -> ());
       let dt = now () -. t0 in
       Metrics.observe_s (Metrics.histogram "query.total") dt;
@@ -663,11 +669,18 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?(trace = false)
           let run ctx ~k =
             if par > 1 then
               governed_parallel limits (fun shared ->
-                  Exec.Par.top_k_docs ~trace:tracer ~shared ~parallelism:par
-                    ctx ~terms ~k)
+                  Exec.Par.top_k_docs ~trace:tracer ~shared ?theta
+                    ~parallelism:par ctx ~terms ~k)
             else
               governed limits (fun () ->
-                  Access.Ranked.top_k_docs ~trace:tracer ctx ~terms ~k)
+                  (* a θ hint seeds the same shared threshold the
+                     parallel chunks use; pruning against it is exact
+                     under the monotone-θ invariant (Core.Merge) *)
+                  let shared_threshold =
+                    Option.map (fun seed -> Core.Merge.Theta.make ~seed ()) theta
+                  in
+                  Access.Ranked.top_k_docs ~trace:tracer ?shared_threshold ctx
+                    ~terms ~k)
           in
           let doc_row catalog remap (doc, score) =
             let tag =

@@ -41,8 +41,15 @@ val of_db : ?generation:int -> ?source:string -> Store.Db.t -> (snapshot, string
 (** Pin the database's pager and wrap it (no delta). [Error] when a
     page fails its pin-time checksum verification. *)
 
-val load : ?pool_pages:int -> ?generation:int -> string -> (snapshot, string) result
-(** [Store.Db.open_file] + {!of_db}. *)
+val load :
+  ?pool_pages:int ->
+  ?verify:[ `Eager | `Lazy ] ->
+  ?generation:int ->
+  string ->
+  (snapshot, string) result
+(** [Store.Db.open_file] + {!of_db}. [`Lazy] defers the image's CRC
+    pass to a background thread ({!Store.Db.open_file}) so a shard
+    process reaches serving state in O(1). *)
 
 val with_delta : snapshot -> Store.Delta.t -> snapshot
 (** Attach a delta segment's current state (documents, tombstones) to
@@ -75,6 +82,12 @@ type request =
 type row = { tag : string; doc : int; start : int; score : float }
 (** One scored element; for {!Ranked} rows, [start = -1] and [tag] is
     the document name. *)
+
+val compare_row : row -> row -> int
+(** Score descending, ties in [(doc, start)] order — the order every
+    result family emits. Exposed so distributed merges (base+delta
+    overlays, cross-shard gather) reproduce single-run output
+    exactly. *)
 
 type result = {
   rows : row list;
@@ -115,13 +128,14 @@ type caches = {
   plans : (Query.Compile.plan, string) Stdlib.result Lru.t;
       (** keyed by {!canonical_key}; [Error reason] caches the
           negative compile so the fallback decision is also cached *)
-  results : (row list * string list * int) Lru.t;
+  results : (row list * string list * int * string option) Lru.t;
 }
 
 val exec :
   ?caches:caches ->
   ?limits:Core.Governor.limits ->
   ?k:int ->
+  ?theta:float ->
   ?trace:bool ->
   ?parallelism:int ->
   snapshot ->
@@ -131,6 +145,16 @@ val exec :
     ranked row list (default: keep everything). Stage latencies are
     recorded in {!Metrics} histograms ([stage.*]) and the executed
     operator in [op.*] counters.
+
+    [theta] seeds {!Ranked} evaluation's shared max-score threshold
+    with a cutoff already proven elsewhere — a distributed
+    coordinator relaying other shards' published k-th-best scores
+    ({!Core.Merge.Theta}). Documents whose score ceiling is strictly
+    below the seed are pruned, so a hinted answer is a correct
+    {e partial} answer from the coordinator's point of view: anything
+    it omits provably cannot appear in the merged global top-k.
+    Hinted results are cached under a θ-qualified key, never shared
+    with unhinted runs. Other request shapes ignore the option.
 
     [parallelism] > 1 runs eligible requests — {!Search} with the
     termjoin/enhanced/genmeet methods, non-comp3 {!Phrase}, and

@@ -5,6 +5,7 @@ type request =
       limits : Core.Governor.limits;
       trace : bool;
       parallelism : int option;
+      theta : float option;
     }
   | Explain of { q : string }
   | Prepare of { q : string }
@@ -94,6 +95,7 @@ let parse_request line =
     let* limits = limits_of j in
     let* trace = opt_bool ~default:false j "trace" in
     let* parallelism = opt_int j "parallelism" in
+    let* theta = opt_float j "theta" in
     match op with
     | "query" ->
       let* q = field_string j "q" in
@@ -105,7 +107,7 @@ let parse_request line =
         | Some (Some "interp") -> Ok `Interp
         | Some _ -> Error "field \"mode\" must be auto, engine or interp"
       in
-      Ok (Exec { req = Engine.Query { q; mode }; k; limits; trace; parallelism })
+      Ok (Exec { req = Engine.Query { q; mode }; k; limits; trace; parallelism; theta })
     | "explain" ->
       let* q = field_string j "q" in
       Ok (Explain { q })
@@ -125,17 +127,17 @@ let parse_request line =
       Ok
         (Exec
            { req = Engine.Search { terms; method_; complex }; k; limits; trace;
-             parallelism })
+             parallelism; theta })
     | "phrase" ->
       let* phrase = field_string j "phrase" in
       let* comp3 = opt_bool ~default:false j "comp3" in
       Ok
         (Exec
            { req = Engine.Phrase { phrase; comp3 }; k; limits; trace;
-             parallelism })
+             parallelism; theta })
     | "ranked" ->
       let* terms = field_string_list j "terms" in
-      Ok (Exec { req = Engine.Ranked { terms }; k; limits; trace; parallelism })
+      Ok (Exec { req = Engine.Ranked { terms }; k; limits; trace; parallelism; theta })
     | "prepare" ->
       let* q = field_string j "q" in
       Ok (Prepare { q })
@@ -182,8 +184,10 @@ let parallelism_field = function
   | Some n -> [ ("parallelism", Json.Int n) ]
   | None -> []
 
+let theta_field = function Some t -> [ ("theta", Json.Float t) ] | None -> []
+
 let request_to_json = function
-  | Exec { req; k; limits; trace; parallelism } -> begin
+  | Exec { req; k; limits; trace; parallelism; theta } -> begin
     let base =
       match req with
       | Engine.Query { q; mode } ->
@@ -213,7 +217,7 @@ let request_to_json = function
     in
     Json.Obj
       (base @ k_field k @ limits_fields limits @ trace_field trace
-      @ parallelism_field parallelism)
+      @ parallelism_field parallelism @ theta_field theta)
   end
   | Explain { q } ->
     Json.Obj [ ("op", Json.String "explain"); ("q", Json.String q) ]
@@ -273,7 +277,7 @@ let rec span_to_json (sp : Core.Trace.span) =
          | cs -> [ ("children", Json.List (List.map span_to_json cs)) ]);
        ])
 
-let result_to_json ?(include_timings = true) (r : Engine.result) =
+let result_to_json ?(include_timings = true) ?(extra = []) (r : Engine.result) =
   let base =
     [
       ("ok", Json.Bool true);
@@ -282,6 +286,7 @@ let result_to_json ?(include_timings = true) (r : Engine.result) =
       ("steps_used", Json.Int r.steps_used);
       ("results", rows_to_json r.rows);
     ]
+    @ extra
   in
   let trees =
     if r.trees = [] then []
@@ -321,15 +326,20 @@ let engine_error_to_json e =
 let ok_prepared_to_json id =
   Json.Obj [ ("ok", Json.Bool true); ("id", Json.Int id) ]
 
-let health_to_json ?(updatable = false) ~generation ~source () =
+let health_to_json ?(updatable = false) ?verification ?shards ~generation
+    ~source () =
   Json.Obj
-    [
-      ("ok", Json.Bool true);
-      ("status", Json.String "serving");
-      ("generation", Json.Int generation);
-      ("source", Json.String source);
-      ("updatable", Json.Bool updatable);
-    ]
+    ([
+       ("ok", Json.Bool true);
+       ("status", Json.String "serving");
+       ("generation", Json.Int generation);
+       ("source", Json.String source);
+       ("updatable", Json.Bool updatable);
+     ]
+    @ (match verification with
+      | Some v -> [ ("verification", Json.String v) ]
+      | None -> [])
+    @ match shards with Some s -> [ ("shards", s) ] | None -> [])
 
 let ok_mutation_to_json ~op ~name ~generation =
   Json.Obj

@@ -40,6 +40,10 @@ type request =
       limits : Core.Governor.limits;
       trace : bool;
       parallelism : int option;
+      theta : float option;
+          (** ranked max-score threshold hint: a cutoff already proven
+              by another shard, relayed by a coordinator for
+              cross-shard pruning ({!Engine.exec}'s [?theta]) *)
     }
   | Explain of { q : string }
   | Prepare of { q : string }
@@ -65,10 +69,12 @@ val request_to_json : request -> Json.t
 
 (** {1 Responses} *)
 
-val result_to_json : ?include_timings:bool -> Engine.result -> Json.t
+val result_to_json :
+  ?include_timings:bool -> ?extra:(string * Json.t) list -> Engine.result -> Json.t
 (** [{"ok":true,"total":n,"cached":b,"steps_used":s,"results":[...],...}].
     Timings default to included; the stress test compares responses
-    with timings stripped. *)
+    with timings stripped. [extra] appends caller fields (the
+    distributed coordinator adds ["degraded"]/["shards"]). *)
 
 val rows_to_json : Engine.row list -> Json.t
 
@@ -93,9 +99,19 @@ val ok_checkpoint_to_json : path:string -> generation:int -> Json.t
 (** [{"ok":true,"path":p,"generation":g}]. *)
 
 val health_to_json :
-  ?updatable:bool -> generation:int -> source:string -> unit -> Json.t
+  ?updatable:bool ->
+  ?verification:string ->
+  ?shards:Json.t ->
+  generation:int ->
+  source:string ->
+  unit ->
+  Json.t
 (** [updatable] reports whether the server accepts mutation ops
-    (i.e. was started with a WAL directory); defaults to [false]. *)
+    (i.e. was started with a WAL directory); defaults to [false].
+    [verification] surfaces the image checksum status of a lazily
+    verified open (["verified"|"pending"|"failed"]); [shards] lets a
+    coordinator attach its per-shard health aggregation. Both are
+    omitted when absent. *)
 
 val stats_to_json : ?updates:Updates.t -> Scheduler.t -> Json.t
 (** Database, pager, scheduler, cache and metrics statistics; with

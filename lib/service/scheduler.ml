@@ -142,7 +142,7 @@ let enqueue t job =
         Ok ()
       end)
 
-let submit t ?(limits = Core.Governor.unlimited) ?k ?trace ?parallelism
+let submit t ?(limits = Core.Governor.unlimited) ?k ?theta ?trace ?parallelism
     request =
   let p = promise () in
   let limits = tighten t.limits limits in
@@ -157,7 +157,7 @@ let submit t ?(limits = Core.Governor.unlimited) ?k ?trace ?parallelism
   let work snap =
     let outcome =
       try
-        Engine.exec ~caches:t.caches ~limits ?k ?trace ?parallelism snap
+        Engine.exec ~caches:t.caches ~limits ?k ?theta ?trace ?parallelism snap
           request
       with exn ->
         Error
@@ -171,8 +171,8 @@ let submit t ?(limits = Core.Governor.unlimited) ?k ?trace ?parallelism
   in
   match enqueue t { work } with Ok () -> Ok p | Error _ as e -> e
 
-let run t ?limits ?k ?trace ?parallelism request =
-  match submit t ?limits ?k ?trace ?parallelism request with
+let run t ?limits ?k ?theta ?trace ?parallelism request =
+  match submit t ?limits ?k ?theta ?trace ?parallelism request with
   | Ok p -> Ok (await p)
   | Error _ as e -> e
 

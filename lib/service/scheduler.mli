@@ -43,19 +43,21 @@ val submit :
   t ->
   ?limits:Core.Governor.limits ->
   ?k:int ->
+  ?theta:float ->
   ?trace:bool ->
   ?parallelism:int ->
   Engine.request ->
   ((Engine.result, Engine.error) result promise, error) result
 (** Non-blocking admission. [limits] tightens (never loosens) the
-    pool's defaults; [trace] is forwarded to {!Engine.exec};
-    [parallelism] is clamped to the pool's [max_parallelism] and
-    forwarded. *)
+    pool's defaults; [theta] and [trace] are forwarded to
+    {!Engine.exec}; [parallelism] is clamped to the pool's
+    [max_parallelism] and forwarded. *)
 
 val run :
   t ->
   ?limits:Core.Governor.limits ->
   ?k:int ->
+  ?theta:float ->
   ?trace:bool ->
   ?parallelism:int ->
   Engine.request ->

@@ -1,8 +1,7 @@
 type t = {
   sock : Unix.file_descr;
   port : int;
-  scheduler : Scheduler.t;
-  updates : Updates.t option;
+  handler : Protocol.request -> Json.t;
   running : bool Atomic.t;
   mutable accept_thread : Thread.t option;
   accepted : int Atomic.t;
@@ -25,8 +24,10 @@ let handle ?updates scheduler (req : Protocol.request) =
           ~message:(Printf.sprintf "%s failed: %s" op (Updates.error_message e))
     end
   in
-  let exec ?limits ?k ?trace ?parallelism request =
-    match Scheduler.run scheduler ?limits ?k ?trace ?parallelism request with
+  let exec ?limits ?k ?theta ?trace ?parallelism request =
+    match
+      Scheduler.run scheduler ?limits ?k ?theta ?trace ?parallelism request
+    with
     | Ok (Ok result) -> Protocol.result_to_json result
     | Ok (Error e) -> Protocol.engine_error_to_json e
     | Error e ->
@@ -38,8 +39,8 @@ let handle ?updates scheduler (req : Protocol.request) =
           | Scheduler.Closed -> "server is shutting down")
   in
   match req with
-  | Protocol.Exec { req; k; limits; trace; parallelism } ->
-    exec ~limits ?k ~trace ?parallelism req
+  | Protocol.Exec { req; k; limits; trace; parallelism; theta } ->
+    exec ~limits ?k ?theta ~trace ?parallelism req
   | Protocol.Explain { q } -> begin
     match Scheduler.explain scheduler q with
     | Ok plan -> Protocol.ok_plan_to_json plan
@@ -85,9 +86,16 @@ let handle ?updates scheduler (req : Protocol.request) =
   | Protocol.Stats -> Protocol.stats_to_json ?updates scheduler
   | Protocol.Health ->
     let snap = Scheduler.snapshot scheduler in
+    let verification =
+      match Store.Db.verification snap.Engine.db with
+      | `Verified -> "verified"
+      | `Pending -> "pending"
+      | `Failed _ -> "failed"
+    in
     Protocol.health_to_json
       ~updatable:(Option.is_some updates)
-      ~generation:snap.Engine.generation ~source:snap.Engine.source ()
+      ~verification ~generation:snap.Engine.generation
+      ~source:snap.Engine.source ()
 
 let track_conn t fd =
   Mutex.protect t.conn_lock (fun () -> t.conn_fds <- fd :: t.conn_fds)
@@ -102,7 +110,7 @@ let serve_connection t fd =
   let respond line =
     let json =
       match Protocol.parse_request line with
-      | Ok req -> handle ?updates:t.updates t.scheduler req
+      | Ok req -> t.handler req
       | Error msg -> Protocol.error_to_json ~code:"bad_request" ~message:msg
     in
     output_string oc (Json.to_string json);
@@ -134,7 +142,12 @@ let accept_loop t () =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let start ?(host = "127.0.0.1") ?(port = 0) ?updates scheduler =
+(* The generic line-serving core: any [Protocol.request -> Json.t]
+   dispatch behind the accept loop. The scheduler-backed [start] and
+   the distributed coordinator ([tixq]) both serve through this, so
+   the wire behaviour — framing, error shape, connection lifecycle —
+   is identical at every tier. *)
+let start_handler ?(name = "tixd") ?(host = "127.0.0.1") ?(port = 0) handler =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -152,8 +165,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?updates scheduler =
     {
       sock;
       port = actual_port;
-      scheduler;
-      updates;
+      handler;
       running = Atomic.make true;
       accept_thread = None;
       accepted = Atomic.make 0;
@@ -162,8 +174,11 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?updates scheduler =
     }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
-  Logs.info (fun m -> m "tixd listening on %s:%d" host actual_port);
+  Logs.info (fun m -> m "%s listening on %s:%d" name host actual_port);
   t
+
+let start ?host ?port ?updates scheduler =
+  start_handler ?host ?port (handle ?updates scheduler)
 
 let port t = t.port
 let connections t = Atomic.get t.accepted

@@ -20,6 +20,18 @@ val start :
     [read_only]. Raises [Unix.Unix_error] when the address cannot be
     bound. *)
 
+val start_handler :
+  ?name:string ->
+  ?host:string ->
+  ?port:int ->
+  (Protocol.request -> Json.t) ->
+  t
+(** The generic line-serving core behind {!start}: bind, accept, and
+    answer each parsed request line through the given dispatch. The
+    distributed coordinator ([tixq]) serves its scatter-gather
+    dispatch through this, so coordinator and backend speak one wire
+    protocol. [name] labels the startup log line. *)
+
 val port : t -> int
 val connections : t -> int
 (** Connections accepted so far. *)

@@ -17,6 +17,32 @@ let default_options =
     keep_trees = true;
   }
 
+type error =
+  | Not_a_database of { path : string }
+  | Unsupported_version of { path : string; found : string }
+  | Truncated of { path : string; detail : string }
+  | Checksum_mismatch of {
+      path : string;
+      section : string;
+      expected : int;
+      actual : int;
+    }
+  | Corrupt of { path : string; detail : string }
+  | Io_error of { path : string; detail : string }
+
+type verification = [ `Verified | `Pending | `Failed of error ]
+
+(* Checksum verification state of an opened image. In-memory builds
+   and eager opens are born [`Verified]; a lazy v4 open frames the
+   sections structurally, starts serving, and lets a background
+   thread run the CRC pass, flipping the status when it lands. *)
+type verifier = {
+  v_status : verification Atomic.t;
+  mutable v_thread : Thread.t option;
+}
+
+let verified () = { v_status = Atomic.make `Verified; v_thread = None }
+
 type t = {
   catalog : Catalog.t;
   elements : Element_store.t;
@@ -24,6 +50,7 @@ type t = {
   tags : Tag_index.t;
   index : Ir.Inverted_index.t;
   numberings : Xmlkit.Numbering.t array option;
+  verif : verifier;
 }
 
 type stats = {
@@ -145,6 +172,7 @@ let finish b =
       (if b.b_options.keep_trees then
          Some (Array.of_list (List.rev b.b_numberings))
        else None);
+    verif = verified ();
   }
 
 let load ?(options = default_options) docs =
@@ -350,6 +378,7 @@ let compact ~base ~delta ~tombstones =
     tags = Tag_index.freeze tag_b;
     index = Ir.Inverted_index.freeze index_b;
     numberings;
+    verif = verified ();
   }
 
 let pp_stats ppf s =
@@ -393,19 +422,6 @@ let pp_stats ppf s =
 let magic = "TIXDB004"
 let magic_v3 = "TIXDB003"
 let magic_prefix = "TIXDB"
-
-type error =
-  | Not_a_database of { path : string }
-  | Unsupported_version of { path : string; found : string }
-  | Truncated of { path : string; detail : string }
-  | Checksum_mismatch of {
-      path : string;
-      section : string;
-      expected : int;
-      actual : int;
-    }
-  | Corrupt of { path : string; detail : string }
-  | Io_error of { path : string; detail : string }
 
 let pp_error ppf = function
   | Not_a_database { path } ->
@@ -530,11 +546,10 @@ let decode_catalog buf ~off ~len =
   if !off <> limit then failwith "catalog section length mismatch";
   catalog
 
-(* Frame the section table over [buf] (header structural checks), then
-   verify every checksum before trusting a single byte. Over an
-   mmap'd image the CRC pass reads the map in place — it allocates
-   nothing proportional to the image. *)
-let frame_and_verify ~path ~names buf =
+(* Frame the section table over [buf]: purely structural checks on
+   the header — section count, ids, lengths summing exactly to the
+   file size. O(1) in the image size; trusts no payload byte. *)
+let frame ~path ~names buf =
   let total = Ir.Codec.buf_length buf in
   match
     let nsections, off = Ir.Codec.read_varint_buf buf (String.length magic) in
@@ -587,18 +602,32 @@ let frame_and_verify ~path ~names buf =
     Error (Truncated { path; detail = "file ends inside the header" })
   | exception Ir.Codec.Truncated detail ->
     Error (Truncated { path; detail = "header: " ^ detail })
-  | Error e -> Error e
-  | Ok sections ->
-    let bad =
-      List.find_map
-        (fun (name, off, len, expected) ->
-          let actual = Crc32.buf ~off ~len buf in
-          if actual <> expected then
-            Some (Checksum_mismatch { path; section = name; expected; actual })
-          else None)
-        sections
-    in
-    (match bad with Some e -> Error e | None -> Ok sections)
+  | (Error _ | Ok _) as r -> r
+
+(* Verify every framed section's CRC-32. Over an mmap'd image the
+   pass reads the map in place — it allocates nothing proportional to
+   the image. *)
+let verify_sections ~path buf sections =
+  let bad =
+    List.find_map
+      (fun (name, off, len, expected) ->
+        let actual = Crc32.buf ~off ~len buf in
+        if actual <> expected then
+          Some (Checksum_mismatch { path; section = name; expected; actual })
+        else None)
+      sections
+  in
+  match bad with Some e -> Error e | None -> Ok ()
+
+(* Frame, then verify every checksum before trusting a single payload
+   byte — the eager open path. *)
+let frame_and_verify ~path ~names buf =
+  match frame ~path ~names buf with
+  | Error _ as e -> e
+  | Ok sections -> (
+    match verify_sections ~path buf sections with
+    | Error e -> Error e
+    | Ok () -> Ok sections)
 
 let find_section sections name =
   let _, off, len, _ = List.find (fun (n, _, _, _) -> n = name) sections in
@@ -609,7 +638,7 @@ let find_section sections name =
    (they are small and already in their query shape); posting lists
    keep zero-copy views; element pages stay slices of the map until a
    query first touches them. *)
-let decode_v4 ~path buf sections =
+let decode_v4 ~path ~verif buf sections =
   match
     let find = find_section sections in
     let cat_off, cat_len = find "catalog" in
@@ -627,7 +656,7 @@ let decode_v4 ~path buf sections =
     let t_off, t_len = find "tags" in
     let tags, t_end = Tag_index.load buf t_off in
     if t_end <> t_off + t_len then failwith "tags section length mismatch";
-    { catalog; elements; parents; tags; index; numberings = None }
+    { catalog; elements; parents; tags; index; numberings = None; verif }
   with
   | db ->
     Log.info (fun m ->
@@ -678,6 +707,7 @@ let decode_v3 ?pool_pages ~path bytes sections =
       tags = Tag_index.freeze tag_builder;
       index;
       numberings = None;
+      verif = verified ();
     }
   with
   | db ->
@@ -689,7 +719,7 @@ let decode_v3 ?pool_pages ~path bytes sections =
   | exception e ->
     Error (Corrupt { path; detail = Printexc.to_string e })
 
-let open_v4 ~path =
+let open_v4 ~verify ~path =
   match
     let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
     Fun.protect
@@ -703,10 +733,55 @@ let open_v4 ~path =
   | exception Sys_error detail -> Error (Io_error { path; detail })
   | map -> begin
     let buf = Ir.Codec.M map in
-    match frame_and_verify ~path ~names:section_names buf with
-    | Error e -> Error e
-    | Ok sections -> decode_v4 ~path buf sections
+    match verify with
+    | `Eager -> (
+      match frame_and_verify ~path ~names:section_names buf with
+      | Error e -> Error e
+      | Ok sections -> decode_v4 ~path ~verif:(verified ()) buf sections)
+    | `Lazy -> (
+      (* Frame structurally (O(1)), start serving, and run the CRC
+         pass on a background thread. Reads meanwhile trust the
+         framing only — a payload corruption surfaces as `Failed once
+         the scan lands, exactly what a shard process wants: serving
+         state in O(1), integrity verdict seconds later. *)
+      match frame ~path ~names:section_names buf with
+      | Error e -> Error e
+      | Ok sections -> (
+        let verif =
+          { v_status = Atomic.make `Pending; v_thread = None }
+        in
+        match decode_v4 ~path ~verif buf sections with
+        | Error e -> Error e
+        | Ok db ->
+          verif.v_thread <-
+            Some
+              (Thread.create
+                 (fun () ->
+                   match verify_sections ~path buf sections with
+                   | Ok () ->
+                     Atomic.set verif.v_status `Verified;
+                     Log.info (fun m ->
+                         m "%s: background checksum pass clean" path)
+                   | Error e ->
+                     Atomic.set verif.v_status (`Failed e);
+                     Log.err (fun m ->
+                         m "%s: background checksum pass FAILED: %s" path
+                           (error_to_string e)))
+                 ());
+          Ok db))
   end
+
+let verification t = Atomic.get t.verif.v_status
+
+let await_verification t =
+  (match t.verif.v_thread with
+  | Some th ->
+    Thread.join th;
+    t.verif.v_thread <- None
+  | None -> ());
+  match Atomic.get t.verif.v_status with
+  | `Verified | `Pending -> Ok ()
+  | `Failed e -> Error e
 
 let open_v3 ?pool_pages path =
   match
@@ -727,9 +802,10 @@ let open_v3 ?pool_pages path =
     | Ok sections -> decode_v3 ?pool_pages ~path bytes sections
   end
 
-let open_file ?pool_pages path =
+let open_file ?pool_pages ?(verify = `Eager) path =
   (* Sniff the 8-byte magic to pick the read strategy: version 4 maps
-     the file, version 3 reads it into memory for the upgrade. *)
+     the file, version 3 reads it into memory for the upgrade (always
+     eager — the upgrade decodes every byte anyway). *)
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -747,11 +823,11 @@ let open_file ?pool_pages path =
       Error (Not_a_database { path })
     else if total < String.length magic then
       Error (Truncated { path; detail = "file ends inside the magic" })
-    else if head = magic then open_v4 ~path
+    else if head = magic then open_v4 ~verify ~path
     else if head = magic_v3 then open_v3 ?pool_pages path
     else Error (Unsupported_version { path; found = head })
 
-let open_file_exn ?pool_pages path =
-  match open_file ?pool_pages path with
+let open_file_exn ?pool_pages ?verify path =
+  match open_file ?pool_pages ?verify path with
   | Ok db -> db
   | Error e -> failwith (error_to_string e)

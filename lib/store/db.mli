@@ -3,6 +3,23 @@
 
 type t
 
+type error =
+  | Not_a_database of { path : string }
+      (** the file does not start with a TIX magic header *)
+  | Unsupported_version of { path : string; found : string }
+      (** a TIX image, but of a format this build cannot read *)
+  | Truncated of { path : string; detail : string }
+      (** the file ends before the data its header promises *)
+  | Checksum_mismatch of {
+      path : string;
+      section : string;
+      expected : int;
+      actual : int;
+    }  (** a section's payload does not match its stored CRC-32 *)
+  | Corrupt of { path : string; detail : string }
+      (** checksums pass but the image is structurally inconsistent *)
+  | Io_error of { path : string; detail : string }
+
 type load_options = {
   stem : bool;  (** Porter-stem indexed terms (default false) *)
   page_size : int;
@@ -98,23 +115,6 @@ val compact : base:t -> delta:t option -> tombstones:bool array -> t
     sections) are still readable: they are upgraded transparently in
     memory at open, and saving the result writes version 4. *)
 
-type error =
-  | Not_a_database of { path : string }
-      (** the file does not start with a TIX magic header *)
-  | Unsupported_version of { path : string; found : string }
-      (** a TIX image, but of a format this build cannot read *)
-  | Truncated of { path : string; detail : string }
-      (** the file ends before the data its header promises *)
-  | Checksum_mismatch of {
-      path : string;
-      section : string;
-      expected : int;
-      actual : int;
-    }  (** a section's payload does not match its stored CRC-32 *)
-  | Corrupt of { path : string; detail : string }
-      (** checksums pass but the image is structurally inconsistent *)
-  | Io_error of { path : string; detail : string }
-
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
@@ -131,15 +131,33 @@ val save_v3 : t -> string -> unit
     sections). Exists for compatibility testing and as the baseline
     of the decode benchmarks; new images should use {!save}. *)
 
-val open_file : ?pool_pages:int -> string -> (t, error) result
+val open_file :
+  ?pool_pages:int -> ?verify:[ `Eager | `Lazy ] -> string -> (t, error) result
 (** Load a database image. Version 4 images are mapped zero-copy
     (element pages materialize lazily on first access;
     [?pool_pages] is ignored — the map itself is the pool); version
     3 images are read into memory and upgraded on the fly. Trees are
     not retained (queries must use the compiled engine path or
-    reload the source documents). *)
+    reload the source documents).
 
-val open_file_exn : ?pool_pages:int -> string -> t
+    [verify] (default [`Eager]) controls the CRC pass on version-4
+    images: [`Eager] verifies every section checksum before
+    returning; [`Lazy] performs only the O(1) structural framing,
+    returns immediately, and runs the checksum scan on a background
+    thread — poll {!verification} or block on {!await_verification}
+    for the verdict. Version-3 images always verify eagerly (their
+    upgrade decodes every byte anyway). *)
+
+val verification : t -> [ `Verified | `Pending | `Failed of error ]
+(** Checksum status of the image behind this database. In-memory
+    builds and eager opens are always [`Verified]; a lazy open is
+    [`Pending] until its background scan lands. *)
+
+val await_verification : t -> (unit, error) result
+(** Block until a lazy open's background checksum scan completes and
+    return its verdict; immediate on eager/in-memory databases. *)
+
+val open_file_exn : ?pool_pages:int -> ?verify:[ `Eager | `Lazy ] -> string -> t
 (** Like {!open_file} but raises [Failure] with the printed error —
     the pre-typed-error behaviour, kept for callers that treat a bad
     image as fatal. *)

@@ -836,6 +836,7 @@ let test_tcp_server () =
                   limits = Core.Governor.unlimited;
                   trace = false;
                   parallelism = None;
+                  theta = None;
                 }))
       in
       (* several concurrent connections, several requests each *)
@@ -904,6 +905,7 @@ let test_protocol_parallelism_roundtrip () =
         limits = Core.Governor.unlimited;
         trace = false;
         parallelism = Some 3;
+        theta = None;
       }
   in
   let line = Service.Json.to_string (Service.Protocol.request_to_json req) in

@@ -535,6 +535,85 @@ let test_db_mapped_lazy_pages () =
         (Invalid_argument "Pager.append_page: image-backed pager is immutable")
         (fun () -> ignore (Store.Pager.append_page pager (Bytes.create 1))))
 
+let test_db_lazy_verify () =
+  (* a lazy open serves immediately with the CRC pass still pending,
+     answers identically to an eager open, and the background scan
+     lands `Verified on an intact image *)
+  let db = Lazy.force db in
+  let path = Filename.temp_file "tix" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Store.Db.save db path;
+      check bool_ "in-memory db is verified" true
+        (Store.Db.verification db = `Verified);
+      let eager = Store.Db.open_file_exn ~verify:`Eager path in
+      check bool_ "eager open is verified" true
+        (Store.Db.verification eager = `Verified);
+      let lazy_db = Store.Db.open_file_exn ~verify:`Lazy path in
+      (* usable before the verdict: same answers as the eager open *)
+      let run d =
+        Access.Term_join.to_list (Access.Ctx.of_db d)
+          ~terms:[ "search"; "retrieval" ]
+      in
+      check bool_ "lazy open agrees" true (run eager = run lazy_db);
+      (match Store.Db.await_verification lazy_db with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "background verify failed: %s"
+          (Store.Db.error_to_string e));
+      check bool_ "verdict lands Verified" true
+        (Store.Db.verification lazy_db = `Verified);
+      (* awaiting again is immediate and stable *)
+      check bool_ "await idempotent" true
+        (Store.Db.await_verification lazy_db = Ok ()))
+
+let test_db_lazy_verify_corruption () =
+  (* flip one payload byte: the eager open refuses, the lazy open
+     serves (framing is intact) but its background scan lands
+     `Failed with the checksum error *)
+  let db = Lazy.force db in
+  let path = Filename.temp_file "tix" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Store.Db.save db path;
+      let size = (Unix.stat path).Unix.st_size in
+      let off = size / 2 in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          ignore (Unix.read fd b 0 1);
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          ignore (Unix.write fd b 0 1));
+      (match Store.Db.open_file ~verify:`Eager path with
+      | Ok _ -> Alcotest.fail "eager open accepted a corrupt image"
+      | Error (Store.Db.Checksum_mismatch _) -> ()
+      | Error e ->
+        Alcotest.failf "expected Checksum_mismatch, got: %s"
+          (Store.Db.error_to_string e));
+      match Store.Db.open_file ~verify:`Lazy path with
+      | Error e ->
+        Alcotest.failf "lazy open refused a structurally sound image: %s"
+          (Store.Db.error_to_string e)
+      | Ok lazy_db ->
+        (match Store.Db.await_verification lazy_db with
+        | Ok () -> Alcotest.fail "background verify missed the corruption"
+        | Error (Store.Db.Checksum_mismatch _) -> ()
+        | Error e ->
+          Alcotest.failf "expected Checksum_mismatch, got: %s"
+            (Store.Db.error_to_string e));
+        match Store.Db.verification lazy_db with
+        | `Failed (Store.Db.Checksum_mismatch _) -> ()
+        | `Failed e ->
+          Alcotest.failf "expected Checksum_mismatch, got: %s"
+            (Store.Db.error_to_string e)
+        | `Verified | `Pending -> Alcotest.fail "verdict not Failed")
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "store"
@@ -589,5 +668,8 @@ let () =
           tc "query agreement" `Quick test_persistence_query_agreement;
           tc "v3 transparent upgrade" `Quick test_db_v3_upgrade;
           tc "mapped lazy pages" `Quick test_db_mapped_lazy_pages;
+          tc "lazy verify" `Quick test_db_lazy_verify;
+          tc "lazy verify catches corruption" `Quick
+            test_db_lazy_verify_corruption;
         ] );
     ]

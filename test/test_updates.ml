@@ -495,6 +495,48 @@ let test_delta_queries_equal_rebuild () =
         script;
       Store.Live.close live)
 
+let test_pick_query_over_delta () =
+  (* pick plans execute over a live snapshot with pending documents:
+     the picked-ancestor projection runs on the merged view and
+     agrees with a from-scratch rebuild (this used to be a typed
+     Unsupported) *)
+  let q =
+    {|
+    for $a in document("*")//article/descendant-or-self::*
+    score $a using ScoreFoo($a, {"search"}, {"retrieval"})
+    pick $a using PickFoo()
+    return <r>{$a}</r>
+    sortby(score)
+    threshold $a/@score > 0 stop after 10
+    |}
+  in
+  with_dir (fun dir ->
+      let opened = open_live dir in
+      let live = opened.Store.Live.live in
+      List.iter (apply_live_exn live) script;
+      let snap = live_snapshot live in
+      check bool_ "delta is non-empty" true
+        (not (Store.Delta.is_empty (Store.Live.delta live)));
+      let rebuilt = snapshot_exn (sim_rebuild (sim_after script)) in
+      List.iter
+        (fun parallelism ->
+          let run s =
+            match
+              Service.Engine.exec ~parallelism ~k:10 s
+                (Service.Engine.Query { q; mode = `Engine })
+            with
+            | Ok r -> r
+            | Error e ->
+              Alcotest.failf "pick over delta (par %d): %s" parallelism
+                (Service.Engine.error_message e)
+          in
+          check bool_
+            (Printf.sprintf "pick rows = rebuild (par %d)" parallelism)
+            true
+            (row_keys (run snap) = row_keys (run rebuilt)))
+        [ 1; 2 ];
+      Store.Live.close live)
+
 let test_tombstone_only_interp_fallback () =
   (* deletions alone keep the interpreter fallback available: the
      base evaluator just masks tombstoned documents *)
@@ -910,6 +952,7 @@ let () =
           tc "update in place" `Quick test_delta_update_in_place;
           tc "lenient replay" `Quick test_delta_lenient_replay;
           tc "queries equal rebuild" `Quick test_delta_queries_equal_rebuild;
+          tc "pick query over delta" `Quick test_pick_query_over_delta;
           tc "tombstone-only interp" `Quick test_tombstone_only_interp_fallback;
         ] );
       ( "crash matrix",
