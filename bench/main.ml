@@ -418,6 +418,77 @@ let sample_floor name f =
   bench_results := (name, samples) :: !bench_results;
   minimum samples
 
+(* ------------------------------------------------------------------ *)
+(* Planner: the static compile rule vs the cost-based choice. The
+   static rule is frequency-blind — two or more terms always run the
+   Comp1 baseline — so on frequent terms it walks nearly every
+   subtree in the corpus. The costed planner prices every method from
+   the collection statistics and the exact per-term occurrence
+   counts; the adversarial (frequent-term) workload gates a >= 10x
+   win over the static choice. *)
+
+let planner_bench db ctx =
+  let pager = Store.Element_store.pager ctx.Access.Ctx.elements in
+  let stats = Store.Db.collection_stats db in
+  let index = Store.Db.index db in
+  let mode = Access.Counter_scoring.Simple in
+  Printf.printf
+    "\n== Planner: static compile rule vs cost-based choice (seconds) ==\n%!";
+  Printf.printf "%-10s %10s %10s %9s  %s\n%!" "workload" "static" "costed"
+    "speedup" "costed choice";
+  List.iter
+    (fun (name, terms) ->
+      (* the frequency-blind static rule: >= 2 terms -> Comp1 *)
+      let static_run () =
+        List.length (Access.Composite.comp1_list ~mode ctx ~terms)
+      in
+      let d = Query.Planner.choose ~stats ~index ~terms () in
+      let costed_run () =
+        List.length
+          (match d.Query.Planner.access with
+          | Access.Pattern_exec.Term_join variant ->
+            Access.Term_join.to_list ~variant ~mode ctx ~terms
+          | Access.Pattern_exec.Gen_meet { use_skips } ->
+            Access.Gen_meet.to_list ~use_skips ~mode ctx ~terms
+          | Access.Pattern_exec.Comp1 ->
+            Access.Composite.comp1_list ~mode ctx ~terms
+          | Access.Pattern_exec.Comp2 ->
+            Access.Composite.comp2_list ~mode ctx ~terms)
+      in
+      (* both plans must score the same element set *)
+      let n_static = static_run () in
+      let n_costed = costed_run () in
+      if n_static <> n_costed then
+        bench_failures :=
+          Printf.sprintf
+            "planner/%s: costed plan scored %d elements, static rule %d" name
+            n_costed n_static
+          :: !bench_failures;
+      let t_static =
+        measure ~record:(Printf.sprintf "planner/%s/static" name) pager
+          static_run
+      in
+      let t_costed =
+        measure ~record:(Printf.sprintf "planner/%s/costed" name) pager
+          costed_run
+      in
+      let speedup = t_static /. t_costed in
+      Printf.printf "%-10s %10.4f %10.4f %8.1fx  %s\n%!" name t_static t_costed
+        speedup
+        (Query.Planner.to_string d);
+      if name = "frequent" && speedup < 10. then
+        bench_failures :=
+          Printf.sprintf
+            "planner: costed choice only %.1fx over the static rule on the \
+             frequent workload (>= 10x required)"
+            speedup
+          :: !bench_failures)
+    [
+      ("rare", [ qa 20; qb 20 ]);
+      ("frequent", [ qa 10000; qb 10000 ]);
+      ("mixed", [ qa 20; qb 10000 ]);
+    ]
+
 let decode_bench ctx =
   let index = ctx.Access.Ctx.index in
   (* the fattest posting list in the index, whatever the corpus size *)
@@ -512,9 +583,9 @@ let decode_bench ctx =
   Printf.printf
     "\n== Decode: snapshot open + first pin (mmap'd TIXDB004 vs legacy \
      TIXDB003; ms) ==\n%!";
-  Printf.printf "%10s %12s %10s %12s %10s %9s %12s %12s\n" "articles"
+  Printf.printf "%10s %12s %10s %12s %10s %9s %12s %12s %12s %12s\n" "articles"
     "v4 bytes" "v4 (ms)" "v3 bytes" "v3 (ms)" "ratio" "v4 pin (us)"
-    "v3 pin (us)";
+    "v3 pin (us)" "v4 look(ms)" "v3 look(ms)";
   let sizes =
     List.sort_uniq compare [ max 50 (articles / 10); max 120 (articles / 3); articles ]
   in
@@ -525,6 +596,12 @@ let decode_bench ctx =
       let cfg = { Workload.Corpus.default with articles = size; seed = 20030609 } in
       let options = { Store.Db.default_options with keep_trees = false } in
       let db = Store.Db.load ~options (Workload.Corpus.generate cfg) in
+      (* a frequent term of this corpus, for the first-lookup row *)
+      let probe_term =
+        match Ir.Inverted_index.terms_by_freq (Store.Db.index db) with
+        | (t, _) :: _ -> t
+        | [] -> failwith "decode bench: empty index"
+      in
       let v4 = Filename.temp_file "tix_bench" ".tix" in
       let v3 = Filename.temp_file "tix_bench" ".tix" in
       Fun.protect
@@ -577,11 +654,32 @@ let decode_bench ctx =
               (Printf.sprintf "decode/pin/v3/articles=%d" size)
               (pin_only v3)
           in
-          Printf.printf "%10d %12d %10.2f %12d %10.2f %8.1fx %12.1f %12.1f\n%!"
+          (* open + first term lookup: the mapped dictionary decodes
+             lazily, so the v4 reader pays its probe-table build here
+             rather than at open; the legacy reader already decoded
+             every term eagerly *)
+          let open_lookup path () =
+            let d = Store.Db.open_file_exn path in
+            match Ir.Inverted_index.lookup (Store.Db.index d) probe_term with
+            | Some _ -> ()
+            | None -> failwith "decode bench: probe term missing after open"
+          in
+          let l4 =
+            sample_floor
+              (Printf.sprintf "decode/open+lookup/v4/articles=%d" size)
+              (open_lookup v4)
+          in
+          let l3 =
+            sample_floor
+              (Printf.sprintf "decode/open+lookup/v3/articles=%d" size)
+              (open_lookup v3)
+          in
+          Printf.printf
+            "%10d %12d %10.2f %12d %10.2f %8.1fx %12.1f %12.1f %12.2f %12.2f\n%!"
             size
             (Unix.stat v4).Unix.st_size (t4 *. 1000.)
             (Unix.stat v3).Unix.st_size (t3 *. 1000.) (t3 /. t4)
-            (p4 *. 1e6) (p3 *. 1e6)))
+            (p4 *. 1e6) (p3 *. 1e6) (l4 *. 1000.) (l3 *. 1000.)))
     sizes
 
 (* ------------------------------------------------------------------ *)
@@ -1310,6 +1408,7 @@ let () =
     run "table5" (fun () -> table5 ctx);
     run "skips" (fun () -> skips ctx);
     run "decode" (fun () -> decode_bench ctx);
+    run "planner" (fun () -> planner_bench db ctx);
     run "parallel" (fun () -> parallel_bench ctx);
     if which = "all" then pick_bench ();
     run "ablation" (fun () -> ablation ());

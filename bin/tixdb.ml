@@ -171,8 +171,9 @@ let query_cmd =
           exit 1
       in
       if explain && not trace then begin
-        (* EXPLAIN without ANALYZE: compile only, print the plan *)
-        match Service.Engine.explain query_string with
+        (* EXPLAIN without ANALYZE: compile only, print the plan,
+           costed against the loaded database's statistics *)
+        match Service.Engine.explain ~snapshot query_string with
         | Ok plan ->
           print_endline
             (Service.Json.to_string (Service.Protocol.ok_plan_to_json plan))
@@ -213,6 +214,7 @@ let query_cmd =
             "not compilable (%s); it would run on the interpreter@." reason;
           exit 1
         | Ok plan ->
+          let plan = Query.Compile.plan_with_stats db plan in
           Format.printf "%s@.@." (Query.Compile.explain plan);
           (* --explain alone stops at the plan; --engine or --trace
              also executes (EXPLAIN ANALYZE) *)
@@ -221,6 +223,17 @@ let query_cmd =
               or_fault_exit (fun () ->
                   Query.Compile.execute ~limits ~trace:tracer db plan)
             in
+            (* est-vs-actual per operator in the printed span tree *)
+            (match plan.Query.Compile.estimate, Core.Trace.root tracer with
+            | Some d, Some sp ->
+              Core.Trace.apply_estimates sp
+                [
+                  ( Access.Pattern_exec.access_operator
+                      plan.Query.Compile.access,
+                    d.Query.Planner.est_rows );
+                  ("CompiledQuery", d.Query.Planner.est_rows);
+                ]
+            | _ -> ());
             List.iter
               (fun (n : Access.Scored_node.t) ->
                 let tag =
@@ -307,6 +320,7 @@ let method_conv =
       ("genmeet", `Genmeet);
       ("comp1", `Comp1);
       ("comp2", `Comp2);
+      ("auto", `Auto);
     ]
 
 let search_cmd =
@@ -319,6 +333,29 @@ let search_cmd =
       else Access.Counter_scoring.Simple
     in
     let tracer = if trace then Core.Trace.make () else Core.Trace.disabled in
+    (* auto resolves to a concrete method up front so the dispatch
+       below stays a closed enumeration *)
+    let method_, parallel =
+      match method_ with
+      | `Auto ->
+        let d =
+          Query.Planner.choose ~parallelism:parallel
+            ~stats:(Store.Db.collection_stats db)
+            ~index:(Store.Db.index db) ~terms ()
+        in
+        Format.printf "planner: %s@." (Query.Planner.to_string d);
+        let m =
+          match d.Query.Planner.access with
+          | Access.Pattern_exec.Term_join Access.Term_join.Plain -> `Termjoin
+          | Access.Pattern_exec.Term_join Access.Term_join.Enhanced -> `Enhanced
+          | Access.Pattern_exec.Gen_meet _ -> `Genmeet
+          | Access.Pattern_exec.Comp1 -> `Comp1
+          | Access.Pattern_exec.Comp2 -> `Comp2
+        in
+        (m, d.Query.Planner.parallelism)
+      | (`Termjoin | `Enhanced | `Genmeet | `Comp1 | `Comp2) as m ->
+        (m, parallel)
+    in
     (* the composite baselines have no range-restricted form; they
        always run sequentially *)
     let parallel =
@@ -389,7 +426,9 @@ let search_cmd =
     Arg.(
       value & opt method_conv `Termjoin
       & info [ "m"; "method" ] ~docv:"METHOD"
-          ~doc:"Access method: termjoin, enhanced, genmeet, comp1 or comp2.")
+          ~doc:
+            "Access method: termjoin, enhanced, genmeet, comp1, comp2, or \
+             auto (cost-based choice from collection statistics).")
   in
   let complex_arg =
     Arg.(
@@ -705,6 +744,7 @@ let client_cmd =
                 | `Genmeet -> Service.Engine.Genmeet
                 | `Comp1 -> Service.Engine.Comp1
                 | `Comp2 -> Service.Engine.Comp2
+                | `Auto -> Service.Engine.Auto
               in
               Service.Protocol.Exec
                 {

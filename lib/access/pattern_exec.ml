@@ -191,13 +191,50 @@ let matches ctx (pat : Core.Pattern.t) ~var =
   top_down pat.root root_items;
   !result
 
-let scored_matches ?(trace = Core.Trace.disabled) ?mode ?weights ctx
-    (pat : Core.Pattern.t) ~struct_var ~terms =
+type access =
+  | Term_join of Term_join.variant
+  | Gen_meet of { use_skips : bool }
+  | Comp1
+  | Comp2
+
+(* The operator span name the method records — what EXPLAIN matches
+   planner estimates against. *)
+let access_operator = function
+  | Term_join _ -> "TermJoin"
+  | Gen_meet _ -> "GenMeet"
+  | Comp1 -> "Comp1"
+  | Comp2 -> "Comp2"
+
+let access_to_string = function
+  | Term_join Term_join.Plain -> "term-join"
+  | Term_join Term_join.Enhanced -> "term-join-enhanced"
+  | Gen_meet { use_skips = true } -> "gen-meet"
+  | Gen_meet { use_skips = false } -> "gen-meet-noskip"
+  | Comp1 -> "comp1"
+  | Comp2 -> "comp2"
+
+let scored_matches ?(trace = Core.Trace.disabled) ?mode ?weights
+    ?(access = Term_join Term_join.Plain) ctx (pat : Core.Pattern.t)
+    ~struct_var ~terms =
   let anchors =
     Core.Trace.span_list trace "PatternMatch" (fun () ->
         matches ctx pat ~var:struct_var)
   in
-  let scored = Term_join.to_list ~trace ?mode ?weights ctx ~terms in
+  let scored =
+    match access with
+    | Term_join variant -> Term_join.to_list ~trace ~variant ?mode ?weights ctx ~terms
+    | Gen_meet { use_skips } ->
+      (* scope the meet to the disjoint anchor subtrees: only
+         occurrences inside an anchor can survive the semi-join
+         below, so nothing outside them needs grouping, and the
+         posting cursors skip across the gaps *)
+      let within =
+        Structural_join.outermost (Array.of_list (List.map to_sj anchors))
+      in
+      Gen_meet.to_list ~trace ?mode ?weights ~within ~use_skips ctx ~terms
+    | Comp1 -> Composite.comp1_list ~trace ?mode ?weights ctx ~terms
+    | Comp2 -> Composite.comp2_list ~trace ?mode ?weights ctx ~terms
+  in
   (* keep scored nodes that are the anchor or lie inside one *)
   let as_items =
     List.map

@@ -27,17 +27,40 @@ val matches : Ctx.t -> Core.Pattern.t -> var:int -> Store.Tag_index.item list
     anywhere in the subtree) and conjunctions thereof; other
     predicate forms raise [Invalid_argument]. *)
 
+type access =
+  | Term_join of Term_join.variant
+  | Gen_meet of { use_skips : bool }
+      (** scoped to the outermost structural anchors; [use_skips]
+          selects seeking vs full posting decode *)
+  | Comp1
+  | Comp2
+      (** the interchangeable score-generating access methods of
+          Sec. 6.1 — all produce the same scored-node sets *)
+
+val access_operator : access -> string
+(** The operator span name the method records (["TermJoin"],
+    ["GenMeet"], ["Comp1"], ["Comp2"]) — what EXPLAIN matches
+    planner estimates against. *)
+
+val access_to_string : access -> string
+(** Stable lower-case rendering for plan descriptions and logs. *)
+
 val scored_matches :
   ?trace:Core.Trace.t ->
   ?mode:Counter_scoring.mode ->
   ?weights:float array ->
+  ?access:access ->
   Ctx.t ->
   Core.Pattern.t ->
   struct_var:int ->
   terms:string list ->
   Scored_node.t list
 (** The access-method pipeline of the paper's Query 2: evaluate the
-    structural pattern, score elements with TermJoin, and keep the
-    scored elements lying inside (or equal to) a match of
-    [struct_var] — the ad* relationship between the structural
-    anchor and the scored component. Document order. *)
+    structural pattern, score elements with the chosen [access]
+    method (default plain TermJoin), and keep the scored elements
+    lying inside (or equal to) a match of [struct_var] — the ad*
+    relationship between the structural anchor and the scored
+    component. Every [access] yields the identical result set;
+    [Gen_meet] additionally scopes its grouping to the anchor
+    subtrees, so its cost tracks the anchors' occupancy rather than
+    the whole collection. Document order. *)

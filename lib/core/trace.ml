@@ -2,6 +2,7 @@ type span = {
   mutable name : string;
   mutable input : int;
   mutable output : int;
+  mutable est : int;
   mutable gov_steps : int;
   mutable elapsed_ns : int;
   mutable attrs : (string * string) list;
@@ -31,6 +32,7 @@ let fresh_span name =
     name;
     input = -1;
     output = -1;
+    est = -1;
     gov_steps = -1;
     elapsed_ns = 0;
     attrs = [];
@@ -170,12 +172,29 @@ let rec iter_span f sp =
   f sp;
   List.iter (iter_span f) sp.children
 
+(* Stamp planner estimates onto a finished span tree: each
+   [(name, est)] pair lands on the first span with that name that
+   does not already carry one, so repeated operator names (e.g. the
+   per-partition spans of a parallel plan) take pairs in order. *)
+let apply_estimates sp pairs =
+  let remaining = ref pairs in
+  iter_span
+    (fun s ->
+      if s.est < 0 then
+        match List.assoc_opt s.name !remaining with
+        | Some e ->
+          s.est <- e;
+          remaining := List.remove_assoc s.name !remaining
+        | None -> ())
+    sp
+
 let rec pp_span_indent indent ppf sp =
   let card which v =
     if v < 0 then "" else Printf.sprintf " %s=%d" which v
   in
-  Format.fprintf ppf "%s%s%s%s%s  %.3f ms" indent sp.name
+  Format.fprintf ppf "%s%s%s%s%s%s  %.3f ms" indent sp.name
     (card "in" sp.input) (card "out" sp.output)
+    (card "est" sp.est)
     (card "steps" sp.gov_steps)
     (float_of_int sp.elapsed_ns /. 1e6);
   List.iter

@@ -13,6 +13,7 @@ type span = {
   mutable name : string;  (** operator name, e.g. ["TermJoin"] *)
   mutable input : int;  (** input cardinality; [-1] = unknown *)
   mutable output : int;  (** output cardinality; [-1] = unknown *)
+  mutable est : int;  (** planner-estimated output cardinality; [-1] = none *)
   mutable gov_steps : int;  (** governor steps consumed; [-1] = untracked *)
   mutable elapsed_ns : int;  (** wall time inside the span *)
   mutable attrs : (string * string) list;  (** free-form annotations *)
@@ -80,6 +81,13 @@ val root : t -> span option
 
 val iter_span : (span -> unit) -> span -> unit
 (** Depth-first, parent-before-children iteration. *)
+
+val apply_estimates : span -> (string * int) list -> unit
+(** [apply_estimates sp pairs] stamps planner estimates onto a
+    finished span tree: each [(operator_name, est)] pair sets the
+    {!field-span.est} of the first span with that name that does not
+    already carry one. EXPLAIN then shows estimated vs actual
+    cardinality side by side. *)
 
 val pp_span : Format.formatter -> span -> unit
 val span_to_string : span -> string

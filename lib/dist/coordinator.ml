@@ -171,6 +171,7 @@ let rec span_of_json j : Core.Trace.span =
     name = mem "op" Json.to_string_opt ~default:"?" j;
     input = mem "input" Json.to_int_opt ~default:(-1) j;
     output = mem "output" Json.to_int_opt ~default:(-1) j;
+    est = mem "est" Json.to_int_opt ~default:(-1) j;
     gov_steps = mem "steps" Json.to_int_opt ~default:(-1) j;
     elapsed_ns = mem "elapsed_ns" Json.to_int_opt ~default:0 j;
     attrs =
@@ -196,6 +197,7 @@ let scatter_span ~elapsed_ns ~output ~steps answered =
           Core.Trace.name = "Shard";
           input = -1;
           output = -1;
+          est = -1;
           gov_steps = sr.sr_steps;
           elapsed_ns =
             (match sr.sr_trace with
@@ -215,6 +217,7 @@ let scatter_span ~elapsed_ns ~output ~steps answered =
     Core.Trace.name = "Scatter";
     input = List.length answered;
     output;
+    est = -1;
     gov_steps = steps;
     elapsed_ns;
     attrs = [];
@@ -231,9 +234,11 @@ let truncate k rows =
   | Some k -> List.filteri (fun i _ -> i < k) rows
 
 (* The engine plan's global row budget, recovered from its explain
-   text (trailing "limit: N" field). Per-shard executions each apply
-   it locally, so the gathered union can hold up to [shards * N] rows
-   — the coordinator re-applies it to match the single-node answer. *)
+   text (the "limit: N" line; costed plans append an estimate line
+   after it, so parsing stops at the end of the line). Per-shard
+   executions each apply it locally, so the gathered union can hold
+   up to [shards * N] rows — the coordinator re-applies it to match
+   the single-node answer. *)
 let plan_limit plan =
   let marker = "limit: " in
   let mlen = String.length marker in
@@ -244,7 +249,12 @@ let plan_limit plan =
     else find (i + 1)
   in
   Option.bind (find 0) (fun start ->
-      int_of_string_opt (String.trim (String.sub plan start (plen - start))))
+      let stop =
+        match String.index_from_opt plan start '\n' with
+        | Some nl -> nl
+        | None -> plen
+      in
+      int_of_string_opt (String.trim (String.sub plan start (stop - start))))
 
 let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
 

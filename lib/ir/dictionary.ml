@@ -1,12 +1,49 @@
 type term_id = int
 
-type t = {
+(* The build-time dictionary: a hash table plus a dense id → term
+   array, everything materialized. *)
+type mem = {
   ids : (string, term_id) Hashtbl.t;
   mutable terms : string array;
   mutable count : int;
 }
 
-let create () = { ids = Hashtbl.create 4096; terms = Array.make 16 ""; count = 0 }
+(* The mapped dictionary: term bytes stay in the (possibly mmap'd)
+   image buffer. Opening records only each term's offset and length —
+   no string is allocated and no hash table is built until the first
+   lookup, so a TIXDB004 open stays O(number of terms) varint skips
+   instead of O(total term bytes) allocation + hashing.
+
+   [cache] memoizes materialized term strings; racing domains may
+   materialize the same term twice, but each write is a single word
+   store of an immutable string, so the race is benign. The probe
+   table is built once under [lock] on the first [find]. *)
+type mapped = {
+  buf : Codec.buf;
+  offs : int array;
+  lens : int array;
+  cache : string option array;
+  lock : Mutex.t;
+  mutable table : int list array;  (* hash bucket -> ids; [||] until built *)
+}
+
+type t = Mem of mem | Mapped of mapped
+
+let create () =
+  Mem { ids = Hashtbl.create 4096; terms = Array.make 16 ""; count = 0 }
+
+let of_mapped buf ~offs ~lens =
+  if Array.length offs <> Array.length lens then
+    invalid_arg "Dictionary.of_mapped: offs/lens length mismatch";
+  Mapped
+    {
+      buf;
+      offs;
+      lens;
+      cache = Array.make (max (Array.length offs) 1) None;
+      lock = Mutex.create ();
+      table = [||];
+    }
 
 let grow t =
   let capacity = Array.length t.terms in
@@ -17,17 +54,101 @@ let grow t =
   end
 
 let intern t term =
-  match Hashtbl.find_opt t.ids term with
-  | Some id -> id
-  | None ->
-    let id = t.count in
-    grow t;
-    t.terms.(id) <- term;
-    t.count <- t.count + 1;
-    Hashtbl.replace t.ids term id;
-    id
+  match t with
+  | Mapped _ ->
+    invalid_arg "Dictionary.intern: mapped dictionaries are read-only"
+  | Mem t -> begin
+    match Hashtbl.find_opt t.ids term with
+    | Some id -> id
+    | None ->
+      let id = t.count in
+      grow t;
+      t.terms.(id) <- term;
+      t.count <- t.count + 1;
+      Hashtbl.replace t.ids term id;
+      id
+  end
 
-let find t term = Hashtbl.find_opt t.ids term
-let term t id = t.terms.(id)
-let size t = t.count
-let iter f t = Hashtbl.iter f t.ids
+(* FNV-1a over the term bytes, computed identically over a query
+   string and over mapped buffer bytes so probes never materialize
+   the stored terms. *)
+let fnv_offset = 0x4bf29ce484222325 (* FNV-1a offset basis, 63-bit truncated *)
+let fnv_prime = 0x100000001b3
+
+let hash_string s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * fnv_prime)
+    s;
+  !h land max_int
+
+let hash_mapped m id =
+  let off = m.offs.(id) and len = m.lens.(id) in
+  let h = ref fnv_offset in
+  for i = 0 to len - 1 do
+    h := (!h lxor Codec.buf_get m.buf (off + i)) * fnv_prime
+  done;
+  !h land max_int
+
+let equals_mapped m id s =
+  let len = m.lens.(id) in
+  String.length s = len
+  &&
+  let off = m.offs.(id) in
+  let rec eq i =
+    i >= len || (Codec.buf_get m.buf (off + i) = Char.code s.[i] && eq (i + 1))
+  in
+  eq 0
+
+let build_table m =
+  let n = Array.length m.offs in
+  (* power-of-two bucket count, ~2 slots per term *)
+  let buckets =
+    let rec up b = if b >= n * 2 then b else up (b * 2) in
+    up 16
+  in
+  let table = Array.make buckets [] in
+  for id = n - 1 downto 0 do
+    let b = hash_mapped m id land (buckets - 1) in
+    table.(b) <- id :: table.(b)
+  done;
+  table
+
+let mapped_table m =
+  if m.table != [||] then m.table
+  else
+    Mutex.protect m.lock (fun () ->
+        if m.table == [||] then m.table <- build_table m;
+        m.table)
+
+let mapped_term m id =
+  match m.cache.(id) with
+  | Some s -> s
+  | None ->
+    let s = Codec.buf_sub_string m.buf m.offs.(id) m.lens.(id) in
+    m.cache.(id) <- Some s;
+    s
+
+let find t term =
+  match t with
+  | Mem t -> Hashtbl.find_opt t.ids term
+  | Mapped m ->
+    let table = mapped_table m in
+    let bucket = table.(hash_string term land (Array.length table - 1)) in
+    List.find_opt (fun id -> equals_mapped m id term) bucket
+
+let term t id =
+  match t with Mem t -> t.terms.(id) | Mapped m -> mapped_term m id
+
+let size t =
+  match t with Mem t -> t.count | Mapped m -> Array.length m.offs
+
+let iter f t =
+  match t with
+  | Mem t -> Hashtbl.iter f t.ids
+  | Mapped m ->
+    for id = 0 to Array.length m.offs - 1 do
+      f (mapped_term m id) id
+    done
+
+let is_mapped = function Mem _ -> false | Mapped _ -> true

@@ -1,5 +1,10 @@
-(** The term dictionary: maps terms to dense integer ids and keeps
-    per-term collection statistics. *)
+(** The term dictionary: maps terms to dense integer ids.
+
+    Two backings share one interface: the build-time in-memory
+    dictionary ({!create}/{!intern}), and a read-only {e mapped}
+    dictionary over an image buffer ({!of_mapped}) whose term strings
+    and probe table materialize lazily — opening an image allocates
+    nothing proportional to the term bytes. *)
 
 type term_id = int
 
@@ -7,9 +12,15 @@ type t
 
 val create : unit -> t
 
+val of_mapped : Codec.buf -> offs:int array -> lens:int array -> t
+(** A read-only dictionary whose term [id] occupies
+    [offs.(id) .. offs.(id) + lens.(id)) of the buffer. Terms
+    materialize on first access; the lookup table is built under a
+    lock on the first {!find}. Safe to share across domains. *)
+
 val intern : t -> string -> term_id
 (** [intern d term] returns the id of [term], allocating one if the
-    term is new. *)
+    term is new. Raises [Invalid_argument] on a mapped dictionary. *)
 
 val find : t -> string -> term_id option
 val term : t -> term_id -> string
@@ -17,3 +28,7 @@ val size : t -> int
 (** Number of distinct terms. *)
 
 val iter : (string -> term_id -> unit) -> t -> unit
+(** On a mapped dictionary, iterates in id order (materializing every
+    term); on an in-memory one, in hash-table order. *)
+
+val is_mapped : t -> bool

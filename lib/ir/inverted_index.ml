@@ -159,27 +159,39 @@ let save t buf =
     add_string buf (Postings.serialize t.postings.(id))
   done
 
-let read_string_buf buf off =
-  let len, off = Codec.read_varint_buf buf off in
-  (Codec.buf_sub_string buf off len, off + len)
-
 (* [decode_postings] parses one term's posting payload occupying
    [off .. off + len) of [buf]; the default keeps a zero-copy packed
    view ({!Postings.deserialize_buf}), the legacy loader substitutes
-   the varint decode + re-pack of the TIXDB003 upgrade path. *)
-let load_gen ~decode_postings buf off =
+   the varint decode + re-pack of the TIXDB003 upgrade path.
+
+   With [~lazy_dict:true] the term strings are never materialized:
+   only each term's byte range is recorded and the dictionary is a
+   mapped view over [buf] ({!Dictionary.of_mapped}) whose strings and
+   probe table build lazily on first use — over an mmap'd image the
+   open allocates nothing proportional to the term bytes. *)
+let load_gen ~lazy_dict ~decode_postings buf off =
   let stemmed, off = Codec.read_varint_buf buf off in
   let documents, off = Codec.read_varint_buf buf off in
   let total, off = Codec.read_varint_buf buf off in
   let n, off = Codec.read_varint_buf buf off in
-  let dictionary = Dictionary.create () in
+  let offs = Array.make (max n 1) 0 in
+  let lens = Array.make (max n 1) 0 in
+  let eager = if lazy_dict then None else Some (Dictionary.create ()) in
   let postings = Array.make n (Postings.of_list []) in
   let doc_freqs = Array.make n 0 in
   let off = ref off in
   for id = 0 to n - 1 do
-    let term, o = read_string_buf buf !off in
-    let interned = Dictionary.intern dictionary term in
-    assert (interned = id);
+    let tlen, o = Codec.read_varint_buf buf !off in
+    if tlen < 0 || o + tlen > Codec.buf_length buf then
+      raise (Codec.Truncated "term string shorter than its header");
+    offs.(id) <- o;
+    lens.(id) <- tlen;
+    (match eager with
+    | Some d ->
+      let interned = Dictionary.intern d (Codec.buf_sub_string buf o tlen) in
+      assert (interned = id)
+    | None -> ());
+    let o = o + tlen in
     let df, o = Codec.read_varint_buf buf o in
     let count, o = Codec.read_varint_buf buf o in
     let len, o = Codec.read_varint_buf buf o in
@@ -189,6 +201,11 @@ let load_gen ~decode_postings buf off =
     doc_freqs.(id) <- df;
     off := o + len
   done;
+  let dictionary =
+    match eager with
+    | Some d -> d
+    | None -> Dictionary.of_mapped buf ~offs ~lens
+  in
   ( {
       dictionary;
       postings;
@@ -205,7 +222,7 @@ let decode_packed buf ~count ~off ~len =
     raise (Codec.Truncated "posting payload overruns its framing");
   p
 
-let load_buf buf off = load_gen ~decode_postings:decode_packed buf off
+let load_buf buf off = load_gen ~lazy_dict:true ~decode_postings:decode_packed buf off
 
 let load bytes off = load_buf (Codec.buf_of_bytes bytes) off
 
@@ -221,7 +238,8 @@ let load_legacy bytes off =
     Postings_varint.to_packed
       (Postings_varint.deserialize ~count (Codec.buf_sub_string buf off len))
   in
-  load_gen ~decode_postings:decode (Codec.buf_of_bytes bytes) off
+  (* the upgrade decodes every byte anyway: keep the dictionary eager *)
+  load_gen ~lazy_dict:false ~decode_postings:decode (Codec.buf_of_bytes bytes) off
 
 let save_legacy t buf =
   Codec.add_varint buf (if t.is_stemmed then 1 else 0);

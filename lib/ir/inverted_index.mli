@@ -73,7 +73,10 @@ val load : Bytes.t -> int -> t * int
 val load_buf : Codec.buf -> int -> t * int
 (** Like {!load} over any {!Codec.buf}. Posting lists keep zero-copy
     views into the buffer — over an mmap'd image, block bytes decode
-    in place and are never copied. *)
+    in place and are never copied — and the dictionary is mapped
+    lazily ({!Dictionary.of_mapped}): term strings and the probe
+    table materialize on first lookup, so an open allocates nothing
+    proportional to the term bytes. *)
 
 val save_legacy : t -> Buffer.t -> unit
 (** Serialize with the legacy varint posting payloads of TIXDB003

@@ -1,0 +1,303 @@
+(* Collection statistics for cost-based access-method planning.
+
+   The statistics are deliberately small: corpus-level aggregates, a
+   per-tag element count vector, and a path synopsis — a trie of tag
+   paths annotated with element counts (a strong-dataguide shape).
+   They are computed once at index time, serialized into an optional
+   image section, and read by the planner to estimate operator
+   cardinalities without touching postings or element pages. *)
+
+type syn_node = {
+  syn_tag : int;
+  mutable syn_count : int;  (* elements at exactly this tag path *)
+  mutable syn_size : int;  (* elements in subtrees rooted here (self incl.) *)
+  mutable syn_children : syn_node list;  (* reverse insertion order *)
+}
+
+type t = {
+  documents : int;
+  elements : int;
+  occurrences : int;
+  distinct_terms : int;
+  depth_sum : int;  (* sum of element levels, for the mean depth *)
+  tag_counts : int array;  (* indexed by catalog tag id *)
+  synopsis : syn_node list;  (* root paths, reverse insertion order *)
+  synopsis_nodes : int;
+  synopsis_complete : bool;
+      (* false when the node budget truncated the trie: estimates
+         from it are lower bounds, so consumers fall back to
+         [tag_counts] for tags the synopsis missed *)
+}
+
+let default_max_nodes = 4096
+
+type builder = {
+  b_documents : int;
+  b_occurrences : int;
+  b_distinct_terms : int;
+  b_tag_count : int;
+  b_max_nodes : int;
+  mutable b_elements : int;
+  mutable b_depth_sum : int;
+  mutable b_tag_counts : int array;
+  mutable b_roots : syn_node list;
+  mutable b_nodes : int;
+  mutable b_complete : bool;
+  (* stack of (level, node option) for currently open ancestors; the
+     node is [None] below a truncation point *)
+  mutable b_stack : (int * syn_node option) list;
+}
+
+let builder ?(max_nodes = default_max_nodes) ~documents ~occurrences
+    ~distinct_terms ~tag_count () =
+  {
+    b_documents = documents;
+    b_occurrences = occurrences;
+    b_distinct_terms = distinct_terms;
+    b_tag_count = tag_count;
+    b_max_nodes = max_nodes;
+    b_elements = 0;
+    b_depth_sum = 0;
+    b_tag_counts = Array.make (max tag_count 1) 0;
+    b_roots = [];
+    b_nodes = 0;
+    b_complete = true;
+    b_stack = [];
+  }
+
+let find_child children tag =
+  List.find_opt (fun c -> c.syn_tag = tag) children
+
+(* Elements must arrive in document preorder (the element store's
+   scan order); [level] nests the trie exactly as the documents do. *)
+let add_element b ~tag ~level =
+  b.b_elements <- b.b_elements + 1;
+  b.b_depth_sum <- b.b_depth_sum + level;
+  if tag >= 0 then begin
+    if tag >= Array.length b.b_tag_counts then begin
+      let fresh = Array.make (max (tag + 1) (2 * Array.length b.b_tag_counts)) 0 in
+      Array.blit b.b_tag_counts 0 fresh 0 (Array.length b.b_tag_counts);
+      b.b_tag_counts <- fresh
+    end;
+    b.b_tag_counts.(tag) <- b.b_tag_counts.(tag) + 1
+  end;
+  (* close ancestors the preorder has left *)
+  let rec pop () =
+    match b.b_stack with
+    | (l, _) :: rest when l >= level ->
+      b.b_stack <- rest;
+      pop ()
+    | _ -> ()
+  in
+  pop ();
+  (* every open ancestor's subtree grows by one *)
+  List.iter
+    (fun (_, n) -> match n with Some n -> n.syn_size <- n.syn_size + 1 | None -> ())
+    b.b_stack;
+  let parent = match b.b_stack with (_, p) :: _ -> p | [] -> None in
+  let node =
+    match b.b_stack, parent with
+    | [], _ -> begin
+      match find_child b.b_roots tag with
+      | Some n -> Some n
+      | None ->
+        if b.b_nodes >= b.b_max_nodes then begin
+          b.b_complete <- false;
+          None
+        end
+        else begin
+          let n = { syn_tag = tag; syn_count = 0; syn_size = 0; syn_children = [] } in
+          b.b_roots <- n :: b.b_roots;
+          b.b_nodes <- b.b_nodes + 1;
+          Some n
+        end
+    end
+    | _ :: _, None -> None (* below a truncation point *)
+    | _ :: _, Some p -> begin
+      match find_child p.syn_children tag with
+      | Some n -> Some n
+      | None ->
+        if b.b_nodes >= b.b_max_nodes then begin
+          b.b_complete <- false;
+          None
+        end
+        else begin
+          let n = { syn_tag = tag; syn_count = 0; syn_size = 0; syn_children = [] } in
+          p.syn_children <- n :: p.syn_children;
+          b.b_nodes <- b.b_nodes + 1;
+          Some n
+        end
+    end
+  in
+  (match node with
+  | Some n ->
+    n.syn_count <- n.syn_count + 1;
+    n.syn_size <- n.syn_size + 1
+  | None -> ());
+  b.b_stack <- (level, node) :: b.b_stack
+
+let freeze b =
+  {
+    documents = b.b_documents;
+    elements = b.b_elements;
+    occurrences = b.b_occurrences;
+    distinct_terms = b.b_distinct_terms;
+    depth_sum = b.b_depth_sum;
+    tag_counts = Array.sub b.b_tag_counts 0 (max b.b_tag_count 1);
+    synopsis = b.b_roots;
+    synopsis_nodes = b.b_nodes;
+    synopsis_complete = b.b_complete;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Estimation *)
+
+let tag_count t ~tag =
+  if tag >= 0 && tag < Array.length t.tag_counts then t.tag_counts.(tag) else 0
+
+let avg_depth t =
+  if t.elements = 0 then 1.0
+  else 1.0 +. (float_of_int t.depth_sum /. float_of_int t.elements)
+
+(* Fraction of all elements lying inside subtrees rooted at [tag].
+   Nested same-tag subtrees are counted once (outermost only); a
+   truncated synopsis yields a lower bound, so callers treat missing
+   tags via [tag_count]. *)
+let subtree_fraction t ~tag =
+  if t.elements = 0 then 0.0
+  else begin
+    let total = ref 0 in
+    let rec walk n =
+      if n.syn_tag = tag then total := !total + n.syn_size
+      else List.iter walk n.syn_children
+    in
+    List.iter walk t.synopsis;
+    min 1.0 (float_of_int !total /. float_of_int t.elements)
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "docs=%d elements=%d occ=%d terms=%d avg_depth=%.2f synopsis=%d%s"
+    t.documents t.elements t.occurrences t.distinct_terms (avg_depth t)
+    t.synopsis_nodes
+    (if t.synopsis_complete then "" else " (truncated)")
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: plain varints; the section is small (a few KB even
+   for large corpora), so it is decoded eagerly at open. *)
+
+let save t buf =
+  Codec.add_varint buf t.documents;
+  Codec.add_varint buf t.elements;
+  Codec.add_varint buf t.occurrences;
+  Codec.add_varint buf t.distinct_terms;
+  Codec.add_varint buf t.depth_sum;
+  Codec.add_varint buf (Array.length t.tag_counts);
+  Array.iter (Codec.add_varint buf) t.tag_counts;
+  Codec.add_varint buf (if t.synopsis_complete then 1 else 0);
+  Codec.add_varint buf t.synopsis_nodes;
+  let rec save_node n =
+    Codec.add_varint buf n.syn_tag;
+    Codec.add_varint buf n.syn_count;
+    Codec.add_varint buf n.syn_size;
+    Codec.add_varint buf (List.length n.syn_children);
+    List.iter save_node n.syn_children
+  in
+  Codec.add_varint buf (List.length t.synopsis);
+  List.iter save_node t.synopsis
+
+let load_buf buf off =
+  let documents, off = Codec.read_varint_buf buf off in
+  let elements, off = Codec.read_varint_buf buf off in
+  let occurrences, off = Codec.read_varint_buf buf off in
+  let distinct_terms, off = Codec.read_varint_buf buf off in
+  let depth_sum, off = Codec.read_varint_buf buf off in
+  let ntags, off = Codec.read_varint_buf buf off in
+  let tag_counts = Array.make (max ntags 1) 0 in
+  let off = ref off in
+  for i = 0 to ntags - 1 do
+    let v, o = Codec.read_varint_buf buf !off in
+    tag_counts.(i) <- v;
+    off := o
+  done;
+  let complete, o = Codec.read_varint_buf buf !off in
+  let synopsis_nodes, o = Codec.read_varint_buf buf o in
+  off := o;
+  let rec load_node () =
+    let tag, o = Codec.read_varint_buf buf !off in
+    let count, o = Codec.read_varint_buf buf o in
+    let size, o = Codec.read_varint_buf buf o in
+    let nchildren, o = Codec.read_varint_buf buf o in
+    off := o;
+    let children = List.init nchildren (fun _ -> load_node ()) in
+    { syn_tag = tag; syn_count = count; syn_size = size; syn_children = children }
+  in
+  let nroots, o = Codec.read_varint_buf buf !off in
+  off := o;
+  let synopsis = List.init nroots (fun _ -> load_node ()) in
+  ( {
+      documents;
+      elements;
+      occurrences;
+      distinct_terms;
+      depth_sum;
+      tag_counts = (if ntags = 0 then [||] else tag_counts);
+      synopsis;
+      synopsis_nodes;
+      synopsis_complete = complete = 1;
+    },
+    !off )
+
+(* ------------------------------------------------------------------ *)
+(* Feedback: per-snapshot correction table fed by observed operator
+   cardinalities. Estimates are multiplied by the stored correction;
+   a materially changed correction bumps [generation], which plan
+   caches fold into their keys so stale plans are re-costed. *)
+
+module Feedback = struct
+  type entry = { mutable corr : float; mutable seen : int }
+
+  type t = {
+    lock : Mutex.t;
+    table : (string, entry) Hashtbl.t;
+    mutable gen : int;
+    mutable observed : int;
+  }
+
+  let create () =
+    { lock = Mutex.create (); table = Hashtbl.create 32; gen = 0; observed = 0 }
+
+  let generation t = Mutex.protect t.lock (fun () -> t.gen)
+  let observations t = Mutex.protect t.lock (fun () -> t.observed)
+
+  let clamp v = Float.max (1. /. 64.) (Float.min 64. v)
+
+  (* A correction change is material when it crosses a factor-2
+     boundary against the previous value: cost models are order-of-
+     magnitude instruments, so smaller drifts never invalidate
+     plans. *)
+  let material old_c new_c = new_c >= 2. *. old_c || new_c <= old_c /. 2.
+
+  let observe t ~key ~est ~actual =
+    let ratio = clamp (Float.max actual 1. /. Float.max est 1.) in
+    Mutex.protect t.lock (fun () ->
+        t.observed <- t.observed + 1;
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+          let next = clamp ((0.5 *. e.corr) +. (0.5 *. ratio)) in
+          if material e.corr next then t.gen <- t.gen + 1;
+          e.corr <- next;
+          e.seen <- e.seen + 1
+        | None ->
+          (* the first observation establishes the key's baseline
+             without invalidating plans: every fresh query would
+             otherwise bump the generation once and flush every
+             cached plan on its first execution *)
+          Hashtbl.replace t.table key { corr = ratio; seen = 1 })
+
+  let correction t ~key =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e -> e.corr
+        | None -> 1.0)
+end

@@ -1,0 +1,104 @@
+(** Collection statistics for cost-based access-method planning.
+
+    Corpus aggregates, a per-tag element count vector and a path
+    synopsis — a trie of tag paths annotated with element counts, in
+    the strong-dataguide shape — computed once at index time and
+    persisted in an optional image section. The planner reads them to
+    estimate operator cardinalities without touching postings or
+    element pages; per-term document/occurrence counts live in the
+    index section itself ({!Inverted_index.doc_freq},
+    {!Inverted_index.collection_freq}). *)
+
+type syn_node = {
+  syn_tag : int;  (** catalog tag id *)
+  mutable syn_count : int;  (** elements at exactly this tag path *)
+  mutable syn_size : int;
+      (** elements in subtrees rooted at this path, self included *)
+  mutable syn_children : syn_node list;
+}
+
+type t = {
+  documents : int;
+  elements : int;
+  occurrences : int;
+  distinct_terms : int;
+  depth_sum : int;
+  tag_counts : int array;  (** indexed by catalog tag id *)
+  synopsis : syn_node list;
+  synopsis_nodes : int;
+  synopsis_complete : bool;
+      (** [false] when the node budget truncated the trie; synopsis
+          estimates are then lower bounds *)
+}
+
+(** {1 Building} *)
+
+type builder
+
+val builder :
+  ?max_nodes:int ->
+  documents:int ->
+  occurrences:int ->
+  distinct_terms:int ->
+  tag_count:int ->
+  unit ->
+  builder
+(** [max_nodes] (default 4096) bounds the synopsis trie so the stats
+    section stays small on pathological schemas. *)
+
+val add_element : builder -> tag:int -> level:int -> unit
+(** Feed one element in document preorder (the element store's scan
+    order); [level] nests the synopsis exactly as the documents do. *)
+
+val freeze : builder -> t
+
+(** {1 Estimation} *)
+
+val tag_count : t -> tag:int -> int
+(** Elements carrying the tag; 0 for unknown ids. *)
+
+val avg_depth : t -> float
+(** Mean ancestor-chain length of an element (≥ 1). *)
+
+val subtree_fraction : t -> tag:int -> float
+(** Fraction of all elements lying inside subtrees rooted at [tag]
+    (outermost occurrences only), in [0, 1]. A truncated synopsis
+    yields a lower bound. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Serialization} *)
+
+val save : t -> Buffer.t -> unit
+
+val load_buf : Codec.buf -> int -> t * int
+(** [(stats, next_off)]; inverse of {!save}. Raises
+    {!Codec.Truncated} on a short buffer. *)
+
+(** {1 Feedback}
+
+    A per-snapshot correction table fed by observed operator
+    cardinalities (EXPLAIN ANALYZE's actuals). The planner multiplies
+    its estimates by the stored correction for the query's key, so
+    repeated misestimates self-correct; a materially changed
+    correction (a factor-2 move) bumps {!Feedback.generation}, which
+    plan caches fold into their keys so stale plans are re-costed. *)
+
+module Feedback : sig
+  type t
+
+  val create : unit -> t
+
+  val generation : t -> int
+  (** Bumped on every material correction change. A key's first
+      observation sets its baseline without a bump — only later
+      material moves against that baseline invalidate plans. *)
+
+  val observe : t -> key:string -> est:float -> actual:float -> unit
+
+  val correction : t -> key:string -> float
+  (** Multiplier for the next estimate under [key]; 1.0 when nothing
+      was observed. Clamped to [1/64, 64]. *)
+
+  val observations : t -> int
+end

@@ -11,6 +11,8 @@ type plan = {
   pick : (Functions.fctx -> Core.Op_pick.criterion) option;
   min_score : float option;
   limit : int option;
+  access : Access.Pattern_exec.access;
+  estimate : Planner.decision option;
 }
 
 let ( let* ) = Result.bind
@@ -184,6 +186,18 @@ let compile ?functions (q : Ast.t) =
         "a non-negative score threshold or a pick clause is required for the \
          engine path"
   in
+  (* The static access-method rule, used when no statistics are
+     available: single-term scoring merges one posting list, where
+     TermJoin's stack pass is the obvious choice; multi-term scoring
+     lowers onto the generic composite pipeline (Comp1), whose
+     sort-group-union covers any term count with the operators a
+     stock engine already has. The rule ignores term frequency — on
+     frequent terms Comp1 materializes every (occurrence, ancestor)
+     tuple — which is exactly what {!plan_with_stats} corrects. *)
+  let access =
+    if List.length terms >= 2 then Access.Pattern_exec.Comp1
+    else Access.Pattern_exec.Term_join Access.Term_join.Plain
+  in
   Ok
     {
       document;
@@ -194,7 +208,33 @@ let compile ?functions (q : Ast.t) =
       pick;
       min_score;
       limit;
+      access;
+      estimate = None;
     }
+
+(* The anchor's tag, as a catalog id, for the planner's structural
+   selectivity estimate. *)
+let anchor_tag db (p : plan) =
+  let rec pred_tag = function
+    | Core.Pattern.Tag t -> Some t
+    | Core.Pattern.And (a, b) -> begin
+      match pred_tag a with Some _ as s -> s | None -> pred_tag b
+    end
+    | _ -> None
+  in
+  match Core.Pattern.find_var p.structure 1 with
+  | Some n ->
+    Option.bind (pred_tag n.pred)
+      (Store.Catalog.tag_id (Store.Db.catalog db))
+  | None -> None
+
+let plan_with_stats ?feedback ?key ?parallelism db (p : plan) =
+  let decision =
+    Planner.choose ?feedback ?key ?anchor_tag:(anchor_tag db p) ?parallelism
+      ~stats:(Store.Db.collection_stats db)
+      ~index:(Store.Db.index db) ~terms:p.terms ()
+  in
+  { p with access = decision.Planner.access; estimate = Some decision }
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -286,8 +326,8 @@ let execute ?(limits = Core.Governor.unlimited)
     in
     let scored =
       account
-        (Access.Pattern_exec.scored_matches ~trace ctx p.structure
-           ~struct_var:1 ~terms:p.terms ~weights:p.weights)
+        (Access.Pattern_exec.scored_matches ~trace ~access:p.access ctx
+           p.structure ~struct_var:1 ~terms:p.terms ~weights:p.weights)
     in
     let scored =
       stage "DocFilter" scored
@@ -390,13 +430,18 @@ let run_string ?functions ?limits ?trace db src =
 let explain (p : plan) =
   Format.asprintf
     "@[<v>engine plan:@,  document glob: %s@,  structure:@,    %a@,  scored \
-     var: %s@,  terms: %s (weights %s)@,  pick: %s@,  threshold: %s@,  limit: \
-     %s@]"
+     var: %s@,  terms: %s (weights %s)@,  access: %s%s@,  pick: %s@,  \
+     threshold: %s@,  limit: %s%s@]"
     p.document Core.Pattern.pp p.structure
     (if p.self_or_descendant then "descendant-or-self of anchor" else "anchor")
     (String.concat ", " p.terms)
     (String.concat ", "
        (Array.to_list (Array.map (Printf.sprintf "%g") p.weights)))
+    (Access.Pattern_exec.access_to_string p.access)
+    (match p.estimate with None -> " (static rule)" | Some _ -> " (costed)")
     (match p.pick with Some _ -> "stack-based Pick" | None -> "none")
     (match p.min_score with Some v -> Printf.sprintf "> %g" v | None -> "none")
     (match p.limit with Some k -> string_of_int k | None -> "none")
+    (match p.estimate with
+    | None -> ""
+    | Some d -> Format.asprintf "@,  estimate: %s" (Planner.to_string d))

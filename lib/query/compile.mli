@@ -38,10 +38,35 @@ type plan = {
           execution time *)
   min_score : float option;  (** strict lower bound on scores *)
   limit : int option;
+  access : Access.Pattern_exec.access;
+      (** the score-generating access method; {!compile} fills it
+          from a static rule, {!plan_with_stats} from the cost
+          model *)
+  estimate : Planner.decision option;
+      (** present once {!plan_with_stats} has costed the plan *)
 }
 
 val compile : ?functions:Functions.t -> Ast.t -> (plan, string) result
-(** [Error reason] when the query is outside the compilable shape. *)
+(** [Error reason] when the query is outside the compilable shape.
+    The access method follows the static rule: TermJoin for
+    single-term scoring, the Comp1 composite pipeline for multi-term
+    scoring — frequency-blind by construction; call
+    {!plan_with_stats} to replace it with the costed choice. *)
+
+val plan_with_stats :
+  ?feedback:Ir.Stats.Feedback.t ->
+  ?key:string ->
+  ?parallelism:int ->
+  Store.Db.t ->
+  plan ->
+  plan
+(** Re-cost the plan against the database's collection statistics
+    ({!Store.Db.collection_stats}) and exact per-term occurrence
+    counts: the cheapest access method replaces the static choice and
+    the full {!Planner.decision} (row estimate, degree, cost table)
+    is recorded in [estimate]. [key]/[feedback] apply the learned
+    cardinality correction; [parallelism] is the requested degree the
+    planner may degrade. *)
 
 val execute :
   ?limits:Core.Governor.limits ->

@@ -17,11 +17,17 @@ val create :
   ?limits:Core.Governor.limits ->
   ?trace:Core.Trace.t ->
   ?exclude_docs:(int -> bool) ->
+  ?lenient_docs:bool ->
   Store.Db.t ->
   t
 (** [exclude_docs] hides documents from [document(...)] resolution —
     the delta overlay uses it to mask tombstoned base documents
-    without touching the store. [functions] defaults to
+    without touching the store. [lenient_docs] (default [false])
+    makes a [document(...)] glob matching nothing evaluate to the
+    empty sequence instead of raising {!Error} — required when the
+    evaluator covers only one half of a base/delta pair, since the
+    matching documents may all live in the other half.
+    [functions] defaults to
     {!Functions.builtins}; [limits] (default
     {!Core.Governor.unlimited}) governs every subsequent {!run}: a
     fresh {!Core.Governor.t} is started per query, charging a step
@@ -38,6 +44,19 @@ val run : t -> Ast.t -> Xmlkit.Tree.element list
     has a [Sortby]. Raises {!Error}, or
     {!Core.Governor.Resource_exhausted} when the evaluator's limits
     are breached (the evaluator stays usable afterwards). *)
+
+val run_raw : t -> Ast.t -> Xmlkit.Tree.element list
+(** Like {!run} but stops before the order-sensitive tail: every
+    binding surviving the threshold filter is constructed, in binding
+    order (document order per [For] clause), with no [Sortby] and no
+    [stop after] applied. The merged base∪delta evaluation runs the
+    two halves raw, concatenates base-then-delta — the rebuilt
+    database's document order — and applies {!finalize} once. *)
+
+val finalize : Ast.t -> Xmlkit.Tree.element list -> Xmlkit.Tree.element list
+(** The deferred tail of {!run_raw}: the query's [Sortby] (a stable
+    sort, so document order breaks ties) followed by its
+    [stop after] truncation. [run q = finalize q (run_raw q)]. *)
 
 val run_string : t -> string -> (Xmlkit.Tree.element list, string) result
 (** Parse and evaluate; governor breaches and storage faults come

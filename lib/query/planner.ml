@@ -1,0 +1,121 @@
+(* Cost-based access-method choice over the collection statistics.
+
+   All score-generating access methods emit the same scored-node sets
+   (Sec. 6.1) — they differ only in cost, and the crossover points
+   depend on term frequency and structural selectivity. The model
+   below prices each method in abstract per-occurrence work units:
+
+     TermJoin   ~ occ                      one merge pass, stack reuse
+     GenMeet    ~ 2 * occ * depth          per-occurrence ancestor walk
+                                           + hashing, no stack reuse
+     scoped     ~ seeks + 2 * occ_in * depth
+     GenMeet                               only occurrences inside the
+                                           structural anchors group
+     Comp1      ~ 4 * occ * depth          materialize every
+                                           (occurrence, ancestor)
+                                           tuple, sort, group, union
+     Comp2      ~ terms * elements + occ   per-term element-table scan
+                                           joined with postings
+
+   [occ] is exact (summed collection frequencies from the index);
+   [depth], element counts and anchor selectivities come from
+   {!Ir.Stats}. Constants were fitted loosely against the bench
+   harness — they only need to rank methods correctly near the
+   crossovers, not predict wall time. *)
+
+type decision = {
+  access : Access.Pattern_exec.access;
+  parallelism : int;
+  est_occ : int;
+  est_rows : int;
+  est_cost : float;
+  alternatives : (string * float) list;
+}
+
+let c_gen_meet = 2.0
+let c_comp1 = 4.0
+let c_seek = 4.0
+
+(* Below this many posting occurrences per partition, the fork/join
+   overhead of a parallel plan outweighs the work it divides. *)
+let occ_floor_per_partition = 1024
+
+let choose ?feedback ?key ?anchor_tag ?(parallelism = 1) ~stats ~index ~terms
+    () =
+  let occ =
+    List.fold_left
+      (fun acc t -> acc + Ir.Inverted_index.collection_freq index t)
+      0 terms
+  in
+  let nterms = max 1 (List.length terms) in
+  let occf = float_of_int occ in
+  let depth = max 1.0 (Ir.Stats.avg_depth stats) in
+  let elements = max 1 stats.Ir.Stats.elements in
+  let cost_tj = occf in
+  let cost_comp1 = c_comp1 *. occf *. depth in
+  let cost_comp2 = float_of_int (nterms * elements) +. occf in
+  let gen_meet =
+    match anchor_tag with
+    | Some tag when Ir.Stats.tag_count stats ~tag > 0 ->
+      let anchors = Ir.Stats.tag_count stats ~tag in
+      let fraction = Ir.Stats.subtree_fraction stats ~tag in
+      let occ_in = occf *. fraction in
+      let grouped = c_gen_meet *. occ_in *. depth in
+      (* seeking pays per anchor region per term; decoding pays for
+         every posting in the gaps *)
+      let with_skips = (float_of_int (anchors * nterms) *. c_seek) +. grouped in
+      let without = occf +. grouped in
+      if with_skips <= without then
+        (Access.Pattern_exec.Gen_meet { use_skips = true }, with_skips)
+      else (Access.Pattern_exec.Gen_meet { use_skips = false }, without)
+    | Some _ | None ->
+      (Access.Pattern_exec.Gen_meet { use_skips = true },
+       c_gen_meet *. occf *. depth)
+  in
+  let candidates =
+    [
+      (Access.Pattern_exec.Term_join Access.Term_join.Plain, cost_tj);
+      gen_meet;
+      (Access.Pattern_exec.Comp1, cost_comp1);
+      (Access.Pattern_exec.Comp2, cost_comp2);
+    ]
+  in
+  let access, est_cost =
+    List.fold_left
+      (fun (ba, bc) (a, c) -> if c < bc then (a, c) else (ba, bc))
+      (List.hd candidates |> fun (a, c) -> (a, c))
+      (List.tl candidates)
+  in
+  (* Emitted nodes: every distinct ancestor of an occurrence — at most
+     one per (occurrence, ancestor) pair and at most every element. *)
+  let raw_rows = min (int_of_float (occf *. depth)) elements in
+  let corr =
+    match (feedback, key) with
+    | Some fb, Some key -> Ir.Stats.Feedback.correction fb ~key
+    | _ -> 1.0
+  in
+  let est_rows = max 0 (int_of_float (float_of_int raw_rows *. corr)) in
+  let parallelism =
+    max 1 (min parallelism (occ / occ_floor_per_partition))
+  in
+  {
+    access;
+    parallelism;
+    est_occ = occ;
+    est_rows;
+    est_cost;
+    alternatives =
+      List.map
+        (fun (a, c) -> (Access.Pattern_exec.access_to_string a, c))
+        candidates;
+  }
+
+let to_string d =
+  let alts =
+    d.alternatives
+    |> List.map (fun (n, c) -> Printf.sprintf "%s:%.0f" n c)
+    |> String.concat " "
+  in
+  Printf.sprintf "%s cost=%.0f occ=%d rows~%d par=%d [%s]"
+    (Access.Pattern_exec.access_to_string d.access)
+    d.est_cost d.est_occ d.est_rows d.parallelism alts

@@ -1,0 +1,47 @@
+(** Cost-based access-method planning.
+
+    The score-generating access methods of Sec. 6.1 — TermJoin,
+    GenMeet (optionally scoped to structural anchors), and the
+    composite baselines Comp1/Comp2 — all produce the same scored
+    element sets; only their costs differ, and the crossovers depend
+    on term frequency and structural selectivity. {!choose} prices
+    every method from the collection statistics ({!Ir.Stats}) and the
+    exact per-term occurrence counts of the index, applies the
+    feedback correction for the query's key when one is known, and
+    returns the cheapest plan plus the full cost table for EXPLAIN. *)
+
+type decision = {
+  access : Access.Pattern_exec.access;  (** the cheapest method *)
+  parallelism : int;
+      (** chosen degree, never above the requested degree; degraded
+          to 1 when the estimated per-partition occupancy is too low
+          to amortize fork/join *)
+  est_occ : int;  (** total posting occurrences of the terms (exact) *)
+  est_rows : int;
+      (** estimated operator output cardinality, after feedback
+          correction *)
+  est_cost : float;  (** abstract cost units of the chosen method *)
+  alternatives : (string * float) list;
+      (** every candidate method with its cost, for EXPLAIN *)
+}
+
+val choose :
+  ?feedback:Ir.Stats.Feedback.t ->
+  ?key:string ->
+  ?anchor_tag:int ->
+  ?parallelism:int ->
+  stats:Ir.Stats.t ->
+  index:Ir.Inverted_index.t ->
+  terms:string list ->
+  unit ->
+  decision
+(** [anchor_tag] (a catalog tag id) is the structural anchor the
+    scored nodes must lie inside; when given and selective, a scoped
+    GenMeet that seeks across the anchor gaps becomes a candidate.
+    [key] and [feedback] apply the per-snapshot correction learned
+    from observed cardinalities. [parallelism] is the requested
+    degree (default 1). *)
+
+val to_string : decision -> string
+(** One-line plan description: chosen method, cost, occurrence count,
+    row estimate, degree and the alternative cost table. *)

@@ -13,13 +13,22 @@ type snapshot = {
   generation : int;
   source : string;
   delta : delta_view option;
+  feedback : Ir.Stats.Feedback.t;
 }
 
 let of_db ?(generation = 0) ?(source = "<memory>") db =
   let pager = Store.Element_store.pager (Store.Db.elements db) in
   match Store.Pager.pin pager with
   | Ok () ->
-    Ok { db; ctx = Access.Ctx.of_db db; generation; source; delta = None }
+    Ok
+      {
+        db;
+        ctx = Access.Ctx.of_db db;
+        generation;
+        source;
+        delta = None;
+        feedback = Ir.Stats.Feedback.create ();
+      }
   | Error e ->
     Error
       (Format.asprintf "cannot pin %s: %a" source Store.Pager.pp_read_error e)
@@ -70,7 +79,7 @@ let load ?pool_pages ?verify ?generation path =
 (* ------------------------------------------------------------------ *)
 (* Requests *)
 
-type search_method = Termjoin | Enhanced | Genmeet | Comp1 | Comp2
+type search_method = Termjoin | Enhanced | Genmeet | Comp1 | Comp2 | Auto
 
 let search_method_of_string = function
   | "termjoin" -> Some Termjoin
@@ -78,6 +87,7 @@ let search_method_of_string = function
   | "genmeet" -> Some Genmeet
   | "comp1" -> Some Comp1
   | "comp2" -> Some Comp2
+  | "auto" -> Some Auto
   | _ -> None
 
 let search_method_to_string = function
@@ -86,6 +96,7 @@ let search_method_to_string = function
   | Genmeet -> "genmeet"
   | Comp1 -> "comp1"
   | Comp2 -> "comp2"
+  | Auto -> "auto"
 
 type request =
   | Query of { q : string; mode : [ `Auto | `Engine | `Interp ] }
@@ -194,6 +205,14 @@ type caches = {
   results : (row list * string list * int * string option) Lru.t;
 }
 
+(* Plan-cache keys fold the snapshot's feedback generation in front of
+   the canonical request key: a material cardinality correction (a
+   factor-2 move, see {!Ir.Stats.Feedback}) changes the key, so the
+   next execution re-costs the plan instead of reusing a stale
+   access-method choice. Reloads clear the caches outright. *)
+let plan_cache_key snapshot key =
+  Printf.sprintf "sg%d|%s" (Ir.Stats.Feedback.generation snapshot.feedback) key
+
 (* ------------------------------------------------------------------ *)
 (* Execution *)
 
@@ -291,18 +310,29 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
   let compile_fresh () =
     match stage "parse" (fun () -> Query.Parser.parse q) with
     | Error e -> Error (Parse_error (Format.asprintf "%a" Query.Parser.pp_error e))
-    | Ok ast -> Ok (stage "compile" (fun () -> Query.Compile.compile ast))
+    | Ok ast ->
+      Ok
+        (stage "compile" (fun () ->
+             (* cost the static plan against the collection statistics;
+                the costed plan is what the cache holds, under a
+                generation-prefixed key *)
+             Result.map
+               (fun plan ->
+                 Query.Compile.plan_with_stats ~feedback:snapshot.feedback ~key
+                   snapshot.db plan)
+               (Query.Compile.compile ast)))
   in
+  let cache_key = plan_cache_key snapshot key in
   let compiled =
     match caches with
     | Some c -> begin
-      match Lru.find c.plans key with
+      match Lru.find c.plans cache_key with
       | Some plan -> Ok plan
       | None -> begin
         match compile_fresh () with
         | Error _ as e -> e
         | Ok outcome ->
-          Lru.add c.plans key outcome;
+          Lru.add c.plans cache_key outcome;
           Ok outcome
       end
     end
@@ -311,29 +341,124 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
   match compiled with
   | Error e -> Error e
   | Ok compiled -> begin
-    let run_interp () =
-      (* The interpreter renders trees without scores, so a delta
-         holding new/updated documents cannot be rank-merged with the
-         base run; tombstone-only deltas are exact via [exclude_docs]
-         (hiding a document never changes the others' results). *)
-      match snapshot.delta with
-      | Some dv when dv.delta_docs > 0 ->
-        Error
-          (Unsupported
-             "interpreter fallback is unavailable while inserted/updated \
-              documents are pending; checkpoint first")
-      | _ ->
-        let exclude_docs =
-          match snapshot.delta with
-          | Some dv -> fun doc -> is_tombstoned dv doc
-          | None -> fun _ -> false
+    (* How many times the query reads [document(...)]. The merged
+       base∪delta evaluation runs each half against its own store, so
+       it is exact only when every binding derives from one document
+       sequence — a query combining two [document(...)] reads could
+       pair a base document with a delta document, which neither half
+       can see. *)
+    let document_reads (ast : Query.Ast.t) =
+      let n = ref 0 in
+      let rec expr (e : Query.Ast.expr) =
+        match e with
+        | Query.Ast.Document _ -> incr n
+        | Query.Ast.Var _ | Query.Ast.String_lit _ | Query.Ast.Number_lit _
+        | Query.Ast.String_set _ ->
+          ()
+        | Query.Ast.Path (base, steps) ->
+          expr base;
+          List.iter step steps
+        | Query.Ast.Call (_, args) -> List.iter expr args
+        | Query.Ast.Cmp (_, a, b) | Query.Ast.And (a, b) | Query.Ast.Or (a, b)
+          ->
+          expr a;
+          expr b
+      and step (s : Query.Ast.step) = List.iter pred s.Query.Ast.predicates
+      and pred = function
+        | Query.Ast.Pred_cmp (_, a, b) ->
+          expr a;
+          expr b
+        | Query.Ast.Pred_exists e -> expr e
+      in
+      let constructor c =
+        let rec go (Query.Ast.Elem_cons (_, attrs, children)) =
+          List.iter (fun (_, e) -> expr e) attrs;
+          List.iter
+            (function
+              | Query.Ast.Const_text _ -> ()
+              | Query.Ast.Embedded e -> expr e
+              | Query.Ast.Nested c -> go c)
+            children
         in
+        go c
+      in
+      List.iter
+        (function
+          | Query.Ast.For (_, e)
+          | Query.Ast.Let (_, e)
+          | Query.Ast.Where e ->
+            expr e
+          | Query.Ast.Score (_, _, args) | Query.Ast.Pick (_, _, args) ->
+            List.iter expr args)
+        ast.Query.Ast.clauses;
+      constructor ast.Query.Ast.returns;
+      (match ast.Query.Ast.thresh with
+      | Some th -> expr th.Query.Ast.t_expr
+      | None -> ());
+      !n
+    in
+    let run_interp () =
+      let exclude_docs =
+        match snapshot.delta with
+        | Some dv -> fun doc -> is_tombstoned dv doc
+        | None -> fun _ -> false
+      in
+      Metrics.incr (op_counter "interp");
+      match snapshot.delta with
+      | Some dv when dv.delta_docs > 0 -> begin
+        (* Evaluate the base (minus tombstones) and the delta each
+           against its own store, raw — no sortby, no stop-after —
+           concatenate base-then-delta (the rebuilt database's
+           document order), then finalize once. Each half is lenient
+           about a matchless [document(...)]: the matching documents
+           may all live in the other half. *)
+        match stage "parse" (fun () -> Query.Parser.parse q) with
+        | Error e ->
+          Error (Parse_error (Format.asprintf "%a" Query.Parser.pp_error e))
+        | Ok ast when document_reads ast > 1 ->
+          Error
+            (Unsupported
+               "a query reading document(...) more than once cannot run on \
+                the interpreter while inserted/updated documents are \
+                pending; checkpoint first")
+        | Ok ast -> begin
+          match
+            stage "execute" (fun () ->
+                let base_eval =
+                  Query.Eval.create ~limits ~trace:tracer ~exclude_docs
+                    ~lenient_docs:true snapshot.db
+                in
+                let base = Query.Eval.run_raw base_eval ast in
+                let delta, delta_steps =
+                  match dv.delta_db with
+                  | None -> ([], 0)
+                  | Some (ddb, _) ->
+                    let delta_eval =
+                      Query.Eval.create ~limits ~trace:tracer
+                        ~lenient_docs:true ddb
+                    in
+                    let r = Query.Eval.run_raw delta_eval ast in
+                    (r, Query.Eval.last_steps delta_eval)
+                in
+                ( Query.Eval.finalize ast (base @ delta),
+                  Query.Eval.last_steps base_eval + delta_steps ))
+          with
+          | results, steps ->
+            let trees =
+              List.map (fun r -> Xmlkit.Printer.to_string ~indent:2 r) results
+            in
+            Ok ([], trees, None, steps)
+          | exception Query.Eval.Error msg -> Error (Unsupported msg)
+        end
+      end
+      | _ ->
         (* a fresh evaluator per query: its tree cache and governor
-           slot are private, so the interpreter is domain-safe too *)
+           slot are private, so the interpreter is domain-safe too.
+           Tombstone-only deltas are exact via [exclude_docs]: hiding
+           a document never changes the others' results. *)
         let evaluator =
           Query.Eval.create ~limits ~trace:tracer ~exclude_docs snapshot.db
         in
-        Metrics.incr (op_counter "interp");
         (match stage "execute" (fun () -> Query.Eval.run_string evaluator q) with
         | Ok results ->
           let trees =
@@ -341,6 +466,36 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
           in
           Ok ([], trees, None, Query.Eval.last_steps evaluator)
         | Error msg -> Error (Unsupported msg))
+    in
+    (* After a costed plan ran: stamp its row estimate onto the span
+       tree (EXPLAIN's est-vs-actual column) and feed the observed
+       cardinality back into the snapshot's correction table so the
+       next costing of this key is better calibrated. *)
+    let note_plan_outcome (plan : Query.Compile.plan) n_out =
+      match plan.Query.Compile.estimate with
+      | None -> ()
+      | Some d ->
+        (* a result truncated by [stop after] is a lower bound on the
+           operator's cardinality, not a measurement of it: only
+           unsaturated runs feed the correction table *)
+        let saturated =
+          match plan.Query.Compile.limit with
+          | Some l -> n_out >= l
+          | None -> false
+        in
+        if not saturated then
+          Ir.Stats.Feedback.observe snapshot.feedback ~key
+            ~est:(float_of_int d.Query.Planner.est_rows)
+            ~actual:(float_of_int n_out);
+        (match Core.Trace.root tracer with
+        | Some sp ->
+          Core.Trace.apply_estimates sp
+            [
+              ( Access.Pattern_exec.access_operator plan.Query.Compile.access,
+                d.Query.Planner.est_rows );
+              ("CompiledQuery", d.Query.Planner.est_rows);
+            ]
+        | None -> ())
     in
     let run_plan plan =
       match snapshot.delta with
@@ -351,6 +506,7 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
               Query.Compile.execute ~governor:gov ~trace:tracer snapshot.db
                 plan)
         in
+        note_plan_outcome plan (List.length nodes);
         Ok
           ( List.map (row_of_node snapshot) nodes,
             [],
@@ -405,6 +561,7 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
           in
           let rows = List.sort compare_row (base_rows @ delta_rows) in
           let rows = truncate plan.Query.Compile.limit rows in
+          note_plan_outcome plan (List.length rows);
           Ok
             ( rows,
               [],
@@ -428,25 +585,40 @@ let exec_query ~caches ~limits ~tracer snapshot ~q ~mode =
   end
 
 (* EXPLAIN without ANALYZE: parse and compile, print the plan the
-   engine path would run, without touching the data. *)
-let explain ?caches q =
+   engine path would run, without touching the data pages. With
+   [snapshot] the plan is costed against the collection statistics
+   (and cached under the generation-prefixed key exec uses); without
+   one, only the static rule is shown. *)
+let explain ?caches ?snapshot q =
   let key = canonical_key (Query { q; mode = `Engine }) in
+  let cache_key =
+    match snapshot with Some s -> plan_cache_key s key | None -> key
+  in
   let compiled =
     let fresh () =
       match Query.Parser.parse q with
       | Error e ->
         Error (Parse_error (Format.asprintf "%a" Query.Parser.pp_error e))
-      | Ok ast -> Ok (Query.Compile.compile ast)
+      | Ok ast ->
+        Ok
+          (Result.map
+             (fun plan ->
+               match snapshot with
+               | Some s ->
+                 Query.Compile.plan_with_stats ~feedback:s.feedback ~key s.db
+                   plan
+               | None -> plan)
+             (Query.Compile.compile ast))
     in
     match caches with
     | Some c -> begin
-      match Lru.find c.plans key with
+      match Lru.find c.plans cache_key with
       | Some plan -> Ok plan
       | None -> begin
         match fresh () with
         | Error _ as e -> e
         | Ok outcome ->
-          Lru.add c.plans key outcome;
+          Lru.add c.plans cache_key outcome;
           Ok outcome
       end
     end
@@ -589,6 +761,37 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
             if complex then Access.Counter_scoring.Complex
             else Access.Counter_scoring.Simple
           in
+          (* [Auto] resolves through the planner: the cheapest method
+             by cost over the collection statistics, and a degree no
+             larger than requested — degraded when the estimated
+             per-partition occupancy would not amortize fork/join. *)
+          let decision =
+            match method_ with
+            | Auto ->
+              Metrics.incr (op_counter "auto");
+              Some
+                (Query.Planner.choose ~feedback:snapshot.feedback
+                   ~key:(canonical_key request) ~parallelism:par
+                   ~stats:(Store.Db.collection_stats snapshot.db)
+                   ~index:(Store.Db.index snapshot.db) ~terms ())
+            | _ -> None
+          in
+          let method_, par =
+            match decision with
+            | None -> (method_, par)
+            | Some d ->
+              let m =
+                match d.Query.Planner.access with
+                | Access.Pattern_exec.Term_join Access.Term_join.Plain ->
+                  Termjoin
+                | Access.Pattern_exec.Term_join Access.Term_join.Enhanced ->
+                  Enhanced
+                | Access.Pattern_exec.Gen_meet _ -> Genmeet
+                | Access.Pattern_exec.Comp1 -> Comp1
+                | Access.Pattern_exec.Comp2 -> Comp2
+              in
+              (m, d.Query.Planner.parallelism)
+          in
           Metrics.incr (op_counter (search_method_to_string method_));
           (match method_ with
           | (Termjoin | Enhanced | Genmeet) when par > 1 ->
@@ -625,12 +828,33 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
                   | Comp1 ->
                     Access.Composite.comp1_list ~trace:tracer ~mode ctx ~terms
                   | Comp2 ->
-                    Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms)
+                    Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms
+                  | Auto -> assert false (* resolved above *))
           in
           let rows, steps = merged_node_rows ~run in
+          (match decision with
+          | None -> ()
+          | Some d ->
+            Ir.Stats.Feedback.observe snapshot.feedback
+              ~key:(canonical_key request)
+              ~est:(float_of_int d.Query.Planner.est_rows)
+              ~actual:(float_of_int (List.length rows));
+            (match Core.Trace.root tracer with
+            | Some sp ->
+              Core.Trace.apply_estimates sp
+                [
+                  ( Access.Pattern_exec.access_operator d.Query.Planner.access,
+                    d.Query.Planner.est_rows );
+                ]
+            | None -> ()));
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
-          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps rows []
+          let plan =
+            Option.map
+              (fun d -> "planner: " ^ Query.Planner.to_string d)
+              decision
+          in
+          finish ~plan ~timings:[ ("execute", dt) ] ~steps rows []
         end
       | Phrase { phrase; comp3 } -> begin
         match Ir.Phrase.parse phrase with

@@ -35,6 +35,10 @@ type snapshot = {
   delta : delta_view option;
       (** pending live updates layered over [db]; [None] for a purely
           immutable snapshot *)
+  feedback : Ir.Stats.Feedback.t;
+      (** per-snapshot cardinality corrections learned from executed
+          queries; its generation is folded into plan-cache keys so a
+          material correction change re-costs cached plans *)
 }
 
 val of_db : ?generation:int -> ?source:string -> Store.Db.t -> (snapshot, string) result
@@ -64,10 +68,15 @@ val fault_stats : snapshot -> Store.Fault.injection_stats option
 
 (** {1 Requests} *)
 
-type search_method = Termjoin | Enhanced | Genmeet | Comp1 | Comp2
+type search_method = Termjoin | Enhanced | Genmeet | Comp1 | Comp2 | Auto
 
 val search_method_of_string : string -> search_method option
 val search_method_to_string : search_method -> string
+(** [Auto] ("auto") resolves at execution time through
+    {!Query.Planner.choose}: the cheapest method by estimated cost,
+    with the requested parallelism degraded when the estimated
+    per-partition occupancy is too low. The resolved method is
+    recorded in the result's [plan] field and the [op.*] counters. *)
 
 type request =
   | Query of { q : string; mode : [ `Auto | `Engine | `Interp ] }
@@ -126,10 +135,17 @@ val canonical_key : request -> string
 
 type caches = {
   plans : (Query.Compile.plan, string) Stdlib.result Lru.t;
-      (** keyed by {!canonical_key}; [Error reason] caches the
-          negative compile so the fallback decision is also cached *)
+      (** keyed by {!plan_cache_key}; [Error reason] caches the
+          negative compile so the fallback decision is also cached.
+          Cached plans are costed ({!Query.Compile.plan_with_stats}) *)
   results : (row list * string list * int * string option) Lru.t;
 }
+
+val plan_cache_key : snapshot -> string -> string
+(** Prefix a {!canonical_key} with the snapshot's feedback
+    generation ([sg<N>|…]): when an observed cardinality moves a
+    correction materially, the generation bump invalidates every
+    cached plan, forcing a re-cost on next use. *)
 
 val exec :
   ?caches:caches ->
@@ -176,11 +192,16 @@ val exec :
     traced run must not be served to untraced clients... nor the
     reverse). *)
 
-val explain : ?caches:caches -> string -> (string, error) Stdlib.result
+val explain :
+  ?caches:caches -> ?snapshot:snapshot -> string -> (string, error) Stdlib.result
 (** EXPLAIN without executing: parse and compile the query, returning
     the engine plan's pretty-printed form. [Error Unsupported] when
     the query falls outside the compilable fragment (it would run on
-    the interpreter). Uses (and fills) the plan cache when given. *)
+    the interpreter). With [snapshot], the plan is costed against the
+    collection statistics and the printout includes the chosen access
+    method, its row estimate and the alternative cost table; the plan
+    cache (when given) is keyed exactly as {!exec} keys it, so an
+    explained plan is the plan the next execution runs. *)
 
 val set_slow_query_threshold : float option -> unit
 (** Requests slower than this many seconds are counted

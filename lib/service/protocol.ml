@@ -263,6 +263,7 @@ let rec span_to_json (sp : Core.Trace.span) =
          [ ("op", Json.String sp.name) ];
          int_field "input" sp.input;
          int_field "output" sp.output;
+         int_field "est" sp.est;
          int_field "steps" sp.gov_steps;
          [ ("elapsed_ns", Json.Int sp.elapsed_ns) ];
          (match sp.attrs with

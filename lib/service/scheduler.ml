@@ -176,7 +176,8 @@ let run t ?limits ?k ?theta ?trace ?parallelism request =
   | Ok p -> Ok (await p)
   | Error _ as e -> e
 
-let explain t q = Engine.explain ~caches:t.caches q
+let explain t q =
+  Engine.explain ~caches:t.caches ~snapshot:(Atomic.get t.snap) q
 
 let submit_fn t fn =
   let p = promise () in
@@ -206,8 +207,18 @@ let prepare t q =
       match outcome with
       | Error reason ->
         Error (Engine.Unsupported (Printf.sprintf "not compilable: %s" reason))
-      | Ok _ ->
-        Lru.add t.caches.Engine.plans key outcome;
+      | Ok plan ->
+        (* cache the costed plan under the same generation-prefixed
+           key Execute's lookup uses; a later feedback-generation bump
+           orphans the entry and Execute re-costs on the miss *)
+        let snap = Atomic.get t.snap in
+        let costed =
+          Query.Compile.plan_with_stats ~feedback:snap.Engine.feedback ~key
+            snap.Engine.db plan
+        in
+        Lru.add t.caches.Engine.plans
+          (Engine.plan_cache_key snap key)
+          (Ok costed);
         Mutex.protect t.prepared_lock (fun () ->
             match Hashtbl.find_opt t.prepared_by_key key with
             | Some id -> Ok id

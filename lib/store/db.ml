@@ -51,6 +51,9 @@ type t = {
   index : Ir.Inverted_index.t;
   numberings : Xmlkit.Numbering.t array option;
   verif : verifier;
+  coll_stats : Ir.Stats.t option Atomic.t;
+      (* planner statistics: decoded from the image's optional stats
+         section, or computed lazily by one element scan on first use *)
 }
 
 type stats = {
@@ -173,6 +176,7 @@ let finish b =
          Some (Array.of_list (List.rev b.b_numberings))
        else None);
     verif = verified ();
+    coll_stats = Atomic.make None;
   }
 
 let load ?(options = default_options) docs =
@@ -379,7 +383,38 @@ let compact ~base ~delta ~tombstones =
     index = Ir.Inverted_index.freeze index_b;
     numberings;
     verif = verified ();
+    coll_stats = Atomic.make None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Planner statistics: corpus aggregates + per-tag counts + path
+   synopsis ({!Ir.Stats}). Saved images carry them in an optional
+   sixth section; otherwise (in-memory builds, legacy images, images
+   written before the section existed) one element-store scan in
+   preorder computes them on first use and caches the result. *)
+
+let compute_collection_stats t =
+  let istats = Ir.Inverted_index.stats t.index in
+  let b =
+    Ir.Stats.builder
+      ~documents:(Catalog.document_count t.catalog)
+      ~occurrences:istats.Ir.Inverted_index.total_occurrences
+      ~distinct_terms:istats.Ir.Inverted_index.distinct_terms
+      ~tag_count:(Catalog.tag_count t.catalog)
+      ()
+  in
+  Element_store.scan t.elements (fun (r : Element_rec.t) ->
+      Ir.Stats.add_element b ~tag:r.tag ~level:r.level);
+  Ir.Stats.freeze b
+
+let collection_stats t =
+  match Atomic.get t.coll_stats with
+  | Some s -> s
+  | None ->
+    let s = compute_collection_stats t in
+    (* racing domains compute identical stats; first publisher wins *)
+    ignore (Atomic.compare_and_set t.coll_stats None (Some s));
+    Option.value ~default:s (Atomic.get t.coll_stats)
 
 let pp_stats ppf s =
   Format.fprintf ppf
@@ -395,11 +430,12 @@ let pp_stats ppf s =
    section's payload):
 
      magic   "TIXDB004"                       8 bytes
-     count   varint                           must be 5
+     count   varint                           5 or 6
      section varint id, varint len,
              4-byte big-endian CRC-32,        catalog = 1,
              payload                          elements = 2, index = 3,
-                                              parents = 4, tags = 5
+                                              parents = 4, tags = 5,
+                                              stats = 6 (optional)
 
    Sections appear in id order and the file ends exactly after the
    last payload. Every payload byte is covered by its section's
@@ -441,7 +477,13 @@ let pp_error ppf = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-let section_names = [| "catalog"; "elements"; "index"; "parents"; "tags" |]
+(* The sixth section (planner statistics) is optional: images written
+   before it existed frame and verify exactly as before, and old
+   builds reject a six-section image by its header count — the
+   version byte in the magic is the compatibility contract, the
+   count check below merely bounds it. *)
+let section_names = [| "catalog"; "elements"; "index"; "parents"; "tags"; "stats" |]
+let required_sections = 5
 let section_names_v3 = [| "catalog"; "elements"; "index" |]
 
 let add_string buf s =
@@ -502,8 +544,8 @@ let write_image ~magic sections path =
     raise e);
   Sys.rename tmp path
 
-let save t path =
-  write_image ~magic
+let save ?(with_stats = true) t path =
+  let base =
     [
       catalog_section t;
       section (1 lsl 20) (Element_store.save t.elements);
@@ -511,7 +553,13 @@ let save t path =
       section (1 lsl 16) (Parent_index.save t.parents);
       section (1 lsl 16) (Tag_index.save t.tags);
     ]
-    path
+  in
+  let sections =
+    if with_stats then
+      base @ [ section (1 lsl 12) (Ir.Stats.save (collection_stats t)) ]
+    else base
+  in
+  write_image ~magic sections path
 
 (* A genuine version-3 image (legacy varint postings, three sections,
    no parent/tag sections): what previous builds of this code wrote.
@@ -549,18 +597,21 @@ let decode_catalog buf ~off ~len =
 (* Frame the section table over [buf]: purely structural checks on
    the header — section count, ids, lengths summing exactly to the
    file size. O(1) in the image size; trusts no payload byte. *)
-let frame ~path ~names buf =
+let frame ?min_sections ~path ~names buf =
+  let min_sections =
+    match min_sections with Some m -> m | None -> Array.length names
+  in
   let total = Ir.Codec.buf_length buf in
   match
     let nsections, off = Ir.Codec.read_varint_buf buf (String.length magic) in
-    if nsections <> Array.length names then
+    if nsections < min_sections || nsections > Array.length names then
       Error
         (Corrupt
            {
              path;
              detail =
-               Printf.sprintf "expected %d sections, header says %d"
-                 (Array.length names) nsections;
+               Printf.sprintf "expected %d-%d sections, header says %d"
+                 min_sections (Array.length names) nsections;
            })
     else begin
       let rec frame i off acc =
@@ -621,8 +672,8 @@ let verify_sections ~path buf sections =
 
 (* Frame, then verify every checksum before trusting a single payload
    byte — the eager open path. *)
-let frame_and_verify ~path ~names buf =
-  match frame ~path ~names buf with
+let frame_and_verify ?min_sections ~path ~names buf =
+  match frame ?min_sections ~path ~names buf with
   | Error _ as e -> e
   | Ok sections -> (
     match verify_sections ~path buf sections with
@@ -632,6 +683,11 @@ let frame_and_verify ~path ~names buf =
 let find_section sections name =
   let _, off, len, _ = List.find (fun (n, _, _, _) -> n = name) sections in
   (off, len)
+
+let find_section_opt sections name =
+  List.find_map
+    (fun (n, off, len, _) -> if n = name then Some (off, len) else None)
+    sections
 
 (* Version 4: everything decodes straight out of the mapped buffer.
    The catalog and the parent/tag sections are materialized eagerly
@@ -656,7 +712,18 @@ let decode_v4 ~path ~verif buf sections =
     let t_off, t_len = find "tags" in
     let tags, t_end = Tag_index.load buf t_off in
     if t_end <> t_off + t_len then failwith "tags section length mismatch";
-    { catalog; elements; parents; tags; index; numberings = None; verif }
+    let coll_stats =
+      (* optional: absent in images written before the section
+         existed; they compute stats lazily like in-memory builds *)
+      match find_section_opt sections "stats" with
+      | None -> Atomic.make None
+      | Some (s_off, s_len) ->
+        let stats, s_end = Ir.Stats.load_buf buf s_off in
+        if s_end <> s_off + s_len then failwith "stats section length mismatch";
+        Atomic.make (Some stats)
+    in
+    { catalog; elements; parents; tags; index; numberings = None; verif;
+      coll_stats }
   with
   | db ->
     Log.info (fun m ->
@@ -708,6 +775,7 @@ let decode_v3 ?pool_pages ~path bytes sections =
       index;
       numberings = None;
       verif = verified ();
+      coll_stats = Atomic.make None;
     }
   with
   | db ->
@@ -735,7 +803,10 @@ let open_v4 ~verify ~path =
     let buf = Ir.Codec.M map in
     match verify with
     | `Eager -> (
-      match frame_and_verify ~path ~names:section_names buf with
+      match
+        frame_and_verify ~min_sections:required_sections ~path
+          ~names:section_names buf
+      with
       | Error e -> Error e
       | Ok sections -> decode_v4 ~path ~verif:(verified ()) buf sections)
     | `Lazy -> (
@@ -744,7 +815,9 @@ let open_v4 ~verify ~path =
          framing only — a payload corruption surfaces as `Failed once
          the scan lands, exactly what a shard process wants: serving
          state in O(1), integrity verdict seconds later. *)
-      match frame ~path ~names:section_names buf with
+      match
+        frame ~min_sections:required_sections ~path ~names:section_names buf
+      with
       | Error e -> Error e
       | Ok sections -> (
         let verif =

@@ -71,6 +71,12 @@ val tags : t -> Tag_index.t
 val index : t -> Ir.Inverted_index.t
 val stats : t -> stats
 
+val collection_stats : t -> Ir.Stats.t
+(** Planner statistics (corpus aggregates, per-tag counts, path
+    synopsis). Decoded from the image's optional [stats] section when
+    present; otherwise computed by one element-store scan on first
+    use and cached. Safe to call from any domain. *)
+
 val document_id : t -> string -> int option
 
 val subtree : t -> doc:int -> start:int -> Xmlkit.Tree.element option
@@ -98,8 +104,9 @@ val compact : base:t -> delta:t option -> tombstones:bool array -> t
 (** {1 Persistence}
 
     A saved image is versioned and checksummed: a magic header
-    ([TIXDB004]) followed by five framed sections (catalog, element
-    pages, inverted index, parent index, tag index), each carrying
+    ([TIXDB004]) followed by five or six framed sections (catalog,
+    element pages, inverted index, parent index, tag index, and an
+    optional planner-statistics section), each carrying
     its length and a CRC-32 of its payload. {!open_file} verifies
     every checksum before decoding a byte of a section, so any
     corruption of the image — a flipped bit, a torn write, a
@@ -118,13 +125,17 @@ val compact : base:t -> delta:t option -> tombstones:bool array -> t
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
-val save : t -> string -> unit
+val save : ?with_stats:bool -> t -> string -> unit
 (** [save db path] writes the current-version ([TIXDB004]) database
-    image — catalog, element pages, inverted index, parent index and
-    tag index — to one file. The write is atomic: the image is
-    assembled in a temporary file in the same directory and renamed
-    over [path], so a crash mid-save never leaves a torn image
-    behind. Retained trees are not persisted. *)
+    image — catalog, element pages, inverted index, parent index,
+    tag index and (by default) the planner statistics section — to
+    one file. The write is atomic: the image is assembled in a
+    temporary file in the same directory and renamed over [path], so
+    a crash mid-save never leaves a torn image behind. Retained
+    trees are not persisted. [~with_stats:false] omits the sixth
+    section, producing the five-section layout older readers framed;
+    such images recompute statistics on first {!collection_stats}
+    call after open. *)
 
 val save_v3 : t -> string -> unit
 (** Write a legacy [TIXDB003] image (varint postings, three

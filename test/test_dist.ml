@@ -115,18 +115,23 @@ let parse_exn line =
   | Error e -> Alcotest.failf "bad request %s: %s" line e
 
 (* timings are wall-clock, the cache flag depends on execution
-   history, and steps_used is per-process resource accounting (the
-   coordinator reports the sum over shards) — everything else must
-   match byte for byte *)
+   history, steps_used is per-process resource accounting (the
+   coordinator reports the sum over shards), and the plan text
+   carries shard-local cost estimates (a shard's statistics cover
+   its range, not the corpus) — everything else must match byte for
+   byte. Plan *presence* must still agree; [compare_all] checks it. *)
 let strip json =
   match json with
   | Json.Obj fields ->
     Json.Obj
       (List.filter
          (fun (name, _) ->
-           name <> "timings" && name <> "cached" && name <> "steps_used")
+           name <> "timings" && name <> "cached" && name <> "steps_used"
+           && name <> "plan")
          fields)
   | j -> j
+
+let has_plan json = Json.member "plan" json <> None
 
 let response_ok json =
   Json.member "ok" json = Some (Json.Bool true)
@@ -270,11 +275,15 @@ let compare_all ~what single coordinator =
   List.iter
     (fun line ->
       let req = parse_exn line in
-      let expected = Json.to_string (strip (single req)) in
-      let got =
-        Json.to_string (strip (Dist.Coordinator.handle coordinator req))
-      in
-      check string_ (Printf.sprintf "%s: %s" what line) expected got)
+      let oracle = single req in
+      let merged = Dist.Coordinator.handle coordinator req in
+      check string_
+        (Printf.sprintf "%s: %s" what line)
+        (Json.to_string (strip oracle))
+        (Json.to_string (strip merged));
+      check bool_
+        (Printf.sprintf "%s: plan presence: %s" what line)
+        (has_plan oracle) (has_plan merged))
     family_requests
 
 let test_matches_single_node () =

@@ -685,6 +685,75 @@ let test_index_save_load () =
   in
   check bool_ "postings equal" true (dump idx "beta" = dump loaded "beta")
 
+let test_index_load_buf_lazy () =
+  (* load_buf maps the dictionary lazily over the image buffer; every
+     query-visible reading must equal the eager loader's *)
+  let idx = build_index [ "alpha beta beta"; "beta gamma delta" ] in
+  let buf = Buffer.create 256 in
+  Ir.Inverted_index.save idx buf;
+  let bytes = Buffer.to_bytes buf in
+  let lazy_idx, off_lazy =
+    Ir.Inverted_index.load_buf (Ir.Codec.buf_of_bytes bytes) 0
+  in
+  check int_ "consumed all" (Buffer.length buf) off_lazy;
+  check bool_ "dictionary is mapped" true
+    (Ir.Dictionary.is_mapped (Ir.Inverted_index.dictionary lazy_idx));
+  check bool_ "builder dictionary is in-memory" false
+    (Ir.Dictionary.is_mapped (Ir.Inverted_index.dictionary idx));
+  let eager = idx in
+  let dump i term =
+    match Ir.Inverted_index.lookup i term with
+    | Some p -> Ir.Postings.to_list p
+    | None -> []
+  in
+  List.iter
+    (fun term ->
+      check int_
+        (Printf.sprintf "cf(%s)" term)
+        (Ir.Inverted_index.collection_freq eager term)
+        (Ir.Inverted_index.collection_freq lazy_idx term);
+      check int_
+        (Printf.sprintf "df(%s)" term)
+        (Ir.Inverted_index.doc_freq eager term)
+        (Ir.Inverted_index.doc_freq lazy_idx term);
+      check bool_
+        (Printf.sprintf "postings(%s)" term)
+        true
+        (dump eager term = dump lazy_idx term))
+    [ "alpha"; "beta"; "gamma"; "delta"; "missing" ];
+  check bool_ "terms_by_freq equal" true
+    (Ir.Inverted_index.terms_by_freq eager
+    = Ir.Inverted_index.terms_by_freq lazy_idx)
+
+let test_mapped_dictionary () =
+  (* a mapped dictionary materializes terms from the buffer on demand
+     and is read-only *)
+  let body = "abcd" in
+  let d =
+    Ir.Dictionary.of_mapped
+      (Ir.Codec.buf_of_bytes (Bytes.of_string body))
+      ~offs:[| 0; 2 |] ~lens:[| 2; 2 |]
+  in
+  check bool_ "is_mapped" true (Ir.Dictionary.is_mapped d);
+  check int_ "size" 2 (Ir.Dictionary.size d);
+  check bool_ "find ab" true (Ir.Dictionary.find d "ab" = Some 0);
+  check bool_ "find cd" true (Ir.Dictionary.find d "cd" = Some 1);
+  check bool_ "find missing" true (Ir.Dictionary.find d "zz" = None);
+  check string_ "term 1" "cd" (Ir.Dictionary.term d 1);
+  (* concurrent first access races benignly: every domain reads the
+     same table *)
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Ir.Dictionary.find d "ab" = Some 0
+            && Ir.Dictionary.find d "cd" = Some 1))
+  in
+  check bool_ "concurrent finds agree" true
+    (List.for_all Domain.join domains);
+  match Ir.Dictionary.intern d "new" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "intern on a mapped dictionary must raise"
+
 let test_index_save_load_property =
   QCheck.Test.make ~name:"index save/load roundtrip (random)" ~count:50
     QCheck.(list_of_size (QCheck.Gen.int_range 1 4) printable_string)
@@ -699,6 +768,88 @@ let test_index_save_load_property =
           Ir.Inverted_index.collection_freq idx t
           = Ir.Inverted_index.collection_freq loaded t)
         terms)
+
+(* ------------------------------------------------------------------ *)
+(* Collection statistics and the planner feedback table *)
+
+let small_stats () =
+  (* two documents of shape article(title, sec(p, p)); tag ids:
+     article=0 title=1 sec=2 p=3 *)
+  let b =
+    Ir.Stats.builder ~documents:2 ~occurrences:40 ~distinct_terms:7
+      ~tag_count:4 ()
+  in
+  for _ = 1 to 2 do
+    Ir.Stats.add_element b ~tag:0 ~level:0;
+    Ir.Stats.add_element b ~tag:1 ~level:1;
+    Ir.Stats.add_element b ~tag:2 ~level:1;
+    Ir.Stats.add_element b ~tag:3 ~level:2;
+    Ir.Stats.add_element b ~tag:3 ~level:2
+  done;
+  Ir.Stats.freeze b
+
+let test_stats_estimators () =
+  let s = small_stats () in
+  check int_ "elements" 10 s.Ir.Stats.elements;
+  check int_ "tag_count p" 4 (Ir.Stats.tag_count s ~tag:3);
+  check int_ "tag_count unknown" 0 (Ir.Stats.tag_count s ~tag:9);
+  check bool_ "avg_depth" true (abs_float (Ir.Stats.avg_depth s -. 2.2) < 1e-9);
+  check bool_ "article subtree is everything" true
+    (Ir.Stats.subtree_fraction s ~tag:0 = 1.0);
+  (* each sec subtree holds sec + 2 p: 6 of 10 elements *)
+  check bool_ "sec subtree fraction" true
+    (abs_float (Ir.Stats.subtree_fraction s ~tag:2 -. 0.6) < 1e-9);
+  check bool_ "synopsis complete" true s.Ir.Stats.synopsis_complete
+
+let test_stats_roundtrip () =
+  let s = small_stats () in
+  let buf = Buffer.create 64 in
+  Ir.Stats.save s buf;
+  let loaded, off =
+    Ir.Stats.load_buf (Ir.Codec.buf_of_bytes (Buffer.to_bytes buf)) 0
+  in
+  check int_ "consumed all" (Buffer.length buf) off;
+  check bool_ "roundtrip equal" true (loaded = s)
+
+let test_stats_truncation () =
+  let b =
+    Ir.Stats.builder ~max_nodes:2 ~documents:1 ~occurrences:0 ~distinct_terms:0
+      ~tag_count:4 ()
+  in
+  Ir.Stats.add_element b ~tag:0 ~level:0;
+  Ir.Stats.add_element b ~tag:1 ~level:1;
+  Ir.Stats.add_element b ~tag:2 ~level:1;
+  (* over budget *)
+  Ir.Stats.add_element b ~tag:3 ~level:2;
+  (* below a truncation point *)
+  let s = Ir.Stats.freeze b in
+  check bool_ "truncated" false s.Ir.Stats.synopsis_complete;
+  check int_ "node budget held" 2 s.Ir.Stats.synopsis_nodes;
+  check int_ "tag_counts stay exact" 1 (Ir.Stats.tag_count s ~tag:2)
+
+let test_feedback () =
+  let f = Ir.Stats.Feedback.create () in
+  check int_ "generation starts 0" 0 (Ir.Stats.Feedback.generation f);
+  check bool_ "default correction" true
+    (Ir.Stats.Feedback.correction f ~key:"q" = 1.0);
+  Ir.Stats.Feedback.observe f ~key:"q" ~est:100. ~actual:1000.;
+  check bool_ "correction learned" true
+    (Ir.Stats.Feedback.correction f ~key:"q" = 10.0);
+  check int_ "first observation sets baseline without a bump" 0
+    (Ir.Stats.Feedback.generation f);
+  Ir.Stats.Feedback.observe f ~key:"q" ~est:100. ~actual:100.;
+  (* EWMA halves toward the new ratio; 5.5 is within a factor 2 of 10 *)
+  check bool_ "ewma" true
+    (abs_float (Ir.Stats.Feedback.correction f ~key:"q" -. 5.5) < 1e-9);
+  check int_ "non-material move keeps generation" 0
+    (Ir.Stats.Feedback.generation f);
+  (* a big upward move against the established baseline is material *)
+  Ir.Stats.Feedback.observe f ~key:"q" ~est:10. ~actual:3000.;
+  check int_ "material move bumps generation" 1
+    (Ir.Stats.Feedback.generation f);
+  Ir.Stats.Feedback.observe f ~key:"r" ~est:1. ~actual:1e9;
+  check bool_ "clamped" true (Ir.Stats.Feedback.correction f ~key:"r" = 64.0);
+  check int_ "observations" 4 (Ir.Stats.Feedback.observations f)
 
 let () =
   let tc = Alcotest.test_case in
@@ -753,7 +904,16 @@ let () =
           tc "terms by freq" `Quick test_index_terms_by_freq;
           QCheck_alcotest.to_alcotest test_index_freq_matches_naive;
           tc "save/load" `Quick test_index_save_load;
+          tc "lazy load_buf" `Quick test_index_load_buf_lazy;
+          tc "mapped dictionary" `Quick test_mapped_dictionary;
           QCheck_alcotest.to_alcotest test_index_save_load_property;
+        ] );
+      ( "stats",
+        [
+          tc "estimators" `Quick test_stats_estimators;
+          tc "roundtrip" `Quick test_stats_roundtrip;
+          tc "synopsis truncation" `Quick test_stats_truncation;
+          tc "feedback corrections" `Quick test_feedback;
         ] );
       ( "phrase",
         [

@@ -570,6 +570,125 @@ let test_engine_explain () =
   | Error e -> Alcotest.failf "explain: %s" (Service.Engine.error_message e));
   check int_ "plan cached" 1 (Lru.stats caches.Service.Engine.plans).Lru.entries
 
+let has_sub needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let fresh_snapshot () =
+  match Service.Engine.of_db (Lazy.force db) with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "of_db: %s" msg
+
+let test_search_auto () =
+  (* the auto method resolves through the planner, reports its
+     decision in the plan field and returns exactly the rows of the
+     explicit methods *)
+  let snap = fresh_snapshot () in
+  let terms = [ "svplantone"; "svplanttwo" ] in
+  let run method_ =
+    match
+      Service.Engine.exec snap (Service.Engine.Search { terms; method_; complex = false })
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  in
+  let auto = run Service.Engine.Auto in
+  let tj = run Service.Engine.Termjoin in
+  check string_ "auto rows = termjoin rows"
+    (Service.Json.to_string (Service.Protocol.rows_to_json tj.Service.Engine.rows))
+    (Service.Json.to_string (Service.Protocol.rows_to_json auto.Service.Engine.rows));
+  (match auto.Service.Engine.plan with
+  | Some p ->
+    check bool_ "plan reports the decision" true (has_sub "planner: " p);
+    check bool_ "plan reports a cost" true (has_sub "cost=" p)
+  | None -> Alcotest.fail "auto search has no plan");
+  check bool_ "auto roundtrips as a string" true
+    (Service.Engine.search_method_of_string "auto" = Some Service.Engine.Auto)
+
+let test_explain_costed () =
+  (* with a snapshot, EXPLAIN prices the access methods and prints
+     the chosen one with its row estimate and alternatives *)
+  let snap = fresh_snapshot () in
+  (match Service.Engine.explain ~snapshot:snap compilable_query with
+  | Ok text ->
+    check bool_ "mentions the access method" true (has_sub "access: " text);
+    check bool_ "marks the choice as costed" true (has_sub "(costed)" text);
+    check bool_ "prints the estimate" true (has_sub "estimate: " text);
+    check bool_ "prints the cost table" true (has_sub "cost=" text)
+  | Error e -> Alcotest.failf "explain: %s" (Service.Engine.error_message e));
+  (* without a snapshot only the static rule is shown *)
+  match Service.Engine.explain compilable_query with
+  | Ok text ->
+    check bool_ "static rule marked" true (has_sub "(static rule)" text);
+    check bool_ "no estimate without stats" false (has_sub "estimate: " text)
+  | Error e -> Alcotest.failf "explain: %s" (Service.Engine.error_message e)
+
+let test_trace_estimates () =
+  (* EXPLAIN ANALYZE: the access operator's span carries the
+     planner's row estimate next to the actual cardinality, and the
+     estimate survives the JSON protocol encoding *)
+  let snap = fresh_snapshot () in
+  let r =
+    match
+      Service.Engine.exec ~trace:true snap
+        (Service.Engine.Search
+           { terms = [ "svplantone" ]; method_ = Service.Engine.Auto; complex = false })
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  in
+  let sp =
+    match r.Service.Engine.trace with
+    | Some sp -> sp
+    | None -> Alcotest.fail "no span tree"
+  in
+  let estimated = ref [] in
+  Core.Trace.iter_span
+    (fun s -> if s.Core.Trace.est >= 0 then estimated := s :: !estimated)
+    sp;
+  (match !estimated with
+  | [] -> Alcotest.fail "no span carries an estimate"
+  | s :: _ ->
+    check bool_ "pp prints est" true
+      (has_sub "est=" (Core.Trace.span_to_string s)));
+  let json = Service.Json.to_string (Service.Protocol.span_to_json sp) in
+  check bool_ "est crosses the protocol" true (has_sub "\"est\"" json)
+
+let test_plan_recost_after_feedback () =
+  (* a material correction change bumps the feedback generation; the
+     stale cached plan is keyed under the old generation, so the next
+     execution re-costs instead of reusing it *)
+  let caches = fresh_caches () in
+  let snap = fresh_snapshot () in
+  let request = Service.Engine.Query { q = compilable_query; mode = `Engine } in
+  let run () =
+    match Service.Engine.exec ~caches snap request with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
+  in
+  ignore (run ());
+  check int_ "one costed plan cached" 1
+    (Lru.stats caches.Service.Engine.plans).Lru.entries;
+  Lru.clear caches.Service.Engine.results;
+  let hits0 = (Lru.stats caches.Service.Engine.plans).Lru.hits in
+  ignore (run ());
+  check int_ "stable generation reuses the plan" (hits0 + 1)
+    (Lru.stats caches.Service.Engine.plans).Lru.hits;
+  (* drive a material misestimate for this query's key *)
+  let key = Service.Engine.canonical_key request in
+  let feedback = snap.Service.Engine.feedback in
+  Ir.Stats.Feedback.observe feedback ~key ~est:1000. ~actual:1000.;
+  Ir.Stats.Feedback.observe feedback ~key ~est:1. ~actual:100000.;
+  check bool_ "generation bumped" true (Ir.Stats.Feedback.generation feedback > 0);
+  Lru.clear caches.Service.Engine.results;
+  let hits1 = (Lru.stats caches.Service.Engine.plans).Lru.hits in
+  ignore (run ());
+  check int_ "stale plan is not served" hits1
+    (Lru.stats caches.Service.Engine.plans).Lru.hits;
+  check int_ "re-costed under the new generation" 2
+    (Lru.stats caches.Service.Engine.plans).Lru.entries
+
 (* the span tree crosses the protocol as well-formed JSON *)
 let test_trace_json_roundtrip () =
   let r, sp =
@@ -1001,6 +1120,10 @@ let () =
           Alcotest.test_case "result cache" `Quick test_engine_result_cache;
           Alcotest.test_case "plan cache" `Quick test_engine_plan_cache;
           Alcotest.test_case "explain" `Quick test_engine_explain;
+          Alcotest.test_case "auto search method" `Quick test_search_auto;
+          Alcotest.test_case "costed explain" `Quick test_explain_costed;
+          Alcotest.test_case "re-plan after feedback" `Quick
+            test_plan_recost_after_feedback;
         ] );
       ( "trace",
         [
@@ -1009,6 +1132,7 @@ let () =
           Alcotest.test_case "bypasses result cache" `Quick
             test_trace_bypasses_cache;
           Alcotest.test_case "span JSON roundtrip" `Quick test_trace_json_roundtrip;
+          Alcotest.test_case "operator estimates" `Quick test_trace_estimates;
         ] );
       ( "scheduler",
         [

@@ -439,6 +439,45 @@ let test_db_save_open () =
       check bool_ "no trees" true
         (Store.Db.subtree reopened ~doc:0 ~start:0 = None))
 
+let test_db_stats_section () =
+  (* the optional TIXDB004 stats section: saved by default, loaded on
+     open, and absent from a [~with_stats:false] compat image, which
+     still opens and recomputes the same statistics from a scan *)
+  let db = Lazy.force db in
+  let path = Filename.temp_file "tix" ".db" in
+  let path5 = Filename.temp_file "tix" ".db" in
+  (* the framed section count is the varint right after the magic;
+     both counts fit one byte *)
+  let section_count_of p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        seek_in ic 8;
+        Char.code (input_char ic))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove path5)
+    (fun () ->
+      let s = Store.Db.collection_stats db in
+      check bool_ "elements counted" true (s.Ir.Stats.elements > 0);
+      check int_ "stats agree with store"
+        (Store.Db.stats db).Store.Db.elements s.Ir.Stats.elements;
+      Store.Db.save db path;
+      check int_ "six sections with stats" 6 (section_count_of path);
+      let reopened = Store.Db.open_file_exn path in
+      check bool_ "persisted stats equal computed" true
+        (Store.Db.collection_stats reopened = s);
+      Store.Db.save ~with_stats:false db path5;
+      check int_ "five sections without stats" 5 (section_count_of path5);
+      let compat = Store.Db.open_file_exn path5 in
+      check bool_ "compat image recomputes the same stats" true
+        (Store.Db.collection_stats compat = s);
+      check bool_ "compat image stats" true
+        (Store.Db.stats compat = Store.Db.stats db))
+
 let test_db_open_rejects_garbage () =
   let path = Filename.temp_file "tix" ".db" in
   Fun.protect
@@ -664,6 +703,7 @@ let () =
       ( "persistence",
         [
           tc "save and reopen" `Quick test_db_save_open;
+          tc "stats section" `Quick test_db_stats_section;
           tc "rejects garbage" `Quick test_db_open_rejects_garbage;
           tc "query agreement" `Quick test_persistence_query_agreement;
           tc "v3 transparent upgrade" `Quick test_db_v3_upgrade;
