@@ -125,6 +125,10 @@ let median samples =
 
 let minimum samples = List.fold_left Float.min infinity samples
 
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan else sorted.(int_of_float (p *. float_of_int (n - 1)))
+
 (* Machine-readable results: every named measurement accumulates
    here and is dumped as JSON when the run finishes. *)
 let bench_results : (string * float list) list ref = ref []
@@ -149,9 +153,12 @@ let write_results_json () =
         (String.concat ", "
            (List.map (fun s -> Printf.sprintf "%.0f" (s *. 1e9)) samples))
     in
-    output_string oc "[\n";
+    (* host_cores makes concurrency-sensitive numbers (group-commit
+       ingest ratios, parallel speedups) interpretable offline *)
+    Printf.fprintf oc "{\"host_cores\": %d,\n\"results\": [\n"
+      (Domain.recommended_domain_count ());
     output_string oc (String.concat ",\n" (List.map entry entries));
-    output_string oc "\n]\n";
+    output_string oc "\n]}\n";
     close_out oc;
     Printf.printf "\nwrote %s (%d measurements)\n%!" json_path
       (List.length entries)
@@ -963,6 +970,7 @@ let service_requests n =
               terms = [ qa 1000; qb 1000 ];
               method_ = Service.Engine.Termjoin;
               complex = false;
+              anchor = None;
             }
         | 1 ->
           Service.Engine.Search
@@ -970,6 +978,7 @@ let service_requests n =
               terms = [ qa 300; qb 300 ];
               method_ = Service.Engine.Termjoin;
               complex = true;
+              anchor = None;
             }
         | 2 ->
           Service.Engine.Search
@@ -977,6 +986,7 @@ let service_requests n =
               terms = [ qa 2000; qb 2000 ];
               method_ = Service.Engine.Genmeet;
               complex = false;
+              anchor = None;
             }
         | 3 ->
           Service.Engine.Phrase
@@ -991,6 +1001,7 @@ let service_requests n =
               terms = [ qa 100; qb 100 ];
               method_ = Service.Engine.Enhanced;
               complex = true;
+              anchor = None;
             }
       in
       (req, k))
@@ -1165,6 +1176,142 @@ let updates_bench db =
       bench_results := ("updates/checkpoint", [ ckpt_s ]) :: !bench_results;
       Printf.printf "%-28s %10.1f ms (merge + save + wal reset)\n%!"
         "checkpoint" (ckpt_s *. 1000.);
+      (* concurrent writers: the same ingest fanned across threads,
+         once with per-op fsync (wal_batch = 1) and once with group
+         commit, so the ratio isolates the shared-fsync win *)
+      let writers =
+        match Sys.getenv_opt "TIX_BENCH_UPDATES_WRITERS" with
+        | Some s -> int_of_string s
+        | None -> 8
+      in
+      let per_writer = max 1 (n / writers) in
+      let concurrent_ingest ~wal_batch =
+        let sub = Filename.concat dir (Printf.sprintf "gc%d" wal_batch) in
+        Unix.mkdir sub 0o755;
+        let lv =
+          match Store.Live.open_dir ~wal_batch ~dir:sub () with
+          | Ok o -> o.Store.Live.live
+          | Error e -> failwith (Store.Live.error_to_string e)
+        in
+        let failures = Atomic.make 0 in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init writers (fun w ->
+              Thread.create
+                (fun () ->
+                  for i = 0 to per_writer - 1 do
+                    match
+                      Store.Live.insert lv
+                        ~name:(Printf.sprintf "gc%d-%d.xml" w i)
+                        ~xml:(doc ((w * per_writer) + i))
+                    with
+                    | Ok () -> ()
+                    | Error _ -> Atomic.incr failures
+                  done)
+                ())
+        in
+        List.iter Thread.join threads;
+        let dt = Unix.gettimeofday () -. t0 in
+        let stats = Store.Live.stats lv in
+        Store.Live.close lv;
+        if Atomic.get failures > 0 then
+          failwith "concurrent ingest reported write failures";
+        (float_of_int (writers * per_writer) /. dt, dt, stats)
+      in
+      let serial_rate, serial_s, _ = concurrent_ingest ~wal_batch:1 in
+      let batched_rate, batched_s, gstats = concurrent_ingest ~wal_batch:64 in
+      bench_results :=
+        (Printf.sprintf "updates/ingest-%dw-fsync-per-op" writers, [ serial_s ])
+        :: ( Printf.sprintf "updates/ingest-%dw-group-commit" writers,
+             [ batched_s ] )
+        :: !bench_results;
+      Printf.printf "%-28s %10.0f docs/s (%d writers, fsync per op)\n%!"
+        "concurrent ingest" serial_rate writers;
+      Printf.printf
+        "%-28s %10.0f docs/s (%d writers, group commit: %d batches, largest \
+         %d)\n\
+         %!"
+        "concurrent ingest" batched_rate writers
+        gstats.Store.Live.gc_batches gstats.Store.Live.gc_largest_batch;
+      let ratio = batched_rate /. serial_rate in
+      let cores = Domain.recommended_domain_count () in
+      if cores >= 2 then
+        if ratio >= 3. then
+          Printf.printf
+            "group-commit ingest speedup: %.2fx (>= 3x required)\n%!" ratio
+        else
+          bench_failures :=
+            Printf.sprintf
+              "group-commit ingest speedup %.2fx < 3x at %d writers on a \
+               host with %d recommended domains"
+              ratio writers cores
+            :: !bench_failures
+      else
+        Printf.printf
+          "single-core host (%d recommended domain): group-commit speedup \
+           gate skipped at %.2fx, wall times recorded\n\
+           %!"
+          cores ratio;
+      (* read latency while a checkpoint is in flight: refill the
+         delta, run the merge on another thread, and sample ranked
+         queries against a pinned base+delta view the whole time *)
+      for i = 0 to n - 1 do
+        match
+          Store.Live.insert live
+            ~name:(Printf.sprintf "ck%d.xml" i)
+            ~xml:(doc i)
+        with
+        | Ok () -> ()
+        | Error e -> failwith (Store.Live.error_to_string e)
+      done;
+      let base, delta = Store.Live.view live in
+      let ck_snapshot =
+        match Service.Engine.of_db base with
+        | Ok s -> Service.Engine.with_delta s delta
+        | Error e -> failwith e
+      in
+      let ck_done = Atomic.make false in
+      let ck_err = ref None in
+      let ck_thread =
+        Thread.create
+          (fun () ->
+            (match Store.Live.checkpoint live with
+            | Ok _ -> ()
+            | Error e -> ck_err := Some (Store.Live.error_to_string e));
+            Atomic.set ck_done true)
+          ()
+      in
+      let lats = ref [] in
+      let in_flight = ref 0 in
+      let sample () =
+        let t0 = Unix.gettimeofday () in
+        (match Service.Engine.exec ~k:10 ck_snapshot request with
+        | Ok _ -> ()
+        | Error e -> failwith (Service.Engine.error_message e));
+        lats := (Unix.gettimeofday () -. t0) :: !lats
+      in
+      while not (Atomic.get ck_done) do
+        sample ();
+        incr in_flight
+      done;
+      Thread.join ck_thread;
+      (match !ck_err with Some e -> failwith e | None -> ());
+      while List.length !lats < 20 do
+        sample ()
+      done;
+      let sorted = Array.of_list !lats in
+      Array.sort compare sorted;
+      let p50 = percentile sorted 0.5 and p99 = percentile sorted 0.99 in
+      bench_results :=
+        ("updates/read-p50-during-ckpt", [ p50 ])
+        :: ("updates/read-p99-during-ckpt", [ p99 ])
+        :: !bench_results;
+      Printf.printf
+        "%-28s p50 %6.3f ms  p99 %6.3f ms (%d of %d samples with the \
+         checkpoint in flight)\n\
+         %!"
+        "ranked during checkpoint" (p50 *. 1000.) (p99 *. 1000.) !in_flight
+        (Array.length sorted);
       Store.Live.close live)
 
 (* ------------------------------------------------------------------ *)
@@ -1192,6 +1339,7 @@ let dist_requests n =
               terms = [ qa 1000; qb 1000 ];
               method_ = Service.Engine.Termjoin;
               complex = false;
+              anchor = None;
             }
         | 1 ->
           Service.Engine.Search
@@ -1199,6 +1347,7 @@ let dist_requests n =
               terms = [ qa 300; qb 300 ];
               method_ = Service.Engine.Termjoin;
               complex = true;
+              anchor = None;
             }
         | 2 ->
           Service.Engine.Phrase
@@ -1213,6 +1362,7 @@ let dist_requests n =
               terms = [ qa 2000; qb 2000 ];
               method_ = Service.Engine.Genmeet;
               complex = false;
+              anchor = None;
             }
       in
       Service.Protocol.Exec
@@ -1224,10 +1374,6 @@ let dist_requests n =
           parallelism = None;
           theta = None;
         })
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then nan else sorted.(int_of_float (p *. float_of_int (n - 1)))
 
 let dist_bench db =
   let docs = Store.Catalog.document_count (Store.Db.catalog db) in

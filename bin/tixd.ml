@@ -53,9 +53,9 @@ let load_files ~skip_bad ~verify paths =
     in
     Store.Db.of_documents docs
 
-let open_live ?base ~dir () =
+let open_live ?base ?wal_batch ?wal_linger ~dir () =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-  match Store.Live.open_dir ?base ~dir () with
+  match Store.Live.open_dir ?base ?wal_batch ?wal_linger ~dir () with
   | Error e ->
     Format.eprintf "error: %s: %s@." dir (Store.Live.error_to_string e);
     exit 1
@@ -73,7 +73,7 @@ let open_live ?base ~dir () =
 
 let serve paths host port workers queue_depth parallelism plan_cache
     result_cache timeout max_steps max_results slow_query skip_bad wal_dir
-    lazy_verify =
+    wal_batch wal_linger ck_every_docs ck_every_bytes lazy_verify =
   if paths = [] && wal_dir = None then begin
     Format.eprintf
       "error: nothing to serve — give XML documents, a .tix image, or \
@@ -88,7 +88,12 @@ let serve paths host port workers queue_depth parallelism plan_cache
   in
   let base_label = match paths with [ p ] -> p | _ -> "<multiple>" in
   Service.Engine.set_slow_query_threshold slow_query;
-  let opened = Option.map (fun dir -> open_live ?base ~dir ()) wal_dir in
+  let opened =
+    Option.map
+      (fun dir ->
+        open_live ?base ~wal_batch ~wal_linger ~dir ())
+      wal_dir
+  in
   let source, db =
     match opened with
     | None -> (base_label, Option.get base)
@@ -101,8 +106,11 @@ let serve paths host port workers queue_depth parallelism plan_cache
       in
       (source, Store.Live.base o.Store.Live.live)
   in
+  let feedback =
+    Option.bind wal_dir (fun dir -> Service.Updates.load_feedback ~dir)
+  in
   let snapshot =
-    match Service.Engine.of_db ~source db with
+    match Service.Engine.of_db ~source ?feedback db with
     | Ok s -> s
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -126,7 +134,9 @@ let serve paths host port workers queue_depth parallelism plan_cache
   in
   let updates =
     Option.map
-      (fun o -> Service.Updates.create ~live:o.Store.Live.live ~scheduler)
+      (fun o ->
+        Service.Updates.create ?every_docs:ck_every_docs
+          ?every_bytes:ck_every_bytes ~live:o.Store.Live.live ~scheduler ())
       opened
   in
   let server = Service.Server.start ~host ~port ?updates scheduler in
@@ -149,6 +159,7 @@ let serve paths host port workers queue_depth parallelism plan_cache
   done;
   Format.printf "tixd: shutting down@.";
   Service.Server.stop server;
+  Option.iter Service.Updates.shutdown updates;
   Service.Scheduler.shutdown scheduler;
   Option.iter (fun o -> Store.Live.close o.Store.Live.live) opened
 
@@ -260,6 +271,41 @@ let wal_dir_arg =
            the WAL's committed records are replayed (torn tails are \
            truncated). Created if missing.")
 
+let wal_batch_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "wal-batch" ] ~docv:"N"
+        ~doc:
+          "Group-commit batch cap: up to N concurrently queued mutations \
+           share one WAL write and fsync. 1 restores per-op fsync.")
+
+let wal_linger_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "wal-linger" ] ~docv:"SECONDS"
+        ~doc:
+          "Bounded wait before a group-commit leader takes its batch, giving \
+           more writers time to join. 0 (the default) relies on natural \
+           batching during the previous fsync.")
+
+let ck_every_docs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every-docs" ] ~docv:"N"
+        ~doc:
+          "Trigger a background checkpoint automatically once the delta \
+           holds N documents + tombstones.")
+
+let ck_every_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every-bytes" ] ~docv:"N"
+        ~doc:
+          "Trigger a background checkpoint automatically once the live WAL \
+           reaches N bytes.")
+
 let lazy_verify_arg =
   Arg.(
     value & flag
@@ -283,4 +329,5 @@ let () =
             const serve $ paths_arg $ host_arg $ port_arg $ workers_arg
             $ queue_arg $ parallelism_arg $ plan_cache_arg $ result_cache_arg
             $ timeout_arg $ max_steps_arg $ max_results_arg $ slow_query_arg
-            $ skip_bad_arg $ wal_dir_arg $ lazy_verify_arg)))
+            $ skip_bad_arg $ wal_dir_arg $ wal_batch_arg $ wal_linger_arg
+            $ ck_every_docs_arg $ ck_every_bytes_arg $ lazy_verify_arg)))

@@ -718,8 +718,8 @@ let print_response ~pretty resp =
 
 let client_cmd =
   let run host port query explain trace parallel search phrase ranked comp3
-      method_ complex do_stats do_health do_checkpoint prepare execute raw k
-      pretty limits =
+      method_ complex anchor do_stats do_health do_checkpoint no_wait prepare
+      execute raw k pretty limits =
     let some_if cond v = if cond then Some v else None in
     let parallelism = if parallel > 1 then Some parallel else None in
     let requests =
@@ -748,7 +748,7 @@ let client_cmd =
               in
               Service.Protocol.Exec
                 {
-                  req = Service.Engine.Search { terms; method_; complex };
+                  req = Service.Engine.Search { terms; method_; complex; anchor };
                   k;
                   limits;
                   trace;
@@ -776,7 +776,8 @@ let client_cmd =
             (fun id ->
               Service.Protocol.Execute { id; k; limits; trace; parallelism })
             execute;
-          some_if do_checkpoint Service.Protocol.Checkpoint;
+          some_if do_checkpoint
+            (Service.Protocol.Checkpoint { wait = not no_wait });
           some_if do_stats Service.Protocol.Stats;
           some_if do_health Service.Protocol.Health;
         ]
@@ -862,6 +863,15 @@ let client_cmd =
     Arg.(
       value & flag & info [ "complex" ] ~doc:"Complex scoring (Sec. 6.1).")
   in
+  let anchor_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "anchor" ] ~docv:"TAG"
+          ~doc:
+            "Restrict --search scoring to elements inside (or being) an \
+             element with this tag.")
+  in
   let stats_arg =
     Arg.(value & flag & info [ "stats" ] ~doc:"Fetch server statistics.")
   in
@@ -875,6 +885,14 @@ let client_cmd =
           ~doc:
             "Ask the server to merge its delta into a fresh immutable image \
              and reset the WAL (requires tixd --wal-dir).")
+  in
+  let no_wait_arg =
+    Arg.(
+      value & flag
+      & info [ "no-wait" ]
+          ~doc:
+            "With --checkpoint: request a background checkpoint and return \
+             immediately instead of waiting for the merged image.")
   in
   let prepare_arg =
     Arg.(
@@ -912,8 +930,9 @@ let client_cmd =
     Term.(
       const run $ host_arg $ port_arg $ query_arg $ explain_arg $ trace_arg
       $ parallel_arg $ search_arg $ phrase_arg $ ranked_arg $ comp3_arg
-      $ method_arg $ complex_arg $ stats_arg $ health_arg $ checkpoint_arg
-      $ prepare_arg $ execute_arg $ raw_arg $ k_arg $ pretty_arg $ limits_term)
+      $ method_arg $ complex_arg $ anchor_arg $ stats_arg $ health_arg
+      $ checkpoint_arg $ no_wait_arg $ prepare_arg $ execute_arg $ raw_arg
+      $ k_arg $ pretty_arg $ limits_term)
 
 (* ------------------------------------------------------------------ *)
 (* ingest / rm: live updates against a running tixd --wal-dir server *)

@@ -583,6 +583,6 @@ let handle t (req : Protocol.request) =
         ~message:(Printf.sprintf "no prepared statement %d" id)
   end
   | Protocol.Insert _ | Protocol.Remove _ | Protocol.UpdateDoc _
-  | Protocol.Checkpoint -> read_only_error
+  | Protocol.Checkpoint _ -> read_only_error
   | Protocol.Stats -> stats t
   | Protocol.Health -> health t

@@ -300,4 +300,56 @@ module Feedback = struct
         match Hashtbl.find_opt t.table key with
         | Some e -> e.corr
         | None -> 1.0)
+
+  (* Persistence: corrections survive a snapshot republish or a
+     server restart, so warmed plan corrections are not relearned
+     from scratch. The generation restarts at 0 — the new snapshot's
+     plan cache is empty anyway, so nothing stale can be revived. *)
+
+  let save_magic = "TIXFB001"
+
+  let to_string t =
+    Mutex.protect t.lock (fun () ->
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf save_magic;
+        Codec.add_varint buf (Hashtbl.length t.table);
+        Hashtbl.iter
+          (fun key e ->
+            Codec.add_varint buf (String.length key);
+            Buffer.add_string buf key;
+            Buffer.add_int64_be buf (Int64.bits_of_float e.corr);
+            Codec.add_varint buf e.seen)
+          t.table;
+        Buffer.contents buf)
+
+  let of_string s =
+    let mlen = String.length save_magic in
+    if String.length s < mlen || String.sub s 0 mlen <> save_magic then None
+    else begin
+      match
+        let bytes = Bytes.unsafe_of_string s in
+        let n, off = Codec.read_varint bytes mlen in
+        if n < 0 then raise (Codec.Truncated "feedback entry count");
+        let t = create () in
+        let off = ref off in
+        let total_seen = ref 0 in
+        for _ = 1 to n do
+          let klen, o = Codec.read_varint bytes !off in
+          if klen < 0 || o + klen + 8 > String.length s then
+            raise (Codec.Truncated "feedback key runs past the buffer");
+          let key = String.sub s o klen in
+          let corr = Int64.float_of_bits (Bytes.get_int64_be bytes (o + klen)) in
+          let seen, o' = Codec.read_varint bytes (o + klen + 8) in
+          off := o';
+          total_seen := !total_seen + max 1 seen;
+          Hashtbl.replace t.table key
+            { corr = clamp corr; seen = max 1 seen }
+        done;
+        t.observed <- !total_seen;
+        t
+      with
+      | t -> Some t
+      | exception Codec.Truncated _ -> None
+      | exception Invalid_argument _ -> None
+    end
 end

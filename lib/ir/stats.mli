@@ -101,4 +101,13 @@ module Feedback : sig
       was observed. Clamped to [1/64, 64]. *)
 
   val observations : t -> int
+
+  val to_string : t -> string
+  (** Serialize the correction table (keys, corrections, observation
+      counts) so warmed corrections survive a snapshot republish or a
+      restart. *)
+
+  val of_string : string -> t option
+  (** Inverse of {!to_string}; [None] on a wrong magic or a truncated
+      or corrupt buffer. The restored table starts at generation 0. *)
 end

@@ -16,7 +16,7 @@ type snapshot = {
   feedback : Ir.Stats.Feedback.t;
 }
 
-let of_db ?(generation = 0) ?(source = "<memory>") db =
+let of_db ?(generation = 0) ?(source = "<memory>") ?feedback db =
   let pager = Store.Element_store.pager (Store.Db.elements db) in
   match Store.Pager.pin pager with
   | Ok () ->
@@ -27,7 +27,10 @@ let of_db ?(generation = 0) ?(source = "<memory>") db =
         generation;
         source;
         delta = None;
-        feedback = Ir.Stats.Feedback.create ();
+        feedback =
+          (match feedback with
+          | Some f -> f
+          | None -> Ir.Stats.Feedback.create ());
       }
   | Error e ->
     Error
@@ -100,7 +103,12 @@ let search_method_to_string = function
 
 type request =
   | Query of { q : string; mode : [ `Auto | `Engine | `Interp ] }
-  | Search of { terms : string list; method_ : search_method; complex : bool }
+  | Search of {
+      terms : string list;
+      method_ : search_method;
+      complex : bool;
+      anchor : string option;
+    }
   | Phrase of { phrase : string; comp3 : bool }
   | Ranked of { terms : string list }
 
@@ -189,10 +197,11 @@ let canonical_key = function
       match mode with `Auto -> "auto" | `Engine -> "engine" | `Interp -> "interp"
     in
     Printf.sprintf "query|%s|%s" m (normalize_query q)
-  | Search { terms; method_; complex } ->
-    Printf.sprintf "search|%s|%s|%s"
+  | Search { terms; method_; complex; anchor } ->
+    Printf.sprintf "search|%s|%s%s|%s"
       (search_method_to_string method_)
       (if complex then "complex" else "simple")
+      (match anchor with None -> "" | Some a -> "|a=" ^ a)
       (String.concat "\x00" terms)
   | Phrase { phrase; comp3 } ->
     Printf.sprintf "phrase|%s|%s"
@@ -753,7 +762,7 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
           finish ~plan ~timings ~steps rows trees
         | Error e -> Error e
       end
-      | Search { terms; method_; complex } ->
+      | Search { terms; method_; complex; anchor } ->
         if terms = [] || List.exists (fun t -> String.trim t = "") terms then
           Error (Bad_request "search needs at least one non-empty term")
         else begin
@@ -764,14 +773,20 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
           (* [Auto] resolves through the planner: the cheapest method
              by cost over the collection statistics, and a degree no
              larger than requested — degraded when the estimated
-             per-partition occupancy would not amortize fork/join. *)
+             per-partition occupancy would not amortize fork/join.
+             An anchor resolves to its base-catalog tag id so the
+             scoped-GenMeet candidate is priced too. *)
           let decision =
             match method_ with
             | Auto ->
               Metrics.incr (op_counter "auto");
+              let anchor_tag =
+                Option.bind anchor
+                  (Store.Catalog.tag_id (Store.Db.catalog snapshot.db))
+              in
               Some
                 (Query.Planner.choose ~feedback:snapshot.feedback
-                   ~key:(canonical_key request) ~parallelism:par
+                   ~key:(canonical_key request) ?anchor_tag ~parallelism:par
                    ~stats:(Store.Db.collection_stats snapshot.db)
                    ~index:(Store.Db.index snapshot.db) ~terms ())
             | _ -> None
@@ -794,11 +809,45 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
           in
           Metrics.incr (op_counter (search_method_to_string method_));
           (match method_ with
-          | (Termjoin | Enhanced | Genmeet) when par > 1 ->
+          | (Termjoin | Enhanced | Genmeet) when par > 1 && anchor = None ->
             Metrics.incr (Metrics.counter "queries.parallel")
           | _ -> ());
           let t0 = now () in
-          let run ctx =
+          let access_of_method = function
+            | Termjoin -> Access.Pattern_exec.Term_join Access.Term_join.Plain
+            | Enhanced ->
+              Access.Pattern_exec.Term_join Access.Term_join.Enhanced
+            | Genmeet -> Access.Pattern_exec.Gen_meet { use_skips = true }
+            | Comp1 -> Access.Pattern_exec.Comp1
+            | Comp2 -> Access.Pattern_exec.Comp2
+            | Auto -> assert false (* resolved above *)
+          in
+          (* Anchored search: match the anchor elements as a trivial
+             one-variable pattern, run the method (GenMeet scoped to
+             the disjoint anchor subtrees), and keep only scored
+             nodes that are an anchor or lie inside one. The anchor
+             semi-join does not partition, so this path stays
+             sequential. Each context resolves the tag against its
+             own catalog — a tag only present in the delta still
+             anchors there. *)
+          let run_anchored tag_name ctx =
+            governed limits (fun () ->
+                match
+                  Store.Catalog.tag_id ctx.Access.Ctx.catalog tag_name
+                with
+                | None -> []
+                | Some _ ->
+                  let pat =
+                    Core.Pattern.make
+                      (Core.Pattern.pnode
+                         ~pred:(Core.Pattern.Tag tag_name) 0 [])
+                      []
+                  in
+                  Access.Pattern_exec.scored_matches ~trace:tracer ~mode
+                    ~access:(access_of_method method_) ctx pat ~struct_var:0
+                    ~terms)
+          in
+          let run_unanchored ctx =
             match method_ with
             | (Termjoin | Enhanced | Genmeet) when par > 1 ->
               governed_parallel limits (fun shared ->
@@ -830,6 +879,11 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
                   | Comp2 ->
                     Access.Composite.comp2_list ~trace:tracer ~mode ctx ~terms
                   | Auto -> assert false (* resolved above *))
+          in
+          let run ctx =
+            match anchor with
+            | Some tag_name -> run_anchored tag_name ctx
+            | None -> run_unanchored ctx
           in
           let rows, steps = merged_node_rows ~run in
           (match decision with
@@ -888,6 +942,19 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
         else begin
           Metrics.incr (op_counter "ranked");
           let kk = match k with Some k when k > 0 -> k | _ -> 10 in
+          (* Route through the planner like search does: the access
+             choice itself does not apply (ranked scans doc-level
+             postings), but the degree degrades when the estimated
+             per-partition occupancy would not amortize fork/join,
+             and the learned cardinality correction warms across
+             executions of the same term set. *)
+          let decision =
+            Query.Planner.choose ~feedback:snapshot.feedback
+              ~key:(canonical_key request) ~parallelism:par
+              ~stats:(Store.Db.collection_stats snapshot.db)
+              ~index:(Store.Db.index snapshot.db) ~terms ()
+          in
+          let par = decision.Query.Planner.parallelism in
           if par > 1 then Metrics.incr (Metrics.counter "queries.parallel");
           let t0 = now () in
           let run ctx ~k =
@@ -953,9 +1020,19 @@ let exec ?caches ?(limits = Core.Governor.unlimited) ?k ?theta ?(trace = false)
                   (List.sort compare_row (base_rows @ delta_rows)),
                 base_steps + delta_steps )
           in
+          (* a full top-K is a lower bound on the operator's true
+             cardinality, not a measurement: only unsaturated runs
+             feed the correction table *)
+          if List.length rows < kk then
+            Ir.Stats.Feedback.observe snapshot.feedback
+              ~key:(canonical_key request)
+              ~est:(float_of_int decision.Query.Planner.est_rows)
+              ~actual:(float_of_int (List.length rows));
           let dt = now () -. t0 in
           Metrics.observe_s (Metrics.histogram "stage.execute") dt;
-          finish ~plan:None ~timings:[ ("execute", dt) ] ~steps rows []
+          finish
+            ~plan:(Some ("planner: " ^ Query.Planner.to_string decision))
+            ~timings:[ ("execute", dt) ] ~steps rows []
         end
     with
     | outcome -> outcome

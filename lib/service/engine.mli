@@ -41,9 +41,17 @@ type snapshot = {
           material correction change re-costs cached plans *)
 }
 
-val of_db : ?generation:int -> ?source:string -> Store.Db.t -> (snapshot, string) result
+val of_db :
+  ?generation:int ->
+  ?source:string ->
+  ?feedback:Ir.Stats.Feedback.t ->
+  Store.Db.t ->
+  (snapshot, string) result
 (** Pin the database's pager and wrap it (no delta). [Error] when a
-    page fails its pin-time checksum verification. *)
+    page fails its pin-time checksum verification. [feedback] carries
+    an existing correction table into the new snapshot — a checkpoint
+    republish keeps its warmed corrections, and a restart can restore
+    a persisted table ({!Ir.Stats.Feedback.of_string}). *)
 
 val load :
   ?pool_pages:int ->
@@ -83,10 +91,22 @@ type request =
       (** extended XQuery; [`Auto] compiles onto the access methods
           and falls back to the interpreter when the shape is outside
           the compilable fragment (and trees were retained) *)
-  | Search of { terms : string list; method_ : search_method; complex : bool }
+  | Search of {
+      terms : string list;
+      method_ : search_method;
+      complex : bool;
+      anchor : string option;
+          (** restrict scored nodes to elements lying inside (or
+              being) an element with this tag. [Auto] prices the
+              anchor-scoped GenMeet candidate; execution semi-joins
+              the chosen method's output against the anchors and runs
+              sequentially. An unknown tag yields no rows. *)
+    }
   | Phrase of { phrase : string; comp3 : bool }
   | Ranked of { terms : string list }
-      (** document-at-a-time max-score top-k over the given bag *)
+      (** document-at-a-time max-score top-k over the given bag;
+          routed through {!Query.Planner.choose} for the parallelism
+          degree and the learned cardinality correction *)
 
 type row = { tag : string; doc : int; start : int; score : float }
 (** One scored element; for {!Ranked} rows, [start = -1] and [tag] is

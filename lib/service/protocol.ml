@@ -19,7 +19,7 @@ type request =
   | Insert of { name : string; xml : string }
   | Remove of { name : string }
   | UpdateDoc of { name : string; xml : string }
-  | Checkpoint
+  | Checkpoint of { wait : bool }
   | Stats
   | Health
 
@@ -49,6 +49,15 @@ let field_string_list j name =
         end
       in
       go [] items
+  end
+
+let opt_string j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> begin
+    match Json.to_string_opt v with
+    | Some s -> Ok (Some s)
+    | None -> Error (Printf.sprintf "field %S must be a string" name)
   end
 
 let opt_int j name =
@@ -114,6 +123,7 @@ let parse_request line =
     | "search" ->
       let* terms = field_string_list j "terms" in
       let* complex = opt_bool ~default:false j "complex" in
+      let* anchor = opt_string j "anchor" in
       let* method_ =
         match Option.map Json.to_string_opt (Json.member "method" j) with
         | None -> Ok Engine.Termjoin
@@ -126,8 +136,8 @@ let parse_request line =
       in
       Ok
         (Exec
-           { req = Engine.Search { terms; method_; complex }; k; limits; trace;
-             parallelism; theta })
+           { req = Engine.Search { terms; method_; complex; anchor }; k;
+             limits; trace; parallelism; theta })
     | "phrase" ->
       let* phrase = field_string j "phrase" in
       let* comp3 = opt_bool ~default:false j "comp3" in
@@ -158,7 +168,9 @@ let parse_request line =
       let* name = field_string j "name" in
       let* xml = field_string j "xml" in
       Ok (UpdateDoc { name; xml })
-    | "checkpoint" -> Ok Checkpoint
+    | "checkpoint" ->
+      let* wait = opt_bool ~default:true j "wait" in
+      Ok (Checkpoint { wait })
     | "stats" -> Ok Stats
     | "health" -> Ok Health
     | other -> Error (Printf.sprintf "unknown op %S" other)
@@ -199,13 +211,16 @@ let request_to_json = function
         in
         [ ("op", Json.String "query"); ("q", Json.String q);
           ("mode", Json.String mode) ]
-      | Engine.Search { terms; method_; complex } ->
+      | Engine.Search { terms; method_; complex; anchor } ->
         [
           ("op", Json.String "search");
           ("terms", Json.List (List.map (fun t -> Json.String t) terms));
           ("method", Json.String (Engine.search_method_to_string method_));
           ("complex", Json.Bool complex);
         ]
+        @ (match anchor with
+          | Some a -> [ ("anchor", Json.String a) ]
+          | None -> [])
       | Engine.Phrase { phrase; comp3 } ->
         [ ("op", Json.String "phrase"); ("phrase", Json.String phrase);
           ("comp3", Json.Bool comp3) ]
@@ -237,7 +252,10 @@ let request_to_json = function
     Json.Obj
       [ ("op", Json.String "update"); ("name", Json.String name);
         ("xml", Json.String xml) ]
-  | Checkpoint -> Json.Obj [ ("op", Json.String "checkpoint") ]
+  | Checkpoint { wait } ->
+    Json.Obj
+      (("op", Json.String "checkpoint")
+      :: (if wait then [] else [ ("wait", Json.Bool false) ]))
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Health -> Json.Obj [ ("op", Json.String "health") ]
 
@@ -327,8 +345,8 @@ let engine_error_to_json e =
 let ok_prepared_to_json id =
   Json.Obj [ ("ok", Json.Bool true); ("id", Json.Int id) ]
 
-let health_to_json ?(updatable = false) ?verification ?shards ~generation
-    ~source () =
+let health_to_json ?(updatable = false) ?checkpoint_in_progress ?verification
+    ?shards ~generation ~source () =
   Json.Obj
     ([
        ("ok", Json.Bool true);
@@ -337,6 +355,9 @@ let health_to_json ?(updatable = false) ?verification ?shards ~generation
        ("source", Json.String source);
        ("updatable", Json.Bool updatable);
      ]
+    @ (match checkpoint_in_progress with
+      | Some b -> [ ("checkpoint_in_progress", Json.Bool b) ]
+      | None -> [])
     @ (match verification with
       | Some v -> [ ("verification", Json.String v) ]
       | None -> [])
@@ -358,6 +379,14 @@ let ok_checkpoint_to_json ~path ~generation =
       ("op", Json.String "checkpoint");
       ("path", Json.String path);
       ("generation", Json.Int generation);
+    ]
+
+let ok_checkpoint_started_to_json () =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String "checkpoint");
+      ("started", Json.Bool true);
     ]
 
 let lru_stats_to_json (s : Lru.stats) =
@@ -419,6 +448,16 @@ let stats_to_json ?updates scheduler =
               ("delta_documents", Json.Int ls.Store.Live.delta_documents);
               ("tombstones", Json.Int ls.Store.Live.tombstones);
               ("checkpoints", Json.Int ls.Store.Live.checkpoints);
+              ("frozen_documents", Json.Int ls.Store.Live.frozen_documents);
+              ( "checkpoint_in_progress",
+                Json.Bool (Updates.checkpoint_in_progress u) );
+              ( "group_commit",
+                Json.Obj
+                  [
+                    ("batches", Json.Int ls.Store.Live.gc_batches);
+                    ("records", Json.Int ls.Store.Live.gc_records);
+                    ("largest_batch", Json.Int ls.Store.Live.gc_largest_batch);
+                  ] );
             ] );
       ]
   in

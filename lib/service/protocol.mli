@@ -15,6 +15,7 @@
     {"op":"delete","name":"doc.xml"}
     {"op":"update","name":"doc.xml","xml":"<a>...</a>"}
     {"op":"checkpoint"}                -> {"ok":true,"path":...,"generation":g}
+    {"op":"checkpoint","wait":false}   -> {"ok":true,"started":true}
     {"op":"stats"}
     {"op":"health"}
     v}
@@ -57,7 +58,10 @@ type request =
   | Insert of { name : string; xml : string }
   | Remove of { name : string }
   | UpdateDoc of { name : string; xml : string }
-  | Checkpoint
+  | Checkpoint of { wait : bool }
+      (** [wait = false] requests a background checkpoint and
+          acknowledges immediately; the default waits for the merged
+          image to be installed *)
   | Stats
   | Health
 
@@ -98,8 +102,13 @@ val ok_mutation_to_json : op:string -> name:string -> generation:int -> Json.t
 val ok_checkpoint_to_json : path:string -> generation:int -> Json.t
 (** [{"ok":true,"path":p,"generation":g}]. *)
 
+val ok_checkpoint_started_to_json : unit -> Json.t
+(** [{"ok":true,"op":"checkpoint","started":true}] — the async
+    acknowledgement of [{"op":"checkpoint","wait":false}]. *)
+
 val health_to_json :
   ?updatable:bool ->
+  ?checkpoint_in_progress:bool ->
   ?verification:string ->
   ?shards:Json.t ->
   generation:int ->
@@ -108,7 +117,8 @@ val health_to_json :
   Json.t
 (** [updatable] reports whether the server accepts mutation ops
     (i.e. was started with a WAL directory); defaults to [false].
-    [verification] surfaces the image checksum status of a lazily
+    [checkpoint_in_progress] (emitted only when given) reports a
+    pending or running background checkpoint. [verification] surfaces the image checksum status of a lazily
     verified open (["verified"|"pending"|"failed"]); [shards] lets a
     coordinator attach its per-shard health aggregation. Both are
     omitted when absent. *)

@@ -77,12 +77,14 @@ let handle ?updates scheduler (req : Protocol.request) =
           (fun generation ->
             Protocol.ok_mutation_to_json ~op:"update" ~name ~generation)
           (Updates.update u ~name ~xml))
-  | Protocol.Checkpoint ->
+  | Protocol.Checkpoint { wait } ->
     mutation "checkpoint" (fun u ->
         Result.map
-          (fun (path, generation) ->
-            Protocol.ok_checkpoint_to_json ~path ~generation)
-          (Updates.checkpoint u))
+          (function
+            | Updates.Completed (path, generation) ->
+              Protocol.ok_checkpoint_to_json ~path ~generation
+            | Updates.Started -> Protocol.ok_checkpoint_started_to_json ())
+          (Updates.checkpoint ~wait u))
   | Protocol.Stats -> Protocol.stats_to_json ?updates scheduler
   | Protocol.Health ->
     let snap = Scheduler.snapshot scheduler in
@@ -94,6 +96,8 @@ let handle ?updates scheduler (req : Protocol.request) =
     in
     Protocol.health_to_json
       ~updatable:(Option.is_some updates)
+      ?checkpoint_in_progress:
+        (Option.map Updates.checkpoint_in_progress updates)
       ~verification ~generation:snap.Engine.generation
       ~source:snap.Engine.source ()
 

@@ -6,6 +6,19 @@ type t = {
   live : Store.Live.t;
   scheduler : Scheduler.t;
   publish : Mutex.t;
+  every_docs : int option;
+  every_bytes : int option;
+  feedback_path : string option;
+  (* Background-checkpoint coordination. [ck_running] covers both the
+     worker thread and synchronous [checkpoint ~wait:true] callers, so
+     at most one checkpoint is in flight at a time; [ck_requested]
+     dedupes pending async requests. *)
+  ck_lock : Mutex.t;
+  ck_cond : Condition.t;
+  mutable ck_requested : bool;
+  mutable ck_running : bool;
+  mutable ck_shutdown : bool;
+  mutable ck_worker : Thread.t option;
 }
 
 type error = Store_error of Store.Live.error | Snapshot_error of string
@@ -21,14 +34,68 @@ let error_code = function
     "sync_failed"
   | Store_error (Store.Live.Wal_error _) -> "storage"
   | Store_error (Store.Live.Image_error _) -> "storage"
+  | Store_error Store.Live.Checkpoint_in_progress -> "checkpoint_in_progress"
   | Snapshot_error _ -> "storage"
 
 let error_message = function
   | Store_error e -> Store.Live.error_to_string e
   | Snapshot_error m -> m
 
-let create ~live ~scheduler = { live; scheduler; publish = Mutex.create () }
 let live t = t.live
+
+(* ------------------------------------------------------------------ *)
+(* Feedback persistence *)
+
+let feedback_file = "feedback.dat"
+
+let save_feedback t (snapshot : Engine.snapshot) =
+  match t.feedback_path with
+  | None -> ()
+  | Some path -> begin
+    let payload = Ir.Stats.Feedback.to_string snapshot.Engine.feedback in
+    let tmp = path ^ ".tmp" in
+    match
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc payload);
+      Sys.rename tmp path
+    with
+    | () ->
+      Log.debug (fun m ->
+          m "persisted %d feedback corrections to %s"
+            (Ir.Stats.Feedback.observations snapshot.Engine.feedback)
+            path)
+    | exception Sys_error e ->
+      Log.warn (fun m -> m "feedback persistence failed: %s" e)
+  end
+
+let load_feedback ~dir =
+  let path = Filename.concat dir feedback_file in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | payload -> begin
+      match Ir.Stats.Feedback.of_string payload with
+      | Some fb ->
+        Log.info (fun m ->
+            m "restored %d feedback corrections from %s"
+              (Ir.Stats.Feedback.observations fb)
+              path);
+        Some fb
+      | None ->
+        Log.warn (fun m -> m "ignoring corrupt feedback table %s" path);
+        None
+    end
+    | exception (Sys_error _ | End_of_file) -> None
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot publication *)
 
 (* Publish the store's current delta state over the scheduler's
    snapshot. The base db (and its pinned pager) is reused; only the
@@ -44,6 +111,152 @@ let publish_delta t =
   | Ok () -> Ok next.Engine.generation
   | Error e -> Error (Snapshot_error (Scheduler.reload_error_to_string e))
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint execution *)
+
+(* The begin/prepare/install split keeps the expensive merge
+   ([Store.Db.compact] + image save) off every lock: mutations and
+   queries proceed against the frozen segment + live delta while
+   [checkpoint_prepare] runs. Only the final install — swap the base,
+   republish the snapshot — holds the publish lock, so a concurrent
+   mutation can never publish a stale base with the new delta. *)
+let do_checkpoint t =
+  match Store.Live.checkpoint_begin t.live with
+  | Error e -> Error (Store_error e)
+  | Ok token -> begin
+    match Store.Live.checkpoint_prepare t.live token with
+    | Error e ->
+      (match Store.Live.checkpoint_abort t.live with
+      | Ok () -> ()
+      | Error ae ->
+        Log.err (fun m ->
+            m "checkpoint abort failed: %s" (Store.Live.error_to_string ae)));
+      Error (Store_error e)
+    | Ok (merged, path) ->
+      Mutex.lock t.publish;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.publish)
+        (fun () ->
+          Store.Live.checkpoint_install t.live merged path;
+          let current = Scheduler.snapshot t.scheduler in
+          match
+            Engine.of_db ~feedback:current.Engine.feedback
+              ~generation:(current.Engine.generation + 1)
+              ~source:path (Store.Live.base t.live)
+          with
+          | Error msg -> Error (Snapshot_error msg)
+          | Ok next -> begin
+            let next = Engine.with_delta next (Store.Live.delta t.live) in
+            match Scheduler.reload t.scheduler next with
+            | Error e ->
+              Error (Snapshot_error (Scheduler.reload_error_to_string e))
+            | Ok () ->
+              Metrics.incr (Metrics.counter "checkpoints.total");
+              save_feedback t next;
+              Log.info (fun m ->
+                  m "checkpoint installed: %s (generation %d)" path
+                    next.Engine.generation);
+              Ok (path, next.Engine.generation)
+          end)
+  end
+
+let run_guarded t =
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.ck_lock;
+      t.ck_running <- false;
+      Condition.broadcast t.ck_cond;
+      Mutex.unlock t.ck_lock)
+    (fun () ->
+      let outcome = do_checkpoint t in
+      (match outcome with
+      | Ok _ -> ()
+      | Error e ->
+        Metrics.incr (Metrics.counter "checkpoints.failed");
+        Log.err (fun m -> m "checkpoint failed: %s" (error_message e)));
+      outcome)
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.ck_lock;
+    while (not t.ck_shutdown) && ((not t.ck_requested) || t.ck_running) do
+      Condition.wait t.ck_cond t.ck_lock
+    done;
+    if t.ck_shutdown then Mutex.unlock t.ck_lock
+    else begin
+      t.ck_requested <- false;
+      t.ck_running <- true;
+      Mutex.unlock t.ck_lock;
+      (try ignore (run_guarded t)
+       with e ->
+         Log.err (fun m ->
+             m "background checkpoint raised: %s" (Printexc.to_string e)));
+      loop ()
+    end
+  in
+  loop ()
+
+type checkpoint_status = Completed of string * int | Started
+
+let checkpoint ?(wait = true) t =
+  if wait then begin
+    (* Run on the caller's thread, after any in-flight background run
+       drains, so the response carries the real outcome. *)
+    Mutex.lock t.ck_lock;
+    while t.ck_running do
+      Condition.wait t.ck_cond t.ck_lock
+    done;
+    t.ck_requested <- false;
+    t.ck_running <- true;
+    Mutex.unlock t.ck_lock;
+    Result.map (fun (path, gen) -> Completed (path, gen)) (run_guarded t)
+  end
+  else begin
+    Mutex.lock t.ck_lock;
+    if not (t.ck_requested || t.ck_running) then begin
+      t.ck_requested <- true;
+      Condition.broadcast t.ck_cond
+    end;
+    Mutex.unlock t.ck_lock;
+    Ok Started
+  end
+
+let checkpoint_in_progress t =
+  Mutex.lock t.ck_lock;
+  let r = t.ck_running || t.ck_requested in
+  Mutex.unlock t.ck_lock;
+  r
+
+(* Checkpoint automatically once the un-checkpointed state crosses a
+   configured threshold. Requests are deduped: while one checkpoint is
+   pending or running, the trigger is a no-op. *)
+let maybe_trigger t =
+  match (t.every_docs, t.every_bytes) with
+  | None, None -> ()
+  | _ ->
+    if not (checkpoint_in_progress t) then begin
+      let s = Store.Live.stats t.live in
+      let docs = s.Store.Live.delta_documents + s.Store.Live.tombstones in
+      let docs_hit =
+        match t.every_docs with Some n -> docs >= n | None -> false
+      in
+      let bytes_hit =
+        match t.every_bytes with
+        | Some n -> s.Store.Live.wal_bytes >= n
+        | None -> false
+      in
+      if docs_hit || bytes_hit then begin
+        Log.info (fun m ->
+            m "auto checkpoint trigger: delta=%d docs, wal=%d bytes" docs
+              s.Store.Live.wal_bytes);
+        Metrics.incr (Metrics.counter "checkpoints.auto");
+        ignore (checkpoint ~wait:false t)
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Mutations *)
+
 let counted name outcome =
   (match outcome with
   | Ok _ -> Metrics.incr (Metrics.counter ("ingest." ^ name))
@@ -51,16 +264,19 @@ let counted name outcome =
   outcome
 
 let mutate t name op =
-  Mutex.lock t.publish;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.publish)
-    (fun () ->
-      counted name
-        (match op () with
-        | Error e -> Error (Store_error e)
-        | Ok () ->
-          Metrics.incr (Metrics.counter "wal.appends");
-          publish_delta t))
+  let outcome =
+    match op () with
+    | Error e -> Error (Store_error e)
+    | Ok () ->
+      Metrics.incr (Metrics.counter "wal.appends");
+      Mutex.lock t.publish;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.publish)
+        (fun () -> publish_delta t)
+  in
+  let outcome = counted name outcome in
+  (match outcome with Ok _ -> maybe_trigger t | Error _ -> ());
+  outcome
 
 let insert t ~name ~xml =
   mutate t "inserts" (fun () -> Store.Live.insert t.live ~name ~xml)
@@ -71,30 +287,37 @@ let delete t ~name =
 let update t ~name ~xml =
   mutate t "updates" (fun () -> Store.Live.update t.live ~name ~xml)
 
-let checkpoint t =
-  Mutex.lock t.publish;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.publish)
-    (fun () ->
-      match Store.Live.checkpoint t.live with
-      | Error e -> Error (Store_error e)
-      | Ok path -> begin
-        let current = Scheduler.snapshot t.scheduler in
-        match
-          Engine.of_db
-            ~generation:(current.Engine.generation + 1)
-            ~source:path (Store.Live.base t.live)
-        with
-        | Error msg -> Error (Snapshot_error msg)
-        | Ok next -> begin
-          match Scheduler.reload t.scheduler next with
-          | Error e ->
-            Error (Snapshot_error (Scheduler.reload_error_to_string e))
-          | Ok () ->
-            Metrics.incr (Metrics.counter "checkpoints.total");
-            Log.info (fun m ->
-                m "checkpoint installed: %s (generation %d)" path
-                  next.Engine.generation);
-            Ok (path, next.Engine.generation)
-        end
-      end)
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let create ?every_docs ?every_bytes ~live ~scheduler () =
+  let t =
+    {
+      live;
+      scheduler;
+      publish = Mutex.create ();
+      every_docs;
+      every_bytes;
+      feedback_path =
+        Some (Filename.concat (Store.Live.dir live) feedback_file);
+      ck_lock = Mutex.create ();
+      ck_cond = Condition.create ();
+      ck_requested = false;
+      ck_running = false;
+      ck_shutdown = false;
+      ck_worker = None;
+    }
+  in
+  t.ck_worker <- Some (Thread.create (worker t) ());
+  t
+
+let shutdown t =
+  Mutex.lock t.ck_lock;
+  t.ck_shutdown <- true;
+  Condition.broadcast t.ck_cond;
+  Mutex.unlock t.ck_lock;
+  match t.ck_worker with
+  | Some th ->
+    Thread.join th;
+    t.ck_worker <- None
+  | None -> ()

@@ -787,6 +787,18 @@ let decode_v3 ?pool_pages ~path bytes sections =
   | exception e ->
     Error (Corrupt { path; detail = Printexc.to_string e })
 
+(* The mapped image has two access phases: the checksum pass streams
+   every byte (WILLNEED lets the kernel read ahead), then serving
+   touches pages randomly (RANDOM turns read-around off). Both hints
+   are advisory and silently absent on unsupported platforms. *)
+let willneed_hint ~path map =
+  if Mmap_hints.advise map Mmap_hints.Willneed then
+    Log.debug (fun m -> m "%s: madvise(WILLNEED) before checksum pass" path)
+
+let serve_hint ~path map =
+  if Mmap_hints.advise map Mmap_hints.Random then
+    Log.debug (fun m -> m "%s: madvise(RANDOM) for serving" path)
+
 let open_v4 ~verify ~path =
   match
     let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
@@ -801,6 +813,7 @@ let open_v4 ~verify ~path =
   | exception Sys_error detail -> Error (Io_error { path; detail })
   | map -> begin
     let buf = Ir.Codec.M map in
+    willneed_hint ~path map;
     match verify with
     | `Eager -> (
       match
@@ -808,7 +821,12 @@ let open_v4 ~verify ~path =
           ~names:section_names buf
       with
       | Error e -> Error e
-      | Ok sections -> decode_v4 ~path ~verif:(verified ()) buf sections)
+      | Ok sections -> (
+        match decode_v4 ~path ~verif:(verified ()) buf sections with
+        | Error e -> Error e
+        | Ok db ->
+          serve_hint ~path map;
+          Ok db))
     | `Lazy -> (
       (* Frame structurally (O(1)), start serving, and run the CRC
          pass on a background thread. Reads meanwhile trust the
@@ -830,7 +848,7 @@ let open_v4 ~verify ~path =
             Some
               (Thread.create
                  (fun () ->
-                   match verify_sections ~path buf sections with
+                   (match verify_sections ~path buf sections with
                    | Ok () ->
                      Atomic.set verif.v_status `Verified;
                      Log.info (fun m ->
@@ -839,7 +857,8 @@ let open_v4 ~verify ~path =
                      Atomic.set verif.v_status (`Failed e);
                      Log.err (fun m ->
                          m "%s: background checksum pass FAILED: %s" path
-                           (error_to_string e)))
+                           (error_to_string e)));
+                   serve_hint ~path map)
                  ());
           Ok db))
   end

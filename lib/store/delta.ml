@@ -119,15 +119,20 @@ let apply t = function
   | Wal.Delete { name } -> delete t ~name
   | Wal.Update { name; xml } -> update t ~name ~xml
 
-let check t = function
+(* Liveness-injected validation: [live] decides name liveness so the
+   caller can fold in effects that are not in the segment yet (e.g. a
+   group-commit queue of validated-but-unwritten records). *)
+let check_record ~live = function
   | Wal.Insert { name; xml } ->
-    if mem t name then Error (Duplicate_document { name })
+    if live name then Error (Duplicate_document { name })
     else parse ~name xml |> Result.map (fun _ -> ())
   | Wal.Delete { name } ->
-    if mem t name then Ok () else Error (Unknown_document { name })
+    if live name then Ok () else Error (Unknown_document { name })
   | Wal.Update { name; xml } ->
-    if mem t name then parse ~name xml |> Result.map (fun _ -> ())
+    if live name then parse ~name xml |> Result.map (fun _ -> ())
     else Error (Unknown_document { name })
+
+let check t record = check_record ~live:(mem t) record
 
 type replay_report = { applied : int; skipped : int }
 
@@ -146,20 +151,56 @@ let replay t records =
   List.iter step records;
   { applied = !applied; skipped = !skipped }
 
-let db t =
-  match (t.cache, t.entries) with
-  | Some db, _ -> Some db
-  | None, [] -> None
-  | None, entries ->
+let build_db ~base entries =
+  match entries with
+  | [] -> None
+  | entries ->
     let options =
       {
         Db.default_options with
-        stem = Ir.Inverted_index.stemmed (Db.index t.base);
+        stem = Ir.Inverted_index.stemmed (Db.index base);
         keep_trees = true;
       }
     in
-    let db =
-      Db.of_documents ~options (List.map (fun e -> (e.name, e.tree)) entries)
-    in
-    t.cache <- Some db;
-    Some db
+    Some (Db.of_documents ~options (List.map (fun e -> (e.name, e.tree)) entries))
+
+let db t =
+  match (t.cache, t.entries) with
+  | Some db, _ -> Some db
+  | None, entries -> begin
+    match build_db ~base:t.base entries with
+    | None -> None
+    | Some db ->
+      t.cache <- Some db;
+      Some db
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Frozen segments.
+
+   A frozen segment is an immutable snapshot of the delta taken when a
+   checkpoint begins: the entry list is shared (mutations only rebind
+   [t.entries], never mutate the shared spine) and the tombstone
+   bitmap is copied. The background merger reads the snapshot off any
+   lock while the live delta keeps accumulating on top of it. *)
+
+type frozen = {
+  f_base : Db.t;
+  f_entries : entry list;
+  f_tombstones : bool array;
+  f_n_tombstones : int;
+}
+
+let freeze t =
+  {
+    f_base = t.base;
+    f_entries = t.entries;
+    f_tombstones = Array.copy t.tombstones;
+    f_n_tombstones = t.n_tombstones;
+  }
+
+let frozen_base f = f.f_base
+let frozen_doc_count f = List.length f.f_entries
+let frozen_tombstone_count f = f.f_n_tombstones
+let frozen_tombstones f = Array.copy f.f_tombstones
+let frozen_db f = build_db ~base:f.f_base f.f_entries

@@ -49,6 +49,14 @@ val check : t -> Wal.record -> (unit, mutation_error) result
     no mutation — used to validate before the record is logged, so a
     record that could never apply is not written to the WAL. *)
 
+val check_record :
+  live:(string -> bool) -> Wal.record -> (unit, mutation_error) result
+(** {!check} with name liveness injected: [live name] decides whether
+    [name] currently exists, so a caller can fold in effects that are
+    not in any segment yet (e.g. a group-commit queue of
+    validated-but-unwritten records). [check t] is
+    [check_record ~live:(mem t)]. *)
+
 type replay_report = { applied : int; skipped : int }
 
 val replay : t -> Wal.record list -> replay_report
@@ -83,3 +91,29 @@ val db : t -> Db.t option
     arrival order, stemming matching the base, trees retained), or
     [None] when there are no delta documents. Cached; rebuilt after a
     mutation. *)
+
+(** {1 Frozen segments}
+
+    A checkpoint freezes the delta into an immutable snapshot that a
+    background merger can read off any lock while the live segment
+    keeps accumulating on top of it. The entry list is shared
+    structurally (mutations rebind, never mutate, the spine); the
+    tombstone bitmap is copied at freeze time. *)
+
+type frozen
+
+val freeze : t -> frozen
+(** Snapshot the segment's current documents and tombstones. The
+    segment itself is untouched and stays mutable. *)
+
+val frozen_base : frozen -> Db.t
+val frozen_doc_count : frozen -> int
+val frozen_tombstone_count : frozen -> int
+
+val frozen_tombstones : frozen -> bool array
+(** A copy of the snapshot's tombstone bitmap over base doc ids. *)
+
+val frozen_db : frozen -> Db.t option
+(** An in-memory database over the snapshot's documents (same shape
+    as {!db}), or [None] when the snapshot holds none. Built fresh on
+    each call — no cache — so it is safe to call off-lock. *)

@@ -6,21 +6,44 @@ type error =
   | Wal_error of Wal.error
   | Mutation_error of Delta.mutation_error
   | Image_error of Db.error
+  | Checkpoint_in_progress
 
 let pp_error ppf = function
   | Wal_error e -> Wal.pp_error ppf e
   | Mutation_error e -> Delta.pp_mutation_error ppf e
   | Image_error e -> Db.pp_error ppf e
+  | Checkpoint_in_progress ->
+    Format.fprintf ppf "a checkpoint is already in progress"
 
 let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* A mutation waiting in the group-commit queue. [p_result] is set by
+   the batch leader once the record's fate is known; [None] means the
+   record is still queued or in flight. *)
+type pending = {
+  p_record : Wal.record;
+  mutable p_result : (unit, error) result option;
+}
 
 type t = {
   t_dir : string;
   mutable base : Db.t;
   mutable delta : Delta.t;
-  wal : Wal.t;
+  mutable wal : Wal.t;  (* swapped at checkpoint rotation *)
   mutex : Mutex.t;
+  gc_done : Condition.t;  (* batch finished / leadership released *)
   mutable checkpoints : int;
+  (* group commit *)
+  gc_max_batch : int;
+  gc_linger_s : float;
+  gc_queue : pending Queue.t;  (* arrival order *)
+  mutable gc_leader : bool;
+  mutable gc_batches : int;
+  mutable gc_records : int;
+  mutable gc_largest : int;
+  (* two-level checkpoint *)
+  mutable frozen : Delta.frozen option;
+  mutable ck_suffix : Wal.record list;  (* applied since freeze, reversed *)
 }
 
 type base_source = From_checkpoint of string | Provided | Empty
@@ -33,9 +56,55 @@ type opened = {
 }
 
 let wal_path ~dir = Filename.concat dir "wal.log"
+let frozen_wal_path ~dir = Filename.concat dir "wal.frozen.log"
 let checkpoint_path ~dir = Filename.concat dir "checkpoint.tix"
 
-let open_dir ?fault ?base ~dir () =
+(* A crash between checkpoint rotation and install leaves two logs:
+   the rotated [wal.frozen.log] (records covered by the interrupted
+   merge) and the live [wal.log] (the suffix). Recovery merges them
+   back into a single live log — frozen records first, in the exact
+   order they committed — so the normal single-log open below sees
+   everything. Returns the torn-tail bytes the pre-merge opens
+   discarded. *)
+let merge_frozen_log ~dir =
+  let fpath = frozen_wal_path ~dir in
+  if not (Sys.file_exists fpath) then Ok 0
+  else begin
+    let wpath = wal_path ~dir in
+    match Wal.open_ fpath with
+    | Error e -> Error (Wal_error e)
+    | Ok (fw, frec) -> begin
+      Wal.close fw;
+      let suffix_result =
+        if Sys.file_exists wpath then begin
+          match Wal.open_ wpath with
+          | Error e -> Error (Wal_error e)
+          | Ok (w, crec) ->
+            Wal.close w;
+            Ok (crec.Wal.records, crec.Wal.truncated_bytes)
+        end
+        else Ok ([], 0)
+      in
+      match suffix_result with
+      | Error e -> Error e
+      | Ok (suffix, suffix_trunc) -> begin
+        match Wal.save_records wpath (frec.Wal.records @ suffix) with
+        | Error e -> Error (Wal_error e)
+        | Ok () ->
+          (try Sys.remove fpath with Sys_error _ -> ());
+          Log.info (fun m ->
+              m
+                "%s: merged interrupted-checkpoint log (%d frozen + %d \
+                 suffix records)"
+                dir
+                (List.length frec.Wal.records)
+                (List.length suffix));
+          Ok (frec.Wal.truncated_bytes + suffix_trunc)
+      end
+    end
+  end
+
+let open_dir ?fault ?base ?(wal_batch = 64) ?(wal_linger = 0.) ~dir () =
   let cpath = checkpoint_path ~dir in
   let base_result =
     if Sys.file_exists cpath then
@@ -50,91 +119,366 @@ let open_dir ?fault ?base ~dir () =
   match base_result with
   | Error e -> Error e
   | Ok (base, base_source) -> begin
-    match Wal.open_ ?fault (wal_path ~dir) with
-    | Error e -> Error (Wal_error e)
-    | Ok (wal, recovery) ->
-      let delta = Delta.create ~base in
-      let replay = Delta.replay delta recovery.Wal.records in
-      if recovery.Wal.records <> [] then
-        Log.info (fun m ->
-            m "%s: replayed %d WAL record%s (%d applied, %d skipped)" dir
-              (List.length recovery.Wal.records)
-              (if List.length recovery.Wal.records = 1 then "" else "s")
-              replay.Delta.applied replay.Delta.skipped);
-      Ok
-        {
-          live =
-            {
-              t_dir = dir;
-              base;
-              delta;
-              wal;
-              mutex = Mutex.create ();
-              checkpoints = 0;
-            };
-          recovery;
-          replay;
-          base_source;
-        }
+    match merge_frozen_log ~dir with
+    | Error e -> Error e
+    | Ok merged_trunc -> begin
+      match Wal.open_ ?fault (wal_path ~dir) with
+      | Error e -> Error (Wal_error e)
+      | Ok (wal, recovery) ->
+        let recovery =
+          {
+            recovery with
+            Wal.truncated_bytes = recovery.Wal.truncated_bytes + merged_trunc;
+          }
+        in
+        let delta = Delta.create ~base in
+        let replay = Delta.replay delta recovery.Wal.records in
+        if recovery.Wal.records <> [] then
+          Log.info (fun m ->
+              m "%s: replayed %d WAL record%s (%d applied, %d skipped)" dir
+                (List.length recovery.Wal.records)
+                (if List.length recovery.Wal.records = 1 then "" else "s")
+                replay.Delta.applied replay.Delta.skipped);
+        Ok
+          {
+            live =
+              {
+                t_dir = dir;
+                base;
+                delta;
+                wal;
+                mutex = Mutex.create ();
+                gc_done = Condition.create ();
+                checkpoints = 0;
+                gc_max_batch = max 1 wal_batch;
+                gc_linger_s = Float.max 0. wal_linger;
+                gc_queue = Queue.create ();
+                gc_leader = false;
+                gc_batches = 0;
+                gc_records = 0;
+                gc_largest = 0;
+                frozen = None;
+                ck_suffix = [];
+              };
+            recovery;
+            replay;
+            base_source;
+          }
+    end
   end
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-(* Validate → log → apply. The record reaches the WAL only when it is
-   known to apply cleanly, so recovery never replays a rejected
-   mutation; and it reaches the delta only once it is durable, so an
-   acknowledged mutation survives a crash. *)
+(* ------------------------------------------------------------------ *)
+(* Group commit.
+
+   Mutations are validated under the mutex against the delta PLUS the
+   queue of validated-but-unwritten records, then enqueued. The first
+   thread to find no active leader becomes the batch leader: it takes
+   up to [gc_max_batch] queued records, releases the mutex, commits
+   them with ONE write + ONE fsync ([Wal.append_many]), re-acquires
+   the mutex, applies them to the delta in queue order and wakes every
+   waiter. Durability is unchanged — a record is acknowledged only
+   after the fsync covering its frame returns — but N acknowledgements
+   now share one sync. Batching is natural: while the leader is inside
+   fsync the mutex is free, so concurrent writers pile into the queue
+   and the next leader drains them in one batch. *)
+
+(* The queued records' net effect on a name's liveness: the last
+   queued record wins. [None] when the queue says nothing about it. *)
+let queued_liveness t name =
+  Queue.fold
+    (fun acc p ->
+      match p.p_record with
+      | Wal.Insert { name = n; _ } when String.equal n name -> Some true
+      | Wal.Update { name = n; _ } when String.equal n name -> Some true
+      | Wal.Delete { name = n } when String.equal n name -> Some false
+      | _ -> acc)
+    None t.gc_queue
+
+let check_pending t record =
+  let live name =
+    match queued_liveness t name with
+    | Some l -> l
+    | None -> Delta.mem t.delta name
+  in
+  Delta.check_record ~live record
+
+type batch_outcome = Committed | Failed of Wal.error | Crashed of exn
+
+let rec drive t p =
+  match p.p_result with
+  | Some r -> r
+  | None ->
+    if t.gc_leader then begin
+      Condition.wait t.gc_done t.mutex;
+      drive t p
+    end
+    else begin
+      t.gc_leader <- true;
+      (* optional bounded linger so concurrent writers can join the
+         batch; natural batching during the previous fsync is the
+         main mechanism, so this defaults to off *)
+      if t.gc_linger_s > 0. && Queue.length t.gc_queue < t.gc_max_batch then begin
+        Mutex.unlock t.mutex;
+        Unix.sleepf t.gc_linger_s;
+        Mutex.lock t.mutex
+      end;
+      let batch_n = min (Queue.length t.gc_queue) t.gc_max_batch in
+      let batch = List.of_seq (Seq.take batch_n (Queue.to_seq t.gc_queue)) in
+      let records = List.map (fun b -> b.p_record) batch in
+      let wal = t.wal in
+      Mutex.unlock t.mutex;
+      let outcome =
+        match Wal.append_many wal records with
+        | Ok () -> Committed
+        | Error e -> Failed e
+        | exception e -> Crashed e
+      in
+      Mutex.lock t.mutex;
+      (match outcome with
+      | Committed ->
+        t.gc_batches <- t.gc_batches + 1;
+        t.gc_records <- t.gc_records + batch_n;
+        if batch_n > t.gc_largest then t.gc_largest <- batch_n;
+        List.iter
+          (fun b ->
+            let r =
+              match Delta.apply t.delta b.p_record with
+              | Ok () ->
+                if t.frozen <> None then
+                  t.ck_suffix <- b.p_record :: t.ck_suffix;
+                Ok ()
+              | Error e ->
+                (* unreachable given check_pending; surface, not hide *)
+                Error (Mutation_error e)
+            in
+            b.p_result <- Some r)
+          batch
+      | Failed e ->
+        (* one sync covered the whole batch: none of it is durable *)
+        List.iter (fun b -> b.p_result <- Some (Error (Wal_error e))) batch
+      | Crashed _ ->
+        (* the simulated process died mid-batch; waiters must not
+           hang — resolve them with a typed loss before the leader
+           re-raises its own death *)
+        List.iter
+          (fun b ->
+            b.p_result <-
+              Some
+                (Error
+                   (Wal_error
+                      (Wal.Io_error
+                         {
+                           path = Wal.path wal;
+                           detail = "append lost in simulated crash";
+                         }))))
+          batch);
+      for _ = 1 to batch_n do
+        ignore (Queue.pop t.gc_queue)
+      done;
+      (match outcome with
+      | Committed -> ()
+      | Failed _ | Crashed _ ->
+        (* the queue behind the failed batch was validated assuming
+           the batch's effects; re-check each survivor against the
+           delta plus the still-valid queue prefix and fail the rest *)
+        let remaining = List.of_seq (Queue.to_seq t.gc_queue) in
+        Queue.clear t.gc_queue;
+        List.iter
+          (fun b ->
+            match check_pending t b.p_record with
+            | Ok () -> Queue.push b t.gc_queue
+            | Error e -> b.p_result <- Some (Error (Mutation_error e)))
+          remaining);
+      t.gc_leader <- false;
+      Condition.broadcast t.gc_done;
+      match outcome with Crashed e -> raise e | _ -> drive t p
+    end
+
+(* Validate → enqueue → (batched) log → apply. The record reaches the
+   WAL only when it is known to apply cleanly, so recovery never
+   replays a rejected mutation; and it reaches the delta only once it
+   is durable, so an acknowledged mutation survives a crash. *)
 let mutate t record =
   locked t (fun () ->
-      match Delta.check t.delta record with
+      match check_pending t record with
       | Error e -> Error (Mutation_error e)
-      | Ok () -> begin
-        match Wal.append t.wal record with
-        | Error e -> Error (Wal_error e)
-        | Ok () -> begin
-          match Delta.apply t.delta record with
-          | Ok () -> Ok ()
-          | Error e ->
-            (* unreachable given check; surface rather than hide *)
-            Error (Mutation_error e)
-        end
-      end)
+      | Ok () ->
+        let p = { p_record = record; p_result = None } in
+        Queue.push p t.gc_queue;
+        drive t p)
 
 let insert t ~name ~xml = mutate t (Wal.Insert { name; xml })
 let delete t ~name = mutate t (Wal.Delete { name })
 let update t ~name ~xml = mutate t (Wal.Update { name; xml })
 
-let checkpoint ?path t =
+(* ------------------------------------------------------------------ *)
+(* Two-level checkpoint.
+
+   [checkpoint_begin] freezes the delta into an immutable segment and
+   rotates the WAL: the committed log becomes [wal.frozen.log] (it
+   holds exactly the records the frozen segment reflects) and a fresh
+   [wal.log] picks up the suffix. Mutations and reads continue
+   immediately — the live delta keeps accumulating on top of the
+   frozen snapshot, and every post-freeze record is also remembered in
+   [ck_suffix].
+
+   [checkpoint_prepare] (off every lock) merges base + frozen via
+   [Db.compact] and saves the image atomically. [checkpoint_install]
+   (briefly under the mutex) swaps the merged image in as the new base
+   with a fresh delta rebuilt by replaying the suffix, and deletes the
+   frozen log — the live [wal.log] already holds exactly the
+   still-pending records. [checkpoint_abort] undoes a failed merge by
+   rebuilding a single live log (frozen records + suffix) atomically.
+
+   Crash matrix: before the rotation rename → the single-log open
+   recovers as before; between rotation and install → [open_dir]
+   merges [wal.frozen.log] back under [wal.log] and replays
+   everything; between image save and frozen-log delete → the frozen
+   records replay leniently onto the already-merged image, which is
+   idempotent. No acknowledged record is ever outside
+   [checkpoint image ∪ wal.frozen.log ∪ wal.log]. *)
+
+type checkpoint_token = Delta.frozen
+
+let checkpoint_in_progress t = locked t (fun () -> t.frozen <> None)
+
+let rotate_wal t =
+  let dir = t.t_dir in
+  let wpath = wal_path ~dir and fpath = frozen_wal_path ~dir in
+  match Sys.rename wpath fpath with
+  | exception Sys_error detail ->
+    Error (Wal_error (Wal.Io_error { path = wpath; detail }))
+  | () -> begin
+    match Wal.open_ ?fault:(Wal.fault t.wal) wpath with
+    | Error e ->
+      (* undo the rotation so the store stays single-log *)
+      (try Sys.rename fpath wpath with Sys_error _ -> ());
+      Error (Wal_error e)
+    | Ok (fresh, _) ->
+      Wal.set_append_index fresh (Wal.append_index t.wal);
+      Wal.close t.wal;
+      t.wal <- fresh;
+      Ok ()
+  end
+
+let checkpoint_begin t =
   locked t (fun () ->
-      let path =
-        match path with Some p -> p | None -> checkpoint_path ~dir:t.t_dir
-      in
-      let merged =
-        Db.compact ~base:t.base ~delta:(Delta.db t.delta)
-          ~tombstones:(Delta.tombstones t.delta)
-      in
-      match Db.save merged path with
-      | exception Sys_error detail -> Error (Image_error (Db.Io_error { path; detail }))
-      | () -> begin
-        match Wal.reset t.wal with
-        | Error e ->
-          (* the image is on disk but the log still holds the delta:
-             recovery replays it onto the new checkpoint, which is
-             idempotent — safe, just not compacted *)
-          Error (Wal_error e)
-        | Ok () ->
-          t.base <- merged;
-          t.delta <- Delta.create ~base:merged;
-          t.checkpoints <- t.checkpoints + 1;
-          Log.info (fun m ->
-              m "%s: checkpoint #%d saved to %s" t.t_dir t.checkpoints path);
-          Ok path
+      if t.frozen <> None then Error Checkpoint_in_progress
+      else begin
+        (* wait out any in-flight batch: rotation must not move the
+           log under a leader's feet, and every committed record must
+           be applied before the freeze so snapshot = rotated log *)
+        while t.gc_leader do
+          Condition.wait t.gc_done t.mutex
+        done;
+        if t.frozen <> None then Error Checkpoint_in_progress
+        else begin
+          match rotate_wal t with
+          | Error e -> Error e
+          | Ok () ->
+            let frozen = Delta.freeze t.delta in
+            t.frozen <- Some frozen;
+            t.ck_suffix <- [];
+            Log.info (fun m ->
+                m "%s: checkpoint began (%d delta docs, %d tombstones frozen)"
+                  t.t_dir
+                  (Delta.frozen_doc_count frozen)
+                  (Delta.frozen_tombstone_count frozen));
+            Ok frozen
+        end
       end)
+
+let checkpoint_prepare ?path t (frozen : checkpoint_token) =
+  let path =
+    match path with Some p -> p | None -> checkpoint_path ~dir:t.t_dir
+  in
+  let merged =
+    Db.compact
+      ~base:(Delta.frozen_base frozen)
+      ~delta:(Delta.frozen_db frozen)
+      ~tombstones:(Delta.frozen_tombstones frozen)
+  in
+  match Db.save merged path with
+  | exception Sys_error detail ->
+    Error (Image_error (Db.Io_error { path; detail }))
+  | () -> Ok (merged, path)
+
+let checkpoint_install t merged path =
+  locked t (fun () ->
+      let suffix = List.rev t.ck_suffix in
+      let delta' = Delta.create ~base:merged in
+      let (_ : Delta.replay_report) = Delta.replay delta' suffix in
+      t.base <- merged;
+      t.delta <- delta';
+      t.frozen <- None;
+      t.ck_suffix <- [];
+      t.checkpoints <- t.checkpoints + 1;
+      (try Sys.remove (frozen_wal_path ~dir:t.t_dir) with Sys_error _ -> ());
+      Log.info (fun m ->
+          m "%s: checkpoint #%d installed from %s (%d suffix records carried)"
+            t.t_dir t.checkpoints path (List.length suffix)))
+
+let checkpoint_abort t =
+  locked t (fun () ->
+      match t.frozen with
+      | None -> Ok ()
+      | Some _ ->
+        while t.gc_leader do
+          Condition.wait t.gc_done t.mutex
+        done;
+        if t.frozen = None then Ok ()
+        else begin
+          let dir = t.t_dir in
+          let wpath = wal_path ~dir and fpath = frozen_wal_path ~dir in
+          match Wal.open_ fpath with
+          | Error e -> Error (Wal_error e)
+          | Ok (fw, frec) -> begin
+            Wal.close fw;
+            let suffix = List.rev t.ck_suffix in
+            match Wal.save_records wpath (frec.Wal.records @ suffix) with
+            | Error e -> Error (Wal_error e)
+            | Ok () -> begin
+              let fault = Wal.fault t.wal
+              and idx = Wal.append_index t.wal in
+              match Wal.open_ ?fault wpath with
+              | Error e -> Error (Wal_error e)
+              | Ok (fresh, _) ->
+                Wal.set_append_index fresh idx;
+                Wal.close t.wal;
+                t.wal <- fresh;
+                (try Sys.remove fpath with Sys_error _ -> ());
+                t.frozen <- None;
+                t.ck_suffix <- [];
+                Log.info (fun m -> m "%s: checkpoint aborted" t.t_dir);
+                Ok ()
+            end
+          end
+        end)
+
+let checkpoint ?path t =
+  match checkpoint_begin t with
+  | Error e -> Error e
+  | Ok token -> begin
+    match checkpoint_prepare ?path t token with
+    | Error e ->
+      (match checkpoint_abort t with
+      | Ok () -> ()
+      | Error e' ->
+        Log.err (fun m ->
+            m "%s: checkpoint abort failed: %s" t.t_dir (error_to_string e')));
+      Error e
+    | Ok (merged, path) ->
+      checkpoint_install t merged path;
+      Ok path
+  end
 
 let base t = locked t (fun () -> t.base)
 let delta t = locked t (fun () -> t.delta)
+let view t = locked t (fun () -> (t.base, t.delta))
 let wal t = t.wal
 let dir t = t.t_dir
 
@@ -144,6 +488,12 @@ type stats = {
   delta_documents : int;
   tombstones : int;
   checkpoints : int;
+  frozen_documents : int;
+  frozen_tombstones : int;
+  checkpoint_in_progress : bool;
+  gc_batches : int;
+  gc_records : int;
+  gc_largest_batch : int;
 }
 
 let stats t =
@@ -154,6 +504,18 @@ let stats t =
         delta_documents = Delta.doc_count t.delta;
         tombstones = Delta.tombstone_count t.delta;
         checkpoints = t.checkpoints;
+        frozen_documents =
+          (match t.frozen with
+          | Some f -> Delta.frozen_doc_count f
+          | None -> 0);
+        frozen_tombstones =
+          (match t.frozen with
+          | Some f -> Delta.frozen_tombstone_count f
+          | None -> 0);
+        checkpoint_in_progress = t.frozen <> None;
+        gc_batches = t.gc_batches;
+        gc_records = t.gc_records;
+        gc_largest_batch = t.gc_largest;
       })
 
 let close t = Wal.close t.wal

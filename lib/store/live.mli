@@ -1,23 +1,37 @@
 (** A live (updatable) store: immutable base + {!Wal} + {!Delta}.
 
-    The handle owns a directory holding two files:
+    The handle owns a directory holding up to three files:
 
     - [wal.log] — the {!Wal}; every mutation is validated, appended
       and fsynced here {e before} it touches the in-memory delta, so
-      an acknowledged mutation survives a crash, and
+      an acknowledged mutation survives a crash,
+    - [wal.frozen.log] — present only while a checkpoint is in
+      flight: the rotated log covering the frozen delta segment, and
     - [checkpoint.tix] — the most recent checkpoint image; absent
       until the first {!checkpoint}.
 
     {!open_dir} recovers: it loads the newest base (the checkpoint
     image if present, else the caller-provided database, else an
-    empty corpus), replays the WAL's committed prefix into a fresh
-    delta, and truncates any torn tail. The crash matrix is
+    empty corpus), merges an interrupted checkpoint's rotated log
+    back under the live one if a crash left both behind, replays the
+    WAL's committed prefix into a fresh delta, and truncates any torn
+    tail. The crash matrix is
 
     - crash before the WAL append commits → recovery truncates the
       torn frame; the store equals the pre-op state;
     - crash after the commit marker is durable → replay re-applies
       the record; the store equals the post-op state;
     - never anything in between.
+
+    {b Group commit.} Concurrent mutations coalesce: writers enqueue
+    validated records and the first to find no active batch leader
+    commits the whole queue (up to [wal_batch] records) with one
+    contiguous write and a single fsync, then applies the batch to
+    the delta in order and wakes every waiter. Durability is
+    unchanged — a mutation is acknowledged only after the fsync
+    covering its frame returns — but N acknowledgements share one
+    sync. A single-threaded caller degenerates to batches of one,
+    byte-identical to per-op commits.
 
     Mutations are serialized by an internal mutex; readers never take
     it — they query immutable snapshots published elsewhere (see
@@ -29,6 +43,8 @@ type error =
   | Wal_error of Wal.error
   | Mutation_error of Delta.mutation_error
   | Image_error of Db.error  (** loading or saving a checkpoint image *)
+  | Checkpoint_in_progress
+      (** {!checkpoint_begin} while another checkpoint is in flight *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
@@ -46,46 +62,115 @@ type opened = {
 }
 
 val wal_path : dir:string -> string
+val frozen_wal_path : dir:string -> string
 val checkpoint_path : dir:string -> string
 
 val open_dir :
-  ?fault:Fault.t -> ?base:Db.t -> dir:string -> unit -> (opened, error) result
+  ?fault:Fault.t ->
+  ?base:Db.t ->
+  ?wal_batch:int ->
+  ?wal_linger:float ->
+  dir:string ->
+  unit ->
+  (opened, error) result
 (** Open (or create) the live store rooted at [dir]. A checkpoint
     image in the directory wins over [?base]: it already contains
     every mutation checkpointed so far, while [?base] is the original
     seed corpus. The WAL is then replayed on top of whichever base
-    was chosen. [dir] must exist. *)
+    was chosen (a leftover [wal.frozen.log] is merged back first).
+    [dir] must exist.
+
+    [wal_batch] (default 64) caps how many queued records one group
+    commit covers; [wal_linger] (default 0) adds a bounded wait
+    before the leader takes its batch so more writers can join —
+    natural batching during the previous fsync usually suffices. *)
 
 val insert : t -> name:string -> xml:string -> (unit, error) result
 val delete : t -> name:string -> (unit, error) result
 val update : t -> name:string -> xml:string -> (unit, error) result
-(** Validate, append to the WAL (fsync), then apply to the delta.
-    On [Ok] the mutation is durable. On [Error] nothing changed —
-    invalid mutations are rejected before they reach the log. May
-    raise {!Fault.Write_crash} when an armed write fault fires. *)
+(** Validate, append to the WAL (fsync, possibly batched with
+    concurrent mutations), then apply to the delta. On [Ok] the
+    mutation is durable. On [Error] nothing changed — invalid
+    mutations are rejected before they reach the log, and an fsync
+    failure fails every record the sync covered. May raise
+    {!Fault.Write_crash} when an armed write fault fires (concurrent
+    waiters in the same batch get a typed [Wal_error] instead). *)
+
+(** {1 Checkpointing}
+
+    [checkpoint_begin] freezes the delta and rotates the WAL so
+    mutations and reads continue immediately; [checkpoint_prepare]
+    merges and saves the image off every lock; [checkpoint_install]
+    atomically swaps the merged base in, carrying the post-freeze
+    suffix into a fresh delta. {!checkpoint} composes the three
+    synchronously. *)
+
+type checkpoint_token
+
+val checkpoint_begin : t -> (checkpoint_token, error) result
+(** Freeze the current delta into an immutable segment and rotate
+    [wal.log] to [wal.frozen.log] (a fresh live log picks up the
+    suffix). Waits out any in-flight commit batch; mutations resume
+    as soon as this returns. *)
+
+val checkpoint_prepare :
+  ?path:string -> t -> checkpoint_token -> (Db.t * string, error) result
+(** Merge base + frozen segment − tombstones into a fresh immutable
+    database ({!Db.compact}) and save it atomically to [path]
+    (default [checkpoint.tix] in the store's directory). Takes no
+    lock — mutations proceed concurrently. *)
+
+val checkpoint_install : t -> Db.t -> string -> unit
+(** Swap the merged database in as the new base, rebuild the delta by
+    replaying the post-freeze suffix, and delete the frozen log (the
+    live [wal.log] already holds exactly the still-pending records).
+    Briefly takes the mutation mutex. *)
+
+val checkpoint_abort : t -> (unit, error) result
+(** Undo {!checkpoint_begin} after a failed prepare: atomically
+    rebuild a single live log (frozen records + suffix) and drop the
+    frozen segment. No-op when no checkpoint is in flight. *)
+
+val checkpoint_in_progress : t -> bool
 
 val checkpoint : ?path:string -> t -> (string, error) result
-(** Merge base + delta − tombstones into a fresh immutable database
-    ({!Db.compact}), save it atomically to [path] (default
-    [checkpoint.tix] in the store's directory), reset the WAL and
-    swap the merged database in as the new base with an empty delta.
-    Returns the image path. *)
+(** [checkpoint_begin] + [checkpoint_prepare] + [checkpoint_install]
+    run synchronously (aborting on a failed prepare). Returns the
+    image path. *)
 
 val base : t -> Db.t
-(** The current base snapshot (changes only at {!checkpoint}). *)
+(** The current base snapshot (changes only when a checkpoint
+    installs). *)
 
 val delta : t -> Delta.t
-(** The current delta segment (replaced at {!checkpoint}). *)
+(** The current delta segment (replaced when a checkpoint
+    installs). *)
+
+val view : t -> Db.t * Delta.t
+(** The current (base, delta) pair read atomically under the mutation
+    mutex. A checkpoint install swaps both together, so a reader
+    composing {!base} and {!delta} separately could pair the old base
+    with the new delta — use this when a checkpoint may be racing. *)
 
 val wal : t -> Wal.t
+(** The current live log handle (swapped at checkpoint rotation). *)
+
 val dir : t -> string
 
 type stats = {
-  wal_records : int;
+  wal_records : int;  (** records in the live log (suffix only while
+                          a checkpoint is in flight) *)
   wal_bytes : int;
-  delta_documents : int;
+  delta_documents : int;  (** all un-checkpointed delta documents *)
   tombstones : int;
-  checkpoints : int;  (** checkpoints taken through this handle *)
+  checkpoints : int;  (** checkpoints installed through this handle *)
+  frozen_documents : int;  (** documents in the frozen segment (0 when
+                               no checkpoint is in flight) *)
+  frozen_tombstones : int;
+  checkpoint_in_progress : bool;
+  gc_batches : int;  (** group-commit batches fsynced *)
+  gc_records : int;  (** records committed through those batches *)
+  gc_largest_batch : int;
 }
 
 val stats : t -> stats

@@ -1,0 +1,16 @@
+type advice = Normal | Random | Sequential | Willneed
+
+type bigbytes =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external tix_madvise : bigbytes -> int -> bool = "tix_madvise"
+
+let advise map advice =
+  let code =
+    match advice with
+    | Normal -> 0
+    | Random -> 1
+    | Sequential -> 2
+    | Willneed -> 3
+  in
+  match tix_madvise map code with b -> b | exception _ -> false

@@ -1,0 +1,17 @@
+(** [madvise(2)] hints for mmap'd image buffers.
+
+    Purely advisory: every call degrades to a no-op on platforms or
+    kernels without the requested advice, so callers never need to
+    guard by OS. The two hints the image open path uses are
+    [Willneed] before a checksum pass (the kernel can read the file
+    ahead sequentially) and [Random] once the database is serving
+    (point lookups dominate, so read-around is wasted work). *)
+
+type advice = Normal | Random | Sequential | Willneed
+
+type bigbytes =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val advise : bigbytes -> advice -> bool
+(** Apply the hint to the whole mapping. [false] when the platform,
+    kernel or range does not support it — never raises. *)

@@ -1,0 +1,70 @@
+/* madvise(2) hints for mmap'd image buffers.
+ *
+ * The OCaml side passes the whole mapped bigarray plus a small advice
+ * code; unsupported platforms or kernels simply report false and the
+ * caller proceeds without the hint. madvise itself rejects unmapped or
+ * unaligned ranges with EINVAL, which also surfaces as false.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+#ifdef _WIN32
+
+CAMLprim value tix_madvise(value vba, value vadvice)
+{
+  (void)vba;
+  (void)vadvice;
+  return Val_false;
+}
+
+#else
+
+#include <sys/mman.h>
+
+CAMLprim value tix_madvise(value vba, value vadvice)
+{
+  struct caml_ba_array *ba = Caml_ba_array_val(vba);
+  void *data = ba->data;
+  uintnat len = caml_ba_byte_size(ba);
+  int advice;
+
+  switch (Int_val(vadvice)) {
+  case 0:
+#ifdef MADV_NORMAL
+    advice = MADV_NORMAL;
+    break;
+#else
+    return Val_false;
+#endif
+  case 1:
+#ifdef MADV_RANDOM
+    advice = MADV_RANDOM;
+    break;
+#else
+    return Val_false;
+#endif
+  case 2:
+#ifdef MADV_SEQUENTIAL
+    advice = MADV_SEQUENTIAL;
+    break;
+#else
+    return Val_false;
+#endif
+  case 3:
+#ifdef MADV_WILLNEED
+    advice = MADV_WILLNEED;
+    break;
+#else
+    return Val_false;
+#endif
+  default:
+    return Val_false;
+  }
+
+  if (len == 0)
+    return Val_true;
+  return madvise(data, len, advice) == 0 ? Val_true : Val_false;
+}
+
+#endif

@@ -279,63 +279,120 @@ let rollback t =
     Unix.fsync t.fd
   with Unix.Unix_error _ -> ()
 
-let append t record =
-  if t.closed then
-    Error (Io_error { path = t.t_path; detail = "log handle is closed" })
-  else begin
-    let frame = frame_of_record record in
-    let flen = Bytes.length frame in
-    let op = t.appends in
-    t.appends <- op + 1;
-    let fault = Option.bind t.fault (fun f -> Fault.take_write_fault f ~op) in
-    match fault with
-    | Some (Torn_write { at_byte }) ->
-      (* the simulated process dies mid-append: whatever prefix was
-         handed to the kernel reaches the file, then nothing else
-         happens until someone reopens the log *)
-      let wrote = min at_byte flen in
-      (match
-         io_error t.t_path (fun () ->
-             ignore (Unix.lseek t.fd t.length Unix.SEEK_SET);
-             if wrote > 0 then write_all t.fd frame 0 wrote;
-             Unix.fsync t.fd)
-       with
-      | Ok () | Error _ -> ());
-      raise (Fault.Write_crash { op; wrote })
-    | Some Fail_fsync -> begin
-      match
-        io_error t.t_path (fun () ->
-            ignore (Unix.lseek t.fd t.length Unix.SEEK_SET);
-            write_all t.fd frame 0 flen)
-      with
-      | Error e ->
-        rollback t;
-        Error e
-      | Ok () ->
-        rollback t;
-        Error
-          (Sync_failed { path = t.t_path; detail = "injected fsync failure" })
+(* One batch = one contiguous write + one fsync covering every frame.
+   Fault semantics extend the per-op contract to batched commits: the
+   earliest armed fault among the batch's op indices decides the
+   outcome. A torn write at op [j] leaves frames before [j] fully in
+   the file (they shared the dying write) plus a prefix of frame [j];
+   an injected fsync failure fails the whole batch — the single sync
+   covered every frame, so none of them is durable. *)
+let append_many t records =
+  match records with
+  | [] -> Ok ()
+  | _ ->
+    if t.closed then
+      Error (Io_error { path = t.t_path; detail = "log handle is closed" })
+    else begin
+      let frames = List.map frame_of_record records in
+      let n = List.length frames in
+      let op0 = t.appends in
+      t.appends <- op0 + n;
+      let fault =
+        match t.fault with
+        | None -> None
+        | Some f ->
+          let rec find i =
+            if i >= n then None
+            else begin
+              match Fault.take_write_fault f ~op:(op0 + i) with
+              | Some fl -> Some (i, fl)
+              | None -> find (i + 1)
+            end
+          in
+          find 0
+      in
+      match fault with
+      | Some (j, Fault.Torn_write { at_byte }) ->
+        (* the simulated process dies mid-batch: every frame before
+           the faulted one was handed to the kernel in the same
+           write, then a prefix of frame [j]; nothing was
+           acknowledged, and only reopening the file tells how far
+           the batch got *)
+        let before = List.filteri (fun i _ -> i < j) frames in
+        let frame_j = List.nth frames j in
+        let wrote = min at_byte (Bytes.length frame_j) in
+        (match
+           io_error t.t_path (fun () ->
+               ignore (Unix.lseek t.fd t.length Unix.SEEK_SET);
+               List.iter (fun fr -> write_all t.fd fr 0 (Bytes.length fr)) before;
+               if wrote > 0 then write_all t.fd frame_j 0 wrote;
+               Unix.fsync t.fd)
+         with
+        | Ok () | Error _ -> ());
+        raise (Fault.Write_crash { op = op0 + j; wrote })
+      | Some (_, Fault.Fail_fsync) -> begin
+        match
+          io_error t.t_path (fun () ->
+              ignore (Unix.lseek t.fd t.length Unix.SEEK_SET);
+              List.iter (fun fr -> write_all t.fd fr 0 (Bytes.length fr)) frames)
+        with
+        | Error e ->
+          rollback t;
+          Error e
+        | Ok () ->
+          rollback t;
+          Error
+            (Sync_failed { path = t.t_path; detail = "injected fsync failure" })
+      end
+      | None -> begin
+        let total = List.fold_left (fun a fr -> a + Bytes.length fr) 0 frames in
+        match
+          io_error t.t_path (fun () ->
+              ignore (Unix.lseek t.fd t.length Unix.SEEK_SET);
+              List.iter (fun fr -> write_all t.fd fr 0 (Bytes.length fr)) frames;
+              Unix.fsync t.fd)
+        with
+        | Error e ->
+          rollback t;
+          (match e with
+          | Io_error { detail; _ }
+            when String.length detail >= 5 && String.sub detail 0 5 = "fsync" ->
+            Error (Sync_failed { path = t.t_path; detail })
+          | e -> Error e)
+        | Ok () ->
+          t.length <- t.length + total;
+          t.records <- t.records + n;
+          Ok ()
+      end
     end
-    | None -> begin
-      match
-        io_error t.t_path (fun () ->
-            ignore (Unix.lseek t.fd t.length Unix.SEEK_SET);
-            write_all t.fd frame 0 flen;
-            Unix.fsync t.fd)
-      with
-      | Error e ->
-        rollback t;
-        (match e with
-        | Io_error { detail; _ } when String.length detail >= 5 && String.sub detail 0 5 = "fsync"
-          ->
-          Error (Sync_failed { path = t.t_path; detail })
-        | e -> Error e)
-      | Ok () ->
-        t.length <- t.length + flen;
-        t.records <- t.records + 1;
-        Ok ()
-    end
-  end
+
+let append t record = append_many t [ record ]
+
+(* Atomically replace [path] with a log holding exactly [records]:
+   build the image beside it, fsync, then rename over the target.
+   Used to merge a rotated checkpoint log back under the live one. *)
+let save_records path records =
+  let tmp = path ^ ".tmp" in
+  match
+    io_error tmp (fun () ->
+        let fd =
+          Unix.openfile tmp
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+            0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            write_all fd (Bytes.of_string magic) 0 (String.length magic);
+            List.iter
+              (fun r ->
+                let fr = frame_of_record r in
+                write_all fd fr 0 (Bytes.length fr))
+              records;
+            Unix.fsync fd))
+  with
+  | Error e -> Error e
+  | Ok () -> io_error path (fun () -> Sys.rename tmp path)
 
 let reset t =
   if t.closed then
@@ -357,6 +414,7 @@ let path t = t.t_path
 let record_count (t : t) = t.records
 let byte_size t = t.length
 let append_index t = t.appends
+let set_append_index t i = t.appends <- i
 let set_fault t f = t.fault <- f
 let fault t = t.fault
 

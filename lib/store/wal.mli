@@ -67,7 +67,27 @@ val append : t -> record -> (unit, error) result
     length and the in-memory state is unchanged. May raise
     {!Fault.Write_crash} when an armed torn-write fault fires — the
     "process" died mid-append and only reopening the file
-    ({!open_}) tells how far the frame got. *)
+    ({!open_}) tells how far the frame got. Equivalent to
+    [append_many t [record]]. *)
+
+val append_many : t -> record list -> (unit, error) result
+(** Group commit: frame every record, hand them to the kernel in one
+    contiguous write and fsync {e once} — on [Ok] all records are
+    committed behind a single sync. Each record still consumes one
+    op index for fault injection, and the earliest armed fault in
+    the batch decides the outcome: a {!Fault.Torn_write} at op [j]
+    leaves the frames before [j] fully in the file (they shared the
+    dying write) plus [at_byte] bytes of frame [j], then raises
+    {!Fault.Write_crash}; a {!Fault.Fail_fsync} fails the {e whole}
+    batch with [Sync_failed] and rolls the file back — the single
+    sync covered every frame, so none of them is durable.
+    [append_many t []] is a no-op. *)
+
+val save_records : string -> record list -> (unit, error) result
+(** Atomically replace [path] with a freshly built log holding
+    exactly [records]: the image is written and fsynced beside the
+    target, then renamed over it. Used to merge a rotated checkpoint
+    log back under the live one during recovery or abort. *)
 
 val path : t -> string
 val record_count : t -> int
@@ -79,6 +99,11 @@ val byte_size : t -> int
 val append_index : t -> int
 (** 0-based index of the {e next} append through this handle — the
     op index {!Fault.arm_write_fault} keys on. *)
+
+val set_append_index : t -> int -> unit
+(** Carry the op-fault indexing across a log rotation: a fresh
+    handle opened mid-stream inherits the old handle's counter so
+    armed fault op indices stay unambiguous. *)
 
 val reset : t -> (unit, error) result
 (** Truncate the log back to an empty (header-only) file — the

@@ -132,8 +132,11 @@ REQUESTS=(
 )
 
 # compare coordinator vs oracle: strip wall-clock timings, the cache
-# flag, and per-process step accounting; everything else must match,
-# and the coordinator answer must not carry the degraded flag
+# flag, per-process step accounting, and the planner's plan line
+# (cost estimates come from per-shard statistics, so a shard's plan
+# can never be byte-identical to the full-corpus oracle's);
+# everything else must match, and the coordinator answer must not
+# carry the degraded flag
 compare_families() { # label
   local label=$1 i=0
   : > "$WORK/compare_coord.ndjson"
@@ -151,7 +154,7 @@ compare_families() { # label
   python3 - "$WORK" "$label" <<'PY' || fail "$label: coordinator diverged from single node"
 import json, sys, os
 work, label = sys.argv[1], sys.argv[2]
-STRIP = ("timings", "cached", "steps_used")
+STRIP = ("timings", "cached", "steps_used", "plan")
 def clean(line):
     resp = json.loads(line)
     for key in STRIP:

@@ -233,10 +233,10 @@ let test_engine_parallel_identical () =
     [
       ( "search",
         Service.Engine.Search
-          { terms; method_ = Service.Engine.Termjoin; complex = true } );
+          { terms; method_ = Service.Engine.Termjoin; complex = true; anchor = None } );
       ( "genmeet",
         Service.Engine.Search
-          { terms; method_ = Service.Engine.Genmeet; complex = false } );
+          { terms; method_ = Service.Engine.Genmeet; complex = false; anchor = None } );
       ("phrase", Service.Engine.Phrase { phrase = "pxpa pxpb"; comp3 = false });
       ("ranked", Service.Engine.Ranked { terms });
     ]
@@ -254,7 +254,7 @@ let test_engine_parallel_identical () =
 let test_engine_steps_used () =
   let req =
     Service.Engine.Search
-      { terms; method_ = Service.Engine.Termjoin; complex = false }
+      { terms; method_ = Service.Engine.Termjoin; complex = false; anchor = None }
   in
   let seq = exec_rows req in
   check bool_ "sequential steps_used > 0" true
@@ -283,7 +283,7 @@ let test_engine_parallel_budget_error () =
   let limits = Core.Governor.limits ~max_steps:5 () in
   let req =
     Service.Engine.Search
-      { terms; method_ = Service.Engine.Termjoin; complex = false }
+      { terms; method_ = Service.Engine.Termjoin; complex = false; anchor = None }
   in
   match
     Service.Engine.exec ~limits ~parallelism:4 (Lazy.force snapshot) req

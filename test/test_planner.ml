@@ -171,7 +171,7 @@ let test_auto_parallelism_identity () =
       let run p m =
         match
           Service.Engine.exec ~parallelism:p snap
-            (Service.Engine.Search { terms; method_ = m; complex = false })
+            (Service.Engine.Search { terms; method_ = m; complex = false; anchor = None })
         with
         | Ok r -> r.Service.Engine.rows
         | Error e ->

@@ -318,7 +318,7 @@ let exec ?caches ?limits ?k ?trace request =
 let test_engine_search_matches_direct () =
   let terms = [ "svplantone" ] in
   match
-    exec (Service.Engine.Search { terms; method_ = Service.Engine.Termjoin; complex = false })
+    exec (Service.Engine.Search { terms; method_ = Service.Engine.Termjoin; complex = false; anchor = None })
   with
   | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
   | Ok result ->
@@ -343,7 +343,7 @@ let test_engine_query_compiles () =
     check bool_ "has rows" true (result.Service.Engine.rows <> [])
 
 let test_engine_bad_requests () =
-  (match exec (Service.Engine.Search { terms = []; method_ = Service.Engine.Termjoin; complex = false }) with
+  (match exec (Service.Engine.Search { terms = []; method_ = Service.Engine.Termjoin; complex = false; anchor = None }) with
   | Error e -> check string_ "code" "bad_request" (Service.Engine.error_code e)
   | Ok _ -> Alcotest.fail "empty search accepted");
   (match exec (Service.Engine.Phrase { phrase = "   "; comp3 = false }) with
@@ -358,7 +358,7 @@ let test_engine_governor () =
     exec
       ~limits:(Core.Governor.limits ~max_results:1 ())
       (Service.Engine.Search
-         { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false })
+         { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false; anchor = None })
   with
   | Error e -> check string_ "code" "exhausted" (Service.Engine.error_code e)
   | Ok _ -> Alcotest.fail "expected resource exhaustion"
@@ -373,7 +373,7 @@ let test_engine_result_cache () =
   let caches = fresh_caches () in
   let request =
     Service.Engine.Search
-      { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false }
+      { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false; anchor = None }
   in
   let r1 =
     match exec ~caches ~k:5 request with
@@ -472,15 +472,15 @@ let test_trace_all_families () =
   in
   expect_root
     (Service.Engine.Search
-       { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false })
+       { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false; anchor = None })
     "TermJoin";
   expect_root
     (Service.Engine.Search
-       { terms = [ "svplantone" ]; method_ = Service.Engine.Genmeet; complex = false })
+       { terms = [ "svplantone" ]; method_ = Service.Engine.Genmeet; complex = false; anchor = None })
     "GenMeet";
   expect_root
     (Service.Engine.Search
-       { terms = [ "svplantone" ]; method_ = Service.Engine.Comp1; complex = false })
+       { terms = [ "svplantone" ]; method_ = Service.Engine.Comp1; complex = false; anchor = None })
     "Comp1";
   expect_root
     (Service.Engine.Phrase { phrase = "svphrasea svphraseb"; comp3 = false })
@@ -533,7 +533,7 @@ let test_trace_bypasses_cache () =
   let caches = fresh_caches () in
   let request =
     Service.Engine.Search
-      { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false }
+      { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false; anchor = None }
   in
   let run ?(trace = false) () =
     match exec ~caches ~k:5 ~trace request with
@@ -588,7 +588,7 @@ let test_search_auto () =
   let terms = [ "svplantone"; "svplanttwo" ] in
   let run method_ =
     match
-      Service.Engine.exec snap (Service.Engine.Search { terms; method_; complex = false })
+      Service.Engine.exec snap (Service.Engine.Search { terms; method_; complex = false; anchor = None })
     with
     | Ok r -> r
     | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
@@ -633,7 +633,7 @@ let test_trace_estimates () =
     match
       Service.Engine.exec ~trace:true snap
         (Service.Engine.Search
-           { terms = [ "svplantone" ]; method_ = Service.Engine.Auto; complex = false })
+           { terms = [ "svplantone" ]; method_ = Service.Engine.Auto; complex = false; anchor = None })
     with
     | Ok r -> r
     | Error e -> Alcotest.failf "exec: %s" (Service.Engine.error_message e)
@@ -694,7 +694,7 @@ let test_trace_json_roundtrip () =
   let r, sp =
     exec_traced
       (Service.Engine.Search
-         { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false })
+         { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false; anchor = None })
   in
   let line = Service.Json.to_string (Service.Protocol.result_to_json r) in
   match Service.Json.parse line with
@@ -720,13 +720,14 @@ let mixed_requests n =
         match i mod 5 with
         | 0 ->
           Service.Engine.Search
-            { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false }
+            { terms = [ "svplantone" ]; method_ = Service.Engine.Termjoin; complex = false; anchor = None }
         | 1 ->
           Service.Engine.Search
             {
               terms = [ "svplantone"; "svplanttwo" ];
               method_ = Service.Engine.Genmeet;
               complex = false;
+              anchor = None;
             }
         | 2 -> Service.Engine.Phrase { phrase = "svphrasea svphraseb"; comp3 = i mod 2 = 0 }
         | 3 -> Service.Engine.Ranked { terms = [ "svplantone"; "svplanttwo" ] }
@@ -950,6 +951,7 @@ let test_tcp_server () =
                         terms = [ "svplantone" ];
                         method_ = Service.Engine.Termjoin;
                         complex = false;
+                        anchor = None;
                       };
                   k = Some 4;
                   limits = Core.Governor.unlimited;
@@ -1019,6 +1021,7 @@ let test_protocol_parallelism_roundtrip () =
               terms = [ "svplantone" ];
               method_ = Service.Engine.Termjoin;
               complex = false;
+              anchor = None;
             };
         k = Some 5;
         limits = Core.Governor.unlimited;
@@ -1051,6 +1054,7 @@ let test_scheduler_parallelism () =
             terms = [ "svplantone"; "svplanttwo" ];
             method_ = Service.Engine.Termjoin;
             complex = true;
+            anchor = None;
           }
       in
       let run ?parallelism () =

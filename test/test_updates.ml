@@ -132,6 +132,7 @@ let families =
           terms = [ "search"; "retrieval" ];
           method_ = Service.Engine.Termjoin;
           complex = false;
+          anchor = None;
         } );
     ("phrase", Service.Engine.Phrase { phrase = "search engine"; comp3 = false });
     ("ranked", Service.Engine.Ranked { terms = [ "search"; "internet" ] });
@@ -181,9 +182,8 @@ let assert_equals_rebuild ~what snap sim =
     families
 
 let live_snapshot live =
-  Service.Engine.with_delta
-    (snapshot_exn (Store.Live.base live))
-    (Store.Live.delta live)
+  let base, delta = Store.Live.view live in
+  Service.Engine.with_delta (snapshot_exn base) delta
 
 (* ------------------------------------------------------------------ *)
 (* Temp dirs *)
@@ -205,9 +205,9 @@ let with_dir f =
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
 
-let open_live ?fault ?(base = true) dir =
+let open_live ?fault ?(base = true) ?wal_batch ?wal_linger dir =
   let base = if base then Some (mk_base ()) else None in
-  match Store.Live.open_dir ?fault ?base ~dir () with
+  match Store.Live.open_dir ?fault ?base ?wal_batch ?wal_linger ~dir () with
   | Ok opened -> opened
   | Error e -> Alcotest.failf "open_dir: %s" (Store.Live.error_to_string e)
 
@@ -408,6 +408,119 @@ let test_wal_corruption_sweep_byte_flips () =
           Store.Wal.close wal
         end
       done)
+
+(* ------------------------------------------------------------------ *)
+(* Group commit: batched appends share one write + fsync but keep the
+   per-frame durability semantics byte for byte. *)
+
+let test_wal_append_many_roundtrip () =
+  with_dir (fun dir ->
+      let batched = Filename.concat dir "batched.log" in
+      let serial = Filename.concat dir "serial.log" in
+      let wal, _ = wal_open_exn batched in
+      (match Store.Wal.append_many wal script with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "append_many: %s" (Store.Wal.error_to_string e));
+      check int_ "records counted" (List.length script)
+        (Store.Wal.record_count wal);
+      (match Store.Wal.append_many wal [] with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "empty batch: %s" (Store.Wal.error_to_string e));
+      Store.Wal.close wal;
+      let wal, _ = wal_open_exn serial in
+      List.iter (wal_append_exn wal) script;
+      Store.Wal.close wal;
+      let read_file p =
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check bool_ "batched log is byte-identical to serial appends" true
+        (read_file batched = read_file serial);
+      let wal, recovery = wal_open_exn batched in
+      check bool_ "reopen replays the batch" true
+        (recovery.Store.Wal.records = script);
+      Store.Wal.close wal)
+
+let test_wal_batched_crash_sweep () =
+  (* sweep a torn write through every op of one batch: earlier frames
+     are durable, the torn frame truncates, later frames were never
+     written — exactly a crash between two per-op commits *)
+  let flens = Array.of_list (frame_lengths ()) in
+  List.iteri
+    (fun j _ ->
+      let flen = flens.(j) in
+      List.iter
+        (fun at_byte ->
+          with_dir (fun dir ->
+              let path = Filename.concat dir "wal.log" in
+              let fault = Store.Fault.create () in
+              Store.Fault.arm_write_fault fault ~op:j
+                (Store.Fault.Torn_write { at_byte });
+              let wal, _ = wal_open_exn ~fault path in
+              (match Store.Wal.append_many wal script with
+              | Ok () | Error _ ->
+                Alcotest.fail "armed torn write did not crash"
+              | exception Store.Fault.Write_crash { op; wrote } ->
+                check int_ "crash names the torn op" j op;
+                check int_
+                  (Printf.sprintf "op %d crash at %d: bytes of the torn frame"
+                     j at_byte)
+                  (min at_byte flen) wrote);
+              Store.Wal.close wal;
+              let wal, recovery = wal_open_exn path in
+              let committed = at_byte >= flen in
+              check bool_
+                (Printf.sprintf
+                   "op %d crash at %d: preceding frames durable, later \
+                    frames absent"
+                   j at_byte)
+                true
+                (recovery.Store.Wal.records
+                = List.filteri
+                    (fun i _ -> i < j || (i = j && committed))
+                    script);
+              check int_
+                (Printf.sprintf "op %d crash at %d: torn tail truncated" j
+                   at_byte)
+                (if committed then 0 else at_byte)
+                recovery.Store.Wal.truncated_bytes;
+              Store.Wal.close wal))
+        [ 0; 1; flen / 2; flen - 1; flen; flen + 9 ])
+    script
+
+let test_wal_append_many_fsync_failure_rolls_back_whole_batch () =
+  (* one fsync covers the whole batch, so its failure fails — and
+     rolls back — every record in it *)
+  List.iter
+    (fun j ->
+      with_dir (fun dir ->
+          let path = Filename.concat dir "wal.log" in
+          let fault = Store.Fault.create () in
+          Store.Fault.arm_write_fault fault ~op:j Store.Fault.Fail_fsync;
+          let wal, _ = wal_open_exn ~fault path in
+          (match Store.Wal.append_many wal script with
+          | Ok () -> Alcotest.fail "injected fsync failure was swallowed"
+          | Error (Store.Wal.Sync_failed _) -> ()
+          | Error e ->
+            Alcotest.failf "wanted Sync_failed, got %s"
+              (Store.Wal.error_to_string e));
+          check int_ "no record of the batch survives in memory" 0
+            (Store.Wal.record_count wal);
+          (* the handle stays usable; the retried batch commits *)
+          (match Store.Wal.append_many wal script with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "retry: %s" (Store.Wal.error_to_string e));
+          Store.Wal.close wal;
+          let wal, recovery = wal_open_exn path in
+          check bool_ "retried batch is the only durable state" true
+            (recovery.Store.Wal.records = script);
+          Store.Wal.close wal))
+    [ 0; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Delta semantics *)
@@ -781,9 +894,314 @@ let test_live_checkpoint () =
       Store.Live.close reopened.Store.Live.live)
 
 (* ------------------------------------------------------------------ *)
+(* Group commit at the live-store level: concurrent writers coalesce,
+   every acknowledgement is durable. *)
+
+let join_all threads = List.iter Thread.join threads
+
+let test_live_group_commit_concurrency () =
+  with_dir (fun dir ->
+      let opened = open_live ~wal_batch:8 dir in
+      let live = opened.Store.Live.live in
+      let writers = 8 and per = 8 in
+      let failures = Atomic.make 0 in
+      join_all
+        (List.init writers (fun w ->
+             Thread.create
+               (fun () ->
+                 for i = 0 to per - 1 do
+                   let name = Printf.sprintf "w%d_%d.xml" w i in
+                   match Store.Live.insert live ~name ~xml:doc_a with
+                   | Ok () -> ()
+                   | Error _ -> Atomic.incr failures
+                 done)
+               ()));
+      check int_ "no concurrent writer failed" 0 (Atomic.get failures);
+      let stats = Store.Live.stats live in
+      check int_ "every record logged" (writers * per)
+        stats.Store.Live.wal_records;
+      check int_ "every record went through group commit" (writers * per)
+        stats.Store.Live.gc_records;
+      check bool_ "batches bounded by wal_batch" true
+        (stats.Store.Live.gc_largest_batch >= 1
+        && stats.Store.Live.gc_largest_batch <= 8);
+      check bool_ "batch count is consistent" true
+        (stats.Store.Live.gc_batches >= (writers * per + 7) / 8
+        && stats.Store.Live.gc_batches <= writers * per);
+      Store.Live.close live;
+      let reopened = open_live dir in
+      check int_ "recovery replays every acked insert" (writers * per)
+        reopened.Store.Live.replay.Store.Delta.applied;
+      check int_ "all documents present" (writers * per)
+        (List.length
+           (Store.Delta.documents (Store.Live.delta reopened.Store.Live.live)));
+      Store.Live.close reopened.Store.Live.live)
+
+let test_live_group_commit_crash_recovers_acked () =
+  (* kill the process mid-batch at several armed ops: after reopen,
+     every ACKED insert must be present (un-acked frames from the
+     crashed batch may or may not be, both are legal post-op states) *)
+  List.iter
+    (fun (crash_op, at_byte) ->
+      with_dir (fun dir ->
+          let fault = Store.Fault.create () in
+          let opened = open_live ~fault ~wal_batch:8 dir in
+          let live = opened.Store.Live.live in
+          Store.Fault.arm_write_fault fault ~op:crash_op
+            (Store.Fault.Torn_write { at_byte });
+          let lock = Mutex.create () in
+          let acked = ref [] in
+          join_all
+            (List.init 4 (fun w ->
+                 Thread.create
+                   (fun () ->
+                     for i = 0 to 5 do
+                       let name = Printf.sprintf "c%d_%d.xml" w i in
+                       match Store.Live.insert live ~name ~xml:doc_c with
+                       | Ok () ->
+                         Mutex.protect lock (fun () -> acked := name :: !acked)
+                       | Error _ -> ()
+                       | exception Store.Fault.Write_crash _ -> ()
+                     done)
+                   ()));
+          Store.Live.close live;
+          let reopened = open_live dir in
+          let recovered =
+            List.filter_map
+              (function
+                | Store.Wal.Insert { name; _ } -> Some name
+                | _ -> None)
+              reopened.Store.Live.recovery.Store.Wal.records
+          in
+          List.iter
+            (fun name ->
+              check bool_
+                (Printf.sprintf
+                   "crash at op %d byte %d: acked %s recovered" crash_op
+                   at_byte name)
+                true
+                (List.mem name recovered))
+            !acked;
+          Store.Live.close reopened.Store.Live.live))
+    [ (0, 3); (5, 0); (11, 7); (17, 25) ]
+
+(* ------------------------------------------------------------------ *)
+(* Two-level delta: freeze / prepare / install, abort, and the crash
+   windows in between. *)
+
+let prefix_ops = List.filteri (fun i _ -> i < 3) script
+let suffix_ops = List.filteri (fun i _ -> i >= 3) script
+
+let begin_exn live =
+  match Store.Live.checkpoint_begin live with
+  | Ok token -> token
+  | Error e ->
+    Alcotest.failf "checkpoint_begin: %s" (Store.Live.error_to_string e)
+
+let prepare_exn live token =
+  match Store.Live.checkpoint_prepare live token with
+  | Ok (merged, path) -> (merged, path)
+  | Error e ->
+    Alcotest.failf "checkpoint_prepare: %s" (Store.Live.error_to_string e)
+
+let test_live_two_level_checkpoint () =
+  with_dir (fun dir ->
+      let opened = open_live dir in
+      let live = opened.Store.Live.live in
+      List.iter (apply_live_exn live) prefix_ops;
+      let token = begin_exn live in
+      (* mutations keep flowing while the checkpoint is in flight *)
+      List.iter (apply_live_exn live) suffix_ops;
+      let st = Store.Live.stats live in
+      check bool_ "in progress" true st.Store.Live.checkpoint_in_progress;
+      check int_ "frozen segment holds the prefix docs" 2
+        st.Store.Live.frozen_documents;
+      check int_ "frozen segment holds the prefix tombstones" 2
+        st.Store.Live.frozen_tombstones;
+      check int_ "live log holds only the suffix" (List.length suffix_ops)
+        st.Store.Live.wal_records;
+      check bool_ "rotated log on disk" true
+        (Sys.file_exists (Store.Live.frozen_wal_path ~dir));
+      (* a second begin is refused while one is in flight *)
+      (match Store.Live.checkpoint_begin live with
+      | Error Store.Live.Checkpoint_in_progress -> ()
+      | Ok _ -> Alcotest.fail "overlapping checkpoint_begin accepted"
+      | Error e ->
+        Alcotest.failf "wanted Checkpoint_in_progress, got %s"
+          (Store.Live.error_to_string e));
+      (* reads during the in-flight checkpoint see base ∪ delta *)
+      assert_equals_rebuild ~what:"during checkpoint" (live_snapshot live)
+        (sim_after script);
+      let merged, path = prepare_exn live token in
+      Store.Live.checkpoint_install live merged path;
+      let st = Store.Live.stats live in
+      check bool_ "no longer in progress" false
+        st.Store.Live.checkpoint_in_progress;
+      check int_ "one checkpoint installed" 1 st.Store.Live.checkpoints;
+      check int_ "suffix survives in the live log" (List.length suffix_ops)
+        st.Store.Live.wal_records;
+      check int_ "delta is the replayed suffix" 1
+        st.Store.Live.delta_documents;
+      check bool_ "frozen log removed" false
+        (Sys.file_exists (Store.Live.frozen_wal_path ~dir));
+      assert_equals_rebuild ~what:"after install" (live_snapshot live)
+        (sim_after script);
+      Store.Live.close live;
+      (* reopen without the seed: checkpoint image + suffix replay *)
+      let reopened = open_live ~base:false dir in
+      (match reopened.Store.Live.base_source with
+      | Store.Live.From_checkpoint _ -> ()
+      | _ -> Alcotest.fail "checkpoint image was not preferred");
+      check bool_ "reopen replays exactly the suffix" true
+        (reopened.Store.Live.recovery.Store.Wal.records = suffix_ops);
+      assert_equals_rebuild ~what:"reopened after two-level checkpoint"
+        (live_snapshot reopened.Store.Live.live)
+        (sim_after script);
+      Store.Live.close reopened.Store.Live.live)
+
+let test_live_checkpoint_abort () =
+  with_dir (fun dir ->
+      let opened = open_live dir in
+      let live = opened.Store.Live.live in
+      List.iter (apply_live_exn live) prefix_ops;
+      let _token = begin_exn live in
+      List.iter (apply_live_exn live) suffix_ops;
+      (match Store.Live.checkpoint_abort live with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "abort: %s" (Store.Live.error_to_string e));
+      let st = Store.Live.stats live in
+      check bool_ "abort clears the in-flight state" false
+        st.Store.Live.checkpoint_in_progress;
+      check int_ "abort merges frozen + suffix back into one log"
+        (List.length script) st.Store.Live.wal_records;
+      check bool_ "frozen log removed" false
+        (Sys.file_exists (Store.Live.frozen_wal_path ~dir));
+      assert_equals_rebuild ~what:"after abort" (live_snapshot live)
+        (sim_after script);
+      (* the store keeps working: a full checkpoint after the abort *)
+      (match Store.Live.checkpoint live with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "checkpoint after abort: %s"
+          (Store.Live.error_to_string e));
+      Store.Live.close live;
+      let reopened = open_live ~base:false dir in
+      assert_equals_rebuild ~what:"reopened after abort + checkpoint"
+        (live_snapshot reopened.Store.Live.live)
+        (sim_after script);
+      Store.Live.close reopened.Store.Live.live)
+
+let test_live_checkpoint_crash_before_install () =
+  (* die with the rotated log still on disk (before OR after the
+     image was prepared): recovery must merge frozen + suffix and
+     reproduce the full post-op state either way *)
+  List.iter
+    (fun prepare_first ->
+      with_dir (fun dir ->
+          let opened = open_live dir in
+          let live = opened.Store.Live.live in
+          List.iter (apply_live_exn live) prefix_ops;
+          let token = begin_exn live in
+          List.iter (apply_live_exn live) suffix_ops;
+          if prepare_first then ignore (prepare_exn live token);
+          (* crash: drop every handle, leaving wal.frozen.log behind *)
+          Store.Live.close live;
+          check bool_ "rotated log left behind" true
+            (Sys.file_exists (Store.Live.frozen_wal_path ~dir));
+          let reopened = open_live ~base:(not prepare_first) dir in
+          (match reopened.Store.Live.base_source with
+          | Store.Live.From_checkpoint _ when prepare_first -> ()
+          | Store.Live.Provided when not prepare_first -> ()
+          | _ -> Alcotest.fail "unexpected base source after crash");
+          check bool_ "recovery merges the rotated log" true
+            (reopened.Store.Live.recovery.Store.Wal.records = script);
+          check bool_ "merged log is singular again" false
+            (Sys.file_exists (Store.Live.frozen_wal_path ~dir));
+          assert_equals_rebuild
+            ~what:
+              (if prepare_first then "crash after prepare"
+               else "crash before prepare")
+            (live_snapshot reopened.Store.Live.live)
+            (sim_after script);
+          (* recovery is idempotent over the merged log *)
+          Store.Live.close reopened.Store.Live.live;
+          let again = open_live ~base:(not prepare_first) dir in
+          check bool_ "second recovery identical" true
+            (again.Store.Live.recovery.Store.Wal.records = script);
+          Store.Live.close again.Store.Live.live))
+    [ false; true ]
+
+let test_live_ingest_during_checkpoint_stress () =
+  (* writers and readers race a concurrent checkpoint; afterwards the
+     store holds exactly the base script + every acked insert, and a
+     reopen agrees *)
+  with_dir (fun dir ->
+      let opened = open_live ~wal_batch:8 dir in
+      let live = opened.Store.Live.live in
+      List.iter (apply_live_exn live) script;
+      let writer_failures = Atomic.make 0 in
+      let reader_failures = Atomic.make 0 in
+      let ck_result = ref (Ok "") in
+      let stop_readers = Atomic.make false in
+      let writers = 3 and per = 12 in
+      let reader =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop_readers) do
+              (match
+                 Service.Engine.exec ~k:5 (live_snapshot live)
+                   (Service.Engine.Ranked { terms = [ "search" ] })
+               with
+              | Ok _ -> ()
+              | Error _ -> Atomic.incr reader_failures);
+              Thread.yield ()
+            done)
+          ()
+      in
+      let writer_threads =
+        List.init writers (fun w ->
+            Thread.create
+              (fun () ->
+                for i = 0 to per - 1 do
+                  let name = Printf.sprintf "s%d_%d.xml" w i in
+                  match Store.Live.insert live ~name ~xml:doc_c with
+                  | Ok () -> ()
+                  | Error _ -> Atomic.incr writer_failures
+                done)
+              ())
+      in
+      let ck_thread =
+        Thread.create (fun () -> ck_result := Store.Live.checkpoint live) ()
+      in
+      join_all writer_threads;
+      Thread.join ck_thread;
+      Atomic.set stop_readers true;
+      Thread.join reader;
+      check int_ "no writer failed" 0 (Atomic.get writer_failures);
+      check int_ "no reader failed" 0 (Atomic.get reader_failures);
+      (match !ck_result with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "concurrent checkpoint: %s"
+          (Store.Live.error_to_string e));
+      let live_total t =
+        let st = Store.Live.stats t in
+        (Store.Db.stats (Store.Live.base t)).Store.Db.documents
+        - st.Store.Live.tombstones + st.Store.Live.delta_documents
+      in
+      let expected = 4 + (writers * per) in
+      check int_ "every acked insert is live" expected (live_total live);
+      Store.Live.close live;
+      let reopened = open_live ~base:false dir in
+      check int_ "every acked insert survives reopen" expected
+        (live_total reopened.Store.Live.live);
+      Store.Live.close reopened.Store.Live.live)
+
+(* ------------------------------------------------------------------ *)
 (* Service layer: coordinator, protocol, server dispatch *)
 
-let with_service ?(base = true) f =
+let with_service ?(base = true) ?every_docs ?every_bytes f =
   with_dir (fun dir ->
       let opened = open_live ~base dir in
       let live = opened.Store.Live.live in
@@ -791,9 +1209,12 @@ let with_service ?(base = true) f =
         Service.Scheduler.create ~workers:1 ~queue_depth:8
           (live_snapshot live)
       in
-      let updates = Service.Updates.create ~live ~scheduler in
+      let updates =
+        Service.Updates.create ?every_docs ?every_bytes ~live ~scheduler ()
+      in
       Fun.protect
         ~finally:(fun () ->
+          Service.Updates.shutdown updates;
           Service.Scheduler.shutdown scheduler;
           Store.Live.close live)
         (fun () -> f scheduler updates))
@@ -851,8 +1272,10 @@ let test_updates_coordinator () =
         (Service.Scheduler.snapshot scheduler).Service.Engine.generation;
       (* checkpoint installs a delta-free snapshot at a new generation *)
       (match Service.Updates.checkpoint updates with
-      | Ok (_path, g) ->
+      | Ok (Service.Updates.Completed (_path, g)) ->
         check int_ "checkpoint bumps the generation" (gen_before + 1) g
+      | Ok Service.Updates.Started ->
+        Alcotest.fail "waiting checkpoint answered Started"
       | Error e ->
         Alcotest.failf "checkpoint: %s" (Service.Updates.error_message e));
       check bool_ "post-checkpoint snapshot has no delta" true
@@ -871,7 +1294,26 @@ let test_protocol_mutation_roundtrip () =
       Service.Protocol.Insert { name = "a.xml"; xml = "<a>1</a>" };
       Service.Protocol.Remove { name = "a.xml" };
       Service.Protocol.UpdateDoc { name = "a.xml"; xml = "<a>2</a>" };
-      Service.Protocol.Checkpoint;
+      Service.Protocol.Checkpoint { wait = true };
+      Service.Protocol.Checkpoint { wait = false };
+      Service.Protocol.Exec
+        {
+          req =
+            Service.Engine.Search
+              {
+                terms = [ "a"; "b" ];
+                method_ = Service.Engine.Auto;
+                complex = false;
+                anchor = Some "sec";
+              };
+          k = Some 5;
+          limits =
+            { Core.Governor.timeout_s = None; max_steps = None;
+              max_results = None };
+          trace = false;
+          parallelism = None;
+          theta = None;
+        };
     ]
 
 let test_server_dispatch_mutations () =
@@ -913,9 +1355,192 @@ let test_server_dispatch_mutations () =
       let delta = json_member "delta" stats in
       check int_ "delta.documents" 1 (json_int "documents" delta);
       (* checkpoint over the wire *)
-      let resp = handle Service.Protocol.Checkpoint in
+      let resp = handle (Service.Protocol.Checkpoint { wait = true }) in
       check bool_ "checkpoint acked" true (json_bool "ok" resp);
       check int_ "checkpoint generation" 4 (json_int "generation" resp))
+
+let await_checkpoint_idle updates =
+  let deadline = Unix.gettimeofday () +. 30. in
+  while
+    Service.Updates.checkpoint_in_progress updates
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ();
+    Unix.sleepf 0.002
+  done;
+  check bool_ "background checkpoint finished" false
+    (Service.Updates.checkpoint_in_progress updates)
+
+let test_updates_async_checkpoint () =
+  with_service (fun scheduler updates ->
+      (match Service.Updates.insert updates ~name:"az.xml" ~xml:doc_a with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "insert: %s" (Service.Updates.error_message e));
+      (match Service.Updates.checkpoint ~wait:false updates with
+      | Ok Service.Updates.Started -> ()
+      | Ok (Service.Updates.Completed _) ->
+        Alcotest.fail "async checkpoint answered Completed"
+      | Error e ->
+        Alcotest.failf "checkpoint request: %s"
+          (Service.Updates.error_message e));
+      await_checkpoint_idle updates;
+      let snap = Service.Scheduler.snapshot scheduler in
+      check bool_ "delta folded into the new base" true
+        (snap.Service.Engine.delta = None);
+      check string_ "snapshot source is the image" "checkpoint.tix"
+        (Filename.basename snap.Service.Engine.source);
+      check int_ "store counted the checkpoint" 1
+        (Store.Live.stats (Service.Updates.live updates)).Store.Live
+          .checkpoints;
+      (* the learned-correction table was persisted alongside it *)
+      check bool_ "feedback table persisted" true
+        (Sys.file_exists
+           (Filename.concat
+              (Store.Live.dir (Service.Updates.live updates))
+              "feedback.dat"));
+      (* mutations keep working on the republished snapshot *)
+      match Service.Updates.insert updates ~name:"post.xml" ~xml:doc_b with
+      | Ok g ->
+        check int_ "post-checkpoint mutation bumps the generation"
+          (snap.Service.Engine.generation + 1)
+          g
+      | Error e ->
+        Alcotest.failf "post-checkpoint insert: %s"
+          (Service.Updates.error_message e))
+
+let test_updates_auto_checkpoint_trigger () =
+  with_service ~every_docs:2 (fun _scheduler updates ->
+      let ok_insert name xml =
+        match Service.Updates.insert updates ~name ~xml with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.failf "insert %s: %s" name
+            (Service.Updates.error_message e)
+      in
+      ok_insert "t1.xml" doc_a;
+      ok_insert "t2.xml" doc_b;
+      (* the second insert crossed the threshold; wait out the worker *)
+      let live = Service.Updates.live updates in
+      let deadline = Unix.gettimeofday () +. 30. in
+      while
+        (Store.Live.stats live).Store.Live.checkpoints < 1
+        && Unix.gettimeofday () < deadline
+      do
+        Thread.yield ();
+        Unix.sleepf 0.002
+      done;
+      await_checkpoint_idle updates;
+      check int_ "threshold triggered exactly one checkpoint" 1
+        (Store.Live.stats live).Store.Live.checkpoints;
+      check int_ "delta folded" 0
+        (Store.Live.stats live).Store.Live.delta_documents)
+
+let test_server_async_checkpoint_dispatch () =
+  with_service (fun scheduler updates ->
+      let handle req = Service.Server.handle ~updates scheduler req in
+      let resp =
+        handle (Service.Protocol.Insert { name = "az.xml"; xml = doc_a })
+      in
+      check bool_ "insert acked" true (json_bool "ok" resp);
+      let resp = handle (Service.Protocol.Checkpoint { wait = false }) in
+      check bool_ "async checkpoint acked" true (json_bool "ok" resp);
+      check bool_ "acknowledged as started" true (json_bool "started" resp);
+      await_checkpoint_idle updates;
+      let health = handle Service.Protocol.Health in
+      check bool_ "health reports the idle checkpoint state" false
+        (json_bool "checkpoint_in_progress" health);
+      let stats = handle Service.Protocol.Stats in
+      let upd = json_member "updates" stats in
+      check int_ "delta folded" 0 (json_int "delta_documents" upd);
+      check bool_ "stats report the idle checkpoint state" false
+        (json_bool "checkpoint_in_progress" upd);
+      let gc = json_member "group_commit" upd in
+      check bool_ "group-commit counters flow through stats" true
+        (json_int "records" gc >= 1 && json_int "batches" gc >= 1))
+
+let test_feedback_persistence_roundtrip () =
+  let fb = Ir.Stats.Feedback.create () in
+  Ir.Stats.Feedback.observe fb ~key:"ranked|alpha" ~est:100. ~actual:10.;
+  Ir.Stats.Feedback.observe fb ~key:"search|beta" ~est:5. ~actual:50.;
+  Ir.Stats.Feedback.observe fb ~key:"ranked|alpha" ~est:80. ~actual:8.;
+  let payload = Ir.Stats.Feedback.to_string fb in
+  (match Ir.Stats.Feedback.of_string payload with
+  | None -> Alcotest.fail "roundtrip rejected its own serialization"
+  | Some fb' ->
+    List.iter
+      (fun key ->
+        check (Alcotest.float 1e-12)
+          (Printf.sprintf "correction for %s survives" key)
+          (Ir.Stats.Feedback.correction fb ~key)
+          (Ir.Stats.Feedback.correction fb' ~key))
+      [ "ranked|alpha"; "search|beta"; "never|observed" ];
+    check int_ "observation count survives"
+      (Ir.Stats.Feedback.observations fb)
+      (Ir.Stats.Feedback.observations fb');
+    check int_ "restored table starts at generation 0" 0
+      (Ir.Stats.Feedback.generation fb'));
+  check bool_ "garbage is rejected" true
+    (Ir.Stats.Feedback.of_string "not a feedback table" = None);
+  check bool_ "truncation is rejected" true
+    (Ir.Stats.Feedback.of_string
+       (String.sub payload 0 (String.length payload - 3))
+    = None);
+  (* the coordinator's file-level load path *)
+  with_dir (fun dir ->
+      check bool_ "no file yields no table" true
+        (Service.Updates.load_feedback ~dir = None);
+      let oc = open_out_bin (Filename.concat dir "feedback.dat") in
+      output_string oc payload;
+      close_out oc;
+      match Service.Updates.load_feedback ~dir with
+      | None -> Alcotest.fail "persisted table not loaded"
+      | Some fb' ->
+        check (Alcotest.float 1e-12) "loaded correction"
+          (Ir.Stats.Feedback.correction fb ~key:"ranked|alpha")
+          (Ir.Stats.Feedback.correction fb' ~key:"ranked|alpha"))
+
+let test_anchored_search () =
+  let snap = snapshot_exn (mk_base ()) in
+  let search ?anchor method_ =
+    match
+      Service.Engine.exec ~k:20 snap
+        (Service.Engine.Search
+           { terms = [ "search" ]; method_; complex = false; anchor })
+    with
+    | Ok r -> r
+    | Error e ->
+      Alcotest.failf "anchored search: %s" (Service.Engine.error_message e)
+  in
+  let unanchored = search Service.Engine.Termjoin in
+  let anchored = search ~anchor:"title" Service.Engine.Termjoin in
+  check bool_ "anchored search finds rows" true
+    (anchored.Service.Engine.rows <> []);
+  List.iter
+    (fun (row : Service.Engine.row) ->
+      check string_ "every anchored row lies inside a title" "title" row.tag)
+    anchored.Service.Engine.rows;
+  List.iter
+    (fun key ->
+      check bool_ "anchored rows are a subset of the unanchored rows" true
+        (List.mem key (row_keys unanchored)))
+    (row_keys anchored);
+  check bool_ "anchoring actually restricts" true
+    (List.length anchored.Service.Engine.rows
+    < List.length unanchored.Service.Engine.rows);
+  (* Auto planning prices the anchor and agrees on the rows *)
+  check bool_ "auto anchored rows = termjoin anchored rows" true
+    (row_keys (search ~anchor:"title" Service.Engine.Auto)
+    = row_keys anchored);
+  (match (search ~anchor:"title" Service.Engine.Auto).Service.Engine.plan with
+  | Some plan ->
+    check bool_ "auto records a planner line" true
+      (String.length plan > 0)
+  | None -> Alcotest.fail "auto anchored search lost its plan");
+  (* an unknown anchor tag matches nothing *)
+  check int_ "unknown anchor yields no rows" 0
+    (List.length
+       (search ~anchor:"nosuchtag" Service.Engine.Genmeet).Service.Engine.rows)
 
 let test_server_read_only_rejects_mutations () =
   let scheduler =
@@ -939,7 +1564,7 @@ let test_server_read_only_rejects_mutations () =
           Service.Protocol.Insert { name = "a.xml"; xml = "<a/>" };
           Service.Protocol.Remove { name = "a.xml" };
           Service.Protocol.UpdateDoc { name = "a.xml"; xml = "<a/>" };
-          Service.Protocol.Checkpoint;
+          Service.Protocol.Checkpoint { wait = true };
         ];
       let health = Service.Server.handle scheduler Service.Protocol.Health in
       check bool_ "read-only health says so" false
@@ -987,6 +1612,17 @@ let () =
           tc "byte-flip corruption sweep" `Quick
             test_wal_corruption_sweep_byte_flips;
         ] );
+      ( "group commit",
+        [
+          tc "append_many roundtrip" `Quick test_wal_append_many_roundtrip;
+          tc "batched crash-point sweep" `Quick test_wal_batched_crash_sweep;
+          tc "fsync failure fails the whole batch" `Quick
+            test_wal_append_many_fsync_failure_rolls_back_whole_batch;
+          tc "concurrent writers coalesce" `Quick
+            test_live_group_commit_concurrency;
+          tc "crash mid-batch recovers every ack" `Quick
+            test_live_group_commit_crash_recovers_acked;
+        ] );
       ( "delta",
         [
           tc "strict errors" `Quick test_delta_strict_errors;
@@ -1005,11 +1641,27 @@ let () =
             test_live_rejections_never_reach_the_log;
           tc "checkpoint" `Quick test_live_checkpoint;
         ] );
+      ( "two-level checkpoint",
+        [
+          tc "freeze / prepare / install" `Quick test_live_two_level_checkpoint;
+          tc "abort restores one log" `Quick test_live_checkpoint_abort;
+          tc "crash before install merges logs" `Quick
+            test_live_checkpoint_crash_before_install;
+          tc "ingest during checkpoint stress" `Quick
+            test_live_ingest_during_checkpoint_stress;
+        ] );
       ( "service",
         [
           tc "coordinator" `Quick test_updates_coordinator;
           tc "protocol roundtrip" `Quick test_protocol_mutation_roundtrip;
           tc "server dispatch" `Quick test_server_dispatch_mutations;
+          tc "async checkpoint" `Quick test_updates_async_checkpoint;
+          tc "auto checkpoint trigger" `Quick
+            test_updates_auto_checkpoint_trigger;
+          tc "async checkpoint dispatch" `Quick
+            test_server_async_checkpoint_dispatch;
+          tc "feedback persistence" `Quick test_feedback_persistence_roundtrip;
+          tc "anchored search" `Quick test_anchored_search;
           tc "read-only rejects" `Quick test_server_read_only_rejects_mutations;
           tc "same-generation reload" `Quick
             test_scheduler_rejects_same_generation;
